@@ -1,0 +1,95 @@
+"""Engine micro-benchmarks: the substrates behind the figures.
+
+Not a paper artifact — tracks the performance of the SAN executors, the
+state-space generator, the uniformization solver and the kinematic
+substrate, so regressions in the machinery are visible.
+"""
+
+import numpy as np
+
+from repro.core import AHSParameters, AnalyticalEngine, build_composed_model
+from repro.ctmc import CTMC, transient_distribution
+from repro.san import MarkovJumpSimulator, SANSimulator, generate_state_space
+from repro.stochastic import StreamFactory
+
+from tests.conftest import make_two_state_model
+
+
+def test_analytical_engine_build_and_solve(benchmark):
+    def solve():
+        engine = AnalyticalEngine(AHSParameters())
+        return engine.unsafety([2.0, 6.0, 10.0]).unsafety
+
+    values = benchmark(solve)
+    assert (values > 0).all()
+
+
+def test_event_driven_simulator_throughput(benchmark):
+    model, up, down = make_two_state_model(fail_rate=5.0, repair_rate=5.0)
+    simulator = SANSimulator(model)
+    factory = StreamFactory(1)
+    streams = iter(factory.stream_batch("bench", 10_000))
+
+    def run_one():
+        return simulator.run(next(streams), horizon=20.0).firings
+
+    firings = benchmark(run_one)
+    assert firings > 0
+
+
+def test_jump_simulator_on_composed_ahs(benchmark):
+    ahs = build_composed_model(
+        AHSParameters(max_platoon_size=2, base_failure_rate=1e-4)
+    )
+    simulator = MarkovJumpSimulator(ahs.model)
+    factory = StreamFactory(2)
+    streams = iter(factory.stream_batch("bench", 5_000))
+
+    def run_one():
+        return simulator.run(next(streams), horizon=2.0).firings
+
+    benchmark(run_one)
+
+
+def test_statespace_generation_tiny_ahs(benchmark):
+    params = AHSParameters(max_platoon_size=1, base_failure_rate=1e-3)
+
+    def generate():
+        ahs = build_composed_model(params)
+        predicate = ahs.unsafe_predicate()
+        return generate_state_space(
+            ahs.model, absorbing=lambda m: predicate(m), max_states=100_000
+        ).n_states
+
+    n_states = benchmark(generate)
+    assert n_states > 10
+
+
+def test_uniformization_solver(benchmark):
+    rng = np.random.default_rng(5)
+    n = 500
+    q = np.zeros((n, n))
+    for i in range(n - 1):
+        q[i, i + 1] = rng.uniform(1.0, 5.0)
+        q[i + 1, i] = rng.uniform(1.0, 5.0)
+    np.fill_diagonal(q, -q.sum(axis=1))
+    chain = CTMC(q)
+
+    def solve():
+        return transient_distribution(chain, [1.0, 5.0, 10.0])
+
+    result = benchmark(solve)
+    assert np.allclose(result.sum(axis=1), 1.0, atol=1e-7)
+
+
+def test_kinematic_maneuver_execution(benchmark):
+    from repro.agents import calibrate_maneuver_durations
+    from repro.core.maneuvers import Maneuver
+
+    def calibrate():
+        return calibrate_maneuver_durations(
+            platoon_sizes=(6,), repetitions=1, maneuvers=(Maneuver.TIE,)
+        ).mean_duration(Maneuver.TIE, 6)
+
+    duration = benchmark(calibrate)
+    assert duration > 0

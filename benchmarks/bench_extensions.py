@@ -1,0 +1,81 @@
+"""Extension benches: the paper's §5 future-work directions, built out.
+
+* unsafety vs. number of platoons (the paper: "can be easily extended to
+  analyze highways composed of a larger number of platoons");
+* tornado sensitivity (systematising the paper's one-at-a-time studies);
+* mean time to unsafety (the reciprocal deployment-level view of S(t));
+* the Markov-assumption gap (exponential vs. matched-mean deterministic
+  maneuver durations, by simulation).
+"""
+
+import numpy as np
+
+from repro.core import (
+    AHSParameters,
+    MultiPlatoonEngine,
+    markov_assumption_gap,
+    mean_time_to_unsafety,
+)
+from repro.experiments.sensitivity import tornado
+
+
+def test_multiplatoon_sweep(benchmark, render_rows):
+    params = AHSParameters()
+
+    def sweep():
+        return {
+            m: MultiPlatoonEngine(params, m).unsafety([6.0]).unsafety[0]
+            for m in (2, 3, 4)
+        }
+
+    values = benchmark(sweep)
+    lines = ["platoons  S(6h)"]
+    for m, s in values.items():
+        lines.append(f"{m:<8}  {s:.4e}")
+    render_rows("\n".join(lines))
+    assert values[2] < values[3] < values[4]
+
+
+def test_sensitivity_tornado(benchmark, render_rows):
+    rows = benchmark(tornado, AHSParameters(), 6.0)
+    lines = ["parameter                        elasticity"]
+    for row in rows:
+        lines.append(f"{row.parameter:<32} {row.elasticity:+.2f}")
+    render_rows("\n".join(lines))
+    assert rows[0].parameter == "base_failure_rate"
+    np.testing.assert_allclose(rows[0].elasticity, 2.0, atol=0.15)
+
+
+def test_mean_time_to_unsafety(benchmark, render_rows):
+    def compute():
+        return {
+            n: mean_time_to_unsafety(AHSParameters(max_platoon_size=n))
+            for n in (8, 10, 12)
+        }
+
+    values = benchmark(compute)
+    lines = ["n   MTTU (hours)"]
+    for n, mttu in values.items():
+        lines.append(f"{n:<3} {mttu:.3e}")
+    render_rows("\n".join(lines))
+    assert values[12] < values[10] < values[8]
+
+
+def test_markov_assumption_gap(benchmark, render_rows):
+    params = AHSParameters(max_platoon_size=2, base_failure_rate=0.05)
+
+    def compute():
+        return markov_assumption_gap(
+            params,
+            horizon=3.0,
+            n_replications=250,
+            seed=17,
+            families=("exponential", "deterministic"),
+        )
+
+    gap = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["family         S(3h)"]
+    for family, estimate in gap.estimates.items():
+        lines.append(f"{family:<13}  {estimate.values[-1]:.4e}")
+    render_rows("\n".join(lines))
+    assert 0.0 <= gap.value("deterministic") <= 1.0

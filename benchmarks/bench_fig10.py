@@ -1,0 +1,17 @@
+"""Figure 10 — S(t) versus trip duration for different platoon sizes n.
+
+Paper parameters: λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD.
+Shape targets: S(t) grows with t; larger n is markedly less safe.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure10(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure10")
+    render_rows(rendered)
+    for values in result.series.values():
+        assert (np.diff(values) > 0).all()
+    assert (result.series["n=12"] > result.series["n=8"]).all()

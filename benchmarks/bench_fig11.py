@@ -1,0 +1,15 @@
+"""Figure 11 — S(t) versus trip duration for different failure rates λ.
+
+Paper: n = 10; λ ∈ {1e-6, 1e-5, 1e-4} plotted, λ = 1e-7 quoted (≈1e-13).
+Shape target: S(t) extremely sensitive to λ (paper: ×175 then ×40 at 6 h).
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure11(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure11")
+    render_rows(rendered)
+    low = result.series["lambda=1e-06"]
+    high = result.series["lambda=0.0001"]
+    assert (high > 30.0 * low).all()

@@ -1,0 +1,16 @@
+"""Figure 12 — S(6 h) versus n for different failure rates λ.
+
+Paper: join 12/hr, leave 4/hr; n swept 10..18.
+Shape target: S grows with n for every λ.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure12(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure12")
+    render_rows(rendered)
+    for values in result.series.values():
+        assert (np.diff(values) > 0).all()

@@ -1,0 +1,19 @@
+"""Figure 13 — S(t) versus trip duration for different join/leave rates.
+
+Paper: λ = 1e-5/hr, n = 8; load ρ = join/leave ∈ {1, 2}.
+Shape targets: equal-ρ curves share the trend; ρ = 2 is (modestly) less
+safe than ρ = 1.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure13(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure13")
+    render_rows(rendered)
+    rho1 = next(k for k in result.series if "rho=1" in k)
+    rho2 = next(k for k in result.series if "rho=2" in k)
+    assert (result.series[rho2] > result.series[rho1]).all()
+    assert (result.series[rho2] < 10 * result.series[rho1]).all()

@@ -1,0 +1,16 @@
+"""Figure 14 — S(t) versus trip duration for strategies DD/DC/CD/CC.
+
+Paper: n = 10, λ = 1e-5/hr, join 12/hr, leave 4/hr.
+Shape targets: decentralized inter-platoon coordination is safer; the
+inter-platoon choice matters more than the intra-platoon one; the overall
+impact stays within one order of magnitude.
+"""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure14(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure14")
+    render_rows(rendered)
+    assert (result.series["DD"] < result.series["CC"]).all()
+    assert (result.series["CC"] < 10 * result.series["DD"]).all()

@@ -1,0 +1,17 @@
+"""Figure 15 — S(6 h) versus n for strategies DD/DC/CD/CC.
+
+Paper: λ = 1e-5/hr, join 12/hr, leave 4/hr.
+Shape target: the strategy ordering DD ≤ DC < CD ≤ CC holds at every n.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_render
+
+
+def test_figure15(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "figure15")
+    render_rows(rendered)
+    assert (result.series["DD"] < result.series["CC"]).all()
+    for values in result.series.values():
+        assert (np.diff(values) > 0).all()

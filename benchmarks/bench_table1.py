@@ -1,0 +1,19 @@
+"""Table 1 — failure modes, severity classes and associated maneuvers."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table1(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "table1")
+    render_rows(rendered)
+    assert [row["failure_mode"] for row in result] == [
+        f"FM{i}" for i in range(1, 7)
+    ]
+    assert [row["maneuver"] for row in result] == [
+        "AS",
+        "CS",
+        "GS",
+        "TIE-E",
+        "TIE",
+        "TIE-N",
+    ]

@@ -1,0 +1,10 @@
+"""Table 2 — catastrophic situations ST1-ST3."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table2(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "table2")
+    render_rows(rendered)
+    assert [row["situation"] for row in result] == ["ST1", "ST2", "ST3"]
+    assert all(row["matching_combinations"] > 0 for row in result)

@@ -1,0 +1,15 @@
+"""Table 3 — the four coordination strategies and their involvement."""
+
+from benchmarks.conftest import run_and_render
+
+
+def test_table3(benchmark, render_rows):
+    result, rendered = benchmark(run_and_render, "table3")
+    render_rows(rendered)
+    assert [row["strategy"] for row in result] == ["DD", "DC", "CD", "CC"]
+    by_strategy = {row["strategy"]: row for row in result}
+    # centralized inter-platoon TIE-E involves many more vehicles
+    assert (
+        by_strategy["CC"]["assistants_TIE-E"]
+        > by_strategy["DD"]["assistants_TIE-E"]
+    )

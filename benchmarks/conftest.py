@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper through
+the same code path as ``repro-cli`` and prints the rows/series the paper
+reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_render(experiment_id: str, fast: bool = True):
+    """Run one registered experiment and return (result, rendered text)."""
+    from repro.experiments import run_experiment
+
+    outcome = run_experiment(experiment_id, fast=fast)
+    return outcome.result, outcome.rendered
+
+
+@pytest.fixture
+def render_rows():
+    """Print a rendered experiment report beneath the benchmark output."""
+
+    def _print(rendered: str) -> None:
+        print()
+        print(rendered)
+
+    return _print

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Design study: which coordination strategy should an AHS deploy?
+
+Reproduces the paper's §4.4 analysis (Figures 14 and 15) as a design
+exercise: sweep the four inter-/intra-platoon coordination strategies and
+platoon-size limits, and report the safest configuration for a target
+trip duration — the kind of question the paper's models were built to
+answer for AHS designers.
+
+Usage:  python examples/coordination_study.py [trip_hours]
+"""
+
+import sys
+
+from repro.core import AHSParameters, AnalyticalEngine, Strategy
+
+
+def study(trip_hours: float) -> None:
+    print(f"Coordination-strategy study at trip duration {trip_hours:g} h")
+    print("(lambda = 1e-5/hr, join 12/hr, leave 4/hr)")
+    print()
+
+    header = f"{'n':>4} " + "".join(f"{s.value:>12}" for s in Strategy)
+    print(header)
+    print("-" * len(header))
+
+    best: tuple[float, int, Strategy] | None = None
+    for n in range(6, 17, 2):
+        row = [f"{n:>4}"]
+        for strategy in Strategy:
+            params = AHSParameters(max_platoon_size=n, strategy=strategy)
+            value = AnalyticalEngine(params).unsafety([trip_hours]).unsafety[0]
+            row.append(f"{value:>12.3e}")
+            if best is None or value < best[0]:
+                best = (value, n, strategy)
+        print(" ".join(row))
+
+    assert best is not None
+    value, n, strategy = best
+    print()
+    print(
+        f"Safest configuration: n={n}, strategy {strategy.value} "
+        f"(S = {value:.3e})"
+    )
+    print()
+    print("Findings mirroring the paper:")
+    print(" * decentralized inter-platoon coordination (D*) is safer —")
+    print("   the SAP of the centralized model drags more vehicles into")
+    print("   each maneuver and serializes requests across both platoons;")
+    print(" * the inter-platoon choice matters more than the intra-platoon;")
+    print(" * platoon size dominates the strategy choice (paper: keep n<=10).")
+
+
+if __name__ == "__main__":
+    trip = float(sys.argv[1]) if len(sys.argv) > 1 else 6.0
+    study(trip)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Digital-twin demo: Table-1 failures striking a kinematic highway.
+
+Where the SAN model abstracts maneuvers into exponential delays, this
+demo keeps everything physical: Poisson failure shocks (Table-1 rate
+ratios, accelerated so a 3-hour run sees dozens) hit platooned vehicles
+on the kinematic highway, each triggering its recovery maneuver — splits,
+escorted exits, emergency stops with the full incident procedure — while
+exited vehicles are replaced at the join rate.  The run's empirical
+statistics are then compared against the stochastic model's parameters.
+
+Usage:  python examples/failure_injection_demo.py
+"""
+
+from repro.agents import FailureInjectionScenario
+from repro.core import AHSParameters
+from repro.core.maneuvers import DEFAULT_MANEUVER_RATES, Maneuver
+
+
+def main() -> None:
+    params = AHSParameters(max_platoon_size=8)
+    acceleration = 3e4
+    scenario = FailureInjectionScenario(
+        params, acceleration=acceleration, seed=2009
+    )
+    print(
+        f"Injecting Table-1 failures at {acceleration:g}x the nominal "
+        f"lambda={params.base_failure_rate:g}/hr over a 3h kinematic run..."
+    )
+    report = scenario.run(duration_hours=3.0)
+
+    print()
+    print(f"failures injected   : {report.injected}")
+    print(f"maneuvers executed  : {report.executed}")
+    print(f"refused (platoon<3) : {report.refused_small_platoon}")
+    print(f"vehicles replenished: {report.replenished}")
+    print(f"recovery success    : {report.success_rate:.0%}")
+    print()
+
+    print(f"{'maneuver':<8} {'count':>5} {'success':>8} {'mean dur':>9} "
+          f"{'empirical rate':>15} {'SAN rate':>9}")
+    for name, entry in sorted(report.by_maneuver().items()):
+        maneuver = Maneuver(name)
+        duration = entry["mean_duration_s"]
+        empirical = 3600.0 / duration if duration == duration else float("nan")
+        print(
+            f"{name:<8} {entry['count']:>5} "
+            f"{entry['successes'] / entry['count']:>8.0%} "
+            f"{duration:>8.0f}s {empirical:>13.1f}/hr "
+            f"{DEFAULT_MANEUVER_RATES[maneuver]:>7.0f}/hr"
+        )
+    print()
+    print("The empirical per-maneuver rates bracket the SAN model's")
+    print("defaults — the kinematic substrate and the stochastic model")
+    print("describe the same system at two levels of abstraction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Rare-event estimation: seeing probabilities crude Monte-Carlo cannot.
+
+The paper notes that at λ = 1e-7/hr the unsafety is "about 1e-13" — far
+beyond what its 10 000-batch simulation could measure (the curve is not
+plotted).  This example shows the three tools this library offers on a
+small AHS instance where everything can be cross-checked:
+
+1. crude Monte-Carlo (fails: zero hits),
+2. importance sampling with failure biasing (unbiased, CI),
+3. fixed-effort multilevel splitting (no weight degeneracy),
+4. the numerical engine (the reference).
+
+Usage:  python examples/rare_event_study.py   (~1-2 minutes)
+"""
+
+from repro.core import AHSParameters, unsafety
+
+
+def main() -> None:
+    # a small instance so the simulation methods finish quickly; the
+    # failure rate is low enough that hits are genuinely rare
+    params = AHSParameters(max_platoon_size=2, base_failure_rate=2e-4)
+    horizon = 2.0
+
+    print(f"Small AHS: n=2, lambda={params.base_failure_rate:g}/hr, "
+          f"trip {horizon:g} h")
+    print()
+
+    reference = unsafety(params, [horizon], method="analytical")
+    print(f"numerical engine (reference) : {reference.values[0]:.3e}")
+
+    crude = unsafety(
+        params, [horizon], method="simulation", n_replications=2000, seed=1
+    )
+    print(
+        f"crude MC, 2000 replications  : {crude.values[0]:.3e}  "
+        f"(zero hits are expected at these probabilities)"
+    )
+
+    biased = unsafety(
+        params,
+        [horizon],
+        method="importance",
+        n_replications=2000,
+        seed=2,
+        boost=150.0,
+    )
+    print(
+        f"importance sampling (x150)   : {biased.values[0]:.3e}  "
+        f"+/- {biased.half_widths[0]:.1e}"
+    )
+
+    split = unsafety(
+        params,
+        [horizon],
+        method="splitting",
+        seed=3,
+        trials_per_stage=200,
+        repetitions=6,
+        splitting_levels=[1.0, 2.0, 1000.0],
+    )
+    print(
+        f"multilevel splitting         : {split.values[0]:.3e}  "
+        f"+/- {split.half_widths[0]:.1e}"
+    )
+
+    print()
+    print("At the paper's λ = 1e-7 the same API call")
+    print('  unsafety(AHSParameters(base_failure_rate=1e-7), [6.0])')
+    value = unsafety(
+        AHSParameters(base_failure_rate=1e-7), [6.0]
+    ).values[0]
+    print(f"returns {value:.2e} — the regime the paper could only allude to.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot build PEP-517
+editable installs; this shim enables `pip install -e . --no-use-pep517`
+(and `python setup.py develop`) as a fallback.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

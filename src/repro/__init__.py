@@ -1,0 +1,19 @@
+"""repro — Safety Modeling and Evaluation of Automated Highway Systems.
+
+A full, open reproduction of Hamouda, Kaâniche & Kanoun (DSN 2009):
+compositional Stochastic-Activity-Network safety models of vehicle
+platooning, together with every substrate the paper relies on — a SAN
+formalism with Join/Rep composition and Möbius-style execution semantics, a
+discrete-event kernel, CTMC transient solvers, rare-event simulation, and a
+microscopic platoon-traffic simulator standing in for the PATH testbed.
+
+Quickstart
+----------
+>>> from repro.core import AHSParameters, unsafety
+>>> params = AHSParameters(max_platoon_size=10, base_failure_rate=1e-5)
+>>> curve = unsafety(params, times=[2.0, 6.0, 10.0])   # doctest: +SKIP
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,60 @@
+"""Microscopic platoon-traffic substrate.
+
+The paper's maneuver-duration band (2–4 minutes, §4.1) and platoon
+geometry (1–3 m intra-platoon spacing, 30–60 m between platoons, §2) come
+from the PATH experimental program.  This subpackage replaces that closed
+testbed with a kinematic simulator built on the :mod:`repro.des` kernel:
+
+* :mod:`~repro.agents.kinematics` — vehicle state and motion integration;
+* :mod:`~repro.agents.controllers` — longitudinal control laws (leader
+  cruise, constant-spacing following, braking profiles);
+* :mod:`~repro.agents.comms` — V2V messaging with latency and loss;
+* :mod:`~repro.agents.platoon` — platoon membership and geometry;
+* :mod:`~repro.agents.maneuver_exec` — kinematic execution of the six
+  recovery maneuvers (durations measured, feeding the SAN's μ rates);
+* :mod:`~repro.agents.highway` — two-lane scenario assembly and the
+  calibration entry point used by the examples and the ablation bench.
+"""
+
+from repro.agents.kinematics import VehicleState, integrate
+from repro.agents.controllers import (
+    LeaderCruiseController,
+    ConstantSpacingController,
+    BrakeToStopController,
+    GAP_INTRA_PLATOON,
+    GAP_INTER_PLATOON,
+)
+from repro.agents.comms import Message, MessageBus
+from repro.agents.platoon import KinematicPlatoon
+from repro.agents.vehicle_agent import VehicleAgent
+from repro.agents.maneuver_exec import ManeuverExecutor, ManeuverOutcome
+from repro.agents.atomic import AtomicManeuvers, FormationOutcome
+from repro.agents.failure_scenario import FailureInjectionScenario, InjectionReport
+from repro.agents.workload import DemandProfile, ScenarioReport, TrafficScenario
+from repro.agents.highway import Highway, CalibrationReport, calibrate_maneuver_durations
+
+__all__ = [
+    "VehicleState",
+    "integrate",
+    "LeaderCruiseController",
+    "ConstantSpacingController",
+    "BrakeToStopController",
+    "GAP_INTRA_PLATOON",
+    "GAP_INTER_PLATOON",
+    "Message",
+    "MessageBus",
+    "KinematicPlatoon",
+    "VehicleAgent",
+    "ManeuverExecutor",
+    "ManeuverOutcome",
+    "AtomicManeuvers",
+    "FormationOutcome",
+    "FailureInjectionScenario",
+    "InjectionReport",
+    "DemandProfile",
+    "ScenarioReport",
+    "TrafficScenario",
+    "Highway",
+    "CalibrationReport",
+    "calibrate_maneuver_durations",
+]

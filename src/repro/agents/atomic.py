@@ -1,0 +1,167 @@
+"""Atomic platoon-formation maneuvers: split, merge, join.
+
+Paper §2: "The main maneuvers consist in splitting a platoon, merging
+platoons, or making a vehicle exit or enter the platoon."  The recovery
+procedures of :mod:`~repro.agents.maneuver_exec` compose these; they are
+also exposed directly for traffic-management scenarios (the Dynamicity
+submodel's join/leave/change events, kinematically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.highway import Highway
+from repro.agents.kinematics import HIGHWAY_SPEED
+from repro.agents.platoon import KinematicPlatoon
+from repro.agents.vehicle_agent import ControlMode
+
+__all__ = ["AtomicManeuvers", "FormationOutcome"]
+
+#: catch-up overspeed while closing an inter-platoon gap (m/s)
+_CATCH_UP = HIGHWAY_SPEED + 2.0
+
+
+@dataclass
+class FormationOutcome:
+    """Result of an atomic formation maneuver."""
+
+    kind: str
+    duration: float
+    platoon: str
+
+
+class AtomicManeuvers:
+    """Split / merge / join procedures over a :class:`Highway`."""
+
+    def __init__(self, highway: Highway) -> None:
+        self.highway = highway
+
+    # ------------------------------------------------------------------
+    def run(self, procedure) -> FormationOutcome:
+        """Run one maneuver process to completion."""
+        env = self.highway.env
+        self.highway.start()
+        process = env.process(procedure)
+        return env.run(until=process)
+
+    # ------------------------------------------------------------------
+    def split(self, platoon_name: str, at_vehicle: str, new_name: str):
+        """Split a platoon behind ``at_vehicle`` into a trailing platoon.
+
+        The trailing platoon's new leader opens the inter-platoon gap
+        (30–60 m, paper §2) by briefly slowing down.
+        """
+        highway = self.highway
+        env = highway.env
+        platoon = highway.platoons[platoon_name]
+        start = env.now
+
+        tail_ids = platoon.split_behind(at_vehicle)
+        if not tail_ids:
+            raise ValueError(
+                f"{at_vehicle!r} is the tail of {platoon_name!r}; nothing to split"
+            )
+        if new_name in highway.platoons:
+            raise ValueError(f"platoon {new_name!r} already exists")
+        tail = KinematicPlatoon(new_name, platoon.lane, list(tail_ids))
+        highway.platoons[new_name] = tail
+
+        new_leader = highway.agents[tail_ids[0]]
+        new_leader.mode = ControlMode.CRUISE
+        new_leader.cruise.set_speed = HIGHWAY_SPEED - 2.0
+
+        def gap_open() -> bool:
+            front_tail = highway.agents[platoon.vehicle_ids[-1]]
+            return (
+                new_leader.state.gap_to(front_tail.state)
+                >= GAP_INTER_PLATOON * 0.95
+            )
+
+        yield from highway.wait_until(gap_open)
+        new_leader.cruise.set_speed = HIGHWAY_SPEED
+        yield from highway.wait_until(
+            lambda: abs(new_leader.state.speed - HIGHWAY_SPEED) < 0.3
+        )
+        return FormationOutcome("split", env.now - start, new_name)
+
+    def merge(self, front_name: str, back_name: str):
+        """Merge the ``back`` platoon into the tail of ``front``.
+
+        The back platoon's leader closes the inter-platoon gap at a small
+        overspeed, then every member re-targets the intra-platoon gap and
+        the containers are unified (the back leader stops leading —
+        paper §2.2.2: the leader is the platoon's representative, so the
+        merged platoon keeps the front leader).
+        """
+        highway = self.highway
+        env = highway.env
+        front = highway.platoons[front_name]
+        back = highway.platoons[back_name]
+        if not front.vehicle_ids or not back.vehicle_ids:
+            raise ValueError("cannot merge empty platoons")
+        start = env.now
+
+        back_leader = highway.agents[back.vehicle_ids[0]]
+        back_leader.mode = ControlMode.CRUISE
+        back_leader.cruise.set_speed = _CATCH_UP
+
+        def close_enough() -> bool:
+            front_tail = highway.agents[front.vehicle_ids[-1]]
+            return back_leader.state.gap_to(front_tail.state) <= 1.5 * GAP_INTRA_PLATOON
+
+        yield from highway.wait_until(close_enough, timeout=600.0)
+
+        # unify containers: back members join the front platoon's tail
+        members = list(back.vehicle_ids)
+        back.vehicle_ids.clear()
+        del highway.platoons[back_name]
+        for vehicle_id in members:
+            front.append(vehicle_id)
+            highway.agents[vehicle_id].mode = ControlMode.FOLLOW
+            highway.agents[vehicle_id].gap_target = GAP_INTRA_PLATOON
+
+        def formed() -> bool:
+            agents = highway.agents
+            for ahead, behind in zip(front.vehicle_ids, front.vehicle_ids[1:]):
+                gap = agents[behind].state.gap_to(agents[ahead].state)
+                if not 0.0 <= gap <= 1.6 * GAP_INTRA_PLATOON:
+                    return False
+            return all(
+                abs(agents[v].state.speed - HIGHWAY_SPEED) < 0.4
+                for v in front.vehicle_ids
+            )
+
+        yield from highway.wait_until(formed, timeout=600.0)
+        return FormationOutcome("merge", env.now - start, front_name)
+
+    def join(self, vehicle_id: str, platoon_name: str):
+        """A free agent joins the tail of a platoon (paper: last position)."""
+        highway = self.highway
+        env = highway.env
+        platoon = highway.platoons[platoon_name]
+        if highway.platoon_of(vehicle_id) is not None:
+            raise ValueError(f"{vehicle_id!r} is already platooned")
+        start = env.now
+
+        agent = highway.agents[vehicle_id]
+        agent.state.lane = platoon.lane
+        agent.mode = ControlMode.CRUISE
+        tail_agent = highway.agents[platoon.vehicle_ids[-1]]
+        behind = agent.state.position < tail_agent.state.position
+        agent.cruise.set_speed = _CATCH_UP if behind else HIGHWAY_SPEED - 2.0
+
+        def in_slot() -> bool:
+            gap = agent.state.gap_to(tail_agent.state)
+            return 0.0 < gap <= 2.0 * GAP_INTRA_PLATOON
+
+        yield from highway.wait_until(in_slot, timeout=600.0)
+        platoon.append(vehicle_id)
+        agent.mode = ControlMode.FOLLOW
+        agent.gap_target = GAP_INTRA_PLATOON
+        yield from highway.wait_until(
+            lambda: abs(agent.state.speed - HIGHWAY_SPEED) < 0.4
+            and 0.0 < agent.state.gap_to(tail_agent.state) <= 1.6 * GAP_INTRA_PLATOON
+        )
+        return FormationOutcome("join", env.now - start, platoon_name)

@@ -1,0 +1,125 @@
+"""V2V communication with latency and loss.
+
+The platooning application coordinates maneuvers over an ad-hoc wireless
+network; FM3 in Table 1 is precisely the failure of this channel.  The
+bus delivers point-to-point and broadcast messages with configurable
+latency and loss probability, on top of the DES kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.des import Environment, Store
+from repro.stochastic import RandomStream
+
+__all__ = ["Message", "MessageBus"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One V2V frame."""
+
+    sender: str
+    recipient: str  # vehicle id or "*" for broadcast
+    kind: str  # e.g. "maneuver-request", "maneuver-grant", "state"
+    payload: Any = None
+    sent_at: float = 0.0
+
+
+class MessageBus:
+    """Delivers messages between named endpoints.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    stream:
+        Randomness for loss decisions and latency jitter.
+    latency:
+        Mean one-way latency (s).
+    loss_probability:
+        Independent per-frame loss probability.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        stream: RandomStream,
+        latency: float = 0.02,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if latency < 0.0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0,1), got {loss_probability}"
+            )
+        self.env = env
+        self.stream = stream
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self._mailboxes: dict[str, Store] = {}
+        self.frames_sent = 0
+        self.frames_lost = 0
+
+    # ------------------------------------------------------------------
+    def register(self, endpoint: str) -> None:
+        """Create a mailbox for ``endpoint``."""
+        if endpoint in self._mailboxes:
+            raise ValueError(f"endpoint {endpoint!r} already registered")
+        self._mailboxes[endpoint] = Store(self.env)
+
+    @property
+    def endpoints(self) -> list[str]:
+        """Registered endpoint names."""
+        return list(self._mailboxes)
+
+    def send(self, message: Message) -> None:
+        """Send one frame (delivered after the latency unless lost)."""
+        self.frames_sent += 1
+        if self.loss_probability and self.stream.bernoulli(self.loss_probability):
+            self.frames_lost += 1
+            return
+        targets = (
+            list(self._mailboxes)
+            if message.recipient == "*"
+            else [message.recipient]
+        )
+        for target in targets:
+            if target == message.sender:
+                continue
+            mailbox = self._mailboxes.get(target)
+            if mailbox is None:
+                raise KeyError(f"unknown endpoint {message.recipient!r}")
+            self.env.process(self._deliver(mailbox, message))
+
+    def _deliver(self, mailbox: Store, message: Message):
+        delay = self.latency
+        if delay > 0.0:
+            # small multiplicative jitter keeps deliveries from synchronising
+            delay *= 0.5 + self.stream.random()
+            yield self.env.timeout(delay)
+        yield mailbox.put(message)
+
+    def receive(self, endpoint: str):
+        """Event yielding the next message for ``endpoint``."""
+        mailbox = self._mailboxes.get(endpoint)
+        if mailbox is None:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        return mailbox.get()
+
+    def cancel_receive(self, endpoint: str, event) -> bool:
+        """Withdraw a pending :meth:`receive` (e.g. after a timeout)."""
+        mailbox = self._mailboxes.get(endpoint)
+        if mailbox is None:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        return mailbox.cancel_get(event)
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed frame loss fraction."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_lost / self.frames_sent

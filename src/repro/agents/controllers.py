@@ -1,0 +1,83 @@
+"""Longitudinal control laws for platooned vehicles.
+
+The PATH architecture combines a cruise controller for leaders with a
+constant-spacing follower law fed by the magnetic positioning equipment
+and V2V state broadcasts.  The follower law here is the classic
+PD-with-feedforward spacing controller: it is string-stable for the gains
+chosen (tested in tests/agents) and holds the paper's 1–3 m intra-platoon
+spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.kinematics import VehicleState
+
+__all__ = [
+    "GAP_INTRA_PLATOON",
+    "GAP_INTER_PLATOON",
+    "LeaderCruiseController",
+    "ConstantSpacingController",
+    "BrakeToStopController",
+]
+
+#: target intra-platoon gap (m); the paper quotes 1–3 m
+GAP_INTRA_PLATOON = 2.0
+#: target inter-platoon separation (m); the paper quotes 30–60 m
+GAP_INTER_PLATOON = 45.0
+
+
+@dataclass
+class LeaderCruiseController:
+    """Holds a set speed (platoon leader / free agent)."""
+
+    set_speed: float
+    gain: float = 0.6
+
+    def command(self, me: VehicleState) -> float:
+        """Acceleration command tracking the set speed."""
+        return self.gain * (self.set_speed - me.speed)
+
+
+@dataclass
+class ConstantSpacingController:
+    """PD constant-spacing follower with predecessor-acceleration feedforward.
+
+    ``u = ka·a_pred + kv·(v_pred − v) + kp·(gap − gap_target)``
+    """
+
+    gap_target: float = GAP_INTRA_PLATOON
+    kp: float = 0.45
+    kv: float = 1.1
+    ka: float = 0.35
+
+    def command(self, me: VehicleState, predecessor: VehicleState) -> float:
+        """Acceleration command tracking the predecessor at the target gap."""
+        gap_error = me.gap_to(predecessor) - self.gap_target
+        return (
+            self.ka * predecessor.acceleration
+            + self.kv * (predecessor.speed - me.speed)
+            + self.kp * gap_error
+        )
+
+
+@dataclass
+class BrakeToStopController:
+    """Open-loop braking at a fixed deceleration until standstill.
+
+    ``deceleration`` is positive; gentle stops use the service braking
+    envelope (~2 m/s²), crash stops the emergency envelope (~8 m/s²).
+    """
+
+    deceleration: float
+
+    def __post_init__(self) -> None:
+        if self.deceleration <= 0.0:
+            raise ValueError(
+                f"deceleration must be > 0, got {self.deceleration}"
+            )
+
+    def command(self, me: VehicleState) -> float:
+        """Braking command (zero once stopped)."""
+        return -self.deceleration if not me.stopped else 0.0

@@ -1,0 +1,241 @@
+"""End-to-end failure injection: Table 1 shocks on the kinematic highway.
+
+The integration layer between the stochastic model and the traffic
+substrate: failure modes strike operational vehicles as Poisson shocks
+with the Table-1 rate ratios (accelerated so that a simulation of a few
+hours sees events), and each triggers the corresponding recovery maneuver
+*kinematically*.  Maneuvers are serialized (one at a time per highway —
+the leader/SAP coordination discipline of §2.1.2, with queued requests
+waiting their turn), and per-maneuver statistics come back out:
+durations, success rates, and the empirical rate band to compare against
+the SAN parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.highway import Highway
+from repro.agents.kinematics import VEHICLE_LENGTH
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.maneuver_exec import ManeuverExecutor, ManeuverOutcome
+from repro.agents.vehicle_agent import ControlMode
+from repro.core.failure_modes import FAILURE_MODES
+from repro.core.maneuvers import maneuver_for_failure_mode
+from repro.core.parameters import AHSParameters
+from repro.des import Environment
+from repro.stochastic import StreamFactory
+
+__all__ = ["FailureInjectionScenario", "InjectionReport"]
+
+
+@dataclass
+class InjectionReport:
+    """Statistics from one failure-injection run."""
+
+    duration_hours: float
+    injected: int
+    executed: int
+    refused_small_platoon: int
+    replenished: int = 0
+    outcomes: list[ManeuverOutcome] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of executed maneuvers that completed successfully."""
+        if not self.outcomes:
+            return float("nan")
+        return sum(o.success for o in self.outcomes) / len(self.outcomes)
+
+    def mean_duration(self) -> float:
+        """Mean duration (s) over successful maneuvers."""
+        durations = [o.duration for o in self.outcomes if o.success]
+        if not durations:
+            return float("nan")
+        return float(np.mean(durations))
+
+    def by_maneuver(self) -> dict[str, dict]:
+        """Per-maneuver count / success-rate / mean-duration summary."""
+        summary: dict[str, dict] = {}
+        for outcome in self.outcomes:
+            entry = summary.setdefault(
+                outcome.maneuver.value,
+                {"count": 0, "successes": 0, "durations": []},
+            )
+            entry["count"] += 1
+            entry["successes"] += int(outcome.success)
+            if outcome.success:
+                entry["durations"].append(outcome.duration)
+        for entry in summary.values():
+            durations = entry.pop("durations")
+            entry["mean_duration_s"] = (
+                float(np.mean(durations)) if durations else float("nan")
+            )
+        return summary
+
+
+class FailureInjectionScenario:
+    """Poisson failure shocks driving kinematic recovery maneuvers.
+
+    Parameters
+    ----------
+    params:
+        The AHS parameterisation; the Table-1 rate *ratios* come from
+        here, scaled by ``acceleration`` so that events occur within a
+        simulable horizon (λ = 1e-5/hr would need millennia otherwise).
+    acceleration:
+        Multiplier on the per-vehicle failure intensity.
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        params: AHSParameters,
+        acceleration: float = 1e4,
+        seed: Optional[int] = None,
+    ) -> None:
+        if acceleration <= 0:
+            raise ValueError(f"acceleration must be > 0, got {acceleration}")
+        self.params = params
+        self.acceleration = acceleration
+        self.factory = StreamFactory(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, duration_hours: float) -> InjectionReport:
+        """Inject failures for ``duration_hours`` and execute recoveries."""
+        if duration_hours <= 0:
+            raise ValueError(f"duration_hours must be > 0, got {duration_hours}")
+        stream = self.factory.stream("inject")
+        env = Environment()
+        highway = Highway(env, stream)
+        n = self.params.max_platoon_size
+        highway.add_platoon("p1", lane=2, size=n, head_position=0.0)
+        highway.add_platoon(
+            "p2",
+            lane=2,
+            size=n,
+            head_position=-(n * (VEHICLE_LENGTH + GAP_INTRA_PLATOON))
+            - GAP_INTER_PLATOON,
+        )
+        highway.start()
+        executor = ManeuverExecutor(highway, stream)
+
+        report = InjectionReport(
+            duration_hours=duration_hours,
+            injected=0,
+            executed=0,
+            refused_small_platoon=0,
+        )
+        busy = {"maneuver": False}
+        spawned = {"count": 0}
+
+        def replenisher():
+            # the closed population of the stochastic model: exited
+            # vehicles re-enter at the join rate.  Re-seating is
+            # administrative (a formed-up vehicle appears at the tail);
+            # the kinematic join procedure is exercised separately by
+            # repro.agents.workload.  Gated on maneuver-idle periods so
+            # container mutations never race a split/overtake.
+            if self.params.join_rate <= 0:
+                return
+            # the acceleration applies to the whole failure/rejoin
+            # timeline so the scenario keeps the model's relative pacing
+            rate_per_s = self.params.join_rate * self.acceleration / 3600.0
+            while True:
+                yield env.timeout(stream.exponential(rate_per_s))
+                if busy["maneuver"]:
+                    continue
+                candidates = [
+                    p
+                    for p in highway.platoons.values()
+                    if 0 < p.size < self.params.max_platoon_size
+                    and p.lane == 2
+                ]
+                if not candidates:
+                    continue
+                platoon = min(candidates, key=lambda p: p.size)
+                tail = highway.agents[platoon.vehicle_ids[-1]]
+                spawned["count"] += 1
+                vehicle_id = f"fresh{spawned['count']}"
+                from repro.agents.kinematics import VehicleState
+                from repro.agents.vehicle_agent import VehicleAgent
+
+                agent = VehicleAgent(
+                    vehicle_id,
+                    VehicleState(
+                        position=tail.state.position
+                        - (VEHICLE_LENGTH + GAP_INTRA_PLATOON),
+                        speed=tail.state.speed,
+                        lane=platoon.lane,
+                    ),
+                    mode=ControlMode.FOLLOW,
+                )
+                highway.agents[vehicle_id] = agent
+                highway.bus.register(vehicle_id)
+                platoon.append(vehicle_id)
+                report.replenished += 1
+        per_vehicle_rate = (
+            self.params.total_failure_rate() * self.acceleration / 3600.0
+        )  # per second
+        fm_weights = [
+            self.params.failure_mode_rate(fm) for fm in FAILURE_MODES
+        ]
+        horizon_s = duration_hours * 3600.0
+
+        def injector():
+            while True:
+                operational = [
+                    vid
+                    for platoon in highway.platoons.values()
+                    for vid in platoon.vehicle_ids
+                    if highway.agents[vid].mode
+                    in (ControlMode.CRUISE, ControlMode.FOLLOW)
+                ]
+                if not operational:
+                    return
+                total_rate = per_vehicle_rate * len(operational)
+                yield env.timeout(stream.exponential(total_rate))
+                if env.now >= horizon_s:
+                    return
+                report.injected += 1
+                victim = operational[stream.integers(0, len(operational))]
+                platoon = highway.platoon_of(victim)
+                if platoon is None or platoon.size < 3:
+                    # too few members to coordinate a maneuver; the
+                    # stochastic model's occupancy never drains this far
+                    # because of rejoins, which this scenario omits
+                    report.refused_small_platoon += 1
+                    continue
+                fm = FAILURE_MODES[stream.choice_index(fm_weights)]
+                maneuver = maneuver_for_failure_mode(fm)
+                # serialized execution: the injector process itself runs
+                # the maneuver to completion (leader/SAP discipline);
+                # failures arriving meanwhile queue behind it naturally
+                start = env.now
+                busy["maneuver"] = True
+                process = env.process(executor.procedure(maneuver, victim))
+                try:
+                    yield process
+                    success = True
+                except TimeoutError:
+                    success = False
+                finally:
+                    busy["maneuver"] = False
+                report.executed += 1
+                report.outcomes.append(
+                    ManeuverOutcome(
+                        maneuver=maneuver,
+                        vehicle_id=victim,
+                        duration=env.now - start,
+                        success=success,
+                    )
+                )
+
+        env.process(injector())
+        env.process(replenisher())
+        env.run(until=horizon_s)
+        return report

@@ -1,0 +1,239 @@
+"""Two-lane highway scenarios and maneuver-duration calibration.
+
+:class:`Highway` assembles platoons of :class:`~repro.agents.vehicle_agent.
+VehicleAgent` objects, integrates all vehicles at a fixed control period on
+the DES kernel, and exposes the condition-waiting helpers the maneuver
+executor needs.  :func:`calibrate_maneuver_durations` reproduces the
+paper's 2–4 minute maneuver-duration band and measures how durations grow
+with platoon size — the justification for ``AHSParameters.duration_scaling``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.agents.comms import MessageBus
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.kinematics import HIGHWAY_SPEED, VEHICLE_LENGTH, VehicleState, integrate
+from repro.agents.platoon import KinematicPlatoon
+from repro.agents.vehicle_agent import ControlMode, VehicleAgent
+from repro.core.maneuvers import Maneuver
+from repro.des import Environment
+from repro.stochastic import RandomStream, StreamFactory
+
+__all__ = ["Highway", "CalibrationReport", "calibrate_maneuver_durations"]
+
+#: control period of the tick loop (s); 2 Hz is coarse for control design
+#: but accurate to well under a second for maneuver durations
+CONTROL_PERIOD = 0.5
+
+
+class Highway:
+    """A two-lane automated highway with platoons of kinematic vehicles."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stream: RandomStream,
+        comm_latency: float = 0.02,
+        comm_loss: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.stream = stream
+        self.bus = MessageBus(env, stream, latency=comm_latency, loss_probability=comm_loss)
+        self.agents: dict[str, VehicleAgent] = {}
+        self.platoons: dict[str, KinematicPlatoon] = {}
+        self._ticking = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_platoon(
+        self, name: str, lane: int, size: int, head_position: float = 0.0
+    ) -> KinematicPlatoon:
+        """Create a platoon of ``size`` vehicles at nominal spacing."""
+        if size < 1:
+            raise ValueError(f"platoon size must be >= 1, got {size}")
+        if name in self.platoons:
+            raise ValueError(f"platoon {name!r} already exists")
+        platoon = KinematicPlatoon(name, lane)
+        pitch = VEHICLE_LENGTH + GAP_INTRA_PLATOON
+        for index in range(size):
+            vehicle_id = f"{name}.v{index}"
+            state = VehicleState(
+                position=head_position - index * pitch, lane=lane
+            )
+            mode = ControlMode.CRUISE if index == 0 else ControlMode.FOLLOW
+            agent = VehicleAgent(vehicle_id, state, mode=mode)
+            self.agents[vehicle_id] = agent
+            self.bus.register(vehicle_id)
+            platoon.append(vehicle_id)
+        self.platoons[name] = platoon
+        return platoon
+
+    def platoon_of(self, vehicle_id: str) -> Optional[KinematicPlatoon]:
+        """The platoon containing a vehicle (None for detached vehicles)."""
+        for platoon in self.platoons.values():
+            if vehicle_id in platoon.vehicle_ids:
+                return platoon
+        return None
+
+    # ------------------------------------------------------------------
+    # simulation loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the control/integration tick (idempotent)."""
+        if not self._ticking:
+            self._ticking = True
+            self.env.process(self._tick_loop())
+
+    def _tick_loop(self):
+        while True:
+            self._tick_once(CONTROL_PERIOD)
+            yield self.env.timeout(CONTROL_PERIOD)
+
+    def _tick_once(self, dt: float) -> None:
+        # Two-phase update: every controller reads the *pre-tick* states
+        # (all vehicles sense simultaneously), then all states integrate.
+        commands: dict[str, float] = {}
+        seen: set[str] = set()
+        for platoon in self.platoons.values():
+            predecessor: Optional[VehicleState] = None
+            for vehicle_id in platoon.vehicle_ids:
+                agent = self.agents[vehicle_id]
+                commands[vehicle_id] = agent.command(predecessor)
+                predecessor = agent.state
+                seen.add(vehicle_id)
+        for vehicle_id, agent in self.agents.items():
+            if vehicle_id not in seen and agent.mode is not ControlMode.INACTIVE:
+                commands[vehicle_id] = agent.command(None)
+        for vehicle_id, command in commands.items():
+            integrate(self.agents[vehicle_id].state, command, dt)
+
+    # ------------------------------------------------------------------
+    # condition helpers for maneuver procedures
+    # ------------------------------------------------------------------
+    def wait_until(
+        self, condition: Callable[[], bool], timeout: float = 900.0
+    ):
+        """Process helper: poll ``condition`` each control period.
+
+        Returns (via the process value) the time waited; raises
+        ``TimeoutError`` if the condition does not hold within ``timeout``
+        simulated seconds — a maneuver that cannot complete kinematically
+        is a *failed* maneuver.
+        """
+        start = self.env.now
+        while not condition():
+            if self.env.now - start > timeout:
+                raise TimeoutError("kinematic condition not reached")
+            yield self.env.timeout(CONTROL_PERIOD)
+        return self.env.now - start
+
+    def gap_behind(self, vehicle_id: str) -> float:
+        """Gap between a vehicle and its follower (inf for the tail)."""
+        platoon = self.platoon_of(vehicle_id)
+        if platoon is None:
+            return math.inf
+        successor = platoon.successor_of(vehicle_id)
+        if successor is None:
+            return math.inf
+        return self.agents[successor].state.gap_to(self.agents[vehicle_id].state)
+
+
+@dataclass
+class CalibrationReport:
+    """Measured maneuver durations, by maneuver and platoon size."""
+
+    #: duration samples (s): {maneuver: {platoon_size: [samples]}}
+    samples: dict[Maneuver, dict[int, list[float]]]
+
+    def mean_duration(self, maneuver: Maneuver, size: int) -> float:
+        """Mean measured duration (s) for one configuration."""
+        data = self.samples[maneuver][size]
+        return float(np.mean(data))
+
+    def rate_per_hour(self, maneuver: Maneuver, size: int) -> float:
+        """Equivalent exponential rate (1/hr) for the SAN model."""
+        return 3600.0 / self.mean_duration(maneuver, size)
+
+    def fitted_duration_scaling(self, maneuver: Maneuver) -> float:
+        """Least-squares κ in ``duration(occ) = d₀·(1 + κ·(occ − 2))``.
+
+        Joint linear regression of mean durations on ``(1, occ − 2)``;
+        κ is the slope relative to the intercept d₀.
+        """
+        sizes = sorted(self.samples[maneuver])
+        if len(sizes) < 2:
+            raise ValueError("need at least two platoon sizes to fit κ")
+        durations = np.array([self.mean_duration(maneuver, s) for s in sizes])
+        crowd = np.array([max(s - 2, 0) for s in sizes], dtype=float)
+        design = np.vstack([np.ones_like(crowd), crowd]).T
+        (d0, slope), *_ = np.linalg.lstsq(design, durations, rcond=None)
+        if d0 <= 0:
+            raise ValueError("degenerate duration fit (non-positive intercept)")
+        return float(slope / d0)
+
+    def summary_rows(self) -> list[dict]:
+        """Flat rows for report printing."""
+        rows = []
+        for maneuver, by_size in sorted(
+            self.samples.items(), key=lambda kv: kv[0].name
+        ):
+            for size, data in sorted(by_size.items()):
+                rows.append(
+                    {
+                        "maneuver": maneuver.value,
+                        "platoon_size": size,
+                        "mean_duration_s": float(np.mean(data)),
+                        "rate_per_hr": 3600.0 / float(np.mean(data)),
+                        "samples": len(data),
+                    }
+                )
+        return rows
+
+
+def calibrate_maneuver_durations(
+    platoon_sizes: tuple[int, ...] = (4, 8, 12),
+    repetitions: int = 3,
+    seed: int = 2009,
+    maneuvers: tuple[Maneuver, ...] = tuple(Maneuver),
+) -> CalibrationReport:
+    """Measure kinematic maneuver durations across platoon sizes.
+
+    For each (maneuver, platoon size, repetition): build a fresh two-platoon
+    highway, inject the failure in a random member of platoon 1, execute the
+    maneuver kinematically and record its duration.
+    """
+    from repro.agents.maneuver_exec import ManeuverExecutor
+
+    factory = StreamFactory(seed)
+    samples: dict[Maneuver, dict[int, list[float]]] = {
+        maneuver: {size: [] for size in platoon_sizes} for maneuver in maneuvers
+    }
+    for maneuver in maneuvers:
+        for size in platoon_sizes:
+            for rep in range(repetitions):
+                stream = factory.stream(f"{maneuver.name}-{size}-{rep}")
+                env = Environment()
+                highway = Highway(env, stream)
+                highway.add_platoon("p1", lane=2, size=size, head_position=0.0)
+                highway.add_platoon(
+                    "p2",
+                    lane=2,
+                    size=size,
+                    head_position=-(size * (VEHICLE_LENGTH + GAP_INTRA_PLATOON))
+                    - GAP_INTER_PLATOON,
+                )
+                highway.start()
+                executor = ManeuverExecutor(highway, stream)
+                # faulty vehicle: a non-leader member when one exists
+                index = 1 + stream.integers(0, max(size - 1, 1)) if size > 1 else 0
+                faulty = f"p1.v{min(index, size - 1)}"
+                outcome = executor.run_to_completion(maneuver, faulty)
+                samples[maneuver][size].append(outcome.duration)
+    return CalibrationReport(samples=samples)

@@ -1,0 +1,65 @@
+"""Vehicle kinematic state and motion integration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["VehicleState", "integrate", "VEHICLE_LENGTH", "HIGHWAY_SPEED"]
+
+#: vehicle length (m); PATH test vehicles were full-size sedans
+VEHICLE_LENGTH = 4.5
+#: nominal automated-highway cruise speed (m/s), ≈ 105 km/h
+HIGHWAY_SPEED = 29.0
+
+
+@dataclass
+class VehicleState:
+    """Longitudinal + lane state of one vehicle.
+
+    ``position`` is the longitudinal coordinate of the front bumper along
+    the highway (m); ``lane`` is an integer index (the paper's two-lane
+    setting uses 1 and 2, with 0 as the exit/shoulder).
+    """
+
+    position: float = 0.0
+    speed: float = HIGHWAY_SPEED
+    acceleration: float = 0.0
+    lane: int = 1
+    #: maximum acceleration the drivetrain can deliver (m/s²)
+    max_acceleration: float = 2.5
+    #: maximum service braking (m/s², positive number)
+    max_braking: float = 4.0
+    #: maximum emergency braking (m/s², positive number)
+    emergency_braking: float = 8.0
+
+    def gap_to(self, ahead: "VehicleState") -> float:
+        """Bumper-to-bumper gap to the vehicle ahead (m)."""
+        return ahead.position - self.position - VEHICLE_LENGTH
+
+    @property
+    def stopped(self) -> bool:
+        """True once the vehicle is (numerically) at rest."""
+        return self.speed <= 1e-9
+
+
+def integrate(state: VehicleState, command: float, dt: float) -> None:
+    """Advance ``state`` by ``dt`` seconds under an acceleration command.
+
+    The command is clipped to the drivetrain envelope; speed is clipped at
+    zero (no reversing on the automated highway).
+    """
+    if dt <= 0.0:
+        raise ValueError(f"dt must be > 0, got {dt}")
+    command = max(-state.emergency_braking, min(command, state.max_acceleration))
+    state.acceleration = command
+    new_speed = state.speed + command * dt
+    if new_speed < 0.0:
+        # solve the exact stopping sub-step, then stay at rest
+        if state.speed > 0.0 and command < 0.0:
+            t_stop = state.speed / (-command)
+            state.position += state.speed * t_stop + 0.5 * command * t_stop * t_stop
+        state.speed = 0.0
+        return
+    state.position += state.speed * dt + 0.5 * command * dt * dt
+    state.speed = new_speed

@@ -1,0 +1,472 @@
+"""Kinematic execution of the six recovery maneuvers.
+
+Each maneuver is a DES process over the :class:`~repro.agents.highway.
+Highway`: coordination handshakes go over the V2V bus, gap openings and
+platoon re-formations are driven by the spacing controllers, exits travel
+to a randomly placed off-ramp, and Class-A stops trigger the full incident
+procedure (split the tail, overtake the stopped vehicle on the free lane,
+re-form behind the front part).  The measured durations land in the
+paper's 2–4 minute band and grow with platoon size — the source of
+``AHSParameters.duration_scaling``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.highway import Highway
+from repro.agents.kinematics import HIGHWAY_SPEED, VEHICLE_LENGTH
+from repro.agents.vehicle_agent import ControlMode
+from repro.agents.comms import Message
+from repro.core.maneuvers import Maneuver
+from repro.des import AnyOf
+from repro.stochastic import RandomStream
+
+__all__ = ["ManeuverOutcome", "ManeuverExecutor"]
+
+#: lane-change execution time (s)
+LANE_CHANGE_TIME = 4.0
+#: speed while driving to the off-ramp as a free agent (m/s)
+EXIT_SPEED = 22.0
+#: speed while being escorted to the off-ramp (m/s)
+ESCORT_SPEED = 18.0
+#: catch-up overspeed while a split tail re-forms (m/s)
+CATCH_UP_SPEED = HIGHWAY_SPEED + 1.5
+#: settled when speeds are within this of the target (m/s)
+SPEED_TOLERANCE = 0.4
+#: off-ramp distance range (m): next exit is 0.8–3.6 km away
+EXIT_DISTANCE_RANGE = (800.0, 3600.0)
+#: per-frame acknowledgment timeout before a handshake retransmission (s)
+HANDSHAKE_TIMEOUT = 1.0
+#: handshake retransmissions before declaring the coordination failed
+#: (a persistent V2V outage is itself failure mode FM3)
+HANDSHAKE_RETRIES = 8
+#: incident-clearance time range (s) after a Class-A stop: the paper's
+#: "specific control laws ... to ease congestion, divert traffic away from
+#: the incident, assist emergency vehicles, and get the queued vehicles
+#: out" (§2.1.1).  Clearing a stopped vehicle from the automated lane is
+#: not a kinematic process of the platoon itself, so it is modeled as a
+#: timed phase (see DESIGN.md substitutions).
+CLEARANCE_TIME_RANGE = (90.0, 180.0)
+#: extra clearance for an aided stop (two vehicles end up stopped)
+AIDED_CLEARANCE_EXTRA = 40.0
+
+
+@dataclass
+class ManeuverOutcome:
+    """Result of one kinematic maneuver execution."""
+
+    maneuver: Maneuver
+    vehicle_id: str
+    duration: float
+    success: bool
+    phase_durations: dict[str, float] = field(default_factory=dict)
+
+
+class ManeuverExecutor:
+    """Runs recovery maneuvers on a highway scenario."""
+
+    def __init__(self, highway: Highway, stream: RandomStream) -> None:
+        self.highway = highway
+        self.stream = stream
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def procedure(self, maneuver: Maneuver, vehicle_id: str):
+        """The maneuver as a raw process generator (for embedding in
+        larger scenarios — see :mod:`repro.agents.failure_scenario`)."""
+        dispatch = {
+            Maneuver.TIE_N: self._tie_normal,
+            Maneuver.TIE: self._tie,
+            Maneuver.TIE_E: self._tie_escorted,
+            Maneuver.GS: self._gentle_stop,
+            Maneuver.CS: self._crash_stop,
+            Maneuver.AS: self._aided_stop,
+        }
+        return dispatch[maneuver](vehicle_id)
+
+    def run_to_completion(
+        self, maneuver: Maneuver, vehicle_id: str
+    ) -> ManeuverOutcome:
+        """Execute one maneuver and run the simulation until it finishes."""
+        env = self.highway.env
+        self.highway.start()
+        process = env.process(self.procedure(maneuver, vehicle_id))
+        start = env.now
+        try:
+            phases = env.run(until=process)
+            return ManeuverOutcome(
+                maneuver=maneuver,
+                vehicle_id=vehicle_id,
+                duration=env.now - start,
+                success=True,
+                phase_durations=phases or {},
+            )
+        except TimeoutError:
+            return ManeuverOutcome(
+                maneuver=maneuver,
+                vehicle_id=vehicle_id,
+                duration=env.now - start,
+                success=False,
+            )
+
+    # ------------------------------------------------------------------
+    # shared building blocks
+    # ------------------------------------------------------------------
+    def _receive_or_timeout(self, endpoint: str):
+        """Wait for the next frame at ``endpoint``; None on timeout.
+
+        A timed-out wait is withdrawn from the mailbox so it cannot
+        swallow a later retransmission.
+        """
+        env = self.highway.env
+        bus = self.highway.bus
+        get_event = bus.receive(endpoint)
+        timer = env.timeout(HANDSHAKE_TIMEOUT)
+        yield AnyOf(env, [get_event, timer])
+        if get_event.processed:
+            return get_event.value
+        bus.cancel_receive(endpoint, get_event)
+        return None
+
+    def _handshake(self, vehicle_id: str, parties: list[str]):
+        """Request/grant exchange with each coordinating party.
+
+        Frames may be lost (the bus models the ad-hoc wireless channel);
+        the faulty vehicle retransmits after a timeout.  A party that
+        stays unreachable for :data:`HANDSHAKE_RETRIES` rounds makes the
+        coordination — and hence the maneuver — fail, surfacing as a
+        ``TimeoutError`` (the caller reports an unsuccessful maneuver).
+        """
+        env = self.highway.env
+        bus = self.highway.bus
+        for party in parties:
+            if party is None or party == vehicle_id:
+                continue
+            for attempt in range(HANDSHAKE_RETRIES):
+                bus.send(
+                    Message(
+                        vehicle_id, party, "maneuver-request", sent_at=env.now
+                    )
+                )
+                request = yield from self._receive_or_timeout(party)
+                if request is None:
+                    continue  # request lost: retransmit
+                bus.send(
+                    Message(party, vehicle_id, "maneuver-grant", sent_at=env.now)
+                )
+                grant = yield from self._receive_or_timeout(vehicle_id)
+                if grant is not None:
+                    break  # granted
+            else:
+                raise TimeoutError(
+                    f"handshake with {party!r} failed after "
+                    f"{HANDSHAKE_RETRIES} retransmissions"
+                )
+
+    def _settled(self, vehicle_ids: list[str], target_speed: float) -> bool:
+        agents = self.highway.agents
+        return all(
+            abs(agents[v].state.speed - target_speed) <= SPEED_TOLERANCE
+            for v in vehicle_ids
+        )
+
+    def _open_gap_behind(self, vehicle_id: str, gap: float):
+        """Enlarge the follower's spacing target and wait for the platoon
+        to settle at the new geometry (rear settling grows with length)."""
+        highway = self.highway
+        platoon = highway.platoon_of(vehicle_id)
+        if platoon is None:
+            return 0.0
+        successor = platoon.successor_of(vehicle_id)
+        if successor is None:
+            return 0.0
+        highway.agents[successor].gap_target = gap
+        tail = platoon.vehicle_ids[platoon.position_of(vehicle_id) + 1 :]
+        waited = yield from highway.wait_until(
+            lambda: highway.gap_behind(vehicle_id) >= 0.92 * gap
+            and self._settled(tail, HIGHWAY_SPEED)
+        )
+        return waited
+
+    def _leave_platoon(self, vehicle_id: str) -> Optional[str]:
+        """Remove the vehicle from its platoon; reconnect its follower.
+
+        Returns the id of the follower that now closes the gap.
+        """
+        highway = self.highway
+        platoon = highway.platoon_of(vehicle_id)
+        if platoon is None:
+            return None
+        successor = platoon.successor_of(vehicle_id)
+        was_leader = platoon.leader_id == vehicle_id
+        platoon.remove(vehicle_id)
+        if was_leader and platoon.vehicle_ids:
+            # leadership passes to the next vehicle (paper §2: specific
+            # maneuvers select a new leader)
+            highway.agents[platoon.vehicle_ids[0]].mode = ControlMode.CRUISE
+        if successor is not None and successor in platoon.vehicle_ids:
+            highway.agents[successor].gap_target = GAP_INTRA_PLATOON
+        return successor
+
+    def _drive_to_exit(self, vehicle_id: str, speed: float):
+        """Lane-change onto lane 1, drive to the off-ramp, leave the AHS."""
+        highway = self.highway
+        env = highway.env
+        agent = highway.agents[vehicle_id]
+        yield env.timeout(LANE_CHANGE_TIME)
+        agent.state.lane = 1
+        agent.mode = ControlMode.CRUISE
+        agent.cruise.set_speed = speed
+        distance = self.stream.uniform(*EXIT_DISTANCE_RANGE)
+        target = agent.state.position + distance
+        yield from highway.wait_until(
+            lambda: agent.state.position >= target, timeout=600.0
+        )
+        agent.state.lane = 0
+        agent.mode = ControlMode.INACTIVE
+
+    def _close_ranks(self, platoon_name: str):
+        """Wait until a platoon is back at nominal gaps and speed."""
+        highway = self.highway
+        platoon = highway.platoons[platoon_name]
+
+        def formed() -> bool:
+            members = platoon.vehicle_ids
+            if len(members) <= 1:
+                return self._settled(members, HIGHWAY_SPEED)
+            agents = highway.agents
+            for ahead, behind in zip(members, members[1:]):
+                gap = agents[behind].state.gap_to(agents[ahead].state)
+                if gap > 1.6 * GAP_INTRA_PLATOON or gap < 0.0:
+                    return False
+            return self._settled(members, HIGHWAY_SPEED)
+
+        waited = yield from highway.wait_until(formed)
+        return waited
+
+    # ------------------------------------------------------------------
+    # exit maneuvers (Class B / C)
+    # ------------------------------------------------------------------
+    def _tie_normal(self, vehicle_id: str):
+        """TIE-N: unassisted exit; the leader is merely notified."""
+        highway = self.highway
+        env = highway.env
+        phases: dict[str, float] = {}
+        platoon = highway.platoon_of(vehicle_id)
+        leader = platoon.leader_id if platoon else None
+        t0 = env.now
+        yield from self._handshake(vehicle_id, [leader] if leader else [])
+        phases["handshake"] = env.now - t0
+
+        t0 = env.now
+        yield from self._open_gap_behind(vehicle_id, 8.0)
+        phases["gap"] = env.now - t0
+
+        home = platoon.name if platoon else None
+        self._leave_platoon(vehicle_id)
+        t0 = env.now
+        yield from self._drive_to_exit(vehicle_id, EXIT_SPEED)
+        phases["exit"] = env.now - t0
+
+        if home is not None:
+            t0 = env.now
+            yield from self._close_ranks(home)
+            phases["reform"] = env.now - t0
+        return phases
+
+    def _tie(self, vehicle_id: str):
+        """TIE: exit with adjacent-vehicle cooperation (front + behind)."""
+        highway = self.highway
+        env = highway.env
+        phases: dict[str, float] = {}
+        platoon = highway.platoon_of(vehicle_id)
+        parties = []
+        if platoon:
+            parties = [
+                platoon.leader_id,
+                platoon.predecessor_of(vehicle_id),
+                platoon.successor_of(vehicle_id),
+            ]
+        t0 = env.now
+        yield from self._handshake(vehicle_id, [p for p in parties if p])
+        phases["handshake"] = env.now - t0
+
+        t0 = env.now
+        yield from self._open_gap_behind(vehicle_id, 20.0)
+        phases["gap"] = env.now - t0
+
+        home = platoon.name if platoon else None
+        self._leave_platoon(vehicle_id)
+        t0 = env.now
+        yield from self._drive_to_exit(vehicle_id, EXIT_SPEED)
+        phases["exit"] = env.now - t0
+
+        if home is not None:
+            t0 = env.now
+            yield from self._close_ranks(home)
+            phases["reform"] = env.now - t0
+        return phases
+
+    def _tie_escorted(self, vehicle_id: str):
+        """TIE-E: exit escorted by the neighbouring platoon."""
+        highway = self.highway
+        env = highway.env
+        phases: dict[str, float] = {}
+        platoon = highway.platoon_of(vehicle_id)
+        neighbor_leader = None
+        for other in highway.platoons.values():
+            if platoon is not None and other.name != platoon.name and other.vehicle_ids:
+                neighbor_leader = other.leader_id
+                break
+        parties = []
+        if platoon:
+            parties = [
+                platoon.leader_id,
+                platoon.predecessor_of(vehicle_id),
+                platoon.successor_of(vehicle_id),
+                neighbor_leader,
+            ]
+        t0 = env.now
+        yield from self._handshake(vehicle_id, [p for p in parties if p])
+        phases["handshake"] = env.now - t0
+
+        t0 = env.now
+        yield from self._open_gap_behind(vehicle_id, 25.0)
+        phases["gap"] = env.now - t0
+
+        home = platoon.name if platoon else None
+        self._leave_platoon(vehicle_id)
+        t0 = env.now
+        yield from self._drive_to_exit(vehicle_id, ESCORT_SPEED)
+        phases["exit"] = env.now - t0
+
+        if home is not None:
+            t0 = env.now
+            yield from self._close_ranks(home)
+            phases["reform"] = env.now - t0
+        return phases
+
+    # ------------------------------------------------------------------
+    # stop maneuvers (Class A) with the incident procedure
+    # ------------------------------------------------------------------
+    def _stop_with_incident_procedure(
+        self, vehicle_id: str, deceleration: float, aided: bool
+    ):
+        highway = self.highway
+        env = highway.env
+        phases: dict[str, float] = {}
+        platoon = highway.platoon_of(vehicle_id)
+        leader = platoon.leader_id if platoon else None
+
+        t0 = env.now
+        yield from self._handshake(vehicle_id, [leader] if leader else [])
+        phases["handshake"] = env.now - t0
+
+        # detach the tail before anyone brakes hard
+        tail_ids: list[str] = []
+        home = platoon.name if platoon else None
+        if platoon is not None:
+            tail_ids = platoon.split_behind(vehicle_id)
+
+        assistant: Optional[str] = None
+        if aided and platoon is not None:
+            assistant = platoon.predecessor_of(vehicle_id)
+
+        # faulty (and assistant, for AS) brake to a stop
+        faulty = highway.agents[vehicle_id]
+        if platoon is not None:
+            platoon.remove(vehicle_id)
+        faulty.start_braking(deceleration)
+        if assistant is not None:
+            platoon.remove(assistant)
+            highway.agents[assistant].start_braking(deceleration)
+
+        # the tail becomes its own platoon, overtakes on lane 1, re-forms
+        tail_name = None
+        if tail_ids:
+            tail_name = f"{home}.tail{int(env.now * 10)}"
+            tail = highway.platoons.setdefault(
+                tail_name,
+                type(platoon)(tail_name, lane=1, vehicle_ids=list(tail_ids)),
+            )
+            tail_leader = highway.agents[tail_ids[0]]
+            yield env.timeout(LANE_CHANGE_TIME)
+            for member in tail_ids:
+                highway.agents[member].state.lane = 1
+            tail_leader.mode = ControlMode.CRUISE
+            tail_leader.cruise.set_speed = HIGHWAY_SPEED
+
+        t0 = env.now
+        yield from highway.wait_until(lambda: faulty.state.stopped)
+        if assistant is not None:
+            helper = highway.agents[assistant]
+            yield from highway.wait_until(lambda: helper.state.stopped)
+            helper.mode = ControlMode.INACTIVE
+        faulty.mode = ControlMode.INACTIVE
+        phases["stop"] = env.now - t0
+
+        # incident clearance: divert traffic, assist, clear the lane
+        t0 = env.now
+        clearance = self.stream.uniform(*CLEARANCE_TIME_RANGE)
+        if aided:
+            clearance += AIDED_CLEARANCE_EXTRA
+        yield env.timeout(clearance)
+        phases["clearance"] = env.now - t0
+
+        if tail_name is not None:
+            tail = highway.platoons[tail_name]
+            tail_leader = highway.agents[tail.vehicle_ids[0]]
+            # pass the stopped vehicle with a safety margin
+            t0 = env.now
+            yield from highway.wait_until(
+                lambda: highway.agents[tail.vehicle_ids[-1]].state.position
+                > faulty.state.position + 60.0
+            )
+            yield env.timeout(LANE_CHANGE_TIME)
+            for member in tail.vehicle_ids:
+                highway.agents[member].state.lane = 2
+            phases["overtake"] = env.now - t0
+
+            # catch up with the front part (if any) and re-form
+            t0 = env.now
+            front = highway.platoons.get(home) if home else None
+            if front is not None and front.vehicle_ids:
+                front_tail = highway.agents[front.vehicle_ids[-1]]
+                tail_leader.cruise.set_speed = CATCH_UP_SPEED
+                yield from highway.wait_until(
+                    lambda: tail_leader.state.gap_to(front_tail.state)
+                    <= GAP_INTER_PLATOON
+                )
+                tail_leader.cruise.set_speed = HIGHWAY_SPEED
+            yield from self._close_ranks(tail_name)
+            phases["reform"] = env.now - t0
+        return phases
+
+    def _gentle_stop(self, vehicle_id: str):
+        """GS: smooth braking to a stop on the highway."""
+        return (
+            yield from self._stop_with_incident_procedure(
+                vehicle_id, deceleration=2.0, aided=False
+            )
+        )
+
+    def _crash_stop(self, vehicle_id: str):
+        """CS: maximum emergency braking."""
+        return (
+            yield from self._stop_with_incident_procedure(
+                vehicle_id, deceleration=7.5, aided=False
+            )
+        )
+
+    def _aided_stop(self, vehicle_id: str):
+        """AS: stopped by the vehicle immediately ahead."""
+        return (
+            yield from self._stop_with_incident_procedure(
+                vehicle_id, deceleration=1.5, aided=True
+            )
+        )

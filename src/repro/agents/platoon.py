@@ -1,0 +1,90 @@
+"""Platoon membership and geometry for the kinematic substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.controllers import GAP_INTRA_PLATOON
+from repro.agents.kinematics import VEHICLE_LENGTH, VehicleState
+
+__all__ = ["KinematicPlatoon"]
+
+
+@dataclass
+class KinematicPlatoon:
+    """An ordered platoon of vehicle ids, leader first.
+
+    The container tracks ordering only; vehicle states live with their
+    :class:`~repro.agents.vehicle_agent.VehicleAgent`.
+    """
+
+    name: str
+    lane: int
+    vehicle_ids: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def leader_id(self) -> Optional[str]:
+        """Id of the platoon leader (None for an empty platoon)."""
+        return self.vehicle_ids[0] if self.vehicle_ids else None
+
+    @property
+    def size(self) -> int:
+        """Number of member vehicles."""
+        return len(self.vehicle_ids)
+
+    def is_free_agent(self) -> bool:
+        """A platoon of exactly one vehicle is a free agent (paper §2)."""
+        return self.size == 1
+
+    def position_of(self, vehicle_id: str) -> int:
+        """Index of a member (0 = leader)."""
+        try:
+            return self.vehicle_ids.index(vehicle_id)
+        except ValueError:
+            raise KeyError(f"{vehicle_id!r} is not in platoon {self.name!r}")
+
+    def predecessor_of(self, vehicle_id: str) -> Optional[str]:
+        """The member immediately ahead (None for the leader)."""
+        index = self.position_of(vehicle_id)
+        return self.vehicle_ids[index - 1] if index > 0 else None
+
+    def successor_of(self, vehicle_id: str) -> Optional[str]:
+        """The member immediately behind (None for the tail)."""
+        index = self.position_of(vehicle_id)
+        if index + 1 < len(self.vehicle_ids):
+            return self.vehicle_ids[index + 1]
+        return None
+
+    # ------------------------------------------------------------------
+    def append(self, vehicle_id: str) -> None:
+        """Add a vehicle at the tail (paper: joiners take the last position)."""
+        if vehicle_id in self.vehicle_ids:
+            raise ValueError(f"{vehicle_id!r} already in platoon {self.name!r}")
+        self.vehicle_ids.append(vehicle_id)
+
+    def remove(self, vehicle_id: str) -> None:
+        """Remove a member (leadership passes to the next vehicle)."""
+        self.position_of(vehicle_id)  # raises if absent
+        self.vehicle_ids.remove(vehicle_id)
+
+    def split_behind(self, vehicle_id: str) -> list[str]:
+        """Detach and return every member behind ``vehicle_id``."""
+        index = self.position_of(vehicle_id)
+        tail = self.vehicle_ids[index + 1 :]
+        del self.vehicle_ids[index + 1 :]
+        return tail
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def slot_position(leader: VehicleState, index: int) -> float:
+        """Nominal front-bumper position of the member at ``index``."""
+        pitch = VEHICLE_LENGTH + GAP_INTRA_PLATOON
+        return leader.position - index * pitch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KinematicPlatoon({self.name!r}, lane={self.lane}, "
+            f"members={self.vehicle_ids})"
+        )

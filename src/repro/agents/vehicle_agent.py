@@ -1,0 +1,82 @@
+"""A platooned vehicle: state + active control mode."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agents.controllers import (
+    BrakeToStopController,
+    ConstantSpacingController,
+    GAP_INTRA_PLATOON,
+    LeaderCruiseController,
+)
+from repro.agents.kinematics import HIGHWAY_SPEED, VehicleState
+
+__all__ = ["ControlMode", "VehicleAgent"]
+
+
+class ControlMode(enum.Enum):
+    """What the longitudinal controller is currently doing."""
+
+    #: leader / free agent holding the highway speed
+    CRUISE = "cruise"
+    #: follower tracking its predecessor at the platoon gap
+    FOLLOW = "follow"
+    #: braking to a stop (gentle or emergency profile)
+    BRAKE = "brake"
+    #: off the highway / parked; no commands issued
+    INACTIVE = "inactive"
+
+
+@dataclass
+class VehicleAgent:
+    """One vehicle of the kinematic substrate.
+
+    The agent is deliberately passive: the :class:`~repro.agents.highway.
+    Highway` tick integrates every agent each control period, and the
+    :class:`~repro.agents.maneuver_exec.ManeuverExecutor` mutates modes and
+    gap targets to realise maneuvers.
+    """
+
+    vehicle_id: str
+    state: VehicleState
+    mode: ControlMode = ControlMode.FOLLOW
+    #: current spacing target (enlarged during gap-opening phases)
+    gap_target: float = GAP_INTRA_PLATOON
+    cruise: LeaderCruiseController = field(
+        default_factory=lambda: LeaderCruiseController(HIGHWAY_SPEED)
+    )
+    spacing: ConstantSpacingController = field(
+        default_factory=ConstantSpacingController
+    )
+    brake: Optional[BrakeToStopController] = None
+    #: set when the vehicle suffered a failure (diagnostics)
+    failed: bool = False
+
+    def command(self, predecessor: Optional[VehicleState]) -> float:
+        """Acceleration command for the current control period."""
+        if self.mode is ControlMode.INACTIVE:
+            return 0.0
+        if self.mode is ControlMode.BRAKE:
+            if self.brake is None:
+                raise RuntimeError(
+                    f"{self.vehicle_id}: BRAKE mode without a brake controller"
+                )
+            return self.brake.command(self.state)
+        if self.mode is ControlMode.FOLLOW and predecessor is not None:
+            self.spacing.gap_target = self.gap_target
+            return self.spacing.command(self.state, predecessor)
+        return self.cruise.command(self.state)
+
+    def start_braking(self, deceleration: float) -> None:
+        """Switch to a braking profile."""
+        self.brake = BrakeToStopController(deceleration)
+        self.mode = ControlMode.BRAKE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VehicleAgent({self.vehicle_id!r}, mode={self.mode.value}, "
+            f"x={self.state.position:.1f}, v={self.state.speed:.1f})"
+        )

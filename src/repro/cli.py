@@ -1,0 +1,382 @@
+"""Command-line interface.
+
+Examples
+--------
+``repro-cli list``                      — all reproducible artifacts
+``repro-cli figure 14``                 — regenerate Figure 14
+``repro-cli table 2``                   — print Table 2 (from the model)
+``repro-cli unsafety --n 12 --lam 1e-4 --times 2,6,10 --method analytical``
+``repro-cli calibrate``                 — kinematic maneuver durations
+``repro-cli all``                       — every table and figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description=(
+            "Safety modeling and evaluation of Automated Highway Systems "
+            "(DSN 2009 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables and figures")
+
+    fig = sub.add_parser("figure", help="regenerate one figure (10-15)")
+    fig.add_argument("number", help="figure number, e.g. 14")
+    fig.add_argument("--fast", action="store_true", help="trimmed sweep")
+    fig.add_argument(
+        "--plot", action="store_true", help="also draw an ASCII chart"
+    )
+    fig.add_argument(
+        "--json", dest="json_path", default=None, help="save a JSON artifact"
+    )
+
+    tab = sub.add_parser("table", help="print one table (1-3)")
+    tab.add_argument("number", help="table number, e.g. 2")
+
+    alle = sub.add_parser("all", help="run every table and figure")
+    alle.add_argument("--fast", action="store_true", help="trimmed sweeps")
+
+    uns = sub.add_parser("unsafety", help="evaluate S(t) for custom parameters")
+    uns.add_argument("--n", type=int, default=10, help="max platoon size")
+    uns.add_argument("--lam", type=float, default=1e-5, help="base failure rate (1/hr)")
+    uns.add_argument("--join", type=float, default=12.0, help="join rate (1/hr)")
+    uns.add_argument("--leave", type=float, default=4.0, help="leave rate (1/hr)")
+    uns.add_argument(
+        "--strategy", default="DD", choices=["DD", "DC", "CD", "CC"]
+    )
+    uns.add_argument(
+        "--times", default="2,4,6,8,10", help="comma-separated trip hours"
+    )
+    uns.add_argument(
+        "--method",
+        default="analytical",
+        choices=["analytical", "simulation", "importance", "splitting", "approx"],
+    )
+    uns.add_argument("--replications", type=int, default=10_000)
+    uns.add_argument("--seed", type=int, default=None)
+
+    cal = sub.add_parser(
+        "calibrate", help="measure kinematic maneuver durations (repro.agents)"
+    )
+    cal.add_argument(
+        "--sizes", default="4,8,12", help="comma-separated platoon sizes"
+    )
+    cal.add_argument("--repetitions", type=int, default=4)
+    cal.add_argument("--seed", type=int, default=2009)
+
+    sens = sub.add_parser(
+        "sensitivity", help="tornado (elasticity) analysis of S(t)"
+    )
+    sens.add_argument("--time", type=float, default=6.0, help="trip hours")
+    sens.add_argument("--delta", type=float, default=0.25)
+    sens.add_argument("--n", type=int, default=10)
+    sens.add_argument("--lam", type=float, default=1e-5)
+
+    mttu = sub.add_parser(
+        "mttu", help="mean time to unsafety + hazard rate"
+    )
+    mttu.add_argument("--n", type=int, default=10)
+    mttu.add_argument("--lam", type=float, default=1e-5)
+    mttu.add_argument(
+        "--strategy", default="DD", choices=["DD", "DC", "CD", "CC"]
+    )
+
+    multi = sub.add_parser(
+        "platoons", help="extension: unsafety vs number of platoons"
+    )
+    multi.add_argument(
+        "--counts", default="2,3,4,6", help="comma-separated platoon counts"
+    )
+    multi.add_argument("--time", type=float, default=6.0)
+    multi.add_argument("--n", type=int, default=10)
+    multi.add_argument("--lam", type=float, default=1e-5)
+
+    verify = sub.add_parser(
+        "verify", help="recompute every figure and check the paper's claims"
+    )
+    verify.add_argument(
+        "--figure", default=None, help="restrict to one figure, e.g. 14"
+    )
+
+    design = sub.add_parser(
+        "design", help="answer the paper's design questions for a budget"
+    )
+    design.add_argument(
+        "--budget", type=float, default=1e-6, help="unsafety budget"
+    )
+    design.add_argument("--time", type=float, default=6.0, help="trip hours")
+    design.add_argument("--lam", type=float, default=1e-5)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import list_experiments
+
+    for experiment in list_experiments():
+        print(f"{experiment.experiment_id:10s}  {experiment.description}")
+        print(f"{'':10s}  parameters: {experiment.parameters}")
+    return 0
+
+
+def _cmd_experiment(
+    kind: str,
+    number: str,
+    fast: bool,
+    plot: bool = False,
+    json_path: Optional[str] = None,
+) -> int:
+    from repro.experiments import run_experiment
+
+    outcome = run_experiment(f"{kind}{number}", fast=fast)
+    print(outcome.rendered)
+    if plot:
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import format_ascii_chart
+
+        if isinstance(outcome.result, FigureResult):
+            print()
+            print(format_ascii_chart(outcome.result))
+    if json_path:
+        from repro.experiments.runner import save_outcome
+
+        saved = save_outcome(outcome, json_path)
+        print(f"[saved {saved}]")
+    print(f"[{outcome.experiment_id} in {outcome.elapsed_seconds:.2f}s]")
+    return 0
+
+
+def _cmd_all(fast: bool) -> int:
+    from repro.experiments import list_experiments, run_experiment
+
+    for experiment in list_experiments():
+        outcome = run_experiment(experiment.experiment_id, fast=fast)
+        print(outcome.rendered)
+        print(f"[{outcome.experiment_id} in {outcome.elapsed_seconds:.2f}s]")
+        print()
+    return 0
+
+
+def _cmd_unsafety(args) -> int:
+    from repro.core import AHSParameters, Strategy, unsafety
+
+    params = AHSParameters(
+        max_platoon_size=args.n,
+        base_failure_rate=args.lam,
+        join_rate=args.join,
+        leave_rate=args.leave,
+        strategy=Strategy(args.strategy),
+    )
+    times = [float(t) for t in args.times.split(",")]
+    estimate = unsafety(
+        params,
+        times,
+        method=args.method,
+        n_replications=args.replications,
+        seed=args.seed,
+    )
+    print(f"method={estimate.method}  params={params.summary()}")
+    for t, value, half in zip(
+        estimate.times, estimate.values, estimate.half_widths
+    ):
+        suffix = f"  (+/- {half:.2e})" if half > 0 else ""
+        print(f"  S({t:g}h) = {value:.6e}{suffix}")
+    if estimate.truncation_error:
+        print(f"  truncation error bound: {estimate.truncation_error:.2e}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.agents import calibrate_maneuver_durations
+    from repro.core.maneuvers import Maneuver
+    from repro.experiments.report import format_table
+
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    report = calibrate_maneuver_durations(
+        platoon_sizes=sizes, repetitions=args.repetitions, seed=args.seed
+    )
+    print(format_table(report.summary_rows(), title="kinematic maneuver durations"))
+    print()
+    for maneuver in Maneuver:
+        try:
+            kappa = report.fitted_duration_scaling(maneuver)
+            print(f"duration_scaling fit for {maneuver.value}: {kappa:.3f}")
+        except ValueError:
+            pass
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.core import AHSParameters
+    from repro.experiments.report import format_table
+    from repro.experiments.sensitivity import tornado
+
+    params = AHSParameters(max_platoon_size=args.n, base_failure_rate=args.lam)
+    rows = tornado(params, time=args.time, delta=args.delta)
+    print(
+        format_table(
+            [
+                {
+                    "parameter": row.parameter,
+                    "elasticity": row.elasticity,
+                    "S_minus": row.s_low,
+                    "S_plus": row.s_high,
+                    "meaning": row.meaning,
+                }
+                for row in rows
+            ],
+            title=f"tornado: d log S({args.time:g}h) / d log theta",
+        )
+    )
+    return 0
+
+
+def _cmd_mttu(args) -> int:
+    from repro.core import (
+        AHSParameters,
+        Strategy,
+        mean_time_to_unsafety,
+        unsafety_hazard,
+    )
+
+    params = AHSParameters(
+        max_platoon_size=args.n,
+        base_failure_rate=args.lam,
+        strategy=Strategy(args.strategy),
+    )
+    mttu = mean_time_to_unsafety(params)
+    hazard = unsafety_hazard(params, 6.0)
+    print(f"params: {params.summary()}")
+    print(f"mean time to unsafety : {mttu:.4e} hours ({mttu / 8760:.1f} years)")
+    print(f"hazard rate at t=6h   : {hazard:.4e} /hr")
+    return 0
+
+
+def _cmd_platoons(args) -> int:
+    from repro.core import AHSParameters, MultiPlatoonEngine
+
+    params = AHSParameters(max_platoon_size=args.n, base_failure_rate=args.lam)
+    counts = [int(c) for c in args.counts.split(",")]
+    print(
+        f"unsafety vs number of platoons (paper §5 extension), "
+        f"t={args.time:g}h, n={args.n}, lambda={args.lam:g}"
+    )
+    for count in counts:
+        engine = MultiPlatoonEngine(params, count)
+        result = engine.unsafety([args.time])
+        print(
+            f"  m={count:2d}: S={result.unsafety[0]:.4e}  "
+            f"(occ/platoon={engine.occupancy_per_platoon:.2f}, "
+            f"states={result.n_states})"
+        )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.experiments.claims import verify_all, verify_figure
+
+    if args.figure:
+        key = args.figure if args.figure.startswith("figure") else f"figure{args.figure}"
+        verdicts = verify_figure(key)
+    else:
+        verdicts = verify_all()
+    failures = 0
+    current = None
+    for verdict in verdicts:
+        if verdict.experiment_id != current:
+            current = verdict.experiment_id
+            print(f"{current}:")
+        mark = "PASS" if verdict.holds else "FAIL"
+        print(f"  [{mark}] {verdict.claim}")
+        print(f"         {verdict.evidence}")
+        failures += 0 if verdict.holds else 1
+    total = len(verdicts)
+    print(f"\n{total - failures}/{total} paper claims reproduced")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_design(args) -> int:
+    from repro.core import AHSParameters
+    from repro.core.design import (
+        best_strategy,
+        max_platoon_size_for,
+        max_trip_duration,
+    )
+
+    params = AHSParameters(base_failure_rate=args.lam)
+    print(
+        f"design answers for budget S <= {args.budget:g} at "
+        f"t = {args.time:g}h (lambda = {args.lam:g}/hr)"
+    )
+    n = max_platoon_size_for(params, args.budget, args.time)
+    print(f"1) optimal (largest admissible) platoon size: "
+          f"{n if n is not None else 'none — budget unreachable'}")
+    duration = max_trip_duration(params, args.budget)
+    if duration is None:
+        print("2) maximum trip duration: none — budget unreachable")
+    else:
+        print(f"2) maximum trip duration: {duration:.2f} h")
+    winner, values = best_strategy(params, args.time)
+    ranking = ", ".join(
+        f"{s.value}={v:.2e}" for s, v in sorted(values.items(), key=lambda kv: kv[1])
+    )
+    print(f"3) most suitable coordination strategy: {winner.value} ({ranking})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_experiment(
+            "figure", args.number, args.fast, args.plot, args.json_path
+        )
+    if args.command == "table":
+        return _cmd_experiment("table", args.number, False)
+    if args.command == "all":
+        return _cmd_all(args.fast)
+    if args.command == "unsafety":
+        return _cmd_unsafety(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    if args.command == "mttu":
+        return _cmd_mttu(args)
+    if args.command == "platoons":
+        return _cmd_platoons(args)
+    if args.command == "design":
+        return _cmd_design(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""The paper's primary contribution: compositional AHS safety models.
+
+Domain layer (paper §2): failure modes, maneuvers with priority /
+escalation, catastrophic situations, coordination strategies.
+
+Model layer (paper §3): the One_vehicle / Severity / Dynamicity /
+Configuration SAN submodels and their Rep/Join composition, plus a lumped
+analytical engine and a closed-form approximation.
+
+Measure (paper §4): ``unsafety(params, times, method=...)``.
+"""
+
+from repro.core.failure_modes import (
+    FAILURE_MODES,
+    FailureMode,
+    SeverityClass,
+    RATE_MULTIPLIERS,
+    total_rate_multiplier,
+)
+from repro.core.maneuvers import (
+    DEFAULT_MANEUVER_RATES,
+    ESCALATION_LADDER,
+    Maneuver,
+    escalate_request,
+    maneuver_for_failure_mode,
+    next_on_failure,
+)
+from repro.core.severity import (
+    CATASTROPHIC_SITUATIONS,
+    SeverityCounts,
+    catastrophic_situation,
+)
+from repro.core.coordination import (
+    CoordinationModel,
+    Strategy,
+    assistants,
+    scope_is_global,
+)
+from repro.core.parameters import AHSParameters
+from repro.core.composed import ComposedAHS, build_composed_model, build_one_vehicle_model
+from repro.core.analytical import (
+    AnalyticalEngine,
+    AnalyticalResult,
+    FailureLevelChain,
+    OccupancyChain,
+)
+from repro.core.approximation import OverlapApproximation
+from repro.core.measures import (
+    UNSAFETY_METHODS,
+    expected_degraded_vehicle_hours,
+    mean_time_to_unsafety,
+    unsafety,
+    unsafety_hazard,
+)
+from repro.core.multiplatoon import (
+    MultiPlatoonEngine,
+    MultiPlatoonResult,
+    mean_field_occupancy,
+)
+from repro.core.design import (
+    DesignPoint,
+    best_strategy,
+    design_frontier,
+    max_platoon_size_for,
+    max_trip_duration,
+)
+from repro.core.nonmarkov import (
+    DURATION_FAMILIES,
+    build_nonmarkov_model,
+    duration_distribution,
+    markov_assumption_gap,
+)
+
+__all__ = [
+    "FAILURE_MODES",
+    "FailureMode",
+    "SeverityClass",
+    "RATE_MULTIPLIERS",
+    "total_rate_multiplier",
+    "DEFAULT_MANEUVER_RATES",
+    "ESCALATION_LADDER",
+    "Maneuver",
+    "escalate_request",
+    "maneuver_for_failure_mode",
+    "next_on_failure",
+    "CATASTROPHIC_SITUATIONS",
+    "SeverityCounts",
+    "catastrophic_situation",
+    "CoordinationModel",
+    "Strategy",
+    "assistants",
+    "scope_is_global",
+    "AHSParameters",
+    "ComposedAHS",
+    "build_composed_model",
+    "build_one_vehicle_model",
+    "AnalyticalEngine",
+    "AnalyticalResult",
+    "FailureLevelChain",
+    "OccupancyChain",
+    "OverlapApproximation",
+    "UNSAFETY_METHODS",
+    "unsafety",
+    "mean_time_to_unsafety",
+    "unsafety_hazard",
+    "expected_degraded_vehicle_hours",
+    "MultiPlatoonEngine",
+    "MultiPlatoonResult",
+    "mean_field_occupancy",
+    "DURATION_FAMILIES",
+    "build_nonmarkov_model",
+    "duration_distribution",
+    "markov_assumption_gap",
+    "DesignPoint",
+    "best_strategy",
+    "design_frontier",
+    "max_platoon_size_for",
+    "max_trip_duration",
+]

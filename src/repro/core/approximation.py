@@ -1,0 +1,92 @@
+"""Closed-form first-order approximation of the unsafety.
+
+At realistic failure rates the unsafety is dominated by the **ST1 path**:
+one Class-A maneuver is active, and a second failure arrives in its
+coordination scope before it completes — the request-escalation rule then
+activates a second Class-A maneuver and Table 2's ST1 fires.  Treating the
+class-A activations as a Poisson stream and ignoring higher-order terms:
+
+``S(t) ≈ Λ_A · E[overlap] · t``
+
+with ``Λ_A`` the system-wide class-A activation rate and ``E[overlap]``
+the probability that another (escalating) failure lands in scope during
+the maneuver's mean duration.  This is a sanity oracle for the numerical
+engine — the integration tests require agreement within a small factor —
+and an instant estimate for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.analytical import OccupancyChain
+from repro.core.coordination import scope_is_global
+from repro.core.failure_modes import FAILURE_MODES
+from repro.core.maneuvers import Maneuver, maneuver_for_failure_mode
+from repro.core.parameters import AHSParameters
+
+__all__ = ["OverlapApproximation"]
+
+
+class OverlapApproximation:
+    """First-order (ST1-only) unsafety estimate."""
+
+    def __init__(self, params: AHSParameters) -> None:
+        self.params = params
+        occ1, occ2, transit = OccupancyChain(params).expected_occupancies()
+        self.occ1 = occ1 + transit
+        self.occ2 = occ2
+
+    # ------------------------------------------------------------------
+    def _class_a_rate_per_vehicle(self) -> float:
+        """Direct class-A failure intensity of one vehicle (FM1–FM3)."""
+        return sum(
+            self.params.failure_mode_rate(fm)
+            for fm in FAILURE_MODES
+            if fm.severity.letter == "A"
+        )
+
+    def _any_rate_per_vehicle(self) -> float:
+        """Total failure intensity of one vehicle."""
+        return self.params.total_failure_rate()
+
+    def _mean_class_a_duration(self, occupancy: float) -> float:
+        """Mean duration of a class-A maneuver, weighted by FM rates."""
+        weights = []
+        durations = []
+        for fm in FAILURE_MODES:
+            maneuver = maneuver_for_failure_mode(fm)
+            if maneuver.severity.letter != "A":
+                continue
+            weights.append(self.params.failure_mode_rate(fm))
+            durations.append(1.0 / self.params.maneuver_rate(maneuver, occupancy))
+        return float(np.average(durations, weights=weights))
+
+    def unsafety(self, times: Sequence[float]) -> np.ndarray:
+        """Approximate S(t) at the requested times."""
+        times_arr = np.asarray(list(times), dtype=float)
+        if (times_arr < 0).any():
+            raise ValueError("times must be non-negative")
+        params = self.params
+        occ = (self.occ1, self.occ2)
+        lam_a = self._class_a_rate_per_vehicle()
+        lam_any = self._any_rate_per_vehicle()
+
+        rate_to_ko = 0.0
+        for platoon in (0, 1):
+            # class-A activations in this platoon
+            activations = lam_a * occ[platoon]
+            duration = self._mean_class_a_duration(max(occ[platoon], 1.0))
+            if scope_is_global(params.strategy):
+                # any failure anywhere escalates to class A while the SAP
+                # is handling a class-A maneuver
+                escalating = lam_any * (occ[0] + occ[1])
+            else:
+                # failures in the same platoon escalate; direct class-A
+                # failures elsewhere also complete the pair
+                escalating = lam_any * occ[platoon] + lam_a * occ[1 - platoon]
+            rate_to_ko += activations * escalating * duration
+        return 1.0 - np.exp(-rate_to_ko * times_arr)

@@ -1,0 +1,106 @@
+"""The composed AHS model (paper §3.2.5, Fig. 9).
+
+``join(Severity, Rep(One_vehicle, 2n))`` — the One_vehicle submodel
+(failure modes + maneuvers + per-vehicle dynamicity + configuration seat
+claim) is replicated 2n times with the shared places of
+:class:`~repro.core.configuration_model.SharedPlaces` common to all
+replicas, then joined with the Severity watcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.configuration_model import (
+    SharedPlaces,
+    VehiclePlaces,
+    build_configure_activity,
+)
+from repro.core.dynamicity_model import build_movement_activities
+from repro.core.parameters import AHSParameters
+from repro.core.severity_model import build_severity_model
+from repro.core.vehicle_model import (
+    build_failure_activities,
+    build_maneuver_activities,
+)
+from repro.san import SANModel, join, replicate, validate_model
+from repro.san.marking import Marking
+
+__all__ = ["ComposedAHS", "build_one_vehicle_model", "build_composed_model"]
+
+
+def build_one_vehicle_model(
+    shared: SharedPlaces, params: AHSParameters
+) -> SANModel:
+    """One_vehicle: behaviour of a single (as yet anonymous) vehicle."""
+    vehicle = VehiclePlaces()
+    model = SANModel("One_vehicle")
+    model.add_places(shared.all_places())
+    model.add_places(vehicle.all_places())
+    model.add_activity(build_configure_activity(shared, vehicle))
+    for activity in build_failure_activities(shared, vehicle, params):
+        model.add_activity(activity)
+    for activity in build_maneuver_activities(shared, vehicle, params):
+        model.add_activity(activity)
+    for activity in build_movement_activities(shared, vehicle, params):
+        model.add_activity(activity)
+    return model
+
+
+@dataclass
+class ComposedAHS:
+    """The flattened composed model plus the handles experiments need."""
+
+    model: SANModel
+    shared: SharedPlaces
+    params: AHSParameters
+
+    def unsafe_predicate(self) -> Callable[[Marking], bool]:
+        """Stop/measure predicate: ``KO_total`` marked."""
+        ko = self.shared.ko_total
+        return lambda marking: marking.get(ko) >= 1
+
+    def severity_level(self) -> Callable[[Marking], float]:
+        """Importance function for multilevel splitting.
+
+        Counts concurrently active failures, weighting Class A twice (it
+        is the gateway to ST1/ST2), and tops out on ``KO_total`` so the
+        top splitting level coincides with the rare event.
+        """
+        shared = self.shared
+
+        def level(marking: Marking) -> float:
+            if marking.get(shared.ko_total) >= 1:
+                return 1000.0
+            return (
+                2.0 * marking.get(shared.class_a)
+                + marking.get(shared.class_b)
+                + marking.get(shared.class_c)
+            )
+
+        return level
+
+    def failure_activity_names(self) -> list[str]:
+        """Names of all L_i replicas (the importance-sampling bias set)."""
+        return [
+            activity.name
+            for activity in self.model.timed_activities
+            if activity.name.startswith("L_FM")
+        ]
+
+
+def build_composed_model(
+    params: AHSParameters, validate: bool = True
+) -> ComposedAHS:
+    """Build and (optionally) validate the full 2n-vehicle composed SAN."""
+    shared = SharedPlaces(params)
+    one_vehicle = build_one_vehicle_model(shared, params)
+    replicas = replicate(
+        one_vehicle, params.total_vehicles, shared=shared.all_places()
+    )
+    severity = build_severity_model(shared)
+    composed = join("AHS", [severity, *replicas])
+    if validate:
+        validate_model(composed)
+    return ComposedAHS(model=composed, shared=shared, params=params)

@@ -1,0 +1,198 @@
+"""Shared state variables and the Configuration submodel (paper Fig. 8).
+
+The Configuration submodel initialises the replicated ``One_vehicle``
+submodels: the paper assigns each replica a vehicle id through the shared
+places ``start_id``/``int_id``/``ext_id`` and marks ``IN`` so the
+Dynamicity submodel seats the vehicle in a platoon.  Here the same effect
+is achieved with two shared seat-budget places (``init_p1``, ``init_p2``,
+each starting with n tokens) and a per-vehicle instantaneous ``configure``
+activity that claims a seat at time zero — so the model starts, as in the
+paper, with n vehicles in each platoon, and the whole composition still
+uses the plain Rep operator on one identical submodel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.maneuvers import Maneuver
+from repro.core.parameters import AHSParameters
+from repro.san import Case, InputGate, InstantaneousActivity, OutputGate, Place
+
+__all__ = ["SharedPlaces", "build_configure_activity"]
+
+
+@dataclass
+class SharedPlaces:
+    """Places shared by every submodel of the composed AHS model.
+
+    Mirrors the shared state of the paper's composed model (Fig. 4/9):
+    platoon occupancies (the paper's ``platoon1``/``platoon2`` arrays,
+    reduced to counts — see DESIGN.md), the severity-class places of the
+    Severity submodel, the ``KO_total`` unsafe flag, and the per-maneuver
+    activity counters that implement maneuver-priority coordination.
+    """
+
+    params: AHSParameters
+    #: members of platoon 1 / 2 (vehicles mid-maneuver included)
+    occ1: Place = field(init=False)
+    occ2: Place = field(init=False)
+    #: platoon-2 leavers transiting through platoon 1
+    transit: Place = field(init=False)
+    #: unsafe absorbing flag (paper: KO_total)
+    ko_total: Place = field(init=False)
+    #: severity-class counters (paper: class_A, class_B, class_C)
+    class_a: Place = field(init=False)
+    class_b: Place = field(init=False)
+    class_c: Place = field(init=False)
+    #: active-maneuver counters per (maneuver, platoon)
+    act: dict[tuple[Maneuver, int], Place] = field(init=False)
+    #: initial seat budgets consumed by the configure activities
+    init_p1: Place = field(init=False)
+    init_p2: Place = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.params.max_platoon_size
+        self.occ1 = Place("occ1", 0)
+        self.occ2 = Place("occ2", 0)
+        self.transit = Place("transit", 0)
+        self.ko_total = Place("KO_total", 0)
+        self.class_a = Place("class_A", 0)
+        self.class_b = Place("class_B", 0)
+        self.class_c = Place("class_C", 0)
+        self.act = {
+            (maneuver, platoon): Place(f"act_{maneuver.name}_{platoon}", 0)
+            for maneuver in Maneuver
+            for platoon in (1, 2)
+        }
+        self.init_p1 = Place("init_p1", n)
+        self.init_p2 = Place("init_p2", n)
+
+    # ------------------------------------------------------------------
+    def all_places(self) -> list[Place]:
+        """Every shared place (for the Rep operator's shared set)."""
+        return [
+            self.occ1,
+            self.occ2,
+            self.transit,
+            self.ko_total,
+            self.class_a,
+            self.class_b,
+            self.class_c,
+            *self.act.values(),
+            self.init_p1,
+            self.init_p2,
+        ]
+
+    def act_binding(self) -> dict[str, Place]:
+        """Gate-binding entries for the 12 activity counters."""
+        return {
+            f"act_{maneuver.name}_{platoon}": place
+            for (maneuver, platoon), place in self.act.items()
+        }
+
+    def class_place_name(self, maneuver: Maneuver) -> str:
+        """Local binding name of the class counter for a maneuver."""
+        return f"class_{maneuver.severity.letter}"
+
+    def class_binding(self) -> dict[str, Place]:
+        """Gate-binding entries for the three severity-class counters."""
+        return {
+            "class_A": self.class_a,
+            "class_B": self.class_b,
+            "class_C": self.class_c,
+        }
+
+
+@dataclass
+class VehiclePlaces:
+    """Per-vehicle (replicated, non-shared) places of One_vehicle."""
+
+    #: operational flag (1 while the vehicle can fail / move voluntarily)
+    ok: Place = field(default_factory=lambda: Place("ok", 0))
+    #: platoon-membership flags
+    p1: Place = field(default_factory=lambda: Place("p1", 0))
+    p2: Place = field(default_factory=lambda: Place("p2", 0))
+    #: transiting through platoon 1 on the way out
+    in_transit: Place = field(default_factory=lambda: Place("in_transit", 0))
+    #: off the highway (paper: OUT is marked; here per-vehicle)
+    out: Place = field(default_factory=lambda: Place("out", 1))
+    #: waiting for the Configuration submodel (time-zero seat assignment)
+    unconfigured: Place = field(default_factory=lambda: Place("unconfigured", 1))
+    #: maneuver-in-progress flags (paper: SM_i)
+    sm: dict[Maneuver, Place] = field(
+        default_factory=lambda: {
+            maneuver: Place(f"sm_{maneuver.name}", 0) for maneuver in Maneuver
+        }
+    )
+
+    def binding(self) -> dict[str, Place]:
+        """Gate-binding entries for all per-vehicle places."""
+        entries: dict[str, Place] = {
+            "ok": self.ok,
+            "p1": self.p1,
+            "p2": self.p2,
+            "in_transit": self.in_transit,
+            "out": self.out,
+            "unconfigured": self.unconfigured,
+        }
+        for maneuver, place in self.sm.items():
+            entries[f"sm_{maneuver.name}"] = place
+        return entries
+
+    def all_places(self) -> list[Place]:
+        """Every per-vehicle place."""
+        return [
+            self.ok,
+            self.p1,
+            self.p2,
+            self.in_transit,
+            self.out,
+            self.unconfigured,
+            *self.sm.values(),
+        ]
+
+
+def build_configure_activity(
+    shared: SharedPlaces, vehicle: VehiclePlaces
+) -> InstantaneousActivity:
+    """The per-vehicle Configuration activity (paper's ``id_trigger``).
+
+    Fires once at time zero: claims a seat from ``init_p1`` (then
+    ``init_p2``) and seats the vehicle as an operational platoon member.
+    """
+    binding = {
+        **vehicle.binding(),
+        "init_p1": shared.init_p1,
+        "init_p2": shared.init_p2,
+        "occ1": shared.occ1,
+        "occ2": shared.occ2,
+    }
+
+    def predicate(g) -> bool:
+        return (
+            g["unconfigured"] == 1
+            and g["out"] == 1
+            and (g["init_p1"] > 0 or g["init_p2"] > 0)
+        )
+
+    def seat(g) -> None:
+        if g["init_p1"] > 0:
+            g.dec("init_p1")
+            g["p1"] = 1
+            g.inc("occ1")
+        else:
+            g.dec("init_p2")
+            g["p2"] = 1
+            g.inc("occ2")
+        g["out"] = 0
+        g["ok"] = 1
+        g["unconfigured"] = 0
+
+    gate = InputGate("configure_seat", binding, predicate)
+    return InstantaneousActivity(
+        "configure",
+        input_gates=[gate],
+        cases=[Case(1.0, [OutputGate("take_seat", binding, seat)])],
+        priority=100,
+    )

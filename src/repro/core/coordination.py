@@ -1,0 +1,180 @@
+"""Coordination strategies (paper §2.2, Table 3) and their maneuver cost.
+
+Four strategies combine the inter-platoon and intra-platoon coordination
+models (C = centralized, D = decentralized): DD, DC, CD, CC.  The strategy
+shapes safety through two mechanisms, both taken from §2.2.1:
+
+1. **involvement** — how many vehicles must cooperate in each maneuver.
+   Centralized coordination involves more vehicles (e.g. for TIE-E, "all
+   the vehicles in front of the faulty vehicle (including the leader) and
+   the vehicle just behind it, and the leader of the neighboring platoon",
+   plus the road-side SAP; decentralized needs "only the leaders of the
+   two platoons and the vehicles just in front and behind").  More
+   involved vehicles ⇒ lower success probability ⇒ deeper escalation.
+2. **scope** — which active maneuvers a new request must defer to.  The
+   SAP of the centralized inter-platoon model serializes maneuvers across
+   both platoons; a decentralized leader serializes only its own platoon.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.maneuvers import Maneuver
+
+__all__ = ["CoordinationModel", "Strategy", "assistants", "scope_is_global"]
+
+
+class CoordinationModel(enum.Enum):
+    """Centralized vs. decentralized coordination."""
+
+    CENTRALIZED = "C"
+    DECENTRALIZED = "D"
+
+
+class Strategy(enum.Enum):
+    """The four strategies of Table 3, named inter-then-intra."""
+
+    DD = "DD"
+    DC = "DC"
+    CD = "CD"
+    CC = "CC"
+
+    @property
+    def inter(self) -> CoordinationModel:
+        """Inter-platoon coordination model."""
+        return (
+            CoordinationModel.DECENTRALIZED
+            if self.value[0] == "D"
+            else CoordinationModel.CENTRALIZED
+        )
+
+    @property
+    def intra(self) -> CoordinationModel:
+        """Intra-platoon coordination model."""
+        return (
+            CoordinationModel.DECENTRALIZED
+            if self.value[1] == "D"
+            else CoordinationModel.CENTRALIZED
+        )
+
+    def __repr__(self) -> str:
+        return f"Strategy.{self.name}"
+
+
+#: Intra-platoon assistants per maneuver: (decentralized, centralized).
+#: Decentralized: members react by direct communication (front/back
+#: neighbours); centralized adds the leader, who computes and orders the
+#: gap/speed changes (§2.2.2).
+_INTRA_ASSISTANTS: dict[Maneuver, tuple[int, int]] = {
+    Maneuver.TIE_N: (0, 1),
+    Maneuver.TIE: (2, 3),
+    Maneuver.TIE_E: (2, 2),  # own-platoon front + behind; leaders counted inter
+    Maneuver.GS: (1, 2),
+    Maneuver.CS: (2, 3),
+    Maneuver.AS: (2, 3),
+}
+
+#: Inter-platoon assistants for maneuvers that do not depend on platoon
+#: size: (decentralized, centralized).  Class-A stops under centralized
+#: inter-platoon coordination involve the SAP (traffic diversion, §2.1.1);
+#: TIE-E is handled separately because its centralized cost grows with the
+#: platoon length.
+_INTER_ASSISTANTS_FIXED: dict[Maneuver, tuple[int, int]] = {
+    Maneuver.TIE_N: (0, 0),
+    Maneuver.TIE: (0, 0),
+    Maneuver.GS: (0, 1),
+    Maneuver.CS: (0, 1),
+    Maneuver.AS: (0, 1),
+}
+
+
+#: maneuvers that open a gap in the platoon, propagating spacing
+#: adjustments to the vehicles behind the faulty one
+GAP_OPENING_MANEUVERS = frozenset(
+    {Maneuver.TIE, Maneuver.TIE_E, Maneuver.AS}
+)
+
+
+def assistants(
+    maneuver: Maneuver,
+    strategy: Strategy,
+    occupancy_own: float,
+    occupancy_neighbor: float,
+    rear_propagation: float = 0.0,
+) -> float:
+    """Expected number of assisting vehicles for one maneuver execution.
+
+    Returns a real number: under centralized inter-platoon coordination the
+    TIE-E maneuver involves every vehicle ahead of the faulty one, whose
+    *expected* count is ``(occupancy_own − 1) / 2`` for a uniformly placed
+    fault.
+
+    Parameters
+    ----------
+    maneuver:
+        The maneuver being executed.
+    strategy:
+        The coordination strategy in force.
+    occupancy_own:
+        Number of vehicles in the faulty vehicle's platoon (≥ 1: at least
+        the faulty vehicle itself).
+    occupancy_neighbor:
+        Number of vehicles in the neighbouring platoon (used for sanity
+        checks and future refinements; the leader is involved whenever the
+        platoon is non-empty).
+    rear_propagation:
+        Fraction of the platoon behind the faulty vehicle that must adjust
+        its spacing when a gap-opening maneuver (split, escorted exit,
+        aided stop) executes — the kinematic substrate shows gap openings
+        propagate rearward.  0 disables the effect.
+    """
+    if not 0.0 <= rear_propagation <= 1.0:
+        raise ValueError(f"rear_propagation must be in [0,1], got {rear_propagation}")
+    if occupancy_own < 1:
+        raise ValueError(
+            f"occupancy_own must be >= 1 (the faulty vehicle), got {occupancy_own}"
+        )
+    if occupancy_neighbor < 0:
+        raise ValueError(f"occupancy_neighbor must be >= 0, got {occupancy_neighbor}")
+
+    intra_d, intra_c = _INTRA_ASSISTANTS[maneuver]
+    intra = intra_d if strategy.intra is CoordinationModel.DECENTRALIZED else intra_c
+    # Assistants cannot exceed the other members of the own platoon for the
+    # intra part.
+    intra = min(intra, max(occupancy_own - 1, 0))
+
+    if maneuver is Maneuver.TIE_E:
+        if strategy.inter is CoordinationModel.DECENTRALIZED:
+            # the two platoon leaders (each only if that platoon has one
+            # beyond / besides the faulty vehicle)
+            inter = (1.0 if occupancy_own >= 2 else 0.0) + (
+                1.0 if occupancy_neighbor >= 1 else 0.0
+            )
+        else:
+            # all vehicles ahead (expected (occ-1)/2, leader included),
+            # the neighbour's leader, and the road-side SAP
+            ahead = (occupancy_own - 1) / 2.0
+            inter = ahead + (1.0 if occupancy_neighbor >= 1 else 0.0) + 1.0
+    else:
+        inter_d, inter_c = _INTER_ASSISTANTS_FIXED[maneuver]
+        inter = float(
+            inter_d
+            if strategy.inter is CoordinationModel.DECENTRALIZED
+            else inter_c
+        )
+
+    rear = 0.0
+    if maneuver in GAP_OPENING_MANEUVERS and rear_propagation > 0.0:
+        rear = rear_propagation * max(occupancy_own - 1.0, 0.0)
+    return intra + inter + rear
+
+
+def scope_is_global(strategy: Strategy) -> bool:
+    """True when request escalation defers to maneuvers in *both* platoons.
+
+    Centralized inter-platoon coordination funnels every maneuver decision
+    through the SAP, so requests conflict system-wide; decentralized
+    leaders only serialize their own platoon.
+    """
+    return strategy.inter is CoordinationModel.CENTRALIZED

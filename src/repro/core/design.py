@@ -1,0 +1,144 @@
+"""Design-space answers (paper §5, conclusion).
+
+The paper closes by noting its models "provide some preliminary
+indication about ... 1) the optimal size of platoons; 2) the maximum trip
+duration; 3) the most suitable coordination strategy".  This module turns
+those indications into direct queries against the analytical engine:
+
+* :func:`max_platoon_size_for` — largest n meeting an unsafety budget;
+* :func:`max_trip_duration` — longest trip meeting the budget;
+* :func:`best_strategy` — the safest coordination strategy;
+* :func:`design_frontier` — the (n, strategy) grid against a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.analytical import AnalyticalEngine
+from repro.core.coordination import Strategy
+from repro.core.parameters import AHSParameters
+
+__all__ = [
+    "max_platoon_size_for",
+    "max_trip_duration",
+    "best_strategy",
+    "design_frontier",
+    "DesignPoint",
+]
+
+
+def _unsafety(params: AHSParameters, time: float) -> float:
+    return AnalyticalEngine(params).unsafety([time]).unsafety[0]
+
+
+def max_platoon_size_for(
+    params: AHSParameters,
+    unsafety_budget: float,
+    trip_hours: float,
+    n_max: int = 24,
+) -> Optional[int]:
+    """Largest platoon size whose S(trip) stays within the budget.
+
+    Returns ``None`` when even a free-agent highway (n = 1) exceeds the
+    budget.  Monotonicity of S in n (asserted by the test suite) makes a
+    linear scan exact; the search starts small because the paper's own
+    answer lives there ("the size of the platoons should not exceed 10").
+    """
+    if unsafety_budget <= 0.0:
+        raise ValueError(f"budget must be > 0, got {unsafety_budget}")
+    if trip_hours <= 0.0:
+        raise ValueError(f"trip_hours must be > 0, got {trip_hours}")
+    best: Optional[int] = None
+    for n in range(1, n_max + 1):
+        value = _unsafety(params.with_changes(max_platoon_size=n), trip_hours)
+        if value <= unsafety_budget:
+            best = n
+        else:
+            break
+    return best
+
+
+def max_trip_duration(
+    params: AHSParameters,
+    unsafety_budget: float,
+    horizon_hours: float = 48.0,
+    tolerance_hours: float = 0.05,
+) -> Optional[float]:
+    """Longest trip whose unsafety stays within the budget (bisection).
+
+    Returns ``None`` when even an infinitesimal trip exceeds the budget,
+    and ``horizon_hours`` when the budget is never exhausted within it.
+    """
+    if unsafety_budget <= 0.0:
+        raise ValueError(f"budget must be > 0, got {unsafety_budget}")
+    engine = AnalyticalEngine(params)
+
+    def s(t: float) -> float:
+        return engine.unsafety([t]).unsafety[0]
+
+    low = tolerance_hours
+    if s(low) > unsafety_budget:
+        return None
+    high = horizon_hours
+    if s(high) <= unsafety_budget:
+        return horizon_hours
+    while high - low > tolerance_hours:
+        mid = 0.5 * (low + high)
+        if s(mid) <= unsafety_budget:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def best_strategy(
+    params: AHSParameters, trip_hours: float
+) -> tuple[Strategy, dict[Strategy, float]]:
+    """The safest coordination strategy and the full comparison."""
+    values = {
+        strategy: _unsafety(
+            params.with_changes(strategy=strategy), trip_hours
+        )
+        for strategy in Strategy
+    }
+    winner = min(values, key=values.get)
+    return winner, values
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One admissible/inadmissible configuration of the design grid."""
+
+    n: int
+    strategy: Strategy
+    unsafety: float
+    admissible: bool
+
+
+def design_frontier(
+    params: AHSParameters,
+    unsafety_budget: float,
+    trip_hours: float,
+    sizes=range(4, 17, 2),
+) -> list[DesignPoint]:
+    """Evaluate the (n, strategy) grid against an unsafety budget."""
+    if unsafety_budget <= 0.0:
+        raise ValueError(f"budget must be > 0, got {unsafety_budget}")
+    points = []
+    for n in sizes:
+        for strategy in Strategy:
+            value = _unsafety(
+                params.with_changes(max_platoon_size=n, strategy=strategy),
+                trip_hours,
+            )
+            points.append(
+                DesignPoint(
+                    n=int(n),
+                    strategy=strategy,
+                    unsafety=value,
+                    admissible=value <= unsafety_budget,
+                )
+            )
+    return points

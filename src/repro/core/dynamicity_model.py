@@ -1,0 +1,232 @@
+"""The Dynamicity submodel (paper §3.2.3, Fig. 7).
+
+Models vehicle movement in the absence of failures: highway entry
+(``Join``/``JP`` — an off-highway vehicle re-enters at the join rate and
+picks a platoon 50/50), voluntary leaves (``leave1``/``leave2`` — one
+activity per platoon at the leave rate; a platoon-2 leaver transits
+through platoon 1 for 3–4 minutes per §4.1), and platoon changes
+(``ch1``/``ch2`` at 6/hr per platoon).
+
+Deviation from the paper's presentation (documented in DESIGN.md): the
+paper implements these as central activities operating on platoon arrays;
+here they are replicated per vehicle with marking-dependent rates divided
+by the number of eligible candidates, which yields exactly the same
+aggregate CTMC (the per-platoon activity picking a uniformly random
+eligible vehicle).
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration_model import SharedPlaces, VehiclePlaces
+from repro.core.parameters import AHSParameters
+from repro.san import Case, InputGate, MarkingFunction, OutputGate, TimedActivity
+
+__all__ = ["build_movement_activities"]
+
+
+def _binding(shared: SharedPlaces, vehicle: VehiclePlaces) -> dict:
+    return {
+        **vehicle.binding(),
+        **shared.act_binding(),
+        "occ1": shared.occ1,
+        "occ2": shared.occ2,
+        "tr": shared.transit,
+        "KO": shared.ko_total,
+    }
+
+
+class _OkMembers:
+    """Callable counting operational members; avoids view internals."""
+
+    def __init__(self, act_names: list[str], platoon: int) -> None:
+        self.act_names = [n for n in act_names if n.endswith(f"_{platoon}")]
+        self.platoon = platoon
+
+    def __call__(self, g) -> int:
+        active = sum(g[name] for name in self.act_names)
+        return max(g[f"occ{self.platoon}"] - active, 0)
+
+
+def build_movement_activities(
+    shared: SharedPlaces, vehicle: VehiclePlaces, params: AHSParameters
+) -> list[TimedActivity]:
+    """Join, leave1, leave2, transit-exit, ch1, ch2 for one vehicle."""
+    binding = _binding(shared, vehicle)
+    n = params.max_platoon_size
+    act_names = list(shared.act_binding())
+    ok1 = _OkMembers(act_names, 1)
+    ok2 = _OkMembers(act_names, 2)
+    activities: list[TimedActivity] = []
+
+    # --- Join: off-highway vehicle re-enters ---------------------------
+    def join_enabled(g) -> bool:
+        return (
+            g["out"] == 1
+            and g["unconfigured"] == 0
+            and g["KO"] == 0
+            and (g["occ1"] + g["tr"] < n or g["occ2"] < n)
+        )
+
+    def p1_weight(g) -> float:
+        return params.platoon1_join_probability if g["occ1"] + g["tr"] < n else 0.0
+
+    def p2_weight(g) -> float:
+        return (1.0 - params.platoon1_join_probability) if g["occ2"] < n else 0.0
+
+    def join_p1_prob(g) -> float:
+        w1, w2 = p1_weight(g), p2_weight(g)
+        return w1 / (w1 + w2) if w1 + w2 > 0 else 0.0
+
+    def join_p2_prob(g) -> float:
+        return 1.0 - join_p1_prob(g)
+
+    def enter(platoon: int):
+        def fire(g) -> None:
+            g["out"] = 0
+            g["ok"] = 1
+            g[f"p{platoon}"] = 1
+            g.inc(f"occ{platoon}")
+
+        return fire
+
+    activities.append(
+        TimedActivity(
+            "Join",
+            rate=params.join_rate,
+            input_gates=[InputGate("IG_join", binding, join_enabled)],
+            cases=[
+                Case(
+                    MarkingFunction(binding, join_p1_prob),
+                    [OutputGate("JP_p1", binding, enter(1))],
+                    label="platoon1",
+                ),
+                Case(
+                    MarkingFunction(binding, join_p2_prob),
+                    [OutputGate("JP_p2", binding, enter(2))],
+                    label="platoon2",
+                ),
+            ],
+        )
+    )
+
+    # --- leave1: voluntary exit straight from platoon 1 -----------------
+    def leave1_enabled(g) -> bool:
+        return g["ok"] == 1 and g["p1"] == 1 and g["KO"] == 0
+
+    def leave1_rate(g) -> float:
+        candidates = ok1(g)
+        return params.leave_rate / candidates if candidates > 0 else 0.0
+
+    def leave1_fire(g) -> None:
+        g["p1"] = 0
+        g.dec("occ1")
+        g["ok"] = 0
+        g["out"] = 1
+
+    activities.append(
+        TimedActivity(
+            "leave1",
+            rate=MarkingFunction(binding, leave1_rate),
+            input_gates=[InputGate("IG_leave1", binding, leave1_enabled)],
+            cases=[Case(1.0, [OutputGate("OG_leave1", binding, leave1_fire)])],
+        )
+    )
+
+    # --- leave2: platoon-2 exit via a transit through platoon 1 ---------
+    def leave2_enabled(g) -> bool:
+        return (
+            g["ok"] == 1
+            and g["p2"] == 1
+            and g["KO"] == 0
+            and g["occ1"] + g["tr"] < n
+        )
+
+    def leave2_rate(g) -> float:
+        candidates = ok2(g)
+        return params.leave_rate / candidates if candidates > 0 else 0.0
+
+    def leave2_fire(g) -> None:
+        g["p2"] = 0
+        g.dec("occ2")
+        g["in_transit"] = 1
+        g.inc("tr")
+
+    activities.append(
+        TimedActivity(
+            "leave2",
+            rate=MarkingFunction(binding, leave2_rate),
+            input_gates=[InputGate("IG_leave2", binding, leave2_enabled)],
+            cases=[Case(1.0, [OutputGate("OG_leave2", binding, leave2_fire)])],
+        )
+    )
+
+    # --- transit completion: the vehicle finally exits the highway ------
+    def transit_enabled(g) -> bool:
+        return g["in_transit"] == 1 and g["KO"] == 0
+
+    def transit_fire(g) -> None:
+        g["in_transit"] = 0
+        g.dec("tr")
+        g["ok"] = 0
+        g["out"] = 1
+
+    activities.append(
+        TimedActivity(
+            "exit_transit",
+            rate=params.transit_rate,
+            input_gates=[InputGate("IG_transit", binding, transit_enabled)],
+            cases=[Case(1.0, [OutputGate("OG_transit", binding, transit_fire)])],
+        )
+    )
+
+    # --- platoon changes ch1 / ch2 ---------------------------------------
+    def ch1_enabled(g) -> bool:
+        return (
+            g["ok"] == 1 and g["p1"] == 1 and g["KO"] == 0 and g["occ2"] < n
+        )
+
+    def ch1_rate(g) -> float:
+        candidates = ok1(g)
+        return params.change_rate / candidates if candidates > 0 else 0.0
+
+    def ch1_fire(g) -> None:
+        g["p1"] = 0
+        g.dec("occ1")
+        g["p2"] = 1
+        g.inc("occ2")
+
+    def ch2_enabled(g) -> bool:
+        return (
+            g["ok"] == 1
+            and g["p2"] == 1
+            and g["KO"] == 0
+            and g["occ1"] + g["tr"] < n
+        )
+
+    def ch2_rate(g) -> float:
+        candidates = ok2(g)
+        return params.change_rate / candidates if candidates > 0 else 0.0
+
+    def ch2_fire(g) -> None:
+        g["p2"] = 0
+        g.dec("occ2")
+        g["p1"] = 1
+        g.inc("occ1")
+
+    activities.append(
+        TimedActivity(
+            "ch1",
+            rate=MarkingFunction(binding, ch1_rate),
+            input_gates=[InputGate("IG_ch1", binding, ch1_enabled)],
+            cases=[Case(1.0, [OutputGate("OG_ch1", binding, ch1_fire)])],
+        )
+    )
+    activities.append(
+        TimedActivity(
+            "ch2",
+            rate=MarkingFunction(binding, ch2_rate),
+            input_gates=[InputGate("IG_ch2", binding, ch2_enabled)],
+            cases=[Case(1.0, [OutputGate("OG_ch2", binding, ch2_fire)])],
+        )
+    )
+    return activities

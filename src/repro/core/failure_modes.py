@@ -1,0 +1,105 @@
+"""Failure modes of a platooned vehicle (paper Table 1).
+
+Six failure modes FM1–FM6, each with an example cause, a severity class
+(A3 > A2 > A1 > B2 = B1 > C) and an associated recovery maneuver.  The
+failure rates are expressed relative to the smallest rate λ exactly as in
+§4.1: λ₆ = 4λ, λ₅ = 3λ, λ₄ = λ₃ = λ₂ = 2λ, λ₁ = λ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "SeverityClass",
+    "FailureMode",
+    "FAILURE_MODES",
+    "RATE_MULTIPLIERS",
+    "total_rate_multiplier",
+]
+
+
+class SeverityClass(enum.Enum):
+    """Severity of a failure mode; classes rank A3 > A2 > A1 > B2 = B1 > C."""
+
+    A3 = "A3"
+    A2 = "A2"
+    A1 = "A1"
+    B2 = "B2"
+    B1 = "B1"
+    C = "C"
+
+    @property
+    def letter(self) -> str:
+        """The class letter (A, B or C) used by the catastrophic predicates."""
+        return self.value[0]
+
+    @property
+    def rank(self) -> int:
+        """Priority rank, larger = more critical (B1 and B2 tie)."""
+        return {"A3": 6, "A2": 5, "A1": 4, "B2": 3, "B1": 3, "C": 1}[self.value]
+
+    def __lt__(self, other: "SeverityClass") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "SeverityClass") -> bool:
+        return self.rank <= other.rank
+
+
+@dataclass(frozen=True)
+class FailureMode:
+    """One row of the paper's Table 1."""
+
+    #: identifier FM1..FM6
+    fm_id: str
+    #: example cause from the paper
+    example_cause: str
+    #: severity class
+    severity: SeverityClass
+    #: name of the associated maneuver (resolved in repro.core.maneuvers)
+    maneuver_name: str
+    #: failure rate as a multiple of the base rate λ
+    rate_multiplier: int
+
+    @property
+    def index(self) -> int:
+        """Zero-based index (FM1 → 0)."""
+        return int(self.fm_id[2:]) - 1
+
+    def rate(self, base_failure_rate: float) -> float:
+        """Absolute occurrence rate λᵢ for a given base rate λ."""
+        if base_failure_rate <= 0:
+            raise ValueError(
+                f"base failure rate must be > 0, got {base_failure_rate}"
+            )
+        return self.rate_multiplier * base_failure_rate
+
+
+#: Table 1 of the paper, in FM order.
+FAILURE_MODES: tuple[FailureMode, ...] = (
+    FailureMode("FM1", "No brakes", SeverityClass.A3, "AS", 1),
+    FailureMode(
+        "FM2",
+        "Inability to detect vehicles in adjacent lanes",
+        SeverityClass.A2,
+        "CS",
+        2,
+    ),
+    FailureMode(
+        "FM3", "Inter-vehicle communication failure", SeverityClass.A1, "GS", 2
+    ),
+    FailureMode("FM4", "Transmission failure", SeverityClass.B2, "TIE-E", 2),
+    FailureMode("FM5", "Reduced steering capability", SeverityClass.B1, "TIE", 3),
+    FailureMode(
+        "FM6", "Single failure in a redundant sensor set", SeverityClass.C, "TIE-N", 4
+    ),
+)
+
+#: λᵢ/λ multipliers in FM1..FM6 order (paper §4.1).
+RATE_MULTIPLIERS: tuple[int, ...] = tuple(fm.rate_multiplier for fm in FAILURE_MODES)
+
+
+def total_rate_multiplier() -> int:
+    """Σᵢ λᵢ/λ — the per-vehicle failure intensity in units of λ (= 14)."""
+    return sum(RATE_MULTIPLIERS)

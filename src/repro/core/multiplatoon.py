@@ -1,0 +1,342 @@
+"""Extension: highways with more than two platoons (paper §5 future work).
+
+The paper's case study is a two-lane highway with one platoon per lane and
+closes with: *"The models presented in this paper can be easily extended
+to analyze highways composed of a larger number of platoons, considering
+more complex scenarios."*  This module is that extension for the lumped
+analytical engine: ``m`` platoons arranged in a line (platoon *k* is the
+escort/assist neighbour of platoon *k+1*; exits transit through platoon
+1, which runs in the exit-side lane).
+
+Modelling choices (mirroring the 2-platoon engine, DESIGN.md):
+
+* **occupancy**: a closed population of ``m·n`` vehicles; the occupancy
+  process is solved by a mean-field fixed point — each platoon sees the
+  single-platoon birth-death dynamics with the join inflow
+  ``join_rate · out / m``, and ``out`` is determined self-consistently.
+  (The 2-platoon engine solves the joint chain exactly; the fixed point
+  reproduces its expectations within a few percent — asserted in tests.)
+* **failures**: the failure-level CTMC tracks multisets of active
+  maneuvers per platoon, truncated at 4 concurrent (exact for Table 2).
+  Request escalation defers to the own platoon (decentralized inter) or
+  to every platoon (centralized inter: one SAP per highway segment).
+* **TIE-E** uses the left neighbour platoon (platoon *k−1*; platoon 1
+  uses platoon 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.coordination import scope_is_global
+from repro.core.failure_modes import FAILURE_MODES
+from repro.core.maneuvers import (
+    ESCALATION_LADDER,
+    Maneuver,
+    escalate_request,
+    maneuver_for_failure_mode,
+    next_on_failure,
+)
+from repro.core.parameters import AHSParameters
+from repro.core.severity import SeverityCounts, catastrophic_situation
+from repro.ctmc import CTMC, transient_distribution
+
+__all__ = ["MultiPlatoonEngine", "MultiPlatoonResult", "mean_field_occupancy"]
+
+_KO = "KO"
+_TRUNC = "TRUNC"
+
+
+def mean_field_occupancy(
+    params: AHSParameters, n_platoons: int, tolerance: float = 1e-10
+) -> tuple[float, float]:
+    """Self-consistent per-platoon occupancy for an m-platoon highway.
+
+    Returns ``(expected_occupancy_per_platoon, expected_out_pool)``.
+
+    Fixed point: given an out-pool size ``out``, each platoon runs a
+    birth-death chain with birth ``join_rate·out/m`` (capacity n) and
+    death ``leave_rate``; the stationary mean occupancy then implies
+    ``out = m·n − m·E[occ]``, iterated to convergence.
+    """
+    if n_platoons < 1:
+        raise ValueError(f"need at least one platoon, got {n_platoons}")
+    n = params.max_platoon_size
+    total = n_platoons * n
+    out = 1.0
+    for _ in range(10_000):
+        birth = params.join_rate * out / n_platoons
+        occupancy = _birth_death_mean(n, birth, params.leave_rate)
+        new_out = max(total - n_platoons * occupancy, 0.0)
+        if abs(new_out - out) < tolerance:
+            out = new_out
+            break
+        # damped update for stability at extreme rate ratios
+        out = 0.5 * out + 0.5 * new_out
+    # population conservation fixes the occupancy once `out` is known
+    # (robust to degenerate rates, e.g. leave_rate = 0 where the birth-
+    # death device is ill-posed at out = 0)
+    return (total - out) / n_platoons, out
+
+
+def _birth_death_mean(n: int, birth: float, death: float) -> float:
+    """Stationary mean of a birth-death chain on {0..n}.
+
+    Constant birth rate while below capacity, constant death rate while
+    non-empty (the paper's per-platoon leave activity).
+    """
+    if birth <= 0.0:
+        return 0.0
+    if death <= 0.0:
+        return float(n)
+    ratio = birth / death
+    weights = [ratio**k for k in range(n + 1)]
+    total = sum(weights)
+    return sum(k * w for k, w in zip(range(n + 1), weights)) / total
+
+
+def _severity_of_platoons(state: tuple, platoons: Sequence[int]) -> SeverityCounts:
+    a = b = c = 0
+    for p in platoons:
+        platoon_vec = state[p]
+        for m_index, maneuver in enumerate(ESCALATION_LADDER):
+            count = platoon_vec[m_index]
+            letter = maneuver.severity.letter
+            if letter == "A":
+                a += count
+            elif letter == "B":
+                b += count
+            else:
+                c += count
+    return SeverityCounts(a, b, c)
+
+
+def _catastrophic_window(state: tuple) -> bool:
+    """Table-2 check over every adjacent-platoon neighbourhood.
+
+    The paper requires the combining failures to hit "multiple adjacent
+    vehicles in a small neighborhood in space and in time" (§2.1.3): on a
+    long multi-platoon highway only failures in the same or adjacent
+    platoons can interact.  For 2 platoons this reduces to the global
+    check of the base engine.
+    """
+    m = len(state)
+    if m == 1:
+        return (
+            catastrophic_situation(_severity_of_platoons(state, [0]))
+            is not None
+        )
+    for left in range(m - 1):
+        counts = _severity_of_platoons(state, (left, left + 1))
+        if catastrophic_situation(counts) is not None:
+            return True
+    return False
+
+
+def _active_total(state: tuple) -> int:
+    return sum(sum(vec) for vec in state)
+
+
+@dataclass
+class MultiPlatoonResult:
+    """Unsafety curve for an m-platoon highway."""
+
+    times: np.ndarray
+    unsafety: np.ndarray
+    truncation_error: np.ndarray
+    n_platoons: int
+    occupancy_per_platoon: float
+    n_states: int
+
+
+class MultiPlatoonEngine:
+    """Lumped-CTMC unsafety evaluation for ``m`` platoons.
+
+    For ``n_platoons=2`` this reduces (up to the mean-field occupancy
+    approximation) to :class:`~repro.core.analytical.AnalyticalEngine`;
+    the equivalence is asserted by the tests.
+    """
+
+    def __init__(
+        self,
+        params: AHSParameters,
+        n_platoons: int,
+        max_concurrent: int = 4,
+    ) -> None:
+        if n_platoons < 2:
+            raise ValueError(
+                f"a platooned highway needs >= 2 platoons, got {n_platoons}"
+            )
+        if max_concurrent < 2:
+            raise ValueError("max_concurrent must be >= 2")
+        self.params = params
+        self.n_platoons = n_platoons
+        self.max_concurrent = max_concurrent
+        occupancy, out = mean_field_occupancy(params, n_platoons)
+        self.occupancy_per_platoon = occupancy
+        self.out_pool = out
+        self.states: list = []
+        self.index: dict = {}
+        self.ko_index: Optional[int] = None
+        self.trunc_index: Optional[int] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _neighbor(self, platoon: int) -> int:
+        """The escort platoon for TIE-E (left neighbour; platoon 0 uses 1)."""
+        return platoon - 1 if platoon > 0 else 1
+
+    def _scope(self, state: tuple, platoon: int) -> list[Maneuver]:
+        platoons = (
+            range(self.n_platoons)
+            if scope_is_global(self.params.strategy)
+            else (platoon,)
+        )
+        active: list[Maneuver] = []
+        for p in platoons:
+            for m_index, maneuver in enumerate(ESCALATION_LADDER):
+                active.extend([maneuver] * state[p][m_index])
+        return active
+
+    def _busy_fraction(self, state: tuple) -> float:
+        total_occ = self.occupancy_per_platoon * self.n_platoons
+        active = _active_total(state)
+        if total_occ <= 1.0:
+            return 1.0 if active > 0 else 0.0
+        return min(max(active / (total_occ - 1.0), 0.0), 1.0)
+
+    def _with_delta(self, state: tuple, platoon: int, m_index: int, delta: int):
+        vec = list(state[platoon])
+        vec[m_index] += delta
+        return tuple(
+            tuple(vec) if p == platoon else state[p]
+            for p in range(self.n_platoons)
+        )
+
+    def _after_activation(self, state: tuple, platoon: int, maneuver: Maneuver):
+        m_index = ESCALATION_LADDER.index(maneuver)
+        successor = self._with_delta(state, platoon, m_index, +1)
+        if _catastrophic_window(successor):
+            return _KO
+        if _active_total(successor) > self.max_concurrent:
+            return _TRUNC
+        return successor
+
+    def _transitions(self, state: tuple):
+        params = self.params
+        occ = self.occupancy_per_platoon
+        busy = self._busy_fraction(state)
+        moves = []
+        for platoon in range(self.n_platoons):
+            active_here = sum(state[platoon])
+            exposed = max(occ - active_here, 0.0)
+            if exposed > 0.0:
+                scope = self._scope(state, platoon)
+                for fm in FAILURE_MODES:
+                    rate = params.failure_mode_rate(fm) * exposed
+                    granted = escalate_request(
+                        maneuver_for_failure_mode(fm), scope
+                    )
+                    moves.append(
+                        (self._after_activation(state, platoon, granted), rate)
+                    )
+            occ_nb = self.occupancy_per_platoon  # symmetric neighbours
+            for m_index, maneuver in enumerate(ESCALATION_LADDER):
+                count = state[platoon][m_index]
+                if count == 0:
+                    continue
+                rate = count * params.maneuver_rate(maneuver, max(occ, 1.0))
+                p_success = params.success_probability(
+                    maneuver, max(occ, 1.0), occ_nb, busy
+                )
+                cleared = self._with_delta(state, platoon, m_index, -1)
+                moves.append((cleared, rate * p_success))
+                follow_up = next_on_failure(maneuver)
+                if follow_up is None:
+                    moves.append((cleared, rate * (1.0 - p_success)))
+                else:
+                    granted = escalate_request(
+                        follow_up, self._scope(cleared, platoon)
+                    )
+                    moves.append(
+                        (
+                            self._after_activation(cleared, platoon, granted),
+                            rate * (1.0 - p_success),
+                        )
+                    )
+        return moves
+
+    def _build(self) -> None:
+        empty = tuple(
+            (0,) * len(ESCALATION_LADDER) for _ in range(self.n_platoons)
+        )
+        self.states = [empty]
+        self.index = {empty: 0}
+        frontier = [empty]
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+
+        def intern(label) -> int:
+            existing = self.index.get(label)
+            if existing is not None:
+                return existing
+            new_id = len(self.states)
+            self.states.append(label)
+            self.index[label] = new_id
+            if label == _KO:
+                self.ko_index = new_id
+            elif label == _TRUNC:
+                self.trunc_index = new_id
+            else:
+                frontier.append(label)
+            return new_id
+
+        while frontier:
+            state = frontier.pop()
+            source = self.index[state]
+            for successor, rate in self._transitions(state):
+                if rate <= 0.0:
+                    continue
+                target = intern(successor)
+                if target == source:
+                    continue
+                rows.append(source)
+                cols.append(target)
+                vals.append(rate)
+
+        size = len(self.states)
+        matrix = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(size, size)
+        ).tocsr()
+        matrix.sum_duplicates()
+        out_rates = np.asarray(matrix.sum(axis=1)).ravel()
+        generator = (matrix - sparse.diags(out_rates)).tocsr()
+        p0 = np.zeros(size)
+        p0[0] = 1.0
+        self.chain = CTMC(generator, p0)
+
+    # ------------------------------------------------------------------
+    def unsafety(self, times: Sequence[float]) -> MultiPlatoonResult:
+        """S(t) = P(KO by t) for the m-platoon highway."""
+        times_arr = np.asarray(list(times), dtype=float)
+        dist = transient_distribution(self.chain, times_arr)
+        ko = self.ko_index
+        trunc = self.trunc_index
+        return MultiPlatoonResult(
+            times=times_arr,
+            unsafety=(
+                dist[:, ko] if ko is not None else np.zeros(times_arr.size)
+            ),
+            truncation_error=(
+                dist[:, trunc] if trunc is not None else np.zeros(times_arr.size)
+            ),
+            n_platoons=self.n_platoons,
+            occupancy_per_platoon=self.occupancy_per_platoon,
+            n_states=self.chain.n_states,
+        )

@@ -1,0 +1,223 @@
+"""Model parameters (paper §4.1) and the derived rate/probability laws.
+
+The dataclass :class:`AHSParameters` gathers every knob of the study, with
+defaults matching the paper's numerical section:
+
+* base failure rate λ = 1e-5/hr, mode rates λ·(1,2,2,2,3,4);
+* maneuver execution rates within 15–30/hr (2–4 min durations);
+* join rate 12/hr, leave rate 4/hr (per platoon), platoon-change rate
+  6/hr (per platoon), platoon-2 exit transit of mean 3.5 min through
+  platoon 1;
+* up to ``n`` vehicles per platoon, two platoons, closed population 2n;
+* coordination strategy DD.
+
+Quantities the paper does not publish (maneuver success probabilities and
+cooperation reliabilities) are explicit parameters with documented
+defaults; DESIGN.md explains how they were fixed and the ablation bench
+sweeps them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.coordination import Strategy, assistants
+from repro.core.failure_modes import FAILURE_MODES, FailureMode
+from repro.core.maneuvers import DEFAULT_MANEUVER_RATES, Maneuver
+
+__all__ = ["AHSParameters"]
+
+
+def _default_maneuver_rates() -> dict[Maneuver, float]:
+    return dict(DEFAULT_MANEUVER_RATES)
+
+
+def _default_success_probabilities() -> dict[Maneuver, float]:
+    # Nominal (no-assistant, idle-traffic) success probabilities.  More
+    # drastic maneuvers are less likely to succeed; AS failing means v_KO.
+    return {
+        Maneuver.TIE_N: 0.99,
+        Maneuver.TIE: 0.98,
+        Maneuver.TIE_E: 0.97,
+        Maneuver.GS: 0.985,
+        Maneuver.CS: 0.96,
+        Maneuver.AS: 0.94,
+    }
+
+
+@dataclass(frozen=True)
+class AHSParameters:
+    """Full parameterisation of the two-lane AHS safety model."""
+
+    #: maximum number of vehicles per platoon (the paper's n)
+    max_platoon_size: int = 10
+    #: smallest failure-mode rate λ (1/hr)
+    base_failure_rate: float = 1e-5
+    #: λᵢ/λ multipliers in FM1..FM6 order (paper §4.1)
+    rate_multipliers: tuple[int, ...] = (1, 2, 2, 2, 3, 4)
+    #: maneuver execution rates μ (1/hr), paper band [15, 30]
+    maneuver_rates: dict[Maneuver, float] = field(
+        default_factory=_default_maneuver_rates
+    )
+    #: highway entry rate (1/hr); entrants pick a platoon 50/50
+    join_rate: float = 12.0
+    #: voluntary leave rate per platoon (1/hr)
+    leave_rate: float = 4.0
+    #: platoon-change rate per platoon (1/hr), paper: 6/hr
+    change_rate: float = 6.0
+    #: rate of the platoon-2 → exit transit through platoon 1 (1/hr);
+    #: the paper prescribes 3–4 minutes, so mean 3.5 min → 60/3.5
+    transit_rate: float = 60.0 / 3.5
+    #: coordination strategy (Table 3)
+    strategy: Strategy = Strategy.DD
+    #: nominal success probability q_m of each maneuver
+    success_probabilities: dict[Maneuver, float] = field(
+        default_factory=_default_success_probabilities
+    )
+    #: per-assistant cooperation reliability α (each involved vehicle
+    #: cooperates correctly with this probability)
+    assistant_reliability: float = 0.95
+    #: residual cooperation γ of an assistant that is itself mid-maneuver
+    busy_assistant_factor: float = 0.5
+    #: relative slow-down of maneuvers per extra platoon member beyond 2
+    #: (splits/merges take longer in long platoons; calibrated against the
+    #: kinematic substrate in repro.agents)
+    duration_scaling: float = 0.1
+    #: fraction of the platoon behind the faulty vehicle dragged into
+    #: gap-opening maneuvers (see repro.core.coordination.assistants)
+    rear_propagation: float = 0.25
+    #: probability an entering vehicle joins platoon 1 (paper: 50 %)
+    platoon1_join_probability: float = 0.5
+    #: cap on simultaneously tracked transit vehicles in the lumped models
+    max_transit: int = 2
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.max_platoon_size < 1:
+            raise ValueError(f"max_platoon_size must be >= 1, got {self.max_platoon_size}")
+        if self.base_failure_rate <= 0:
+            raise ValueError(f"base_failure_rate must be > 0, got {self.base_failure_rate}")
+        if len(self.rate_multipliers) != len(FAILURE_MODES):
+            raise ValueError(
+                f"need {len(FAILURE_MODES)} rate multipliers, got "
+                f"{len(self.rate_multipliers)}"
+            )
+        if any(m <= 0 for m in self.rate_multipliers):
+            raise ValueError(f"rate multipliers must be > 0, got {self.rate_multipliers}")
+        for maneuver in Maneuver:
+            rate = self.maneuver_rates.get(maneuver)
+            if rate is None or rate <= 0:
+                raise ValueError(f"missing or non-positive rate for {maneuver}")
+            q = self.success_probabilities.get(maneuver)
+            if q is None or not 0.0 < q <= 1.0:
+                raise ValueError(f"success probability for {maneuver} must be in (0,1]")
+        for rate_name in ("join_rate", "leave_rate", "change_rate", "transit_rate"):
+            if getattr(self, rate_name) < 0:
+                raise ValueError(f"{rate_name} must be >= 0")
+        if not 0.0 < self.assistant_reliability <= 1.0:
+            raise ValueError("assistant_reliability must be in (0,1]")
+        if not 0.0 <= self.busy_assistant_factor <= 1.0:
+            raise ValueError("busy_assistant_factor must be in [0,1]")
+        if self.duration_scaling < 0.0:
+            raise ValueError("duration_scaling must be >= 0")
+        if not 0.0 <= self.rear_propagation <= 1.0:
+            raise ValueError("rear_propagation must be in [0,1]")
+        if not 0.0 <= self.platoon1_join_probability <= 1.0:
+            raise ValueError("platoon1_join_probability must be in [0,1]")
+        if self.max_transit < 0:
+            raise ValueError("max_transit must be >= 0")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_vehicles(self) -> int:
+        """Closed vehicle population: 2n (the paper's 2n replicas)."""
+        return 2 * self.max_platoon_size
+
+    @property
+    def load(self) -> float:
+        """System load ρ = join_rate / leave_rate (paper §4.3)."""
+        if self.leave_rate == 0:
+            return math.inf
+        return self.join_rate / self.leave_rate
+
+    def failure_mode_rate(self, failure_mode: FailureMode) -> float:
+        """Absolute rate λᵢ of one failure mode (1/hr)."""
+        return self.rate_multipliers[failure_mode.index] * self.base_failure_rate
+
+    def failure_mode_rates(self) -> dict[str, float]:
+        """All six λᵢ keyed by FM id."""
+        return {fm.fm_id: self.failure_mode_rate(fm) for fm in FAILURE_MODES}
+
+    def total_failure_rate(self) -> float:
+        """Per-vehicle total failure intensity Σλᵢ."""
+        return self.base_failure_rate * sum(self.rate_multipliers)
+
+    def maneuver_rate(self, maneuver: Maneuver, occupancy_own: float) -> float:
+        """Execution rate μ_m adjusted for the platoon length.
+
+        Longer platoons take longer to open gaps for splits and escorted
+        exits: ``μ_eff = μ / (1 + duration_scaling · max(occ − 2, 0))``.
+        """
+        base = self.maneuver_rates[maneuver]
+        crowd = max(float(occupancy_own) - 2.0, 0.0)
+        return base / (1.0 + self.duration_scaling * crowd)
+
+    def success_probability(
+        self,
+        maneuver: Maneuver,
+        occupancy_own: float,
+        occupancy_neighbor: float,
+        busy_fraction: float,
+    ) -> float:
+        """Probability that a maneuver execution succeeds.
+
+        ``q_m · (α · (1 − (1−γ)·busy))^k`` with *k* the number of assisting
+        vehicles under the current strategy (DESIGN.md §2): each assistant
+        must cooperate (reliability α), and an assistant that is itself
+        running a maneuver only helps with residual effectiveness γ.
+
+        Parameters
+        ----------
+        maneuver:
+            The executing maneuver.
+        occupancy_own / occupancy_neighbor:
+            Platoon occupancies seen by the faulty vehicle.
+        busy_fraction:
+            Fraction of potential assistants currently mid-maneuver, in
+            [0, 1].
+        """
+        if not 0.0 <= busy_fraction <= 1.0:
+            raise ValueError(f"busy_fraction must be in [0,1], got {busy_fraction}")
+        k = assistants(
+            maneuver,
+            self.strategy,
+            max(occupancy_own, 1.0),
+            occupancy_neighbor,
+            rear_propagation=self.rear_propagation,
+        )
+        per_assistant = self.assistant_reliability * (
+            1.0 - (1.0 - self.busy_assistant_factor) * busy_fraction
+        )
+        q = self.success_probabilities[maneuver]
+        return q * per_assistant**k
+
+    # ------------------------------------------------------------------
+    def with_changes(self, **changes) -> "AHSParameters":
+        """A copy with the given fields replaced (dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def summary(self) -> dict[str, object]:
+        """Flat description for experiment reports."""
+        return {
+            "n": self.max_platoon_size,
+            "lambda": self.base_failure_rate,
+            "join_rate": self.join_rate,
+            "leave_rate": self.leave_rate,
+            "change_rate": self.change_rate,
+            "strategy": self.strategy.value,
+            "load": self.load,
+        }

@@ -1,0 +1,94 @@
+"""Catastrophic situations (paper Table 2).
+
+The AHS reaches an unsafe state when near-simultaneous failures of several
+adjacent vehicles combine into one of three situations:
+
+* **ST1** — at least two Class-A failures;
+* **ST2** — at least one Class-A failure AND (two Class-B, or one Class-B
+  and one Class-C, or three Class-C failures);
+* **ST3** — at least four failures of Class B or C.
+
+A vehicle contributes one *active* failure of the class of its currently
+granted maneuver, from the failure occurrence until the maneuver succeeds
+(or the vehicle is expelled at ``v_KO``).  See DESIGN.md §2 for this
+accounting choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.maneuvers import Maneuver
+
+__all__ = ["SeverityCounts", "catastrophic_situation", "CATASTROPHIC_SITUATIONS"]
+
+#: Situation identifiers with the paper's descriptions, for reports.
+CATASTROPHIC_SITUATIONS: dict[str, str] = {
+    "ST1": "At least two Class A failures",
+    "ST2": (
+        "At least one Class A failure AND {two Class B failures, OR one "
+        "Class B and one Class C failure, OR three Class C failures}"
+    ),
+    "ST3": "At least four failures whose severities are Class B or Class C",
+}
+
+
+@dataclass(frozen=True)
+class SeverityCounts:
+    """Counts of concurrently active failures per severity class letter."""
+
+    a: int = 0
+    b: int = 0
+    c: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.a, self.b, self.c) < 0:
+            raise ValueError(f"severity counts must be >= 0, got {self}")
+
+    @classmethod
+    def from_active_maneuvers(
+        cls, maneuvers: Iterable[Maneuver]
+    ) -> "SeverityCounts":
+        """Counts induced by a multiset of active maneuvers."""
+        a = b = c = 0
+        for maneuver in maneuvers:
+            letter = maneuver.severity.letter
+            if letter == "A":
+                a += 1
+            elif letter == "B":
+                b += 1
+            else:
+                c += 1
+        return cls(a, b, c)
+
+    @property
+    def total(self) -> int:
+        """Total number of active failures."""
+        return self.a + self.b + self.c
+
+    def plus(self, maneuver: Maneuver) -> "SeverityCounts":
+        """Counts after one more active maneuver of the given kind."""
+        letter = maneuver.severity.letter
+        return SeverityCounts(
+            self.a + (letter == "A"),
+            self.b + (letter == "B"),
+            self.c + (letter == "C"),
+        )
+
+
+def catastrophic_situation(counts: SeverityCounts) -> Optional[str]:
+    """Which catastrophic situation (if any) the counts satisfy.
+
+    Returns the first matching identifier in the order ST1, ST2, ST3, or
+    ``None`` when the combination is survivable.
+    """
+    if counts.a >= 2:
+        return "ST1"
+    if counts.a >= 1 and (
+        counts.b >= 2 or (counts.b >= 1 and counts.c >= 1) or counts.c >= 3
+    ):
+        return "ST2"
+    if counts.b + counts.c >= 4:
+        return "ST3"
+    return None

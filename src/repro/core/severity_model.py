@@ -1,0 +1,45 @@
+"""The Severity submodel (paper §3.2.2, Fig. 6).
+
+Watches the shared severity-class places (``class_A``, ``class_B``,
+``class_C``) maintained by the One_vehicle replicas and fires the
+instantaneous activity ``to_KO`` — marking ``KO_total`` — as soon as the
+active failure combination matches one of the catastrophic situations of
+Table 2 (the paper's ``KO_allocation`` input-gate predicate and ``OG_KO``
+output gate).
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration_model import SharedPlaces
+from repro.core.severity import SeverityCounts, catastrophic_situation
+from repro.san import Case, InputGate, InstantaneousActivity, OutputGate, SANModel
+
+__all__ = ["build_severity_model"]
+
+
+def build_severity_model(shared: SharedPlaces) -> SANModel:
+    """The Severity submodel: ``to_KO`` guarded by ``KO_allocation``."""
+    binding = {
+        **shared.class_binding(),
+        "KO_total": shared.ko_total,
+    }
+
+    def ko_allocation(g) -> bool:
+        if g["KO_total"] != 0:
+            return False
+        counts = SeverityCounts(g["class_A"], g["class_B"], g["class_C"])
+        return catastrophic_situation(counts) is not None
+
+    def og_ko(g) -> None:
+        g["KO_total"] = 1
+
+    model = SANModel("Severity")
+    model.add_activity(
+        InstantaneousActivity(
+            "to_KO",
+            input_gates=[InputGate("KO_allocation", binding, ko_allocation)],
+            cases=[Case(1.0, [OutputGate("OG_KO", binding, og_ko)])],
+            priority=1000,
+        )
+    )
+    return model

@@ -1,0 +1,105 @@
+"""The single-vehicle state machine of the paper's Figure 2.
+
+Figure 2 summarises how one vehicle moves between its operational state,
+the six failure-mode/maneuver states, the safe exit ``v_OK`` and the
+terminal ``v_KO``.  Here the machine is *derived* from the domain rules
+(Table 1's failure→maneuver mapping and the escalation ladder) rather
+than transcribed, so the figure printed by ``repro-cli figure 2`` is a
+proof that the implementation encodes the same machine — and the tests
+assert its structural properties (every path of maneuver failures ends in
+``v_KO``, every success edge reaches ``v_OK``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.failure_modes import FAILURE_MODES
+from repro.core.maneuvers import (
+    ESCALATION_LADDER,
+    Maneuver,
+    maneuver_for_failure_mode,
+    next_on_failure,
+)
+
+__all__ = ["FsmEdge", "vehicle_state_machine", "V_OK", "V_KO", "OPERATIONAL"]
+
+#: state labels matching the paper's Figure 2
+OPERATIONAL = "v_op"
+V_OK = "v_OK"
+V_KO = "v_KO"
+
+
+@dataclass(frozen=True)
+class FsmEdge:
+    """One transition of the Figure-2 machine."""
+
+    source: str
+    target: str
+    #: "failure-mode" (an L_i firing), "success", or "KO" (maneuver failed)
+    kind: str
+    label: str
+
+
+def vehicle_state_machine() -> list[FsmEdge]:
+    """All transitions of the single-vehicle machine, derived from code.
+
+    States: the operational state, one state per maneuver (named by the
+    maneuver, standing for "failure active, maneuver in progress"), plus
+    ``v_OK`` and ``v_KO``.
+    """
+    edges: list[FsmEdge] = []
+    # failure-mode occurrences: operational -> Table-1 maneuver
+    for fm in FAILURE_MODES:
+        maneuver = maneuver_for_failure_mode(fm)
+        edges.append(
+            FsmEdge(
+                source=OPERATIONAL,
+                target=maneuver.value,
+                kind="failure-mode",
+                label=f"{fm.fm_id} ({fm.severity.value})",
+            )
+        )
+    # maneuver completions: success -> v_OK; failure -> next rung / v_KO
+    for maneuver in ESCALATION_LADDER:
+        edges.append(
+            FsmEdge(
+                source=maneuver.value,
+                target=V_OK,
+                kind="success",
+                label=f"{maneuver.value} succeeds",
+            )
+        )
+        follow_up = next_on_failure(maneuver)
+        if follow_up is None:
+            edges.append(
+                FsmEdge(
+                    source=maneuver.value,
+                    target=V_KO,
+                    kind="KO",
+                    label=f"{maneuver.value} fails (last resort)",
+                )
+            )
+        else:
+            edges.append(
+                FsmEdge(
+                    source=maneuver.value,
+                    target=follow_up.value,
+                    kind="KO",
+                    label=f"{maneuver.value} fails",
+                )
+            )
+    return edges
+
+
+def figure2(fast: bool = False) -> list[dict]:
+    """The Figure-2 machine as printable rows (registry experiment)."""
+    return [
+        {
+            "from": edge.source,
+            "to": edge.target,
+            "kind": edge.kind,
+            "label": edge.label,
+        }
+        for edge in vehicle_state_machine()
+    ]

@@ -1,0 +1,217 @@
+"""The One_vehicle submodel (paper §3.2.1, Fig. 5).
+
+Per vehicle: six failure-mode activities ``L_i`` (rates λᵢ) and six
+maneuver activities.  A failure marks the granted maneuver's ``SM`` place
+(the request-escalation rule of §2.1.2 resolves which maneuver is granted
+against the maneuvers active in the coordination scope); the maneuver's
+completion either succeeds — the vehicle leaves the highway safely
+(``v_OK``; here: the ``out`` flag, feeding the paper's ``back_to``/``OUT``
+re-entry loop) — or fails and escalates to the next ladder rung, with
+``v_KO`` (expulsion as a free agent) after a failed Aided Stop.
+
+Severity-class counters and per-(maneuver, platoon) activity counters are
+maintained in the shared places so the Severity submodel can detect the
+catastrophic situations of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.configuration_model import SharedPlaces, VehiclePlaces
+from repro.core.coordination import scope_is_global
+from repro.core.failure_modes import FAILURE_MODES
+from repro.core.maneuvers import (
+    ESCALATION_LADDER,
+    Maneuver,
+    escalate_request,
+    maneuver_for_failure_mode,
+    next_on_failure,
+)
+from repro.core.parameters import AHSParameters
+from repro.san import Case, InputGate, MarkingFunction, OutputGate, TimedActivity
+
+__all__ = ["build_failure_activities", "build_maneuver_activities"]
+
+
+def _full_binding(shared: SharedPlaces, vehicle: VehiclePlaces) -> dict:
+    """Binding exposing everything the failure/maneuver gates touch."""
+    return {
+        **vehicle.binding(),
+        **shared.act_binding(),
+        **shared.class_binding(),
+        "occ1": shared.occ1,
+        "occ2": shared.occ2,
+        "tr": shared.transit,
+        "KO": shared.ko_total,
+    }
+
+
+def _own_platoon(g) -> int:
+    """Platoon of this vehicle (transit vehicles ride in platoon 1)."""
+    if g["p1"] == 1 or g["in_transit"] == 1:
+        return 1
+    return 2
+
+
+def _grant(g, params: AHSParameters, requested: Maneuver, own: int) -> Maneuver:
+    """Request escalation against the active maneuvers in scope."""
+    platoons = (1, 2) if scope_is_global(params.strategy) else (own,)
+    active = [
+        maneuver
+        for maneuver in ESCALATION_LADDER
+        for platoon in platoons
+        if g[f"act_{maneuver.name}_{platoon}"] > 0
+    ]
+    return escalate_request(requested, active)
+
+
+def _activate(g, shared: SharedPlaces, maneuver: Maneuver, own: int) -> None:
+    """Mark a maneuver active for this vehicle and bump the counters."""
+    g[f"sm_{maneuver.name}"] = 1
+    g.inc(f"act_{maneuver.name}_{own}")
+    g.inc(shared.class_place_name(maneuver))
+
+
+def _deactivate(g, shared: SharedPlaces, maneuver: Maneuver, own: int) -> None:
+    """Clear a vehicle's active maneuver and the shared counters."""
+    g[f"sm_{maneuver.name}"] = 0
+    g.dec(f"act_{maneuver.name}_{own}")
+    g.dec(shared.class_place_name(maneuver))
+
+
+def _occupancies(g) -> tuple[float, float]:
+    """(platoon-1 incl. transit, platoon-2) occupancies from the marking."""
+    return float(g["occ1"] + g["tr"]), float(g["occ2"])
+
+
+def _busy_fraction(g) -> float:
+    """Fraction of potential assistants currently mid-maneuver."""
+    active = g["class_A"] + g["class_B"] + g["class_C"]
+    total = g["occ1"] + g["tr"] + g["occ2"]
+    if total <= 1:
+        return 1.0 if active > 0 else 0.0
+    return min(max(active / (total - 1.0), 0.0), 1.0)
+
+
+# ----------------------------------------------------------------------
+# failure-mode activities (paper: L_1 .. L_6)
+# ----------------------------------------------------------------------
+def build_failure_activities(
+    shared: SharedPlaces, vehicle: VehiclePlaces, params: AHSParameters
+) -> list[TimedActivity]:
+    """The six ``L_i`` activities of One_vehicle."""
+    binding = _full_binding(shared, vehicle)
+    activities: list[TimedActivity] = []
+    for failure_mode in FAILURE_MODES:
+        requested = maneuver_for_failure_mode(failure_mode)
+
+        def predicate(g) -> bool:
+            return g["ok"] == 1 and g["KO"] == 0
+
+        def on_failure(g, requested=requested) -> None:
+            # A transiting vehicle that fails re-materialises as a
+            # platoon-1 member so its maneuver is coordinated there.
+            if g["in_transit"] == 1:
+                g["in_transit"] = 0
+                g.dec("tr")
+                g["p1"] = 1
+                g.inc("occ1")
+            own = _own_platoon(g)
+            g["ok"] = 0
+            granted = _grant(g, params, requested, own)
+            _activate(g, shared, granted, own)
+
+        gate_in = InputGate(f"fi_{failure_mode.fm_id}", binding, predicate)
+        gate_out = OutputGate(f"fmi_{failure_mode.fm_id}", binding, on_failure)
+        activities.append(
+            TimedActivity(
+                f"L_{failure_mode.fm_id}",
+                rate=params.failure_mode_rate(failure_mode),
+                input_gates=[gate_in],
+                cases=[Case(1.0, [gate_out], label="failure-occurs")],
+            )
+        )
+    return activities
+
+
+# ----------------------------------------------------------------------
+# maneuver activities
+# ----------------------------------------------------------------------
+def build_maneuver_activities(
+    shared: SharedPlaces, vehicle: VehiclePlaces, params: AHSParameters
+) -> list[TimedActivity]:
+    """The six maneuver activities of One_vehicle (TIE-N ... AS)."""
+    binding = _full_binding(shared, vehicle)
+    activities: list[TimedActivity] = []
+    for maneuver in ESCALATION_LADDER:
+
+        def predicate(g, maneuver=maneuver) -> bool:
+            return g[f"sm_{maneuver.name}"] == 1 and g["KO"] == 0
+
+        def rate_fn(g, maneuver=maneuver) -> float:
+            occ1, occ2 = _occupancies(g)
+            own = occ1 if _own_platoon(g) == 1 else occ2
+            return params.maneuver_rate(maneuver, max(own, 1.0))
+
+        def success_prob(g, maneuver=maneuver) -> float:
+            occ1, occ2 = _occupancies(g)
+            if _own_platoon(g) == 1:
+                occ_own, occ_nb = occ1, occ2
+            else:
+                occ_own, occ_nb = occ2, occ1
+            return params.success_probability(
+                maneuver, max(occ_own, 1.0), occ_nb, _busy_fraction(g)
+            )
+
+        def failure_prob(g, maneuver=maneuver) -> float:
+            return 1.0 - success_prob(g, maneuver=maneuver)
+
+        def exit_highway(g, maneuver=maneuver) -> None:
+            # v_OK (safe exit) — and also v_KO after a failed AS: either
+            # way the vehicle leaves the platoons; the paper recycles it
+            # through back_to / OUT so a new vehicle may enter.
+            own = _own_platoon(g)
+            _deactivate(g, shared, maneuver, own)
+            g[f"p{own}"] = 0
+            g.dec(f"occ{own}")
+            g["out"] = 1
+
+        def escalate(g, maneuver=maneuver) -> None:
+            own = _own_platoon(g)
+            _deactivate(g, shared, maneuver, own)
+            follow_up = next_on_failure(maneuver)
+            granted = _grant(g, params, follow_up, own)
+            _activate(g, shared, granted, own)
+
+        gate_in = InputGate(f"IG_{maneuver.name}", binding, predicate)
+        success_gate = OutputGate(f"OG_{maneuver.name}_ok", binding, exit_highway)
+        if next_on_failure(maneuver) is None:
+            # AS: failure expels the vehicle (v_KO) — same marking effect
+            failure_gate = OutputGate(
+                f"OG_{maneuver.name}_ko", binding, exit_highway
+            )
+        else:
+            failure_gate = OutputGate(
+                f"OG_{maneuver.name}_esc", binding, escalate
+            )
+        activities.append(
+            TimedActivity(
+                f"maneuver_{maneuver.name}",
+                rate=MarkingFunction(binding, rate_fn),
+                input_gates=[gate_in],
+                cases=[
+                    Case(
+                        MarkingFunction(binding, success_prob),
+                        [success_gate],
+                        label="success",
+                    ),
+                    Case(
+                        MarkingFunction(binding, failure_prob),
+                        [failure_gate],
+                        label="failure",
+                    ),
+                ],
+            )
+        )
+    return activities

@@ -1,0 +1,38 @@
+"""Continuous-time Markov chain representation and solvers.
+
+Provides the numerical backend for SAN analysis:
+
+* :class:`~repro.ctmc.chain.CTMC` — sparse generator + initial distribution;
+* :mod:`~repro.ctmc.transient` — transient solution by uniformization
+  (Jensen's method) with steady-state detection; this is how the library
+  computes the paper's unsafety curves down to 1e-13, which is far beyond
+  what plain Monte-Carlo can see;
+* :mod:`~repro.ctmc.stationary` — steady-state and mean-time-to-absorption;
+* :mod:`~repro.ctmc.lumping` — exact (strong) lumping by a state-key
+  function, used to validate replica-symmetry reductions.
+"""
+
+from repro.ctmc.chain import CTMC
+from repro.ctmc.transient import (
+    accumulated_reward,
+    transient_distribution,
+    transient_reward,
+)
+from repro.ctmc.stationary import (
+    stationary_distribution,
+    mean_time_to_absorption,
+    absorption_probabilities,
+)
+from repro.ctmc.lumping import lump, LumpingError
+
+__all__ = [
+    "CTMC",
+    "transient_distribution",
+    "transient_reward",
+    "accumulated_reward",
+    "stationary_distribution",
+    "mean_time_to_absorption",
+    "absorption_probabilities",
+    "lump",
+    "LumpingError",
+]

@@ -1,0 +1,132 @@
+"""Sparse CTMC container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["CTMC"]
+
+
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Parameters
+    ----------
+    generator:
+        Square sparse/dense generator matrix Q: off-diagonal entries are
+        non-negative transition rates; each row sums to zero (absorbing
+        states have an all-zero row).  Validated on construction.
+    initial:
+        Initial probability distribution (defaults to mass on state 0).
+    labels:
+        Optional human-readable state labels for reports.
+    """
+
+    def __init__(
+        self,
+        generator,
+        initial: Optional[np.ndarray] = None,
+        labels: Optional[list] = None,
+    ) -> None:
+        q = sparse.csr_matrix(generator, dtype=float)
+        if q.shape[0] != q.shape[1]:
+            raise ValueError(f"generator must be square, got {q.shape}")
+        n = q.shape[0]
+        if n == 0:
+            raise ValueError("CTMC needs at least one state")
+
+        off_diag = q - sparse.diags(q.diagonal())
+        if off_diag.nnz and off_diag.min() < -1e-12:
+            raise ValueError("generator has negative off-diagonal rates")
+        row_sums = np.asarray(q.sum(axis=1)).ravel()
+        worst = float(np.abs(row_sums).max()) if n else 0.0
+        scale = max(1.0, float(np.abs(q.diagonal()).max()))
+        if worst > 1e-8 * scale:
+            raise ValueError(
+                f"generator rows must sum to 0 (worst residual {worst:g})"
+            )
+
+        if initial is None:
+            initial = np.zeros(n)
+            initial[0] = 1.0
+        initial = np.asarray(initial, dtype=float)
+        if initial.shape != (n,):
+            raise ValueError(
+                f"initial distribution shape {initial.shape} != ({n},)"
+            )
+        if (initial < -1e-12).any() or abs(float(initial.sum()) - 1.0) > 1e-9:
+            raise ValueError("initial must be a probability distribution")
+        if labels is not None and len(labels) != n:
+            raise ValueError(f"{len(labels)} labels for {n} states")
+
+        self.generator = q
+        self.initial = initial
+        self.labels = labels
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self.generator.shape[0]
+
+    @property
+    def exit_rates(self) -> np.ndarray:
+        """Total outgoing rate of each state (−diagonal)."""
+        return -self.generator.diagonal()
+
+    @property
+    def uniformization_rate(self) -> float:
+        """Smallest admissible uniformization constant (max exit rate)."""
+        rates = self.exit_rates
+        return float(rates.max()) if rates.size else 0.0
+
+    def absorbing_states(self) -> np.ndarray:
+        """Indices of absorbing states (zero exit rate)."""
+        return np.flatnonzero(self.exit_rates <= 1e-300)
+
+    def embedded_dtmc(self, uniformization_rate: Optional[float] = None):
+        """Uniformized DTMC ``P = I + Q / Λ`` (sparse CSR)."""
+        lam = (
+            self.uniformization_rate
+            if uniformization_rate is None
+            else float(uniformization_rate)
+        )
+        if lam < self.uniformization_rate * (1 - 1e-12):
+            raise ValueError(
+                f"uniformization rate {lam} below max exit rate "
+                f"{self.uniformization_rate}"
+            )
+        n = self.n_states
+        if lam <= 0.0:
+            return sparse.identity(n, format="csr")
+        return (sparse.identity(n, format="csr") + self.generator / lam).tocsr()
+
+    def restrict(self, keep: Iterable[int]) -> "CTMC":
+        """Sub-chain over ``keep`` states, other transitions dropped.
+
+        The resulting rows are re-closed by increasing self-absorption (any
+        rate leaving the kept set is removed and the diagonal adjusted so
+        rows still sum to zero) — i.e. leaked transitions become invisible.
+        Useful for quick what-if studies; not probability-preserving.
+        """
+        keep = np.asarray(sorted(set(keep)), dtype=int)
+        sub = self.generator[keep][:, keep].tolil()
+        sub.setdiag(0.0)
+        row_sums = np.asarray(sub.sum(axis=1)).ravel()
+        sub.setdiag(-row_sums)
+        initial = self.initial[keep]
+        total = initial.sum()
+        if total <= 0:
+            raise ValueError("restricted chain has zero initial mass")
+        labels = [self.labels[i] for i in keep] if self.labels else None
+        return CTMC(sub.tocsr(), initial / total, labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CTMC(states={self.n_states}, "
+            f"transitions={self.generator.nnz - self.n_states}, "
+            f"max_rate={self.uniformization_rate:g})"
+        )

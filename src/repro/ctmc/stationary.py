@@ -1,0 +1,107 @@
+"""Steady-state and absorption analysis of CTMCs."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as spla
+
+from repro.ctmc.chain import CTMC
+
+__all__ = [
+    "stationary_distribution",
+    "mean_time_to_absorption",
+    "absorption_probabilities",
+]
+
+
+def stationary_distribution(chain: CTMC, tol: float = 1e-12) -> np.ndarray:
+    """Stationary distribution π solving πQ = 0, Σπ = 1.
+
+    Requires an irreducible chain (checked a-posteriori: the solution must
+    be a strictly proper distribution; absorbing or reducible chains
+    typically produce negative/degenerate solutions and are rejected).
+    """
+    n = chain.n_states
+    if n == 1:
+        return np.ones(1)
+    # Replace one balance equation with the normalisation constraint.
+    a = chain.generator.T.tolil()
+    a[n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    import warnings
+
+    with warnings.catch_warnings():
+        # a singular system just means "no stationary law"; we detect it
+        # from the (NaN/inf) solution below and raise a clear error
+        warnings.simplefilter("ignore", spla.MatrixRankWarning)
+        solution = spla.spsolve(a.tocsr(), b)
+    if not np.all(np.isfinite(solution)) or (solution < -1e-9).any():
+        raise ValueError(
+            "no valid stationary distribution (chain reducible or absorbing?)"
+        )
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"stationary solve off-normalised (sum={total})")
+    residual = float(np.abs(solution @ chain.generator).max())
+    scale = max(1.0, chain.uniformization_rate)
+    if residual > 1e-7 * scale:
+        raise ValueError(f"stationary residual too large: {residual}")
+    return solution / total
+
+
+def _split_transient(chain: CTMC) -> tuple[np.ndarray, np.ndarray]:
+    absorbing = chain.absorbing_states()
+    mask = np.zeros(chain.n_states, dtype=bool)
+    mask[absorbing] = True
+    transient = np.flatnonzero(~mask)
+    if transient.size == 0:
+        raise ValueError("chain has no transient states")
+    if absorbing.size == 0:
+        raise ValueError("chain has no absorbing states")
+    return transient, absorbing
+
+
+def mean_time_to_absorption(chain: CTMC) -> float:
+    """Expected time to reach any absorbing state from the initial law.
+
+    Solves ``Q_TT τ = −1`` over the transient block.
+    """
+    transient, _ = _split_transient(chain)
+    q_tt = chain.generator[transient][:, transient].tocsr()
+    tau = spla.spsolve(q_tt, -np.ones(transient.size))
+    if not np.all(np.isfinite(tau)) or (tau < -1e-9).any():
+        raise ValueError(
+            "mean time to absorption undefined (absorbing set unreachable "
+            "from part of the transient block?)"
+        )
+    p0 = chain.initial[transient]
+    return float(p0 @ np.clip(tau, 0.0, None))
+
+
+def absorption_probabilities(chain: CTMC) -> np.ndarray:
+    """Eventual absorption probability into each absorbing state.
+
+    Returns a full-length vector: entry *j* is the probability of ending in
+    state *j* (zero for transient states), starting from the chain's initial
+    distribution.  Solves ``Q_TT B = −Q_TA`` column by column.
+    """
+    transient, absorbing = _split_transient(chain)
+    q_tt = chain.generator[transient][:, transient].tocsc()
+    q_ta = chain.generator[transient][:, absorbing].toarray()
+    lu = spla.splu(q_tt)
+    boundary = np.column_stack(
+        [lu.solve(-q_ta[:, j]) for j in range(absorbing.size)]
+    )
+    result = np.zeros(chain.n_states)
+    p0_transient = chain.initial[transient]
+    result[absorbing] = p0_transient @ boundary + chain.initial[absorbing]
+    total = result.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(
+            f"absorption probabilities sum to {total}; some mass never "
+            f"absorbs (recurrent transient class?)"
+        )
+    return result

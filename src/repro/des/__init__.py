@@ -1,0 +1,33 @@
+"""Process-based discrete-event simulation kernel.
+
+A small SimPy-like kernel: an :class:`~repro.des.environment.Environment`
+owns a time-ordered event queue; *processes* are Python generators that
+``yield`` events (timeouts, other events, other processes) and are resumed
+when those events fire.  The microscopic traffic substrate
+(:mod:`repro.agents`) is written against this kernel; the SAN executor uses
+the lower-level event queue directly.
+"""
+
+from repro.des.events import Event, Timeout, AnyOf, AllOf, Interrupt, EventAborted
+from repro.des.environment import Environment, StopSimulation
+from repro.des.process import Process, ProcessDied
+from repro.des.resources import Resource, Store, PriorityResource
+from repro.des.monitor import Monitor, TimeSeries
+
+__all__ = [
+    "Environment",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "EventAborted",
+    "Process",
+    "ProcessDied",
+    "Resource",
+    "Store",
+    "PriorityResource",
+    "Monitor",
+    "TimeSeries",
+]

@@ -1,0 +1,149 @@
+"""The simulation environment: clock + event queue + run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.des.events import Event, Timeout
+
+__all__ = ["Environment", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    The environment advances simulated time from one scheduled event to the
+    next.  Determinism: events scheduled for the same time fire in FIFO
+    scheduling order (a monotone tiebreaker in the heap key).
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = count()
+        self._active_process = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently executing, if any."""
+        return self._active_process
+
+    @property
+    def queue_size(self) -> int:
+        """Number of scheduled events not yet processed."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator):
+        """Start a new process from ``generator`` and return it."""
+        from repro.des.process import Process
+
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # scheduling & run loop
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the queue drains;
+            a number — run until the clock reaches it (the clock is set to
+            exactly ``until`` when the horizon is hit);
+            an :class:`Event` — run until that event has been processed and
+            return its value.
+
+        Returns
+        -------
+        The value of the ``until`` event, if one was given.
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            stop_event.callbacks.append(_StopAtEvent())
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None:
+            raise RuntimeError(
+                "simulation ended before the awaited event was triggered"
+            )
+        if horizon != float("inf"):
+            self._now = horizon
+        return None
+
+
+class _StopAtEvent:
+    """Callback that stops the run loop when its event processes."""
+
+    def __call__(self, event: Event) -> None:
+        if event.ok:
+            raise StopSimulation(event.value)
+        raise event.value

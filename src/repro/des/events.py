@@ -1,0 +1,185 @@
+"""Event primitives for the discrete-event kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.des.environment import Environment
+
+__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Interrupt", "EventAborted"]
+
+
+class EventAborted(RuntimeError):
+    """Raised into a process waiting on an event that failed."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Life cycle: *pending* → *triggered* (scheduled in the queue) →
+    *processed* (callbacks ran).  An event may instead *fail*, in which case
+    waiting processes receive :class:`EventAborted` (or the failure's
+    exception) at their ``yield``.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True unless the event failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or its failure exception)."""
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay:g}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {
+            event: event.value for event in self.events if event.processed
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its constituent events fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        else:
+            self.succeed(self._collect_values())
+
+
+class AllOf(_Condition):
+    """Fires when all of its constituent events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect_values())

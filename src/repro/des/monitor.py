@@ -1,0 +1,155 @@
+"""Instrumentation for simulations: time series and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Monitor", "TimeSeries"]
+
+
+class Monitor:
+    """Streaming summary statistics (Welford's algorithm).
+
+    Accumulates count / mean / variance / min / max in O(1) memory —
+    suitable for long simulations where storing every sample is wasteful.
+    """
+
+    __slots__ = ("name", "_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN when empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than 2 observations)."""
+        if self._n < 2:
+            return math.nan
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (inf when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (-inf when empty)."""
+        return self._max
+
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Combine two monitors (parallel Welford merge); returns ``self``."""
+        if other._n == 0:
+            return self
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            self._min, self._max = other._min, other._max
+            return self
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Monitor({self.name!r}, n={self._n}, mean={self.mean:.4g}, "
+            f"std={self.std:.4g})"
+        )
+
+
+class TimeSeries:
+    """A recorded (time, value) trajectory with time-average utilities.
+
+    Used for piecewise-constant state observables, e.g. platoon occupancy
+    over time in the traffic substrate.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards: {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted average assuming piecewise-constant values.
+
+        Parameters
+        ----------
+        until:
+            Horizon closing the last segment; defaults to the last
+            recorded time (in which case the final sample has zero weight).
+        """
+        if not self.times:
+            return math.nan
+        end = self.times[-1] if until is None else float(until)
+        if end < self.times[-1]:
+            raise ValueError(f"until={end} precedes last sample {self.times[-1]}")
+        times = np.asarray(self.times + [end])
+        values = np.asarray(self.values + [self.values[-1]])
+        widths = np.diff(times)
+        total = float(widths.sum())
+        if total == 0.0:
+            return float(values[0])
+        return float(np.dot(widths, values[:-1]) / total)
+
+    def value_at(self, time: float) -> float:
+        """Value of the piecewise-constant trajectory at ``time``."""
+        if not self.times or time < self.times[0]:
+            raise ValueError(f"no sample at or before t={time}")
+        idx = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        return self.values[idx]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) as NumPy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)

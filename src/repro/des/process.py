@@ -1,0 +1,141 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.des.events import Event, EventAborted, Interrupt
+
+__all__ = ["Process", "ProcessDied"]
+
+
+class ProcessDied(RuntimeError):
+    """Raised when interacting with a process that has already finished."""
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an :class:`Event` that fires (with the generator's
+    return value) when the generator finishes, so processes can wait for each
+    other simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off the process at the current time via an initialisation event.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The interrupted process stops waiting on its current event and must
+        handle (or propagate) the exception.
+        """
+        if self._triggered:
+            raise ProcessDied(f"cannot interrupt finished process {self!r}")
+        if self._waiting_on is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Deliver asynchronously via a zero-delay event so that interrupts
+        # issued while the target is actively executing are deferred.
+        deliver = Event(self.env)
+        deliver.callbacks.append(lambda _e: self._throw(Interrupt(cause)))
+        deliver.succeed()
+
+    # ------------------------------------------------------------------
+    def _detach(self) -> None:
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:  # finished in the meantime; drop the interrupt
+            return
+        self._detach()
+        self._step(exc, throwing=True)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, throwing=False)
+        else:
+            exc = event.value
+            if not isinstance(exc, BaseException):
+                exc = EventAborted(repr(exc))
+            self._step(exc, throwing=True)
+
+    def _step(self, payload: Any, throwing: bool) -> None:
+        env = self.env
+        previous, env._active_process = env._active_process, self
+        try:
+            if throwing:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            env._active_process = previous
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            env._active_process = previous
+            self.fail(RuntimeError("process did not handle an Interrupt"))
+            return
+        except Exception as exc:  # noqa: BLE001 - process failure, not crash
+            env._active_process = previous
+            self.fail(exc)
+            return
+        finally:
+            env._active_process = previous
+
+        if not isinstance(target, Event):
+            self._crash(
+                TypeError(
+                    f"process yielded {target!r}; processes must yield Event "
+                    f"objects (Timeout, Process, AnyOf, ...)"
+                )
+            )
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately via a zero-delay event to
+            # preserve FIFO fairness.
+            immediate = Event(env)
+            immediate.callbacks.append(
+                lambda _e: self._resume(target)
+            )
+            immediate.succeed()
+            self._waiting_on = target
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def _crash(self, exc: BaseException) -> None:
+        try:
+            self._generator.throw(exc)
+        except BaseException as raised:  # noqa: BLE001 - propagate as failure
+            if not self._triggered:
+                self.fail(raised)
+            return
+        if not self._triggered:
+            self.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self._generator, "__name__", "process")
+        return f"<Process {name} {'alive' if self.is_alive else 'done'}>"

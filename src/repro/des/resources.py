@@ -1,0 +1,185 @@
+"""Shared resources for simulation processes.
+
+Provides the classic trio: a counted :class:`Resource` (e.g. highway exit
+gates), a :class:`PriorityResource` where waiters are served by priority
+(used for maneuver coordination — Class-A maneuvers preempt the queue of
+lower-severity requests), and a :class:`Store` for message queues in the
+V2V communication substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Optional
+
+from repro.des.environment import Environment
+from repro.des.events import Event
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class _Request(Event):
+    """Pending acquisition of a resource; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+    # context-manager sugar: ``with res.request() as req: yield req``
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.triggered and self.ok:
+            self.resource.release()
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[tuple[Any, int, _Request]] = []
+        self._counter = count()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    def _sort_key(self, priority: Any) -> Any:
+        return 0  # FIFO: heap orders by insertion counter only
+
+    def request(self, priority: Any = None) -> _Request:
+        """Ask for one slot; the returned event fires when granted."""
+        key = self._sort_key(priority)  # validates priority up front
+        req = _Request(self.env, self)
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            req.succeed()
+        else:
+            heapq.heappush(self._waiters, (key, next(self._counter), req))
+        return req
+
+    def release(self) -> None:
+        """Return one slot and grant it to the next waiter, if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching grant")
+        if self._waiters:
+            _, _, nxt = heapq.heappop(self._waiters)
+            nxt.succeed()
+            # slot transfers directly: _in_use unchanged
+        else:
+            self._in_use -= 1
+
+    def _cancel(self, req: _Request) -> None:
+        for i, (_, _, waiting) in enumerate(self._waiters):
+            if waiting is req:
+                self._waiters.pop(i)
+                heapq.heapify(self._waiters)
+                return
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is served lowest-priority-value first."""
+
+    def _sort_key(self, priority: Any) -> Any:
+        if priority is None:
+            raise ValueError("PriorityResource.request() requires a priority")
+        return priority
+
+
+class Store:
+    """An unbounded (or bounded) FIFO store of items.
+
+    ``put`` events fire when the item is accepted; ``get`` events fire with
+    the retrieved item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of stored items (copy; mutation-safe)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the event fires when accepted."""
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.pop(0)
+            getter.succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Retrieve the oldest item; the event fires with the item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.pop(0))
+            if self._putters:
+                put_event, item = self._putters.pop(0)
+                self._items.append(item)
+                put_event.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending ``get`` so it cannot swallow a later item.
+
+        Returns True when the event was still queued (and is now removed);
+        False when it already fired or was never a getter here.
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    def get_filtered(self, predicate: Callable[[Any], bool]) -> Optional[Any]:
+        """Immediately remove and return the first item matching ``predicate``.
+
+        Returns ``None`` when no stored item matches (does not wait).
+        """
+        for i, item in enumerate(self._items):
+            if predicate(item):
+                return self._items.pop(i)
+        return None

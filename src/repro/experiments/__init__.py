@@ -1,0 +1,51 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment in the :mod:`~repro.experiments.registry` corresponds to
+one table (1–3) or figure (10–15) of the evaluation section; running it
+prints the same rows/series the paper reports.  ``repro-cli figure 14``
+and ``benchmarks/bench_fig14.py`` both route through this package.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.figures import FigureResult, SeriesSpec
+from repro.experiments.runner import (
+    outcome_to_json,
+    run_experiment,
+    save_outcome,
+)
+from repro.experiments.report import (
+    format_ascii_chart,
+    format_series_table,
+    format_table,
+)
+from repro.experiments.sensitivity import (
+    SENSITIVITY_PARAMETERS,
+    TornadoRow,
+    tornado,
+)
+from repro.experiments.study import Study, StudyResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
+    "FigureResult",
+    "SeriesSpec",
+    "run_experiment",
+    "save_outcome",
+    "outcome_to_json",
+    "format_table",
+    "format_series_table",
+    "format_ascii_chart",
+    "SENSITIVITY_PARAMETERS",
+    "TornadoRow",
+    "tornado",
+    "Study",
+    "StudyResult",
+]

@@ -1,0 +1,198 @@
+"""Programmatic verification of the paper's evaluation claims.
+
+``repro-cli verify`` recomputes every figure and checks the paper's
+qualitative claims against it, printing a ✔/✘ verdict per claim — the
+user-facing twin of ``tests/integration/test_paper_claims.py``.  Each
+checker returns ``(claim text, holds, evidence)`` so reports can show
+*why* a verdict was reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments import figures
+
+__all__ = ["ClaimVerdict", "verify_figure", "verify_all", "CLAIM_CHECKERS"]
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """Outcome of checking one paper claim."""
+
+    experiment_id: str
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def _check_figure10(result) -> list[ClaimVerdict]:
+    verdicts = []
+    growth = {
+        label: float(values[-1] / values[0])
+        for label, values in result.series.items()
+    }
+    verdicts.append(
+        ClaimVerdict(
+            "figure10",
+            "S(t) grows substantially from the shortest to the longest trip",
+            all(g > 3.0 for g in growth.values()),
+            f"growth 2h→10h per series: "
+            + ", ".join(f"{k}: x{v:.1f}" for k, v in growth.items()),
+        )
+    )
+    sizes = sorted(result.series, key=lambda lbl: int(lbl.split("=")[1]))
+    ordered = all(
+        (result.series[b] > result.series[a]).all()
+        for a, b in zip(sizes, sizes[1:])
+    )
+    ratio = result.series_at(sizes[-1], 10.0) / result.series_at(sizes[0], 10.0)
+    verdicts.append(
+        ClaimVerdict(
+            "figure10",
+            "larger platoons are significantly less safe",
+            ordered and ratio > 2.0,
+            f"monotone in n: {ordered}; {sizes[0]}→{sizes[-1]} at 10h: x{ratio:.1f}",
+        )
+    )
+    return verdicts
+
+
+def _check_figure11(result) -> list[ClaimVerdict]:
+    at6 = {label: result.series_at(label, 6.0) for label in result.series}
+    low = at6["lambda=1e-05"] / at6["lambda=1e-06"]
+    high = at6["lambda=0.0001"] / at6["lambda=1e-05"]
+    verdicts = [
+        ClaimVerdict(
+            "figure11",
+            "unsafety is very sensitive to the failure rate "
+            "(paper: x175 then x40 per decade of lambda at 6h)",
+            low > 30.0 and high > 30.0,
+            f"measured x{low:.0f} (1e-6→1e-5) and x{high:.0f} (1e-5→1e-4)",
+        )
+    ]
+    tiny = result.series["lambda=1e-07"]
+    verdicts.append(
+        ClaimVerdict(
+            "figure11",
+            "lambda=1e-7 yields an unsafety far below Monte-Carlo reach "
+            "(paper quotes ~1e-13 without plotting)",
+            bool((tiny > 0).all() and (tiny < 1e-8).all()),
+            f"S(6h) at 1e-7: {result.series_at('lambda=1e-07', 6.0):.2e}",
+        )
+    )
+    return verdicts
+
+
+def _check_figure12(result) -> list[ClaimVerdict]:
+    monotone = all(
+        bool((np.diff(values) > 0).all()) for values in result.series.values()
+    )
+    return [
+        ClaimVerdict(
+            "figure12",
+            "S(6h) increases with n for every failure rate",
+            monotone,
+            f"series monotone in n: {monotone}",
+        )
+    ]
+
+
+def _check_figure13(result) -> list[ClaimVerdict]:
+    rho1 = [k for k in result.series if "rho=1" in k]
+    rho2 = [k for k in result.series if "rho=2" in k]
+    same_trend = np.allclose(
+        result.series[rho1[0]], result.series[rho1[1]], rtol=0.15
+    ) and np.allclose(result.series[rho2[0]], result.series[rho2[1]], rtol=0.15)
+    ordered = bool((result.series[rho2[0]] > result.series[rho1[0]]).all())
+    same_order = bool(
+        (result.series[rho2[0]] < 10 * result.series[rho1[0]]).all()
+    )
+    return [
+        ClaimVerdict(
+            "figure13",
+            "curves with the same load rho share the trend",
+            same_trend,
+            f"equal-rho curves within 15%: {same_trend}",
+        ),
+        ClaimVerdict(
+            "figure13",
+            "rho=2 is less safe than rho=1, within the same order of magnitude",
+            ordered and same_order,
+            f"rho2 > rho1 everywhere: {ordered}; within 10x: {same_order}",
+        ),
+    ]
+
+
+def _check_figure14(result) -> list[ClaimVerdict]:
+    dd, dc, cd, cc = (result.series[k] for k in ("DD", "DC", "CD", "CC"))
+    decentral = bool((dd < cd).all() and (dc < cc).all())
+    inter_beats_intra = bool(((cd / dd) > (dc / dd)).all())
+    low_impact = bool((cc < 10 * dd).all())
+    return [
+        ClaimVerdict(
+            "figure14",
+            "decentralized inter-platoon coordination is safer",
+            decentral,
+            f"DD<CD and DC<CC at every t: {decentral}",
+        ),
+        ClaimVerdict(
+            "figure14",
+            "the inter-platoon model matters more than the intra-platoon",
+            inter_beats_intra,
+            f"CD/DD vs DC/DD at 6h: "
+            f"{result.series_at('CD', 6.0)/result.series_at('DD', 6.0):.2f} vs "
+            f"{result.series_at('DC', 6.0)/result.series_at('DD', 6.0):.2f}",
+        ),
+        ClaimVerdict(
+            "figure14",
+            "the overall impact of the strategy is low",
+            low_impact,
+            f"CC/DD at 6h: "
+            f"{result.series_at('CC', 6.0)/result.series_at('DD', 6.0):.2f}",
+        ),
+    ]
+
+
+def _check_figure15(result) -> list[ClaimVerdict]:
+    dd, dc, cd, cc = (result.series[k] for k in ("DD", "DC", "CD", "CC"))
+    holds = bool((dd <= dc).all() and (dc < cd).all() and (cd <= cc).all())
+    return [
+        ClaimVerdict(
+            "figure15",
+            "the ordering DD <= DC < CD <= CC holds for every n",
+            holds,
+            f"checked at n = {result.x_values.astype(int).tolist()}",
+        )
+    ]
+
+
+CLAIM_CHECKERS: dict[str, tuple[Callable, Callable]] = {
+    "figure10": (figures.figure10, _check_figure10),
+    "figure11": (figures.figure11, _check_figure11),
+    "figure12": (figures.figure12, _check_figure12),
+    "figure13": (figures.figure13, _check_figure13),
+    "figure14": (figures.figure14, _check_figure14),
+    "figure15": (figures.figure15, _check_figure15),
+}
+
+
+def verify_figure(figure_id: str) -> list[ClaimVerdict]:
+    """Recompute one figure and verify its claims."""
+    if figure_id not in CLAIM_CHECKERS:
+        raise KeyError(
+            f"no claim checker for {figure_id!r}; have {sorted(CLAIM_CHECKERS)}"
+        )
+    compute, check = CLAIM_CHECKERS[figure_id]
+    return check(compute(fast=False))
+
+
+def verify_all() -> list[ClaimVerdict]:
+    """Recompute every figure and verify every claim."""
+    verdicts: list[ClaimVerdict] = []
+    for figure_id in sorted(CLAIM_CHECKERS):
+        verdicts.extend(verify_figure(figure_id))
+    return verdicts

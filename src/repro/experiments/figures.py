@@ -1,0 +1,205 @@
+"""Figure experiments (paper Figures 10–15).
+
+Every function returns a :class:`FigureResult`: labelled unsafety series
+over trip durations (or over n, for the t = 6 h cuts of Figures 12/15),
+computed with the analytical engine at the paper's parameters.  ``fast``
+trims the sweep for benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.analytical import AnalyticalEngine
+from repro.core.coordination import Strategy
+from repro.core.parameters import AHSParameters
+
+__all__ = [
+    "SeriesSpec",
+    "FigureResult",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "TRIP_DURATIONS",
+]
+
+#: the paper's trip-duration axis (2 to 10 hours)
+TRIP_DURATIONS: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+@dataclass
+class SeriesSpec:
+    """One curve of a figure."""
+
+    label: str
+    params: AHSParameters
+
+
+@dataclass
+class FigureResult:
+    """Evaluated figure: x-axis plus one value array per series."""
+
+    figure_id: str
+    description: str
+    x_label: str
+    x_values: np.ndarray
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def series_at(self, label: str, x: float) -> float:
+        """Value of one series at an exact x point."""
+        matches = np.flatnonzero(np.isclose(self.x_values, x))
+        if matches.size == 0:
+            raise KeyError(f"x={x} not evaluated for {self.figure_id}")
+        return float(self.series[label][matches[0]])
+
+    def rows(self) -> list[dict]:
+        """Flat rows (one per x value) for report printing."""
+        out = []
+        for i, x in enumerate(self.x_values):
+            row: dict = {self.x_label: float(x)}
+            for label, values in self.series.items():
+                row[label] = float(values[i])
+            out.append(row)
+        return out
+
+
+def _unsafety_curve(params: AHSParameters, times: Sequence[float]) -> np.ndarray:
+    return AnalyticalEngine(params).unsafety(times).unsafety
+
+
+def _durations(fast: bool) -> tuple[float, ...]:
+    return (2.0, 6.0, 10.0) if fast else TRIP_DURATIONS
+
+
+# ----------------------------------------------------------------------
+def figure10(fast: bool = False) -> FigureResult:
+    """S(t) vs trip duration for n ∈ {8, 10, 12, 14}.
+
+    Paper: λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD.
+    """
+    times = _durations(fast)
+    sizes = (8, 12) if fast else (8, 10, 12, 14)
+    result = FigureResult(
+        figure_id="figure10",
+        description="S(t) versus time for different n",
+        x_label="trip_hours",
+        x_values=np.asarray(times),
+    )
+    for n in sizes:
+        params = AHSParameters(max_platoon_size=n)
+        result.series[f"n={n}"] = _unsafety_curve(params, times)
+    return result
+
+
+def figure11(fast: bool = False) -> FigureResult:
+    """S(t) vs trip duration for λ ∈ {1e-7, 1e-6, 1e-5, 1e-4}, n = 10.
+
+    The paper plots 1e-6..1e-4 and *quotes* ≈1e-13 for 1e-7 ("the
+    corresponding curve is not plotted"); the numerical engine lets us
+    plot it anyway.
+    """
+    times = _durations(fast)
+    lambdas = (1e-6, 1e-4) if fast else (1e-7, 1e-6, 1e-5, 1e-4)
+    result = FigureResult(
+        figure_id="figure11",
+        description="S(t) versus time for different lambda",
+        x_label="trip_hours",
+        x_values=np.asarray(times),
+    )
+    for lam in lambdas:
+        params = AHSParameters(base_failure_rate=lam)
+        result.series[f"lambda={lam:g}"] = _unsafety_curve(params, times)
+    return result
+
+
+def figure12(fast: bool = False) -> FigureResult:
+    """S(6 h) vs n ∈ 10..18 for λ ∈ {1e-6, 1e-5, 1e-4}."""
+    sizes = (10, 14, 18) if fast else tuple(range(10, 19, 2))
+    lambdas = (1e-5,) if fast else (1e-6, 1e-5, 1e-4)
+    result = FigureResult(
+        figure_id="figure12",
+        description="S(t) at t=6 hrs versus n for different lambda",
+        x_label="n",
+        x_values=np.asarray(sizes, dtype=float),
+    )
+    for lam in lambdas:
+        values = [
+            _unsafety_curve(
+                AHSParameters(max_platoon_size=n, base_failure_rate=lam), [6.0]
+            )[0]
+            for n in sizes
+        ]
+        result.series[f"lambda={lam:g}"] = np.asarray(values)
+    return result
+
+
+def figure13(fast: bool = False) -> FigureResult:
+    """S(t) vs trip duration for load ρ ∈ {1, 2} at several join/leave pairs.
+
+    Paper: λ = 1e-5/hr, n = 8.
+    """
+    times = _durations(fast)
+    pairs = (
+        ((4.0, 4.0), (8.0, 4.0))
+        if fast
+        else ((4.0, 4.0), (12.0, 12.0), (8.0, 4.0), (24.0, 12.0))
+    )
+    result = FigureResult(
+        figure_id="figure13",
+        description="S(t) versus trip duration for different join and leave rates",
+        x_label="trip_hours",
+        x_values=np.asarray(times),
+    )
+    for join, leave in pairs:
+        params = AHSParameters(
+            max_platoon_size=8, join_rate=join, leave_rate=leave
+        )
+        label = f"join={join:g},leave={leave:g} (rho={join / leave:g})"
+        result.series[label] = _unsafety_curve(params, times)
+    return result
+
+
+def figure14(fast: bool = False) -> FigureResult:
+    """S(t) vs trip duration for the four coordination strategies.
+
+    Paper: n = 10, λ = 1e-5/hr, join 12/hr, leave 4/hr.
+    """
+    times = _durations(fast)
+    strategies = (Strategy.DD, Strategy.CC) if fast else tuple(Strategy)
+    result = FigureResult(
+        figure_id="figure14",
+        description="S(t) versus trip duration for strategies DD/DC/CD/CC",
+        x_label="trip_hours",
+        x_values=np.asarray(times),
+    )
+    for strategy in strategies:
+        params = AHSParameters(strategy=strategy)
+        result.series[strategy.value] = _unsafety_curve(params, times)
+    return result
+
+
+def figure15(fast: bool = False) -> FigureResult:
+    """S(6 h) vs n for the four coordination strategies (λ = 1e-5/hr)."""
+    sizes = (10, 14) if fast else tuple(range(8, 17, 2))
+    strategies = (Strategy.DD, Strategy.CC) if fast else tuple(Strategy)
+    result = FigureResult(
+        figure_id="figure15",
+        description="S(t) at t=6hrs versus n for strategies DD/DC/CD/CC",
+        x_label="n",
+        x_values=np.asarray(sizes, dtype=float),
+    )
+    for strategy in strategies:
+        values = [
+            _unsafety_curve(
+                AHSParameters(max_platoon_size=n, strategy=strategy), [6.0]
+            )[0]
+            for n in sizes
+        ]
+        result.series[strategy.value] = np.asarray(values)
+    return result

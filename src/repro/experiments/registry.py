@@ -1,0 +1,154 @@
+"""Registry mapping experiment ids to their implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import figures, tables
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper's evaluation."""
+
+    #: id, e.g. "figure10" or "table2"
+    experiment_id: str
+    #: what the paper shows there
+    description: str
+    #: the paper's parameters, as a display string
+    parameters: str
+    #: callable (fast: bool) -> FigureResult | list[dict]
+    run: Callable
+    #: paper claims the reproduction should preserve (shape, not numbers)
+    claims: tuple[str, ...] = ()
+
+
+def _figure2(fast: bool = False):
+    from repro.core.vehicle_fsm import figure2
+
+    return figure2(fast)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp
+    for exp in (
+        Experiment(
+            "figure2",
+            "Single-vehicle failure modes, maneuvers and safety impact",
+            "definitional (derived from the Table-1 mapping and the ladder)",
+            _figure2,
+            (
+                "every maneuver-failure path ends in v_KO after AS",
+                "every success edge reaches v_OK",
+            ),
+        ),
+        Experiment(
+            "table1",
+            "Failure modes, severity classes and associated maneuvers",
+            "definitional",
+            tables.table1,
+            ("six failure modes FM1-FM6 map to AS/CS/GS/TIE-E/TIE/TIE-N",),
+        ),
+        Experiment(
+            "table2",
+            "Catastrophic situations ST1-ST3",
+            "definitional",
+            tables.table2,
+            ("ST1 ⟸ two class-A failures; ST3 ⟸ four class-B/C failures",),
+        ),
+        Experiment(
+            "table3",
+            "Coordination strategies DD/DC/CD/CC",
+            "definitional; involvement shown at occupancy 10",
+            tables.table3,
+            ("centralized coordination involves more vehicles per maneuver",),
+        ),
+        Experiment(
+            "figure10",
+            "S(t) versus time for different n",
+            "lambda=1e-5/hr, join=12/hr, leave=4/hr",
+            figures.figure10,
+            (
+                "S(t) grows with trip duration (about an order of magnitude "
+                "from 2h to 10h in the paper)",
+                "larger n significantly increases S(t)",
+            ),
+        ),
+        Experiment(
+            "figure11",
+            "S(t) versus time for different lambda",
+            "n=10, join=12/hr, leave=4/hr",
+            figures.figure11,
+            (
+                "S(t) is very sensitive to lambda (paper: x175 from 1e-6 to "
+                "1e-5, x40 from 1e-5 to 1e-4 at t=6h)",
+                "lambda=1e-7 gives unsafety around 1e-13 (paper quotes it "
+                "without plotting)",
+            ),
+        ),
+        Experiment(
+            "figure12",
+            "S(6h) versus n for different lambda",
+            "join=12/hr, leave=4/hr",
+            figures.figure12,
+            ("S increases with n for every lambda",),
+        ),
+        Experiment(
+            "figure13",
+            "S(t) versus trip duration for different join/leave rates",
+            "lambda=1e-5/hr, n=8; rho = join/leave in {1, 2}",
+            figures.figure13,
+            (
+                "curves with equal rho show similar trends",
+                "rho=2 is less safe than rho=1, same order of magnitude",
+            ),
+        ),
+        Experiment(
+            "figure14",
+            "S(t) versus trip duration for strategies DD/DC/CD/CC",
+            "n=10, lambda=1e-5/hr, join=12/hr, leave=4/hr",
+            figures.figure14,
+            (
+                "decentralized inter-platoon coordination is safer",
+                "the inter-platoon model matters more than the intra-platoon",
+                "overall strategy impact is low (same order of magnitude)",
+            ),
+        ),
+        Experiment(
+            "figure15",
+            "S(6h) versus n for strategies DD/DC/CD/CC",
+            "lambda=1e-5/hr, join=12/hr, leave=4/hr",
+            figures.figure15,
+            ("strategy ordering DD <= DC < CD <= CC holds for every n",),
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment; accepts 'figure10', 'fig10', '10', 'table1'."""
+    key = experiment_id.strip().lower()
+    if key in EXPERIMENTS:
+        return EXPERIMENTS[key]
+    if key.startswith("fig") and not key.startswith("figure"):
+        key = "figure" + key[3:]
+    elif key.startswith("tab") and not key.startswith("table"):
+        key = "table" + key[3:]
+    elif key.isdigit():
+        # bare numbers: 1-3 are tables, 2 would be ambiguous with the
+        # Figure-2 state machine — tables win (the paper's evaluation
+        # artifacts); use the full "figure2" id for the machine
+        key = ("table" if int(key) <= 3 else "figure") + key
+    if key in EXPERIMENTS:
+        return EXPERIMENTS[key]
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+    )
+
+
+def list_experiments() -> list[Experiment]:
+    """All experiments in id order."""
+    return [EXPERIMENTS[key] for key in sorted(EXPERIMENTS)]

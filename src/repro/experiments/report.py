@@ -1,0 +1,120 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_experiment",
+    "format_ascii_chart",
+]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(result: FigureResult) -> str:
+    """Render a figure result (one column per series)."""
+    return format_table(
+        result.rows(), title=f"{result.figure_id}: {result.description}"
+    )
+
+
+def format_experiment(experiment_id: str, outcome) -> str:
+    """Render either a figure result or table rows."""
+    if isinstance(outcome, FigureResult):
+        return format_series_table(outcome)
+    return format_table(outcome, title=experiment_id)
+
+
+def format_ascii_chart(
+    result: FigureResult, height: int = 14, log_scale: bool = True
+) -> str:
+    """Terminal chart of a figure's series (log y-axis by default).
+
+    Each series is plotted with its own marker; the paper's figures all
+    use log-scaled unsafety axes, so that is the default here too.
+    """
+    import math
+
+    markers = "ox+*#@%&"
+    positives = [
+        v
+        for values in result.series.values()
+        for v in values
+        if v > 0 or not log_scale
+    ]
+    if not positives:
+        return "(nothing to plot)"
+    transform = (lambda v: math.log10(v)) if log_scale else (lambda v: v)
+    lo = min(transform(v) for v in positives)
+    hi = max(transform(v) for v in positives)
+    if hi == lo:
+        hi = lo + 1.0
+
+    width = max(2 * result.x_values.size + 1, 20)
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(result.x_values.min()), float(result.x_values.max())
+    x_span = (x_hi - x_lo) or 1.0
+
+    for series_index, (label, values) in enumerate(result.series.items()):
+        marker = markers[series_index % len(markers)]
+        for x, value in zip(result.x_values, values):
+            if log_scale and value <= 0:
+                continue
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = int(
+                (transform(value) - lo) / (hi - lo) * (height - 1)
+            )
+            grid[height - 1 - row][col] = marker
+
+    axis_label = "log10(S)" if log_scale else "S"
+    lines = [f"{result.figure_id}  ({axis_label} vs {result.x_label})"]
+    for row_index, row in enumerate(grid):
+        level = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{level:8.2f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{x_lo:g}"
+        + " " * max(width - len(f"{x_lo:g}") - len(f"{x_hi:g}"), 1)
+        + f"{x_hi:g}"
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(result.series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

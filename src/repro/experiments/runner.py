@@ -1,0 +1,85 @@
+"""Experiment execution entry point."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import format_experiment
+
+__all__ = ["RunOutcome", "run_experiment", "outcome_to_json", "save_outcome"]
+
+
+@dataclass
+class RunOutcome:
+    """A completed experiment run."""
+
+    experiment_id: str
+    result: Union[FigureResult, list]
+    elapsed_seconds: float
+    rendered: str
+
+
+def run_experiment(experiment_id: str, fast: bool = False) -> RunOutcome:
+    """Run one registered experiment and render its report.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registry id ('figure10', 'table2', also 'fig10' / '10').
+    fast:
+        Trim sweeps for quick benchmark runs.
+    """
+    experiment = get_experiment(experiment_id)
+    started = time.perf_counter()
+    result = experiment.run(fast)
+    elapsed = time.perf_counter() - started
+    rendered = format_experiment(experiment.experiment_id, result)
+    return RunOutcome(
+        experiment_id=experiment.experiment_id,
+        result=result,
+        elapsed_seconds=elapsed,
+        rendered=rendered,
+    )
+
+
+def outcome_to_json(outcome: RunOutcome) -> dict:
+    """A JSON-serialisable record of an experiment run.
+
+    Figures serialise as ``{x_label, x_values, series}``; tables as their
+    row dicts.  The registry metadata (description, parameters, claims)
+    rides along so saved artifacts are self-describing.
+    """
+    experiment = get_experiment(outcome.experiment_id)
+    record: dict = {
+        "experiment_id": outcome.experiment_id,
+        "description": experiment.description,
+        "parameters": experiment.parameters,
+        "claims": list(experiment.claims),
+        "elapsed_seconds": outcome.elapsed_seconds,
+    }
+    if isinstance(outcome.result, FigureResult):
+        record["kind"] = "figure"
+        record["x_label"] = outcome.result.x_label
+        record["x_values"] = [float(x) for x in outcome.result.x_values]
+        record["series"] = {
+            label: [float(v) for v in values]
+            for label, values in outcome.result.series.items()
+        }
+    else:
+        record["kind"] = "table"
+        record["rows"] = outcome.result
+    return record
+
+
+def save_outcome(outcome: RunOutcome, path: Path | str) -> Path:
+    """Write an experiment outcome as a JSON artifact; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(outcome_to_json(outcome), indent=2))
+    return path

@@ -1,0 +1,161 @@
+"""Global sensitivity (tornado) analysis of the unsafety measure.
+
+The paper performs one-at-a-time sensitivity studies (λ, n, trip
+duration, ρ, strategy).  This module systematises them: for every scalar
+model parameter it estimates the *elasticity*
+
+    E_θ = ∂ log S(t) / ∂ log θ
+
+by central finite differences on the analytical engine — the standard
+"which knob matters" summary a designer reads off a tornado chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.analytical import AnalyticalEngine
+from repro.core.parameters import AHSParameters
+
+__all__ = ["ParameterSpec", "SENSITIVITY_PARAMETERS", "tornado", "TornadoRow"]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """A scalar parameter subject to sensitivity analysis."""
+
+    name: str
+    #: build a params object with this parameter scaled by ``factor``
+    apply: Callable[[AHSParameters, float], AHSParameters]
+    #: documentation for the report
+    meaning: str
+
+
+def _scale_field(field: str) -> Callable[[AHSParameters, float], AHSParameters]:
+    def apply(params: AHSParameters, factor: float) -> AHSParameters:
+        return params.with_changes(**{field: getattr(params, field) * factor})
+
+    return apply
+
+
+def _scale_maneuver_rates(params: AHSParameters, factor: float) -> AHSParameters:
+    return params.with_changes(
+        maneuver_rates={m: r * factor for m, r in params.maneuver_rates.items()}
+    )
+
+
+def _scale_success_shortfall(
+    params: AHSParameters, factor: float
+) -> AHSParameters:
+    # scale the *failure* probability 1-q (q itself is bounded by 1)
+    probs = {
+        m: max(1.0 - (1.0 - q) * factor, 1e-6)
+        for m, q in params.success_probabilities.items()
+    }
+    return params.with_changes(success_probabilities=probs)
+
+
+def _scale_assistant_shortfall(
+    params: AHSParameters, factor: float
+) -> AHSParameters:
+    alpha = max(1.0 - (1.0 - params.assistant_reliability) * factor, 1e-6)
+    return params.with_changes(assistant_reliability=alpha)
+
+
+SENSITIVITY_PARAMETERS: tuple[ParameterSpec, ...] = (
+    ParameterSpec(
+        "base_failure_rate",
+        _scale_field("base_failure_rate"),
+        "λ, the smallest failure-mode rate",
+    ),
+    ParameterSpec(
+        "maneuver_rates",
+        _scale_maneuver_rates,
+        "all maneuver execution rates μ (faster recovery)",
+    ),
+    ParameterSpec(
+        "join_rate", _scale_field("join_rate"), "highway re-entry rate"
+    ),
+    ParameterSpec(
+        "leave_rate", _scale_field("leave_rate"), "voluntary leave rate"
+    ),
+    ParameterSpec(
+        "change_rate", _scale_field("change_rate"), "platoon-change rate"
+    ),
+    ParameterSpec(
+        "maneuver_failure_probability",
+        _scale_success_shortfall,
+        "1−q_m, the nominal maneuver failure probabilities",
+    ),
+    ParameterSpec(
+        "assistant_unreliability",
+        _scale_assistant_shortfall,
+        "1−α, per-assistant cooperation failure probability",
+    ),
+)
+
+
+@dataclass
+class TornadoRow:
+    """One parameter's sensitivity."""
+
+    parameter: str
+    meaning: str
+    elasticity: float
+    s_low: float
+    s_high: float
+
+    @property
+    def magnitude(self) -> float:
+        """|elasticity| — the tornado ordering key."""
+        return abs(self.elasticity)
+
+
+def tornado(
+    params: AHSParameters,
+    time: float = 6.0,
+    delta: float = 0.25,
+    specs: Sequence[ParameterSpec] = SENSITIVITY_PARAMETERS,
+) -> list[TornadoRow]:
+    """Elasticities of S(time) w.r.t. each parameter, largest first.
+
+    Parameters
+    ----------
+    params:
+        Base configuration.
+    time:
+        Trip duration at which S is evaluated.
+    delta:
+        Relative perturbation: each parameter is scaled by (1±delta).
+    specs:
+        Parameters to analyse (default: all registered).
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    rows: list[TornadoRow] = []
+    for spec in specs:
+        low_params = spec.apply(params, 1.0 - delta)
+        high_params = spec.apply(params, 1.0 + delta)
+        s_low = AnalyticalEngine(low_params).unsafety([time]).unsafety[0]
+        s_high = AnalyticalEngine(high_params).unsafety([time]).unsafety[0]
+        if s_low <= 0.0 or s_high <= 0.0:
+            elasticity = float("nan")
+        else:
+            elasticity = float(
+                (np.log(s_high) - np.log(s_low))
+                / (np.log(1.0 + delta) - np.log(1.0 - delta))
+            )
+        rows.append(
+            TornadoRow(
+                parameter=spec.name,
+                meaning=spec.meaning,
+                elasticity=elasticity,
+                s_low=float(s_low),
+                s_high=float(s_high),
+            )
+        )
+    rows.sort(key=lambda row: -row.magnitude)
+    return rows

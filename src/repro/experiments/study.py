@@ -1,0 +1,162 @@
+"""Declarative parameter studies (Möbius' *study* concept).
+
+A :class:`Study` is a base configuration plus a set of varied parameters;
+running it evaluates the unsafety over the full Cartesian grid with the
+analytical engine and returns a tidy result that can be pivoted into
+figure-style series — the mechanism behind "Figure 12 but over *my*
+parameter ranges".
+
+Examples
+--------
+>>> from repro.core import AHSParameters, Strategy
+>>> study = Study(
+...     base=AHSParameters(),
+...     vary={"max_platoon_size": [8, 10, 12],
+...           "strategy": [Strategy.DD, Strategy.CC]},
+...     times=[6.0],
+... )
+>>> result = study.run()                        # doctest: +SKIP
+>>> fig = result.pivot("max_platoon_size", "strategy", time=6.0)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.analytical import AnalyticalEngine
+from repro.core.parameters import AHSParameters
+from repro.experiments.figures import FigureResult
+
+__all__ = ["Study", "StudyResult"]
+
+_VALID_FIELDS = {f.name for f in dataclass_fields(AHSParameters)}
+
+
+@dataclass
+class StudyResult:
+    """Tidy grid of study outcomes.
+
+    ``rows`` hold one dict per (grid point, time): the varied parameter
+    values, ``time`` and ``unsafety``.
+    """
+
+    varied: tuple[str, ...]
+    times: tuple[float, ...]
+    rows: list[dict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def values_of(self, parameter: str) -> list:
+        """Distinct values a varied parameter took, in sweep order."""
+        if parameter not in self.varied:
+            raise KeyError(f"{parameter!r} was not varied; have {self.varied}")
+        seen: list = []
+        for row in self.rows:
+            if row[parameter] not in seen:
+                seen.append(row[parameter])
+        return seen
+
+    def lookup(self, time: float, **point) -> float:
+        """Unsafety at one exact grid point and time."""
+        for row in self.rows:
+            if row["time"] != time:
+                continue
+            if all(row[key] == value for key, value in point.items()):
+                return row["unsafety"]
+        raise KeyError(f"no row at time={time} with {point}")
+
+    def pivot(
+        self, x_parameter: str, series_parameter: str, time: float
+    ) -> FigureResult:
+        """Reshape into a figure: ``x_parameter`` on the axis, one series
+        per value of ``series_parameter``, at a fixed time."""
+        x_values = self.values_of(x_parameter)
+        series_values = self.values_of(series_parameter)
+        result = FigureResult(
+            figure_id=f"study[{x_parameter} x {series_parameter}]",
+            description=f"unsafety at t={time:g}h",
+            x_label=x_parameter,
+            x_values=np.asarray([float(x) for x in x_values]),
+        )
+        for series_value in series_values:
+            values = [
+                self.lookup(
+                    time, **{x_parameter: x, series_parameter: series_value}
+                )
+                for x in x_values
+            ]
+            label = getattr(series_value, "value", series_value)
+            result.series[f"{series_parameter}={label}"] = np.asarray(values)
+        return result
+
+
+@dataclass
+class Study:
+    """A Cartesian parameter sweep of the unsafety measure.
+
+    Parameters
+    ----------
+    base:
+        Baseline configuration; every grid point is ``base.with_changes``.
+    vary:
+        Mapping of :class:`AHSParameters` field names to value sequences.
+    times:
+        Trip durations evaluated at every grid point.
+    max_points:
+        Guard against accidental combinatorial explosions.
+    """
+
+    base: AHSParameters
+    vary: Mapping[str, Sequence[Any]]
+    times: Sequence[float] = (6.0,)
+    max_points: int = 2_000
+
+    def __post_init__(self) -> None:
+        if not self.vary:
+            raise ValueError("vary must name at least one parameter")
+        unknown = set(self.vary) - _VALID_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown AHSParameters fields: {sorted(unknown)}"
+            )
+        for name, values in self.vary.items():
+            if not values:
+                raise ValueError(f"vary[{name!r}] is empty")
+        if not self.times or min(self.times) < 0:
+            raise ValueError("times must be non-empty and non-negative")
+        size = 1
+        for values in self.vary.values():
+            size *= len(values)
+        if size > self.max_points:
+            raise ValueError(
+                f"grid has {size} points, exceeding max_points="
+                f"{self.max_points}"
+            )
+
+    @property
+    def grid_size(self) -> int:
+        """Number of parameter combinations."""
+        size = 1
+        for values in self.vary.values():
+            size *= len(values)
+        return size
+
+    def run(self) -> StudyResult:
+        """Evaluate the grid with the analytical engine."""
+        names = tuple(self.vary)
+        times = tuple(float(t) for t in self.times)
+        result = StudyResult(varied=names, times=times)
+        for combo in itertools.product(*(self.vary[name] for name in names)):
+            params = self.base.with_changes(**dict(zip(names, combo)))
+            curve = AnalyticalEngine(params).unsafety(times)
+            for time, value in zip(times, curve.unsafety):
+                row = dict(zip(names, combo))
+                row["time"] = time
+                row["unsafety"] = float(value)
+                result.rows.append(row)
+        return result

@@ -1,0 +1,28 @@
+"""Rare-event simulation.
+
+The paper's unsafety probabilities range from ~1e-5 down to ~1e-13 — the
+latter is hopeless for crude Monte Carlo (the authors note the λ=1e-7 curve
+"is not plotted").  This subpackage provides the two standard acceleration
+techniques for Markovian dependability models:
+
+* **importance sampling / failure biasing** (:mod:`repro.rare.importance`) —
+  inflate failure rates during simulation and correct with exact
+  likelihood-ratio weights (computed by
+  :class:`~repro.san.simulator.MarkovJumpSimulator`);
+* **multilevel splitting** (:mod:`repro.rare.splitting`) — fixed-effort
+  splitting over an importance-level function (e.g. the number of
+  concurrently active failure maneuvers).
+"""
+
+from repro.rare.importance import (
+    FailureBiasing,
+    ImportanceSamplingEstimator,
+)
+from repro.rare.splitting import FixedEffortSplitting, SplittingResult
+
+__all__ = [
+    "FailureBiasing",
+    "ImportanceSamplingEstimator",
+    "FixedEffortSplitting",
+    "SplittingResult",
+]

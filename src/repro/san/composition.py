@@ -1,0 +1,106 @@
+"""Join and Rep composition operators.
+
+Möbius composes SAN submodels with *Join* (merge named state variables) and
+*Rep* (replicate a submodel, sharing a designated subset of its state
+variables across replicas).  Here sharing is by place-object identity:
+
+* :func:`join` unions submodels; places held by several submodels are shared
+  automatically because they are the same object.
+* :func:`replicate` clones a submodel ``n`` times; places in ``shared`` keep
+  their identity across clones, all other places (and all activities) are
+  copied with per-replica names ``name[i]``.
+
+The paper's composed model (Figure 9) is::
+
+    join(Configuration, Severity, Dynamicity, replicate(One_vehicle, 2n, shared=...))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+__all__ = ["join", "replicate"]
+
+
+def join(name: str, models: Sequence[SANModel]) -> SANModel:
+    """Merge submodels into one flat model.
+
+    Places shared across submodels (same object) appear once.  Distinct
+    places with colliding names are rejected — they would make reports and
+    ``place_named`` lookups ambiguous.
+
+    Parameters
+    ----------
+    name:
+        Name of the composed model.
+    models:
+        Submodels to merge; activity names must be globally unique.
+    """
+    if not models:
+        raise ValueError("join() needs at least one submodel")
+    composed = SANModel(name)
+    seen_names: dict[str, Place] = {}
+    for model in models:
+        for place in model.places:
+            previous = seen_names.get(place.name)
+            if previous is not None and previous is not place:
+                raise ValueError(
+                    f"join({name!r}): distinct places both named {place.name!r} "
+                    f"(from submodel {model.name!r}); rename one or share it"
+                )
+            seen_names[place.name] = place
+            composed.add_place(place)
+        for activity in model.activities:
+            composed.add_activity(activity)
+    return composed
+
+
+def replicate(
+    model: SANModel, n: int, shared: Iterable[Place] = ()
+) -> list[SANModel]:
+    """Create ``n`` replicas of ``model`` sharing the given places.
+
+    Returns the list of replicas (pass them to :func:`join` to finish the
+    composition).  Non-shared places are cloned per replica and renamed
+    ``"<name>[<i>]"``; activities are renamed the same way.
+
+    Parameters
+    ----------
+    model:
+        The submodel to replicate (e.g. the paper's ``One_vehicle``).
+    n:
+        Number of replicas (the paper uses ``2n`` vehicles).
+    shared:
+        Places that keep a single identity across all replicas (the paper
+        shares ``IN``, ``OUT``, ``platoon1/2``, the severity-class places,
+        the id-assignment places...).
+    """
+    if n < 1:
+        raise ValueError(f"replicate() needs n >= 1, got {n}")
+    shared_set = set(shared)
+    unknown = shared_set - set(model.places)
+    if unknown:
+        names = sorted(p.name for p in unknown)
+        raise ValueError(
+            f"replicate({model.name!r}): shared places not in model: {names}"
+        )
+
+    replicas: list[SANModel] = []
+    for i in range(n):
+        replica = SANModel(f"{model.name}[{i}]")
+        place_map: dict[Place, Place] = {}
+        for place in model.places:
+            if place in shared_set:
+                place_map[place] = place
+            else:
+                place_map[place] = place.renamed(f"{place.name}[{i}]")
+            replica.add_place(place_map[place])
+        for activity in model.activities:
+            replica.add_activity(
+                activity.rebind(place_map, f"{activity.name}[{i}]")
+            )
+        replicas.append(replica)
+    return replicas

@@ -1,0 +1,132 @@
+"""Input and output gates.
+
+Gates are the SAN mechanism for marking-dependent enabling and state change:
+an :class:`InputGate` carries an enabling *predicate* and a firing
+*function*; an :class:`OutputGate` carries a firing function only.  Plain
+Petri-net arcs are provided as the :func:`input_arc` / :func:`output_arc`
+conveniences, implemented as gates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.san.marking import GateView, Marking
+from repro.san.places import Place
+
+__all__ = ["InputGate", "OutputGate", "input_arc", "output_arc"]
+
+
+class InputGate:
+    """Enabling predicate + input function.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    binding:
+        Mapping of gate-local place names to :class:`Place` objects.
+    predicate:
+        ``fn(view) -> bool`` — the activity is enabled only while this holds.
+    function:
+        ``fn(view) -> None`` executed when the activity fires (defaults to a
+        no-op, matching Möbius's identity input function).
+    """
+
+    __slots__ = ("name", "binding", "predicate", "function")
+
+    def __init__(
+        self,
+        name: str,
+        binding: Mapping[str, Place],
+        predicate: Callable[[GateView], bool],
+        function: Optional[Callable[[GateView], None]] = None,
+    ) -> None:
+        self.name = name
+        self.binding = dict(binding)
+        self.predicate = predicate
+        self.function = function
+
+    def holds(self, marking: Marking) -> bool:
+        """Evaluate the enabling predicate on ``marking``."""
+        return bool(self.predicate(GateView(marking, self.binding)))
+
+    def fire(self, marking: Marking) -> None:
+        """Run the input function on ``marking``."""
+        if self.function is not None:
+            self.function(GateView(marking, self.binding))
+
+    def rebind(self, place_map: Mapping[Place, Place]) -> "InputGate":
+        """Clone with places substituted (Rep support)."""
+        new_binding = {
+            local: place_map.get(place, place)
+            for local, place in self.binding.items()
+        }
+        return InputGate(self.name, new_binding, self.predicate, self.function)
+
+    def places(self) -> set[Place]:
+        """All places this gate touches."""
+        return set(self.binding.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InputGate({self.name!r})"
+
+
+class OutputGate:
+    """Output function applied after a case is selected."""
+
+    __slots__ = ("name", "binding", "function")
+
+    def __init__(
+        self,
+        name: str,
+        binding: Mapping[str, Place],
+        function: Callable[[GateView], None],
+    ) -> None:
+        self.name = name
+        self.binding = dict(binding)
+        self.function = function
+
+    def fire(self, marking: Marking) -> None:
+        """Run the output function on ``marking``."""
+        self.function(GateView(marking, self.binding))
+
+    def rebind(self, place_map: Mapping[Place, Place]) -> "OutputGate":
+        """Clone with places substituted (Rep support)."""
+        new_binding = {
+            local: place_map.get(place, place)
+            for local, place in self.binding.items()
+        }
+        return OutputGate(self.name, new_binding, self.function)
+
+    def places(self) -> set[Place]:
+        """All places this gate touches."""
+        return set(self.binding.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OutputGate({self.name!r})"
+
+
+def input_arc(place: Place, tokens: int = 1) -> InputGate:
+    """Standard Petri-net input arc: requires and consumes ``tokens``."""
+    if tokens < 1:
+        raise ValueError(f"input arc multiplicity must be >= 1, got {tokens}")
+
+    def predicate(g: GateView) -> bool:
+        return g["p"] >= tokens
+
+    def function(g: GateView) -> None:
+        g.dec("p", tokens)
+
+    return InputGate(f"arc_in({place.name},{tokens})", {"p": place}, predicate, function)
+
+
+def output_arc(place: Place, tokens: int = 1) -> OutputGate:
+    """Standard Petri-net output arc: deposits ``tokens``."""
+    if tokens < 1:
+        raise ValueError(f"output arc multiplicity must be >= 1, got {tokens}")
+
+    def function(g: GateView) -> None:
+        g.inc("p", tokens)
+
+    return OutputGate(f"arc_out({place.name},{tokens})", {"p": place}, function)

@@ -1,0 +1,122 @@
+"""The SAN atomic/composed model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.san.activities import InstantaneousActivity, TimedActivity
+from repro.san.marking import Marking
+from repro.san.places import Place
+
+__all__ = ["SANModel"]
+
+Activity = Union[TimedActivity, InstantaneousActivity]
+
+
+class SANModel:
+    """A stochastic activity network: places + activities.
+
+    The same class represents atomic submodels and the flattened result of
+    ``join``/``replicate`` composition (sharing is by place-object identity,
+    so composition is just a union that deduplicates shared places).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.places: list[Place] = []
+        self.timed_activities: list[TimedActivity] = []
+        self.instantaneous_activities: list[InstantaneousActivity] = []
+        self._place_set: set[Place] = set()
+        self._activity_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_place(self, place: Place) -> Place:
+        """Register a place; re-adding the same object is a no-op."""
+        if place not in self._place_set:
+            self.places.append(place)
+            self._place_set.add(place)
+        return place
+
+    def add_places(self, places: Iterable[Place]) -> None:
+        """Register several places."""
+        for place in places:
+            self.add_place(place)
+
+    def add_activity(self, activity: Activity) -> Activity:
+        """Register an activity; its places are auto-registered."""
+        if not isinstance(activity, (TimedActivity, InstantaneousActivity)):
+            raise TypeError(f"not an activity: {activity!r}")
+        if activity.name in self._activity_names:
+            raise ValueError(
+                f"model {self.name!r}: duplicate activity name {activity.name!r}"
+            )
+        self._activity_names.add(activity.name)
+        if isinstance(activity, TimedActivity):
+            self.timed_activities.append(activity)
+        elif isinstance(activity, InstantaneousActivity):
+            self.instantaneous_activities.append(activity)
+        else:
+            raise TypeError(f"not an activity: {activity!r}")
+        for place in activity.reads() | activity.writes():
+            self.add_place(place)
+        return activity
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def activities(self) -> list[Activity]:
+        """All activities, timed first (stable order)."""
+        return [*self.timed_activities, *self.instantaneous_activities]
+
+    def place_named(self, name: str) -> Place:
+        """Look up a place by (unique) name.
+
+        Raises
+        ------
+        KeyError
+            If no place or several places carry the name.
+        """
+        matches = [p for p in self.places if p.name == name]
+        if not matches:
+            raise KeyError(f"model {self.name!r}: no place named {name!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"model {self.name!r}: place name {name!r} is ambiguous "
+                f"({len(matches)} matches)"
+            )
+        return matches[0]
+
+    def activity_named(self, name: str) -> Activity:
+        """Look up an activity by name."""
+        for activity in self.activities:
+            if activity.name == name:
+                return activity
+        raise KeyError(f"model {self.name!r}: no activity named {name!r}")
+
+    def initial_marking(self) -> Marking:
+        """A fresh marking with all places at their initial values."""
+        return Marking.initial(self.places)
+
+    @property
+    def is_markovian(self) -> bool:
+        """True when every timed activity has an exponential delay."""
+        return all(a.is_markovian for a in self.timed_activities)
+
+    def stats(self) -> dict[str, int]:
+        """Size summary for reports."""
+        return {
+            "places": len(self.places),
+            "timed_activities": len(self.timed_activities),
+            "instantaneous_activities": len(self.instantaneous_activities),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"SANModel({self.name!r}, places={s['places']}, "
+            f"timed={s['timed_activities']}, "
+            f"instantaneous={s['instantaneous_activities']})"
+        )

@@ -1,0 +1,91 @@
+"""State variables of a SAN: simple and extended places."""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any
+
+__all__ = ["Place", "ExtendedPlace"]
+
+_place_ids = count()
+
+
+class Place:
+    """A state variable holding a non-negative integer marking.
+
+    Place identity is by object, not by name: two submodels *share* a place
+    exactly when they hold the same :class:`Place` object — this is how the
+    Join operator and the Rep operator's ``shared`` set are realised
+    (mirroring Möbius's state-variable sharing).
+    """
+
+    __slots__ = ("name", "initial", "_uid")
+
+    #: marker used by the marking layer to validate assignments
+    is_extended = False
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError(f"place {name!r}: initial marking must be >= 0")
+        self.name = name
+        self.initial = int(initial)
+        self._uid = next(_place_ids)
+
+    @property
+    def uid(self) -> int:
+        """Process-wide unique id (stable ordering for frozen states)."""
+        return self._uid
+
+    def validate_value(self, value: Any) -> int:
+        """Check and normalise a marking value for this place."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(
+                f"place {self.name!r} holds integers, got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(
+                f"place {self.name!r}: marking must stay >= 0, got {value}"
+            )
+        return value
+
+    def renamed(self, name: str) -> "Place":
+        """A fresh place with the same initial marking and a new name."""
+        return Place(name, self.initial)
+
+    def __repr__(self) -> str:
+        return f"Place({self.name!r}, initial={self.initial})"
+
+
+class ExtendedPlace(Place):
+    """A state variable holding a structured marking (a tuple).
+
+    The paper's ``platoon1``/``platoon2`` places ("extended places
+    represented as an array of length n") and the severity-class arrays are
+    extended places.  Values are stored as immutable tuples so that frozen
+    states remain hashable for state-space generation.
+    """
+
+    __slots__ = ()
+
+    is_extended = True
+
+    def __init__(self, name: str, initial: tuple = ()) -> None:
+        # Bypass Place.__init__'s integer validation.
+        self.name = name
+        self.initial = tuple(initial)
+        self._uid = next(_place_ids)
+
+    def validate_value(self, value: Any) -> tuple:
+        if isinstance(value, list):
+            value = tuple(value)
+        if not isinstance(value, tuple):
+            raise TypeError(
+                f"extended place {self.name!r} holds tuples, got {value!r}"
+            )
+        return value
+
+    def renamed(self, name: str) -> "ExtendedPlace":
+        return ExtendedPlace(name, self.initial)
+
+    def __repr__(self) -> str:
+        return f"ExtendedPlace({self.name!r}, initial={self.initial!r})"

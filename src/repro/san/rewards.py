@@ -1,0 +1,137 @@
+"""Reward variables over SAN markings and their estimators.
+
+Möbius measures are *reward variables*: a rate reward accumulates (or is
+sampled) from the marking, an impulse reward counts activity completions.
+The paper's single measure — unsafety ``S(t)``, "the probability to have a
+token in the place KO_total" — is the instant-of-time expectation of a 0/1
+rate reward.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.san.marking import Marking, MarkingFunction
+from repro.san.model import SANModel
+from repro.san.simulator import SimulationRun
+from repro.stochastic.sampling import sample_mean_and_ci
+
+__all__ = ["RateReward", "ImpulseReward", "TransientEstimate"]
+
+
+class RateReward:
+    """A scalar function of the marking, e.g. an unsafe-state indicator."""
+
+    __slots__ = ("name", "function")
+
+    def __init__(self, name: str, function: MarkingFunction) -> None:
+        self.name = name
+        self.function = function
+
+    def evaluate(self, marking: Marking) -> float:
+        """Reward value in ``marking``."""
+        return float(self.function(marking))
+
+    def indicator_on(self, model: SANModel) -> Callable[[Marking], bool]:
+        """This reward as a boolean predicate (non-zero ⇒ True)."""
+        return lambda marking: self.evaluate(marking) != 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RateReward({self.name!r})"
+
+
+class ImpulseReward:
+    """A per-completion reward for a set of activities."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: dict[str, float]) -> None:
+        if not values:
+            raise ValueError("impulse reward needs at least one activity")
+        self.name = name
+        self.values = dict(values)
+
+    def evaluate(self, run: SimulationRun) -> float:
+        """Total impulse reward accumulated over a traced run."""
+        if not run.activity_counts:
+            raise ValueError(
+                "impulse rewards need a traced run (simulator trace=True)"
+            )
+        return sum(
+            self.values.get(activity, 0.0) * count
+            for activity, count in run.activity_counts.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ImpulseReward({self.name!r}, activities={sorted(self.values)})"
+
+
+@dataclass
+class TransientEstimate:
+    """A time-indexed estimate with confidence information.
+
+    The simulation engines produce these from replications; the numerical
+    engine produces them with ``half_widths`` at zero and an optional
+    ``truncation_error`` bound from the state-space projection.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    half_widths: np.ndarray
+    n_samples: int
+    method: str
+    truncation_error: float = 0.0
+
+    @classmethod
+    def from_indicator_runs(
+        cls,
+        times: Sequence[float],
+        runs: Sequence[SimulationRun],
+        confidence: float = 0.95,
+        method: str = "simulation",
+    ) -> "TransientEstimate":
+        """Estimate ``P(stop_time <= t)`` from replications.
+
+        Works unchanged for importance-sampled runs: each run contributes
+        ``weight × 1[stop_time ≤ t]``.
+        """
+        if not runs:
+            raise ValueError("need at least one run")
+        times_arr = np.asarray(list(times), dtype=float)
+        samples = np.zeros((len(runs), times_arr.size))
+        for i, run in enumerate(runs):
+            samples[i] = np.where(run.stop_time <= times_arr, run.weight, 0.0)
+        values = samples.mean(axis=0)
+        halves = np.empty(times_arr.size)
+        for j in range(times_arr.size):
+            _, halves[j] = sample_mean_and_ci(samples[:, j], confidence)
+        return cls(
+            times=times_arr,
+            values=values,
+            half_widths=halves,
+            n_samples=len(runs),
+            method=method,
+        )
+
+    def relative_half_width(self) -> np.ndarray:
+        """CI half-width divided by the estimate (inf where estimate is 0)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.where(self.values > 0, self.half_widths / self.values, np.inf)
+        return rel
+
+    def value_at(self, time: float) -> float:
+        """Estimate at an exact requested time point."""
+        matches = np.flatnonzero(np.isclose(self.times, time))
+        if matches.size == 0:
+            raise KeyError(f"time {time} was not estimated; have {self.times}")
+        return float(self.values[matches[0]])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransientEstimate(method={self.method!r}, points={self.times.size}, "
+            f"n={self.n_samples})"
+        )

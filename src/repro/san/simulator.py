@@ -1,0 +1,480 @@
+"""Discrete-event execution of SAN models.
+
+Two engines:
+
+* :class:`SANSimulator` — general event-driven executor supporting any
+  firing-time distribution, with Möbius execution semantics: input-gate
+  predicates define enabling; instantaneous activities fire (highest
+  priority first) until the marking is stable before time advances; timed
+  activities keep their sampled completion times while they remain enabled,
+  are cancelled when disabled, and are resampled when re-enabled or when a
+  marking-dependent rate's inputs change.
+
+* :class:`MarkovJumpSimulator` — jump-chain executor for all-exponential
+  models.  Slightly slower per event but supports *importance sampling*
+  (failure biasing) with exact likelihood-ratio weights, which is what makes
+  the paper's rare unsafety probabilities (down to 1e-13) estimable by
+  simulation at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.san.activities import InstantaneousActivity, TimedActivity
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.stochastic.rng import RandomStream
+
+__all__ = ["SANSimulator", "MarkovJumpSimulator", "SimulationRun"]
+
+#: Safety bound on consecutive instantaneous firings before declaring an
+#: unstable (looping) vanishing marking.
+MAX_INSTANTANEOUS_CHAIN = 100_000
+
+
+class UnstableMarkingError(RuntimeError):
+    """Instantaneous activities fired in an apparent infinite loop."""
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of one simulation replication."""
+
+    #: simulated time at which the run ended (horizon, stop, or deadlock)
+    end_time: float
+    #: True when the stop predicate was satisfied
+    stopped: bool
+    #: time of first stop-predicate satisfaction (inf if never)
+    stop_time: float
+    #: importance-sampling likelihood-ratio weight (1.0 unbiased)
+    weight: float
+    #: number of timed firings executed
+    firings: int
+    #: final marking (shared object; copy before mutating)
+    final_marking: Marking
+    #: per-activity firing counts (only when tracing was requested)
+    activity_counts: dict[str, int] = field(default_factory=dict)
+    #: time integrals of requested rate rewards (∫ r(X_s) ds over the run)
+    reward_integrals: dict[str, float] = field(default_factory=dict)
+
+
+def _stabilize(
+    model: SANModel,
+    marking: Marking,
+    stream: RandomStream,
+    counts: Optional[dict[str, int]] = None,
+) -> None:
+    """Fire enabled instantaneous activities until none remains.
+
+    Firing order: priority descending, then model insertion order — a
+    deterministic policy (documented in the package docstring).
+    """
+    if not model.instantaneous_activities:
+        return
+    ordered = sorted(
+        model.instantaneous_activities, key=lambda a: -a.priority
+    )
+    for _ in range(MAX_INSTANTANEOUS_CHAIN):
+        for activity in ordered:
+            if activity.enabled(marking):
+                case = activity.choose_case(marking, stream)
+                activity.fire(marking, case)
+                if counts is not None:
+                    counts[activity.name] = counts.get(activity.name, 0) + 1
+                break
+        else:
+            return
+    raise UnstableMarkingError(
+        f"more than {MAX_INSTANTANEOUS_CHAIN} consecutive instantaneous "
+        f"firings in model {model.name!r}; the marking never stabilises"
+    )
+
+
+class _RewardIntegrator:
+    """Accumulates ∫ r(X_s) ds for a set of rate rewards along a run.
+
+    Rewards are duck-typed: anything with ``.name`` and
+    ``.evaluate(marking) -> float`` works (see
+    :class:`repro.san.rewards.RateReward`).
+    """
+
+    __slots__ = ("rewards", "integrals")
+
+    def __init__(self, rewards) -> None:
+        self.rewards = list(rewards or ())
+        self.integrals = {reward.name: 0.0 for reward in self.rewards}
+
+    def accumulate(self, marking: Marking, dt: float) -> None:
+        if dt <= 0.0:
+            return
+        for reward in self.rewards:
+            self.integrals[reward.name] += reward.evaluate(marking) * dt
+
+
+class SANSimulator:
+    """Event-driven simulator for arbitrary (incl. non-Markovian) SANs.
+
+    Parameters
+    ----------
+    model:
+        The (flattened) SAN to execute.
+    trace:
+        When True, per-activity firing counts are collected (slower).
+    """
+
+    def __init__(self, model: SANModel, trace: bool = False) -> None:
+        self.model = model
+        self.trace = trace
+        # place -> timed activities whose enabling/rate could change with it
+        self._deps: dict[Place, list[TimedActivity]] = {p: [] for p in model.places}
+        for activity in model.timed_activities:
+            for place in activity.reads():
+                self._deps[place].append(activity)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream: RandomStream,
+        horizon: float,
+        stop_predicate: Optional[Callable[[Marking], bool]] = None,
+        initial_marking: Optional[Marking] = None,
+        start_time: float = 0.0,
+        rate_rewards=None,
+    ) -> SimulationRun:
+        """Execute one replication.
+
+        The run ends at the first of: ``horizon`` reached, ``stop_predicate``
+        satisfied (checked after instantaneous stabilisation following each
+        timed firing, and once at the start), or deadlock (no enabled timed
+        activity).
+
+        Parameters
+        ----------
+        rate_rewards:
+            Optional rate rewards (objects with ``name`` and
+            ``evaluate(marking)``) whose time integrals over the run are
+            reported in :attr:`SimulationRun.reward_integrals`.
+
+        Returns
+        -------
+        SimulationRun
+        """
+        if horizon < start_time:
+            raise ValueError(f"horizon {horizon} precedes start {start_time}")
+        model = self.model
+        marking = (
+            initial_marking.copy() if initial_marking else model.initial_marking()
+        )
+        counts: Optional[dict[str, int]] = {} if self.trace else None
+        integrator = _RewardIntegrator(rate_rewards)
+        _stabilize(model, marking, stream, counts)
+        marking.clear_changed()
+
+        if stop_predicate is not None and stop_predicate(marking):
+            return SimulationRun(
+                end_time=start_time,
+                stopped=True,
+                stop_time=start_time,
+                weight=1.0,
+                firings=0,
+                final_marking=marking,
+                activity_counts=counts or {},
+                reward_integrals=integrator.integrals,
+            )
+
+        now = start_time
+        heap: list[tuple[float, int, TimedActivity, int]] = []
+        tokens: dict[TimedActivity, int] = {}
+        scheduled: dict[TimedActivity, float] = {}
+        seq = 0
+
+        def schedule(activity: TimedActivity) -> None:
+            nonlocal seq
+            delay = activity.sample_delay(marking, stream)
+            if not math.isfinite(delay):
+                return  # rate 0: enabled but firing never
+            token = tokens.get(activity, 0) + 1
+            tokens[activity] = token
+            when = now + delay
+            scheduled[activity] = when
+            seq += 1
+            heapq.heappush(heap, (when, seq, activity, token))
+
+        def unschedule(activity: TimedActivity) -> None:
+            tokens[activity] = tokens.get(activity, 0) + 1
+            scheduled.pop(activity, None)
+
+        for activity in model.timed_activities:
+            if activity.enabled(marking):
+                schedule(activity)
+
+        firings = 0
+        while heap:
+            when, _, activity, token = heapq.heappop(heap)
+            if tokens.get(activity) != token:
+                continue  # stale entry
+            if when > horizon:
+                integrator.accumulate(marking, horizon - now)
+                now = horizon
+                break
+            integrator.accumulate(marking, when - now)
+            now = when
+            scheduled.pop(activity, None)
+            tokens[activity] = token + 1  # consumed
+
+            case = activity.choose_case(marking, stream)
+            activity.fire(marking, case)
+            firings += 1
+            if counts is not None:
+                counts[activity.name] = counts.get(activity.name, 0) + 1
+            _stabilize(model, marking, stream, counts)
+
+            if stop_predicate is not None and stop_predicate(marking):
+                return SimulationRun(
+                    end_time=now,
+                    stopped=True,
+                    stop_time=now,
+                    weight=1.0,
+                    firings=firings,
+                    final_marking=marking,
+                    activity_counts=counts or {},
+                    reward_integrals=integrator.integrals,
+                )
+
+            changed = marking.clear_changed()
+            affected: set[TimedActivity] = {activity}
+            for place in changed:
+                affected.update(self._deps.get(place, ()))
+            for candidate in affected:
+                is_enabled = candidate.enabled(marking)
+                was_scheduled = candidate in scheduled
+                if is_enabled and not was_scheduled:
+                    schedule(candidate)
+                elif not is_enabled and was_scheduled:
+                    unschedule(candidate)
+                elif is_enabled and was_scheduled:
+                    # Resample when a marking-dependent rate may have moved
+                    # (memoryless, so resampling is distribution-preserving).
+                    rate = candidate.rate
+                    from repro.san.marking import MarkingFunction
+
+                    if isinstance(rate, MarkingFunction) and (
+                        changed & rate.reads()
+                    ):
+                        unschedule(candidate)
+                        schedule(candidate)
+
+        # queue drained (deadlock) or horizon reached: close the last
+        # constant-marking segment
+        if now < horizon:
+            integrator.accumulate(marking, horizon - now)
+            now = horizon
+        return SimulationRun(
+            end_time=now,
+            stopped=False,
+            stop_time=math.inf,
+            weight=1.0,
+            firings=firings,
+            final_marking=marking,
+            activity_counts=counts or {},
+            reward_integrals=integrator.integrals,
+        )
+
+
+@dataclass
+class JumpOutcome:
+    """Result of :meth:`MarkovJumpSimulator.simulate` (one path segment)."""
+
+    marking: Marking
+    time: float
+    weight: float
+    stopped: bool
+    stop_time: float
+    crossed: bool
+    firings: int
+    reward_integrals: dict[str, float] = field(default_factory=dict)
+
+
+class MarkovJumpSimulator:
+    """Jump-chain simulator for all-exponential SANs with optional biasing.
+
+    Importance sampling: ``bias`` maps activity names to rate multipliers
+    (> 0).  The simulator samples the biased process and maintains the exact
+    Radon-Nikodym weight so that ``weight * indicator`` is an unbiased
+    estimator under the original measure.  Only timed-activity rates are
+    biased; case selection stays unbiased.
+
+    Parameters
+    ----------
+    model:
+        The flattened SAN; every timed activity must be exponential.
+    bias:
+        Optional activity-name → rate-multiplier mapping.
+    """
+
+    def __init__(
+        self, model: SANModel, bias: Optional[Mapping[str, float]] = None
+    ) -> None:
+        if not model.is_markovian:
+            bad = [a.name for a in model.timed_activities if not a.is_markovian]
+            raise TypeError(
+                f"MarkovJumpSimulator requires exponential activities; "
+                f"non-exponential: {bad[:5]}"
+            )
+        self.model = model
+        self.bias: dict[str, float] = dict(bias or {})
+        unknown = set(self.bias) - {a.name for a in model.timed_activities}
+        if unknown:
+            raise ValueError(f"bias refers to unknown activities: {sorted(unknown)}")
+        for name, factor in self.bias.items():
+            if factor <= 0.0 or not math.isfinite(factor):
+                raise ValueError(
+                    f"bias factor for {name!r} must be finite and > 0, got {factor}"
+                )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream: RandomStream,
+        horizon: float,
+        stop_predicate: Optional[Callable[[Marking], bool]] = None,
+        rate_rewards=None,
+    ) -> SimulationRun:
+        """One replication from the model's initial marking."""
+        outcome = self.simulate(
+            self.model.initial_marking(),
+            start_time=0.0,
+            horizon=horizon,
+            stream=stream,
+            stop_predicate=stop_predicate,
+            rate_rewards=rate_rewards,
+        )
+        return SimulationRun(
+            end_time=outcome.time,
+            stopped=outcome.stopped,
+            stop_time=outcome.stop_time,
+            weight=outcome.weight,
+            firings=outcome.firings,
+            final_marking=outcome.marking,
+            reward_integrals=outcome.reward_integrals,
+        )
+
+    def simulate(
+        self,
+        marking: Marking,
+        start_time: float,
+        horizon: float,
+        stream: RandomStream,
+        stop_predicate: Optional[Callable[[Marking], bool]] = None,
+        level_fn: Optional[Callable[[Marking], float]] = None,
+        level_target: Optional[float] = None,
+        initial_weight: float = 1.0,
+        rate_rewards=None,
+    ) -> JumpOutcome:
+        """Simulate a path segment (the splitting engine's building block).
+
+        The segment ends at the first of: ``horizon``; ``stop_predicate``
+        true; ``level_fn(marking) >= level_target`` (a *crossing*, used by
+        multilevel splitting); or deadlock.
+
+        Parameters mirror :meth:`run`; ``marking`` is mutated in place (pass
+        a copy to preserve the entry state).
+        """
+        model = self.model
+        timed = model.timed_activities
+        weight = float(initial_weight)
+        now = float(start_time)
+        firings = 0
+        integrator = _RewardIntegrator(rate_rewards)
+
+        _stabilize(model, marking, stream)
+        marking.clear_changed()
+        if stop_predicate is not None and stop_predicate(marking):
+            return JumpOutcome(
+                marking, now, weight, True, now, False, firings,
+                integrator.integrals,
+            )
+        if (
+            level_fn is not None
+            and level_target is not None
+            and level_fn(marking) >= level_target
+        ):
+            return JumpOutcome(
+                marking, now, weight, False, math.inf, True, firings,
+                integrator.integrals,
+            )
+
+        while now < horizon:
+            original_rates: list[float] = []
+            biased_rates: list[float] = []
+            enabled: list[TimedActivity] = []
+            total = 0.0
+            total_biased = 0.0
+            for activity in timed:
+                if not activity.enabled(marking):
+                    continue
+                rate = activity.rate_in(marking)
+                if rate <= 0.0:
+                    continue
+                factor = self.bias.get(activity.name, 1.0)
+                enabled.append(activity)
+                original_rates.append(rate)
+                biased_rates.append(rate * factor)
+                total += rate
+                total_biased += rate * factor
+
+            if not enabled:
+                # deadlock: the marking persists until the horizon
+                integrator.accumulate(marking, horizon - now)
+                return JumpOutcome(
+                    marking, now, weight, False, math.inf, False, firings,
+                    integrator.integrals,
+                )
+
+            holding = stream.exponential(total_biased)
+            if now + holding > horizon:
+                # No event before the horizon under the biased law; correct
+                # for the survival-probability ratio over the residual time.
+                weight *= math.exp(-(total - total_biased) * (horizon - now))
+                integrator.accumulate(marking, horizon - now)
+                now = horizon
+                break
+
+            index = stream.choice_index(biased_rates)
+            activity = enabled[index]
+            weight *= (
+                original_rates[index] / biased_rates[index]
+            ) * math.exp(-(total - total_biased) * holding)
+            integrator.accumulate(marking, holding)
+            now += holding
+
+            case = activity.choose_case(marking, stream)
+            activity.fire(marking, case)
+            firings += 1
+            _stabilize(model, marking, stream)
+            marking.clear_changed()
+
+            if stop_predicate is not None and stop_predicate(marking):
+                return JumpOutcome(
+                    marking, now, weight, True, now, False, firings,
+                    integrator.integrals,
+                )
+            if (
+                level_fn is not None
+                and level_target is not None
+                and level_fn(marking) >= level_target
+            ):
+                return JumpOutcome(
+                    marking, now, weight, False, math.inf, True, firings,
+                    integrator.integrals,
+                )
+
+        return JumpOutcome(
+            marking, now, weight, False, math.inf, False, firings,
+            integrator.integrals,
+        )

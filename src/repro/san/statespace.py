@@ -1,0 +1,268 @@
+"""Reachability-graph generation: SAN → CTMC.
+
+Generates the tangible state space of an all-exponential SAN by breadth-
+first exploration, eliminating *vanishing* markings (markings with enabled
+instantaneous activities) on the fly, exactly as Möbius's state-space
+generator does.  Supports:
+
+* an ``absorbing`` predicate — matching states get no outgoing transitions
+  (used for the paper's ``KO_total`` unsafe state);
+* a ``truncate`` predicate — matching states are folded into one absorbing
+  ``TRUNCATED`` pseudo-state whose transient probability bounds the
+  truncation error (finite-state-projection style);
+* a hard ``max_states`` cap that raises instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+__all__ = ["StateSpace", "generate_state_space", "StateSpaceError"]
+
+#: recursion bound for vanishing-marking elimination
+_MAX_VANISHING_DEPTH = 1000
+
+
+class StateSpaceError(RuntimeError):
+    """State-space generation failed (explosion, vanishing loop, ...)."""
+
+
+@dataclass
+class StateSpace:
+    """A generated CTMC over tangible markings.
+
+    Attributes
+    ----------
+    model:
+        The SAN the space was generated from.
+    order:
+        Place ordering used to freeze markings.
+    states:
+        Frozen tangible states; index in this list is the CTMC state id.
+    index:
+        Frozen state → id.
+    generator:
+        Sparse CTMC generator matrix Q (rows sum to 0; absorbing rows are 0).
+    initial:
+        Initial probability distribution over states.
+    truncated_index:
+        Id of the TRUNCATED pseudo-state, or ``None`` when no truncation
+        occurred.  Probability mass there at time t bounds the truncation
+        error of any transient measure.
+    absorbing_mask:
+        Boolean array marking absorbing states.
+    """
+
+    model: SANModel
+    order: list[Place]
+    states: list[tuple]
+    index: dict[tuple, int]
+    generator: sparse.csr_matrix
+    initial: np.ndarray
+    truncated_index: Optional[int]
+    absorbing_mask: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        """Number of tangible states (including TRUNCATED if present)."""
+        return len(self.states)
+
+    def marking_of(self, state_id: int) -> Marking:
+        """Rebuild the marking of a state (TRUNCATED has no marking)."""
+        if self.truncated_index is not None and state_id == self.truncated_index:
+            raise ValueError("the TRUNCATED pseudo-state has no marking")
+        return Marking.thaw(self.states[state_id], self.order)
+
+    def indicator(self, predicate: Callable[[Marking], bool]) -> np.ndarray:
+        """0/1 vector of states whose marking satisfies ``predicate``."""
+        result = np.zeros(self.n_states)
+        for i, frozen in enumerate(self.states):
+            if self.truncated_index is not None and i == self.truncated_index:
+                continue
+            if predicate(Marking.thaw(frozen, self.order)):
+                result[i] = 1.0
+        return result
+
+
+#: sentinel frozen "state" for the truncation sink
+_TRUNCATED = ("__TRUNCATED__",)
+
+
+def _resolve_vanishing(
+    model: SANModel,
+    marking: Marking,
+    order: list[Place],
+    depth: int = 0,
+) -> list[tuple[float, tuple]]:
+    """Eliminate instantaneous activities, returning tangible successors.
+
+    Returns ``[(probability, frozen_state), ...]`` summing to 1.
+    """
+    if depth > _MAX_VANISHING_DEPTH:
+        raise StateSpaceError(
+            "vanishing-marking chain exceeded depth bound; instantaneous "
+            "activities appear to loop"
+        )
+    enabled = [
+        a for a in model.instantaneous_activities if a.enabled(marking)
+    ]
+    if not enabled:
+        return [(1.0, marking.freeze(order))]
+    # Deterministic policy matching the simulator: highest priority first,
+    # insertion order breaking ties.
+    chosen = max(enabled, key=lambda a: a.priority)
+    # Among equal priorities, take the first in insertion order.
+    top = [a for a in enabled if a.priority == chosen.priority]
+    chosen = min(top, key=model.instantaneous_activities.index)
+
+    outcomes: list[tuple[float, tuple]] = []
+    probs = chosen.case_probabilities(marking)
+    for case_index, prob in enumerate(probs):
+        if prob <= 0.0:
+            continue
+        branch = marking.copy()
+        chosen.fire(branch, case_index)
+        for sub_prob, frozen in _resolve_vanishing(model, branch, order, depth + 1):
+            outcomes.append((prob * sub_prob, frozen))
+    return outcomes
+
+
+def generate_state_space(
+    model: SANModel,
+    absorbing: Optional[Callable[[Marking], bool]] = None,
+    truncate: Optional[Callable[[Marking], bool]] = None,
+    max_states: int = 1_000_000,
+) -> StateSpace:
+    """Explore the tangible reachability graph of ``model``.
+
+    Parameters
+    ----------
+    model:
+        An all-exponential SAN (checked).
+    absorbing:
+        Tangible markings satisfying this keep no outgoing transitions.
+    truncate:
+        Tangible markings satisfying this are merged into the TRUNCATED
+        absorbing pseudo-state (error-bounded truncation).  The *initial*
+        state must not be truncated.
+    max_states:
+        Hard cap; exceeding it raises :class:`StateSpaceError`.
+    """
+    if not model.is_markovian:
+        bad = [a.name for a in model.timed_activities if not a.is_markovian]
+        raise TypeError(
+            f"state-space generation needs exponential activities; "
+            f"non-exponential: {bad[:5]}"
+        )
+    order = list(model.places)
+
+    states: list[tuple] = []
+    index: dict[tuple, int] = {}
+    absorbing_flags: list[bool] = []
+    frontier: list[int] = []
+    truncated_id: Optional[int] = None
+
+    def intern(frozen: tuple, marking: Marking) -> int:
+        nonlocal truncated_id
+        existing = index.get(frozen)
+        if existing is not None:
+            return existing
+        if truncate is not None and truncate(marking):
+            if truncated_id is None:
+                truncated_id = len(states)
+                states.append(_TRUNCATED)
+                index[_TRUNCATED] = truncated_id
+                absorbing_flags.append(True)
+            return truncated_id
+        state_id = len(states)
+        if state_id >= max_states:
+            raise StateSpaceError(
+                f"state space exceeded max_states={max_states}; tighten the "
+                f"truncation predicate or raise the cap"
+            )
+        states.append(frozen)
+        index[frozen] = state_id
+        is_absorbing = absorbing is not None and absorbing(marking)
+        absorbing_flags.append(is_absorbing)
+        if not is_absorbing:
+            frontier.append(state_id)
+        return state_id
+
+    # --- initial distribution (the initial marking may be vanishing) -----
+    init_marking = model.initial_marking()
+    rows: list[int] = []
+    cols: list[int] = []
+    rates: list[float] = []
+
+    initial_entries: list[tuple[int, float]] = []
+    for prob, frozen in _resolve_vanishing(model, init_marking, order):
+        marking = Marking.thaw(frozen, order)
+        state_id = intern(frozen, marking)
+        if state_id == truncated_id:
+            raise StateSpaceError("initial state falls inside the truncation set")
+        initial_entries.append((state_id, prob))
+
+    # --- BFS over tangible states ----------------------------------------
+    cursor = 0
+    while cursor < len(frontier):
+        state_id = frontier[cursor]
+        cursor += 1
+        marking = Marking.thaw(states[state_id], order)
+        for activity in model.timed_activities:
+            if not activity.enabled(marking):
+                continue
+            rate = activity.rate_in(marking)
+            if rate <= 0.0:
+                continue
+            for case_index, prob in enumerate(
+                activity.case_probabilities(marking)
+            ):
+                if prob <= 0.0:
+                    continue
+                successor = marking.copy()
+                activity.fire(successor, case_index)
+                for sub_prob, frozen in _resolve_vanishing(
+                    model, successor, order
+                ):
+                    target = intern(frozen, Marking.thaw(frozen, order))
+                    if target == state_id:
+                        continue  # self-loops do not alter the CTMC law
+                    rows.append(state_id)
+                    cols.append(target)
+                    rates.append(rate * prob * sub_prob)
+
+    n = len(states)
+    matrix = sparse.coo_matrix(
+        (rates, (rows, cols)), shape=(n, n), dtype=float
+    ).tocsr()
+    matrix.sum_duplicates()
+    # add the diagonal: -row sums
+    out_rates = np.asarray(matrix.sum(axis=1)).ravel()
+    generator = (matrix - sparse.diags(out_rates)).tocsr()
+
+    initial = np.zeros(n)
+    for state_id, prob in initial_entries:
+        initial[state_id] += prob
+    total = initial.sum()
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise StateSpaceError(f"initial distribution sums to {total}, expected 1")
+
+    return StateSpace(
+        model=model,
+        order=order,
+        states=states,
+        index=index,
+        generator=generator,
+        initial=initial,
+        truncated_index=truncated_id,
+        absorbing_mask=np.asarray(absorbing_flags, dtype=bool),
+    )

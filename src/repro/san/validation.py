@@ -1,0 +1,86 @@
+"""Structural validation of SAN models.
+
+Run :func:`validate_model` after building a model (the AHS builders do this
+automatically).  Checks are structural and cheap; dynamic properties (e.g.
+instantaneous-activity loops) are guarded at runtime by the simulator and
+the state-space generator.
+"""
+
+from __future__ import annotations
+
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+
+__all__ = ["validate_model", "ModelValidationError"]
+
+
+class ModelValidationError(ValueError):
+    """The model is structurally invalid."""
+
+
+def validate_model(model: SANModel) -> None:
+    """Validate ``model``; raise :class:`ModelValidationError` on problems.
+
+    Checks:
+
+    * at least one activity;
+    * every activity's places are registered in the model;
+    * constant case probabilities of each activity sum to 1;
+    * initial marking is valid for every place, and enabling predicates /
+      constant rates evaluate without raising in the initial marking;
+    * no duplicate place names among distinct places.
+    """
+    if not model.activities:
+        raise ModelValidationError(f"model {model.name!r} has no activities")
+
+    place_set = set(model.places)
+    names: dict[str, object] = {}
+    for place in model.places:
+        previous = names.get(place.name)
+        if previous is not None and previous is not place:
+            raise ModelValidationError(
+                f"model {model.name!r}: two distinct places named {place.name!r}"
+            )
+        names[place.name] = place
+
+    for activity in model.activities:
+        missing = (activity.reads() | activity.writes()) - place_set
+        if missing:
+            missing_names = sorted(p.name for p in missing)
+            raise ModelValidationError(
+                f"activity {activity.name!r} uses unregistered places: "
+                f"{missing_names}"
+            )
+        constant_probs = [
+            c.probability for c in activity.cases if isinstance(c.probability, float)
+        ]
+        if len(constant_probs) == len(activity.cases):
+            total = sum(constant_probs)
+            if abs(total - 1.0) > 1e-9:
+                raise ModelValidationError(
+                    f"activity {activity.name!r}: constant case probabilities "
+                    f"sum to {total}, expected 1"
+                )
+
+    # Smoke-evaluate predicates and rates in the initial marking.
+    marking = model.initial_marking()
+    for activity in model.activities:
+        try:
+            enabled = activity.enabled(marking)
+        except Exception as exc:  # noqa: BLE001 - reported as validation error
+            raise ModelValidationError(
+                f"activity {activity.name!r}: enabling predicate raised "
+                f"{exc!r} in the initial marking"
+            ) from exc
+        if enabled and hasattr(activity, "rate_in") and activity.rate is not None:
+            try:
+                rate = activity.rate_in(marking)
+            except Exception as exc:  # noqa: BLE001
+                raise ModelValidationError(
+                    f"activity {activity.name!r}: rate raised {exc!r} in the "
+                    f"initial marking"
+                ) from exc
+            if rate < 0:
+                raise ModelValidationError(
+                    f"activity {activity.name!r}: negative initial rate {rate}"
+                )

@@ -1,0 +1,82 @@
+"""Batch-means analysis for steady-state simulation output."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.confidence import ConfidenceInterval, normal_ci
+
+__all__ = ["batch_means", "BatchMeansResult"]
+
+
+@dataclass
+class BatchMeansResult:
+    """Outcome of a batch-means analysis."""
+
+    interval: ConfidenceInterval
+    n_batches: int
+    batch_size: int
+    warmup_discarded: int
+    lag1_autocorrelation: float
+
+
+def _lag1_autocorrelation(values: np.ndarray) -> float:
+    if values.size < 3:
+        return math.nan
+    centered = values - values.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(centered[:-1], centered[1:]) / denom)
+
+
+def batch_means(
+    observations: Sequence[float],
+    n_batches: int = 20,
+    warmup_fraction: float = 0.1,
+    confidence: float = 0.95,
+) -> BatchMeansResult:
+    """Classical non-overlapping batch means.
+
+    Discards a warm-up prefix, splits the remainder into ``n_batches``
+    equal batches, and builds a t-based CI over the batch means.  The
+    lag-1 autocorrelation of the batch means is reported so callers can
+    detect under-batching (|ρ₁| ≫ 0 means batches are too small).
+
+    Parameters
+    ----------
+    observations:
+        Raw output sequence from one long run.
+    n_batches:
+        Number of batches (≥ 2).
+    warmup_fraction:
+        Fraction of the sequence discarded as initialisation bias.
+    confidence:
+        CI level.
+    """
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0,1), got {warmup_fraction}")
+    data = np.asarray(observations, dtype=float)
+    warmup = int(data.size * warmup_fraction)
+    usable = data[warmup:]
+    batch_size = usable.size // n_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"{usable.size} post-warmup observations cannot fill "
+            f"{n_batches} batches"
+        )
+    trimmed = usable[: batch_size * n_batches]
+    means = trimmed.reshape(n_batches, batch_size).mean(axis=1)
+    return BatchMeansResult(
+        interval=normal_ci(means, confidence),
+        n_batches=n_batches,
+        batch_size=batch_size,
+        warmup_discarded=warmup,
+        lag1_autocorrelation=_lag1_autocorrelation(means),
+    )

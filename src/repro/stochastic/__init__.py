@@ -1,0 +1,48 @@
+"""Random-number streams and probability distributions.
+
+This subpackage is the lowest layer of the library.  Everything stochastic in
+the simulators (the DES kernel, the SAN executor, the rare-event estimators,
+the microscopic traffic substrate) draws randomness through the
+:class:`~repro.stochastic.rng.RandomStream` abstraction so that experiments
+are reproducible and independent replications use provably independent
+streams (spawned via NumPy's ``SeedSequence``).
+"""
+
+from repro.stochastic.rng import RandomStream, StreamFactory
+from repro.stochastic.distributions import (
+    Distribution,
+    Exponential,
+    Deterministic,
+    Uniform,
+    Erlang,
+    Weibull,
+    LogNormal,
+    Triangular,
+    DiscreteChoice,
+    ShiftedExponential,
+    HyperExponential,
+)
+from repro.stochastic.sampling import (
+    sample_mean_and_ci,
+    inverse_transform_sample,
+    thinning_nhpp,
+)
+
+__all__ = [
+    "RandomStream",
+    "StreamFactory",
+    "Distribution",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "Erlang",
+    "Weibull",
+    "LogNormal",
+    "Triangular",
+    "DiscreteChoice",
+    "ShiftedExponential",
+    "HyperExponential",
+    "sample_mean_and_ci",
+    "inverse_transform_sample",
+    "thinning_nhpp",
+]

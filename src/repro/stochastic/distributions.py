@@ -1,0 +1,349 @@
+"""Probability distributions for activity firing times.
+
+The SAN formalism attaches a :class:`Distribution` to every timed activity.
+The paper's models are exclusively exponential ("we assume that all the
+processes represented by timed activities have exponential distributions"),
+but the library supports the usual dependability-modeling distributions so
+that non-Markovian variants can be simulated (the CTMC engines require
+exponential activities and reject anything else).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.stochastic.rng import RandomStream
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "Erlang",
+    "Weibull",
+    "LogNormal",
+    "Triangular",
+    "DiscreteChoice",
+    "ShiftedExponential",
+    "HyperExponential",
+]
+
+
+class Distribution(ABC):
+    """A positive random variable used as an activity firing delay."""
+
+    #: True when the distribution is exponential (memoryless), which is what
+    #: the CTMC state-space engines require.
+    is_exponential: bool = False
+
+    @abstractmethod
+    def sample(self, stream: RandomStream) -> float:
+        """Draw one variate using ``stream``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @abstractmethod
+    def variance(self) -> float:
+        """Variance."""
+
+    def rate(self) -> float:
+        """Rate of the distribution if exponential.
+
+        Raises
+        ------
+        TypeError
+            For non-exponential distributions.
+        """
+        raise TypeError(f"{type(self).__name__} has no exponential rate")
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(self.variance())
+
+
+def _require_positive(name: str, value: float) -> float:
+    if value <= 0.0 or not math.isfinite(value):
+        raise ValueError(f"{name} must be finite and > 0, got {value}")
+    return float(value)
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``lam`` (mean ``1/lam``)."""
+
+    is_exponential = True
+    __slots__ = ("lam",)
+
+    def __init__(self, lam: float) -> None:
+        self.lam = _require_positive("rate", lam)
+
+    def sample(self, stream: RandomStream) -> float:
+        return stream.exponential(self.lam)
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    def variance(self) -> float:
+        return 1.0 / (self.lam * self.lam)
+
+    def rate(self) -> float:
+        return self.lam
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.lam:g})"
+
+
+class Deterministic(Distribution):
+    """Constant delay."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        if value < 0.0 or not math.isfinite(value):
+            raise ValueError(f"deterministic delay must be finite and >= 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, stream: RandomStream) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value:g})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if not (0.0 <= low < high) or not math.isfinite(high):
+            raise ValueError(f"need 0 <= low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, stream: RandomStream) -> float:
+        return stream.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low:g}, {self.high:g})"
+
+
+class Erlang(Distribution):
+    """Erlang-k distribution: sum of ``k`` i.i.d. Exp(rate) phases."""
+
+    __slots__ = ("k", "lam")
+
+    def __init__(self, k: int, lam: float) -> None:
+        if k < 1 or k != int(k):
+            raise ValueError(f"Erlang shape must be an integer >= 1, got {k}")
+        self.k = int(k)
+        self.lam = _require_positive("rate", lam)
+
+    def sample(self, stream: RandomStream) -> float:
+        total = 0.0
+        for _ in range(self.k):
+            total += stream.exponential(self.lam)
+        return total
+
+    def mean(self) -> float:
+        return self.k / self.lam
+
+    def variance(self) -> float:
+        return self.k / (self.lam * self.lam)
+
+    def __repr__(self) -> str:
+        return f"Erlang(k={self.k}, rate={self.lam:g})"
+
+
+class Weibull(Distribution):
+    """Weibull distribution with shape ``k`` and scale ``lam``."""
+
+    __slots__ = ("k", "lam")
+
+    def __init__(self, k: float, lam: float) -> None:
+        self.k = _require_positive("shape", k)
+        self.lam = _require_positive("scale", lam)
+
+    def sample(self, stream: RandomStream) -> float:
+        u = stream.random()
+        # Inverse transform; guard u == 0 which has probability zero but
+        # would produce log(0).
+        u = max(u, 1e-300)
+        return self.lam * (-math.log(u)) ** (1.0 / self.k)
+
+    def mean(self) -> float:
+        return self.lam * math.gamma(1.0 + 1.0 / self.k)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.k)
+        g2 = math.gamma(1.0 + 2.0 / self.k)
+        return self.lam * self.lam * (g2 - g1 * g1)
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self.k:g}, scale={self.lam:g})"
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterised by underlying normal (mu, sigma)."""
+
+    __slots__ = ("mu", "sigma")
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if not math.isfinite(mu):
+            raise ValueError(f"mu must be finite, got {mu}")
+        self.mu = float(mu)
+        self.sigma = _require_positive("sigma", sigma)
+
+    def sample(self, stream: RandomStream) -> float:
+        return math.exp(stream.normal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    def variance(self) -> float:
+        s2 = self.sigma * self.sigma
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu:g}, sigma={self.sigma:g})"
+
+
+class Triangular(Distribution):
+    """Triangular distribution on ``[low, high]`` with mode ``mode``."""
+
+    __slots__ = ("low", "mode", "high")
+
+    def __init__(self, low: float, mode: float, high: float) -> None:
+        if not (0.0 <= low <= mode <= high) or low == high:
+            raise ValueError(
+                f"need 0 <= low <= mode <= high with low < high, got "
+                f"({low}, {mode}, {high})"
+            )
+        self.low = float(low)
+        self.mode = float(mode)
+        self.high = float(high)
+
+    def sample(self, stream: RandomStream) -> float:
+        u = stream.random()
+        span = self.high - self.low
+        cut = (self.mode - self.low) / span
+        if u < cut:
+            return self.low + math.sqrt(u * span * (self.mode - self.low))
+        return self.high - math.sqrt((1.0 - u) * span * (self.high - self.mode))
+
+    def mean(self) -> float:
+        return (self.low + self.mode + self.high) / 3.0
+
+    def variance(self) -> float:
+        a, c, b = self.low, self.mode, self.high
+        return (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+
+    def __repr__(self) -> str:
+        return f"Triangular({self.low:g}, {self.mode:g}, {self.high:g})"
+
+
+class ShiftedExponential(Distribution):
+    """Exponential delay plus a constant offset (minimum duration)."""
+
+    __slots__ = ("offset", "lam")
+
+    def __init__(self, offset: float, lam: float) -> None:
+        if offset < 0.0 or not math.isfinite(offset):
+            raise ValueError(f"offset must be finite and >= 0, got {offset}")
+        self.offset = float(offset)
+        self.lam = _require_positive("rate", lam)
+
+    def sample(self, stream: RandomStream) -> float:
+        return self.offset + stream.exponential(self.lam)
+
+    def mean(self) -> float:
+        return self.offset + 1.0 / self.lam
+
+    def variance(self) -> float:
+        return 1.0 / (self.lam * self.lam)
+
+    def __repr__(self) -> str:
+        return f"ShiftedExponential(offset={self.offset:g}, rate={self.lam:g})"
+
+
+class HyperExponential(Distribution):
+    """Probabilistic mixture of exponentials.
+
+    Parameters
+    ----------
+    probs:
+        Mixing probabilities (must sum to 1 within tolerance).
+    rates:
+        Rate of each exponential branch.
+    """
+
+    __slots__ = ("probs", "rates")
+
+    def __init__(self, probs, rates) -> None:
+        probs = [float(p) for p in probs]
+        rates = [float(r) for r in rates]
+        if len(probs) != len(rates) or not probs:
+            raise ValueError("probs and rates must be equal-length, non-empty")
+        if any(p < 0.0 for p in probs) or abs(sum(probs) - 1.0) > 1e-9:
+            raise ValueError(f"probs must be non-negative and sum to 1, got {probs}")
+        for r in rates:
+            _require_positive("rate", r)
+        self.probs = probs
+        self.rates = rates
+
+    def sample(self, stream: RandomStream) -> float:
+        idx = stream.choice_index(self.probs)
+        return stream.exponential(self.rates[idx])
+
+    def mean(self) -> float:
+        return sum(p / r for p, r in zip(self.probs, self.rates))
+
+    def variance(self) -> float:
+        second = sum(2.0 * p / (r * r) for p, r in zip(self.probs, self.rates))
+        m = self.mean()
+        return second - m * m
+
+    def __repr__(self) -> str:
+        return f"HyperExponential(probs={self.probs}, rates={self.rates})"
+
+
+class DiscreteChoice:
+    """A discrete distribution over arbitrary items (not a firing delay).
+
+    Used by workload generators, e.g. to pick which platoon a joining
+    vehicle enters (the paper's ``JP`` activity uses a 50/50 case split).
+    """
+
+    __slots__ = ("items", "weights")
+
+    def __init__(self, items, weights=None) -> None:
+        self.items = list(items)
+        if not self.items:
+            raise ValueError("DiscreteChoice requires at least one item")
+        if weights is None:
+            self.weights = [1.0] * len(self.items)
+        else:
+            self.weights = [float(w) for w in weights]
+            if len(self.weights) != len(self.items):
+                raise ValueError("weights must match items in length")
+
+    def sample(self, stream: RandomStream):
+        """Pick one item according to the weights."""
+        return self.items[stream.choice_index(self.weights)]
+
+    def __repr__(self) -> str:
+        return f"DiscreteChoice({len(self.items)} items)"

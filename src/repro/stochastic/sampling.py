@@ -1,0 +1,115 @@
+"""Sampling helpers shared by the estimators and workload generators."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.stochastic.rng import RandomStream
+
+__all__ = ["sample_mean_and_ci", "inverse_transform_sample", "thinning_nhpp"]
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki approximation + Newton refinement)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError(f"erfinv domain is (-1, 1), got {x}")
+    if x == 0.0:
+        return 0.0
+    a = 0.147
+    ln1mx2 = math.log(1.0 - x * x)
+    term = 2.0 / (math.pi * a) + ln1mx2 / 2.0
+    guess = math.copysign(
+        math.sqrt(math.sqrt(term * term - ln1mx2 / a) - term), x
+    )
+    # Two Newton iterations on erf(y) - x = 0 sharpen the approximation to
+    # ~1e-12, plenty for confidence-interval quantiles.
+    y = guess
+    for _ in range(2):
+        err = math.erf(y) - x
+        y -= err * math.sqrt(math.pi) / 2.0 * math.exp(y * y)
+    return y
+
+
+def sample_mean_and_ci(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Sample mean and half-width of a normal-approximation CI.
+
+    Parameters
+    ----------
+    samples:
+        Observations (at least 2 for a non-degenerate interval).
+    confidence:
+        Two-sided confidence level, default 95 % as in the paper
+        ("converging within 95% probability in a 0.1 relative interval").
+
+    Returns
+    -------
+    (mean, half_width)
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, math.inf
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean, half
+
+
+def inverse_transform_sample(
+    stream: RandomStream, inverse_cdf: Callable[[float], float]
+) -> float:
+    """Draw one variate from a distribution given its inverse CDF."""
+    return inverse_cdf(stream.random())
+
+
+def thinning_nhpp(
+    stream: RandomStream,
+    rate_fn: Callable[[float], float],
+    rate_max: float,
+    horizon: float,
+) -> list[float]:
+    """Event times of a non-homogeneous Poisson process on ``[0, horizon]``.
+
+    Uses Lewis-Shedler thinning.  Used by the traffic substrate to generate
+    time-varying highway entry flows (rush-hour profiles).
+
+    Parameters
+    ----------
+    stream:
+        Randomness source.
+    rate_fn:
+        Instantaneous rate ``lambda(t)``; must satisfy
+        ``0 <= rate_fn(t) <= rate_max`` on the horizon.
+    rate_max:
+        Dominating constant rate for the thinning proposal process.
+    horizon:
+        End of the generation window.
+
+    Returns
+    -------
+    Sorted list of accepted event times.
+    """
+    if rate_max <= 0.0:
+        raise ValueError(f"rate_max must be > 0, got {rate_max}")
+    if horizon < 0.0:
+        raise ValueError(f"horizon must be >= 0, got {horizon}")
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += stream.exponential(rate_max)
+        if t > horizon:
+            break
+        lam = rate_fn(t)
+        if lam < 0.0 or lam > rate_max * (1.0 + 1e-12):
+            raise ValueError(
+                f"rate_fn({t}) = {lam} outside [0, rate_max={rate_max}]"
+            )
+        if stream.random() * rate_max < lam:
+            times.append(t)
+    return times

@@ -1,0 +1,100 @@
+"""Tests for the atomic split / merge / join maneuvers."""
+
+import pytest
+
+from repro.agents.atomic import AtomicManeuvers
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.highway import Highway
+from repro.agents.kinematics import HIGHWAY_SPEED, VEHICLE_LENGTH, VehicleState
+from repro.agents.vehicle_agent import ControlMode, VehicleAgent
+from repro.des import Environment
+from repro.stochastic import StreamFactory
+
+
+@pytest.fixture
+def scene():
+    env = Environment()
+    highway = Highway(env, StreamFactory(5).stream())
+    highway.add_platoon("p1", lane=2, size=6, head_position=0.0)
+    return env, highway, AtomicManeuvers(highway)
+
+
+class TestSplit:
+    def test_opens_inter_platoon_gap(self, scene):
+        env, highway, atomic = scene
+        outcome = atomic.run(atomic.split("p1", "p1.v2", "p1b"))
+        assert outcome.kind == "split"
+        assert highway.platoons["p1"].vehicle_ids == ["p1.v0", "p1.v1", "p1.v2"]
+        assert highway.platoons["p1b"].vehicle_ids == ["p1.v3", "p1.v4", "p1.v5"]
+        front_tail = highway.agents["p1.v2"]
+        new_leader = highway.agents["p1.v3"]
+        gap = new_leader.state.gap_to(front_tail.state)
+        assert gap >= 0.9 * GAP_INTER_PLATOON
+        # paper: inter-platoon distance between 30 and 60 m
+        assert gap <= 70.0
+        assert 10.0 <= outcome.duration <= 120.0
+
+    def test_split_at_tail_rejected(self, scene):
+        env, highway, atomic = scene
+        with pytest.raises(ValueError):
+            atomic.run(atomic.split("p1", "p1.v5", "p1b"))
+
+    def test_duplicate_name_rejected(self, scene):
+        env, highway, atomic = scene
+        with pytest.raises(ValueError):
+            atomic.run(atomic.split("p1", "p1.v2", "p1"))
+
+
+class TestMerge:
+    def test_split_then_merge_restores_formation(self, scene):
+        env, highway, atomic = scene
+        atomic.run(atomic.split("p1", "p1.v2", "p1b"))
+        outcome = atomic.run(atomic.merge("p1", "p1b"))
+        assert outcome.kind == "merge"
+        assert "p1b" not in highway.platoons
+        platoon = highway.platoons["p1"]
+        assert platoon.vehicle_ids == [f"p1.v{i}" for i in range(6)]
+        for ahead, behind in zip(platoon.vehicle_ids, platoon.vehicle_ids[1:]):
+            gap = highway.agents[behind].state.gap_to(
+                highway.agents[ahead].state
+            )
+            assert 1.0 <= gap <= 3.2
+        assert 10.0 <= outcome.duration <= 300.0
+
+    def test_merge_empty_rejected(self, scene):
+        env, highway, atomic = scene
+        highway.platoons["empty"] = type(highway.platoons["p1"])(
+            "empty", lane=2, vehicle_ids=[]
+        )
+        with pytest.raises(ValueError):
+            atomic.run(atomic.merge("p1", "empty"))
+
+
+class TestJoin:
+    def test_free_agent_joins_tail(self, scene):
+        env, highway, atomic = scene
+        # a free agent one inter-platoon distance behind
+        free = VehicleAgent(
+            "free",
+            VehicleState(
+                position=-6 * (VEHICLE_LENGTH + GAP_INTRA_PLATOON) - 60.0,
+                speed=HIGHWAY_SPEED,
+                lane=1,
+            ),
+            mode=ControlMode.CRUISE,
+        )
+        highway.agents["free"] = free
+        highway.bus.register("free")
+        outcome = atomic.run(atomic.join("free", "p1"))
+        assert outcome.kind == "join"
+        # paper: the joiner occupies the last position of the platoon
+        assert highway.platoons["p1"].vehicle_ids[-1] == "free"
+        assert free.mode is ControlMode.FOLLOW
+        gap = free.state.gap_to(highway.agents["p1.v5"].state)
+        assert 0.5 <= gap <= 3.5
+        assert 5.0 <= outcome.duration <= 300.0
+
+    def test_already_platooned_rejected(self, scene):
+        env, highway, atomic = scene
+        with pytest.raises(ValueError):
+            atomic.run(atomic.join("p1.v3", "p1"))

@@ -1,0 +1,127 @@
+"""Tests for the V2V bus and platoon containers."""
+
+import pytest
+
+from repro.agents import KinematicPlatoon, Message, MessageBus, VehicleState
+from repro.des import Environment
+from repro.stochastic import StreamFactory
+
+
+@pytest.fixture
+def bus_env():
+    env = Environment()
+    bus = MessageBus(env, StreamFactory(1).stream(), latency=0.02)
+    for endpoint in ("a", "b", "c"):
+        bus.register(endpoint)
+    return env, bus
+
+
+class TestMessageBus:
+    def test_point_to_point_delivery(self, bus_env):
+        env, bus = bus_env
+        received = []
+
+        def listener():
+            message = yield bus.receive("b")
+            received.append(message)
+
+        env.process(listener())
+        bus.send(Message("a", "b", "state", payload=42))
+        env.run()
+        assert len(received) == 1
+        assert received[0].payload == 42
+        assert env.now > 0.0  # latency applied
+
+    def test_broadcast_excludes_sender(self, bus_env):
+        env, bus = bus_env
+        inboxes = {"b": [], "c": [], "a": []}
+
+        def listen(name):
+            message = yield bus.receive(name)
+            inboxes[name].append(message)
+
+        for name in inboxes:
+            env.process(listen(name))
+        bus.send(Message("a", "*", "announce"))
+        env.run(until=1.0)
+        assert len(inboxes["b"]) == 1 and len(inboxes["c"]) == 1
+        assert inboxes["a"] == []
+
+    def test_loss(self):
+        env = Environment()
+        bus = MessageBus(
+            env, StreamFactory(2).stream(), latency=0.0, loss_probability=0.5
+        )
+        bus.register("a")
+        bus.register("b")
+        for _ in range(400):
+            bus.send(Message("a", "b", "x"))
+        assert 0.3 < bus.loss_rate < 0.7
+        assert bus.frames_sent == 400
+
+    def test_unknown_endpoint_rejected(self, bus_env):
+        env, bus = bus_env
+        with pytest.raises(KeyError):
+            bus.send(Message("a", "zz", "x"))
+        with pytest.raises(KeyError):
+            bus.receive("zz")
+
+    def test_duplicate_registration_rejected(self, bus_env):
+        env, bus = bus_env
+        with pytest.raises(ValueError):
+            bus.register("a")
+
+    def test_parameter_validation(self):
+        env = Environment()
+        stream = StreamFactory(1).stream()
+        with pytest.raises(ValueError):
+            MessageBus(env, stream, latency=-1.0)
+        with pytest.raises(ValueError):
+            MessageBus(env, stream, loss_probability=1.0)
+
+
+class TestKinematicPlatoon:
+    def test_ordering_queries(self):
+        platoon = KinematicPlatoon("p", lane=2, vehicle_ids=["v0", "v1", "v2"])
+        assert platoon.leader_id == "v0"
+        assert platoon.predecessor_of("v1") == "v0"
+        assert platoon.successor_of("v1") == "v2"
+        assert platoon.predecessor_of("v0") is None
+        assert platoon.successor_of("v2") is None
+        assert platoon.position_of("v2") == 2
+
+    def test_free_agent(self):
+        assert KinematicPlatoon("p", 1, ["only"]).is_free_agent()
+        assert not KinematicPlatoon("p", 1, ["a", "b"]).is_free_agent()
+
+    def test_append_at_tail(self):
+        # paper: a joining vehicle occupies the last position
+        platoon = KinematicPlatoon("p", 1, ["a"])
+        platoon.append("b")
+        assert platoon.vehicle_ids == ["a", "b"]
+        with pytest.raises(ValueError):
+            platoon.append("a")
+
+    def test_remove_reassigns_leadership_implicitly(self):
+        platoon = KinematicPlatoon("p", 1, ["a", "b", "c"])
+        platoon.remove("a")
+        assert platoon.leader_id == "b"
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            KinematicPlatoon("p", 1, ["a"]).remove("zz")
+
+    def test_split_behind(self):
+        platoon = KinematicPlatoon("p", 1, ["a", "b", "c", "d"])
+        tail = platoon.split_behind("b")
+        assert tail == ["c", "d"]
+        assert platoon.vehicle_ids == ["a", "b"]
+
+    def test_split_behind_tail_vehicle(self):
+        platoon = KinematicPlatoon("p", 1, ["a", "b"])
+        assert platoon.split_behind("b") == []
+
+    def test_slot_position(self):
+        leader = VehicleState(position=100.0)
+        slot1 = KinematicPlatoon.slot_position(leader, 1)
+        assert slot1 < 100.0

@@ -1,0 +1,150 @@
+"""Tests for highway scenarios and kinematic maneuver execution."""
+
+import pytest
+
+from repro.agents import Highway, ManeuverExecutor, calibrate_maneuver_durations
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.kinematics import HIGHWAY_SPEED, VEHICLE_LENGTH
+from repro.agents.vehicle_agent import ControlMode
+from repro.core.maneuvers import Maneuver
+from repro.des import Environment
+from repro.stochastic import StreamFactory
+
+
+def build_highway(seed=1, size=4):
+    env = Environment()
+    stream = StreamFactory(seed).stream()
+    highway = Highway(env, stream)
+    highway.add_platoon("p1", lane=2, size=size, head_position=0.0)
+    highway.add_platoon(
+        "p2",
+        lane=2,
+        size=size,
+        head_position=-(size * (VEHICLE_LENGTH + GAP_INTRA_PLATOON))
+        - GAP_INTER_PLATOON,
+    )
+    return env, highway, stream
+
+
+class TestHighway:
+    def test_platoon_construction(self):
+        env, highway, stream = build_highway()
+        assert len(highway.agents) == 8
+        assert highway.platoon_of("p1.v2").name == "p1"
+        assert highway.platoon_of("ghost") is None
+
+    def test_duplicate_platoon_rejected(self):
+        env, highway, stream = build_highway()
+        with pytest.raises(ValueError):
+            highway.add_platoon("p1", lane=1, size=2)
+
+    def test_size_validation(self):
+        env, highway, stream = build_highway()
+        with pytest.raises(ValueError):
+            highway.add_platoon("p3", lane=1, size=0)
+
+    def test_platoons_hold_formation(self):
+        env, highway, stream = build_highway()
+        highway.start()
+        env.run(until=60.0)
+        platoon = highway.platoons["p1"]
+        for ahead, behind in zip(platoon.vehicle_ids, platoon.vehicle_ids[1:]):
+            gap = highway.agents[behind].state.gap_to(
+                highway.agents[ahead].state
+            )
+            assert 1.0 <= gap <= 3.0  # paper: intra-platoon 1-3 m
+
+    def test_gap_behind(self):
+        env, highway, stream = build_highway()
+        assert highway.gap_behind("p1.v0") == pytest.approx(
+            GAP_INTRA_PLATOON, abs=0.01
+        )
+        assert highway.gap_behind("p1.v3") == float("inf")
+
+
+@pytest.mark.parametrize("maneuver", list(Maneuver), ids=lambda m: m.value)
+class TestManeuverExecution:
+    def test_completes_within_paper_band(self, maneuver):
+        env, highway, stream = build_highway(seed=maneuver.value.__hash__() % 100)
+        executor = ManeuverExecutor(highway, stream)
+        outcome = executor.run_to_completion(maneuver, "p1.v1")
+        assert outcome.success
+        # the paper's band is 2-4 minutes; accept a generous 0.5-6 min
+        assert 30.0 <= outcome.duration <= 360.0
+
+    def test_faulty_vehicle_leaves_highway(self, maneuver):
+        env, highway, stream = build_highway(seed=7)
+        executor = ManeuverExecutor(highway, stream)
+        executor.run_to_completion(maneuver, "p1.v1")
+        faulty = highway.agents["p1.v1"]
+        assert faulty.mode is ControlMode.INACTIVE
+        assert highway.platoon_of("p1.v1") is None
+
+    def test_remaining_platoon_reforms(self, maneuver):
+        env, highway, stream = build_highway(seed=9)
+        executor = ManeuverExecutor(highway, stream)
+        executor.run_to_completion(maneuver, "p1.v1")
+        env.run(until=env.now + 60.0)
+        survivors = [
+            p
+            for p in highway.platoons.values()
+            if p.vehicle_ids and "p1" in p.name
+        ]
+        for platoon in survivors:
+            for ahead, behind in zip(
+                platoon.vehicle_ids, platoon.vehicle_ids[1:]
+            ):
+                gap = highway.agents[behind].state.gap_to(
+                    highway.agents[ahead].state
+                )
+                assert 0.5 <= gap <= 4.0
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate_maneuver_durations(
+            platoon_sizes=(4, 8), repetitions=2, seed=11
+        )
+
+    def test_all_maneuvers_sampled(self, report):
+        assert set(report.samples) == set(Maneuver)
+        for by_size in report.samples.values():
+            assert set(by_size) == {4, 8}
+
+    def test_durations_in_minutes_band(self, report):
+        for maneuver in Maneuver:
+            for size in (4, 8):
+                duration = report.mean_duration(maneuver, size)
+                assert 30.0 <= duration <= 360.0
+
+    def test_rates_overlap_paper_band(self, report):
+        # equivalent rates should be broadly commensurate with 15-30/hr
+        rates = [
+            report.rate_per_hour(m, s)
+            for m in Maneuver
+            for s in (4, 8)
+        ]
+        assert min(rates) > 8.0
+        assert max(rates) < 80.0
+
+    def test_aided_stop_is_slowest_stop(self, report):
+        assert report.mean_duration(Maneuver.AS, 8) > report.mean_duration(
+            Maneuver.CS, 8
+        )
+
+    def test_fitted_kappa_small_nonnegative_band(self, report):
+        kappa = report.fitted_duration_scaling(Maneuver.TIE_N)
+        assert -0.1 <= kappa <= 0.3
+
+    def test_kappa_needs_two_sizes(self):
+        report = calibrate_maneuver_durations(
+            platoon_sizes=(4,), repetitions=1, maneuvers=(Maneuver.TIE_N,)
+        )
+        with pytest.raises(ValueError):
+            report.fitted_duration_scaling(Maneuver.TIE_N)
+
+    def test_summary_rows(self, report):
+        rows = report.summary_rows()
+        assert len(rows) == len(Maneuver) * 2
+        assert {"maneuver", "platoon_size", "mean_duration_s"} <= set(rows[0])

@@ -1,0 +1,125 @@
+"""Tests for vehicle kinematics and control laws."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import (
+    BrakeToStopController,
+    ConstantSpacingController,
+    GAP_INTRA_PLATOON,
+    LeaderCruiseController,
+    VehicleState,
+    integrate,
+)
+from repro.agents.kinematics import HIGHWAY_SPEED, VEHICLE_LENGTH
+
+
+class TestIntegration:
+    def test_constant_speed(self):
+        state = VehicleState(position=0.0, speed=20.0)
+        integrate(state, 0.0, 2.0)
+        assert state.position == pytest.approx(40.0)
+        assert state.speed == 20.0
+
+    def test_acceleration_clipped_to_envelope(self):
+        state = VehicleState(speed=10.0, max_acceleration=2.5)
+        integrate(state, 100.0, 1.0)
+        assert state.speed == pytest.approx(12.5)
+
+    def test_braking_clipped_to_emergency(self):
+        state = VehicleState(speed=20.0, emergency_braking=8.0)
+        integrate(state, -50.0, 1.0)
+        assert state.speed == pytest.approx(12.0)
+
+    def test_no_reversing(self):
+        state = VehicleState(speed=1.0)
+        integrate(state, -8.0, 5.0)
+        assert state.speed == 0.0
+        assert state.stopped
+
+    def test_exact_stopping_distance(self):
+        # braking from v at a: distance v^2 / (2a)
+        state = VehicleState(position=0.0, speed=20.0)
+        for _ in range(100):
+            integrate(state, -2.0, 0.5)
+        assert state.position == pytest.approx(100.0, rel=1e-6)
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            integrate(VehicleState(), 0.0, 0.0)
+
+    @given(
+        speed=st.floats(0.0, 40.0),
+        command=st.floats(-10.0, 5.0),
+        dt=st.floats(0.01, 2.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_speed_never_negative(self, speed, command, dt):
+        state = VehicleState(speed=speed)
+        integrate(state, command, dt)
+        assert state.speed >= 0.0
+
+    def test_gap_to(self):
+        ahead = VehicleState(position=100.0)
+        behind = VehicleState(position=90.0)
+        assert behind.gap_to(ahead) == pytest.approx(10.0 - VEHICLE_LENGTH)
+
+
+class TestControllers:
+    def test_cruise_tracks_set_speed(self):
+        controller = LeaderCruiseController(set_speed=25.0)
+        state = VehicleState(speed=20.0)
+        for _ in range(200):
+            integrate(state, controller.command(state), 0.5)
+        assert state.speed == pytest.approx(25.0, abs=0.1)
+
+    def test_spacing_controller_converges_to_gap(self):
+        leader = VehicleState(position=100.0, speed=HIGHWAY_SPEED)
+        follower = VehicleState(position=50.0, speed=HIGHWAY_SPEED)
+        cruise = LeaderCruiseController(HIGHWAY_SPEED)
+        spacing = ConstantSpacingController(gap_target=GAP_INTRA_PLATOON)
+        for _ in range(600):
+            lead_cmd = cruise.command(leader)
+            follow_cmd = spacing.command(follower, leader)
+            integrate(leader, lead_cmd, 0.5)
+            integrate(follower, follow_cmd, 0.5)
+        assert follower.gap_to(leader) == pytest.approx(
+            GAP_INTRA_PLATOON, abs=0.3
+        )
+        assert follower.speed == pytest.approx(HIGHWAY_SPEED, abs=0.2)
+
+    def test_platoon_string_converges(self):
+        # five vehicles starting with irregular spacing form a platoon
+        vehicles = [
+            VehicleState(position=200.0 - 20.0 * i, speed=HIGHWAY_SPEED)
+            for i in range(5)
+        ]
+        cruise = LeaderCruiseController(HIGHWAY_SPEED)
+        spacing = ConstantSpacingController()
+        for _ in range(1200):
+            commands = [cruise.command(vehicles[0])]
+            commands += [
+                spacing.command(vehicles[i], vehicles[i - 1])
+                for i in range(1, 5)
+            ]
+            for state, command in zip(vehicles, commands):
+                integrate(state, command, 0.5)
+        for ahead, behind in zip(vehicles, vehicles[1:]):
+            gap = behind.gap_to(ahead)
+            assert gap == pytest.approx(GAP_INTRA_PLATOON, abs=0.5)
+            # paper: intra-platoon distance 1-3 m
+            assert 1.0 <= gap <= 3.0
+
+    def test_brake_controller(self):
+        controller = BrakeToStopController(2.0)
+        state = VehicleState(speed=29.0)
+        assert controller.command(state) == -2.0
+        state.speed = 0.0
+        assert controller.command(state) == 0.0
+
+    def test_brake_validation(self):
+        with pytest.raises(ValueError):
+            BrakeToStopController(0.0)

@@ -1,0 +1,65 @@
+"""Maneuver coordination over a lossy V2V channel.
+
+FM3 of Table 1 is "inter-vehicle communication failure"; the handshake
+layer must survive moderate frame loss by retransmission and fail loudly
+(not hang) under a persistent outage.
+"""
+
+import pytest
+
+from repro.agents.controllers import GAP_INTER_PLATOON, GAP_INTRA_PLATOON
+from repro.agents.highway import Highway
+from repro.agents.kinematics import VEHICLE_LENGTH
+from repro.agents.maneuver_exec import ManeuverExecutor
+from repro.core.maneuvers import Maneuver
+from repro.des import Environment
+from repro.stochastic import StreamFactory
+
+
+def lossy_highway(loss: float, seed: int = 2):
+    env = Environment()
+    stream = StreamFactory(seed).stream()
+    highway = Highway(env, stream, comm_loss=loss)
+    highway.add_platoon("p1", lane=2, size=5, head_position=0.0)
+    highway.add_platoon(
+        "p2",
+        lane=2,
+        size=5,
+        head_position=-(5 * (VEHICLE_LENGTH + GAP_INTRA_PLATOON))
+        - GAP_INTER_PLATOON,
+    )
+    return env, highway, stream
+
+
+class TestLossyHandshake:
+    def test_moderate_loss_still_succeeds(self):
+        env, highway, stream = lossy_highway(loss=0.3)
+        executor = ManeuverExecutor(highway, stream)
+        outcome = executor.run_to_completion(Maneuver.TIE, "p1.v2")
+        assert outcome.success
+        assert highway.bus.frames_lost > 0  # losses actually happened
+
+    def test_retransmissions_extend_handshake(self):
+        env_clean, hw_clean, s_clean = lossy_highway(loss=0.0, seed=9)
+        clean = ManeuverExecutor(hw_clean, s_clean).run_to_completion(
+            Maneuver.TIE, "p1.v2"
+        )
+        env_lossy, hw_lossy, s_lossy = lossy_highway(loss=0.35, seed=9)
+        lossy = ManeuverExecutor(hw_lossy, s_lossy).run_to_completion(
+            Maneuver.TIE, "p1.v2"
+        )
+        assert lossy.success
+        assert (
+            lossy.phase_durations["handshake"]
+            > clean.phase_durations["handshake"]
+        )
+
+    def test_persistent_outage_fails_the_maneuver(self):
+        # loss close to certainty: the handshake gives up and the
+        # maneuver is reported unsuccessful instead of hanging
+        env, highway, stream = lossy_highway(loss=0.995, seed=4)
+        executor = ManeuverExecutor(highway, stream)
+        outcome = executor.run_to_completion(Maneuver.TIE, "p1.v2")
+        assert not outcome.success
+        # gave up within the retry budget, not at the kinematic timeout
+        assert outcome.duration < 60.0

@@ -1,0 +1,87 @@
+"""Tests for traffic demand profiles and the long-run scenario."""
+
+import pytest
+
+from repro.agents.workload import DemandProfile, ScenarioReport, TrafficScenario
+from repro.stochastic import StreamFactory
+
+
+class TestDemandProfile:
+    def test_rate_shape(self):
+        demand = DemandProfile(
+            base_rate=50, peak_rate=200, peak_time_hours=1.0, peak_width_hours=0.3
+        )
+        assert demand.rate_at(1.0) == pytest.approx(200.0)
+        assert demand.rate_at(-5.0) == pytest.approx(50.0, abs=1.0)
+        assert demand.rate_at(0.7) > demand.rate_at(0.1)
+
+    def test_arrivals_cluster_at_peak(self):
+        demand = DemandProfile(
+            base_rate=10, peak_rate=400, peak_time_hours=1.0, peak_width_hours=0.2
+        )
+        stream = StreamFactory(5).stream()
+        times = demand.arrival_times(stream, 2.0)
+        assert len(times) > 50
+        near_peak = sum(1 for t in times if 0.6 <= t <= 1.4)
+        assert near_peak / len(times) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandProfile(base_rate=-1)
+        with pytest.raises(ValueError):
+            DemandProfile(base_rate=100, peak_rate=50)
+        with pytest.raises(ValueError):
+            DemandProfile(peak_width_hours=0)
+
+
+class TestTrafficScenario:
+    @pytest.fixture(scope="class")
+    def report(self) -> ScenarioReport:
+        scenario = TrafficScenario(
+            DemandProfile(
+                base_rate=40,
+                peak_rate=150,
+                peak_time_hours=0.5,
+                peak_width_hours=0.25,
+            ),
+            max_platoon_size=10,
+            leave_rate_per_hour=6.0,
+            seed=3,
+        )
+        return scenario.run(duration_hours=1.0)
+
+    def test_counts_consistent(self, report):
+        assert report.arrivals > 0
+        assert 0 < report.joins_completed <= report.arrivals
+        assert report.departures >= 0
+
+    def test_capacity_respected(self, report):
+        for name, size in report.final_sizes.items():
+            assert size <= 10, (name, size)
+
+    def test_occupancy_trajectory_recorded(self, report):
+        assert len(report.occupancy) > 10
+        assert report.mean_occupancy > 5.0
+        # occupancy never exceeds the two-platoon capacity
+        assert max(report.occupancy.values) <= 20
+
+    def test_validation(self):
+        scenario = TrafficScenario(DemandProfile(), seed=1)
+        with pytest.raises(ValueError):
+            scenario.run(duration_hours=0.0)
+        with pytest.raises(ValueError):
+            TrafficScenario(DemandProfile(), max_platoon_size=0)
+        with pytest.raises(ValueError):
+            TrafficScenario(DemandProfile(), leave_rate_per_hour=-1.0)
+
+    def test_reproducible_under_seed(self):
+        def run():
+            return TrafficScenario(
+                DemandProfile(base_rate=30, peak_rate=60),
+                seed=11,
+            ).run(duration_hours=0.5)
+
+        first, second = run(), run()
+        assert first.arrivals == second.arrivals
+        assert first.joins_completed == second.joins_completed
+        assert first.final_sizes == second.final_sizes

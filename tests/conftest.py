@@ -1,0 +1,83 @@
+"""Shared fixtures: small parameter sets and toy SAN models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import AHSParameters
+from repro.san import (
+    Case,
+    Place,
+    SANModel,
+    TimedActivity,
+    input_arc,
+    output_arc,
+)
+from repro.stochastic import StreamFactory
+
+
+@pytest.fixture
+def factory() -> StreamFactory:
+    """Deterministic randomness for a test."""
+    return StreamFactory(12345)
+
+
+@pytest.fixture
+def stream(factory):
+    """One deterministic stream."""
+    return factory.stream("test")
+
+
+@pytest.fixture
+def small_params() -> AHSParameters:
+    """A small AHS configuration usable by simulation tests."""
+    return AHSParameters(max_platoon_size=3, base_failure_rate=1e-3)
+
+
+@pytest.fixture
+def default_params() -> AHSParameters:
+    """The paper's default configuration."""
+    return AHSParameters()
+
+
+def make_two_state_model(fail_rate: float = 0.5, repair_rate: float = 2.0):
+    """Classic failure/repair SAN with a known analytic solution.
+
+    P(down at t) = λ/(λ+μ) · (1 − e^{−(λ+μ)t})
+    """
+    up = Place("up", 1)
+    down = Place("down", 0)
+    model = SANModel("two-state")
+    model.add_activity(
+        TimedActivity(
+            "fail",
+            rate=fail_rate,
+            input_gates=[input_arc(up)],
+            cases=[Case(1.0, [output_arc(down)])],
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            "repair",
+            rate=repair_rate,
+            input_gates=[input_arc(down)],
+            cases=[Case(1.0, [output_arc(up)])],
+        )
+    )
+    return model, up, down
+
+
+@pytest.fixture
+def two_state_model():
+    """(model, up, down) for the failure/repair SAN."""
+    return make_two_state_model()
+
+
+def analytic_down_probability(
+    t: float, fail_rate: float = 0.5, repair_rate: float = 2.0
+) -> float:
+    """Exact transient solution of the two-state model."""
+    import math
+
+    total = fail_rate + repair_rate
+    return fail_rate / total * (1.0 - math.exp(-total * t))

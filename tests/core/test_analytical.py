@@ -1,0 +1,158 @@
+"""Tests for the occupancy chain and the failure-level analytical engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AHSParameters,
+    AnalyticalEngine,
+    FailureLevelChain,
+    OccupancyChain,
+    Strategy,
+)
+
+
+class TestOccupancyChain:
+    def test_reachable_states_respect_capacity(self, default_params):
+        chain = OccupancyChain(default_params)
+        n = default_params.max_platoon_size
+        for occ1, occ2, tr in chain.states:
+            assert 0 <= occ1 and 0 <= occ2 and 0 <= tr
+            assert occ1 + tr <= n
+            assert occ2 <= n
+            assert occ1 + occ2 + tr <= default_params.total_vehicles
+
+    def test_stationary_is_distribution(self, default_params):
+        pi = OccupancyChain(default_params).stationary()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= -1e-12).all()
+
+    def test_high_join_keeps_platoons_full(self, default_params):
+        occ1, occ2, tr = OccupancyChain(default_params).expected_occupancies()
+        n = default_params.max_platoon_size
+        # join=12 vs leave=4: platoons nearly full
+        assert occ1 > 0.85 * n
+        assert occ2 > 0.85 * n
+        assert 0.0 <= tr <= default_params.max_transit
+
+    def test_low_join_drains_platoons(self):
+        params = AHSParameters(join_rate=0.5, leave_rate=8.0)
+        occ1, occ2, tr = OccupancyChain(params).expected_occupancies()
+        assert occ1 < 5.0 and occ2 < 5.0
+
+    def test_zero_leave_fills_completely(self):
+        params = AHSParameters(leave_rate=0.0, change_rate=0.0)
+        occ1, occ2, tr = OccupancyChain(params).expected_occupancies()
+        assert occ1 == pytest.approx(params.max_platoon_size, abs=1e-6)
+        assert tr == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFailureLevelChain:
+    def test_empty_state_is_initial(self, default_params):
+        chain = FailureLevelChain(default_params, (9.5, 9.5))
+        assert chain.states[0] == ((0,) * 6, (0,) * 6)
+        assert chain.chain.initial[0] == 1.0
+
+    def test_ko_reachable_trunc_not(self, default_params):
+        chain = FailureLevelChain(default_params, (9.5, 9.5), max_concurrent=4)
+        assert chain.ko_index is not None
+        # every 4-failure combination is catastrophic (Table 2 corollary),
+        # so the truncation sink is unreachable at K=4
+        assert chain.trunc_index is None
+
+    def test_no_catastrophic_tangible_states(self, default_params):
+        from repro.core.analytical import _severity_of
+        from repro.core import catastrophic_situation
+
+        chain = FailureLevelChain(default_params, (9.5, 9.5))
+        for state in chain.states:
+            if state in ("KO", "TRUNC"):
+                continue
+            assert catastrophic_situation(_severity_of(state)) is None
+
+    def test_ko_absorbing(self, default_params):
+        chain = FailureLevelChain(default_params, (9.5, 9.5))
+        row = chain.chain.generator[chain.ko_index].toarray().ravel()
+        assert np.allclose(row, 0.0)
+
+    def test_max_concurrent_validation(self, default_params):
+        with pytest.raises(ValueError):
+            FailureLevelChain(default_params, (9.5, 9.5), max_concurrent=1)
+
+
+class TestAnalyticalEngine:
+    def test_unsafety_monotone_in_time(self, default_params):
+        result = AnalyticalEngine(default_params).unsafety([2, 4, 6, 8, 10])
+        assert (np.diff(result.unsafety) > 0).all()
+        assert (result.unsafety > 0).all()
+        assert (result.unsafety < 1e-3).all()
+
+    def test_unsafety_monotone_in_lambda(self):
+        values = [
+            AnalyticalEngine(AHSParameters(base_failure_rate=lam))
+            .unsafety([6.0])
+            .unsafety[0]
+            for lam in (1e-6, 1e-5, 1e-4)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_roughly_quadratic_in_lambda(self):
+        # ST1 needs two near-simultaneous failures: S ~ lambda^2
+        low = AnalyticalEngine(AHSParameters(base_failure_rate=1e-6))
+        high = AnalyticalEngine(AHSParameters(base_failure_rate=1e-5))
+        ratio = (
+            high.unsafety([6.0]).unsafety[0] / low.unsafety([6.0]).unsafety[0]
+        )
+        assert 50.0 < ratio < 200.0
+
+    def test_unsafety_monotone_in_n(self):
+        values = [
+            AnalyticalEngine(AHSParameters(max_platoon_size=n))
+            .unsafety([6.0])
+            .unsafety[0]
+            for n in (8, 10, 12, 14)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_strategy_ordering(self):
+        values = {
+            strategy: AnalyticalEngine(AHSParameters(strategy=strategy))
+            .unsafety([6.0])
+            .unsafety[0]
+            for strategy in Strategy
+        }
+        # paper Fig 14: decentralized inter safer; inter dominates intra
+        assert values[Strategy.DD] < values[Strategy.DC]
+        assert values[Strategy.DC] < values[Strategy.CD]
+        assert values[Strategy.CD] < values[Strategy.CC]
+        inter_effect = values[Strategy.CD] / values[Strategy.DD]
+        intra_effect = values[Strategy.DC] / values[Strategy.DD]
+        assert inter_effect > intra_effect
+
+    def test_truncation_error_zero_at_k4(self, default_params):
+        result = AnalyticalEngine(default_params).unsafety([10.0])
+        assert result.truncation_error.max() == 0.0
+
+    def test_value_at(self, default_params):
+        result = AnalyticalEngine(default_params).unsafety([2.0, 6.0])
+        assert result.value_at(6.0) == result.unsafety[1]
+        with pytest.raises(KeyError):
+            result.value_at(3.0)
+
+    def test_tiny_lambda_reaches_tiny_probabilities(self):
+        # the paper quotes ~1e-13 at lambda=1e-7; crude MC cannot see this
+        engine = AnalyticalEngine(AHSParameters(base_failure_rate=1e-7))
+        value = engine.unsafety([6.0]).unsafety[0]
+        assert 0.0 < value < 1e-8
+
+    def test_k3_matches_k4(self, default_params):
+        # states with 4 active failures are all catastrophic, so K=3 and
+        # K=4 build the same chain (modulo the unreachable sink)
+        k3 = AnalyticalEngine(default_params, max_concurrent=3)
+        k4 = AnalyticalEngine(default_params, max_concurrent=4)
+        a = k3.unsafety([6.0])
+        b = k4.unsafety([6.0])
+        total_err = a.truncation_error[0]
+        assert a.unsafety[0] == pytest.approx(
+            b.unsafety[0], rel=1e-6, abs=total_err + 1e-15
+        )

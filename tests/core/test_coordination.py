@@ -1,0 +1,107 @@
+"""Tests for Table 3: coordination strategies and maneuver involvement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CoordinationModel,
+    Maneuver,
+    Strategy,
+    assistants,
+    scope_is_global,
+)
+
+
+class TestStrategy:
+    def test_four_strategies(self):
+        assert {s.value for s in Strategy} == {"DD", "DC", "CD", "CC"}
+
+    def test_inter_intra_decomposition(self):
+        assert Strategy.DC.inter is CoordinationModel.DECENTRALIZED
+        assert Strategy.DC.intra is CoordinationModel.CENTRALIZED
+        assert Strategy.CD.inter is CoordinationModel.CENTRALIZED
+        assert Strategy.CD.intra is CoordinationModel.DECENTRALIZED
+
+    def test_scope(self):
+        # the SAP of centralized inter-platoon coordination serializes
+        # requests across both platoons
+        assert scope_is_global(Strategy.CD)
+        assert scope_is_global(Strategy.CC)
+        assert not scope_is_global(Strategy.DD)
+        assert not scope_is_global(Strategy.DC)
+
+
+class TestAssistants:
+    def test_centralized_intra_adds_leader(self):
+        for maneuver in Maneuver:
+            if maneuver is Maneuver.TIE_E:
+                continue
+            dd = assistants(maneuver, Strategy.DD, 10, 10)
+            dc = assistants(maneuver, Strategy.DC, 10, 10)
+            assert dc == dd + 1
+
+    def test_tie_e_centralized_inter_scales_with_platoon(self):
+        small = assistants(Maneuver.TIE_E, Strategy.CD, 4, 10)
+        large = assistants(Maneuver.TIE_E, Strategy.CD, 12, 10)
+        assert large > small
+        # decentralized involvement is size-independent
+        assert assistants(Maneuver.TIE_E, Strategy.DD, 4, 10) == assistants(
+            Maneuver.TIE_E, Strategy.DD, 12, 10
+        )
+
+    def test_paper_tie_e_counts(self):
+        # §2.2.1: decentralized — two leaders + front + behind = 4
+        assert assistants(Maneuver.TIE_E, Strategy.DD, 10, 10) == 4.0
+        # centralized — all ahead ((10-1)/2 expected) + neighbour leader +
+        # SAP + own front/behind pair
+        expected = (10 - 1) / 2 + 1 + 1 + 2
+        assert assistants(Maneuver.TIE_E, Strategy.CD, 10, 10) == expected
+
+    def test_empty_neighbor_platoon_drops_leader(self):
+        with_nb = assistants(Maneuver.TIE_E, Strategy.CD, 10, 10)
+        without_nb = assistants(Maneuver.TIE_E, Strategy.CD, 10, 0)
+        assert without_nb == with_nb - 1
+
+    def test_intra_assistants_capped_by_platoon_size(self):
+        # a free agent has no platoon members to assist
+        assert assistants(Maneuver.TIE, Strategy.DD, 1, 10) == 0.0
+
+    @given(
+        maneuver=st.sampled_from(list(Maneuver)),
+        occ=st.integers(1, 18),
+        nb=st.integers(0, 18),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_centralized_never_cheaper(self, maneuver, occ, nb):
+        dd = assistants(maneuver, Strategy.DD, occ, nb)
+        cc = assistants(maneuver, Strategy.CC, occ, nb)
+        assert cc >= dd
+
+    @given(
+        maneuver=st.sampled_from(list(Maneuver)),
+        strategy=st.sampled_from(list(Strategy)),
+        occ=st.integers(1, 18),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_non_negative(self, maneuver, strategy, occ):
+        assert assistants(maneuver, strategy, occ, occ) >= 0.0
+
+    def test_rear_propagation_adds_for_gap_openers(self):
+        base = assistants(Maneuver.TIE, Strategy.DD, 9, 9)
+        with_rear = assistants(
+            Maneuver.TIE, Strategy.DD, 9, 9, rear_propagation=0.5
+        )
+        assert with_rear == base + 0.5 * 8
+        # stops without gap opening are unaffected
+        assert assistants(
+            Maneuver.GS, Strategy.DD, 9, 9, rear_propagation=0.5
+        ) == assistants(Maneuver.GS, Strategy.DD, 9, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assistants(Maneuver.TIE, Strategy.DD, 0, 5)
+        with pytest.raises(ValueError):
+            assistants(Maneuver.TIE, Strategy.DD, 5, -1)
+        with pytest.raises(ValueError):
+            assistants(Maneuver.TIE, Strategy.DD, 5, 5, rear_propagation=2.0)

@@ -1,0 +1,88 @@
+"""Tests for the design-space queries."""
+
+import pytest
+
+from repro.core import AHSParameters, Strategy
+from repro.core.design import (
+    best_strategy,
+    design_frontier,
+    max_platoon_size_for,
+    max_trip_duration,
+)
+
+
+class TestMaxPlatoonSize:
+    def test_paper_regime(self, default_params):
+        # at lambda=1e-5 and a 1e-6 budget over 6 h, the admissible size
+        # sits in the paper's "should not exceed 10" neighbourhood
+        n = max_platoon_size_for(default_params, 1e-6, trip_hours=6.0)
+        assert n is not None
+        assert 4 <= n <= 12
+
+    def test_larger_budget_allows_larger_platoons(self, default_params):
+        tight = max_platoon_size_for(default_params, 5e-7, 6.0)
+        loose = max_platoon_size_for(default_params, 5e-6, 6.0)
+        assert loose > tight
+
+    def test_impossible_budget(self, default_params):
+        assert max_platoon_size_for(default_params, 1e-12, 6.0) is None
+
+    def test_validation(self, default_params):
+        with pytest.raises(ValueError):
+            max_platoon_size_for(default_params, 0.0, 6.0)
+        with pytest.raises(ValueError):
+            max_platoon_size_for(default_params, 1e-6, 0.0)
+
+
+class TestMaxTripDuration:
+    def test_budget_consistency(self, default_params):
+        from repro.core import AnalyticalEngine
+
+        budget = 1e-6
+        duration = max_trip_duration(default_params, budget)
+        assert duration is not None
+        value = AnalyticalEngine(default_params).unsafety([duration]).unsafety[0]
+        assert value <= budget * 1.05
+
+    def test_monotone_in_budget(self, default_params):
+        short = max_trip_duration(default_params, 5e-7)
+        long = max_trip_duration(default_params, 2e-6)
+        assert long > short
+
+    def test_unreachable_budget_gives_horizon(self, default_params):
+        assert (
+            max_trip_duration(default_params, 0.5, horizon_hours=12.0) == 12.0
+        )
+
+    def test_impossible_budget(self, default_params):
+        assert max_trip_duration(default_params, 1e-15) is None
+
+
+class TestBestStrategy:
+    def test_dd_wins(self, default_params):
+        winner, values = best_strategy(default_params, 6.0)
+        assert winner is Strategy.DD
+        assert len(values) == 4
+        assert values[Strategy.DD] < values[Strategy.CC]
+
+
+class TestDesignFrontier:
+    def test_grid_shape_and_admissibility(self, default_params):
+        points = design_frontier(
+            default_params, 1.5e-6, 6.0, sizes=(8, 10, 12)
+        )
+        assert len(points) == 12
+        # admissibility is monotone: if (n, s) is admissible, so is every
+        # smaller n with the same strategy
+        for strategy in Strategy:
+            flags = [
+                p.admissible
+                for p in points
+                if p.strategy is strategy
+            ]
+            # once inadmissible, stays inadmissible as n grows
+            assert flags == sorted(flags, reverse=True)
+
+    def test_budget_validation(self, default_params):
+        with pytest.raises(ValueError):
+            design_frontier(default_params, -1.0, 6.0)

@@ -1,0 +1,74 @@
+"""Tests for Table 1: failure modes and severity classes."""
+
+import pytest
+
+from repro.core import (
+    FAILURE_MODES,
+    RATE_MULTIPLIERS,
+    SeverityClass,
+    total_rate_multiplier,
+)
+
+
+class TestTable1Content:
+    def test_six_failure_modes(self):
+        assert len(FAILURE_MODES) == 6
+        assert [fm.fm_id for fm in FAILURE_MODES] == [
+            f"FM{i}" for i in range(1, 7)
+        ]
+
+    def test_severity_assignment_matches_paper(self):
+        severities = [fm.severity for fm in FAILURE_MODES]
+        assert severities == [
+            SeverityClass.A3,
+            SeverityClass.A2,
+            SeverityClass.A1,
+            SeverityClass.B2,
+            SeverityClass.B1,
+            SeverityClass.C,
+        ]
+
+    def test_maneuver_assignment_matches_paper(self):
+        maneuvers = [fm.maneuver_name for fm in FAILURE_MODES]
+        assert maneuvers == ["AS", "CS", "GS", "TIE-E", "TIE", "TIE-N"]
+
+    def test_rate_multipliers_match_section_4_1(self):
+        # paper: λ6=4λ, λ5=3λ, λ4=λ3=λ2=2λ, λ1=λ
+        assert RATE_MULTIPLIERS == (1, 2, 2, 2, 3, 4)
+        assert total_rate_multiplier() == 14
+
+    def test_example_causes_present(self):
+        assert FAILURE_MODES[0].example_cause == "No brakes"
+        assert all(fm.example_cause for fm in FAILURE_MODES)
+
+
+class TestSeverityClass:
+    def test_letters(self):
+        assert SeverityClass.A3.letter == "A"
+        assert SeverityClass.B1.letter == "B"
+        assert SeverityClass.C.letter == "C"
+
+    def test_priority_ranking(self):
+        # A3 > A2 > A1 > B2 = B1 > C (paper §2.1.1)
+        assert SeverityClass.A3.rank > SeverityClass.A2.rank
+        assert SeverityClass.A2.rank > SeverityClass.A1.rank
+        assert SeverityClass.A1.rank > SeverityClass.B2.rank
+        assert SeverityClass.B2.rank == SeverityClass.B1.rank
+        assert SeverityClass.B1.rank > SeverityClass.C.rank
+
+    def test_comparison_operators(self):
+        assert SeverityClass.C < SeverityClass.A3
+        assert SeverityClass.B1 <= SeverityClass.B2
+
+
+class TestFailureMode:
+    def test_index(self):
+        assert FAILURE_MODES[0].index == 0
+        assert FAILURE_MODES[5].index == 5
+
+    def test_rate(self):
+        assert FAILURE_MODES[5].rate(1e-5) == pytest.approx(4e-5)
+
+    def test_rate_validates_base(self):
+        with pytest.raises(ValueError):
+            FAILURE_MODES[0].rate(0.0)

@@ -1,0 +1,115 @@
+"""Tests for maneuvers, priorities, and the escalation rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_MANEUVER_RATES,
+    ESCALATION_LADDER,
+    FAILURE_MODES,
+    Maneuver,
+    escalate_request,
+    maneuver_for_failure_mode,
+    next_on_failure,
+)
+
+
+class TestManeuverProperties:
+    def test_priorities_follow_severity(self):
+        assert Maneuver.AS.priority > Maneuver.CS.priority
+        assert Maneuver.CS.priority > Maneuver.GS.priority
+        assert Maneuver.GS.priority > Maneuver.TIE_E.priority
+        assert Maneuver.TIE_E.priority == Maneuver.TIE.priority  # B1 = B2
+        assert Maneuver.TIE.priority > Maneuver.TIE_N.priority
+
+    def test_stop_classification(self):
+        assert Maneuver.AS.is_stop and Maneuver.CS.is_stop and Maneuver.GS.is_stop
+        assert not Maneuver.TIE.is_stop
+
+    def test_tie_e_needs_neighbor(self):
+        assert Maneuver.TIE_E.needs_neighbor_platoon
+        assert not Maneuver.TIE.needs_neighbor_platoon
+
+    def test_default_rates_in_paper_band(self):
+        # paper §4.1: execution rates between 15/hr and 30/hr
+        for maneuver, rate in DEFAULT_MANEUVER_RATES.items():
+            assert 15.0 <= rate <= 30.0, maneuver
+
+
+class TestLadder:
+    def test_ladder_covers_all_maneuvers(self):
+        assert set(ESCALATION_LADDER) == set(Maneuver)
+
+    def test_ladder_priorities_non_decreasing(self):
+        priorities = [m.priority for m in ESCALATION_LADDER]
+        assert priorities == sorted(priorities)
+
+    def test_next_on_failure_chain(self):
+        chain = [Maneuver.TIE_N]
+        while next_on_failure(chain[-1]) is not None:
+            chain.append(next_on_failure(chain[-1]))
+        assert chain == list(ESCALATION_LADDER)
+
+    def test_as_failure_is_terminal(self):
+        assert next_on_failure(Maneuver.AS) is None
+
+
+class TestTable1Mapping:
+    def test_every_failure_mode_resolves(self):
+        for fm in FAILURE_MODES:
+            maneuver = maneuver_for_failure_mode(fm)
+            assert maneuver.severity == fm.severity
+
+
+class TestRequestEscalation:
+    def test_empty_scope_grants_as_requested(self):
+        for maneuver in Maneuver:
+            assert escalate_request(maneuver, []) is maneuver
+
+    def test_lower_priority_actives_ignored(self):
+        assert (
+            escalate_request(Maneuver.GS, [Maneuver.TIE_N, Maneuver.TIE])
+            is Maneuver.GS
+        )
+
+    def test_escalates_to_active_ceiling(self):
+        # a TIE-N request while a CS runs is granted at CS priority
+        granted = escalate_request(Maneuver.TIE_N, [Maneuver.CS])
+        assert granted is Maneuver.CS
+
+    def test_escalates_past_equal_class(self):
+        # request TIE while TIE-E (equal priority) active: TIE acceptable
+        assert escalate_request(Maneuver.TIE, [Maneuver.TIE_E]) is Maneuver.TIE
+
+    def test_as_ceiling_forces_as(self):
+        assert escalate_request(Maneuver.TIE_N, [Maneuver.AS]) is Maneuver.AS
+
+    @given(
+        requested=st.sampled_from(list(Maneuver)),
+        active=st.lists(st.sampled_from(list(Maneuver)), max_size=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_granted_dominates_request_and_scope(self, requested, active):
+        granted = escalate_request(requested, active)
+        # never de-escalates below the request
+        assert ESCALATION_LADDER.index(granted) >= ESCALATION_LADDER.index(
+            requested
+        )
+        # meets or exceeds every active priority
+        for other in active:
+            assert granted.priority >= other.priority
+
+    @given(
+        requested=st.sampled_from(list(Maneuver)),
+        active=st.lists(st.sampled_from(list(Maneuver)), max_size=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_granted_is_minimal(self, requested, active):
+        granted = escalate_request(requested, active)
+        index = ESCALATION_LADDER.index(granted)
+        start = ESCALATION_LADDER.index(requested)
+        ceiling = max((m.priority for m in active), default=0)
+        for candidate in ESCALATION_LADDER[start:index]:
+            # everything skipped was genuinely inadmissible
+            assert candidate.priority < ceiling

@@ -1,0 +1,125 @@
+"""Tests for the unified unsafety API and the closed-form approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AHSParameters,
+    AnalyticalEngine,
+    OverlapApproximation,
+    UNSAFETY_METHODS,
+    unsafety,
+)
+
+
+class TestOverlapApproximation:
+    def test_within_small_factor_of_numerical(self, default_params):
+        approx = OverlapApproximation(default_params).unsafety([2.0, 6.0, 10.0])
+        exact = AnalyticalEngine(default_params).unsafety([2.0, 6.0, 10.0])
+        ratio = exact.unsafety / approx
+        # first-order ST1 estimate: within a factor of 3 of the engine
+        assert (ratio > 1.0 / 3.0).all()
+        assert (ratio < 3.0).all()
+
+    def test_monotone_in_time(self, default_params):
+        values = OverlapApproximation(default_params).unsafety([1, 5, 9])
+        assert (np.diff(values) > 0).all()
+
+    def test_rejects_negative_times(self, default_params):
+        with pytest.raises(ValueError):
+            OverlapApproximation(default_params).unsafety([-1.0])
+
+    def test_strategy_effect_direction(self):
+        from repro.core import Strategy
+
+        dd = OverlapApproximation(AHSParameters(strategy=Strategy.DD))
+        cc = OverlapApproximation(AHSParameters(strategy=Strategy.CC))
+        assert cc.unsafety([6.0])[0] > dd.unsafety([6.0])[0]
+
+
+class TestUnsafetyAPI:
+    def test_methods_listed(self):
+        assert set(UNSAFETY_METHODS) == {
+            "analytical",
+            "simulation",
+            "importance",
+            "splitting",
+            "approx",
+        }
+
+    def test_analytical_default(self, default_params):
+        estimate = unsafety(default_params, [2.0, 6.0])
+        assert estimate.method == "analytical"
+        assert estimate.values.shape == (2,)
+        assert (estimate.half_widths == 0).all()
+
+    def test_approx_method(self, default_params):
+        estimate = unsafety(default_params, [6.0], method="approx")
+        assert estimate.method == "approx"
+        assert estimate.values[0] > 0
+
+    def test_simulation_method_small_model(self, small_params):
+        # high lambda so crude MC sees hits with a small budget
+        params = small_params.with_changes(base_failure_rate=0.05)
+        estimate = unsafety(
+            params, [4.0], method="simulation", n_replications=300, seed=5
+        )
+        assert estimate.method == "simulation"
+        assert estimate.n_samples == 300
+        assert 0.0 <= estimate.values[0] <= 1.0
+
+    def test_importance_method_small_model(self, small_params):
+        estimate = unsafety(
+            small_params,
+            [1.0],
+            method="importance",
+            n_replications=400,
+            seed=6,
+            boost=20.0,
+        )
+        assert estimate.method == "importance-sampling"
+        assert estimate.values[0] >= 0.0
+
+    def test_splitting_method_small_model(self, small_params):
+        estimate = unsafety(
+            small_params,
+            [2.0],
+            method="splitting",
+            seed=7,
+            trials_per_stage=60,
+            repetitions=3,
+            splitting_levels=[1.0, 2.0, 1000.0],
+        )
+        assert estimate.method == "splitting"
+        assert estimate.values[0] >= 0.0
+
+    def test_sequential_stopping_protocol(self, small_params):
+        # the paper's protocol: batches until the 95% CI is within the
+        # relative-width target
+        from repro.stats import SequentialStoppingRule
+
+        params = small_params.with_changes(base_failure_rate=0.1)
+        rule = SequentialStoppingRule(
+            min_replications=150, max_replications=3000, relative_width=0.3
+        )
+        estimate = unsafety(
+            params, [3.0], method="simulation", seed=8, stopping_rule=rule
+        )
+        assert estimate.method.startswith("simulation-sequential")
+        assert estimate.n_samples >= 150
+        assert estimate.values[0] > 0
+        if not estimate.method.endswith("unconverged"):
+            rel = estimate.half_widths[0] / estimate.values[0]
+            assert rel <= 0.3 * 1.05
+
+    def test_unknown_method_rejected(self, default_params):
+        with pytest.raises(ValueError):
+            unsafety(default_params, [1.0], method="magic")
+
+    def test_empty_times_rejected(self, default_params):
+        with pytest.raises(ValueError):
+            unsafety(default_params, [])
+
+    def test_negative_times_rejected(self, default_params):
+        with pytest.raises(ValueError):
+            unsafety(default_params, [-2.0])

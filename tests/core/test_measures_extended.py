@@ -1,0 +1,56 @@
+"""Tests for mean time to unsafety and the hazard rate."""
+
+import pytest
+
+from repro.core import (
+    AHSParameters,
+    AnalyticalEngine,
+    mean_time_to_unsafety,
+    unsafety_hazard,
+)
+
+
+class TestMeanTimeToUnsafety:
+    def test_large_at_paper_defaults(self, default_params):
+        mttu = mean_time_to_unsafety(default_params)
+        # millions of hours: individual trips are very safe
+        assert 1e5 < mttu < 1e8
+
+    def test_consistent_with_hazard(self, default_params):
+        # flat hazard ⇒ MTTU ≈ 1 / h
+        hazard = unsafety_hazard(default_params, 6.0)
+        mttu = mean_time_to_unsafety(default_params)
+        assert mttu == pytest.approx(1.0 / hazard, rel=0.1)
+
+    def test_decreases_with_lambda(self):
+        slow = mean_time_to_unsafety(AHSParameters(base_failure_rate=1e-6))
+        fast = mean_time_to_unsafety(AHSParameters(base_failure_rate=1e-4))
+        assert fast < slow / 100.0
+
+    def test_decreases_with_n(self):
+        small = mean_time_to_unsafety(AHSParameters(max_platoon_size=8))
+        large = mean_time_to_unsafety(AHSParameters(max_platoon_size=14))
+        assert large < small
+
+
+class TestHazard:
+    def test_positive_and_small(self, default_params):
+        hazard = unsafety_hazard(default_params, 6.0)
+        assert 0.0 < hazard < 1e-5
+
+    def test_consistent_with_curve_slope(self, default_params):
+        # S(t) ≈ h·t in the rare-event regime
+        hazard = unsafety_hazard(default_params, 6.0)
+        s6 = AnalyticalEngine(default_params).unsafety([6.0]).unsafety[0]
+        assert s6 == pytest.approx(hazard * 6.0, rel=0.25)
+
+    def test_flat_after_warmup(self, default_params):
+        # the occupancy process mixes within the first hour; afterwards
+        # the hazard is nearly constant (why the figures look linear)
+        early = unsafety_hazard(default_params, 2.0)
+        late = unsafety_hazard(default_params, 9.0)
+        assert late == pytest.approx(early, rel=0.15)
+
+    def test_time_validation(self, default_params):
+        with pytest.raises(ValueError):
+            unsafety_hazard(default_params, 0.2, dt=0.5)

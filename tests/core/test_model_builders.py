@@ -1,0 +1,155 @@
+"""Tests for the SAN model builders (paper §3: Figures 4-9)."""
+
+import pytest
+
+from repro.core import AHSParameters, Maneuver, build_composed_model
+from repro.core.configuration_model import SharedPlaces, VehiclePlaces
+from repro.san import MarkovJumpSimulator, SANSimulator, validate_model
+from repro.san.simulator import _stabilize
+from repro.stochastic import StreamFactory
+
+
+@pytest.fixture(scope="module")
+def small_ahs():
+    """Composed model with 3 vehicles per platoon (6 replicas)."""
+    return build_composed_model(
+        AHSParameters(max_platoon_size=3, base_failure_rate=1e-3)
+    )
+
+
+class TestStructure:
+    def test_replica_count(self, small_ahs):
+        # 2n One_vehicle replicas: each contributes 6 L_i activities
+        failure_activities = [
+            a
+            for a in small_ahs.model.timed_activities
+            if a.name.startswith("L_FM")
+        ]
+        assert len(failure_activities) == 6 * 6  # 6 FMs x 2n=6 vehicles
+
+    def test_maneuver_activities_per_vehicle(self, small_ahs):
+        names = [a.name for a in small_ahs.model.timed_activities]
+        for maneuver in Maneuver:
+            count = sum(
+                1 for n in names if n.startswith(f"maneuver_{maneuver.name}[")
+            )
+            assert count == 6
+
+    def test_severity_watcher_present(self, small_ahs):
+        instantaneous = [
+            a.name for a in small_ahs.model.instantaneous_activities
+        ]
+        assert "to_KO" in instantaneous
+        # one configure activity per replica
+        assert sum(1 for n in instantaneous if n.startswith("configure")) == 6
+
+    def test_shared_places_unique(self, small_ahs):
+        names = [p.name for p in small_ahs.model.places]
+        assert names.count("occ1") == 1
+        assert names.count("KO_total") == 1
+        assert names.count("class_A") == 1
+
+    def test_validates(self, small_ahs):
+        validate_model(small_ahs.model)
+
+    def test_model_is_markovian(self, small_ahs):
+        assert small_ahs.model.is_markovian
+
+    def test_failure_activity_names_helper(self, small_ahs):
+        names = small_ahs.failure_activity_names()
+        assert len(names) == 36
+        assert all(name.startswith("L_FM") for name in names)
+
+
+class TestInitialConfiguration:
+    def test_configuration_seats_all_vehicles(self, small_ahs):
+        marking = small_ahs.model.initial_marking()
+        _stabilize(small_ahs.model, marking, StreamFactory(1).stream())
+        shared = small_ahs.shared
+        assert marking.get(shared.occ1) == 3
+        assert marking.get(shared.occ2) == 3
+        assert marking.get(shared.init_p1) == 0
+        assert marking.get(shared.init_p2) == 0
+        assert marking.get(shared.ko_total) == 0
+
+    def test_unsafe_predicate_initially_false(self, small_ahs):
+        marking = small_ahs.model.initial_marking()
+        _stabilize(small_ahs.model, marking, StreamFactory(1).stream())
+        assert not small_ahs.unsafe_predicate()(marking)
+
+    def test_severity_level_function(self, small_ahs):
+        marking = small_ahs.model.initial_marking()
+        _stabilize(small_ahs.model, marking, StreamFactory(1).stream())
+        level = small_ahs.severity_level()
+        assert level(marking) == 0.0
+        marking.set(small_ahs.shared.class_a, 1)
+        assert level(marking) == 2.0
+        marking.set(small_ahs.shared.ko_total, 1)
+        assert level(marking) == 1000.0
+
+
+def total_vehicle_count(ahs, marking) -> int:
+    """Vehicles across all states: members + transit + out."""
+    shared = ahs.shared
+    on_highway = marking.get(shared.occ1) + marking.get(shared.occ2)
+    transit = marking.get(shared.transit)
+    out = sum(
+        marking.get(p)
+        for p in ahs.model.places
+        if p.name.startswith("out[")
+    )
+    return on_highway + transit + out
+
+
+class TestConservationInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_vehicle_conservation_along_trajectories(self, small_ahs, seed):
+        sim = MarkovJumpSimulator(small_ahs.model)
+        stream = StreamFactory(seed).stream()
+        run = sim.run(stream, horizon=20.0)
+        marking = run.final_marking
+        assert total_vehicle_count(small_ahs, marking) == 6
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_severity_counters_match_act_counters(self, small_ahs, seed):
+        sim = MarkovJumpSimulator(small_ahs.model)
+        run = sim.run(StreamFactory(seed).stream(), horizon=20.0)
+        marking = run.final_marking
+        shared = small_ahs.shared
+        by_class = {"A": 0, "B": 0, "C": 0}
+        for (maneuver, platoon), place in shared.act.items():
+            by_class[maneuver.severity.letter] += marking.get(place)
+        assert marking.get(shared.class_a) == by_class["A"]
+        assert marking.get(shared.class_b) == by_class["B"]
+        assert marking.get(shared.class_c) == by_class["C"]
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_capacity_never_exceeded(self, small_ahs, seed):
+        # occupancy of platoon 1 incl. transit stays within n
+        sim = SANSimulator(small_ahs.model)
+        run = sim.run(StreamFactory(seed).stream(), horizon=20.0)
+        marking = run.final_marking
+        shared = small_ahs.shared
+        n = small_ahs.params.max_platoon_size
+        assert marking.get(shared.occ1) + marking.get(shared.transit) <= n
+        assert marking.get(shared.occ2) <= n
+
+    def test_ko_total_freezes_the_system(self):
+        # after KO_total the world stops: no timed activity is enabled
+        ahs = build_composed_model(
+            AHSParameters(max_platoon_size=2, base_failure_rate=5.0)
+        )
+        sim = MarkovJumpSimulator(ahs.model)
+        run = sim.run(
+            StreamFactory(8).stream(),
+            horizon=50.0,
+            stop_predicate=ahs.unsafe_predicate(),
+        )
+        assert run.stopped  # with lambda=5/hr the unsafe state is certain
+        marking = run.final_marking
+        enabled = [
+            a.name
+            for a in ahs.model.timed_activities
+            if a.enabled(marking) and a.rate_in(marking) > 0
+        ]
+        assert enabled == []

@@ -1,0 +1,131 @@
+"""Tests for the multi-platoon extension (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AHSParameters,
+    AnalyticalEngine,
+    MultiPlatoonEngine,
+    Strategy,
+    mean_field_occupancy,
+)
+
+
+class TestMeanFieldOccupancy:
+    def test_matches_exact_two_platoon_engine(self, default_params):
+        occupancy, out = mean_field_occupancy(default_params, 2)
+        exact1, exact2, transit = AnalyticalEngine(
+            default_params
+        ).expected_occupancies
+        exact_mean = (exact1 + exact2 + transit) / 2.0
+        assert occupancy == pytest.approx(exact_mean, rel=0.05)
+
+    def test_population_conserved(self, default_params):
+        for m in (2, 3, 5):
+            occupancy, out = mean_field_occupancy(default_params, m)
+            assert occupancy * m + out == pytest.approx(
+                m * default_params.max_platoon_size, rel=1e-6
+            )
+
+    def test_zero_join_empties_highway(self):
+        params = AHSParameters(join_rate=0.0)
+        occupancy, out = mean_field_occupancy(params, 3)
+        assert occupancy == 0.0
+        assert out == pytest.approx(30.0)
+
+    def test_zero_leave_fills_highway(self):
+        params = AHSParameters(leave_rate=0.0)
+        occupancy, out = mean_field_occupancy(params, 3)
+        assert occupancy == pytest.approx(params.max_platoon_size, rel=1e-6)
+
+    def test_platoon_count_validated(self, default_params):
+        with pytest.raises(ValueError):
+            mean_field_occupancy(default_params, 0)
+
+
+class TestMultiPlatoonEngine:
+    def test_two_platoons_close_to_reference_engine(self, default_params):
+        reference = AnalyticalEngine(default_params).unsafety([6.0]).unsafety[0]
+        extension = (
+            MultiPlatoonEngine(default_params, 2).unsafety([6.0]).unsafety[0]
+        )
+        # only the occupancy treatment differs (exact joint chain vs.
+        # mean-field); the unsafety is quadratic in occupancy, so allow 25%
+        assert extension == pytest.approx(reference, rel=0.25)
+
+    def test_unsafety_grows_with_platoon_count(self, default_params):
+        values = [
+            MultiPlatoonEngine(default_params, m).unsafety([6.0]).unsafety[0]
+            for m in (2, 3, 4)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_linear_in_pair_channels_for_dd(self, default_params):
+        # catastrophic situations live in adjacent-platoon neighbourhoods
+        # (paper §2.1.3).  The ST1 flux counts pair channels: m within-
+        # platoon plus m−1 adjacent cross-platoon channels, so S(m)/S(2)
+        # ≈ (2m−1)/3 under DD
+        s2 = MultiPlatoonEngine(default_params, 2).unsafety([6.0]).unsafety[0]
+        s3 = MultiPlatoonEngine(default_params, 3).unsafety([6.0]).unsafety[0]
+        s4 = MultiPlatoonEngine(default_params, 4).unsafety([6.0]).unsafety[0]
+        assert s3 / s2 == pytest.approx(5.0 / 3.0, rel=0.2)
+        assert s4 / s2 == pytest.approx(7.0 / 3.0, rel=0.2)
+
+    def test_distant_failures_do_not_combine(self, default_params):
+        from repro.core.maneuvers import ESCALATION_LADDER, Maneuver
+        from repro.core.multiplatoon import _catastrophic_window
+
+        # two class-A maneuvers in platoons 0 and 3 of a 4-platoon line:
+        # not adjacent, so no ST1
+        empty = (0,) * len(ESCALATION_LADDER)
+        gs_index = ESCALATION_LADDER.index(Maneuver.GS)
+        class_a = tuple(
+            1 if i == gs_index else 0 for i in range(len(ESCALATION_LADDER))
+        )
+        far_apart = (class_a, empty, empty, class_a)
+        adjacent = (class_a, class_a, empty, empty)
+        assert not _catastrophic_window(far_apart)
+        assert _catastrophic_window(adjacent)
+
+    def test_centralized_less_safe_at_every_platoon_count(self, default_params):
+        # under CC one SAP serializes everything: more involved vehicles
+        # and a wider escalation scope at every highway length
+        params = default_params.with_changes(strategy=Strategy.CC)
+        for m in (2, 3, 4):
+            dd = MultiPlatoonEngine(default_params, m).unsafety([6.0]).unsafety[0]
+            cc = MultiPlatoonEngine(params, m).unsafety([6.0]).unsafety[0]
+            assert cc > dd
+
+    def test_monotone_in_time(self, default_params):
+        result = MultiPlatoonEngine(default_params, 3).unsafety([2, 6, 10])
+        assert (np.diff(result.unsafety) > 0).all()
+
+    def test_truncation_error_negligible(self, default_params):
+        # with windowed severity, >4 scattered failures are representable,
+        # so the truncation sink can be reachable for m >= 3 — but its
+        # probability (a 5-failure overlap) must be far below S(t)
+        engine = MultiPlatoonEngine(default_params, 3)
+        result = engine.unsafety([10.0])
+        assert result.truncation_error.max() <= 1e-3 * result.unsafety.max()
+
+    def test_two_platoon_truncation_unreachable(self, default_params):
+        engine = MultiPlatoonEngine(default_params, 2)
+        assert engine.trunc_index is None
+
+    def test_state_count_grows_with_platoons(self, default_params):
+        n2 = MultiPlatoonEngine(default_params, 2).chain.n_states
+        n4 = MultiPlatoonEngine(default_params, 4).chain.n_states
+        assert n4 > n2
+
+    def test_validation(self, default_params):
+        with pytest.raises(ValueError):
+            MultiPlatoonEngine(default_params, 1)
+        with pytest.raises(ValueError):
+            MultiPlatoonEngine(default_params, 3, max_concurrent=1)
+
+    def test_neighbor_topology(self, default_params):
+        engine = MultiPlatoonEngine(default_params, 4)
+        assert engine._neighbor(0) == 1
+        assert engine._neighbor(2) == 1
+        assert engine._neighbor(3) == 2

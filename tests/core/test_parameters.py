@@ -1,0 +1,130 @@
+"""Tests for AHSParameters and its derived laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AHSParameters,
+    FAILURE_MODES,
+    Maneuver,
+    Strategy,
+)
+
+
+class TestDefaultsMatchPaper:
+    def test_paper_section_4_1(self, default_params):
+        params = default_params
+        assert params.max_platoon_size == 10
+        assert params.base_failure_rate == 1e-5
+        assert params.rate_multipliers == (1, 2, 2, 2, 3, 4)
+        assert params.join_rate == 12.0
+        assert params.leave_rate == 4.0
+        assert params.change_rate == 6.0
+        assert params.strategy is Strategy.DD
+        # transit through platoon 1 lasts 3-4 minutes
+        assert 15.0 <= params.transit_rate <= 20.0
+
+    def test_maneuver_rates_in_band(self, default_params):
+        for maneuver in Maneuver:
+            assert 15.0 <= default_params.maneuver_rates[maneuver] <= 30.0
+
+    def test_load(self, default_params):
+        assert default_params.load == 3.0
+
+    def test_total_vehicles(self, default_params):
+        assert default_params.total_vehicles == 20
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_platoon_size": 0},
+            {"base_failure_rate": 0.0},
+            {"base_failure_rate": -1e-5},
+            {"rate_multipliers": (1, 2, 3)},
+            {"rate_multipliers": (0, 1, 1, 1, 1, 1)},
+            {"join_rate": -1.0},
+            {"assistant_reliability": 0.0},
+            {"assistant_reliability": 1.5},
+            {"busy_assistant_factor": -0.1},
+            {"duration_scaling": -0.5},
+            {"rear_propagation": 1.5},
+            {"platoon1_join_probability": 2.0},
+            {"max_transit": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            AHSParameters(**kwargs)
+
+    def test_missing_maneuver_rate_rejected(self):
+        rates = {m: 20.0 for m in Maneuver}
+        del rates[Maneuver.AS]
+        with pytest.raises(ValueError):
+            AHSParameters(maneuver_rates=rates)
+
+    def test_bad_success_probability_rejected(self):
+        probs = {m: 0.95 for m in Maneuver}
+        probs[Maneuver.GS] = 0.0
+        with pytest.raises(ValueError):
+            AHSParameters(success_probabilities=probs)
+
+
+class TestDerived:
+    def test_failure_mode_rates(self, default_params):
+        rates = default_params.failure_mode_rates()
+        assert rates["FM1"] == pytest.approx(1e-5)
+        assert rates["FM6"] == pytest.approx(4e-5)
+        assert default_params.total_failure_rate() == pytest.approx(1.4e-4)
+
+    def test_maneuver_rate_shrinks_with_occupancy(self, default_params):
+        small = default_params.maneuver_rate(Maneuver.TIE, 2.0)
+        large = default_params.maneuver_rate(Maneuver.TIE, 12.0)
+        assert small == default_params.maneuver_rates[Maneuver.TIE]
+        assert large < small
+
+    def test_duration_scaling_zero_is_flat(self):
+        params = AHSParameters(duration_scaling=0.0)
+        assert params.maneuver_rate(Maneuver.AS, 2.0) == params.maneuver_rate(
+            Maneuver.AS, 15.0
+        )
+
+    def test_success_probability_bounds(self, default_params):
+        for maneuver in Maneuver:
+            for busy in (0.0, 0.5, 1.0):
+                p = default_params.success_probability(maneuver, 10, 10, busy)
+                assert 0.0 < p <= 1.0
+
+    def test_success_probability_decreases_with_busy(self, default_params):
+        idle = default_params.success_probability(Maneuver.TIE, 10, 10, 0.0)
+        busy = default_params.success_probability(Maneuver.TIE, 10, 10, 0.8)
+        assert busy < idle
+
+    def test_success_probability_busy_validation(self, default_params):
+        with pytest.raises(ValueError):
+            default_params.success_probability(Maneuver.TIE, 10, 10, 1.5)
+
+    @given(
+        maneuver=st.sampled_from(list(Maneuver)),
+        occ=st.integers(1, 18),
+        busy=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_centralized_success_never_higher(self, maneuver, occ, busy):
+        dd = AHSParameters(strategy=Strategy.DD)
+        cc = AHSParameters(strategy=Strategy.CC)
+        assert cc.success_probability(
+            maneuver, occ, occ, busy
+        ) <= dd.success_probability(maneuver, occ, occ, busy)
+
+    def test_with_changes(self, default_params):
+        changed = default_params.with_changes(max_platoon_size=14)
+        assert changed.max_platoon_size == 14
+        assert default_params.max_platoon_size == 10
+
+    def test_summary(self, default_params):
+        summary = default_params.summary()
+        assert summary["n"] == 10
+        assert summary["strategy"] == "DD"

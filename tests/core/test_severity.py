@@ -1,0 +1,107 @@
+"""Tests for Table 2: catastrophic situations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CATASTROPHIC_SITUATIONS,
+    Maneuver,
+    SeverityCounts,
+    catastrophic_situation,
+)
+
+
+def brute_force(a: int, b: int, c: int):
+    """Literal transcription of Table 2, for cross-checking."""
+    if a >= 2:
+        return "ST1"
+    if a >= 1 and (b >= 2 or (b >= 1 and c >= 1) or c >= 3):
+        return "ST2"
+    if b + c >= 4:
+        return "ST3"
+    return None
+
+
+class TestTable2:
+    def test_three_situations_documented(self):
+        assert set(CATASTROPHIC_SITUATIONS) == {"ST1", "ST2", "ST3"}
+
+    @pytest.mark.parametrize(
+        "counts,expected",
+        [
+            ((0, 0, 0), None),
+            ((1, 0, 0), None),
+            ((2, 0, 0), "ST1"),
+            ((3, 1, 1), "ST1"),
+            ((1, 2, 0), "ST2"),
+            ((1, 1, 1), "ST2"),
+            ((1, 0, 3), "ST2"),
+            ((1, 1, 0), None),
+            ((1, 0, 2), None),
+            ((0, 4, 0), "ST3"),
+            ((0, 2, 2), "ST3"),
+            ((0, 0, 4), "ST3"),
+            ((0, 3, 0), None),
+            ((0, 1, 2), None),
+        ],
+    )
+    def test_specific_combinations(self, counts, expected):
+        assert catastrophic_situation(SeverityCounts(*counts)) == expected
+
+    @given(a=st.integers(0, 8), b=st.integers(0, 8), c=st.integers(0, 8))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_brute_force(self, a, b, c):
+        assert catastrophic_situation(SeverityCounts(a, b, c)) == brute_force(
+            a, b, c
+        )
+
+    @given(a=st.integers(0, 5), b=st.integers(0, 5), c=st.integers(0, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_failures(self, a, b, c):
+        # adding failures can never make a catastrophic state safe
+        if catastrophic_situation(SeverityCounts(a, b, c)) is not None:
+            for da, db, dc in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+                worse = SeverityCounts(a + da, b + db, c + dc)
+                assert catastrophic_situation(worse) is not None
+
+    def test_any_four_failures_catastrophic(self):
+        # corollary the truncation level K=4 relies on: every combination
+        # of 4 concurrently active failures is catastrophic
+        for a in range(5):
+            for b in range(5 - a):
+                c = 4 - a - b
+                assert (
+                    catastrophic_situation(SeverityCounts(a, b, c)) is not None
+                ), (a, b, c)
+
+    def test_max_survivable_total_is_three(self):
+        survivable = [
+            (a, b, c)
+            for a in range(5)
+            for b in range(5)
+            for c in range(5)
+            if catastrophic_situation(SeverityCounts(a, b, c)) is None
+        ]
+        assert max(a + b + c for a, b, c in survivable) == 3
+
+
+class TestSeverityCounts:
+    def test_from_active_maneuvers(self):
+        counts = SeverityCounts.from_active_maneuvers(
+            [Maneuver.AS, Maneuver.TIE, Maneuver.TIE_E, Maneuver.TIE_N]
+        )
+        assert (counts.a, counts.b, counts.c) == (1, 2, 1)
+
+    def test_plus(self):
+        counts = SeverityCounts(0, 0, 0).plus(Maneuver.GS)
+        assert counts.a == 1
+        counts = counts.plus(Maneuver.TIE_N)
+        assert counts.c == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SeverityCounts(-1, 0, 0)
+
+    def test_total(self):
+        assert SeverityCounts(1, 2, 3).total == 6

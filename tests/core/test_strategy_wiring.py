@@ -1,0 +1,122 @@
+"""The composed SAN's strategy wiring, checked deterministically.
+
+The cross-engine tests validate the default (DD) strategy statistically;
+here the request-escalation scope of the *SAN builder* is exercised
+directly by crafting markings and firing gates — proving the CD/CC
+builders consult both platoons' activity counters while DD/DC consult
+only the victim's own platoon, without any Monte-Carlo noise.
+"""
+
+import pytest
+
+from repro.core import AHSParameters, Maneuver, Strategy, build_composed_model
+from repro.san.simulator import _stabilize
+from repro.stochastic import StreamFactory
+
+
+def prepared_marking(ahs):
+    """Initial marking after configuration (all vehicles seated)."""
+    marking = ahs.model.initial_marking()
+    _stabilize(ahs.model, marking, StreamFactory(1).stream())
+    marking.clear_changed()
+    return marking
+
+
+def fire_failure(ahs, marking, vehicle_index: int, fm_id: str):
+    """Fire one L_i activity of one vehicle replica by hand."""
+    activity = ahs.model.activity_named(f"L_{fm_id}[{vehicle_index}]")
+    assert activity.enabled(marking)
+    activity.fire(marking, 0)
+
+
+def active_maneuver_of(ahs, marking, vehicle_index: int):
+    """Which sm place of a replica is marked (None if operational)."""
+    for maneuver in Maneuver:
+        place = ahs.model.place_named(f"sm_{maneuver.name}[{vehicle_index}]")
+        if marking.get(place) == 1:
+            return maneuver
+    return None
+
+
+def vehicle_in_platoon1(ahs, marking, vehicle_index: int) -> bool:
+    return marking.get(ahs.model.place_named(f"p1[{vehicle_index}]")) == 1
+
+
+def pick_vehicles(ahs, marking):
+    """One vehicle index from each platoon."""
+    in_p1 = in_p2 = None
+    for index in range(ahs.params.total_vehicles):
+        if vehicle_in_platoon1(ahs, marking, index):
+            in_p1 = index if in_p1 is None else in_p1
+        else:
+            in_p2 = index if in_p2 is None else in_p2
+    assert in_p1 is not None and in_p2 is not None
+    return in_p1, in_p2
+
+
+@pytest.mark.parametrize(
+    "strategy,expect_escalation",
+    [
+        (Strategy.DD, False),
+        (Strategy.DC, False),
+        (Strategy.CD, True),
+        (Strategy.CC, True),
+    ],
+)
+def test_cross_platoon_escalation_scope(strategy, expect_escalation):
+    """A class-A maneuver in platoon 1 must escalate a new TIE-N request
+    in platoon 2 exactly under centralized inter-platoon coordination."""
+    params = AHSParameters(max_platoon_size=3, strategy=strategy)
+    ahs = build_composed_model(params)
+    marking = prepared_marking(ahs)
+    v1, v2 = pick_vehicles(ahs, marking)
+
+    # vehicle in platoon 1 suffers FM2 -> Crash Stop (class A2)
+    fire_failure(ahs, marking, v1, "FM2")
+    assert active_maneuver_of(ahs, marking, v1) is Maneuver.CS
+
+    # vehicle in platoon 2 suffers FM6 -> requests TIE-N (class C)
+    fire_failure(ahs, marking, v2, "FM6")
+    granted = active_maneuver_of(ahs, marking, v2)
+    if expect_escalation:
+        # the SAP serializes across platoons: granted at >= CS priority
+        assert granted is Maneuver.CS
+    else:
+        assert granted is Maneuver.TIE_N
+
+
+@pytest.mark.parametrize("strategy", list(Strategy))
+def test_same_platoon_escalation_always_applies(strategy):
+    """Within one platoon the leader serializes under every strategy."""
+    params = AHSParameters(max_platoon_size=3, strategy=strategy)
+    ahs = build_composed_model(params)
+    marking = prepared_marking(ahs)
+    # two vehicles of platoon 1
+    members = [
+        index
+        for index in range(params.total_vehicles)
+        if vehicle_in_platoon1(ahs, marking, index)
+    ]
+    first, second = members[0], members[1]
+    fire_failure(ahs, marking, first, "FM3")  # GS, class A1
+    assert active_maneuver_of(ahs, marking, first) is Maneuver.GS
+    fire_failure(ahs, marking, second, "FM5")  # TIE request, class B1
+    # must be granted at >= GS priority: the ladder rung at A1 is GS
+    assert active_maneuver_of(ahs, marking, second) is Maneuver.GS
+
+
+def test_two_class_a_in_one_platoon_trips_st1():
+    params = AHSParameters(max_platoon_size=3)
+    ahs = build_composed_model(params)
+    marking = prepared_marking(ahs)
+    members = [
+        index
+        for index in range(params.total_vehicles)
+        if vehicle_in_platoon1(ahs, marking, index)
+    ]
+    fire_failure(ahs, marking, members[0], "FM1")  # AS, class A3
+    assert not ahs.unsafe_predicate()(marking)
+    fire_failure(ahs, marking, members[1], "FM2")  # CS (A2): second class A
+    # the Severity watcher fires on stabilisation
+    _stabilize(ahs.model, marking, StreamFactory(2).stream())
+    assert ahs.unsafe_predicate()(marking)

@@ -1,0 +1,84 @@
+"""Tests for the Figure-2 single-vehicle state machine."""
+
+import pytest
+
+from repro.core.maneuvers import ESCALATION_LADDER, Maneuver
+from repro.core.vehicle_fsm import (
+    OPERATIONAL,
+    V_KO,
+    V_OK,
+    FsmEdge,
+    figure2,
+    vehicle_state_machine,
+)
+
+
+@pytest.fixture(scope="module")
+def edges() -> list[FsmEdge]:
+    return vehicle_state_machine()
+
+
+class TestStructure:
+    def test_edge_count(self, edges):
+        # 6 failure modes + 6 success edges + 6 failure edges
+        assert len(edges) == 18
+
+    def test_six_failure_mode_edges_from_operational(self, edges):
+        from_op = [e for e in edges if e.source == OPERATIONAL]
+        assert len(from_op) == 6
+        assert {e.kind for e in from_op} == {"failure-mode"}
+        assert {e.target for e in from_op} == {m.value for m in Maneuver}
+
+    def test_every_maneuver_has_success_to_v_ok(self, edges):
+        for maneuver in Maneuver:
+            matches = [
+                e
+                for e in edges
+                if e.source == maneuver.value and e.kind == "success"
+            ]
+            assert len(matches) == 1
+            assert matches[0].target == V_OK
+
+    def test_failure_paths_terminate_in_v_ko(self, edges):
+        # follow the KO edges from any maneuver: must reach v_KO in at
+        # most len(ladder) steps without cycles
+        ko_next = {
+            e.source: e.target for e in edges if e.kind == "KO"
+        }
+        for maneuver in Maneuver:
+            state = maneuver.value
+            seen = set()
+            while state != V_KO:
+                assert state not in seen, f"cycle at {state}"
+                seen.add(state)
+                state = ko_next[state]
+            assert len(seen) <= len(ESCALATION_LADDER)
+
+    def test_only_as_reaches_v_ko_directly(self, edges):
+        direct = [e.source for e in edges if e.target == V_KO]
+        assert direct == [Maneuver.AS.value]
+
+    def test_ko_chain_follows_ladder(self, edges):
+        ko_next = {e.source: e.target for e in edges if e.kind == "KO"}
+        for lower, higher in zip(ESCALATION_LADDER, ESCALATION_LADDER[1:]):
+            assert ko_next[lower.value] == higher.value
+
+
+class TestRegistryIntegration:
+    def test_rows_shape(self):
+        rows = figure2()
+        assert len(rows) == 18
+        assert {"from", "to", "kind", "label"} <= set(rows[0])
+
+    def test_registered_and_runnable(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "v_KO" in out and "v_OK" in out and "FM1" in out
+
+    def test_bare_number_2_still_means_table2(self):
+        from repro.experiments import get_experiment
+
+        assert get_experiment("2").experiment_id == "table2"
+        assert get_experiment("figure2").experiment_id == "figure2"

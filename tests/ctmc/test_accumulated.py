@@ -1,0 +1,165 @@
+"""Tests for interval-of-time (accumulated) rewards."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import CTMC, accumulated_reward, transient_reward
+
+
+def two_state_chain(lam=0.5, mu=2.0) -> CTMC:
+    return CTMC(
+        np.array([[-lam, lam], [mu, -mu]]), np.array([1.0, 0.0])
+    )
+
+
+def analytic_down_integral(t, lam=0.5, mu=2.0):
+    """∫₀ᵗ P(down at s) ds for the failure/repair chain."""
+    total = lam + mu
+    p = lam / total
+    return p * t - p / total * (1.0 - math.exp(-total * t))
+
+
+class TestAccumulatedReward:
+    @pytest.mark.parametrize("t", [0.1, 1.0, 5.0, 50.0])
+    def test_matches_closed_form(self, t):
+        chain = two_state_chain()
+        value = accumulated_reward(chain, [t], np.array([0.0, 1.0]))[0]
+        assert value == pytest.approx(analytic_down_integral(t), rel=1e-8)
+
+    def test_multiple_times_one_pass(self):
+        chain = two_state_chain()
+        times = [0.5, 2.0, 10.0]
+        values = accumulated_reward(chain, times, np.array([0.0, 1.0]))
+        for t, value in zip(times, values):
+            assert value == pytest.approx(analytic_down_integral(t), rel=1e-8)
+
+    def test_constant_reward_integrates_to_time(self):
+        chain = two_state_chain()
+        values = accumulated_reward(chain, [3.0], np.ones(2))
+        assert values[0] == pytest.approx(3.0, rel=1e-9)
+
+    def test_zero_time(self):
+        chain = two_state_chain()
+        assert accumulated_reward(chain, [0.0], np.ones(2))[0] == 0.0
+
+    def test_frozen_chain(self):
+        chain = CTMC(np.zeros((2, 2)), np.array([0.25, 0.75]))
+        value = accumulated_reward(chain, [4.0], np.array([1.0, 3.0]))[0]
+        assert value == pytest.approx(4.0 * (0.25 * 1 + 0.75 * 3))
+
+    def test_derivative_matches_instant_reward(self):
+        # d/dt accumulated = instant-of-time reward
+        chain = two_state_chain()
+        reward = np.array([0.0, 1.0])
+        t, dt = 2.0, 1e-4
+        acc = accumulated_reward(chain, [t - dt, t + dt], reward)
+        derivative = (acc[1] - acc[0]) / (2 * dt)
+        instant = transient_reward(chain, [t], reward)[0]
+        assert derivative == pytest.approx(instant, rel=1e-4)
+
+    def test_validation(self):
+        chain = two_state_chain()
+        with pytest.raises(ValueError):
+            accumulated_reward(chain, [-1.0], np.ones(2))
+        with pytest.raises(ValueError):
+            accumulated_reward(chain, [1.0], np.ones(3))
+
+    def test_large_rate_no_underflow(self):
+        chain = CTMC(
+            np.array([[-500.0, 500.0], [500.0, -500.0]]),
+            np.array([1.0, 0.0]),
+        )
+        value = accumulated_reward(chain, [10.0], np.array([0.0, 1.0]))[0]
+        assert value == pytest.approx(5.0, rel=1e-3)
+
+
+class TestSimulatorRewardIntegrals:
+    def test_event_driven_matches_numerical(self):
+        from repro.san import MarkingFunction, RateReward, SANSimulator
+        from repro.stochastic import StreamFactory
+        from tests.conftest import make_two_state_model
+
+        model, up, down = make_two_state_model()
+        reward = RateReward(
+            "downtime", MarkingFunction({"d": down}, lambda g: float(g["d"]))
+        )
+        simulator = SANSimulator(model)
+        factory = StreamFactory(12)
+        horizon = 5.0
+        integrals = [
+            simulator.run(s, horizon, rate_rewards=[reward]).reward_integrals[
+                "downtime"
+            ]
+            for s in factory.stream_batch("rep", 2500)
+        ]
+        assert np.mean(integrals) == pytest.approx(
+            analytic_down_integral(horizon), rel=0.05
+        )
+
+    def test_jump_simulator_matches_numerical(self):
+        from repro.san import MarkingFunction, MarkovJumpSimulator, RateReward
+        from repro.stochastic import StreamFactory
+        from tests.conftest import make_two_state_model
+
+        model, up, down = make_two_state_model()
+        reward = RateReward(
+            "downtime", MarkingFunction({"d": down}, lambda g: float(g["d"]))
+        )
+        simulator = MarkovJumpSimulator(model)
+        factory = StreamFactory(13)
+        horizon = 5.0
+        integrals = [
+            simulator.run(s, horizon, rate_rewards=[reward]).reward_integrals[
+                "downtime"
+            ]
+            for s in factory.stream_batch("rep", 2500)
+        ]
+        assert np.mean(integrals) == pytest.approx(
+            analytic_down_integral(horizon), rel=0.05
+        )
+
+    def test_no_rewards_requested_empty_dict(self):
+        from repro.san import SANSimulator
+        from repro.stochastic import StreamFactory
+        from tests.conftest import make_two_state_model
+
+        model, *_ = make_two_state_model()
+        run = SANSimulator(model).run(StreamFactory(1).stream(), horizon=1.0)
+        assert run.reward_integrals == {}
+
+
+class TestDegradedVehicleHours:
+    def test_positive_and_growing(self):
+        from repro.core import AHSParameters, expected_degraded_vehicle_hours
+
+        params = AHSParameters()
+        short = expected_degraded_vehicle_hours(params, 2.0)
+        long = expected_degraded_vehicle_hours(params, 10.0)
+        assert 0.0 < short < long
+
+    def test_matches_flux_times_duration(self):
+        from repro.core import AHSParameters, expected_degraded_vehicle_hours
+        from repro.core.analytical import AnalyticalEngine
+
+        # in the rare-failure regime: degraded time ≈ failure flux × mean
+        # maneuver duration × t
+        params = AHSParameters()
+        engine = AnalyticalEngine(params)
+        occ1, occ2, transit = engine.expected_occupancies
+        flux = params.total_failure_rate() * (occ1 + occ2 + transit)
+        # mid-band maneuver duration, with the platoon-length slow-down
+        mean_occ = (occ1 + transit + occ2) / 2.0
+        mean_duration = (
+            1.0 + params.duration_scaling * (mean_occ - 2.0)
+        ) / 22.0
+        t = 6.0
+        value = expected_degraded_vehicle_hours(params, t)
+        assert value == pytest.approx(flux * mean_duration * t, rel=0.4)
+
+    def test_time_validation(self):
+        from repro.core import AHSParameters, expected_degraded_vehicle_hours
+
+        with pytest.raises(ValueError):
+            expected_degraded_vehicle_hours(AHSParameters(), -1.0)

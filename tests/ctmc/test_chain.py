@@ -1,0 +1,89 @@
+"""Tests for the CTMC container."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ctmc import CTMC
+
+
+def two_state(lam=0.5, mu=2.0) -> CTMC:
+    q = np.array([[-lam, lam], [mu, -mu]])
+    return CTMC(q, np.array([1.0, 0.0]))
+
+
+class TestConstruction:
+    def test_valid_chain(self):
+        chain = two_state()
+        assert chain.n_states == 2
+        assert chain.uniformization_rate == 2.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            CTMC(np.zeros((2, 3)))
+
+    def test_rejects_negative_off_diagonal(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[-1.0, 1.0], [-0.5, 0.5]]))
+
+    def test_rejects_bad_row_sums(self):
+        with pytest.raises(ValueError):
+            CTMC(np.array([[-1.0, 0.5], [2.0, -2.0]]))
+
+    def test_rejects_bad_initial(self):
+        q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            CTMC(q, np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            CTMC(q, np.array([1.0]))
+
+    def test_default_initial_is_state_zero(self):
+        q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        assert CTMC(q).initial.tolist() == [1.0, 0.0]
+
+    def test_label_count_checked(self):
+        q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            CTMC(q, labels=["only-one"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CTMC(np.zeros((0, 0)))
+
+
+class TestDerived:
+    def test_exit_rates(self):
+        chain = two_state(0.5, 2.0)
+        assert chain.exit_rates.tolist() == [0.5, 2.0]
+
+    def test_absorbing_states(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        chain = CTMC(q)
+        assert chain.absorbing_states().tolist() == [1]
+
+    def test_embedded_dtmc_rows_sum_to_one(self):
+        chain = two_state()
+        p = chain.embedded_dtmc().toarray()
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_embedded_dtmc_rejects_small_rate(self):
+        chain = two_state()
+        with pytest.raises(ValueError):
+            chain.embedded_dtmc(uniformization_rate=1.0)
+
+    def test_restrict(self):
+        q = np.array(
+            [
+                [-2.0, 1.0, 1.0],
+                [1.0, -1.0, 0.0],
+                [0.0, 1.0, -1.0],
+            ]
+        )
+        chain = CTMC(q, np.array([1.0, 0.0, 0.0]))
+        sub = chain.restrict([0, 1])
+        assert sub.n_states == 2
+        dense = sub.generator.toarray()
+        assert np.allclose(dense.sum(axis=1), 0.0)
+        # the 0 -> 2 rate disappeared
+        assert dense[0, 1] == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Tests for stationary analysis and exact lumping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    CTMC,
+    LumpingError,
+    absorption_probabilities,
+    lump,
+    mean_time_to_absorption,
+    stationary_distribution,
+    transient_distribution,
+)
+
+
+def birth_death(n: int, birth: float, death: float) -> CTMC:
+    q = np.zeros((n, n))
+    for i in range(n - 1):
+        q[i, i + 1] = birth
+    for i in range(1, n):
+        q[i, i - 1] = death
+    np.fill_diagonal(q, -q.sum(axis=1))
+    return CTMC(q)
+
+
+class TestStationary:
+    def test_two_state_balance(self):
+        q = np.array([[-0.5, 0.5], [2.0, -2.0]])
+        pi = stationary_distribution(CTMC(q))
+        assert pi[0] == pytest.approx(0.8)
+        assert pi[1] == pytest.approx(0.2)
+
+    def test_birth_death_geometric(self):
+        chain = birth_death(5, birth=1.0, death=2.0)
+        pi = stationary_distribution(chain)
+        # detailed balance: pi[i+1]/pi[i] = birth/death
+        for i in range(4):
+            assert pi[i + 1] / pi[i] == pytest.approx(0.5)
+
+    def test_absorbing_chain_concentrates_on_absorbing_state(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        pi = stationary_distribution(CTMC(q))
+        assert np.allclose(pi, [0.0, 1.0])
+
+    def test_reducible_chain_rejected(self):
+        # two isolated absorbing states: the balance system is singular
+        with pytest.raises(ValueError):
+            stationary_distribution(CTMC(np.zeros((2, 2))))
+
+    def test_matches_long_transient(self):
+        chain = birth_death(4, 1.5, 1.0)
+        pi = stationary_distribution(chain)
+        late = transient_distribution(chain, [200.0])[0]
+        assert np.allclose(pi, late, atol=1e-6)
+
+    def test_single_state(self):
+        assert stationary_distribution(CTMC(np.zeros((1, 1)))).tolist() == [1.0]
+
+
+class TestAbsorption:
+    def test_mean_time_exponential(self):
+        lam = 0.25
+        q = np.array([[-lam, lam], [0.0, 0.0]])
+        assert mean_time_to_absorption(CTMC(q)) == pytest.approx(1.0 / lam)
+
+    def test_mean_time_two_stage(self):
+        # two sequential exponential stages: mean = 1/a + 1/b
+        a, b = 2.0, 5.0
+        q = np.array(
+            [[-a, a, 0.0], [0.0, -b, b], [0.0, 0.0, 0.0]]
+        )
+        assert mean_time_to_absorption(CTMC(q)) == pytest.approx(1 / a + 1 / b)
+
+    def test_no_absorbing_state_rejected(self):
+        q = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(ValueError):
+            mean_time_to_absorption(CTMC(q))
+
+    def test_absorption_probabilities_split(self):
+        # state 0 races to absorbing 1 (rate 1) or absorbing 2 (rate 3)
+        q = np.array(
+            [[-4.0, 1.0, 3.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        result = absorption_probabilities(CTMC(q))
+        assert result[1] == pytest.approx(0.25)
+        assert result[2] == pytest.approx(0.75)
+        assert result[0] == 0.0
+
+    def test_initial_mass_on_absorbing_state_kept(self):
+        q = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        chain = CTMC(q, np.array([0.5, 0.5]))
+        result = absorption_probabilities(chain)
+        assert result[1] == pytest.approx(1.0)
+
+
+class TestLumping:
+    def test_symmetric_pair_lumps(self):
+        # states 1 and 2 are exchangeable
+        q = np.array(
+            [
+                [-2.0, 1.0, 1.0, 0.0],
+                [1.0, -3.0, 0.0, 2.0],
+                [1.0, 0.0, -3.0, 2.0],
+                [0.0, 1.0, 1.0, -2.0],
+            ]
+        )
+        chain = CTMC(q)
+        lumped, keys, membership = lump(
+            chain, key=lambda i: 0 if i == 0 else (2 if i == 3 else 1)
+        )
+        assert lumped.n_states == 3
+        dense = lumped.generator.toarray()
+        assert dense[0, 1] == pytest.approx(2.0)  # 0 -> {1,2}
+        assert dense[1, 2] == pytest.approx(2.0)  # {1,2} -> 3
+        # transient of the lumped chain equals aggregated original
+        t = 0.7
+        original = transient_distribution(chain, [t])[0]
+        reduced = transient_distribution(lumped, [t])[0]
+        aggregated = np.zeros(3)
+        for i, block in enumerate(membership):
+            aggregated[block] += original[i]
+        assert np.allclose(reduced, aggregated, atol=1e-9)
+
+    def test_non_lumpable_partition_rejected(self):
+        q = np.array(
+            [
+                [-1.0, 1.0, 0.0],
+                [0.0, -2.0, 2.0],
+                [3.0, 0.0, -3.0],
+            ]
+        )
+        with pytest.raises(LumpingError):
+            lump(CTMC(q), key=lambda i: 0 if i < 2 else 1)
+
+    def test_check_false_averages(self):
+        q = np.array(
+            [
+                [-1.0, 1.0, 0.0],
+                [0.0, -2.0, 2.0],
+                [3.0, 0.0, -3.0],
+            ]
+        )
+        lumped, keys, membership = lump(
+            CTMC(q), key=lambda i: 0 if i < 2 else 1, check=False
+        )
+        assert lumped.n_states == 2
+
+    def test_identity_partition_is_noop(self):
+        q = np.array([[-1.0, 1.0], [2.0, -2.0]])
+        chain = CTMC(q)
+        lumped, *_ = lump(chain, key=lambda i: i)
+        assert np.allclose(lumped.generator.toarray(), q)
+
+    def test_initial_distribution_aggregates(self):
+        q = np.zeros((3, 3))
+        chain = CTMC(q, np.array([0.2, 0.3, 0.5]))
+        lumped, keys, membership = lump(chain, key=lambda i: min(i, 1))
+        assert lumped.initial.tolist() == [0.2, 0.8]

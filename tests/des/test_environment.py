@@ -1,0 +1,115 @@
+"""Tests for the DES environment and event queue."""
+
+import pytest
+
+from repro.des import Environment, Event, Timeout
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start(self):
+        assert Environment(5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+
+class TestEventOrdering:
+    def test_fifo_for_simultaneous_events(self):
+        env = Environment()
+        order = []
+        for tag in "abc":
+            env.timeout(1.0).callbacks.append(
+                lambda e, tag=tag: order.append(tag)
+            )
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_time_ordering(self):
+        env = Environment()
+        order = []
+        env.timeout(2.0).callbacks.append(lambda e: order.append("late"))
+        env.timeout(1.0).callbacks.append(lambda e: order.append("early"))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+
+
+class TestRunModes:
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+        done = env.event()
+
+        def proc():
+            yield env.timeout(2.5)
+            done.succeed("finished")
+
+        env.process(proc())
+        assert env.run(until=done) == "finished"
+        assert env.now == 2.5
+
+    def test_run_until_never_triggered_event_raises(self):
+        env = Environment()
+        orphan = env.event()
+        env.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            env.run(until=orphan)
+
+    def test_run_drains_queue(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert env.queue_size == 0
+        assert env.now == 2.0
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        env.run()
+        assert env.run(until=event) == 42
+
+
+class TestEventLifecycle:
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_states(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered and not event.processed
+        event.succeed("v")
+        assert event.triggered and not event.processed
+        env.run()
+        assert event.processed
+        assert event.value == "v"
+
+    def test_timeout_rejects_negative_delay(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)

@@ -1,0 +1,111 @@
+"""Tests for monitors and time series."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Monitor, TimeSeries
+
+
+class TestMonitor:
+    def test_empty(self):
+        monitor = Monitor("m")
+        assert monitor.count == 0
+        assert math.isnan(monitor.mean)
+        assert monitor.minimum == math.inf
+
+    def test_basic_statistics(self):
+        monitor = Monitor()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            monitor.record(value)
+        assert monitor.mean == 2.5
+        assert monitor.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert monitor.minimum == 1.0
+        assert monitor.maximum == 4.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy(self, values):
+        monitor = Monitor()
+        for value in values:
+            monitor.record(value)
+        assert monitor.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert monitor.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenation(self, left, right):
+        merged = Monitor()
+        for value in left:
+            merged.record(value)
+        other = Monitor()
+        for value in right:
+            other.record(value)
+        merged.merge(other)
+        combined = left + right
+        assert merged.count == len(combined)
+        assert merged.mean == pytest.approx(np.mean(combined), abs=1e-9)
+        assert merged.variance == pytest.approx(
+            np.var(combined, ddof=1), rel=1e-6, abs=1e-9
+        )
+
+    def test_merge_with_empty(self):
+        monitor = Monitor()
+        monitor.record(5.0)
+        monitor.merge(Monitor())
+        assert monitor.count == 1
+        empty = Monitor()
+        empty.merge(monitor)
+        assert empty.count == 1
+        assert empty.mean == 5.0
+
+
+class TestTimeSeries:
+    def test_time_average_piecewise_constant(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)  # value 1 for 2 units, then 3
+        assert series.time_average(until=4.0) == pytest.approx(
+            (1.0 * 2 + 3.0 * 2) / 4
+        )
+
+    def test_rejects_time_going_backwards(self):
+        series = TimeSeries()
+        series.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            series.record(0.5, 0.0)
+
+    def test_value_at(self):
+        series = TimeSeries()
+        series.record(0.0, 10.0)
+        series.record(5.0, 20.0)
+        assert series.value_at(3.0) == 10.0
+        assert series.value_at(5.0) == 20.0
+        with pytest.raises(ValueError):
+            series.value_at(-1.0)
+
+    def test_empty_average_is_nan(self):
+        assert math.isnan(TimeSeries().time_average())
+
+    def test_until_before_last_sample_rejected(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(5.0, 2.0)
+        with pytest.raises(ValueError):
+            series.time_average(until=4.0)
+
+    def test_as_arrays(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        times, values = series.as_arrays()
+        assert times.tolist() == [0.0, 1.0]
+        assert values.tolist() == [1.0, 2.0]

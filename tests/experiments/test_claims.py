@@ -1,0 +1,49 @@
+"""Tests for the claim-verification harness."""
+
+import pytest
+
+from repro.experiments.claims import (
+    CLAIM_CHECKERS,
+    ClaimVerdict,
+    verify_all,
+    verify_figure,
+)
+
+
+class TestVerifyFigure:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            verify_figure("figure99")
+
+    def test_figure14_verdicts(self):
+        verdicts = verify_figure("figure14")
+        assert len(verdicts) == 3
+        assert all(isinstance(v, ClaimVerdict) for v in verdicts)
+        assert all(v.holds for v in verdicts)
+        assert all(v.evidence for v in verdicts)
+
+    def test_all_checkers_cover_evaluation_figures(self):
+        assert set(CLAIM_CHECKERS) == {
+            f"figure{i}" for i in range(10, 16)
+        }
+
+
+class TestVerifyAll:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        return verify_all()
+
+    def test_every_claim_reproduced(self, verdicts):
+        failed = [v for v in verdicts if not v.holds]
+        assert failed == []
+
+    def test_claim_count(self, verdicts):
+        assert len(verdicts) == 11
+
+    def test_cli_verify_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--figure", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "1/1 paper claims reproduced" in out

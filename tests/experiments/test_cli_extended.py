@@ -1,0 +1,74 @@
+"""Tests for the extension CLI commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        # exercising help strings should not raise
+        assert parser.prog == "repro-cli"
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSensitivityCommand:
+    def test_runs_and_ranks(self, capsys):
+        assert main(["sensitivity", "--time", "4", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tornado" in out
+        assert "base_failure_rate" in out
+        # lambda must be the top row (most sensitive)
+        data_lines = [
+            line for line in out.splitlines() if line.startswith("base_")
+        ]
+        first_param_line = out.splitlines()[3]
+        assert first_param_line.startswith("base_failure_rate")
+
+
+class TestMTTUCommand:
+    def test_reports_hours_and_hazard(self, capsys):
+        assert main(["mttu", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "mean time to unsafety" in out
+        assert "hazard rate" in out
+        assert "years" in out
+
+
+class TestPlatoonsCommand:
+    def test_sweeps_counts(self, capsys):
+        assert main(["platoons", "--counts", "2,3", "--time", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "m= 2" in out and "m= 3" in out
+        assert "S=" in out
+
+
+class TestDesignCommand:
+    def test_answers_three_questions(self, capsys):
+        assert main(["design", "--budget", "1e-6", "--time", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "platoon size" in out
+        assert "maximum trip duration" in out
+        assert "coordination strategy: DD" in out
+
+    def test_unreachable_budget(self, capsys):
+        assert main(["design", "--budget", "1e-14", "--time", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "unreachable" in out
+
+
+class TestFigurePlot:
+    def test_ascii_chart_emitted(self, capsys):
+        assert main(["figure", "10", "--fast", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "log10(S)" in out
+        assert "o=n=8" in out
+
+    def test_table_plot_flag_not_available(self):
+        # tables have no --plot flag: argparse rejects it
+        with pytest.raises(SystemExit):
+            main(["table", "1", "--plot"])

@@ -1,0 +1,174 @@
+"""Tests for the figure experiments, registry, runner and report."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    FigureResult,
+    format_series_table,
+    format_table,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.figures import figure10, figure13, figure14
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = (
+            {f"table{i}" for i in (1, 2, 3)}
+            | {f"figure{i}" for i in range(10, 16)}
+            | {"figure2"}  # the §2 state machine, included as a bonus
+        )
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_aliases(self):
+        assert get_experiment("figure10").experiment_id == "figure10"
+        assert get_experiment("fig10").experiment_id == "figure10"
+        assert get_experiment("10").experiment_id == "figure10"
+        assert get_experiment("2").experiment_id == "table2"
+        assert get_experiment("TABLE3").experiment_id == "table3"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("figure99")
+
+    def test_claims_documented(self):
+        for experiment in list_experiments():
+            assert experiment.claims
+            assert experiment.description
+
+
+class TestFigureResults:
+    def test_figure10_fast_structure(self):
+        result = figure10(fast=True)
+        assert isinstance(result, FigureResult)
+        assert result.x_label == "trip_hours"
+        assert set(result.series) == {"n=8", "n=12"}
+        for values in result.series.values():
+            assert values.shape == result.x_values.shape
+            assert (values > 0).all()
+
+    def test_figure10_monotone_in_time_and_n(self):
+        result = figure10(fast=True)
+        for values in result.series.values():
+            assert (np.diff(values) > 0).all()
+        assert (result.series["n=12"] > result.series["n=8"]).all()
+
+    def test_figure13_same_rho_curves_close(self):
+        result = figure13(fast=False)
+        rho1 = [k for k in result.series if "rho=1" in k]
+        assert len(rho1) == 2
+        a, b = (result.series[k] for k in rho1)
+        assert np.allclose(a, b, rtol=0.15)
+
+    def test_figure14_strategy_ordering(self):
+        result = figure14(fast=False)
+        dd, dc, cd, cc = (
+            result.series[k] for k in ("DD", "DC", "CD", "CC")
+        )
+        assert (dd < dc).all()
+        assert (dc < cd).all()
+        assert (cd < cc).all()
+
+    def test_series_at(self):
+        result = figure10(fast=True)
+        value = result.series_at("n=8", 2.0)
+        assert value == result.series["n=8"][0]
+        with pytest.raises(KeyError):
+            result.series_at("n=8", 3.33)
+
+    def test_rows(self):
+        result = figure10(fast=True)
+        rows = result.rows()
+        assert len(rows) == result.x_values.size
+        assert "n=8" in rows[0]
+
+
+class TestRunnerAndReport:
+    def test_run_experiment_table(self):
+        outcome = run_experiment("table1")
+        assert outcome.experiment_id == "table1"
+        assert "FM1" in outcome.rendered
+        assert outcome.elapsed_seconds >= 0.0
+
+    def test_run_experiment_figure_fast(self):
+        outcome = run_experiment("figure15", fast=True)
+        assert "figure15" in outcome.rendered
+        assert "DD" in outcome.rendered
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty_table(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_series_table(self):
+        text = format_series_table(figure10(fast=True))
+        assert "figure10" in text
+        assert "trip_hours" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        captured = capsys.readouterr().out
+        assert "figure10" in captured and "table1" in captured
+
+    def test_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["table", "1"]) == 0
+        assert "FM1" in capsys.readouterr().out
+
+    def test_figure_fast(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "15", "--fast"]) == 0
+        assert "DD" in capsys.readouterr().out
+
+    def test_unsafety_analytical(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "unsafety",
+                "--n",
+                "8",
+                "--lam",
+                "1e-5",
+                "--times",
+                "2,6",
+                "--method",
+                "analytical",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S(2h)" in out and "S(6h)" in out
+
+    def test_unsafety_approx(self, capsys):
+        from repro.cli import main
+
+        assert main(["unsafety", "--method", "approx", "--times", "6"]) == 0
+        assert "approx" in capsys.readouterr().out
+
+    def test_calibrate(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["calibrate", "--sizes", "4,6", "--repetitions", "1", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AS" in out and "duration" in out

@@ -1,0 +1,47 @@
+"""Tests for JSON experiment artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import outcome_to_json, run_experiment, save_outcome
+
+
+class TestOutcomeToJson:
+    def test_figure_record(self):
+        outcome = run_experiment("figure10", fast=True)
+        record = outcome_to_json(outcome)
+        assert record["kind"] == "figure"
+        assert record["experiment_id"] == "figure10"
+        assert record["x_label"] == "trip_hours"
+        assert set(record["series"]) == {"n=8", "n=12"}
+        assert len(record["x_values"]) == len(record["series"]["n=8"])
+        assert record["claims"]
+        # must round-trip through json
+        json.loads(json.dumps(record))
+
+    def test_table_record(self):
+        outcome = run_experiment("table1")
+        record = outcome_to_json(outcome)
+        assert record["kind"] == "table"
+        assert len(record["rows"]) == 6
+        json.loads(json.dumps(record))
+
+
+class TestSaveOutcome:
+    def test_writes_file(self, tmp_path):
+        outcome = run_experiment("table2")
+        path = save_outcome(outcome, tmp_path / "artifacts" / "table2.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["experiment_id"] == "table2"
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig15.json"
+        assert main(["figure", "15", "--fast", "--json", str(target)]) == 0
+        assert target.exists()
+        loaded = json.loads(target.read_text())
+        assert loaded["kind"] == "figure"
+        assert "saved" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Tests for the tornado analysis and the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.core import AHSParameters
+from repro.experiments.figures import figure10
+from repro.experiments.report import format_ascii_chart
+from repro.experiments.sensitivity import (
+    SENSITIVITY_PARAMETERS,
+    tornado,
+)
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tornado(AHSParameters(), time=6.0)
+
+    def test_all_parameters_analysed(self, rows):
+        assert len(rows) == len(SENSITIVITY_PARAMETERS)
+        assert {row.parameter for row in rows} == {
+            spec.name for spec in SENSITIVITY_PARAMETERS
+        }
+
+    def test_sorted_by_magnitude(self, rows):
+        magnitudes = [row.magnitude for row in rows]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_lambda_dominates_with_elasticity_two(self, rows):
+        # ST1 needs two failures ⇒ S ∝ λ²
+        top = rows[0]
+        assert top.parameter == "base_failure_rate"
+        assert top.elasticity == pytest.approx(2.0, abs=0.1)
+
+    def test_maneuver_rates_elasticity_minus_one(self, rows):
+        by_name = {row.parameter: row for row in rows}
+        # S ∝ exposure duration = 1/μ
+        assert by_name["maneuver_rates"].elasticity == pytest.approx(
+            -1.0, abs=0.15
+        )
+
+    def test_directions(self, rows):
+        by_name = {row.parameter: row for row in rows}
+        assert by_name["base_failure_rate"].elasticity > 0
+        assert by_name["maneuver_rates"].elasticity < 0
+        assert by_name["assistant_unreliability"].elasticity > 0
+        assert by_name["join_rate"].elasticity > 0
+        assert by_name["leave_rate"].elasticity < 0
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            tornado(AHSParameters(), delta=0.0)
+        with pytest.raises(ValueError):
+            tornado(AHSParameters(), delta=1.0)
+
+    def test_subset_of_specs(self):
+        rows = tornado(
+            AHSParameters(), specs=SENSITIVITY_PARAMETERS[:2], time=4.0
+        )
+        assert len(rows) == 2
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        result = figure10(fast=True)
+        chart = format_ascii_chart(result)
+        assert "figure10" in chart
+        assert "o=n=8" in chart and "x=n=12" in chart
+        # one marker per (series, x) point
+        body = chart.split("\n")[1:-3]
+        assert sum(line.count("o") for line in body) == result.x_values.size
+
+    def test_log_scale_axis_labels(self):
+        chart = format_ascii_chart(figure10(fast=True), log_scale=True)
+        assert "log10(S)" in chart
+
+    def test_linear_scale(self):
+        chart = format_ascii_chart(figure10(fast=True), log_scale=False)
+        assert "log10" not in chart
+
+    def test_height_respected(self):
+        chart = format_ascii_chart(figure10(fast=True), height=6)
+        # title + 6 grid rows + axis + x labels + legend
+        assert len(chart.splitlines()) == 10

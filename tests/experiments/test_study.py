@@ -1,0 +1,103 @@
+"""Tests for the declarative Study API."""
+
+import pytest
+
+from repro.core import AHSParameters, Strategy
+from repro.experiments.study import Study, StudyResult
+
+
+@pytest.fixture(scope="module")
+def small_study_result() -> StudyResult:
+    study = Study(
+        base=AHSParameters(),
+        vary={
+            "max_platoon_size": [8, 10],
+            "strategy": [Strategy.DD, Strategy.CC],
+        },
+        times=[2.0, 6.0],
+    )
+    return study.run()
+
+
+class TestStudyValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Study(base=AHSParameters(), vary={"warp_factor": [1]})
+
+    def test_empty_vary_rejected(self):
+        with pytest.raises(ValueError):
+            Study(base=AHSParameters(), vary={})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Study(base=AHSParameters(), vary={"max_platoon_size": []})
+
+    def test_grid_explosion_guard(self):
+        with pytest.raises(ValueError, match="max_points"):
+            Study(
+                base=AHSParameters(),
+                vary={"base_failure_rate": list(range(1, 100))},
+                max_points=50,
+            )
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ValueError):
+            Study(
+                base=AHSParameters(),
+                vary={"max_platoon_size": [8]},
+                times=[],
+            )
+
+    def test_grid_size(self):
+        study = Study(
+            base=AHSParameters(),
+            vary={"max_platoon_size": [8, 10, 12], "join_rate": [4.0, 12.0]},
+        )
+        assert study.grid_size == 6
+
+
+class TestStudyResult:
+    def test_row_count(self, small_study_result):
+        # 2 sizes x 2 strategies x 2 times
+        assert len(small_study_result) == 8
+
+    def test_lookup(self, small_study_result):
+        value = small_study_result.lookup(
+            6.0, max_platoon_size=10, strategy=Strategy.DD
+        )
+        assert value > 0
+
+    def test_lookup_missing(self, small_study_result):
+        with pytest.raises(KeyError):
+            small_study_result.lookup(6.0, max_platoon_size=99)
+
+    def test_values_of(self, small_study_result):
+        assert small_study_result.values_of("max_platoon_size") == [8, 10]
+        with pytest.raises(KeyError):
+            small_study_result.values_of("join_rate")
+
+    def test_pivot(self, small_study_result):
+        figure = small_study_result.pivot(
+            "max_platoon_size", "strategy", time=6.0
+        )
+        assert figure.x_values.tolist() == [8.0, 10.0]
+        assert set(figure.series) == {"strategy=DD", "strategy=CC"}
+        # the paper's orderings hold on the pivoted grid
+        assert (
+            figure.series["strategy=CC"] > figure.series["strategy=DD"]
+        ).all()
+
+    def test_consistent_with_direct_engine(self, small_study_result):
+        from repro.core import AnalyticalEngine
+
+        direct = (
+            AnalyticalEngine(
+                AHSParameters(max_platoon_size=8, strategy=Strategy.CC)
+            )
+            .unsafety([2.0])
+            .unsafety[0]
+        )
+        grid = small_study_result.lookup(
+            2.0, max_platoon_size=8, strategy=Strategy.CC
+        )
+        assert grid == pytest.approx(direct, rel=1e-12)

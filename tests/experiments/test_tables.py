@@ -1,0 +1,69 @@
+"""Tests for the table experiments (paper Tables 1-3)."""
+
+import pytest
+
+from repro.experiments.tables import table1, table2, table3
+
+
+class TestTable1:
+    def test_six_rows(self):
+        rows = table1()
+        assert len(rows) == 6
+        assert [r["failure_mode"] for r in rows] == [
+            f"FM{i}" for i in range(1, 7)
+        ]
+
+    def test_content_matches_paper(self):
+        rows = {r["failure_mode"]: r for r in table1()}
+        assert rows["FM1"]["severity"] == "A3"
+        assert rows["FM1"]["maneuver"] == "AS"
+        assert rows["FM4"]["maneuver"] == "TIE-E"
+        assert rows["FM6"]["severity"] == "C"
+        assert rows["FM6"]["rate_multiplier"] == 4
+
+    def test_priorities_descend_with_severity(self):
+        rows = table1()
+        priorities = [r["priority"] for r in rows]
+        assert priorities == sorted(priorities, reverse=True)
+
+
+class TestTable2:
+    def test_three_situations(self):
+        rows = table2()
+        assert [r["situation"] for r in rows] == ["ST1", "ST2", "ST3"]
+
+    def test_descriptions_present(self):
+        for row in table2():
+            assert "Class" in row["description"]
+
+    def test_combination_counts_positive(self):
+        for row in table2():
+            assert row["matching_combinations"] > 0
+
+    def test_st1_count_exact(self):
+        # a>=2, a+b+c<=6: combinations with a in 2..6
+        expected = sum(
+            1
+            for a in range(2, 7)
+            for b in range(0, 7 - a)
+            for c in range(0, 7 - a - b)
+        )
+        rows = {r["situation"]: r for r in table2()}
+        assert rows["ST1"]["matching_combinations"] == expected
+
+
+class TestTable3:
+    def test_four_strategies(self):
+        rows = table3()
+        assert [r["strategy"] for r in rows] == ["DD", "DC", "CD", "CC"]
+
+    def test_inter_intra_columns(self):
+        rows = {r["strategy"]: r for r in table3()}
+        assert rows["DC"]["inter_platoon"] == "decentralized"
+        assert rows["DC"]["intra_platoon"] == "centralized"
+
+    def test_involvement_monotone(self):
+        rows = {r["strategy"]: r for r in table3()}
+        for maneuver in ("AS", "CS", "GS", "TIE-E", "TIE", "TIE-N"):
+            key = f"assistants_{maneuver}"
+            assert rows["CC"][key] >= rows["DD"][key]

@@ -1,0 +1,177 @@
+"""Shape-level reproduction of the paper's evaluation claims.
+
+These tests assert the *qualitative* findings of §4 (who wins, direction
+and rough size of effects) on the regenerated figures.  Absolute values
+are not expected to match the paper (our substrate is a re-implementation,
+not Möbius on the authors' machine); EXPERIMENTS.md records both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AHSParameters, AnalyticalEngine
+from repro.experiments.figures import (
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return figure10()
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return figure11()
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12()
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return figure13()
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return figure14()
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    return figure15()
+
+
+class TestFigure10Claims:
+    def test_unsafety_grows_with_trip_duration(self, fig10):
+        for values in fig10.series.values():
+            assert (np.diff(values) > 0).all()
+
+    def test_trip_2h_to_10h_grows_severalfold(self, fig10):
+        # paper: about one order of magnitude from 2h to 10h
+        for label, values in fig10.series.items():
+            growth = values[-1] / values[0]
+            assert growth > 3.0, (label, growth)
+
+    def test_larger_platoons_less_safe(self, fig10):
+        sizes = sorted(
+            fig10.series, key=lambda label: int(label.split("=")[1])
+        )
+        for smaller, larger in zip(sizes, sizes[1:]):
+            assert (fig10.series[larger] > fig10.series[smaller]).all()
+
+    def test_n8_to_n12_severalfold(self, fig10):
+        # paper: one order of magnitude at 10h; we reproduce the direction
+        # with a ~3x factor (documented deviation, EXPERIMENTS.md)
+        ratio = fig10.series_at("n=12", 10.0) / fig10.series_at("n=8", 10.0)
+        assert ratio > 2.0
+
+
+class TestFigure11Claims:
+    def test_order_of_magnitude_sensitivity_to_lambda(self, fig11):
+        s6 = {
+            label: fig11.series_at(label, 6.0) for label in fig11.series
+        }
+        ratio_low = s6["lambda=1e-05"] / s6["lambda=1e-06"]
+        ratio_high = s6["lambda=0.0001"] / s6["lambda=1e-05"]
+        # paper: x175 and x40; ours is ~quadratic (~x100 and ~x100):
+        # both reproduce "very sensitive to the failure rate"
+        assert ratio_low > 30.0
+        assert ratio_high > 30.0
+
+    def test_lambda_1e7_unplottably_small(self, fig11):
+        # paper: "when the failure rate is 1e-7/hr, the unsafety is about
+        # 1e-13" — beyond crude Monte Carlo; our numerical engine gets a
+        # finite tiny value
+        values = fig11.series["lambda=1e-07"]
+        assert (values > 0).all()
+        assert (values < 1e-8).all()
+
+    def test_lambda_ordering_uniform_in_time(self, fig11):
+        ordered = [
+            fig11.series["lambda=1e-07"],
+            fig11.series["lambda=1e-06"],
+            fig11.series["lambda=1e-05"],
+            fig11.series["lambda=0.0001"],
+        ]
+        for lower, higher in zip(ordered, ordered[1:]):
+            assert (higher > lower).all()
+
+
+class TestFigure12Claims:
+    def test_unsafety_grows_with_n_for_every_lambda(self, fig12):
+        for values in fig12.series.values():
+            assert (np.diff(values) > 0).all()
+
+    def test_relative_lambda_impact_larger_at_small_n(self, fig12):
+        # paper: "the failure rate has more impact for smaller number of
+        # vehicles per platoon" — compare the 1e-4/1e-6 gap at n=10 vs n=18
+        gap_small_n = (
+            fig12.series_at("lambda=0.0001", 10.0)
+            / fig12.series_at("lambda=1e-06", 10.0)
+        )
+        gap_large_n = (
+            fig12.series_at("lambda=0.0001", 18.0)
+            / fig12.series_at("lambda=1e-06", 18.0)
+        )
+        assert gap_small_n >= 0.9 * gap_large_n
+
+
+class TestFigure13Claims:
+    def test_same_rho_same_trend(self, fig13):
+        rho1 = [k for k in fig13.series if "rho=1" in k]
+        rho2 = [k for k in fig13.series if "rho=2" in k]
+        assert len(rho1) == 2 and len(rho2) == 2
+        assert np.allclose(
+            fig13.series[rho1[0]], fig13.series[rho1[1]], rtol=0.15
+        )
+        assert np.allclose(
+            fig13.series[rho2[0]], fig13.series[rho2[1]], rtol=0.15
+        )
+
+    def test_higher_rho_less_safe_same_order(self, fig13):
+        rho1 = next(k for k in fig13.series if "rho=1" in k)
+        rho2 = next(k for k in fig13.series if "rho=2" in k)
+        assert (fig13.series[rho2] > fig13.series[rho1]).all()
+        # same order of magnitude (paper §4.3)
+        assert (fig13.series[rho2] < 10.0 * fig13.series[rho1]).all()
+
+
+class TestFigure14And15Claims:
+    def test_decentralized_inter_platoon_safer(self, fig14):
+        assert (fig14.series["DD"] < fig14.series["CD"]).all()
+        assert (fig14.series["DC"] < fig14.series["CC"]).all()
+
+    def test_inter_platoon_dominates_intra(self, fig14):
+        inter_effect = fig14.series["CD"] / fig14.series["DD"]
+        intra_effect = fig14.series["DC"] / fig14.series["DD"]
+        assert (inter_effect > intra_effect).all()
+
+    def test_strategy_impact_low(self, fig14):
+        # paper: curves stay within the same order of magnitude
+        assert (fig14.series["CC"] < 10.0 * fig14.series["DD"]).all()
+
+    def test_ordering_holds_for_every_n(self, fig15):
+        dd, dc, cd, cc = (
+            fig15.series[k] for k in ("DD", "DC", "CD", "CC")
+        )
+        assert (dd <= dc).all()
+        assert (dc < cd).all()
+        assert (cd <= cc).all()
+
+
+class TestConclusionClaims:
+    def test_platoon_size_10_within_low_unsafety_regime(self):
+        # paper conclusion: "the size of the platoons should not exceed 10";
+        # at lambda=1e-5 and n<=10 the unsafety stays below ~1e-5 for a
+        # 10-hour trip
+        engine = AnalyticalEngine(AHSParameters(max_platoon_size=10))
+        assert engine.unsafety([10.0]).unsafety[0] < 1e-5

@@ -1,0 +1,116 @@
+"""Tests for importance sampling (failure biasing)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rare import FailureBiasing, ImportanceSamplingEstimator
+from repro.san import Case, Place, SANModel, TimedActivity, input_arc, output_arc
+from repro.stochastic import StreamFactory
+
+from tests.conftest import make_two_state_model
+
+
+def rare_absorbing_model(rate=1e-3):
+    """ok --rate--> down (absorbing): P(down by t) = 1 - exp(-rate*t)."""
+    ok, down = Place("ok", 1), Place("down")
+    model = SANModel("rare")
+    model.add_activity(
+        TimedActivity(
+            "L_fail",
+            rate=rate,
+            input_gates=[input_arc(ok)],
+            cases=[Case(1.0, [output_arc(down)])],
+        )
+    )
+    return model, down
+
+
+class TestFailureBiasing:
+    def test_plan_selects_matching_activities(self):
+        model, down = rare_absorbing_model()
+        plan = FailureBiasing(100.0, lambda n: n.startswith("L_")).plan_for(model)
+        assert plan == {"L_fail": 100.0}
+
+    def test_no_match_rejected(self):
+        model, down = rare_absorbing_model()
+        with pytest.raises(ValueError):
+            FailureBiasing(10.0, lambda n: n.startswith("nope")).plan_for(model)
+
+    def test_bad_boost_rejected(self):
+        model, down = rare_absorbing_model()
+        with pytest.raises(ValueError):
+            FailureBiasing(0.0, lambda n: True).plan_for(model)
+
+    def test_balanced_heuristic(self):
+        model, down = rare_absorbing_model(rate=1e-4)
+        biasing = FailureBiasing.balanced(
+            model, lambda n: n.startswith("L_"), target_rate=0.1
+        )
+        assert biasing.boost == pytest.approx(1000.0)
+
+
+class TestEstimator:
+    def test_rare_event_estimated_accurately(self):
+        rate = 1e-3
+        model, down = rare_absorbing_model(rate)
+        estimator = ImportanceSamplingEstimator(
+            model,
+            stop_predicate=lambda m: m.get(down) == 1,
+            biasing=FailureBiasing(500.0, lambda n: n.startswith("L_")),
+        )
+        factory = StreamFactory(44)
+        estimate = estimator.estimate([1.0, 2.0], 3000, factory)
+        for t, value in zip(estimate.times, estimate.values):
+            exact = 1.0 - math.exp(-rate * t)
+            assert value == pytest.approx(exact, rel=0.15)
+        # crude MC with the same budget would almost surely see 0 hits
+
+    def test_unbiased_against_crude_mc_on_easy_model(self):
+        model, up, down = make_two_state_model(fail_rate=0.2)
+        estimator = ImportanceSamplingEstimator(
+            model,
+            stop_predicate=lambda m: m.get(down) == 1,
+            biasing=FailureBiasing(3.0, lambda n: n == "fail"),
+        )
+        factory = StreamFactory(45)
+        estimate = estimator.estimate([1.0], 4000, factory)
+        exact = 1.0 - math.exp(-0.2)
+        assert estimate.values[0] == pytest.approx(exact, rel=0.1)
+
+    def test_none_biasing_is_crude_mc(self):
+        model, up, down = make_two_state_model(fail_rate=2.0)
+        estimator = ImportanceSamplingEstimator(
+            model, stop_predicate=lambda m: m.get(down) == 1, biasing=None
+        )
+        runs = estimator.runs(500, horizon=1.0, factory=StreamFactory(46))
+        assert all(run.weight == 1.0 for run in runs)
+
+    def test_replication_count_validated(self):
+        model, down = rare_absorbing_model()
+        estimator = ImportanceSamplingEstimator(
+            model, stop_predicate=lambda m: m.get(down) == 1
+        )
+        with pytest.raises(ValueError):
+            estimator.runs(0, 1.0, StreamFactory(1))
+
+    def test_weight_diagnostics(self):
+        model, down = rare_absorbing_model(1e-2)
+        estimator = ImportanceSamplingEstimator(
+            model,
+            stop_predicate=lambda m: m.get(down) == 1,
+            biasing=FailureBiasing(50.0, lambda n: n.startswith("L_")),
+        )
+        runs = estimator.runs(500, horizon=1.0, factory=StreamFactory(47))
+        diag = estimator.diagnose_weights(runs)
+        assert diag["hits"] > 0
+        assert 0.0 < diag["ess_ratio"] <= 1.0
+
+    def test_diagnostics_without_hits(self):
+        model, down = rare_absorbing_model(1e-9)
+        estimator = ImportanceSamplingEstimator(
+            model, stop_predicate=lambda m: m.get(down) == 1
+        )
+        runs = estimator.runs(50, horizon=1.0, factory=StreamFactory(48))
+        assert estimator.diagnose_weights(runs)["hits"] == 0.0

@@ -1,0 +1,139 @@
+"""Tests for fixed-effort multilevel splitting."""
+
+import math
+
+import pytest
+
+from repro.rare import FixedEffortSplitting
+from repro.san import Case, Place, SANModel, TimedActivity, input_arc, output_arc
+from repro.stochastic import StreamFactory
+
+
+def staged_failure_model(rates=(0.05, 0.4, 0.4)):
+    """A 3-stage failure chain 0 -> 1 -> 2 -> 3(absorbing).
+
+    With repair pulling back to 0, reaching stage 3 before t is rare; the
+    exact probability comes from the 4-state CTMC.
+    """
+    level = Place("level", 0)
+    model = SANModel("staged")
+
+    def advance(name, from_count, rate):
+        def pred(g):
+            return g["lvl"] == from_count
+
+        def push(g):
+            g["lvl"] = from_count + 1
+
+        from repro.san import InputGate, OutputGate
+
+        return TimedActivity(
+            name,
+            rate=rate,
+            input_gates=[InputGate(f"ig_{name}", {"lvl": level}, pred)],
+            cases=[
+                Case(1.0, [OutputGate(f"og_{name}", {"lvl": level}, push)])
+            ],
+        )
+
+    for i, rate in enumerate(rates):
+        model.add_activity(advance(f"adv{i}", i, rate))
+
+    # repair from intermediate stages back to zero
+    from repro.san import InputGate, OutputGate
+
+    def rep_pred(g):
+        return 0 < g["lvl"] < 3
+
+    def rep_fn(g):
+        g["lvl"] = 0
+
+    model.add_activity(
+        TimedActivity(
+            "repair",
+            rate=2.0,
+            input_gates=[InputGate("ig_rep", {"lvl": level}, rep_pred)],
+            cases=[Case(1.0, [OutputGate("og_rep", {"lvl": level}, rep_fn)])],
+        )
+    )
+    return model, level
+
+
+def exact_absorption(model, level, t):
+    from repro.ctmc import CTMC, transient_distribution
+    from repro.san import generate_state_space
+
+    space = generate_state_space(model, absorbing=lambda m: m.get(level) == 3)
+    chain = CTMC(space.generator, space.initial)
+    dist = transient_distribution(chain, [t])[0]
+    target = space.indicator(lambda m: m.get(level) == 3)
+    return float(dist @ target)
+
+
+class TestFixedEffortSplitting:
+    def test_estimates_rare_probability(self):
+        model, level = staged_failure_model()
+        exact = exact_absorption(model, level, t=5.0)
+        assert exact < 0.02  # genuinely smallish
+
+        splitter = FixedEffortSplitting(
+            model,
+            level_fn=lambda m: float(m.get(level)),
+            levels=[1.0, 2.0, 3.0],
+            trials_per_stage=400,
+        )
+        result = splitter.estimate(
+            horizon=5.0, factory=StreamFactory(99), repetitions=8
+        )
+        assert result.probability == pytest.approx(exact, rel=0.4)
+        # the CI should bracket the exact value most of the time
+        assert result.interval.low - result.interval.half_width <= exact
+
+    def test_levels_validation(self):
+        model, level = staged_failure_model()
+        with pytest.raises(ValueError):
+            FixedEffortSplitting(model, lambda m: 0.0, levels=[])
+        with pytest.raises(ValueError):
+            FixedEffortSplitting(model, lambda m: 0.0, levels=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            FixedEffortSplitting(
+                model, lambda m: 0.0, levels=[1.0], trials_per_stage=1
+            )
+
+    def test_estimate_validation(self):
+        model, level = staged_failure_model()
+        splitter = FixedEffortSplitting(
+            model, lambda m: float(m.get(level)), levels=[1.0]
+        )
+        with pytest.raises(ValueError):
+            splitter.estimate(horizon=0.0, factory=StreamFactory(1))
+        with pytest.raises(ValueError):
+            splitter.estimate(horizon=1.0, factory=StreamFactory(1), repetitions=1)
+
+    def test_impossible_event_estimates_zero(self):
+        model, level = staged_failure_model(rates=(1e-12, 1e-12, 1e-12))
+        splitter = FixedEffortSplitting(
+            model,
+            level_fn=lambda m: float(m.get(level)),
+            levels=[1.0, 2.0, 3.0],
+            trials_per_stage=50,
+        )
+        result = splitter.estimate(
+            horizon=1.0, factory=StreamFactory(2), repetitions=2
+        )
+        assert result.probability == 0.0
+
+    def test_stage_fractions_recorded(self):
+        model, level = staged_failure_model()
+        splitter = FixedEffortSplitting(
+            model,
+            level_fn=lambda m: float(m.get(level)),
+            levels=[1.0, 2.0, 3.0],
+            trials_per_stage=100,
+        )
+        result = splitter.estimate(
+            horizon=5.0, factory=StreamFactory(3), repetitions=3
+        )
+        assert len(result.stage_fractions) == 3
+        for fractions in result.stage_fractions:
+            assert all(0.0 <= f <= 1.0 for f in fractions)

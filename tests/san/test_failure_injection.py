@@ -1,0 +1,161 @@
+"""Failure-injection tests: the engines must fail loudly, not silently."""
+
+import pytest
+
+from repro.san import (
+    Case,
+    InputGate,
+    MarkingFunction,
+    MarkovJumpSimulator,
+    OutputGate,
+    Place,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+    generate_state_space,
+    input_arc,
+    output_arc,
+)
+from repro.stochastic import StreamFactory
+
+
+def model_with(activity) -> SANModel:
+    model = SANModel("faulty")
+    model.add_activity(activity)
+    return model
+
+
+class TestRaisingGates:
+    def test_raising_output_gate_propagates(self):
+        place = Place("p", 1)
+
+        def broken(g):
+            raise RuntimeError("output gate exploded")
+
+        activity = TimedActivity(
+            "t",
+            rate=10.0,
+            input_gates=[input_arc(place)],
+            cases=[Case(1.0, [OutputGate("bad", {"p": place}, broken)])],
+        )
+        simulator = SANSimulator(model_with(activity))
+        with pytest.raises(RuntimeError, match="exploded"):
+            simulator.run(StreamFactory(1).stream(), horizon=10.0)
+
+    def test_negative_marking_write_rejected(self):
+        place = Place("p", 0)
+
+        def underflow(g):
+            g.dec("p")
+
+        activity = TimedActivity(
+            "t",
+            rate=10.0,
+            cases=[Case(1.0, [OutputGate("under", {"p": place}, underflow)])],
+        )
+        model = model_with(activity)
+        model.add_place(place)
+        simulator = SANSimulator(model)
+        with pytest.raises(ValueError, match="must stay >= 0"):
+            simulator.run(StreamFactory(1).stream(), horizon=10.0)
+
+    def test_raising_rate_function_in_statespace(self):
+        place = Place("p", 1)
+
+        def broken_rate(g):
+            raise ZeroDivisionError("rate blew up")
+
+        activity = TimedActivity(
+            "t",
+            rate=MarkingFunction({"p": place}, broken_rate),
+            input_gates=[input_arc(place)],
+        )
+        with pytest.raises(ZeroDivisionError):
+            generate_state_space(model_with(activity))
+
+    def test_wrong_type_marking_write_rejected(self):
+        place = Place("p", 1)
+
+        def wrong_type(g):
+            g["p"] = "many"
+
+        activity = TimedActivity(
+            "t",
+            rate=5.0,
+            input_gates=[input_arc(place)],
+            cases=[Case(1.0, [OutputGate("typed", {"p": place}, wrong_type)])],
+        )
+        simulator = MarkovJumpSimulator(model_with(activity))
+        with pytest.raises(TypeError):
+            simulator.run(StreamFactory(1).stream(), horizon=10.0)
+
+
+class TestProbabilityFailures:
+    def test_case_probabilities_not_summing_detected_at_fire(self):
+        place = Place("p", 1)
+        activity = TimedActivity(
+            "t",
+            rate=10.0,
+            input_gates=[input_arc(place)],
+            cases=[
+                Case(
+                    MarkingFunction({"p": place}, lambda g: 0.4),
+                    [output_arc(place)],
+                ),
+                Case(
+                    MarkingFunction({"p": place}, lambda g: 0.4),
+                    [output_arc(place)],
+                ),
+            ],
+        )
+        simulator = SANSimulator(model_with(activity))
+        with pytest.raises(ValueError, match="sum to"):
+            simulator.run(StreamFactory(1).stream(), horizon=10.0)
+
+    def test_marking_probability_outside_unit_interval(self):
+        place = Place("p", 5)
+        activity = TimedActivity(
+            "t",
+            rate=10.0,
+            input_gates=[
+                InputGate("ig", {"p": place}, lambda g: g["p"] > 0)
+            ],
+            cases=[
+                Case(
+                    MarkingFunction({"p": place}, lambda g: float(g["p"])),
+                    [output_arc(place)],
+                ),
+                Case(
+                    MarkingFunction({"p": place}, lambda g: 1.0 - g["p"]),
+                    [output_arc(place)],
+                ),
+            ],
+        )
+        simulator = SANSimulator(model_with(activity))
+        with pytest.raises(ValueError):
+            simulator.run(StreamFactory(1).stream(), horizon=10.0)
+
+
+class TestStructuralMisuse:
+    def test_gate_reading_unbound_place(self):
+        place = Place("p", 1)
+        other = Place("other", 1)
+
+        def nosy(g):
+            return g["other"] > 0  # not in the binding
+
+        activity = TimedActivity(
+            "t", rate=1.0, input_gates=[InputGate("ig", {"p": place}, nosy)]
+        )
+        model = model_with(activity)
+        model.add_place(other)
+        simulator = SANSimulator(model)
+        with pytest.raises(KeyError, match="undeclared"):
+            simulator.run(StreamFactory(1).stream(), horizon=1.0)
+
+    def test_marking_read_of_foreign_place(self):
+        from repro.san import Marking
+
+        marking = Marking.initial([Place("a", 1)])
+        with pytest.raises(KeyError, match="not part of this marking"):
+            marking.get(Place("b"))

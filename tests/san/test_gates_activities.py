@@ -1,0 +1,213 @@
+"""Tests for gates, cases and activities."""
+
+import math
+
+import pytest
+
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    Marking,
+    MarkingFunction,
+    OutputGate,
+    Place,
+    TimedActivity,
+    input_arc,
+    output_arc,
+)
+from repro.stochastic import Exponential, StreamFactory, Uniform
+
+
+@pytest.fixture
+def stream():
+    return StreamFactory(1).stream()
+
+
+class TestArcs:
+    def test_input_arc_requires_and_consumes(self):
+        place = Place("p", 2)
+        marking = Marking.initial([place])
+        arc = input_arc(place, 2)
+        assert arc.holds(marking)
+        arc.fire(marking)
+        assert marking.get(place) == 0
+        assert not arc.holds(marking)
+
+    def test_output_arc_deposits(self):
+        place = Place("p", 0)
+        marking = Marking.initial([place])
+        output_arc(place, 3).fire(marking)
+        assert marking.get(place) == 3
+
+    def test_multiplicity_validation(self):
+        place = Place("p")
+        with pytest.raises(ValueError):
+            input_arc(place, 0)
+        with pytest.raises(ValueError):
+            output_arc(place, 0)
+
+
+class TestInputGate:
+    def test_predicate_and_function(self):
+        place = Place("p", 1)
+        gate = InputGate(
+            "g", {"p": place}, lambda g: g["p"] > 0, lambda g: g.dec("p")
+        )
+        marking = Marking.initial([place])
+        assert gate.holds(marking)
+        gate.fire(marking)
+        assert marking.get(place) == 0
+        assert not gate.holds(marking)
+
+    def test_default_function_is_noop(self):
+        place = Place("p", 1)
+        gate = InputGate("g", {"p": place}, lambda g: True)
+        marking = Marking.initial([place])
+        gate.fire(marking)
+        assert marking.get(place) == 1
+
+    def test_rebind(self):
+        a, b = Place("a", 1), Place("b", 5)
+        gate = InputGate("g", {"x": a}, lambda g: g["x"] >= 3)
+        rebound = gate.rebind({a: b})
+        assert not gate.holds(Marking.initial([a]))
+        assert rebound.holds(Marking.initial([b]))
+        assert rebound.places() == {b}
+
+
+class TestCase:
+    def test_constant_probability_validated(self):
+        with pytest.raises(ValueError):
+            Case(1.5)
+        with pytest.raises(ValueError):
+            Case(-0.1)
+
+    def test_marking_dependent_probability(self):
+        place = Place("p", 3)
+        case = Case(MarkingFunction({"p": place}, lambda g: g["p"] / 10.0))
+        assert case.probability_in(Marking.initial([place])) == 0.3
+
+    def test_marking_probability_out_of_range_rejected(self):
+        place = Place("p", 30)
+        case = Case(MarkingFunction({"p": place}, lambda g: g["p"] / 10.0))
+        with pytest.raises(ValueError):
+            case.probability_in(Marking.initial([place]))
+
+
+class TestTimedActivity:
+    def test_requires_exactly_one_of_rate_distribution(self):
+        with pytest.raises(ValueError):
+            TimedActivity("a")
+        with pytest.raises(ValueError):
+            TimedActivity("a", rate=1.0, distribution=Exponential(1.0))
+
+    def test_constant_rate(self):
+        activity = TimedActivity("a", rate=2.5)
+        assert activity.rate_in(Marking({})) == 2.5
+        assert activity.is_markovian
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            TimedActivity("a", rate=0.0)
+
+    def test_marking_dependent_rate(self):
+        place = Place("n", 4)
+        activity = TimedActivity(
+            "a", rate=MarkingFunction({"n": place}, lambda g: 0.5 * g["n"])
+        )
+        assert activity.rate_in(Marking.initial([place])) == 2.0
+
+    def test_negative_marking_rate_rejected(self):
+        place = Place("n", 4)
+        activity = TimedActivity(
+            "a", rate=MarkingFunction({"n": place}, lambda g: -1.0)
+        )
+        with pytest.raises(ValueError):
+            activity.rate_in(Marking.initial([place]))
+
+    def test_distribution_activity_not_markovian(self):
+        activity = TimedActivity("a", distribution=Uniform(1.0, 2.0))
+        assert not activity.is_markovian
+        with pytest.raises(TypeError):
+            activity.rate_in(Marking({}))
+
+    def test_exponential_distribution_is_markovian(self):
+        activity = TimedActivity("a", distribution=Exponential(3.0))
+        assert activity.is_markovian
+        assert activity.rate_in(Marking({})) == 3.0
+
+    def test_sample_delay_zero_rate_is_infinite(self, stream):
+        place = Place("n", 0)
+        activity = TimedActivity(
+            "a", rate=MarkingFunction({"n": place}, lambda g: float(g["n"]))
+        )
+        assert math.isinf(activity.sample_delay(Marking.initial([place]), stream))
+
+    def test_case_probabilities_must_sum_to_one(self, stream):
+        place = Place("p", 1)
+        activity = TimedActivity(
+            "a",
+            rate=1.0,
+            cases=[Case(0.3), Case(0.3)],
+        )
+        with pytest.raises(ValueError):
+            activity.case_probabilities(Marking.initial([place]))
+
+    def test_choose_case_single_shortcut(self, stream):
+        activity = TimedActivity("a", rate=1.0)
+        assert activity.choose_case(Marking({}), stream) == 0
+
+    def test_fire_runs_gates_in_order(self):
+        src, dst = Place("src", 1), Place("dst", 0)
+        activity = TimedActivity(
+            "move",
+            rate=1.0,
+            input_gates=[input_arc(src)],
+            cases=[Case(1.0, [output_arc(dst)])],
+        )
+        marking = Marking.initial([src, dst])
+        activity.fire(marking, 0)
+        assert marking.get(src) == 0
+        assert marking.get(dst) == 1
+
+    def test_reads_and_writes_cover_gate_places(self):
+        src, dst = Place("src", 1), Place("dst", 0)
+        activity = TimedActivity(
+            "move",
+            rate=1.0,
+            input_gates=[input_arc(src)],
+            cases=[Case(1.0, [output_arc(dst)])],
+        )
+        assert src in activity.reads()
+        assert dst in activity.writes()
+
+    def test_rebind_clones_everything(self):
+        src = Place("src", 1)
+        src2 = Place("src[0]", 1)
+        activity = TimedActivity(
+            "move",
+            rate=MarkingFunction({"s": src}, lambda g: float(g["s"])),
+            input_gates=[input_arc(src)],
+        )
+        clone = activity.rebind({src: src2}, "move[0]")
+        assert clone.name == "move[0]"
+        assert clone.reads() == {src2}
+        assert clone.rate_in(Marking.initial([src2])) == 1.0
+
+
+class TestInstantaneousActivity:
+    def test_priority_default(self):
+        assert InstantaneousActivity("i").priority == 0
+
+    def test_needs_case(self):
+        activity = InstantaneousActivity("i")
+        assert len(activity.cases) == 1
+
+    def test_rebind_preserves_priority(self):
+        place = Place("p", 1)
+        activity = InstantaneousActivity(
+            "i", input_gates=[input_arc(place)], priority=7
+        )
+        clone = activity.rebind({place: Place("p[0]", 1)}, "i[0]")
+        assert clone.priority == 7

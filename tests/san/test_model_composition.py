@@ -1,0 +1,159 @@
+"""Tests for SANModel, join and replicate."""
+
+import pytest
+
+from repro.san import (
+    Case,
+    InstantaneousActivity,
+    Place,
+    SANModel,
+    TimedActivity,
+    input_arc,
+    join,
+    output_arc,
+    replicate,
+)
+
+
+def _relay(name: str, src: Place, dst: Place) -> TimedActivity:
+    return TimedActivity(
+        name,
+        rate=1.0,
+        input_gates=[input_arc(src)],
+        cases=[Case(1.0, [output_arc(dst)])],
+    )
+
+
+class TestSANModel:
+    def test_activities_register_places(self):
+        src, dst = Place("src", 1), Place("dst")
+        model = SANModel("m")
+        model.add_activity(_relay("move", src, dst))
+        assert set(model.places) == {src, dst}
+
+    def test_duplicate_activity_name_rejected(self):
+        model = SANModel("m")
+        model.add_activity(_relay("move", Place("a", 1), Place("b")))
+        with pytest.raises(ValueError):
+            model.add_activity(_relay("move", Place("c", 1), Place("d")))
+
+    def test_place_named(self):
+        src = Place("src", 1)
+        model = SANModel("m")
+        model.add_place(src)
+        assert model.place_named("src") is src
+        with pytest.raises(KeyError):
+            model.place_named("missing")
+
+    def test_activity_named(self):
+        model = SANModel("m")
+        activity = _relay("move", Place("a", 1), Place("b"))
+        model.add_activity(activity)
+        assert model.activity_named("move") is activity
+        with pytest.raises(KeyError):
+            model.activity_named("other")
+
+    def test_initial_marking(self):
+        place = Place("p", 3)
+        model = SANModel("m")
+        model.add_place(place)
+        assert model.initial_marking().get(place) == 3
+
+    def test_is_markovian(self):
+        from repro.stochastic import Uniform
+
+        model = SANModel("m")
+        model.add_activity(_relay("move", Place("a", 1), Place("b")))
+        assert model.is_markovian
+        model.add_activity(
+            TimedActivity("slow", distribution=Uniform(1, 2))
+        )
+        assert not model.is_markovian
+
+    def test_add_non_activity_rejected(self):
+        with pytest.raises(TypeError):
+            SANModel("m").add_activity("not an activity")
+
+    def test_stats(self):
+        model = SANModel("m")
+        model.add_activity(_relay("move", Place("a", 1), Place("b")))
+        model.add_activity(InstantaneousActivity("flash"))
+        stats = model.stats()
+        assert stats["timed_activities"] == 1
+        assert stats["instantaneous_activities"] == 1
+
+
+class TestJoin:
+    def test_shared_place_appears_once(self):
+        shared = Place("shared", 1)
+        m1, m2 = SANModel("m1"), SANModel("m2")
+        m1.add_activity(_relay("a1", shared, Place("d1")))
+        m2.add_activity(_relay("a2", shared, Place("d2")))
+        combined = join("combined", [m1, m2])
+        assert combined.places.count(shared) == 1
+        assert len(combined.timed_activities) == 2
+
+    def test_name_collision_between_distinct_places_rejected(self):
+        m1, m2 = SANModel("m1"), SANModel("m2")
+        m1.add_place(Place("p", 1))
+        m2.add_place(Place("p", 2))
+        with pytest.raises(ValueError):
+            join("combined", [m1, m2])
+
+    def test_empty_join_rejected(self):
+        with pytest.raises(ValueError):
+            join("combined", [])
+
+
+class TestReplicate:
+    def _base_model(self):
+        shared = Place("shared", 0)
+        local = Place("local", 1)
+        model = SANModel("base")
+        model.add_activity(_relay("move", local, shared))
+        return model, shared, local
+
+    def test_shared_place_common_to_replicas(self):
+        model, shared, local = self._base_model()
+        replicas = replicate(model, 3, shared=[shared])
+        for replica in replicas:
+            assert shared in replica.places
+        locals_seen = {
+            place
+            for replica in replicas
+            for place in replica.places
+            if place is not shared
+        }
+        assert len(locals_seen) == 3  # each replica has its own local place
+
+    def test_replica_names(self):
+        model, shared, local = self._base_model()
+        replicas = replicate(model, 2, shared=[shared])
+        names = [a.name for r in replicas for a in r.activities]
+        assert names == ["move[0]", "move[1]"]
+        local_names = sorted(
+            p.name for r in replicas for p in r.places if p is not shared
+        )
+        assert local_names == ["local[0]", "local[1]"]
+
+    def test_replicated_model_joins_and_runs(self):
+        model, shared, local = self._base_model()
+        replicas = replicate(model, 4, shared=[shared])
+        combined = join("all", replicas)
+        marking = combined.initial_marking()
+        # fire every replica's activity: all tokens land in the shared place
+        for replica in replicas:
+            activity = replica.activities[0]
+            assert activity.enabled(marking)
+            activity.fire(marking, 0)
+        assert marking.get(shared) == 4
+
+    def test_unknown_shared_place_rejected(self):
+        model, shared, local = self._base_model()
+        with pytest.raises(ValueError):
+            replicate(model, 2, shared=[Place("stranger")])
+
+    def test_n_validation(self):
+        model, *_ = self._base_model()
+        with pytest.raises(ValueError):
+            replicate(model, 0)

@@ -1,0 +1,149 @@
+"""Tests for places, markings and gate views."""
+
+import pytest
+
+from repro.san import ExtendedPlace, GateView, Marking, MarkingFunction, Place
+
+
+class TestPlace:
+    def test_initial_validation(self):
+        with pytest.raises(ValueError):
+            Place("p", -1)
+
+    def test_value_validation(self):
+        place = Place("p")
+        assert place.validate_value(3) == 3
+        with pytest.raises(ValueError):
+            place.validate_value(-2)
+        with pytest.raises(TypeError):
+            place.validate_value(1.5)
+        with pytest.raises(TypeError):
+            place.validate_value(True)
+
+    def test_renamed_is_fresh_object(self):
+        place = Place("p", 2)
+        clone = place.renamed("p[0]")
+        assert clone is not place
+        assert clone.initial == 2
+        assert clone.name == "p[0]"
+        assert clone.uid != place.uid
+
+    def test_identity_not_name_equality(self):
+        assert Place("same") is not Place("same")
+
+
+class TestExtendedPlace:
+    def test_holds_tuples(self):
+        place = ExtendedPlace("arr", (0, 0, 0))
+        assert place.initial == (0, 0, 0)
+        assert place.validate_value((1, 2)) == (1, 2)
+        assert place.validate_value([1, 2]) == (1, 2)  # lists normalised
+        with pytest.raises(TypeError):
+            place.validate_value(5)
+
+    def test_is_extended_flag(self):
+        assert ExtendedPlace("a").is_extended
+        assert not Place("p").is_extended
+
+
+class TestMarking:
+    def test_initial_from_places(self):
+        p1, p2 = Place("a", 1), ExtendedPlace("b", (7,))
+        marking = Marking.initial([p1, p2])
+        assert marking.get(p1) == 1
+        assert marking.get(p2) == (7,)
+
+    def test_set_tracks_changes(self):
+        place = Place("p", 0)
+        marking = Marking.initial([place])
+        marking.set(place, 2)
+        assert marking.changed == {place}
+        assert marking.clear_changed() == {place}
+        assert marking.changed == set()
+
+    def test_set_same_value_not_tracked(self):
+        place = Place("p", 1)
+        marking = Marking.initial([place])
+        marking.set(place, 1)
+        assert marking.changed == set()
+
+    def test_unknown_place_rejected(self):
+        marking = Marking.initial([Place("a")])
+        with pytest.raises(KeyError):
+            marking.get(Place("other"))
+        with pytest.raises(KeyError):
+            marking.set(Place("other"), 1)
+
+    def test_copy_is_independent(self):
+        place = Place("p", 0)
+        marking = Marking.initial([place])
+        clone = marking.copy()
+        clone.set(place, 5)
+        assert marking.get(place) == 0
+
+    def test_freeze_thaw_roundtrip(self):
+        p1, p2 = Place("a", 1), ExtendedPlace("b", (3, 4))
+        order = [p1, p2]
+        marking = Marking.initial(order)
+        frozen = marking.freeze(order)
+        assert frozen == (1, (3, 4))
+        thawed = Marking.thaw(frozen, order)
+        assert thawed.get(p1) == 1
+        assert thawed.get(p2) == (3, 4)
+
+    def test_thaw_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Marking.thaw((1, 2), [Place("a")])
+
+    def test_as_dict(self):
+        place = Place("p", 4)
+        assert Marking.initial([place]).as_dict() == {"p": 4}
+
+
+class TestGateView:
+    def test_read_write_by_local_name(self):
+        place = Place("global_name", 1)
+        marking = Marking.initial([place])
+        view = GateView(marking, {"local": place})
+        assert view["local"] == 1
+        view["local"] = 3
+        assert marking.get(place) == 3
+
+    def test_inc_dec(self):
+        place = Place("p", 5)
+        marking = Marking.initial([place])
+        view = GateView(marking, {"p": place})
+        view.inc("p", 2)
+        view.dec("p")
+        assert marking.get(place) == 6
+
+    def test_undeclared_local_rejected(self):
+        marking = Marking.initial([Place("p")])
+        view = GateView(marking, {})
+        with pytest.raises(KeyError):
+            view["p"]
+
+    def test_tuple_set(self):
+        place = ExtendedPlace("arr", (0, 0))
+        marking = Marking.initial([place])
+        view = GateView(marking, {"arr": place})
+        view.tuple_set("arr", 1, 9)
+        assert marking.get(place) == (0, 9)
+
+
+class TestMarkingFunction:
+    def test_evaluates_with_binding(self):
+        place = Place("tokens", 4)
+        marking = Marking.initial([place])
+        fn = MarkingFunction({"t": place}, lambda g: 2.0 * g["t"])
+        assert fn(marking) == 8.0
+
+    def test_rebind_substitutes_places(self):
+        original = Place("tokens", 4)
+        replacement = Place("tokens[1]", 7)
+        fn = MarkingFunction({"t": original}, lambda g: float(g["t"]))
+        rebound = fn.rebind({original: replacement})
+        marking = Marking.initial([replacement])
+        assert rebound(marking) == 7.0
+        assert fn.reads() == {original}
+        assert rebound.reads() == {replacement}

@@ -1,0 +1,166 @@
+"""Tests for reward variables and model validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Case,
+    ImpulseReward,
+    InputGate,
+    Marking,
+    MarkingFunction,
+    ModelValidationError,
+    Place,
+    RateReward,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+    TransientEstimate,
+    input_arc,
+    output_arc,
+    validate_model,
+)
+from repro.san.simulator import SimulationRun
+from repro.stochastic import StreamFactory
+
+from tests.conftest import make_two_state_model
+
+
+class TestRateReward:
+    def test_evaluate(self):
+        place = Place("p", 2)
+        reward = RateReward(
+            "tokens", MarkingFunction({"p": place}, lambda g: float(g["p"]))
+        )
+        assert reward.evaluate(Marking.initial([place])) == 2.0
+
+    def test_indicator(self):
+        place = Place("p", 0)
+        reward = RateReward(
+            "marked", MarkingFunction({"p": place}, lambda g: float(g["p"] > 0))
+        )
+        model = SANModel("m")
+        model.add_place(place)
+        predicate = reward.indicator_on(model)
+        marking = Marking.initial([place])
+        assert not predicate(marking)
+        marking.set(place, 1)
+        assert predicate(marking)
+
+
+class TestImpulseReward:
+    def test_accumulates_over_traced_run(self):
+        model, up, down = make_two_state_model()
+        sim = SANSimulator(model, trace=True)
+        run = sim.run(StreamFactory(3).stream(), horizon=50.0)
+        reward = ImpulseReward("failures", {"fail": 1.0})
+        assert reward.evaluate(run) == run.activity_counts.get("fail", 0)
+
+    def test_untraced_run_rejected(self):
+        model, *_ = make_two_state_model()
+        run = SANSimulator(model).run(StreamFactory(3).stream(), horizon=5.0)
+        with pytest.raises(ValueError):
+            ImpulseReward("failures", {"fail": 1.0}).evaluate(run)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ImpulseReward("empty", {})
+
+
+def _run(stop_time: float, weight: float = 1.0) -> SimulationRun:
+    return SimulationRun(
+        end_time=10.0,
+        stopped=math.isfinite(stop_time),
+        stop_time=stop_time,
+        weight=weight,
+        firings=0,
+        final_marking=Marking({}),
+    )
+
+
+class TestTransientEstimate:
+    def test_from_indicator_runs(self):
+        runs = [_run(1.0), _run(5.0), _run(math.inf), _run(math.inf)]
+        estimate = TransientEstimate.from_indicator_runs([2.0, 6.0], runs)
+        assert estimate.values.tolist() == [0.25, 0.5]
+        assert estimate.n_samples == 4
+
+    def test_weights_scale_contributions(self):
+        runs = [_run(1.0, weight=0.1), _run(math.inf)]
+        estimate = TransientEstimate.from_indicator_runs([2.0], runs)
+        assert estimate.values[0] == pytest.approx(0.05)
+
+    def test_value_at(self):
+        runs = [_run(1.0), _run(math.inf)]
+        estimate = TransientEstimate.from_indicator_runs([2.0, 4.0], runs)
+        assert estimate.value_at(4.0) == 0.5
+        with pytest.raises(KeyError):
+            estimate.value_at(3.0)
+
+    def test_relative_half_width(self):
+        runs = [_run(1.0), _run(math.inf), _run(1.5), _run(math.inf)]
+        estimate = TransientEstimate.from_indicator_runs([2.0], runs)
+        rel = estimate.relative_half_width()
+        assert rel.shape == (1,)
+        assert rel[0] > 0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            TransientEstimate.from_indicator_runs([1.0], [])
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        model, *_ = make_two_state_model()
+        validate_model(model)
+
+    def test_no_activities_rejected(self):
+        model = SANModel("empty")
+        model.add_place(Place("p"))
+        with pytest.raises(ModelValidationError):
+            validate_model(model)
+
+    def test_duplicate_place_names_rejected(self):
+        model = SANModel("dups")
+        model.add_place(Place("p", 1))
+        model.add_place(Place("p", 2))
+        model.add_activity(TimedActivity("t", rate=1.0))
+        with pytest.raises(ModelValidationError):
+            validate_model(model)
+
+    def test_bad_case_probabilities_rejected(self):
+        model = SANModel("probs")
+        model.add_activity(
+            TimedActivity("t", rate=1.0, cases=[Case(0.4), Case(0.4)])
+        )
+        with pytest.raises(ModelValidationError):
+            validate_model(model)
+
+    def test_raising_predicate_reported(self):
+        place = Place("p", 1)
+
+        def bad_predicate(g):
+            raise RuntimeError("broken gate")
+
+        model = SANModel("raises")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[InputGate("g", {"p": place}, bad_predicate)],
+            )
+        )
+        with pytest.raises(ModelValidationError):
+            validate_model(model)
+
+    def test_unregistered_place_rejected(self):
+        # construct a pathological model bypassing add_activity's auto-add
+        model = SANModel("partial")
+        place = Place("p", 1)
+        activity = TimedActivity("t", rate=1.0, input_gates=[input_arc(place)])
+        model.timed_activities.append(activity)
+        model._activity_names.add("t")
+        with pytest.raises(ModelValidationError):
+            validate_model(model)

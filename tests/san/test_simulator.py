@@ -1,0 +1,269 @@
+"""Tests for the SAN executors (event-driven and jump-chain)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    MarkingFunction,
+    MarkovJumpSimulator,
+    Place,
+    SANModel,
+    SANSimulator,
+    TimedActivity,
+    input_arc,
+    output_arc,
+)
+from repro.san.simulator import UnstableMarkingError, _stabilize
+from repro.stochastic import StreamFactory, Uniform
+
+from tests.conftest import analytic_down_probability, make_two_state_model
+
+
+@pytest.fixture
+def factory():
+    return StreamFactory(2024)
+
+
+def estimate_down(simulator_cls, model, down, factory, t, n=3000, **kwargs):
+    sim = simulator_cls(model, **kwargs)
+    hits = 0
+    for stream in factory.stream_batch("rep", n):
+        run = sim.run(stream, horizon=t)
+        hits += run.final_marking.get(down)
+    return hits / n
+
+
+class TestEventDrivenSimulator:
+    def test_matches_analytic_two_state(self, factory):
+        model, up, down = make_two_state_model()
+        estimate = estimate_down(SANSimulator, model, down, factory, t=1.0)
+        assert estimate == pytest.approx(analytic_down_probability(1.0), abs=0.02)
+
+    def test_deterministic_under_seed(self):
+        model, up, down = make_two_state_model()
+        sim = SANSimulator(model)
+
+        def run_once():
+            stream = StreamFactory(77).stream()
+            return sim.run(stream, horizon=10.0).firings
+
+        assert run_once() == run_once()
+
+    def test_stop_predicate_halts(self, factory):
+        model, up, down = make_two_state_model()
+        sim = SANSimulator(model)
+        run = sim.run(
+            factory.stream(),
+            horizon=1000.0,
+            stop_predicate=lambda m: m.get(down) == 1,
+        )
+        assert run.stopped
+        assert run.stop_time < 1000.0
+        assert run.final_marking.get(down) == 1
+
+    def test_stop_predicate_true_at_start(self, factory):
+        model, up, down = make_two_state_model()
+        sim = SANSimulator(model)
+        run = sim.run(
+            factory.stream(), horizon=5.0, stop_predicate=lambda m: True
+        )
+        assert run.stopped and run.stop_time == 0.0 and run.firings == 0
+
+    def test_deadlock_ends_run(self, factory):
+        # one-shot model: token moves once, then nothing is enabled
+        src, dst = Place("src", 1), Place("dst")
+        model = SANModel("one-shot")
+        model.add_activity(
+            TimedActivity(
+                "move",
+                rate=5.0,
+                input_gates=[input_arc(src)],
+                cases=[Case(1.0, [output_arc(dst)])],
+            )
+        )
+        run = SANSimulator(model).run(factory.stream(), horizon=100.0)
+        assert run.firings == 1
+        assert run.final_marking.get(dst) == 1
+
+    def test_trace_counts_firings(self, factory):
+        model, up, down = make_two_state_model()
+        sim = SANSimulator(model, trace=True)
+        run = sim.run(factory.stream(), horizon=50.0)
+        assert run.activity_counts["fail"] >= 1
+        assert sum(run.activity_counts.values()) == run.firings
+
+    def test_non_markovian_distribution_supported(self, factory):
+        src, dst = Place("src", 1), Place("dst")
+        model = SANModel("uniform-delay")
+        model.add_activity(
+            TimedActivity(
+                "move",
+                distribution=Uniform(1.0, 2.0),
+                input_gates=[input_arc(src)],
+                cases=[Case(1.0, [output_arc(dst)])],
+            )
+        )
+        run = SANSimulator(model).run(factory.stream(), horizon=10.0)
+        assert 1.0 <= run.end_time <= 10.0
+        assert run.final_marking.get(dst) == 1
+
+    def test_horizon_before_start_rejected(self, factory):
+        model, *_ = make_two_state_model()
+        with pytest.raises(ValueError):
+            SANSimulator(model).run(factory.stream(), horizon=-1.0)
+
+    def test_marking_dependent_rate_resampled(self, factory):
+        # rate proportional to tokens: with 0 tokens the activity must not
+        # fire even though it is "enabled" by its (trivial) predicate
+        tokens = Place("tokens", 0)
+        sink = Place("sink", 0)
+        model = SANModel("md")
+        model.add_activity(
+            TimedActivity(
+                "drain",
+                rate=MarkingFunction({"t": tokens}, lambda g: float(g["t"])),
+                cases=[Case(1.0, [output_arc(sink)])],
+            )
+        )
+        run = SANSimulator(model).run(factory.stream(), horizon=10.0)
+        assert run.firings == 0
+
+
+class TestInstantaneousSemantics:
+    def test_priority_order(self, factory):
+        trigger = Place("trigger", 1)
+        low_fired = Place("low", 0)
+        high_fired = Place("high", 0)
+        model = SANModel("prio")
+        model.add_activity(
+            InstantaneousActivity(
+                "low",
+                input_gates=[input_arc(trigger)],
+                cases=[Case(1.0, [output_arc(low_fired)])],
+                priority=1,
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "high",
+                input_gates=[input_arc(trigger)],
+                cases=[Case(1.0, [output_arc(high_fired)])],
+                priority=5,
+            )
+        )
+        marking = model.initial_marking()
+        _stabilize(model, marking, factory.stream())
+        assert marking.get(high_fired) == 1
+        assert marking.get(low_fired) == 0
+
+    def test_unstable_loop_detected(self, factory):
+        ping, pong = Place("ping", 1), Place("pong", 0)
+        model = SANModel("loop")
+        model.add_activity(
+            InstantaneousActivity(
+                "a",
+                input_gates=[input_arc(ping)],
+                cases=[Case(1.0, [output_arc(pong)])],
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "b",
+                input_gates=[input_arc(pong)],
+                cases=[Case(1.0, [output_arc(ping)])],
+            )
+        )
+        with pytest.raises(UnstableMarkingError):
+            _stabilize(model, model.initial_marking(), factory.stream())
+
+    def test_chain_fires_to_stability(self, factory):
+        a, b, c = Place("a", 1), Place("b", 0), Place("c", 0)
+        model = SANModel("chain")
+        model.add_activity(
+            InstantaneousActivity(
+                "ab", input_gates=[input_arc(a)], cases=[Case(1.0, [output_arc(b)])]
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "bc", input_gates=[input_arc(b)], cases=[Case(1.0, [output_arc(c)])]
+            )
+        )
+        marking = model.initial_marking()
+        _stabilize(model, marking, factory.stream())
+        assert marking.get(c) == 1
+
+
+class TestMarkovJumpSimulator:
+    def test_matches_analytic(self, factory):
+        model, up, down = make_two_state_model()
+        estimate = estimate_down(MarkovJumpSimulator, model, down, factory, t=1.0)
+        assert estimate == pytest.approx(analytic_down_probability(1.0), abs=0.02)
+
+    def test_rejects_non_markovian(self):
+        model = SANModel("bad")
+        model.add_activity(TimedActivity("u", distribution=Uniform(0.1, 1.0)))
+        with pytest.raises(TypeError):
+            MarkovJumpSimulator(model)
+
+    def test_bias_validation(self):
+        model, *_ = make_two_state_model()
+        with pytest.raises(ValueError):
+            MarkovJumpSimulator(model, bias={"unknown": 2.0})
+        with pytest.raises(ValueError):
+            MarkovJumpSimulator(model, bias={"fail": 0.0})
+
+    def test_biased_estimator_is_unbiased(self, factory):
+        # P(first failure before t) estimated with a 5x boost must match
+        # the analytic value thanks to the likelihood-ratio weights
+        model, up, down = make_two_state_model(fail_rate=0.05)
+        sim = MarkovJumpSimulator(model, bias={"fail": 5.0})
+        horizon = 1.0
+        weights = []
+        for stream in factory.stream_batch("is", 4000):
+            run = sim.run(
+                stream, horizon, stop_predicate=lambda m: m.get(down) == 1
+            )
+            weights.append(run.weight if run.stopped else 0.0)
+        exact = 1.0 - math.exp(-0.05 * horizon)
+        assert np.mean(weights) == pytest.approx(exact, rel=0.1)
+
+    def test_weight_is_one_without_bias(self, factory):
+        model, up, down = make_two_state_model()
+        run = MarkovJumpSimulator(model).run(factory.stream(), horizon=5.0)
+        assert run.weight == 1.0
+
+    def test_level_crossing_segment(self, factory):
+        model, up, down = make_two_state_model()
+        sim = MarkovJumpSimulator(model)
+        outcome = sim.simulate(
+            model.initial_marking(),
+            start_time=0.0,
+            horizon=100.0,
+            stream=factory.stream(),
+            level_fn=lambda m: float(m.get(down)),
+            level_target=1.0,
+        )
+        assert outcome.crossed
+        assert outcome.marking.get(down) == 1
+        assert 0.0 < outcome.time < 100.0
+
+    def test_deadlock_outcome(self, factory):
+        src, dst = Place("src", 1), Place("dst")
+        model = SANModel("one-shot")
+        model.add_activity(
+            TimedActivity(
+                "move",
+                rate=3.0,
+                input_gates=[input_arc(src)],
+                cases=[Case(1.0, [output_arc(dst)])],
+            )
+        )
+        run = MarkovJumpSimulator(model).run(factory.stream(), horizon=50.0)
+        assert run.firings == 1
+        assert not run.stopped

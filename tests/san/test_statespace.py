@@ -1,0 +1,177 @@
+"""Tests for the state-space generator."""
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    Place,
+    SANModel,
+    TimedActivity,
+    generate_state_space,
+    input_arc,
+    output_arc,
+)
+from repro.san.statespace import StateSpaceError
+from repro.stochastic import Uniform
+
+from tests.conftest import make_two_state_model
+
+
+class TestTwoState:
+    def test_generator_matrix(self):
+        model, up, down = make_two_state_model(0.5, 2.0)
+        space = generate_state_space(model)
+        assert space.n_states == 2
+        dense = space.generator.toarray()
+        # initial state (up) must be state with initial probability 1
+        start = int(np.argmax(space.initial))
+        other = 1 - start
+        assert dense[start, other] == pytest.approx(0.5)
+        assert dense[other, start] == pytest.approx(2.0)
+        assert np.allclose(dense.sum(axis=1), 0.0)
+
+    def test_indicator(self):
+        model, up, down = make_two_state_model()
+        space = generate_state_space(model)
+        vector = space.indicator(lambda m: m.get(down) == 1)
+        assert vector.sum() == 1.0
+
+    def test_marking_roundtrip(self):
+        model, up, down = make_two_state_model()
+        space = generate_state_space(model)
+        marking = space.marking_of(0)
+        assert space.index[marking.freeze(space.order)] == 0
+
+
+class TestVanishingElimination:
+    def test_instantaneous_chain_collapsed(self):
+        # timed -> a; instantaneous a -> b; only tangible states appear
+        start, a, b = Place("start", 1), Place("a"), Place("b")
+        model = SANModel("vanish")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(start)],
+                cases=[Case(1.0, [output_arc(a)])],
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "i", input_gates=[input_arc(a)], cases=[Case(1.0, [output_arc(b)])]
+            )
+        )
+        space = generate_state_space(model)
+        assert space.n_states == 2  # {start}, {b}; {a} eliminated
+        for state_id in range(space.n_states):
+            assert space.marking_of(state_id).get(a) == 0
+
+    def test_probabilistic_instantaneous_branches(self):
+        start, a, left, right = (
+            Place("start", 1),
+            Place("a"),
+            Place("left"),
+            Place("right"),
+        )
+        model = SANModel("branch")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=2.0,
+                input_gates=[input_arc(start)],
+                cases=[Case(1.0, [output_arc(a)])],
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "i",
+                input_gates=[input_arc(a)],
+                cases=[
+                    Case(0.25, [output_arc(left)]),
+                    Case(0.75, [output_arc(right)]),
+                ],
+            )
+        )
+        space = generate_state_space(model)
+        assert space.n_states == 3
+        dense = space.generator.toarray()
+        start_id = int(np.argmax(space.initial))
+        rates = sorted(
+            rate for rate in dense[start_id] if rate > 0
+        )
+        assert rates == [pytest.approx(0.5), pytest.approx(1.5)]
+
+    def test_vanishing_initial_state(self):
+        a, b = Place("a", 1), Place("b")
+        model = SANModel("vanishing-start")
+        model.add_activity(
+            InstantaneousActivity(
+                "i", input_gates=[input_arc(a)], cases=[Case(1.0, [output_arc(b)])]
+            )
+        )
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(b)],
+                cases=[Case(1.0, [output_arc(a)])],
+            )
+        )
+        space = generate_state_space(model)
+        # initial probability sits on the tangible {b} state
+        initial_marking = space.marking_of(int(np.argmax(space.initial)))
+        assert initial_marking.get(b) == 1
+
+
+class TestAbsorbingAndTruncation:
+    def _birth_model(self):
+        count = Place("count", 0)
+        model = SANModel("birth")
+        model.add_activity(
+            TimedActivity(
+                "birth",
+                rate=1.0,
+                cases=[Case(1.0, [output_arc(count)])],
+            )
+        )
+        return model, count
+
+    def test_unbounded_model_hits_max_states(self):
+        model, count = self._birth_model()
+        with pytest.raises(StateSpaceError):
+            generate_state_space(model, max_states=50)
+
+    def test_truncation_caps_the_space(self):
+        model, count = self._birth_model()
+        space = generate_state_space(
+            model, truncate=lambda m: m.get(count) > 5
+        )
+        assert space.truncated_index is not None
+        assert space.n_states == 7  # counts 0..5 plus TRUNCATED
+        # TRUNCATED is absorbing
+        assert space.absorbing_mask[space.truncated_index]
+
+    def test_absorbing_predicate_stops_exploration(self):
+        model, count = self._birth_model()
+        space = generate_state_space(
+            model, absorbing=lambda m: m.get(count) >= 3
+        )
+        assert space.n_states == 4  # 0,1,2,3
+        dense = space.generator.toarray()
+        absorbed = [i for i in range(4) if space.absorbing_mask[i]]
+        assert len(absorbed) == 1
+        assert np.allclose(dense[absorbed[0]], 0.0)
+
+    def test_initial_state_in_truncation_set_rejected(self):
+        model, count = self._birth_model()
+        with pytest.raises(StateSpaceError):
+            generate_state_space(model, truncate=lambda m: True)
+
+    def test_non_markovian_rejected(self):
+        model = SANModel("bad")
+        model.add_activity(TimedActivity("u", distribution=Uniform(0.1, 1.0)))
+        with pytest.raises(TypeError):
+            generate_state_space(model)

@@ -1,0 +1,117 @@
+"""Tests for batch means and sequential estimation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ReplicationEstimator,
+    SequentialStoppingRule,
+    batch_means,
+    weighted_mean_and_ci,
+)
+from repro.stochastic import StreamFactory
+
+
+class TestBatchMeans:
+    def test_iid_recovers_mean(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(7.0, 1.0, size=10_000)
+        result = batch_means(data, n_batches=20)
+        assert result.interval.contains(7.0)
+        assert result.batch_size == int(0.9 * 10_000) // 20
+
+    def test_warmup_discarded(self):
+        # biased prefix: without warm-up removal the mean would be off
+        data = np.concatenate([np.full(1000, 100.0), np.full(9000, 1.0)])
+        result = batch_means(data, n_batches=10, warmup_fraction=0.1)
+        assert result.warmup_discarded == 1000
+        assert result.interval.mean == pytest.approx(1.0)
+
+    def test_autocorrelation_reported(self):
+        rng = np.random.default_rng(5)
+        result = batch_means(rng.normal(size=4000), n_batches=20)
+        assert abs(result.lag1_autocorrelation) < 0.5
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            batch_means([1.0, 2.0], n_batches=10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            batch_means(np.ones(100), n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means(np.ones(100), warmup_fraction=1.0)
+
+
+class TestSequentialStoppingRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialStoppingRule(min_replications=1)
+        with pytest.raises(ValueError):
+            SequentialStoppingRule(min_replications=100, max_replications=10)
+
+    def test_satisfied_requires_min_n(self):
+        from repro.stats import ConfidenceInterval
+
+        rule = SequentialStoppingRule(min_replications=100, max_replications=1000)
+        tight_but_few = ConfidenceInterval(1.0, 0.001, 0.95, 10)
+        assert not rule.satisfied(tight_but_few)
+        tight_enough = ConfidenceInterval(1.0, 0.001, 0.95, 200)
+        assert rule.satisfied(tight_enough)
+
+
+class TestReplicationEstimator:
+    def test_converges_on_easy_problem(self):
+        factory = StreamFactory(8)
+        stream = factory.stream()
+
+        estimator = ReplicationEstimator(
+            sample_fn=lambda i: stream.normal(3.0, 0.5),
+            rule=SequentialStoppingRule(
+                min_replications=200, max_replications=20_000, relative_width=0.05
+            ),
+            round_size=200,
+        )
+        means, halves, n, converged = estimator.estimate()
+        assert converged
+        assert means[0] == pytest.approx(3.0, abs=0.2)
+        assert n <= 20_000
+
+    def test_budget_exhaustion_reported(self):
+        factory = StreamFactory(9)
+        stream = factory.stream()
+        # extremely noisy relative to the mean: cannot converge in budget
+        estimator = ReplicationEstimator(
+            sample_fn=lambda i: stream.normal(0.01, 10.0),
+            rule=SequentialStoppingRule(
+                min_replications=100, max_replications=500, relative_width=0.01
+            ),
+            round_size=100,
+        )
+        means, halves, n, converged = estimator.estimate()
+        assert not converged
+        assert n == 500
+
+    def test_vector_samples(self):
+        factory = StreamFactory(10)
+        stream = factory.stream()
+        estimator = ReplicationEstimator(
+            sample_fn=lambda i: np.array(
+                [stream.normal(1.0, 0.1), stream.normal(2.0, 0.1)]
+            ),
+            rule=SequentialStoppingRule(
+                min_replications=100, max_replications=5000, relative_width=0.1
+            ),
+            round_size=100,
+        )
+        means, halves, n, converged = estimator.estimate()
+        assert means.shape == (2,)
+        assert means[1] == pytest.approx(2.0, abs=0.1)
+
+
+class TestWeightedMeanCI:
+    def test_matches_direct_products(self):
+        values = [1.0, 0.0, 1.0, 1.0]
+        weights = [0.5, 1.0, 0.1, 0.2]
+        interval = weighted_mean_and_ci(values, weights)
+        assert interval.mean == pytest.approx(np.mean([0.5, 0.0, 0.1, 0.2]))

@@ -1,0 +1,148 @@
+"""Tests for repro.stochastic.distributions, incl. property-based moments."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic import (
+    Deterministic,
+    DiscreteChoice,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    ShiftedExponential,
+    StreamFactory,
+    Triangular,
+    Uniform,
+    Weibull,
+)
+
+ALL_DISTRIBUTIONS = [
+    Exponential(2.0),
+    Deterministic(0.7),
+    Uniform(0.5, 1.5),
+    Erlang(3, 2.0),
+    Weibull(1.5, 1.0),
+    LogNormal(0.0, 0.5),
+    Triangular(0.0, 1.0, 2.0),
+    ShiftedExponential(0.3, 2.0),
+    HyperExponential([0.4, 0.6], [1.0, 3.0]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestMomentConsistency:
+    def test_sample_mean_matches_mean(self, dist):
+        stream = StreamFactory(99).stream()
+        samples = [dist.sample(stream) for _ in range(30_000)]
+        tolerance = 4.0 * dist.std() / math.sqrt(len(samples)) + 1e-12
+        assert abs(np.mean(samples) - dist.mean()) < max(tolerance, 0.01)
+
+    def test_samples_non_negative(self, dist):
+        stream = StreamFactory(7).stream()
+        assert all(dist.sample(stream) >= 0.0 for _ in range(1000))
+
+    def test_std_is_sqrt_variance(self, dist):
+        assert dist.std() == pytest.approx(math.sqrt(dist.variance()))
+
+    def test_repr_is_informative(self, dist):
+        assert type(dist).__name__ in repr(dist)
+
+
+class TestExponential:
+    def test_rate_accessor(self):
+        assert Exponential(3.0).rate() == 3.0
+
+    def test_is_exponential_flag(self):
+        assert Exponential(1.0).is_exponential
+        assert not Uniform(0, 1).is_exponential
+
+    def test_non_exponential_has_no_rate(self):
+        with pytest.raises(TypeError):
+            Deterministic(1.0).rate()
+
+    def test_rejects_bad_rate(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                Exponential(bad)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_mean_is_reciprocal_rate(self, rate):
+        assert Exponential(rate).mean() == pytest.approx(1.0 / rate)
+
+
+class TestValidation:
+    def test_deterministic_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-0.1)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+    def test_erlang_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Erlang(0, 1.0)
+
+    def test_triangular_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            Triangular(0.0, 3.0, 2.0)
+        with pytest.raises(ValueError):
+            Triangular(1.0, 1.0, 1.0)
+
+    def test_hyper_exponential_checks_probs(self):
+        with pytest.raises(ValueError):
+            HyperExponential([0.5, 0.4], [1.0, 2.0])  # sums to 0.9
+        with pytest.raises(ValueError):
+            HyperExponential([0.5], [1.0, 2.0])  # length mismatch
+        with pytest.raises(ValueError):
+            HyperExponential([], [])
+
+    def test_shifted_exponential_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(-0.5, 1.0)
+
+
+class TestErlang:
+    def test_erlang_variance_below_exponential(self):
+        # Erlang-k with the same mean has k-times smaller variance
+        exp = Exponential(1.0)
+        erl = Erlang(4, 4.0)
+        assert erl.mean() == pytest.approx(exp.mean())
+        assert erl.variance() == pytest.approx(exp.variance() / 4.0)
+
+
+class TestDiscreteChoice:
+    def test_uniform_default_weights(self):
+        stream = StreamFactory(1).stream()
+        choice = DiscreteChoice(["a", "b"])
+        picks = [choice.sample(stream) for _ in range(2000)]
+        assert abs(picks.count("a") / 2000 - 0.5) < 0.05
+
+    def test_weighted_sampling(self):
+        stream = StreamFactory(1).stream()
+        choice = DiscreteChoice(["p1", "p2"], weights=[9.0, 1.0])
+        picks = [choice.sample(stream) for _ in range(2000)]
+        assert picks.count("p1") / 2000 == pytest.approx(0.9, abs=0.03)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteChoice([])
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            DiscreteChoice(["a"], weights=[1.0, 2.0])
+
+
+class TestShiftedExponential:
+    def test_samples_above_offset(self):
+        stream = StreamFactory(2).stream()
+        dist = ShiftedExponential(0.5, 10.0)
+        assert all(dist.sample(stream) >= 0.5 for _ in range(500))

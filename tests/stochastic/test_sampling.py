@@ -1,0 +1,98 @@
+"""Tests for repro.stochastic.sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic import StreamFactory, sample_mean_and_ci, thinning_nhpp
+from repro.stochastic.sampling import _erfinv, inverse_transform_sample
+
+
+class TestErfinv:
+    @given(st.floats(min_value=-0.999, max_value=0.999))
+    @settings(max_examples=100, deadline=None)
+    def test_inverts_erf(self, x):
+        assert math.erf(_erfinv(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_zero(self):
+        assert _erfinv(0.0) == 0.0
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            _erfinv(1.0)
+        with pytest.raises(ValueError):
+            _erfinv(-1.5)
+
+
+class TestSampleMeanAndCI:
+    def test_known_values(self):
+        mean, half = sample_mean_and_ci([1.0, 2.0, 3.0, 4.0], confidence=0.95)
+        assert mean == 2.5
+        # z=1.96, std=1.2910, n=4
+        assert half == pytest.approx(1.96 * 1.29099 / 2.0, rel=1e-3)
+
+    def test_single_sample_infinite_interval(self):
+        mean, half = sample_mean_and_ci([3.0])
+        assert mean == 3.0
+        assert half == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_mean_and_ci([])
+
+    def test_coverage_simulation(self):
+        # 95% CI should contain the true mean about 95% of the time
+        factory = StreamFactory(5)
+        covered = 0
+        trials = 400
+        for i in range(trials):
+            stream = factory.stream(f"t{i}")
+            data = [stream.normal(10.0, 2.0) for _ in range(30)]
+            mean, half = sample_mean_and_ci(data, confidence=0.95)
+            if abs(mean - 10.0) <= half:
+                covered += 1
+        assert covered / trials > 0.90
+
+
+class TestInverseTransform:
+    def test_exponential_via_inverse_cdf(self, stream):
+        rate = 2.0
+        samples = [
+            inverse_transform_sample(
+                stream, lambda u: -math.log(1.0 - u) / rate
+            )
+            for _ in range(20_000)
+        ]
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.05)
+
+
+class TestThinningNHPP:
+    def test_constant_rate_matches_poisson_count(self, stream):
+        events = thinning_nhpp(stream, lambda t: 5.0, rate_max=5.0, horizon=100.0)
+        assert len(events) == pytest.approx(500, rel=0.15)
+        assert all(0 <= t <= 100.0 for t in events)
+        assert events == sorted(events)
+
+    def test_zero_horizon(self, stream):
+        assert thinning_nhpp(stream, lambda t: 1.0, 1.0, 0.0) == []
+
+    def test_time_varying_rate(self, stream):
+        # rate ramps linearly: expect quadratic accumulation of events
+        events = thinning_nhpp(
+            stream, lambda t: t / 10.0, rate_max=10.0, horizon=100.0
+        )
+        first_half = sum(1 for t in events if t < 50.0)
+        assert first_half / len(events) == pytest.approx(0.25, abs=0.06)
+
+    def test_rejects_rate_above_bound(self, stream):
+        with pytest.raises(ValueError):
+            thinning_nhpp(stream, lambda t: 2.0, rate_max=1.0, horizon=50.0)
+
+    def test_rejects_bad_arguments(self, stream):
+        with pytest.raises(ValueError):
+            thinning_nhpp(stream, lambda t: 1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            thinning_nhpp(stream, lambda t: 1.0, 1.0, -1.0)
