@@ -8,6 +8,12 @@ Examples
 ``repro-cli unsafety --n 12 --lam 1e-4 --times 2,6,10 --method analytical``
 ``repro-cli calibrate``                 — kinematic maneuver durations
 ``repro-cli all``                       — every table and figure
+``repro-cli figure 10 --workers 4``     — sweep on 4 worker processes
+
+The ``unsafety``, ``figure`` and ``all`` commands accept ``--workers N``
+(shard the work over N processes via :mod:`repro.runtime`),
+``--cache-dir PATH`` (content-addressed result cache; defaults to
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ahs``) and ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -17,6 +23,52 @@ import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Parallel-runtime options shared by unsafety/figure/all."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run through the parallel runtime with this many processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-ahs); only used with --workers",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+
+
+def _build_runner(args):
+    """A ParallelRunner from CLI flags, or None for the serial path."""
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    if workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
+    import os
+    from pathlib import Path
+
+    from repro.runtime import ParallelRunner, ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir is None:
+            cache_dir = Path.home() / ".cache" / "repro-ahs"
+        if Path(cache_dir).exists() and not Path(cache_dir).is_dir():
+            raise SystemExit(
+                f"--cache-dir {cache_dir} exists and is not a directory"
+            )
+        cache = ResultCache(cache_dir)
+    return ParallelRunner(workers=workers, cache=cache)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,12 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--json", dest="json_path", default=None, help="save a JSON artifact"
     )
+    _add_runtime_flags(fig)
 
     tab = sub.add_parser("table", help="print one table (1-3)")
     tab.add_argument("number", help="table number, e.g. 2")
 
     alle = sub.add_parser("all", help="run every table and figure")
     alle.add_argument("--fast", action="store_true", help="trimmed sweeps")
+    _add_runtime_flags(alle)
 
     uns = sub.add_parser("unsafety", help="evaluate S(t) for custom parameters")
     uns.add_argument("--n", type=int, default=10, help="max platoon size")
@@ -66,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     uns.add_argument("--replications", type=int, default=10_000)
     uns.add_argument("--seed", type=int, default=None)
+    _add_runtime_flags(uns)
 
     cal = sub.add_parser(
         "calibrate", help="measure kinematic maneuver durations (repro.agents)"
@@ -137,10 +192,11 @@ def _cmd_experiment(
     fast: bool,
     plot: bool = False,
     json_path: Optional[str] = None,
+    runner=None,
 ) -> int:
     from repro.experiments import run_experiment
 
-    outcome = run_experiment(f"{kind}{number}", fast=fast)
+    outcome = run_experiment(f"{kind}{number}", fast=fast, runner=runner)
     print(outcome.rendered)
     if plot:
         from repro.experiments.figures import FigureResult
@@ -158,11 +214,11 @@ def _cmd_experiment(
     return 0
 
 
-def _cmd_all(fast: bool) -> int:
+def _cmd_all(fast: bool, runner=None) -> int:
     from repro.experiments import list_experiments, run_experiment
 
     for experiment in list_experiments():
-        outcome = run_experiment(experiment.experiment_id, fast=fast)
+        outcome = run_experiment(experiment.experiment_id, fast=fast, runner=runner)
         print(outcome.rendered)
         print(f"[{outcome.experiment_id} in {outcome.elapsed_seconds:.2f}s]")
         print()
@@ -180,13 +236,25 @@ def _cmd_unsafety(args) -> int:
         strategy=Strategy(args.strategy),
     )
     times = [float(t) for t in args.times.split(",")]
+    runner = _build_runner(args)
+    if runner is not None and args.method != "simulation":
+        print(
+            f"[note: --workers applies to method=simulation; "
+            f"{args.method} runs serially]"
+        )
+        runner = None
     estimate = unsafety(
         params,
         times,
         method=args.method,
         n_replications=args.replications,
         seed=args.seed,
+        runner=runner,
     )
+    if runner is not None:
+        snapshot = runner.pop_telemetry()
+        if snapshot is not None:
+            print(snapshot.format())
     print(f"method={estimate.method}  params={params.summary()}")
     for t, value, half in zip(
         estimate.times, estimate.values, estimate.half_widths
@@ -355,12 +423,17 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "figure":
         return _cmd_experiment(
-            "figure", args.number, args.fast, args.plot, args.json_path
+            "figure",
+            args.number,
+            args.fast,
+            args.plot,
+            args.json_path,
+            runner=_build_runner(args),
         )
     if args.command == "table":
         return _cmd_experiment("table", args.number, False)
     if args.command == "all":
-        return _cmd_all(args.fast)
+        return _cmd_all(args.fast, runner=_build_runner(args))
     if args.command == "unsafety":
         return _cmd_unsafety(args)
     if args.command == "calibrate":

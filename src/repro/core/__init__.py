@@ -70,6 +70,7 @@ from repro.core.nonmarkov import (
     duration_distribution,
     markov_assumption_gap,
 )
+from repro.core.partasks import AnalyticalCurveTask, UnsafetySimulationTask
 
 __all__ = [
     "FAILURE_MODES",
@@ -111,6 +112,8 @@ __all__ = [
     "build_nonmarkov_model",
     "duration_distribution",
     "markov_assumption_gap",
+    "AnalyticalCurveTask",
+    "UnsafetySimulationTask",
     "DesignPoint",
     "best_strategy",
     "design_frontier",

@@ -1,0 +1,104 @@
+"""Picklable workload tasks for the parallel runtime.
+
+These are the bridge between the AHS models and
+:class:`repro.runtime.ParallelRunner`: small frozen dataclasses that ship
+cheaply to worker processes, rebuild the heavy objects (composed SAN,
+simulator, analytical engine) worker-side, and expose stable
+``cache_token`` structures for the content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.parameters import AHSParameters
+
+__all__ = ["UnsafetySimulationTask", "AnalyticalCurveTask"]
+
+
+class _SimContext(NamedTuple):
+    """Per-chunk worker context for :class:`UnsafetySimulationTask`."""
+
+    simulator: object
+    predicate: object
+    times: np.ndarray
+    horizon: float
+
+
+@dataclass(frozen=True)
+class UnsafetySimulationTask:
+    """Crude Monte-Carlo estimation of S(t) on the composed SAN.
+
+    One replication simulates the jump chain to the trip horizon and
+    returns the per-time unsafe indicator (weighted, so the same task
+    works for importance-sampled variants built on top).
+    """
+
+    params: AHSParameters
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError("need at least one evaluation time")
+        if min(self.times) < 0:
+            raise ValueError("times must be non-negative")
+
+    def build(self) -> _SimContext:
+        """Worker-side construction of the composed model and simulator."""
+        from repro.core.composed import build_composed_model
+        from repro.san.simulator import MarkovJumpSimulator
+
+        ahs = build_composed_model(self.params)
+        return _SimContext(
+            simulator=MarkovJumpSimulator(ahs.model),
+            predicate=ahs.unsafe_predicate(),
+            times=np.asarray(self.times, dtype=float),
+            horizon=float(max(self.times)),
+        )
+
+    def sample(self, context: _SimContext, stream) -> np.ndarray:
+        """One replication: weighted unsafe indicator at each time point."""
+        run = context.simulator.run(stream, context.horizon, context.predicate)
+        return np.where(run.stop_time <= context.times, run.weight, 0.0)
+
+    def cache_token(self) -> dict:
+        return {
+            "measure": "unsafety",
+            "engine": "simulation",
+            "params": self.params,
+            "times": self.times,
+        }
+
+
+@dataclass(frozen=True)
+class AnalyticalCurveTask:
+    """One sweep point of a figure: S(t) over ``times`` for one parameterisation.
+
+    The lumped-CTMC engine is deterministic, so these points are ideal
+    cache citizens — a re-run of ``repro-cli all`` with caching enabled
+    skips every already-computed sweep point.
+    """
+
+    params: AHSParameters
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError("need at least one evaluation time")
+
+    def __call__(self) -> list[float]:
+        from repro.core.analytical import AnalyticalEngine
+
+        curve = AnalyticalEngine(self.params).unsafety(list(self.times))
+        return [float(v) for v in curve.unsafety]
+
+    def cache_token(self) -> dict:
+        return {
+            "measure": "unsafety",
+            "engine": "analytical",
+            "params": self.params,
+            "times": self.times,
+        }

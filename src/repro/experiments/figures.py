@@ -4,6 +4,12 @@ Every function returns a :class:`FigureResult`: labelled unsafety series
 over trip durations (or over n, for the t = 6 h cuts of Figures 12/15),
 computed with the analytical engine at the paper's parameters.  ``fast``
 trims the sweep for benchmark runs.
+
+Each figure optionally accepts a :class:`repro.runtime.ParallelRunner`:
+the sweep points then evaluate across worker processes (one
+:class:`~repro.core.partasks.AnalyticalCurveTask` per parameterisation)
+and are memoised in the runner's result cache, so re-running a sweep
+skips already-computed points.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 from repro.core.analytical import AnalyticalEngine
 from repro.core.coordination import Strategy
 from repro.core.parameters import AHSParameters
+from repro.core.partasks import AnalyticalCurveTask
 
 __all__ = [
     "SeriesSpec",
@@ -73,12 +80,34 @@ def _unsafety_curve(params: AHSParameters, times: Sequence[float]) -> np.ndarray
     return AnalyticalEngine(params).unsafety(times).unsafety
 
 
+def _evaluate_curves(
+    specs: Sequence[tuple[str, AHSParameters]],
+    times: Sequence[float],
+    runner,
+) -> dict[str, np.ndarray]:
+    """One unsafety curve per labelled parameterisation.
+
+    With a runner, each curve becomes a picklable sweep-point task
+    evaluated (and cached) through :meth:`ParallelRunner.map`; without
+    one, the analytical engine runs inline as before.
+    """
+    tasks = [
+        AnalyticalCurveTask(params=params, times=tuple(float(t) for t in times))
+        for _, params in specs
+    ]
+    values = [task() for task in tasks] if runner is None else runner.map(tasks)
+    return {
+        label: np.asarray(curve, dtype=float)
+        for (label, _), curve in zip(specs, values)
+    }
+
+
 def _durations(fast: bool) -> tuple[float, ...]:
     return (2.0, 6.0, 10.0) if fast else TRIP_DURATIONS
 
 
 # ----------------------------------------------------------------------
-def figure10(fast: bool = False) -> FigureResult:
+def figure10(fast: bool = False, runner=None) -> FigureResult:
     """S(t) vs trip duration for n ∈ {8, 10, 12, 14}.
 
     Paper: λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD.
@@ -91,13 +120,17 @@ def figure10(fast: bool = False) -> FigureResult:
         x_label="trip_hours",
         x_values=np.asarray(times),
     )
-    for n in sizes:
-        params = AHSParameters(max_platoon_size=n)
-        result.series[f"n={n}"] = _unsafety_curve(params, times)
+    result.series.update(
+        _evaluate_curves(
+            [(f"n={n}", AHSParameters(max_platoon_size=n)) for n in sizes],
+            times,
+            runner,
+        )
+    )
     return result
 
 
-def figure11(fast: bool = False) -> FigureResult:
+def figure11(fast: bool = False, runner=None) -> FigureResult:
     """S(t) vs trip duration for λ ∈ {1e-7, 1e-6, 1e-5, 1e-4}, n = 10.
 
     The paper plots 1e-6..1e-4 and *quotes* ≈1e-13 for 1e-7 ("the
@@ -112,13 +145,38 @@ def figure11(fast: bool = False) -> FigureResult:
         x_label="trip_hours",
         x_values=np.asarray(times),
     )
-    for lam in lambdas:
-        params = AHSParameters(base_failure_rate=lam)
-        result.series[f"lambda={lam:g}"] = _unsafety_curve(params, times)
+    result.series.update(
+        _evaluate_curves(
+            [
+                (f"lambda={lam:g}", AHSParameters(base_failure_rate=lam))
+                for lam in lambdas
+            ],
+            times,
+            runner,
+        )
+    )
     return result
 
 
-def figure12(fast: bool = False) -> FigureResult:
+def _cut_at_six_hours(
+    result: FigureResult,
+    labelled: Sequence[tuple[str, Sequence[AHSParameters]]],
+    runner,
+) -> None:
+    """Fill a t = 6 h cut figure: one series per label, one point per n."""
+    specs = [
+        (f"{label}#{i}", params)
+        for label, sweep in labelled
+        for i, params in enumerate(sweep)
+    ]
+    curves = _evaluate_curves(specs, (6.0,), runner)
+    for label, sweep in labelled:
+        result.series[label] = np.asarray(
+            [curves[f"{label}#{i}"][0] for i in range(len(sweep))]
+        )
+
+
+def figure12(fast: bool = False, runner=None) -> FigureResult:
     """S(6 h) vs n ∈ 10..18 for λ ∈ {1e-6, 1e-5, 1e-4}."""
     sizes = (10, 14, 18) if fast else tuple(range(10, 19, 2))
     lambdas = (1e-5,) if fast else (1e-6, 1e-5, 1e-4)
@@ -128,18 +186,24 @@ def figure12(fast: bool = False) -> FigureResult:
         x_label="n",
         x_values=np.asarray(sizes, dtype=float),
     )
-    for lam in lambdas:
-        values = [
-            _unsafety_curve(
-                AHSParameters(max_platoon_size=n, base_failure_rate=lam), [6.0]
-            )[0]
-            for n in sizes
-        ]
-        result.series[f"lambda={lam:g}"] = np.asarray(values)
+    _cut_at_six_hours(
+        result,
+        [
+            (
+                f"lambda={lam:g}",
+                [
+                    AHSParameters(max_platoon_size=n, base_failure_rate=lam)
+                    for n in sizes
+                ],
+            )
+            for lam in lambdas
+        ],
+        runner,
+    )
     return result
 
 
-def figure13(fast: bool = False) -> FigureResult:
+def figure13(fast: bool = False, runner=None) -> FigureResult:
     """S(t) vs trip duration for load ρ ∈ {1, 2} at several join/leave pairs.
 
     Paper: λ = 1e-5/hr, n = 8.
@@ -156,16 +220,25 @@ def figure13(fast: bool = False) -> FigureResult:
         x_label="trip_hours",
         x_values=np.asarray(times),
     )
-    for join, leave in pairs:
-        params = AHSParameters(
-            max_platoon_size=8, join_rate=join, leave_rate=leave
+    result.series.update(
+        _evaluate_curves(
+            [
+                (
+                    f"join={join:g},leave={leave:g} (rho={join / leave:g})",
+                    AHSParameters(
+                        max_platoon_size=8, join_rate=join, leave_rate=leave
+                    ),
+                )
+                for join, leave in pairs
+            ],
+            times,
+            runner,
         )
-        label = f"join={join:g},leave={leave:g} (rho={join / leave:g})"
-        result.series[label] = _unsafety_curve(params, times)
+    )
     return result
 
 
-def figure14(fast: bool = False) -> FigureResult:
+def figure14(fast: bool = False, runner=None) -> FigureResult:
     """S(t) vs trip duration for the four coordination strategies.
 
     Paper: n = 10, λ = 1e-5/hr, join 12/hr, leave 4/hr.
@@ -178,13 +251,20 @@ def figure14(fast: bool = False) -> FigureResult:
         x_label="trip_hours",
         x_values=np.asarray(times),
     )
-    for strategy in strategies:
-        params = AHSParameters(strategy=strategy)
-        result.series[strategy.value] = _unsafety_curve(params, times)
+    result.series.update(
+        _evaluate_curves(
+            [
+                (strategy.value, AHSParameters(strategy=strategy))
+                for strategy in strategies
+            ],
+            times,
+            runner,
+        )
+    )
     return result
 
 
-def figure15(fast: bool = False) -> FigureResult:
+def figure15(fast: bool = False, runner=None) -> FigureResult:
     """S(6 h) vs n for the four coordination strategies (λ = 1e-5/hr)."""
     sizes = (10, 14) if fast else tuple(range(8, 17, 2))
     strategies = (Strategy.DD, Strategy.CC) if fast else tuple(Strategy)
@@ -194,12 +274,18 @@ def figure15(fast: bool = False) -> FigureResult:
         x_label="n",
         x_values=np.asarray(sizes, dtype=float),
     )
-    for strategy in strategies:
-        values = [
-            _unsafety_curve(
-                AHSParameters(max_platoon_size=n, strategy=strategy), [6.0]
-            )[0]
-            for n in sizes
-        ]
-        result.series[strategy.value] = np.asarray(values)
+    _cut_at_six_hours(
+        result,
+        [
+            (
+                strategy.value,
+                [
+                    AHSParameters(max_platoon_size=n, strategy=strategy)
+                    for n in sizes
+                ],
+            )
+            for strategy in strategies
+        ],
+        runner,
+    )
     return result

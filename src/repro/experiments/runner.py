@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 import json
 import time
 from dataclasses import dataclass
@@ -23,9 +24,13 @@ class RunOutcome:
     result: Union[FigureResult, list]
     elapsed_seconds: float
     rendered: str
+    #: runtime telemetry dict when the run went through a ParallelRunner
+    telemetry: Optional[dict] = None
 
 
-def run_experiment(experiment_id: str, fast: bool = False) -> RunOutcome:
+def run_experiment(
+    experiment_id: str, fast: bool = False, runner=None
+) -> RunOutcome:
     """Run one registered experiment and render its report.
 
     Parameters
@@ -34,17 +39,39 @@ def run_experiment(experiment_id: str, fast: bool = False) -> RunOutcome:
         Registry id ('figure10', 'table2', also 'fig10' / '10').
     fast:
         Trim sweeps for quick benchmark runs.
+    runner:
+        Optional :class:`repro.runtime.ParallelRunner`.  Experiments that
+        support it (the figure sweeps) evaluate their points across
+        worker processes with result caching; their reports then carry a
+        runtime-telemetry footer.  Experiments that don't (the
+        definitional tables) simply run serially.
     """
     experiment = get_experiment(experiment_id)
+    supports_runner = (
+        runner is not None
+        and "runner" in inspect.signature(experiment.run).parameters
+    )
+    if runner is not None:
+        runner.pop_telemetry()  # don't inherit a previous run's footer
     started = time.perf_counter()
-    result = experiment.run(fast)
+    if supports_runner:
+        result = experiment.run(fast, runner=runner)
+    else:
+        result = experiment.run(fast)
     elapsed = time.perf_counter() - started
     rendered = format_experiment(experiment.experiment_id, result)
+    telemetry = None
+    if supports_runner:
+        snapshot = runner.pop_telemetry()
+        if snapshot is not None:
+            telemetry = snapshot.to_dict()
+            rendered = f"{rendered}\n{snapshot.format()}"
     return RunOutcome(
         experiment_id=experiment.experiment_id,
         result=result,
         elapsed_seconds=elapsed,
         rendered=rendered,
+        telemetry=telemetry,
     )
 
 
@@ -53,7 +80,8 @@ def outcome_to_json(outcome: RunOutcome) -> dict:
 
     Figures serialise as ``{x_label, x_values, series}``; tables as their
     row dicts.  The registry metadata (description, parameters, claims)
-    rides along so saved artifacts are self-describing.
+    rides along so saved artifacts are self-describing, as does the
+    runtime telemetry when the run was parallel.
     """
     experiment = get_experiment(outcome.experiment_id)
     record: dict = {
@@ -63,6 +91,8 @@ def outcome_to_json(outcome: RunOutcome) -> dict:
         "claims": list(experiment.claims),
         "elapsed_seconds": outcome.elapsed_seconds,
     }
+    if outcome.telemetry is not None:
+        record["runtime"] = outcome.telemetry
     if isinstance(outcome.result, FigureResult):
         record["kind"] = "figure"
         record["x_label"] = outcome.result.x_label

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache for completed estimation runs.
+
+A cache entry is keyed by the SHA-256 of a canonical JSON rendering of
+everything that determines the result bit-for-bit: the task's own cache
+token (model parameters, measure, evaluation times), the experiment seed,
+the replication budget or stopping rule, the chunk size (it fixes the
+floating-point merge grouping) and the code version from
+:mod:`repro._version`.  Anything that does *not* enter the key — worker
+count, retry budget, telemetry settings — is guaranteed not to change the
+numbers, so a hit is always safe to reuse.
+
+Entries are plain JSON files under ``root/<key[:2]>/<key>.json``, written
+atomically (temp file + ``os.replace``) so concurrent runs never observe
+a torn entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["fingerprint", "cache_key", "ResultCache"]
+
+
+def fingerprint(obj: Any) -> Any:
+    """Normalise ``obj`` into a canonical JSON-serialisable structure.
+
+    Handles the vocabulary of this library's parameter objects: nested
+    dataclasses (:class:`~repro.core.parameters.AHSParameters`), enum keys
+    and values (:class:`~repro.core.maneuvers.Maneuver`), tuples, NumPy
+    scalars and arrays.  Floats are rendered with ``repr`` so the token is
+    exact, not rounded.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # np.float64 subclasses float but reprs as "np.float64(...)";
+        # coerce so both spell the same token.
+        return repr(float(obj))
+    if isinstance(obj, enum.Enum):
+        return fingerprint(obj.value)
+    if isinstance(obj, np.generic):
+        return fingerprint(obj.item())
+    if isinstance(obj, np.ndarray):
+        return [fingerprint(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            **{
+                f.name: fingerprint(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, Mapping):
+        items = [
+            (str(fingerprint(key)), fingerprint(value))
+            for key, value in obj.items()
+        ]
+        return {key: value for key, value in sorted(items)}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [fingerprint(v) for v in seq]
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r} for cache keying"
+    )
+
+
+def cache_key(token: Any) -> str:
+    """SHA-256 hex digest of the canonical rendering of ``token``.
+
+    The code version is always mixed in, so upgrading the library
+    invalidates every entry rather than serving stale numbers.
+    """
+    canonical = json.dumps(
+        {"version": __version__, "token": fingerprint(token)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of completed run records.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record.get("payload")
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "version": __version__,
+            "created": time.time(),
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        return path
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls so far."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 with no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, puts={self.puts})"
+        )

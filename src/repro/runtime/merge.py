@@ -1,0 +1,138 @@
+"""Order-stable combination of per-chunk moment summaries.
+
+Workers never ship raw samples back to the driver — a chunk of
+replications is reduced in-worker to a :class:`ChunkSummary` (count, mean
+vector, sum of squared deviations) and the driver pools summaries with
+Chan et al.'s parallel update.  Pooling is numerically exact enough that
+the pooled mean/variance/CI agree with the serial
+:func:`repro.stats.normal_ci` on the same samples to ~1e-15 relative
+(tested at 1e-12), and it is performed in chunk-index order so the result
+is bit-identical for any assignment of chunks to workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.stats.confidence import ConfidenceInterval
+
+__all__ = [
+    "ChunkSummary",
+    "merge_two",
+    "combine",
+    "pooled_intervals",
+]
+
+
+@dataclass
+class ChunkSummary:
+    """Sufficient statistics of one chunk of replications.
+
+    ``mean``/``m2`` are per-coordinate (one coordinate per evaluation time
+    in the unsafety workload).  ``draws`` is the total number of RNG
+    variates consumed (:attr:`repro.stochastic.rng.RandomStream.draw_count`
+    summed over the chunk's streams), carried for cross-worker audit
+    trails.
+    """
+
+    chunk_index: int
+    n: int
+    mean: np.ndarray
+    m2: np.ndarray
+    draws: int = 0
+    elapsed_seconds: float = 0.0
+    worker: str = ""
+
+    @classmethod
+    def from_samples(
+        cls,
+        chunk_index: int,
+        samples: np.ndarray,
+        draws: int = 0,
+        elapsed_seconds: float = 0.0,
+        worker: str = "",
+    ) -> "ChunkSummary":
+        """Reduce a ``(n, k)`` sample block to its summary."""
+        block = np.atleast_2d(np.asarray(samples, dtype=float))
+        if block.size == 0:
+            raise ValueError("cannot summarise an empty sample block")
+        mean = block.mean(axis=0)
+        m2 = ((block - mean) ** 2).sum(axis=0)
+        return cls(
+            chunk_index=chunk_index,
+            n=int(block.shape[0]),
+            mean=mean,
+            m2=m2,
+            draws=int(draws),
+            elapsed_seconds=float(elapsed_seconds),
+            worker=worker,
+        )
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Unbiased per-coordinate sample variance (NaN for n < 2)."""
+        if self.n < 2:
+            return np.full_like(self.mean, math.nan)
+        return self.m2 / (self.n - 1)
+
+
+def merge_two(a: ChunkSummary, b: ChunkSummary) -> ChunkSummary:
+    """Pool two summaries (Chan/Welford parallel update)."""
+    n = a.n + b.n
+    delta = b.mean - a.mean
+    mean = a.mean + delta * (b.n / n)
+    m2 = a.m2 + b.m2 + delta * delta * (a.n * b.n / n)
+    return ChunkSummary(
+        chunk_index=min(a.chunk_index, b.chunk_index),
+        n=n,
+        mean=mean,
+        m2=m2,
+        draws=a.draws + b.draws,
+        elapsed_seconds=a.elapsed_seconds + b.elapsed_seconds,
+        worker="pooled",
+    )
+
+
+def combine(summaries: Iterable[ChunkSummary]) -> ChunkSummary:
+    """Pool summaries in chunk-index order.
+
+    Sorting fixes the floating-point reduction order, which is what makes
+    the pooled result independent of completion order and worker count.
+    """
+    ordered = sorted(summaries, key=lambda s: s.chunk_index)
+    if not ordered:
+        raise ValueError("no chunk summaries to combine")
+    pooled = ordered[0]
+    for summary in ordered[1:]:
+        pooled = merge_two(pooled, summary)
+    return pooled
+
+
+def pooled_intervals(
+    summary: ChunkSummary, confidence: float = 0.95
+) -> list[ConfidenceInterval]:
+    """Per-coordinate CIs of a pooled summary.
+
+    Uses the Student-t quantile, matching
+    :func:`repro.stats.normal_ci` (``use_t=True``) on the same samples.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if summary.n < 2:
+        return [
+            ConfidenceInterval(float(m), math.inf, confidence, summary.n)
+            for m in np.atleast_1d(summary.mean)
+        ]
+    alpha = 1.0 - confidence
+    quantile = float(scipy_stats.t.ppf(1.0 - alpha / 2.0, df=summary.n - 1))
+    std = np.sqrt(summary.m2 / (summary.n - 1))
+    halves = quantile * std / math.sqrt(summary.n)
+    return [
+        ConfidenceInterval(float(m), float(h), confidence, summary.n)
+        for m, h in zip(np.atleast_1d(summary.mean), np.atleast_1d(halves))
+    ]

@@ -1,0 +1,142 @@
+"""Deterministic sharding of replications into seed-stable chunks.
+
+The contract that makes parallel execution trustworthy is *scheduling
+independence*: the estimate produced for a given experiment seed must be
+bit-identical whether the replications run serially, on 2 workers or on
+16.  :class:`ReplicationPlan` delivers that by construction:
+
+* replication ``i`` always draws from
+  ``SeedSequence(entropy, spawn_key=(i,))`` — exactly the ``i``-th child a
+  :class:`~repro.stochastic.rng.StreamFactory` with the same seed would
+  hand out serially, but addressable at random without materialising the
+  ``i-1`` streams before it;
+* chunk boundaries are fixed multiples of ``chunk_size`` on the
+  replication-index axis, so the partition of work never depends on the
+  worker count — workers only change *who* computes a chunk, never *what*
+  a chunk is;
+* merging (:mod:`repro.runtime.merge`) consumes chunk summaries in chunk
+  order, so the floating-point reduction order is fixed too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stochastic.rng import RandomStream
+
+__all__ = ["ChunkSpec", "ReplicationPlan"]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """A contiguous slice of the replication index space.
+
+    Chunks are the unit of dispatch, retry and caching.  ``index`` is the
+    global chunk number (``start // chunk_size``), so a chunk keeps its
+    identity across rounds and across worker counts.
+    """
+
+    index: int
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count <= 0:
+            raise ValueError(
+                f"invalid chunk: start={self.start}, count={self.count}"
+            )
+
+    @property
+    def stop(self) -> int:
+        """One past the last replication index of this chunk."""
+        return self.start + self.count
+
+    def replication_indices(self) -> range:
+        """Global replication indices covered by this chunk."""
+        return range(self.start, self.stop)
+
+
+class ReplicationPlan:
+    """Maps replication indices to independent random streams and chunks.
+
+    Parameters
+    ----------
+    seed:
+        Experiment seed (``None`` draws fresh OS entropy once, in the
+        parent process, so every worker still agrees on the streams).
+    chunk_size:
+        Replications per dispatch unit.  Part of the reproducibility
+        contract: changing it changes the floating-point merge grouping,
+        so it is included in cache keys.
+    """
+
+    def __init__(self, seed: int | None = None, chunk_size: int = 256) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        root = np.random.SeedSequence(seed)
+        #: the resolved root entropy — picklable, shipped to workers
+        self.entropy = root.entropy
+        self.seed = seed
+        self.chunk_size = int(chunk_size)
+
+    # ------------------------------------------------------------------
+    # streams
+    # ------------------------------------------------------------------
+    def seed_sequence(self, replication: int) -> np.random.SeedSequence:
+        """The seed sequence of one replication, addressable at random."""
+        if replication < 0:
+            raise ValueError(f"replication index must be >= 0, got {replication}")
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=(replication,)
+        )
+
+    def stream(self, replication: int) -> RandomStream:
+        """The :class:`RandomStream` of one replication."""
+        return RandomStream(
+            self.seed_sequence(replication), label=f"rep-{replication}"
+        )
+
+    def chunk_streams(self, spec: ChunkSpec) -> list[RandomStream]:
+        """All streams of a chunk (what a worker materialises locally)."""
+        return [self.stream(i) for i in spec.replication_indices()]
+
+    # ------------------------------------------------------------------
+    # chunking
+    # ------------------------------------------------------------------
+    def chunks(self, start: int, count: int) -> list[ChunkSpec]:
+        """Chunks covering replications ``[start, start + count)``.
+
+        Boundaries sit on fixed multiples of ``chunk_size`` regardless of
+        the requested window, so ``chunks(0, 1000)`` and
+        ``chunks(0, 500) + chunks(500, 500)`` produce identical specs.
+        """
+        if start < 0 or count < 0:
+            raise ValueError(f"invalid window: start={start}, count={count}")
+        specs: list[ChunkSpec] = []
+        position = start
+        stop = start + count
+        while position < stop:
+            boundary = (position // self.chunk_size + 1) * self.chunk_size
+            upper = min(boundary, stop)
+            specs.append(
+                ChunkSpec(
+                    index=position // self.chunk_size,
+                    start=position,
+                    count=upper - position,
+                )
+            )
+            position = upper
+        return specs
+
+    def align_up(self, n: int) -> int:
+        """Smallest multiple of ``chunk_size`` that is >= ``n`` (min 1 chunk)."""
+        if n <= 0:
+            return self.chunk_size
+        return -(-n // self.chunk_size) * self.chunk_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReplicationPlan(seed={self.seed!r}, chunk_size={self.chunk_size})"
+        )

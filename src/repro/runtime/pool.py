@@ -1,0 +1,474 @@
+"""Fault-tolerant process-pool execution of replication plans.
+
+:class:`ParallelRunner` is the execution layer between a stochastic model
+and the :mod:`repro.stats` output analysis:
+
+* **Monte-Carlo runs** (:meth:`ParallelRunner.run`): replications are
+  sharded into :class:`~repro.runtime.plan.ChunkSpec` units, dispatched to
+  a ``ProcessPoolExecutor``, reduced in-worker to
+  :class:`~repro.runtime.merge.ChunkSummary` statistics and pooled in
+  chunk order — so the estimate is bit-identical for any worker count.
+  With a :class:`~repro.stats.SequentialStoppingRule` the driver operates
+  in rounds: submit a round of chunks, merge, check the paper's
+  relative-precision criterion, submit more.
+* **Sweep maps** (:meth:`ParallelRunner.map`): independent point tasks
+  (e.g. one analytical sweep point of a figure) evaluated across workers
+  with the same retry and caching machinery.
+
+Fault tolerance: a chunk whose worker raises, dies, or makes no progress
+within ``chunk_timeout`` is retried on the pool up to ``max_retries``
+times and then executed in-process by the driver — partial results are
+never silently dropped.  Because replication streams are addressed by
+global index (never by worker), retries cannot change the estimate.
+
+Tasks must be picklable and implement the small
+:class:`ReplicationTask` protocol (``build``/``sample``/``cache_token``);
+sweep tasks are picklable callables with an optional ``cache_token``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.merge import ChunkSummary, combine, pooled_intervals
+from repro.runtime.plan import ChunkSpec, ReplicationPlan
+from repro.runtime.telemetry import TelemetryRecorder, TelemetrySnapshot
+from repro.stats.estimators import SequentialStoppingRule
+
+__all__ = ["ReplicationTask", "ParallelResult", "ParallelRunner"]
+
+
+@runtime_checkable
+class ReplicationTask(Protocol):
+    """What the runner needs from a Monte-Carlo workload.
+
+    Implementations must be picklable (plain dataclasses of parameters);
+    ``build`` runs once per chunk *inside the worker* and returns the
+    heavy per-process context (model, simulator, predicate) that
+    ``sample`` then uses for every replication of the chunk.
+    """
+
+    def build(self) -> Any:  # pragma: no cover - protocol
+        ...
+
+    def sample(self, context: Any, stream) -> "float | np.ndarray":  # pragma: no cover
+        ...
+
+    def cache_token(self) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class ParallelResult:
+    """Merged outcome of a parallel Monte-Carlo run."""
+
+    values: np.ndarray
+    half_widths: np.ndarray
+    n_replications: int
+    converged: bool
+    from_cache: bool
+    telemetry: TelemetrySnapshot
+
+
+# ----------------------------------------------------------------------
+# worker-side entry points (module level so they pickle by reference)
+# ----------------------------------------------------------------------
+def _worker_label() -> str:
+    return f"pid-{os.getpid()}"
+
+
+def _execute_chunk(
+    task: ReplicationTask, plan: ReplicationPlan, spec: ChunkSpec
+) -> ChunkSummary:
+    """Run one chunk of replications and reduce it to its summary."""
+    started = time.perf_counter()
+    context = task.build()
+    rows = []
+    draws = 0
+    for replication in spec.replication_indices():
+        stream = plan.stream(replication)
+        rows.append(
+            np.atleast_1d(np.asarray(task.sample(context, stream), dtype=float))
+        )
+        draws += stream.draw_count
+    return ChunkSummary.from_samples(
+        spec.index,
+        np.vstack(rows),
+        draws=draws,
+        elapsed_seconds=time.perf_counter() - started,
+        worker=_worker_label(),
+    )
+
+
+def _execute_point(task: Callable[[], Any]) -> tuple[Any, str, float]:
+    """Evaluate one sweep point; returns (value, worker label, elapsed)."""
+    started = time.perf_counter()
+    value = task()
+    return value, _worker_label(), time.perf_counter() - started
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trip a point result through plain JSON types for caching."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class ParallelRunner:
+    """Chunked, cached, fault-tolerant executor for replication workloads.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size.  ``1`` runs everything in-process through the
+        *same* chunk/merge path, so results match multi-worker runs
+        bit-for-bit.
+    chunk_size:
+        Replications per dispatch unit (see
+        :class:`~repro.runtime.plan.ReplicationPlan`).
+    max_retries:
+        Pool retries per chunk before the driver executes it in-process.
+    chunk_timeout:
+        Watchdog (seconds): if a round makes *no* progress for this long,
+        outstanding chunks are treated as failed and retried.  ``None``
+        disables the watchdog.
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; hits skip
+        execution entirely.
+    confidence:
+        CI level for fixed-budget runs (rule-driven runs take it from the
+        rule).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int = 256,
+        max_retries: int = 2,
+        chunk_timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        confidence: float = 0.95,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = int(workers)
+        self.chunk_size = int(chunk_size)
+        self.max_retries = int(max_retries)
+        self.chunk_timeout = chunk_timeout
+        self.cache = cache
+        self.confidence = confidence
+        self.last_telemetry: Optional[TelemetrySnapshot] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def pop_telemetry(self) -> Optional[TelemetrySnapshot]:
+        """The last run's telemetry, consumed (next call returns None)."""
+        snapshot, self.last_telemetry = self.last_telemetry, None
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # fault-tolerant dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        jobs: dict[Any, tuple[Callable, tuple]],
+        telemetry: TelemetryRecorder,
+    ) -> dict[Any, Any]:
+        """Execute ``jobs`` (key -> (fn, args)), retrying failures.
+
+        Serial when ``workers == 1``; otherwise pool dispatch with up to
+        ``max_retries`` resubmissions per job and an in-process fallback,
+        so every job produces a result or raises from the driver itself.
+        """
+        if self.workers <= 1:
+            return {key: fn(*args) for key, (fn, args) in jobs.items()}
+
+        results: dict[Any, Any] = {}
+        pending = dict(jobs)
+        attempts = {key: 0 for key in jobs}
+
+        def note_failure(key: Any) -> None:
+            if key not in pending:
+                return  # satisfied elsewhere (fallback or late completion)
+            attempts[key] += 1
+            telemetry.record_retry()
+            if attempts[key] > self.max_retries:
+                # last resort: the driver computes the chunk itself so the
+                # round always completes with every chunk accounted for
+                telemetry.record_fallback()
+                fn, args = pending.pop(key)
+                results[key] = fn(*args)
+
+        while pending:
+            pool = self._ensure_pool()
+            try:
+                futures: dict[Future, Any] = {
+                    pool.submit(fn, *args): key
+                    for key, (fn, args) in pending.items()
+                }
+            except RuntimeError:
+                # pool broken before submission — rebuild and try again
+                self._reset_pool()
+                for key in list(pending):
+                    note_failure(key)
+                continue
+
+            broken = False
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding,
+                    timeout=self.chunk_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # watchdog: no chunk finished within chunk_timeout —
+                    # treat the stragglers as lost and retry them
+                    for future in outstanding:
+                        future.cancel()
+                        note_failure(futures[future])
+                    break
+                for future in done:
+                    key = futures[future]
+                    if key not in pending:
+                        continue  # already satisfied by a fallback
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        if isinstance(exc, BrokenProcessPool):
+                            broken = True
+                        note_failure(key)
+                    else:
+                        results[key] = result
+                        pending.pop(key, None)
+            if broken:
+                self._reset_pool()
+        return results
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo runs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        task: ReplicationTask,
+        *,
+        seed: Optional[int] = None,
+        n_replications: Optional[int] = None,
+        rule: Optional[SequentialStoppingRule] = None,
+    ) -> ParallelResult:
+        """Estimate the task's mean over replications.
+
+        Exactly one of ``n_replications`` (fixed budget) and ``rule``
+        (sequential stopping) must be given.  For a fixed ``seed`` the
+        result is bit-identical for every ``workers`` setting.
+        """
+        if (rule is None) == (n_replications is None):
+            raise ValueError("pass exactly one of n_replications / rule")
+        if n_replications is not None and n_replications < 1:
+            raise ValueError(f"n_replications must be >= 1, got {n_replications}")
+
+        plan = ReplicationPlan(seed, chunk_size=self.chunk_size)
+        confidence = rule.confidence if rule is not None else self.confidence
+        telemetry = TelemetryRecorder(self.workers, unit="replications")
+        telemetry.start()
+
+        key: Optional[str] = None
+        if self.cache is not None:
+            key = cache_key(
+                {
+                    "kind": "replication-run",
+                    "task": task.cache_token(),
+                    "entropy": plan.entropy,
+                    "chunk_size": plan.chunk_size,
+                    "confidence": confidence,
+                    "n_replications": n_replications,
+                    "rule": None
+                    if rule is None
+                    else {
+                        "confidence": rule.confidence,
+                        "relative_width": rule.relative_width,
+                        "min_replications": rule.min_replications,
+                        "max_replications": rule.max_replications,
+                    },
+                }
+            )
+            record = self.cache.get(key)
+            telemetry.record_cache(hit=record is not None)
+            if record is not None:
+                telemetry.finish()
+                snapshot = telemetry.snapshot()
+                self.last_telemetry = snapshot
+                return ParallelResult(
+                    values=np.asarray(record["values"], dtype=float),
+                    half_widths=np.asarray(record["half_widths"], dtype=float),
+                    n_replications=int(record["n_replications"]),
+                    converged=bool(record["converged"]),
+                    from_cache=True,
+                    telemetry=snapshot,
+                )
+
+        completed: dict[int, ChunkSummary] = {}
+        done = 0
+        converged = False
+        if rule is None:
+            self._run_window(task, plan, 0, n_replications, completed, telemetry)
+            done = n_replications
+            converged = True
+        else:
+            round_size = plan.align_up(
+                min(rule.min_replications, rule.max_replications)
+            )
+            while done < rule.max_replications:
+                target = min(done + round_size, rule.max_replications)
+                self._run_window(
+                    task, plan, done, target - done, completed, telemetry
+                )
+                done = target
+                pooled = combine(completed.values())
+                intervals = pooled_intervals(pooled, rule.confidence)
+                informative = [iv for iv in intervals if iv.mean > 0]
+                if informative and all(rule.satisfied(iv) for iv in informative):
+                    converged = True
+                    break
+
+        pooled = combine(completed.values())
+        intervals = pooled_intervals(pooled, confidence)
+        values = np.atleast_1d(pooled.mean)
+        halves = np.asarray([iv.half_width for iv in intervals])
+        telemetry.finish()
+
+        if key is not None:
+            self.cache.put(
+                key,
+                {
+                    "values": [float(v) for v in values],
+                    "half_widths": [float(h) for h in halves],
+                    "n_replications": done,
+                    "converged": converged,
+                },
+            )
+        snapshot = telemetry.snapshot()
+        self.last_telemetry = snapshot
+        return ParallelResult(
+            values=values,
+            half_widths=halves,
+            n_replications=done,
+            converged=converged,
+            from_cache=False,
+            telemetry=snapshot,
+        )
+
+    def _run_window(
+        self,
+        task: ReplicationTask,
+        plan: ReplicationPlan,
+        start: int,
+        count: int,
+        completed: dict[int, ChunkSummary],
+        telemetry: TelemetryRecorder,
+    ) -> None:
+        specs = plan.chunks(start, count)
+        jobs = {
+            spec.index: (_execute_chunk, (task, plan, spec)) for spec in specs
+        }
+        for summary in self._dispatch(jobs, telemetry).values():
+            telemetry.record_chunk(
+                summary.worker,
+                summary.n,
+                draws=summary.draws,
+                busy_seconds=summary.elapsed_seconds,
+            )
+            completed[summary.chunk_index] = summary
+
+    # ------------------------------------------------------------------
+    # sweep maps
+    # ------------------------------------------------------------------
+    def map(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Evaluate independent point tasks, preserving input order.
+
+        Tasks exposing ``cache_token()`` participate in result caching;
+        the rest are always computed.
+        """
+        telemetry = TelemetryRecorder(self.workers, unit="points")
+        telemetry.start()
+        results: list[Any] = [None] * len(tasks)
+        keys: dict[int, str] = {}
+        jobs: dict[int, tuple[Callable, tuple]] = {}
+        for index, task in enumerate(tasks):
+            if self.cache is not None and hasattr(task, "cache_token"):
+                key = cache_key({"kind": "sweep-point", "task": task.cache_token()})
+                record = self.cache.get(key)
+                telemetry.record_cache(hit=record is not None)
+                if record is not None:
+                    results[index] = record["value"]
+                    continue
+                keys[index] = key
+            jobs[index] = (_execute_point, (task,))
+        for index, (value, worker, elapsed) in self._dispatch(
+            jobs, telemetry
+        ).items():
+            telemetry.record_chunk(worker, 1, busy_seconds=elapsed)
+            results[index] = value
+            if index in keys:
+                self.cache.put(keys[index], {"value": _jsonable(value)})
+        telemetry.finish()
+        self.last_telemetry = telemetry.snapshot()
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelRunner(workers={self.workers}, "
+            f"chunk_size={self.chunk_size}, "
+            f"cache={'on' if self.cache is not None else 'off'})"
+        )

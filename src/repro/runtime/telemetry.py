@@ -1,0 +1,221 @@
+"""Progress and throughput accounting for parallel runs.
+
+A :class:`TelemetryRecorder` is created per :class:`ParallelRunner` run
+and fed by the driver as chunks complete; :meth:`TelemetryRecorder.snapshot`
+freezes it into a :class:`TelemetrySnapshot` that experiment reports embed
+(replications/sec, per-worker utilization, cache hit rate, retry and
+fallback counts, total RNG draws).
+
+For sweep (`map`) runs each evaluated point counts as one unit, so the
+throughput figure reads "points per second"; the snapshot's ``unit`` field
+says which meaning applies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["WorkerStats", "TelemetrySnapshot", "TelemetryRecorder"]
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting (workers are keyed by process id)."""
+
+    chunks: int = 0
+    units: int = 0
+    draws: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Frozen view of one run's runtime behaviour."""
+
+    workers: int
+    unit: str
+    elapsed_seconds: float
+    units: int
+    chunks: int
+    retries: int
+    fallbacks: int
+    draws: int
+    cache_hits: int
+    cache_misses: int
+    per_worker: dict[str, WorkerStats] = field(default_factory=dict)
+
+    @property
+    def units_per_second(self) -> float:
+        """Throughput over the run's wall-clock time."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.units / self.elapsed_seconds
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 with no lookups)."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    def utilization(self, worker: str) -> float:
+        """Busy fraction of one worker over the run's wall-clock time."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.per_worker[worker].busy_seconds / self.elapsed_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (embedded in experiment artifacts)."""
+        return {
+            "workers": self.workers,
+            "unit": self.unit,
+            "elapsed_seconds": self.elapsed_seconds,
+            "units": self.units,
+            "replications_per_sec": self.units_per_second,
+            "chunks": self.chunks,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "draws": self.draws,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "per_worker": {
+                worker: {
+                    "chunks": stats.chunks,
+                    "units": stats.units,
+                    "draws": stats.draws,
+                    "busy_seconds": stats.busy_seconds,
+                    "utilization": self.utilization(worker),
+                }
+                for worker, stats in sorted(self.per_worker.items())
+            },
+        }
+
+    def format(self) -> str:
+        """Human-readable footer for experiment reports."""
+        lines = [
+            "runtime: workers={w}  elapsed={e:.2f}s  {unit}={n}  "
+            "replications/sec={rps:.1f}  cache hit rate={ch}/{cl} "
+            "({rate:.0%})".format(
+                w=self.workers,
+                e=self.elapsed_seconds,
+                unit=self.unit,
+                n=self.units,
+                rps=self.units_per_second,
+                ch=self.cache_hits,
+                cl=self.cache_lookups,
+                rate=self.cache_hit_rate,
+            )
+        ]
+        if self.retries or self.fallbacks:
+            lines.append(
+                f"         retries={self.retries}  fallbacks={self.fallbacks}"
+            )
+        for worker, stats in sorted(self.per_worker.items()):
+            lines.append(
+                f"         {worker}: chunks={stats.chunks}  "
+                f"{self.unit}={stats.units}  draws={stats.draws}  "
+                f"busy={stats.busy_seconds:.2f}s  "
+                f"util={self.utilization(worker):.0%}"
+            )
+        return "\n".join(lines)
+
+
+class TelemetryRecorder:
+    """Mutable accumulator the pool driver feeds during a run.
+
+    Parameters
+    ----------
+    workers:
+        Configured worker count (recorded, not enforced).
+    unit:
+        What one completed unit means: ``"replications"`` for Monte-Carlo
+        runs, ``"points"`` for sweep maps.
+    clock:
+        Injectable time source (tests).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        unit: str = "replications",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.workers = workers
+        self.unit = unit
+        self._clock = clock
+        self._started: Optional[float] = None
+        self._finished: Optional[float] = None
+        self.units = 0
+        self.chunks = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self.draws = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.per_worker: dict[str, WorkerStats] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._started = self._clock()
+
+    def finish(self) -> None:
+        self._finished = self._clock()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._finished if self._finished is not None else self._clock()
+        return max(end - self._started, 0.0)
+
+    def record_chunk(
+        self,
+        worker: str,
+        units: int,
+        draws: int = 0,
+        busy_seconds: float = 0.0,
+    ) -> None:
+        """One chunk (or sweep point) completed on ``worker``."""
+        stats = self.per_worker.setdefault(worker, WorkerStats())
+        stats.chunks += 1
+        stats.units += units
+        stats.draws += draws
+        stats.busy_seconds += busy_seconds
+        self.chunks += 1
+        self.units += units
+        self.draws += draws
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_fallback(self) -> None:
+        self.fallbacks += 1
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the current counters."""
+        return TelemetrySnapshot(
+            workers=self.workers,
+            unit=self.unit,
+            elapsed_seconds=self.elapsed_seconds,
+            units=self.units,
+            chunks=self.chunks,
+            retries=self.retries,
+            fallbacks=self.fallbacks,
+            draws=self.draws,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            per_worker=dict(self.per_worker),
+        )

@@ -49,8 +49,18 @@ class RandomStream:
         return self._seed_seq.entropy
 
     @property
+    def draw_count(self) -> int:
+        """Number of variates drawn so far (per-call count).
+
+        This is the public audit-trail counter: the parallel runtime sums
+        it across a chunk's streams and reports it in worker telemetry, so
+        cross-worker replication audits can account for every variate.
+        """
+        return self._draws
+
+    @property
     def draws(self) -> int:
-        """Number of variates drawn so far (approximate; per-call count)."""
+        """Alias of :attr:`draw_count` (kept for existing call sites)."""
         return self._draws
 
     @property

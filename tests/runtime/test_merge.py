@@ -1,0 +1,85 @@
+"""Tests for repro.runtime.merge — pooled moments equal the serial estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.runtime import ChunkSummary, combine, merge_two, pooled_intervals
+from repro.stats import normal_ci
+
+
+def _chunked_summaries(samples: np.ndarray, sizes: list[int]) -> list[ChunkSummary]:
+    assert sum(sizes) == samples.shape[0]
+    out = []
+    start = 0
+    for index, size in enumerate(sizes):
+        out.append(ChunkSummary.from_samples(index, samples[start : start + size]))
+        start += size
+    return out
+
+
+class TestPooledVsSerial:
+    @pytest.mark.parametrize("sizes", [[200], [50, 150], [13, 87, 61, 39]])
+    def test_mean_variance_halfwidth_match_to_1e12(self, sizes):
+        rng = np.random.default_rng(42)
+        samples = rng.lognormal(mean=-2.0, sigma=1.5, size=(200, 3))
+        pooled = combine(_chunked_summaries(samples, sizes))
+        assert pooled.n == 200
+        serial_mean = samples.mean(axis=0)
+        serial_var = samples.var(axis=0, ddof=1)
+        assert np.allclose(pooled.mean, serial_mean, rtol=1e-12, atol=0)
+        assert np.allclose(pooled.variance, serial_var, rtol=1e-12, atol=0)
+        intervals = pooled_intervals(pooled, 0.95)
+        for j, interval in enumerate(intervals):
+            serial = normal_ci(samples[:, j], 0.95)
+            assert interval.n == serial.n
+            assert interval.mean == pytest.approx(serial.mean, rel=1e-12)
+            assert interval.half_width == pytest.approx(
+                serial.half_width, rel=1e-12
+            )
+
+    def test_merge_is_order_stable(self):
+        """combine() sorts by chunk index, so any completion order pools
+        to the bit-identical result."""
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=(120, 2))
+        summaries = _chunked_summaries(samples, [40, 40, 40])
+        forward = combine(summaries)
+        shuffled = combine([summaries[2], summaries[0], summaries[1]])
+        assert np.array_equal(forward.mean, shuffled.mean)
+        assert np.array_equal(forward.m2, shuffled.m2)
+
+
+class TestSummaries:
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChunkSummary.from_samples(0, np.empty((0, 2)))
+
+    def test_combine_rejects_empty(self):
+        with pytest.raises(ValueError):
+            combine([])
+
+    def test_metadata_aggregates(self):
+        a = ChunkSummary.from_samples(
+            0, np.ones((5, 1)), draws=10, elapsed_seconds=0.5, worker="pid-1"
+        )
+        b = ChunkSummary.from_samples(
+            1, np.zeros((5, 1)), draws=7, elapsed_seconds=0.25, worker="pid-2"
+        )
+        pooled = merge_two(a, b)
+        assert pooled.n == 10
+        assert pooled.draws == 17
+        assert pooled.elapsed_seconds == pytest.approx(0.75)
+        assert pooled.mean[0] == pytest.approx(0.5)
+
+    def test_single_observation_interval_is_infinite(self):
+        summary = ChunkSummary.from_samples(0, np.array([[3.0]]))
+        (interval,) = pooled_intervals(summary)
+        assert math.isinf(interval.half_width)
+        assert math.isnan(summary.variance[0])
+
+    def test_invalid_confidence(self):
+        summary = ChunkSummary.from_samples(0, np.ones((4, 1)))
+        with pytest.raises(ValueError):
+            pooled_intervals(summary, 1.5)

@@ -1,0 +1,90 @@
+"""Tests for repro.runtime.plan — seed-stable sharding."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ChunkSpec, ReplicationPlan
+from repro.stochastic import StreamFactory
+
+
+class TestChunking:
+    def test_boundaries_are_fixed_multiples(self):
+        plan = ReplicationPlan(1, chunk_size=256)
+        specs = plan.chunks(0, 1000)
+        assert [(s.index, s.start, s.count) for s in specs] == [
+            (0, 0, 256),
+            (1, 256, 256),
+            (2, 512, 256),
+            (3, 768, 232),
+        ]
+
+    def test_windows_compose_to_the_same_partition(self):
+        plan = ReplicationPlan(1, chunk_size=128)
+        whole = plan.chunks(0, 1000)
+        split = plan.chunks(0, 384) + plan.chunks(384, 616)
+        assert whole == split
+
+    def test_unaligned_window_keeps_global_indices(self):
+        plan = ReplicationPlan(1, chunk_size=100)
+        (spec,) = plan.chunks(250, 50)
+        assert spec.index == 2
+        assert spec.start == 250
+        assert list(spec.replication_indices()) == list(range(250, 300))
+
+    def test_align_up(self):
+        plan = ReplicationPlan(1, chunk_size=100)
+        assert plan.align_up(1) == 100
+        assert plan.align_up(100) == 100
+        assert plan.align_up(101) == 200
+        assert plan.align_up(0) == 100
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ReplicationPlan(1, chunk_size=0)
+        plan = ReplicationPlan(1)
+        with pytest.raises(ValueError):
+            plan.chunks(-1, 10)
+        with pytest.raises(ValueError):
+            plan.stream(-1)
+        with pytest.raises(ValueError):
+            ChunkSpec(index=0, start=0, count=0)
+
+
+class TestStreams:
+    def test_streams_match_serial_stream_factory(self):
+        """Replication i gets exactly the i-th stream a StreamFactory hands
+        out serially — the parallel engine replays the serial experiment."""
+        plan = ReplicationPlan(2009)
+        serial = StreamFactory(2009).stream_batch("mc", 5)
+        for index, stream in enumerate(serial):
+            parallel_stream = plan.stream(index)
+            assert [parallel_stream.random() for _ in range(4)] == [
+                stream.random() for _ in range(4)
+            ]
+
+    def test_streams_addressable_in_any_order(self):
+        plan = ReplicationPlan(7)
+        late_first = plan.stream(17).random()
+        plan2 = ReplicationPlan(7)
+        for i in range(17):
+            plan2.stream(i)
+        assert plan2.stream(17).random() == late_first
+
+    def test_chunk_streams_cover_the_chunk(self):
+        plan = ReplicationPlan(3, chunk_size=4)
+        (spec,) = plan.chunks(8, 4)
+        streams = plan.chunk_streams(spec)
+        assert [s.label for s in streams] == [f"rep-{i}" for i in range(8, 12)]
+
+    def test_unseeded_plan_is_internally_consistent(self):
+        plan = ReplicationPlan(None)
+        assert plan.stream(3).random() == plan.stream(3).random()
+        # but two unseeded plans disagree (fresh entropy each)
+        assert plan.stream(0).random() != ReplicationPlan(None).stream(0).random()
+
+    def test_seed_sequences_are_numpy_children(self):
+        plan = ReplicationPlan(99)
+        root = np.random.SeedSequence(99)
+        child = root.spawn(3)[2]
+        assert plan.seed_sequence(2).spawn_key == child.spawn_key
+        assert plan.seed_sequence(2).entropy == child.entropy

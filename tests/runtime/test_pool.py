@@ -1,0 +1,257 @@
+"""Tests for repro.runtime.pool — determinism, stopping rule, fault tolerance."""
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import AHSParameters
+from repro.core.partasks import UnsafetySimulationTask
+from repro.runtime import ParallelRunner, ReplicationPlan, ResultCache
+from repro.stats import SequentialStoppingRule, normal_ci
+
+
+# ----------------------------------------------------------------------
+# picklable toy tasks (module level so workers can import them)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NormalMeanTask:
+    """Cheap two-coordinate workload with a known mean."""
+
+    mu: float = 5.0
+    coords: int = 2
+
+    def build(self):
+        return None
+
+    def sample(self, context, stream):
+        return np.array(
+            [stream.normal(self.mu + j, 1.0) for j in range(self.coords)]
+        )
+
+    def cache_token(self):
+        return {"kind": "test-normal", "mu": self.mu, "coords": self.coords}
+
+
+@dataclass(frozen=True)
+class FlakyBuildTask(NormalMeanTask):
+    """Raises on the first build() ever attempted (marker-file latch)."""
+
+    marker_dir: str = ""
+
+    def build(self):
+        marker = Path(self.marker_dir) / "failed-once"
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        os.close(fd)
+        raise RuntimeError("injected chunk failure")
+
+
+@dataclass(frozen=True)
+class CrashOutsideParentTask(NormalMeanTask):
+    """Kills the worker process outright — only the driver can compute it."""
+
+    parent_pid: int = 0
+
+    def build(self):
+        if os.getpid() != self.parent_pid:
+            os._exit(17)
+        return None
+
+
+# ----------------------------------------------------------------------
+def _run(task, workers, **kwargs):
+    defaults = dict(seed=2009, n_replications=120)
+    defaults.update(kwargs)
+    with ParallelRunner(workers=workers, chunk_size=30) as runner:
+        return runner.run(task, **defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimate_for_1_2_4_workers(self):
+        task = NormalMeanTask()
+        results = [_run(task, workers) for workers in (1, 2, 4)]
+        for other in results[1:]:
+            assert np.array_equal(results[0].values, other.values)
+            assert np.array_equal(results[0].half_widths, other.half_widths)
+            assert results[0].n_replications == other.n_replications
+
+    @pytest.mark.slow
+    def test_ahs_simulation_task_identical_across_workers(self):
+        task = UnsafetySimulationTask(
+            params=AHSParameters(max_platoon_size=4, base_failure_rate=1e-2),
+            times=(0.5, 1.0),
+        )
+        results = [_run(task, workers, seed=42) for workers in (1, 2, 4)]
+        for other in results[1:]:
+            assert np.array_equal(results[0].values, other.values)
+            assert np.array_equal(results[0].half_widths, other.half_widths)
+
+    def test_different_seeds_differ(self):
+        task = NormalMeanTask()
+        a = _run(task, 1, seed=1)
+        b = _run(task, 1, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_pooled_estimate_equals_serial_estimator(self):
+        """The chunked/merged path reproduces a plain serial mean + CI."""
+        task = NormalMeanTask()
+        result = _run(task, 1, seed=5, n_replications=200)
+        plan = ReplicationPlan(5, chunk_size=30)
+        samples = np.vstack(
+            [task.sample(None, plan.stream(i)) for i in range(200)]
+        )
+        assert np.allclose(result.values, samples.mean(axis=0), rtol=1e-12)
+        for j in range(samples.shape[1]):
+            serial = normal_ci(samples[:, j], 0.95)
+            assert result.half_widths[j] == pytest.approx(
+                serial.half_width, rel=1e-12
+            )
+
+
+class TestStoppingRule:
+    def test_rule_driven_run_converges_identically_across_workers(self):
+        task = NormalMeanTask()
+        rule = SequentialStoppingRule(
+            confidence=0.95,
+            relative_width=0.1,
+            min_replications=60,
+            max_replications=600,
+        )
+        outcomes = []
+        for workers in (1, 2):
+            with ParallelRunner(workers=workers, chunk_size=25) as runner:
+                outcomes.append(runner.run(task, seed=11, rule=rule))
+        a, b = outcomes
+        assert a.converged and b.converged
+        assert a.n_replications == b.n_replications
+        assert np.array_equal(a.values, b.values)
+        # mu = 5 with sigma = 1: the 0.1 relative target is immediate
+        assert a.n_replications <= 100
+
+    def test_budget_exhaustion_reports_unconverged(self):
+        # zero-mean workload never satisfies the relative-width criterion
+        task = NormalMeanTask(mu=0.0, coords=1)
+        rule = SequentialStoppingRule(
+            min_replications=50, max_replications=100
+        )
+        with ParallelRunner(workers=1, chunk_size=25) as runner:
+            result = runner.run(task, seed=3, rule=rule)
+        assert not result.converged
+        assert result.n_replications == 100
+
+    def test_requires_exactly_one_budget(self):
+        runner = ParallelRunner(workers=1)
+        with pytest.raises(ValueError):
+            runner.run(NormalMeanTask(), seed=1)
+        with pytest.raises(ValueError):
+            runner.run(
+                NormalMeanTask(),
+                seed=1,
+                n_replications=10,
+                rule=SequentialStoppingRule(),
+            )
+
+
+class TestFaultTolerance:
+    def test_failed_chunk_is_retried_and_result_unchanged(self, tmp_path):
+        flaky = FlakyBuildTask(marker_dir=str(tmp_path / "a"))
+        (tmp_path / "a").mkdir()
+        with ParallelRunner(workers=2, chunk_size=30, max_retries=2) as runner:
+            result = runner.run(flaky, seed=2009, n_replications=120)
+        assert result.telemetry.retries >= 1
+        assert result.telemetry.fallbacks == 0
+
+        # a clean serial reference: pre-latch the marker so build succeeds
+        clean_dir = tmp_path / "b"
+        clean_dir.mkdir()
+        (clean_dir / "failed-once").touch()
+        reference = _run(FlakyBuildTask(marker_dir=str(clean_dir)), 1)
+        assert np.array_equal(result.values, reference.values)
+        assert np.array_equal(result.half_widths, reference.half_widths)
+
+    def test_crashing_worker_falls_back_in_process(self):
+        task = CrashOutsideParentTask(parent_pid=os.getpid())
+        with ParallelRunner(workers=2, chunk_size=60, max_retries=1) as runner:
+            result = runner.run(task, seed=2009, n_replications=120)
+        # every chunk crashed its worker; the driver computed them all
+        assert result.telemetry.fallbacks == 2
+        assert result.telemetry.retries >= 2
+        # same chunk_size so the merge tree is bit-identical
+        with ParallelRunner(workers=1, chunk_size=60) as runner:
+            reference = runner.run(
+                NormalMeanTask(), seed=2009, n_replications=120
+            )
+        assert np.array_equal(result.values, reference.values)
+
+    def test_persistently_failing_task_raises_from_driver(self, tmp_path):
+        @dataclass(frozen=True)
+        class AlwaysFails(NormalMeanTask):
+            def build(self):
+                raise RuntimeError("broken model")
+
+        # defined locally on purpose: serial path needs no pickling
+        with ParallelRunner(workers=1, chunk_size=30) as runner:
+            with pytest.raises(RuntimeError, match="broken model"):
+                runner.run(AlwaysFails(), seed=1, n_replications=30)
+
+
+class TestCachedRuns:
+    def test_second_run_is_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = NormalMeanTask()
+        with ParallelRunner(workers=1, chunk_size=30, cache=cache) as runner:
+            cold = runner.run(task, seed=8, n_replications=90)
+            warm = runner.run(task, seed=8, n_replications=90)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.telemetry.cache_hits == 1
+        assert warm.telemetry.units == 0  # nothing was re-simulated
+        assert np.allclose(cold.values, warm.values, rtol=0, atol=0)
+        assert np.allclose(cold.half_widths, warm.half_widths, rtol=0, atol=0)
+
+    def test_worker_count_does_not_fragment_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = NormalMeanTask()
+        with ParallelRunner(workers=1, chunk_size=30, cache=cache) as runner:
+            runner.run(task, seed=8, n_replications=90)
+        with ParallelRunner(workers=2, chunk_size=30, cache=cache) as runner:
+            warm = runner.run(task, seed=8, n_replications=90)
+        assert warm.from_cache
+
+    def test_seed_and_budget_are_part_of_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = NormalMeanTask()
+        with ParallelRunner(workers=1, chunk_size=30, cache=cache) as runner:
+            runner.run(task, seed=8, n_replications=90)
+            other_seed = runner.run(task, seed=9, n_replications=90)
+            other_budget = runner.run(task, seed=8, n_replications=120)
+        assert not other_seed.from_cache
+        assert not other_budget.from_cache
+
+
+class TestTelemetry:
+    def test_snapshot_accounts_for_all_replications_and_draws(self):
+        task = NormalMeanTask(coords=3)
+        result = _run(task, 2, n_replications=120)
+        snapshot = result.telemetry
+        assert snapshot.units == 120
+        assert snapshot.chunks == 4
+        # 3 normal draws per replication, counted via draw_count
+        assert snapshot.draws == 120 * 3
+        assert snapshot.unit == "replications"
+        assert sum(s.units for s in snapshot.per_worker.values()) == 120
+        assert snapshot.units_per_second > 0
+        text = snapshot.format()
+        assert "replications/sec=" in text
+        assert "cache hit rate=" in text
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+        with pytest.raises(ValueError):
+            ParallelRunner(max_retries=-1)

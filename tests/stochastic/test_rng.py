@@ -98,6 +98,14 @@ class TestRandomStream:
         stream.exponential(1.0)
         assert stream.draws == before + 2
 
+    def test_draw_count_is_the_public_audit_counter(self, stream):
+        assert stream.draw_count == 0
+        stream.normal()
+        stream.uniform()
+        assert stream.draw_count == 2
+        # the legacy alias stays in lockstep
+        assert stream.draws == stream.draw_count
+
     def test_poisson_mean(self, stream):
         samples = [stream.poisson(3.0) for _ in range(5000)]
         assert np.mean(samples) == pytest.approx(3.0, rel=0.05)
