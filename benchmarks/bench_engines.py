@@ -3,13 +3,32 @@
 Not a paper artifact — tracks the performance of the SAN executors, the
 state-space generator, the uniformization solver and the kinematic
 substrate, so regressions in the machinery are visible.
+
+Besides the pytest-benchmark cases, the module is directly runnable as an
+interpreted-vs-compiled jump-engine comparison::
+
+    PYTHONPATH=src python benchmarks/bench_engines.py --sizes 5 10 20
+
+which prints a speedup table, writes ``BENCH_engines.json`` and exits
+non-zero if the compiled engine is ever slower than the interpreted one
+(the CI bench-smoke gate).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 
 from repro.core import AHSParameters, AnalyticalEngine, build_composed_model
 from repro.ctmc import CTMC, transient_distribution
-from repro.san import MarkovJumpSimulator, SANSimulator, generate_state_space
+from repro.san import (
+    MarkovJumpSimulator,
+    SANSimulator,
+    generate_state_space,
+    make_jump_engine,
+)
 from repro.stochastic import StreamFactory
 
 from tests.conftest import make_two_state_model
@@ -49,6 +68,153 @@ def test_jump_simulator_on_composed_ahs(benchmark):
         return simulator.run(next(streams), horizon=2.0).firings
 
     benchmark(run_one)
+
+
+def test_compiled_engine_on_composed_ahs(benchmark):
+    ahs = build_composed_model(
+        AHSParameters(max_platoon_size=2, base_failure_rate=1e-4)
+    )
+    simulator = make_jump_engine(ahs.model, engine="compiled")
+    factory = StreamFactory(2)
+    streams = iter(factory.stream_batch("bench", 5_000))
+
+    def run_one():
+        return simulator.run(next(streams), horizon=2.0).firings
+
+    benchmark(run_one)
+
+
+# ----------------------------------------------------------------------
+# interpreted-vs-compiled comparison (python benchmarks/bench_engines.py)
+# ----------------------------------------------------------------------
+def _time_engine(model, engine: str, replications: int, horizon: float) -> dict:
+    """Throughput of one engine on ``model`` over fixed replications."""
+    simulator = make_jump_engine(model, engine=engine)
+    factory = StreamFactory(2024)
+    streams = factory.stream_batch("bench", replications)
+    started = time.perf_counter()
+    firings = sum(
+        simulator.run(stream, horizon).firings for stream in streams
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "engine": engine,
+        "replications": replications,
+        "events": int(firings),
+        "elapsed_seconds": elapsed,
+        "events_per_sec": firings / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def compare_engines(
+    sizes=(5, 10, 20), replications: int = 40, horizon: float = 2.0
+) -> list[dict]:
+    """Run both engines on the composed model at each platoon size.
+
+    Both engines see the same seeds, so the ``events`` columns double as
+    an equivalence check (they must match exactly).
+    """
+    rows = []
+    for n in sizes:
+        model = build_composed_model(AHSParameters(max_platoon_size=n)).model
+        interpreted = _time_engine(model, "interpreted", replications, horizon)
+        compiled = _time_engine(model, "compiled", replications, horizon)
+        if interpreted["events"] != compiled["events"]:
+            raise AssertionError(
+                f"n={n}: engines disagree on event counts "
+                f"({interpreted['events']} vs {compiled['events']})"
+            )
+        rows.append(
+            {
+                "max_platoon_size": n,
+                "places": len(model.places),
+                "timed_activities": len(model.timed_activities),
+                "horizon": horizon,
+                "interpreted": interpreted,
+                "compiled": compiled,
+                "speedup": interpreted["elapsed_seconds"]
+                / compiled["elapsed_seconds"],
+            }
+        )
+    return rows
+
+
+def _render_table(rows: list[dict]) -> str:
+    lines = [
+        f"{'n':>4}  {'places':>6}  {'interp ev/s':>12}  "
+        f"{'compiled ev/s':>13}  {'speedup':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            "{n:>4}  {places:>6}  {interp:>12.0f}  {comp:>13.0f}  "
+            "{speed:>6.2f}x".format(
+                n=row["max_platoon_size"],
+                places=row["places"],
+                interp=row["interpreted"]["events_per_sec"],
+                comp=row["compiled"]["events_per_sec"],
+                speed=row["speedup"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare the interpreted and compiled SAN jump engines."
+    )
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[5, 10, 20],
+        help="max_platoon_size values to benchmark (default: 5 10 20)",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=40,
+        help="replications per engine per size (default: 40)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=2.0, help="trip horizon in hours"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast configuration for CI (sizes 3 5, 10 replications)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_engines.json",
+        help="output path for the machine-readable results",
+    )
+    args = parser.parse_args(argv)
+    sizes = [3, 5] if args.smoke else args.sizes
+    replications = 10 if args.smoke else args.replications
+
+    rows = compare_engines(sizes, replications, args.horizon)
+    print(_render_table(rows))
+    record = {
+        "benchmark": "san-jump-engines",
+        "replications": replications,
+        "horizon": args.horizon,
+        "rows": rows,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+
+    slower = [row for row in rows if row["speedup"] < 1.0]
+    if slower:
+        ns = [row["max_platoon_size"] for row in slower]
+        print(f"FAIL: compiled engine slower than interpreted at n={ns}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
 
 
 def test_statespace_generation_tiny_ahs(benchmark):

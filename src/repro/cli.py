@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     uns.add_argument("--replications", type=int, default=10_000)
     uns.add_argument("--seed", type=int, default=None)
+    uns.add_argument(
+        "--engine",
+        default="compiled",
+        choices=["interpreted", "compiled"],
+        help="jump-chain executor for the simulation methods "
+        "(seed-identical results; compiled is several times faster)",
+    )
     _add_runtime_flags(uns)
 
     cal = sub.add_parser(
@@ -250,6 +257,7 @@ def _cmd_unsafety(args) -> int:
         n_replications=args.replications,
         seed=args.seed,
         runner=runner,
+        engine=args.engine,
     )
     if runner is not None:
         snapshot = runner.pop_telemetry()

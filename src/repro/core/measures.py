@@ -30,8 +30,8 @@ from repro.rare import (
     FixedEffortSplitting,
     ImportanceSamplingEstimator,
 )
+from repro.san.compiled import ENGINES, make_jump_engine
 from repro.san.rewards import TransientEstimate
-from repro.san.simulator import MarkovJumpSimulator
 from repro.stats import ReplicationEstimator, SequentialStoppingRule
 from repro.stochastic import StreamFactory
 
@@ -58,6 +58,7 @@ def unsafety(
     repetitions: int = 10,
     stopping_rule: Optional[SequentialStoppingRule] = None,
     runner=None,
+    engine: str = "compiled",
 ) -> TransientEstimate:
     """Evaluate S(t) at the requested times.
 
@@ -91,6 +92,12 @@ def unsafety(
         processes (and served from the runner's result cache when
         enabled); for a fixed seed the estimate is bit-identical for any
         worker count.  Other methods ignore it.
+    engine:
+        Jump-engine for the simulation-based methods, one of
+        :data:`~repro.san.compiled.ENGINES` (``"compiled"`` by default —
+        same results per seed, several times faster; ``"interpreted"`` is
+        the reference executor, useful when debugging gate code).
+        ``analytical`` and ``approx`` ignore it.
 
     Returns
     -------
@@ -104,6 +111,8 @@ def unsafety(
         raise ValueError("need at least one time point")
     if min(times_list) < 0:
         raise ValueError("times must be non-negative")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
 
     if method == "analytical":
         result = AnalyticalEngine(params).unsafety(times_list)
@@ -129,7 +138,9 @@ def unsafety(
     if method == "simulation" and runner is not None:
         from repro.core.partasks import UnsafetySimulationTask
 
-        task = UnsafetySimulationTask(params=params, times=tuple(times_list))
+        task = UnsafetySimulationTask(
+            params=params, times=tuple(times_list), engine=engine
+        )
         result = runner.run(
             task,
             seed=seed,
@@ -152,7 +163,7 @@ def unsafety(
     horizon = max(times_list)
 
     if method == "simulation":
-        simulator = MarkovJumpSimulator(ahs.model)
+        simulator = make_jump_engine(ahs.model, engine=engine)
         predicate = ahs.unsafe_predicate()
         if stopping_rule is not None:
             # the paper's protocol: add batches until each (non-zero)
@@ -190,7 +201,7 @@ def unsafety(
             boost=boost, name_predicate=lambda name: name.startswith("L_FM")
         )
         estimator = ImportanceSamplingEstimator(
-            ahs.model, ahs.unsafe_predicate(), biasing
+            ahs.model, ahs.unsafe_predicate(), biasing, engine=engine
         )
         return estimator.estimate(times_list, n_replications, factory)
 
@@ -205,6 +216,7 @@ def unsafety(
             ahs.severity_level(),
             levels,
             trials_per_stage=trials_per_stage,
+            engine=engine,
         )
         # splitting estimates P(hit by horizon); evaluate per time point
         values = []

@@ -35,25 +35,39 @@ class UnsafetySimulationTask:
     One replication simulates the jump chain to the trip horizon and
     returns the per-time unsafe indicator (weighted, so the same task
     works for importance-sampled variants built on top).
+
+    ``engine`` selects the jump executor (see
+    :data:`repro.san.compiled.ENGINES`).  Both engines are seed-identical,
+    so results — and the content-addressed cache entries, which include the
+    engine name — stay reproducible across the switch; the cache token
+    still distinguishes engines so a suspected discrepancy can be bisected
+    without cache pollution.
     """
 
     params: AHSParameters
     times: tuple[float, ...]
+    engine: str = "compiled"
 
     def __post_init__(self) -> None:
         if not self.times:
             raise ValueError("need at least one evaluation time")
         if min(self.times) < 0:
             raise ValueError("times must be non-negative")
+        from repro.san.compiled import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose one of {ENGINES}"
+            )
 
     def build(self) -> _SimContext:
         """Worker-side construction of the composed model and simulator."""
         from repro.core.composed import build_composed_model
-        from repro.san.simulator import MarkovJumpSimulator
+        from repro.san.compiled import make_jump_engine
 
         ahs = build_composed_model(self.params)
         return _SimContext(
-            simulator=MarkovJumpSimulator(ahs.model),
+            simulator=make_jump_engine(ahs.model, engine=self.engine),
             predicate=ahs.unsafe_predicate(),
             times=np.asarray(self.times, dtype=float),
             horizon=float(max(self.times)),
@@ -64,10 +78,16 @@ class UnsafetySimulationTask:
         run = context.simulator.run(stream, context.horizon, context.predicate)
         return np.where(run.stop_time <= context.times, run.weight, 0.0)
 
+    def events_of(self, context: _SimContext) -> int:
+        """Timed firings executed so far by this context's simulator
+        (worker telemetry: events/sec per engine)."""
+        return int(context.simulator.fired_events)
+
     def cache_token(self) -> dict:
         return {
             "measure": "unsafety",
             "engine": "simulation",
+            "simulator": self.engine,
             "params": self.params,
             "times": self.times,
         }

@@ -21,9 +21,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.san.compiled import make_jump_engine
 from repro.san.marking import Marking
 from repro.san.model import SANModel
-from repro.san.simulator import MarkovJumpSimulator
 from repro.stats.confidence import ConfidenceInterval, normal_ci
 from repro.stochastic.rng import RandomStream, StreamFactory
 
@@ -60,6 +60,9 @@ class FixedEffortSplitting:
         rare event.
     trials_per_stage:
         Fixed effort per stage.
+    engine:
+        Jump-engine selection (see :data:`repro.san.compiled.ENGINES`);
+        both engines produce bit-identical stage trajectories per seed.
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class FixedEffortSplitting:
         level_fn: Callable[[Marking], float],
         levels: Sequence[float],
         trials_per_stage: int = 500,
+        engine: str = "compiled",
     ) -> None:
         levels = [float(level) for level in levels]
         if len(levels) < 1:
@@ -76,7 +80,7 @@ class FixedEffortSplitting:
             raise ValueError(f"levels must be strictly increasing, got {levels}")
         if trials_per_stage < 2:
             raise ValueError("trials_per_stage must be >= 2")
-        self.simulator = MarkovJumpSimulator(model)
+        self.simulator = make_jump_engine(model, engine=engine)
         self.model = model
         self.level_fn = level_fn
         self.levels = levels

@@ -37,7 +37,9 @@ class ChunkSummary:
     in the unsafety workload).  ``draws`` is the total number of RNG
     variates consumed (:attr:`repro.stochastic.rng.RandomStream.draw_count`
     summed over the chunk's streams), carried for cross-worker audit
-    trails.
+    trails.  ``events`` is the number of simulation events (timed activity
+    firings) the chunk executed, when the task reports it — the basis of
+    the telemetry footer's events/sec-per-engine figure.
     """
 
     chunk_index: int
@@ -47,6 +49,7 @@ class ChunkSummary:
     draws: int = 0
     elapsed_seconds: float = 0.0
     worker: str = ""
+    events: int = 0
 
     @classmethod
     def from_samples(
@@ -56,6 +59,7 @@ class ChunkSummary:
         draws: int = 0,
         elapsed_seconds: float = 0.0,
         worker: str = "",
+        events: int = 0,
     ) -> "ChunkSummary":
         """Reduce a ``(n, k)`` sample block to its summary."""
         block = np.atleast_2d(np.asarray(samples, dtype=float))
@@ -71,6 +75,7 @@ class ChunkSummary:
             draws=int(draws),
             elapsed_seconds=float(elapsed_seconds),
             worker=worker,
+            events=int(events),
         )
 
     @property
@@ -95,6 +100,7 @@ def merge_two(a: ChunkSummary, b: ChunkSummary) -> ChunkSummary:
         draws=a.draws + b.draws,
         elapsed_seconds=a.elapsed_seconds + b.elapsed_seconds,
         worker="pooled",
+        events=a.events + b.events,
     )
 
 

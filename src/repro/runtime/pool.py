@@ -104,12 +104,14 @@ def _execute_chunk(
             np.atleast_1d(np.asarray(task.sample(context, stream), dtype=float))
         )
         draws += stream.draw_count
+    events = task.events_of(context) if hasattr(task, "events_of") else 0
     return ChunkSummary.from_samples(
         spec.index,
         np.vstack(rows),
         draws=draws,
         elapsed_seconds=time.perf_counter() - started,
         worker=_worker_label(),
+        events=events,
     )
 
 
@@ -320,7 +322,11 @@ class ParallelRunner:
 
         plan = ReplicationPlan(seed, chunk_size=self.chunk_size)
         confidence = rule.confidence if rule is not None else self.confidence
-        telemetry = TelemetryRecorder(self.workers, unit="replications")
+        telemetry = TelemetryRecorder(
+            self.workers,
+            unit="replications",
+            engine=str(getattr(task, "engine", "") or ""),
+        )
         telemetry.start()
 
         key: Optional[str] = None
@@ -428,6 +434,7 @@ class ParallelRunner:
                 summary.n,
                 draws=summary.draws,
                 busy_seconds=summary.elapsed_seconds,
+                events=summary.events,
             )
             completed[summary.chunk_index] = summary
 

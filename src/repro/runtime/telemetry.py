@@ -28,6 +28,7 @@ class WorkerStats:
     units: int = 0
     draws: int = 0
     busy_seconds: float = 0.0
+    events: int = 0
 
 
 @dataclass
@@ -44,6 +45,8 @@ class TelemetrySnapshot:
     draws: int
     cache_hits: int
     cache_misses: int
+    events: int = 0
+    engine: str = ""
     per_worker: dict[str, WorkerStats] = field(default_factory=dict)
 
     @property
@@ -52,6 +55,13 @@ class TelemetrySnapshot:
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.units / self.elapsed_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulation-event throughput (0.0 when the task reports none)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.events / self.elapsed_seconds
 
     @property
     def cache_lookups(self) -> int:
@@ -82,6 +92,9 @@ class TelemetrySnapshot:
             "retries": self.retries,
             "fallbacks": self.fallbacks,
             "draws": self.draws,
+            "events": self.events,
+            "events_per_sec": self.events_per_second,
+            "engine": self.engine,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -90,6 +103,7 @@ class TelemetrySnapshot:
                     "chunks": stats.chunks,
                     "units": stats.units,
                     "draws": stats.draws,
+                    "events": stats.events,
                     "busy_seconds": stats.busy_seconds,
                     "utilization": self.utilization(worker),
                 }
@@ -113,6 +127,13 @@ class TelemetrySnapshot:
                 rate=self.cache_hit_rate,
             )
         ]
+        if self.events:
+            engine_tag = f"  engine={self.engine}" if self.engine else ""
+            lines.append(
+                "         events={n}  events/sec={eps:.0f}{tag}".format(
+                    n=self.events, eps=self.events_per_second, tag=engine_tag
+                )
+            )
         if self.retries or self.fallbacks:
             lines.append(
                 f"         retries={self.retries}  fallbacks={self.fallbacks}"
@@ -137,6 +158,9 @@ class TelemetryRecorder:
     unit:
         What one completed unit means: ``"replications"`` for Monte-Carlo
         runs, ``"points"`` for sweep maps.
+    engine:
+        Jump-engine label for simulation workloads (shown next to the
+        events/sec figure in the footer); empty for non-simulation runs.
     clock:
         Injectable time source (tests).
     """
@@ -145,10 +169,12 @@ class TelemetryRecorder:
         self,
         workers: int,
         unit: str = "replications",
+        engine: str = "",
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.workers = workers
         self.unit = unit
+        self.engine = engine
         self._clock = clock
         self._started: Optional[float] = None
         self._finished: Optional[float] = None
@@ -157,6 +183,7 @@ class TelemetryRecorder:
         self.retries = 0
         self.fallbacks = 0
         self.draws = 0
+        self.events = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.per_worker: dict[str, WorkerStats] = {}
@@ -181,6 +208,7 @@ class TelemetryRecorder:
         units: int,
         draws: int = 0,
         busy_seconds: float = 0.0,
+        events: int = 0,
     ) -> None:
         """One chunk (or sweep point) completed on ``worker``."""
         stats = self.per_worker.setdefault(worker, WorkerStats())
@@ -188,9 +216,11 @@ class TelemetryRecorder:
         stats.units += units
         stats.draws += draws
         stats.busy_seconds += busy_seconds
+        stats.events += events
         self.chunks += 1
         self.units += units
         self.draws += draws
+        self.events += events
 
     def record_retry(self) -> None:
         self.retries += 1
@@ -217,5 +247,7 @@ class TelemetryRecorder:
             draws=self.draws,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            events=self.events,
+            engine=self.engine,
             per_worker=dict(self.per_worker),
         )

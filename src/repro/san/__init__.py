@@ -26,6 +26,14 @@ from repro.san.activities import Case, TimedActivity, InstantaneousActivity
 from repro.san.model import SANModel
 from repro.san.composition import join, replicate
 from repro.san.simulator import SANSimulator, MarkovJumpSimulator, SimulationRun
+from repro.san.compiled import (
+    ENGINES,
+    CompiledJumpEngine,
+    CompiledMarking,
+    CompiledModel,
+    compile_model,
+    make_jump_engine,
+)
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
@@ -50,6 +58,12 @@ __all__ = [
     "SANSimulator",
     "MarkovJumpSimulator",
     "SimulationRun",
+    "ENGINES",
+    "CompiledJumpEngine",
+    "CompiledMarking",
+    "CompiledModel",
+    "compile_model",
+    "make_jump_engine",
     "StateSpace",
     "generate_state_space",
     "RateReward",

@@ -217,6 +217,31 @@ class TimedActivity(_ActivityBase):
             f"activity {self.name!r} is not exponential; no rate available"
         )
 
+    def exponential_parts(
+        self,
+    ) -> "tuple[Optional[float], Optional[MarkingFunction]]":
+        """Split the exponential rate into ``(constant, marking_fn)``.
+
+        Exactly one element is non-None.  The compile pass uses this to
+        cache constant rates and to lower marking-dependent ones to
+        slot-indexed closures.
+
+        Raises
+        ------
+        TypeError
+            If the activity is not exponential (same condition as
+            :meth:`rate_in`).
+        """
+        if self.rate is not None:
+            if isinstance(self.rate, MarkingFunction):
+                return None, self.rate
+            return self.rate, None
+        if self.distribution is not None and self.distribution.is_exponential:
+            return self.distribution.rate(), None
+        raise TypeError(
+            f"activity {self.name!r} is not exponential; no rate available"
+        )
+
     def sample_delay(self, marking: Marking, stream: RandomStream) -> float:
         """Draw a firing delay in ``marking``."""
         if self.rate is not None:

@@ -1,0 +1,902 @@
+"""Compiled SAN execution: array-backed markings, incremental propensities.
+
+The interpreted :class:`~repro.san.simulator.MarkovJumpSimulator` pays
+O(all activities) of Python-level gate evaluation *per jump*: every input
+gate predicate and every rate is re-evaluated against a dict-backed
+marking even when the firing touched two places out of hundreds.  This
+module removes that cost with a one-time compile pass:
+
+* :func:`compile_model` assigns every place an integer *slot*, lowers gate
+  bindings to ``local name → slot`` maps, and builds the place→activity
+  dependency index (as bitmasks over activity indices) once;
+* :class:`CompiledMarking` stores the marking as a flat list indexed by
+  slot, with a changed-slot bitmask instead of a changed-place set;
+* :class:`CompiledJumpEngine` keeps a per-activity rate table and only
+  re-evaluates the activities whose read slots changed since the last
+  firing (*incremental propensity maintenance*), instead of rescanning
+  the whole model.
+
+Equivalence contract (enforced by ``tests/san/test_compiled_equivalence``):
+for the same seed the compiled engine consumes the random stream in
+exactly the same order as the interpreted engine and produces bit-identical
+``SimulationRun``/``JumpOutcome`` fields, including importance-sampling
+likelihood-ratio weights.  Two implementation details make this exact:
+
+1. **Totals.**  The total (biased) exit rate is reduced left-to-right over
+   the *full* rate table, with disabled activities contributing ``0.0``.
+   Adding ``0.0`` to a non-negative partial sum is a bitwise no-op, so the
+   result equals the interpreted engine's compact-list sum exactly.  With
+   the default ``recompute_interval=1`` this reduction runs every jump (at
+   C speed, via ``sum``); larger intervals switch to delta maintenance of
+   the running totals with a periodic exact re-reduction to bound float
+   drift, trading last-ulp equality for fewer O(n) passes.
+2. **Selection.**  Activity selection replays the interpreted engine's
+   ``choice_index`` draw (one uniform) and resolves it with a C-level
+   prefix sum + bisection over the rate table; zero entries cannot be
+   selected, so the winning activity is identical.
+
+See ``docs/engine_perf.md`` for the full invariant list and fallback
+guidance.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from functools import partial
+from itertools import accumulate
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+from repro.san.activities import InstantaneousActivity, TimedActivity
+from repro.san.marking import Marking, MarkingFunction
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.simulator import (
+    MAX_INSTANTANEOUS_CHAIN,
+    JumpOutcome,
+    MarkovJumpSimulator,
+    SimulationRun,
+    UnstableMarkingError,
+    _RewardIntegrator,
+)
+from repro.stochastic.rng import RandomStream
+
+__all__ = [
+    "ENGINES",
+    "CompiledMarking",
+    "CompiledModel",
+    "CompiledJumpEngine",
+    "compile_model",
+    "make_jump_engine",
+]
+
+#: engine names accepted by :func:`make_jump_engine` and the CLI ``--engine``
+ENGINES = ("interpreted", "compiled")
+
+
+class CompiledMarking:
+    """A marking lowered to a flat slot-indexed list.
+
+    Duck-type compatible with the read/write surface of
+    :class:`~repro.san.marking.Marking` that stop predicates, level
+    functions, rate rewards and gate views use (``get``/``set`` by place,
+    ``as_dict``), so user callbacks run unchanged against it.  Mutations
+    record the written slot in :attr:`changed_mask` (bit ``1 << slot``).
+    """
+
+    __slots__ = ("values", "changed_mask", "_slot_of", "_places", "_validators")
+
+    def __init__(
+        self,
+        places: list[Place],
+        slot_of: dict[Place, int],
+        validators: list[Callable[[Any], Any]],
+        values: list,
+    ) -> None:
+        self._places = places
+        self._slot_of = slot_of
+        self._validators = validators
+        self.values = values
+        self.changed_mask = 0
+
+    # ------------------------------------------------------------------
+    # Marking-compatible surface (place-keyed)
+    # ------------------------------------------------------------------
+    def get(self, place: Place) -> Any:
+        """Current value of ``place``."""
+        try:
+            return self.values[self._slot_of[place]]
+        except KeyError:
+            raise KeyError(f"place {place.name!r} is not part of this marking")
+
+    def set(self, place: Place, value: Any) -> None:
+        """Assign ``value`` to ``place`` (validated by the place)."""
+        try:
+            slot = self._slot_of[place]
+        except KeyError:
+            raise KeyError(f"place {place.name!r} is not part of this marking")
+        self.set_slot(slot, value)
+
+    def places(self) -> Iterable[Place]:
+        """The places of this marking (slot order)."""
+        return self._places
+
+    def as_dict(self) -> dict[str, Any]:
+        """Name-keyed snapshot for reports and debugging."""
+        return {p.name: v for p, v in zip(self._places, self.values)}
+
+    # ------------------------------------------------------------------
+    # slot-indexed fast path
+    # ------------------------------------------------------------------
+    def set_slot(self, slot: int, value: Any) -> None:
+        """Validated write through a slot index (the gate-view fast path)."""
+        value = self._validators[slot](value)
+        if self.values[slot] != value:
+            self.values[slot] = value
+            self.changed_mask |= 1 << slot
+
+    def clear_changed_mask(self) -> int:
+        """Return and reset the bitmask of slots written since last call."""
+        mask, self.changed_mask = self.changed_mask, 0
+        return mask
+
+    def load(self, marking: Union[Marking, "CompiledMarking"]) -> None:
+        """Overwrite all slots from another marking (no validation — the
+        source marking already validated its values)."""
+        if isinstance(marking, CompiledMarking):
+            self.values[:] = marking.values
+        else:
+            self.values[:] = marking.values_in(self._places)
+        self.changed_mask = 0
+
+    def export(self) -> Marking:
+        """An independent dict-backed :class:`Marking` snapshot."""
+        return Marking(dict(zip(self._places, self.values)))
+
+    def copy(self) -> Marking:
+        """Alias of :meth:`export` (splitting pools call ``copy``)."""
+        return self.export()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{p.name}={v}" for p, v in zip(self._places, self.values)
+        )
+        return f"CompiledMarking({inner})"
+
+
+class _SlotView:
+    """Gate-local window onto a :class:`CompiledMarking`.
+
+    Same API as :class:`~repro.san.marking.GateView`, but local names
+    resolve through a precompiled ``name → slot`` map: one dict lookup and
+    one list index per access, no per-call view allocation.
+    """
+
+    __slots__ = ("_marking", "_slots")
+
+    def __init__(self, marking: CompiledMarking, slots: dict[str, int]) -> None:
+        self._marking = marking
+        self._slots = slots
+
+    def _slot(self, local: str) -> int:
+        try:
+            return self._slots[local]
+        except KeyError:
+            raise KeyError(
+                f"gate refers to undeclared local place {local!r}; "
+                f"declared: {sorted(self._slots)}"
+            )
+
+    def __getitem__(self, local: str) -> Any:
+        try:
+            return self._marking.values[self._slots[local]]
+        except KeyError:
+            return self._marking.values[self._slot(local)]
+
+    def __setitem__(self, local: str, value: Any) -> None:
+        self._marking.set_slot(self._slot(local), value)
+
+    def inc(self, local: str, amount: int = 1) -> None:
+        """Add ``amount`` tokens to an integer place."""
+        slot = self._slot(local)
+        marking = self._marking
+        marking.set_slot(slot, marking.values[slot] + amount)
+
+    def dec(self, local: str, amount: int = 1) -> None:
+        """Remove ``amount`` tokens from an integer place."""
+        self.inc(local, -amount)
+
+    def tuple_set(self, local: str, index: int, value: Any) -> None:
+        """Replace one element of an extended place's tuple marking."""
+        slot = self._slot(local)
+        marking = self._marking
+        current = list(marking.values[slot])
+        current[index] = value
+        marking.set_slot(slot, tuple(current))
+
+
+class _TracingSlotView(_SlotView):
+    """A :class:`_SlotView` that records every slot it reads.
+
+    The engine evaluates enabling predicates and rate functions through
+    tracing views and collects the union of read slots in a shared one-cell
+    accumulator (``trace[0]``).  Because predicates and rates are pure
+    functions of the marking, the slots read by the *last* evaluation are
+    exactly the slots that determine its result: if none of them changed,
+    re-execution would take the same branches, read the same slots, and
+    return the same value.  The engine therefore skips it — this is what
+    makes the dependency index *dynamic* and tight even when gate bindings
+    are conservatively broad (e.g. every gate binding all shared places).
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(
+        self, marking: CompiledMarking, slots: dict[str, int], trace: list[int]
+    ) -> None:
+        super().__init__(marking, slots)
+        self._trace = trace
+
+    def __getitem__(self, local: str) -> Any:
+        try:
+            slot = self._slots[local]
+        except KeyError:
+            slot = self._slot(local)
+        self._trace[0] |= 1 << slot
+        return self._marking.values[slot]
+
+
+class CompiledModel:
+    """The marking-independent output of :func:`compile_model`.
+
+    Holds the slot assignment, per-slot validators and initial values, the
+    activity lists in execution order, and the slot → timed-activity
+    dependency bitmasks.  Engines bind it to a concrete
+    :class:`CompiledMarking` (see :meth:`new_marking`); one compiled model
+    can back any number of engines.
+    """
+
+    def __init__(self, model: SANModel) -> None:
+        self.model = model
+        self.places: list[Place] = list(model.places)
+        self.slot_of: dict[Place, int] = model.place_slots()
+        self.validators: list[Callable[[Any], Any]] = [
+            place.validate_value for place in self.places
+        ]
+        self.initial_values: list = [place.initial for place in self.places]
+        self.timed: list[TimedActivity] = list(model.timed_activities)
+        self.instantaneous: list[InstantaneousActivity] = (
+            model.ordered_instantaneous()
+        )
+        self.n_slots = len(self.places)
+        self.n_timed = len(self.timed)
+
+        # slot → bitmask of timed-activity indices whose enabling or rate
+        # depends on that slot.  Enabling depends only on input-gate places
+        # and the rate only on the rate function's binding — NOT on the
+        # places case probabilities or output gates touch (those are read
+        # at fire time), so the tighter set keeps the per-jump refresh
+        # fan-out small even when output gates write widely-shared places.
+        self.dep_masks: list[int] = [0] * self.n_slots
+        for index, activity in enumerate(self.timed):
+            bit = 1 << index
+            for place in _enabling_reads(activity):
+                self.dep_masks[self.slot_of[place]] |= bit
+
+        # union of the instantaneous activities' enabling slots: if a
+        # firing's changed slots miss this mask, no instantaneous activity
+        # can have become enabled and the stabilisation scan is skipped
+        self.insta_reads_mask = 0
+        for activity in self.instantaneous:
+            for place in _enabling_reads(activity):
+                self.insta_reads_mask |= 1 << self.slot_of[place]
+
+    def new_marking(self, values: Optional[list] = None) -> CompiledMarking:
+        """A fresh array-backed marking (initial values by default)."""
+        return CompiledMarking(
+            self.places,
+            self.slot_of,
+            self.validators,
+            list(self.initial_values) if values is None else list(values),
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Size summary for reports."""
+        return {
+            "slots": self.n_slots,
+            "timed_activities": self.n_timed,
+            "instantaneous_activities": len(self.instantaneous),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"CompiledModel({self.model.name!r}, slots={s['slots']}, "
+            f"timed={s['timed_activities']}, "
+            f"instantaneous={s['instantaneous_activities']})"
+        )
+
+
+def compile_model(model: SANModel) -> CompiledModel:
+    """Compile a SAN into its array-backed execution form.
+
+    The pass is a snapshot: places or activities registered afterwards are
+    not part of the compiled model.
+    """
+    return CompiledModel(model)
+
+
+def _enabling_reads(activity) -> set[Place]:
+    """Places that can change the activity's enabling or (timed) rate.
+
+    Strictly the input-gate bindings plus a marking-dependent rate's
+    binding.  Places read by case probabilities or touched by output gates
+    are excluded: both are evaluated at fire time, never cached, so they
+    need no dependency tracking.
+    """
+    places: set[Place] = set()
+    for gate in activity.input_gates:
+        places |= gate.places()
+    rate = getattr(activity, "rate", None)
+    if isinstance(rate, MarkingFunction):
+        places |= rate.reads()
+    return places
+
+
+# ----------------------------------------------------------------------
+# closure compilation (per engine, bound to one CompiledMarking)
+# ----------------------------------------------------------------------
+def _view(
+    marking: CompiledMarking, slots: dict[str, int], trace: Optional[list[int]]
+) -> _SlotView:
+    """A plain or tracing slot view, depending on ``trace``."""
+    if trace is None:
+        return _SlotView(marking, slots)
+    return _TracingSlotView(marking, slots, trace)
+
+
+def _compile_enabled(
+    activity,
+    marking: CompiledMarking,
+    slot_of,
+    trace: Optional[list[int]] = None,
+) -> Optional[Callable[[], bool]]:
+    """The activity's conjunction of input-gate predicates, slot-lowered.
+
+    ``None`` for always-enabled activities (no input gates); a C-level
+    ``partial`` for the common single-gate case.  With ``trace``, the
+    views record every slot the predicates read (incremental-maintenance
+    dependency discovery).
+    """
+    checks = [
+        (gate.predicate, _view(marking, gate.slot_binding(slot_of), trace))
+        for gate in activity.input_gates
+    ]
+    if not checks:
+        return None
+    if len(checks) == 1:
+        predicate, view = checks[0]
+        return partial(predicate, view)
+
+    def enabled() -> bool:
+        for predicate, view in checks:
+            if not predicate(view):
+                return False
+        return True
+
+    return enabled
+
+
+def _compile_rate(
+    activity: TimedActivity,
+    marking: CompiledMarking,
+    slot_of,
+    trace: Optional[list[int]] = None,
+) -> tuple[float, Optional[Callable[[], float]]]:
+    """``(constant, None)`` or ``(0.0, closure)`` for the activity's rate.
+
+    The closure mirrors :meth:`TimedActivity.rate_in` exactly, including
+    the negative-rate guard and its message.
+    """
+    constant, fn = activity.exponential_parts()
+    if fn is None:
+        return float(constant), None
+    view = _view(marking, fn.slot_binding(slot_of), trace)
+    raw = fn.fn
+    name = activity.name
+
+    def rate() -> float:
+        value = float(raw(view))
+        if value < 0.0:
+            raise ValueError(f"activity {name!r}: negative rate {value}")
+        return value
+
+    return 0.0, rate
+
+
+def _compile_chooser(
+    activity, marking: CompiledMarking, slot_of
+) -> Optional[Callable[[RandomStream], int]]:
+    """Case selection; ``None`` for single-case activities (no draw).
+
+    Replays :meth:`_ActivityBase.choose_case` exactly: identical
+    probability evaluation (with the [0,1] clamp and error messages of
+    ``Case.probability_in``), the same sum-to-1 check, and the same single
+    ``choice_index`` draw.
+    """
+    cases = activity.cases
+    if len(cases) == 1:
+        return None
+    evaluators: list[Callable[[], float]] = []
+    for case in cases:
+        probability = case.probability
+        if isinstance(probability, MarkingFunction):
+            view = _SlotView(marking, probability.slot_binding(slot_of))
+            raw = probability.fn
+            label = case.label
+
+            def evaluate(raw=raw, view=view, label=label) -> float:
+                value = float(raw(view))
+                if not -1e-9 <= value <= 1.0 + 1e-9:
+                    raise ValueError(
+                        f"case {label!r}: marking-dependent probability "
+                        f"{value} outside [0,1]"
+                    )
+                return min(max(value, 0.0), 1.0)
+
+            evaluators.append(evaluate)
+        else:
+            evaluators.append(lambda probability=probability: probability)
+    name = activity.name
+
+    def choose(stream: RandomStream) -> int:
+        probs = [evaluate() for evaluate in evaluators]
+        total = sum(probs)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"activity {name!r}: case probabilities sum to {total}, "
+                f"expected 1"
+            )
+        return stream.choice_index(probs)
+
+    return choose
+
+
+def _compile_fire(
+    activity, marking: CompiledMarking, slot_of
+) -> Callable[[int], None]:
+    """Input-gate functions then the chosen case's output gates, in order."""
+    input_calls = [
+        (gate.function, _SlotView(marking, gate.slot_binding(slot_of)))
+        for gate in activity.input_gates
+        if gate.function is not None
+    ]
+    case_calls = [
+        [
+            (gate.function, _SlotView(marking, gate.slot_binding(slot_of)))
+            for gate in case.output_gates
+        ]
+        for case in activity.cases
+    ]
+
+    def fire(case_index: int) -> None:
+        for function, view in input_calls:
+            function(view)
+        for function, view in case_calls[case_index]:
+            function(view)
+
+    return fire
+
+
+class CompiledJumpEngine:
+    """Jump-chain executor over a compiled SAN with incremental propensities.
+
+    Drop-in replacement for :class:`~repro.san.simulator.MarkovJumpSimulator`
+    (same constructor validation, same ``run``/``simulate`` signatures and
+    semantics, including importance-sampling weights), several times faster
+    on models with many activities because a jump only re-evaluates the
+    activities whose read slots actually changed.
+
+    Parameters
+    ----------
+    model:
+        The flattened all-exponential SAN, or an existing
+        :class:`CompiledModel` (sharing one compile pass across engines).
+    bias:
+        Optional activity-name → rate-multiplier mapping (importance
+        sampling, exactly as in the interpreted engine).
+    recompute_interval:
+        How often (in jumps) the running total rates are recomputed by an
+        exact left-to-right reduction.  ``1`` (default) recomputes every
+        jump, which keeps holding times bit-identical to the interpreted
+        engine; larger values maintain the totals by delta between
+        recomputes — faster on huge models, at the price of last-ulp float
+        drift in the sampled holding times (bounded by the interval).
+    """
+
+    #: engine label reported in runtime telemetry footers
+    engine_name = "compiled"
+
+    def __init__(
+        self,
+        model: Union[SANModel, CompiledModel],
+        bias: Optional[Mapping[str, float]] = None,
+        recompute_interval: int = 1,
+    ) -> None:
+        compiled = model if isinstance(model, CompiledModel) else None
+        san = compiled.model if compiled is not None else model
+        if not san.is_markovian:
+            bad = [a.name for a in san.timed_activities if not a.is_markovian]
+            raise TypeError(
+                f"CompiledJumpEngine requires exponential activities; "
+                f"non-exponential: {bad[:5]}"
+            )
+        if recompute_interval < 1:
+            raise ValueError(
+                f"recompute_interval must be >= 1, got {recompute_interval}"
+            )
+        self.compiled = compiled if compiled is not None else compile_model(san)
+        self.model = self.compiled.model
+        self.recompute_interval = int(recompute_interval)
+        self.bias: dict[str, float] = dict(bias or {})
+        unknown = set(self.bias) - {a.name for a in self.model.timed_activities}
+        if unknown:
+            raise ValueError(f"bias refers to unknown activities: {sorted(unknown)}")
+        for name, factor in self.bias.items():
+            if factor <= 0.0 or not math.isfinite(factor):
+                raise ValueError(
+                    f"bias factor for {name!r} must be finite and > 0, got {factor}"
+                )
+        #: timed firings executed over this engine's lifetime (telemetry)
+        self.fired_events = 0
+        self._bind()
+
+    # ------------------------------------------------------------------
+    def _bind(self) -> None:
+        """Build the slot-indexed closures over this engine's marking."""
+        compiled = self.compiled
+        marking = compiled.new_marking()
+        slot_of = compiled.slot_of
+        self._marking = marking
+        self._n = compiled.n_timed
+        self._factors = [
+            self.bias.get(activity.name, 1.0) for activity in compiled.timed
+        ]
+        self._has_bias = any(factor != 1.0 for factor in self._factors)
+        # one-cell read-trace accumulator shared by every tracing view;
+        # _refresh resets it, evaluates, then harvests the union of reads
+        self._trace = [0]
+        self._enabled = [
+            _compile_enabled(activity, marking, slot_of, self._trace)
+            for activity in compiled.timed
+        ]
+        rate_parts = [
+            _compile_rate(activity, marking, slot_of, self._trace)
+            for activity in compiled.timed
+        ]
+        self._rate_consts = [constant for constant, _ in rate_parts]
+        self._rate_fns = [fn for _, fn in rate_parts]
+        self._choosers = [
+            _compile_chooser(activity, marking, slot_of)
+            for activity in compiled.timed
+        ]
+        self._firers = [
+            _compile_fire(activity, marking, slot_of)
+            for activity in compiled.timed
+        ]
+        self._insta = [
+            (
+                _compile_enabled(activity, marking, slot_of),
+                _compile_chooser(activity, marking, slot_of),
+                _compile_fire(activity, marking, slot_of),
+            )
+            for activity in compiled.instantaneous
+        ]
+        # propensity state: original and biased rate tables (0.0 when the
+        # activity is disabled or at rate 0), running totals, active count
+        self._orig = [0.0] * self._n
+        self._biased = [0.0] * self._n
+        self._total = 0.0
+        self._total_biased = 0.0
+        self._n_active = 0
+        # dynamic dependency index: per-activity mask of the slots its last
+        # enabling/rate evaluation actually read, and the per-slot reverse
+        # masks.  Seeded from the static (conservative) compile-time index;
+        # tightened to the traced read sets as activities are evaluated.
+        self._read_masks = [0] * self._n
+        for index, activity in enumerate(compiled.timed):
+            bit = 1 << index
+            for place in _enabling_reads(activity):
+                self._read_masks[index] |= 1 << slot_of[place]
+        self._dep_masks = list(compiled.dep_masks)
+
+    # ------------------------------------------------------------------
+    # propensity maintenance
+    # ------------------------------------------------------------------
+    def _refresh(self, index: int) -> None:
+        """Re-evaluate one activity's enabling and rate; update the tables,
+        the delta-maintained totals, and the dynamic dependency index."""
+        trace = self._trace
+        trace[0] = 0
+        enabled = self._enabled[index]
+        if enabled is None or enabled():
+            fn = self._rate_fns[index]
+            rate = self._rate_consts[index] if fn is None else fn()
+            if rate > 0.0:
+                new_orig = rate
+                new_biased = rate * self._factors[index]
+            else:
+                new_orig = 0.0
+                new_biased = 0.0
+        else:
+            new_orig = 0.0
+            new_biased = 0.0
+        old_orig = self._orig[index]
+        if new_orig != old_orig or new_biased != self._biased[index]:
+            if (new_orig > 0.0) != (old_orig > 0.0):
+                self._n_active += 1 if new_orig > 0.0 else -1
+            self._total += new_orig - old_orig
+            self._total_biased += new_biased - self._biased[index]
+            self._orig[index] = new_orig
+            self._biased[index] = new_biased
+        # fold the traced read set into the reverse index (purity of gate
+        # predicates/rates guarantees the last evaluation's reads are the
+        # complete determinant of the cached result)
+        reads = trace[0]
+        old_reads = self._read_masks[index]
+        if reads != old_reads:
+            dep_masks = self._dep_masks
+            bit = 1 << index
+            stale = old_reads & ~reads
+            while stale:
+                low_bit = stale & -stale
+                dep_masks[low_bit.bit_length() - 1] &= ~bit
+                stale ^= low_bit
+            fresh = reads & ~old_reads
+            while fresh:
+                low_bit = fresh & -fresh
+                dep_masks[low_bit.bit_length() - 1] |= bit
+                fresh ^= low_bit
+            self._read_masks[index] = reads
+
+    def _refresh_all(self) -> None:
+        """Full rebuild of the propensity tables (run entry)."""
+        self._orig = [0.0] * self._n
+        self._biased = [0.0] * self._n
+        self._total = 0.0
+        self._total_biased = 0.0
+        self._n_active = 0
+        for index in range(self._n):
+            self._refresh(index)
+        # run entry is a recompute point: fix the reduction order exactly
+        self._total_biased = sum(self._biased)
+        self._total = sum(self._orig) if self._has_bias else self._total_biased
+
+    def _refresh_affected(self, changed_mask: int) -> None:
+        """Re-evaluate only the activities whose last evaluation read one
+        of the changed slots."""
+        dep_masks = self._dep_masks
+        affected = 0
+        while changed_mask:
+            low_bit = changed_mask & -changed_mask
+            affected |= dep_masks[low_bit.bit_length() - 1]
+            changed_mask ^= low_bit
+        refresh = self._refresh
+        while affected:
+            low_bit = affected & -affected
+            refresh(low_bit.bit_length() - 1)
+            affected ^= low_bit
+
+    # ------------------------------------------------------------------
+    # stabilisation (instantaneous activities)
+    # ------------------------------------------------------------------
+    def _stabilize(self, stream: RandomStream) -> None:
+        """Fire enabled instantaneous activities until none remains.
+
+        Same scan order and draw sequence as the interpreted
+        :func:`~repro.san.simulator._stabilize`.
+        """
+        insta = self._insta
+        if not insta:
+            return
+        for _ in range(MAX_INSTANTANEOUS_CHAIN):
+            for enabled, choose, fire in insta:
+                if enabled is None or enabled():
+                    fire(0 if choose is None else choose(stream))
+                    break
+            else:
+                return
+        raise UnstableMarkingError(
+            f"more than {MAX_INSTANTANEOUS_CHAIN} consecutive instantaneous "
+            f"firings in model {self.model.name!r}; the marking never "
+            f"stabilises"
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stream: RandomStream,
+        horizon: float,
+        stop_predicate: Optional[Callable[[Any], bool]] = None,
+        rate_rewards=None,
+    ) -> SimulationRun:
+        """One replication from the model's initial marking."""
+        outcome = self.simulate(
+            None,
+            start_time=0.0,
+            horizon=horizon,
+            stream=stream,
+            stop_predicate=stop_predicate,
+            rate_rewards=rate_rewards,
+        )
+        return SimulationRun(
+            end_time=outcome.time,
+            stopped=outcome.stopped,
+            stop_time=outcome.stop_time,
+            weight=outcome.weight,
+            firings=outcome.firings,
+            final_marking=outcome.marking,
+            reward_integrals=outcome.reward_integrals,
+        )
+
+    def simulate(
+        self,
+        marking: Optional[Union[Marking, CompiledMarking]],
+        start_time: float,
+        horizon: float,
+        stream: RandomStream,
+        stop_predicate: Optional[Callable[[Any], bool]] = None,
+        level_fn: Optional[Callable[[Any], float]] = None,
+        level_target: Optional[float] = None,
+        initial_weight: float = 1.0,
+        rate_rewards=None,
+    ) -> JumpOutcome:
+        """Simulate a path segment (mirrors the interpreted engine).
+
+        ``marking`` may be a dict-backed :class:`Marking` (as handed out by
+        the splitting engine's pools), a :class:`CompiledMarking`, or
+        ``None`` for the model's initial marking.  The returned
+        :class:`JumpOutcome` carries an independent dict-backed snapshot,
+        never the engine's working marking.
+        """
+        cm = self._marking
+        if marking is None:
+            cm.values[:] = self.compiled.initial_values
+            cm.changed_mask = 0
+        else:
+            cm.load(marking)
+        weight = float(initial_weight)
+        now = float(start_time)
+        firings = 0
+        integrator = _RewardIntegrator(rate_rewards)
+
+        self._stabilize(stream)
+        cm.changed_mask = 0
+        if stop_predicate is not None and stop_predicate(cm):
+            return JumpOutcome(
+                cm.export(), now, weight, True, now, False, firings,
+                integrator.integrals,
+            )
+        if (
+            level_fn is not None
+            and level_target is not None
+            and level_fn(cm) >= level_target
+        ):
+            return JumpOutcome(
+                cm.export(), now, weight, False, math.inf, True, firings,
+                integrator.integrals,
+            )
+
+        self._refresh_all()
+        orig = self._orig
+        biased = self._biased
+        has_bias = self._has_bias
+        interval = self.recompute_interval
+        insta_reads = self.compiled.insta_reads_mask
+        exponential = stream.exponential
+        random = stream.random
+        since_recompute = 0
+
+        while now < horizon:
+            if interval == 1:
+                # exact per-jump reduction: left-to-right over the full
+                # table, 0.0 entries are bitwise no-ops, so this equals
+                # the interpreted engine's compact sum exactly
+                total_biased = sum(biased)
+                total = sum(orig) if has_bias else total_biased
+            elif since_recompute >= interval or self._total_biased <= 0.0:
+                total_biased = self._total_biased = sum(biased)
+                total = self._total = (
+                    sum(orig) if has_bias else total_biased
+                )
+                since_recompute = 0
+            else:
+                total_biased = self._total_biased
+                total = self._total if has_bias else total_biased
+            since_recompute += 1
+
+            if self._n_active == 0:
+                # deadlock: the marking persists until the horizon
+                integrator.accumulate(cm, horizon - now)
+                return JumpOutcome(
+                    cm.export(), now, weight, False, math.inf, False,
+                    firings, integrator.integrals,
+                )
+
+            holding = exponential(total_biased)
+            if now + holding > horizon:
+                # No event before the horizon under the biased law; correct
+                # for the survival-probability ratio over the residual time.
+                weight *= math.exp(-(total - total_biased) * (horizon - now))
+                integrator.accumulate(cm, horizon - now)
+                now = horizon
+                break
+
+            # replay choice_index: one uniform, resolved by prefix-sum
+            # bisection (zero-rate entries are never selected)
+            u = random() * total_biased
+            cumulative = list(accumulate(biased))
+            index = bisect_right(cumulative, u)
+            if index >= self._n:
+                # numerical edge u == total: last enabled activity, as in
+                # the interpreted engine's choice_index fallback
+                index = self._n - 1
+                while index > 0 and biased[index] <= 0.0:
+                    index -= 1
+            weight *= (orig[index] / biased[index]) * math.exp(
+                -(total - total_biased) * holding
+            )
+            integrator.accumulate(cm, holding)
+            now += holding
+
+            chooser = self._choosers[index]
+            self._firers[index](0 if chooser is None else chooser(stream))
+            firings += 1
+            self.fired_events += 1
+            if cm.changed_mask & insta_reads:
+                self._stabilize(stream)
+
+            if stop_predicate is not None and stop_predicate(cm):
+                return JumpOutcome(
+                    cm.export(), now, weight, True, now, False, firings,
+                    integrator.integrals,
+                )
+            if (
+                level_fn is not None
+                and level_target is not None
+                and level_fn(cm) >= level_target
+            ):
+                return JumpOutcome(
+                    cm.export(), now, weight, False, math.inf, True,
+                    firings, integrator.integrals,
+                )
+
+            self._refresh_affected(cm.clear_changed_mask())
+
+        return JumpOutcome(
+            cm.export(), now, weight, False, math.inf, False, firings,
+            integrator.integrals,
+        )
+
+
+def make_jump_engine(
+    model: SANModel,
+    bias: Optional[Mapping[str, float]] = None,
+    engine: str = "compiled",
+) -> Union[MarkovJumpSimulator, CompiledJumpEngine]:
+    """The jump-chain executor for ``engine`` ∈ :data:`ENGINES`.
+
+    ``"compiled"`` (default) builds a :class:`CompiledJumpEngine`;
+    ``"interpreted"`` the original
+    :class:`~repro.san.simulator.MarkovJumpSimulator`.  Both produce
+    bit-identical results for the same seed; fall back to ``interpreted``
+    when debugging gate code (plain dict-backed markings) — see
+    ``docs/engine_perf.md``.
+    """
+    if engine == "compiled":
+        return CompiledJumpEngine(model, bias=bias)
+    if engine == "interpreted":
+        return MarkovJumpSimulator(model, bias=bias)
+    raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

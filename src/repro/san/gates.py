@@ -68,6 +68,11 @@ class InputGate:
         """All places this gate touches."""
         return set(self.binding.values())
 
+    def slot_binding(self, slot_of: Mapping[Place, int]) -> dict[str, int]:
+        """Local name → slot index (the compile pass's lowering of
+        :attr:`binding` onto an array-backed marking)."""
+        return {local: slot_of[place] for local, place in self.binding.items()}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"InputGate({self.name!r})"
 
@@ -102,6 +107,10 @@ class OutputGate:
     def places(self) -> set[Place]:
         """All places this gate touches."""
         return set(self.binding.values())
+
+    def slot_binding(self, slot_of: Mapping[Place, int]) -> dict[str, int]:
+        """Local name → slot index (see :meth:`InputGate.slot_binding`)."""
+        return {local: slot_of[place] for local, place in self.binding.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OutputGate({self.name!r})"

@@ -58,6 +58,24 @@ class Marking:
         """Independent copy (used by splitting and state-space search)."""
         return Marking(self._values)
 
+    def values_in(self, order: Iterable[Place]) -> list:
+        """Values in the given place order (the compiled engine's loader).
+
+        Raises
+        ------
+        KeyError
+            If a requested place is not part of this marking.
+        """
+        values = self._values
+        try:
+            return [values[p] for p in order]
+        except KeyError as exc:
+            place = exc.args[0]
+            raise KeyError(
+                f"place {getattr(place, 'name', place)!r} is not part of "
+                f"this marking"
+            ) from None
+
     def freeze(self, order: list[Place]) -> tuple:
         """Hashable snapshot of the marking, in the given place order."""
         return tuple(self._values[p] for p in order)
@@ -162,3 +180,7 @@ class MarkingFunction:
     def reads(self) -> set[Place]:
         """Places this function may read (conservative: all bound)."""
         return set(self.binding.values())
+
+    def slot_binding(self, slot_of: Mapping[Place, int]) -> dict[str, int]:
+        """Local name → slot index (compile-pass lowering of the binding)."""
+        return {local: slot_of[place] for local, place in self.binding.items()}

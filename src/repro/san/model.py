@@ -28,6 +28,7 @@ class SANModel:
         self.instantaneous_activities: list[InstantaneousActivity] = []
         self._place_set: set[Place] = set()
         self._activity_names: set[str] = set()
+        self._ordered_instantaneous: Optional[list[InstantaneousActivity]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -57,6 +58,7 @@ class SANModel:
             self.timed_activities.append(activity)
         elif isinstance(activity, InstantaneousActivity):
             self.instantaneous_activities.append(activity)
+            self._ordered_instantaneous = None
         else:
             raise TypeError(f"not an activity: {activity!r}")
         for place in activity.reads() | activity.writes():
@@ -95,6 +97,22 @@ class SANModel:
             if activity.name == name:
                 return activity
         raise KeyError(f"model {self.name!r}: no activity named {name!r}")
+
+    def ordered_instantaneous(self) -> list[InstantaneousActivity]:
+        """Instantaneous activities in firing order (priority desc, then
+        insertion order) — the order :func:`~repro.san.simulator._stabilize`
+        scans them in.  Computed once and cached; registering another
+        instantaneous activity invalidates the cache.
+        """
+        if self._ordered_instantaneous is None:
+            self._ordered_instantaneous = sorted(
+                self.instantaneous_activities, key=lambda a: -a.priority
+            )
+        return self._ordered_instantaneous
+
+    def place_slots(self) -> dict[Place, int]:
+        """Place → dense slot index, in registration order (compile pass)."""
+        return {place: slot for slot, place in enumerate(self.places)}
 
     def initial_marking(self) -> Marking:
         """A fresh marking with all places at their initial values."""

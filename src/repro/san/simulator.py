@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
 from repro.san.activities import InstantaneousActivity, TimedActivity
-from repro.san.marking import Marking
+from repro.san.marking import Marking, MarkingFunction
 from repro.san.model import SANModel
 from repro.san.places import Place
 from repro.stochastic.rng import RandomStream
@@ -76,9 +76,7 @@ def _stabilize(
     """
     if not model.instantaneous_activities:
         return
-    ordered = sorted(
-        model.instantaneous_activities, key=lambda a: -a.priority
-    )
+    ordered = model.ordered_instantaneous()
     for _ in range(MAX_INSTANTANEOUS_CHAIN):
         for activity in ordered:
             if activity.enabled(marking):
@@ -261,8 +259,6 @@ class SANSimulator:
                     # Resample when a marking-dependent rate may have moved
                     # (memoryless, so resampling is distribution-preserving).
                     rate = candidate.rate
-                    from repro.san.marking import MarkingFunction
-
                     if isinstance(rate, MarkingFunction) and (
                         changed & rate.reads()
                     ):
@@ -317,6 +313,9 @@ class MarkovJumpSimulator:
         Optional activity-name → rate-multiplier mapping.
     """
 
+    #: engine label reported in runtime telemetry footers
+    engine_name = "interpreted"
+
     def __init__(
         self, model: SANModel, bias: Optional[Mapping[str, float]] = None
     ) -> None:
@@ -336,6 +335,9 @@ class MarkovJumpSimulator:
                 raise ValueError(
                     f"bias factor for {name!r} must be finite and > 0, got {factor}"
                 )
+        #: timed firings executed over this simulator's lifetime (events/sec
+        #: telemetry; reset by the caller if per-window numbers are needed)
+        self.fired_events = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -456,6 +458,7 @@ class MarkovJumpSimulator:
             case = activity.choose_case(marking, stream)
             activity.fire(marking, case)
             firings += 1
+            self.fired_events += 1
             _stabilize(model, marking, stream)
             marking.clear_changed()
 
