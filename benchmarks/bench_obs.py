@@ -1,0 +1,194 @@
+"""Observability overhead benchmark: instrumented vs bare compiled engine.
+
+Not a paper artifact — guards the "zero overhead when off, cheap when on"
+contract of :mod:`repro.obs`.  Directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke --json BENCH_obs.json
+
+Runs the compiled jump engine on the composed AHS model three ways —
+uninstrumented, with counter-level metrics (``level="counts"``), and with
+full metrics plus a bounded trace recorder — over identical seeds, prints
+an overhead table, writes ``BENCH_obs.json`` and exits non-zero if the
+counter-level overhead exceeds the budget (10 % by default; the CI
+obs-smoke gate).  Event counts must match exactly across all modes:
+instrumentation never touches the RNG stream.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import AHSParameters, build_composed_model
+from repro.obs import MetricsRecorder, Observation, TraceRecorder
+from repro.san import make_jump_engine
+from repro.stochastic import StreamFactory
+
+OVERHEAD_BUDGET = 0.10  # counter-level metrics may cost at most 10 %
+
+
+def _observation(mode: str):
+    if mode == "off":
+        return None
+    if mode == "counts":
+        return Observation(metrics=MetricsRecorder(level="counts"))
+    if mode == "full+trace":
+        return Observation(
+            trace=TraceRecorder(capacity=10_000),
+            metrics=MetricsRecorder(level="full"),
+        )
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def _time_mode(model, mode: str, replications: int, horizon: float) -> dict:
+    """Throughput of the compiled engine with one instrumentation mode."""
+    observer = _observation(mode)
+    simulator = make_jump_engine(model, engine="compiled", observer=observer)
+    factory = StreamFactory(2024)
+    streams = factory.stream_batch("bench", replications)
+    started = time.perf_counter()
+    firings = sum(
+        simulator.run(stream, horizon).firings for stream in streams
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "mode": mode,
+        "replications": replications,
+        "events": int(firings),
+        "elapsed_seconds": elapsed,
+        "events_per_sec": firings / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def measure_overhead(
+    size: int = 10, replications: int = 40, horizon: float = 2.0, repeats: int = 3
+) -> dict:
+    """Benchmark all instrumentation modes on one composed model.
+
+    Each mode runs ``repeats`` times over the same seeds and the fastest
+    pass is kept (overhead is a minimum-cost question; the slower passes
+    measure machine noise).  All modes must report identical event counts.
+    """
+    model = build_composed_model(AHSParameters(max_platoon_size=size)).model
+    modes = ("off", "counts", "full+trace")
+    results = {}
+    for mode in modes:
+        passes = [
+            _time_mode(model, mode, replications, horizon)
+            for _ in range(repeats)
+        ]
+        results[mode] = min(passes, key=lambda row: row["elapsed_seconds"])
+    baseline = results["off"]
+    for mode in modes[1:]:
+        if results[mode]["events"] != baseline["events"]:
+            raise AssertionError(
+                f"mode {mode!r} changed the event count "
+                f"({results[mode]['events']} vs {baseline['events']}): "
+                "instrumentation must not touch the RNG stream"
+            )
+    return {
+        "max_platoon_size": size,
+        "places": len(model.places),
+        "timed_activities": len(model.timed_activities),
+        "horizon": horizon,
+        "repeats": repeats,
+        "modes": results,
+        "overhead": {
+            mode: results[mode]["elapsed_seconds"] / baseline["elapsed_seconds"]
+            - 1.0
+            for mode in modes[1:]
+        },
+    }
+
+
+def _render_table(row: dict) -> str:
+    lines = [
+        f"{'mode':>12}  {'events/s':>10}  {'overhead':>8}",
+    ]
+    baseline = row["modes"]["off"]
+    for mode, result in row["modes"].items():
+        overhead = (
+            "--"
+            if mode == "off"
+            else f"{row['overhead'][mode]:+.1%}"
+        )
+        lines.append(
+            f"{mode:>12}  {result['events_per_sec']:>10.0f}  {overhead:>8}"
+        )
+    lines.append(
+        f"(n={row['max_platoon_size']}, {baseline['replications']} "
+        f"replications, horizon={row['horizon']}h, "
+        f"{baseline['events']} events per mode)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the overhead of repro.obs instrumentation."
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=10,
+        help="max_platoon_size of the composed model (default: 10)",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=40,
+        help="replications per mode per pass (default: 40)",
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=2.0, help="trip horizon in hours"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing passes per mode; the fastest is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=OVERHEAD_BUDGET,
+        help="maximum allowed counter-level overhead (default: 0.10)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI configuration (size 10, 20 replications)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_obs.json",
+        help="output path for the machine-readable results",
+    )
+    args = parser.parse_args(argv)
+    size = 10 if args.smoke else args.size
+    replications = 20 if args.smoke else args.replications
+
+    row = measure_overhead(size, replications, args.horizon, args.repeats)
+    print(_render_table(row))
+    record = {
+        "benchmark": "obs-overhead",
+        "budget": args.budget,
+        "result": row,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+
+    overhead = row["overhead"]["counts"]
+    if overhead > args.budget:
+        print(
+            f"FAIL: counter-level metrics overhead {overhead:.1%} exceeds "
+            f"the {args.budget:.0%} budget"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

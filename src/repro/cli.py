@@ -14,6 +14,11 @@ The ``unsafety``, ``figure`` and ``all`` commands accept ``--workers N``
 (shard the work over N processes via :mod:`repro.runtime`),
 ``--cache-dir PATH`` (content-addressed result cache; defaults to
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ahs``) and ``--no-cache``.
+
+Observability (:mod:`repro.obs`): ``repro-cli trace`` exports structured
+JSONL trajectory traces; ``repro-cli unsafety`` accepts ``--metrics``
+(per-activity breakdown table), ``--trace-out FILE`` (JSONL trace, serial
+only) and ``--profile`` (per-phase wall-time spans).
 """
 
 from __future__ import annotations
@@ -127,7 +132,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="jump-chain executor for the simulation methods "
         "(seed-identical results; compiled is several times faster)",
     )
+    uns.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-activity metrics and print the per-failure-mode /"
+        " per-maneuver breakdown table (simulation methods only)",
+    )
+    uns.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trajectory trace (simulation methods; forces "
+        "serial execution — traces cannot cross process boundaries)",
+    )
+    uns.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=10_000,
+        help="trace ring-buffer capacity (older events are dropped)",
+    )
+    uns.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall-time spans (compile/simulate/merge/cache)",
+    )
     _add_runtime_flags(uns)
+
+    trc = sub.add_parser(
+        "trace",
+        help="export a structured JSONL trajectory trace of simulated runs",
+    )
+    trc.add_argument("--n", type=int, default=10, help="max platoon size")
+    trc.add_argument(
+        "--lam", type=float, default=1e-5, help="base failure rate (1/hr)"
+    )
+    trc.add_argument(
+        "--strategy", default="DD", choices=["DD", "DC", "CD", "CC"]
+    )
+    trc.add_argument(
+        "--horizon", type=float, default=6.0, help="trip duration (hours)"
+    )
+    trc.add_argument(
+        "--method",
+        default="simulation",
+        choices=["simulation", "importance", "splitting"],
+        help="which simulation method to trace",
+    )
+    trc.add_argument("--replications", type=int, default=100)
+    trc.add_argument("--seed", type=int, default=None)
+    trc.add_argument(
+        "--engine", default="compiled", choices=["interpreted", "compiled"]
+    )
+    trc.add_argument(
+        "--boost",
+        type=float,
+        default=30.0,
+        help="failure-rate multiplier for method=importance",
+    )
+    trc.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="JSONL output path (default: stdout)",
+    )
+    trc.add_argument(
+        "--capacity",
+        type=int,
+        default=10_000,
+        help="ring-buffer capacity (older events are dropped)",
+    )
+    trc.add_argument(
+        "--no-deltas",
+        action="store_true",
+        help="omit per-firing marking deltas (smaller, cheaper traces)",
+    )
 
     cal = sub.add_parser(
         "calibrate", help="measure kinematic maneuver durations (repro.agents)"
@@ -232,6 +310,32 @@ def _cmd_all(fast: bool, runner=None) -> int:
     return 0
 
 
+_SIMULATION_METHODS = ("simulation", "importance", "splitting")
+
+
+def _build_observation(args):
+    """An :class:`repro.obs.Observation` from CLI flags, or None."""
+    wants_trace = getattr(args, "trace_out", None) is not None
+    wants_metrics = getattr(args, "metrics", False)
+    wants_profile = getattr(args, "profile", False)
+    if not (wants_trace or wants_metrics or wants_profile):
+        return None
+    from repro.obs import (
+        MetricsRecorder,
+        Observation,
+        PhaseProfiler,
+        TraceRecorder,
+    )
+
+    return Observation(
+        trace=TraceRecorder(capacity=args.trace_capacity)
+        if wants_trace
+        else None,
+        metrics=MetricsRecorder() if wants_metrics else None,
+        profiler=PhaseProfiler() if wants_profile else None,
+    )
+
+
 def _cmd_unsafety(args) -> int:
     from repro.core import AHSParameters, Strategy, unsafety
 
@@ -250,14 +354,32 @@ def _cmd_unsafety(args) -> int:
             f"{args.method} runs serially]"
         )
         runner = None
+    observer = _build_observation(args)
+    if observer is not None and args.method not in _SIMULATION_METHODS:
+        print(
+            f"[note: --metrics/--trace-out/--profile apply to the "
+            f"simulation methods; {args.method} runs uninstrumented]"
+        )
+        observer = None
+    if observer is not None and observer.trace is not None and runner is not None:
+        print(
+            "[note: --trace-out forces serial execution — traces cannot "
+            "cross process boundaries]"
+        )
+        runner = None
+    if runner is not None and observer is not None:
+        # the driver-side spans (simulate/merge/cache) live in the runner
+        runner.profiler = observer.profiler
     estimate = unsafety(
         params,
         times,
         method=args.method,
         n_replications=args.replications,
         seed=args.seed,
+        boost=getattr(args, "boost", 30.0),
         runner=runner,
         engine=args.engine,
+        observer=observer,
     )
     if runner is not None:
         snapshot = runner.pop_telemetry()
@@ -271,6 +393,58 @@ def _cmd_unsafety(args) -> int:
         print(f"  S({t:g}h) = {value:.6e}{suffix}")
     if estimate.truncation_error:
         print(f"  truncation error bound: {estimate.truncation_error:.2e}")
+    if observer is not None:
+        _report_observation(observer, getattr(args, "trace_out", None))
+    return 0
+
+
+def _report_observation(observer, trace_out) -> None:
+    """Print/export whatever the Observation collected."""
+    if observer.metrics is not None:
+        from repro.obs import format_metrics_table
+
+        print(format_metrics_table(observer.metrics.summary()))
+    if observer.profiler is not None:
+        print(observer.profiler.format())
+    if observer.trace is not None and trace_out is not None:
+        written = observer.trace.write_jsonl(trace_out)
+        dropped = observer.trace.dropped
+        note = f" ({dropped} older events dropped)" if dropped else ""
+        print(f"[trace: {written} events -> {trace_out}{note}]")
+
+
+def _cmd_trace(args) -> int:
+    import sys as _sys
+
+    from repro.core import AHSParameters, Strategy, unsafety
+    from repro.obs import Observation, TraceRecorder
+
+    params = AHSParameters(
+        max_platoon_size=args.n,
+        base_failure_rate=args.lam,
+        strategy=Strategy(args.strategy),
+    )
+    recorder = TraceRecorder(
+        capacity=args.capacity, deltas=not args.no_deltas
+    )
+    observer = Observation(trace=recorder)
+    unsafety(
+        params,
+        [args.horizon],
+        method=args.method,
+        n_replications=args.replications,
+        seed=args.seed,
+        boost=args.boost,
+        engine=args.engine,
+        observer=observer,
+    )
+    if args.out is None:
+        recorder.write_jsonl(_sys.stdout)
+        return 0
+    written = recorder.write_jsonl(args.out)
+    dropped = recorder.dropped
+    note = f" ({dropped} older events dropped)" if dropped else ""
+    print(f"[trace: {written} events -> {args.out}{note}]")
     return 0
 
 
@@ -444,6 +618,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_all(args.fast, runner=_build_runner(args))
     if args.command == "unsafety":
         return _cmd_unsafety(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "sensitivity":

@@ -59,6 +59,7 @@ def unsafety(
     stopping_rule: Optional[SequentialStoppingRule] = None,
     runner=None,
     engine: str = "compiled",
+    observer=None,
 ) -> TransientEstimate:
     """Evaluate S(t) at the requested times.
 
@@ -98,6 +99,15 @@ def unsafety(
         same results per seed, several times faster; ``"interpreted"`` is
         the reference executor, useful when debugging gate code).
         ``analytical`` and ``approx`` ignore it.
+    observer:
+        Optional observability hook (typically
+        :class:`repro.obs.Observation`) for the simulation-based methods.
+        Serial runs attach it to the engine directly (traces, metrics and
+        profiling all work); with a ``runner`` the metric summaries are
+        collected worker-side, merged in chunk order, and absorbed back
+        into ``observer.metrics`` — trace recorders cannot cross process
+        boundaries and are ignored on the parallel path.  Instrumentation
+        never changes estimates, draw counts, or IS weights.
 
     Returns
     -------
@@ -135,11 +145,20 @@ def unsafety(
             method="approx",
         )
 
+    metrics_recorder = getattr(observer, "metrics", None)
+    profiler = getattr(observer, "profiler", None)
+
     if method == "simulation" and runner is not None:
         from repro.core.partasks import UnsafetySimulationTask
 
         task = UnsafetySimulationTask(
-            params=params, times=tuple(times_list), engine=engine
+            params=params,
+            times=tuple(times_list),
+            engine=engine,
+            metrics=metrics_recorder is not None,
+            metrics_level=(
+                metrics_recorder.level if metrics_recorder is not None else "full"
+            ),
         )
         result = runner.run(
             task,
@@ -147,6 +166,11 @@ def unsafety(
             n_replications=None if stopping_rule is not None else n_replications,
             rule=stopping_rule,
         )
+        if (
+            metrics_recorder is not None
+            and result.telemetry.activity_metrics is not None
+        ):
+            metrics_recorder.absorb(result.telemetry.activity_metrics)
         method_name = "simulation-parallel"
         if stopping_rule is not None and not result.converged:
             method_name += "-unconverged"
@@ -158,12 +182,18 @@ def unsafety(
             method=method_name,
         )
 
+    from repro.obs.profile import profile_span
+
     factory = StreamFactory(seed)
-    ahs = build_composed_model(params)
+    with profile_span(profiler, "compile"):
+        ahs = build_composed_model(params)
     horizon = max(times_list)
 
     if method == "simulation":
-        simulator = make_jump_engine(ahs.model, engine=engine)
+        with profile_span(profiler, "compile"):
+            simulator = make_jump_engine(
+                ahs.model, engine=engine, observer=observer
+            )
         predicate = ahs.unsafe_predicate()
         if stopping_rule is not None:
             # the paper's protocol: add batches until each (non-zero)
@@ -179,7 +209,8 @@ def unsafety(
             estimator = ReplicationEstimator(
                 sample, rule=stopping_rule, round_size=stopping_rule.min_replications
             )
-            means, halves, n_done, converged = estimator.estimate()
+            with profile_span(profiler, "simulate"):
+                means, halves, n_done, converged = estimator.estimate()
             return TransientEstimate(
                 times=times_arr,
                 values=means,
@@ -188,10 +219,11 @@ def unsafety(
                 method="simulation-sequential"
                 + ("" if converged else "-unconverged"),
             )
-        runs = [
-            simulator.run(stream, horizon, predicate)
-            for stream in factory.stream_batch("mc", n_replications)
-        ]
+        with profile_span(profiler, "simulate"):
+            runs = [
+                simulator.run(stream, horizon, predicate)
+                for stream in factory.stream_batch("mc", n_replications)
+            ]
         return TransientEstimate.from_indicator_runs(
             times_list, runs, method="simulation"
         )
@@ -200,10 +232,16 @@ def unsafety(
         biasing = FailureBiasing(
             boost=boost, name_predicate=lambda name: name.startswith("L_FM")
         )
-        estimator = ImportanceSamplingEstimator(
-            ahs.model, ahs.unsafe_predicate(), biasing, engine=engine
-        )
-        return estimator.estimate(times_list, n_replications, factory)
+        with profile_span(profiler, "compile"):
+            estimator = ImportanceSamplingEstimator(
+                ahs.model,
+                ahs.unsafe_predicate(),
+                biasing,
+                engine=engine,
+                observer=observer,
+            )
+        with profile_span(profiler, "simulate"):
+            return estimator.estimate(times_list, n_replications, factory)
 
     if method == "splitting":
         levels = (
@@ -211,20 +249,23 @@ def unsafety(
             if splitting_levels is not None
             else [1.0, 2.0, 3.0, 1000.0]
         )
-        splitter = FixedEffortSplitting(
-            ahs.model,
-            ahs.severity_level(),
-            levels,
-            trials_per_stage=trials_per_stage,
-            engine=engine,
-        )
+        with profile_span(profiler, "compile"):
+            splitter = FixedEffortSplitting(
+                ahs.model,
+                ahs.severity_level(),
+                levels,
+                trials_per_stage=trials_per_stage,
+                engine=engine,
+                observer=observer,
+            )
         # splitting estimates P(hit by horizon); evaluate per time point
         values = []
         halves = []
-        for t in times_list:
-            outcome = splitter.estimate(t, factory, repetitions=repetitions)
-            values.append(outcome.probability)
-            halves.append(outcome.interval.half_width)
+        with profile_span(profiler, "simulate"):
+            for t in times_list:
+                outcome = splitter.estimate(t, factory, repetitions=repetitions)
+                values.append(outcome.probability)
+                halves.append(outcome.interval.half_width)
         return TransientEstimate(
             times=np.asarray(times_list),
             values=np.asarray(values),

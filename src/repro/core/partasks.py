@@ -26,6 +26,7 @@ class _SimContext(NamedTuple):
     predicate: object
     times: np.ndarray
     horizon: float
+    recorder: object = None
 
 
 @dataclass(frozen=True)
@@ -42,11 +43,20 @@ class UnsafetySimulationTask:
     engine name — stay reproducible across the switch; the cache token
     still distinguishes engines so a suspected discrepancy can be bisected
     without cache pollution.
+
+    ``metrics`` attaches a per-chunk
+    :class:`~repro.obs.metrics.MetricsRecorder` worker-side; the runtime
+    ships each chunk's summary home and merges them in chunk-index order,
+    so the pooled metrics are identical for any worker count.  The flag
+    joins the cache token only when enabled, keeping existing metric-less
+    cache entries valid.
     """
 
     params: AHSParameters
     times: tuple[float, ...]
     engine: str = "compiled"
+    metrics: bool = False
+    metrics_level: str = "full"
 
     def __post_init__(self) -> None:
         if not self.times:
@@ -66,11 +76,21 @@ class UnsafetySimulationTask:
         from repro.san.compiled import make_jump_engine
 
         ahs = build_composed_model(self.params)
+        recorder = None
+        observer = None
+        if self.metrics:
+            from repro.obs import MetricsRecorder, Observation
+
+            recorder = MetricsRecorder(level=self.metrics_level)
+            observer = Observation(metrics=recorder)
         return _SimContext(
-            simulator=make_jump_engine(ahs.model, engine=self.engine),
+            simulator=make_jump_engine(
+                ahs.model, engine=self.engine, observer=observer
+            ),
             predicate=ahs.unsafe_predicate(),
             times=np.asarray(self.times, dtype=float),
             horizon=float(max(self.times)),
+            recorder=recorder,
         )
 
     def sample(self, context: _SimContext, stream) -> np.ndarray:
@@ -83,14 +103,23 @@ class UnsafetySimulationTask:
         (worker telemetry: events/sec per engine)."""
         return int(context.simulator.fired_events)
 
+    def metrics_of(self, context: _SimContext):
+        """This chunk's serialised metric summary (None when disabled)."""
+        if context.recorder is None:
+            return None
+        return context.recorder.summary().to_dict()
+
     def cache_token(self) -> dict:
-        return {
+        token = {
             "measure": "unsafety",
             "engine": "simulation",
             "simulator": self.engine,
             "params": self.params,
             "times": self.times,
         }
+        if self.metrics:
+            token["metrics"] = self.metrics_level
+        return token
 
 
 @dataclass(frozen=True)

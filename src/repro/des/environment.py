@@ -30,13 +30,17 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock.
+    observer:
+        Optional observability hook (see :mod:`repro.obs`); its
+        ``record_des_event(when)`` is called for every processed event.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, observer=None) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = count()
         self._active_process = None
+        self.observer = observer
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +95,8 @@ class Environment:
         """
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        if self.observer is not None:
+            self.observer.record_des_event(when)
         event._run_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:

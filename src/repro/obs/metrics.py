@@ -1,0 +1,502 @@
+"""Mergeable per-activity metric summaries.
+
+The metrics side of the observability layer answers the paper's "why"
+questions (which failure modes fire, which maneuvers escalate, which
+catastrophic situation absorbed the run) with numbers instead of traces:
+
+* :class:`MetricsRecorder` is the live accumulator an engine feeds through
+  the observer protocol (see :mod:`repro.obs`).  At ``level="counts"`` a
+  firing costs one dict update — the overhead gate enforced by
+  ``benchmarks/bench_obs.py``; ``level="full"`` adds per-activity
+  sojourn-time accumulators and first-passage statistics.
+* :class:`MetricSummary` is the frozen, JSON-round-trippable result.  Two
+  summaries merge with the same Chan/Welford discipline as
+  :mod:`repro.runtime.merge` — integer counters add exactly and the
+  running moments pool with Chan's update — so the parallel runtime can
+  ship one summary per chunk and combine them *in chunk-index order*,
+  making the merged metrics bit-identical for any worker count.
+
+Nothing in this module draws randomness: recorders only read what the
+engines pass them, so estimates, draw counts, and importance-sampling
+weights are unchanged by instrumentation (enforced by
+``tests/obs/test_invariance.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+__all__ = [
+    "RunningStats",
+    "MetricSummary",
+    "MetricsRecorder",
+    "base_activity_name",
+    "merge_metric_dicts",
+    "severity_classifier",
+    "format_metrics_table",
+]
+
+#: replica suffix appended by :func:`repro.san.composition.replicate`
+_REPLICA_SUFFIX = re.compile(r"\[\d+\]$")
+
+
+def base_activity_name(name: str) -> str:
+    """Activity name with the replica suffix stripped (``L_FM1[3]`` → ``L_FM1``)."""
+    return _REPLICA_SUFFIX.sub("", name)
+
+
+class RunningStats:
+    """Streaming count/mean/M2/min/max with an exact Chan parallel merge.
+
+    The same recurrences as :class:`repro.des.monitor.Monitor`, plus the
+    dict round-trip the cross-process metric summaries need.  Merging is
+    order-sensitive in the last float ulps, which is why
+    :func:`merge_metric_dicts` is only ever applied in chunk-index order.
+    """
+
+    __slots__ = ("n", "mean", "m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        """One observation (Welford update)."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Pool ``other`` into this accumulator (Chan update); returns self."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            self.min, self.max = other.min, other.max
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * (self.n * other.n / n)
+        self.mean += delta * (other.n / n)
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN for fewer than 2 observations)."""
+        if self.n < 2:
+            return math.nan
+        return self.m2 / (self.n - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.min if self.n else None,
+            "max": self.max if self.n else None,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RunningStats":
+        stats = cls()
+        stats.n = int(record["n"])
+        stats.mean = float(record["mean"])
+        stats.m2 = float(record["m2"])
+        stats.min = math.inf if record.get("min") is None else float(record["min"])
+        stats.max = -math.inf if record.get("max") is None else float(record["max"])
+        return stats
+
+    def copy(self) -> "RunningStats":
+        fresh = RunningStats()
+        fresh.merge(self)
+        return fresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningStats(n={self.n}, mean={self.mean:.4g})"
+
+
+class MetricSummary:
+    """Frozen per-activity metrics of one (chunk of) simulation run(s).
+
+    Attributes
+    ----------
+    replications:
+        Completed replications covered by this summary.
+    firings:
+        Activity name → timed-firing count.
+    escalations:
+        Activity name → count of non-primary case selections (for the
+        maneuver activities this is exactly the §2.1.1 failure-escalation
+        count; the AS rung's non-primary case is the KO transition).
+    sojourn:
+        Activity name → :class:`RunningStats` of the holding times spent
+        in the marking each firing left (``level="full"`` only).
+    absorptions:
+        Cause histogram: name of the activity whose firing made the stop
+        predicate true → count of absorbed replications.
+    situations:
+        Catastrophic-situation histogram (``ST1``/``ST2``/``ST3``) when a
+        marking classifier was attached.
+    first_passage:
+        :class:`RunningStats` of the absorption times of stopped runs.
+    des_events:
+        Events processed by instrumented :class:`repro.des.Environment`
+        kernels (the kinematic substrate), when any were attached.
+    """
+
+    __slots__ = (
+        "replications",
+        "firings",
+        "escalations",
+        "sojourn",
+        "absorptions",
+        "situations",
+        "first_passage",
+        "des_events",
+    )
+
+    def __init__(self) -> None:
+        self.replications = 0
+        self.firings: dict[str, int] = {}
+        self.escalations: dict[str, int] = {}
+        self.sojourn: dict[str, RunningStats] = {}
+        self.absorptions: dict[str, int] = {}
+        self.situations: dict[str, int] = {}
+        self.first_passage = RunningStats()
+        self.des_events = 0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricSummary") -> "MetricSummary":
+        """Pool ``other`` into this summary in place; returns self.
+
+        Integer counters add exactly (order-free); the running moments use
+        the Chan update, so callers that need bit-identical results across
+        worker counts must merge in a fixed order (the runtime merges in
+        chunk-index order, see :func:`repro.runtime.merge.combine`).
+        """
+        self.replications += other.replications
+        self.des_events += other.des_events
+        for table, theirs in (
+            (self.firings, other.firings),
+            (self.escalations, other.escalations),
+            (self.absorptions, other.absorptions),
+            (self.situations, other.situations),
+        ):
+            for name in sorted(theirs):
+                table[name] = table.get(name, 0) + theirs[name]
+        for name in sorted(other.sojourn):
+            mine = self.sojourn.get(name)
+            if mine is None:
+                mine = self.sojourn[name] = RunningStats()
+            mine.merge(other.sojourn[name])
+        self.first_passage.merge(other.first_passage)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record with deterministic (sorted) key order."""
+        return {
+            "replications": self.replications,
+            "firings": {k: self.firings[k] for k in sorted(self.firings)},
+            "escalations": {
+                k: self.escalations[k] for k in sorted(self.escalations)
+            },
+            "sojourn": {
+                k: self.sojourn[k].to_dict() for k in sorted(self.sojourn)
+            },
+            "absorptions": {
+                k: self.absorptions[k] for k in sorted(self.absorptions)
+            },
+            "situations": {
+                k: self.situations[k] for k in sorted(self.situations)
+            },
+            "first_passage": self.first_passage.to_dict(),
+            "des_events": self.des_events,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "MetricSummary":
+        summary = cls()
+        summary.replications = int(record.get("replications", 0))
+        summary.des_events = int(record.get("des_events", 0))
+        summary.firings = {
+            str(k): int(v) for k, v in record.get("firings", {}).items()
+        }
+        summary.escalations = {
+            str(k): int(v) for k, v in record.get("escalations", {}).items()
+        }
+        summary.sojourn = {
+            str(k): RunningStats.from_dict(v)
+            for k, v in record.get("sojourn", {}).items()
+        }
+        summary.absorptions = {
+            str(k): int(v) for k, v in record.get("absorptions", {}).items()
+        }
+        summary.situations = {
+            str(k): int(v) for k, v in record.get("situations", {}).items()
+        }
+        if record.get("first_passage") is not None:
+            summary.first_passage = RunningStats.from_dict(
+                record["first_passage"]
+            )
+        return summary
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.firings.values())
+
+    # ------------------------------------------------------------------
+    def breakdown_rows(self) -> list[dict]:
+        """Per-failure-mode / per-maneuver rows (paper §4 taxonomy).
+
+        Replica activities (``L_FM1[3]``) aggregate under their base name;
+        rows are grouped failure modes first, then maneuvers on the
+        escalation ladder, then everything else, each sorted by name.
+        """
+        grouped: dict[str, dict] = {}
+        for name, count in self.firings.items():
+            base = base_activity_name(name)
+            row = grouped.setdefault(
+                base,
+                {
+                    "name": base,
+                    "category": _category(base),
+                    "firings": 0,
+                    "escalations": 0,
+                    "absorptions": 0,
+                    "sojourn": RunningStats(),
+                },
+            )
+            row["firings"] += count
+        for name, count in self.escalations.items():
+            base = base_activity_name(name)
+            if base in grouped:
+                grouped[base]["escalations"] += count
+        for name, count in self.absorptions.items():
+            base = base_activity_name(name)
+            if base not in grouped:
+                grouped[base] = {
+                    "name": base,
+                    "category": _category(base),
+                    "firings": 0,
+                    "escalations": 0,
+                    "absorptions": 0,
+                    "sojourn": RunningStats(),
+                }
+            grouped[base]["absorptions"] += count
+        for name in sorted(self.sojourn):
+            base = base_activity_name(name)
+            if base in grouped:
+                grouped[base]["sojourn"].merge(self.sojourn[name])
+        order = {"failure-mode": 0, "maneuver": 1, "movement": 2, "other": 3}
+        rows = sorted(
+            grouped.values(),
+            key=lambda row: (order[row["category"]], row["name"]),
+        )
+        for row in rows:
+            stats = row.pop("sojourn")
+            row["mean_sojourn"] = stats.mean if stats.n else math.nan
+        return rows
+
+
+def _category(base_name: str) -> str:
+    """Paper-taxonomy bucket of a base activity name."""
+    if base_name.startswith("L_FM"):
+        return "failure-mode"
+    if base_name.startswith("maneuver_"):
+        return "maneuver"
+    if base_name.startswith(("join", "leave", "move", "split", "merge")):
+        return "movement"
+    return "other"
+
+
+def merge_metric_dicts(
+    a: Optional[dict], b: Optional[dict]
+) -> Optional[dict]:
+    """Merge two ``MetricSummary.to_dict()`` records (either may be None).
+
+    The runtime's :func:`repro.runtime.merge.merge_two` calls this in
+    chunk-index order, which pins the Chan-merge float reduction order and
+    makes the pooled metrics independent of worker count and completion
+    order.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (
+        MetricSummary.from_dict(a)
+        .merge(MetricSummary.from_dict(b))
+        .to_dict()
+    )
+
+
+class MetricsRecorder:
+    """Live metric accumulator implementing the engine observer protocol.
+
+    Parameters
+    ----------
+    level:
+        ``"counts"`` records firing counts, escalations, absorptions and
+        replication tallies only (one dict update per firing — the
+        ≤10 %-overhead tier benchmarked by ``bench_obs.py``); ``"full"``
+        (default) adds per-activity sojourn accumulators and first-passage
+        statistics.
+    classifier:
+        Optional ``marking → situation-name`` callable applied when the
+        engine reports an absorption (at most once per replication).
+        Recorders composed through :class:`repro.obs.Observation` leave
+        this None — the Observation classifies once and calls
+        :meth:`note_absorption` directly.
+    """
+
+    #: engines skip building marking deltas for metric-only observers
+    wants_deltas = False
+
+    def __init__(self, level: str = "full", classifier=None) -> None:
+        if level not in ("counts", "full"):
+            raise ValueError(
+                f"level must be 'counts' or 'full', got {level!r}"
+            )
+        self.level = level
+        self.classifier = classifier
+        self._full = level == "full"
+        self._summary = MetricSummary()
+
+    # ------------------------------------------------------------------
+    # engine-facing observer protocol
+    # ------------------------------------------------------------------
+    def record_firing(
+        self, name: str, when: float, sojourn: float, case: int, delta=None
+    ) -> None:
+        summary = self._summary
+        firings = summary.firings
+        firings[name] = firings.get(name, 0) + 1
+        if case:
+            escalations = summary.escalations
+            escalations[name] = escalations.get(name, 0) + 1
+        if self._full:
+            stats = summary.sojourn.get(name)
+            if stats is None:
+                stats = summary.sojourn[name] = RunningStats()
+            stats.add(sojourn)
+
+    def record_absorption(self, cause: str, when: float, marking=None) -> None:
+        situation = None
+        if marking is not None and self.classifier is not None:
+            situation = self.classifier(marking)
+        self.note_absorption(cause, when, situation)
+
+    def note_absorption(
+        self, cause: str, when: float, situation: Optional[str] = None
+    ) -> None:
+        """Record a pre-classified absorption (Observation's entry point)."""
+        summary = self._summary
+        summary.absorptions[cause] = summary.absorptions.get(cause, 0) + 1
+        if situation:
+            summary.situations[situation] = (
+                summary.situations.get(situation, 0) + 1
+            )
+
+    def record_run(
+        self, stopped: bool, stop_time: float, weight: float, end_time: float
+    ) -> None:
+        summary = self._summary
+        summary.replications += 1
+        if self._full and stopped:
+            summary.first_passage.add(stop_time)
+
+    def record_des_event(self, when: float) -> None:
+        self._summary.des_events += 1
+
+    # ------------------------------------------------------------------
+    def absorb(self, other) -> None:
+        """Merge an externally produced summary (dict or MetricSummary).
+
+        The parallel path hands the driver a merged summary out of the
+        telemetry snapshot; absorbing it lets one recorder present serial
+        and parallel runs through the same API.
+        """
+        if isinstance(other, dict):
+            other = MetricSummary.from_dict(other)
+        self._summary.merge(other)
+
+    def summary(self) -> MetricSummary:
+        """The metrics accumulated so far (live object, not a copy)."""
+        return self._summary
+
+    def reset(self) -> None:
+        self._summary = MetricSummary()
+
+
+def severity_classifier(marking) -> Optional[str]:
+    """Classify a marking into the paper's catastrophic situation.
+
+    Reads the shared severity-class counters (``class_A``/``class_B``/
+    ``class_C``) by *name* through ``marking.as_dict()``, so it works
+    against dict-backed and compiled markings alike; returns ``None`` for
+    markings that don't carry the AHS severity places.  Only called on
+    absorption (at most once per replication), never in the jump loop.
+    """
+    snapshot = marking.as_dict()
+    try:
+        a = snapshot["class_A"]
+        b = snapshot["class_B"]
+        c = snapshot["class_C"]
+    except KeyError:
+        return None
+    from repro.core.severity import SeverityCounts, catastrophic_situation
+
+    return catastrophic_situation(SeverityCounts(a, b, c))
+
+
+def format_metrics_table(summary: MetricSummary) -> str:
+    """Human-readable per-failure-mode / per-maneuver breakdown."""
+    rows = summary.breakdown_rows()
+    lines = [
+        f"activity metrics over {summary.replications} replications "
+        f"({summary.total_firings} timed firings)"
+    ]
+    header = (
+        f"  {'category':<13s} {'activity':<16s} {'firings':>8s} "
+        f"{'escal.':>7s} {'absorb.':>8s} {'mean sojourn':>13s}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in rows:
+        sojourn = (
+            f"{row['mean_sojourn']:.4g} h"
+            if not math.isnan(row["mean_sojourn"])
+            else "-"
+        )
+        lines.append(
+            f"  {row['category']:<13s} {row['name']:<16s} "
+            f"{row['firings']:>8d} {row['escalations']:>7d} "
+            f"{row['absorptions']:>8d} {sojourn:>13s}"
+        )
+    if summary.situations:
+        situations = "  ".join(
+            f"{name}={count}" for name, count in sorted(summary.situations.items())
+        )
+        lines.append(f"  catastrophic situations: {situations}")
+    if summary.first_passage.n:
+        lines.append(
+            f"  first passage to unsafety: n={summary.first_passage.n}  "
+            f"mean={summary.first_passage.mean:.4g} h  "
+            f"min={summary.first_passage.min:.4g} h"
+        )
+    if summary.des_events:
+        lines.append(f"  DES kernel events: {summary.des_events}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Per-phase wall-time profiling spans.
+
+The profiling side of the observability layer times the coarse phases a
+run passes through — ``compile`` (model build), ``simulate`` (replication
+execution), ``merge`` (chunk-summary pooling), ``cache`` (result-cache
+lookups) — with a :class:`PhaseProfiler` the driver owns.  Spans nest and
+repeat; each phase accumulates call count and total seconds.
+
+A pluggable *sink* receives ``(phase, seconds)`` per closed span, which is
+how external collectors (statsd-style emitters, test doubles) tap the
+stream without the profiler knowing about them.
+
+Profiling is driver-side only: it never runs inside the jump loop and
+never touches the RNG stream.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["PhaseStats", "PhaseProfiler", "profile_span"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated wall time of one phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+class PhaseProfiler:
+    """Accumulates wall-time spans per phase name.
+
+    Parameters
+    ----------
+    clock:
+        Injectable time source (tests use a fake counter).
+    sink:
+        Optional ``(phase, seconds)`` callable invoked as each span
+        closes — exceptions from the sink propagate (a broken sink is a
+        bug worth hearing about), but the span is recorded first.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        sink: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self.sink = sink
+        self.phases: dict[str, PhaseStats] = {}
+
+    @contextmanager
+    def span(self, phase: str):
+        """Time one ``with``-scoped phase (re-entrant and repeatable)."""
+        started = self._clock()
+        try:
+            yield self
+        finally:
+            elapsed = self._clock() - started
+            stats = self.phases.get(phase)
+            if stats is None:
+                stats = self.phases[phase] = PhaseStats()
+            stats.calls += 1
+            stats.seconds += elapsed
+            if self.sink is not None:
+                self.sink(phase, elapsed)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Fold another profiler's accumulated phases in; returns self."""
+        for phase, stats in other.phases.items():
+            mine = self.phases.get(phase)
+            if mine is None:
+                mine = self.phases[phase] = PhaseStats()
+            mine.calls += stats.calls
+            mine.seconds += stats.seconds
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable ``{phase: {calls, seconds}}`` record."""
+        return {
+            phase: {"calls": stats.calls, "seconds": stats.seconds}
+            for phase, stats in sorted(self.phases.items())
+        }
+
+    def format(self) -> str:
+        """Human-readable profile footer (phases by descending time)."""
+        if not self.phases:
+            return "profile: (no spans recorded)"
+        total = sum(stats.seconds for stats in self.phases.values())
+        lines = [f"profile: {total:.3f}s across {len(self.phases)} phases"]
+        ordered = sorted(
+            self.phases.items(), key=lambda item: -item[1].seconds
+        )
+        for phase, stats in ordered:
+            share = stats.seconds / total if total > 0 else 0.0
+            lines.append(
+                f"  {phase:<10s} {stats.seconds:>9.3f}s  "
+                f"calls={stats.calls:<6d} {share:>5.0%}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseProfiler({sorted(self.phases)})"
+
+
+def profile_span(profiler: Optional[PhaseProfiler], phase: str):
+    """``profiler.span(phase)``, or a no-op context when profiling is off.
+
+    The one-liner that keeps call sites branch-free::
+
+        with profile_span(self.profiler, "merge"):
+            pooled = combine(summaries)
+    """
+    if profiler is None:
+        return nullcontext()
+    return profiler.span(phase)

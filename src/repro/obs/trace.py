@@ -1,0 +1,220 @@
+"""Bounded structured trajectory traces.
+
+A :class:`TraceRecorder` captures the *story* of a simulated trajectory —
+activity firings with their marking deltas, maneuver escalations, and the
+catastrophic-absorption event — into a fixed-capacity ring buffer, so the
+memory cost of tracing is bounded no matter how long a run gets (the
+oldest events fall off; :attr:`TraceRecorder.dropped` says how many).
+
+Events export as JSON-lines (one event per line, schema documented in
+``docs/observability.md``), which is what ``repro-cli trace`` writes and
+what ``jq``-style tooling consumes.
+
+Recorders never touch the engines' random streams: tracing a run leaves
+its estimates, draw counts, and IS weights bit-identical (see
+``tests/obs/test_invariance.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Optional, Union
+
+from repro.obs.metrics import base_activity_name
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass
+class TraceEvent:
+    """One structured event of a simulated trajectory.
+
+    ``kind`` is one of ``firing`` (timed activity completed),
+    ``escalation`` (a maneuver activity resolved to its failure case —
+    the §2.1.1 escalation, or the AS rung's KO transition),
+    ``absorption`` (the stop predicate became true; ``activity`` is the
+    firing that caused it, ``situation`` the catastrophic situation when a
+    classifier was attached), ``run`` (replication boundary), and
+    ``des-event`` (an instrumented :class:`repro.des.Environment` kernel
+    processed an event).
+    """
+
+    kind: str
+    time: float
+    replication: int = 0
+    activity: str = ""
+    case: int = 0
+    sojourn: float = 0.0
+    situation: str = ""
+    stopped: bool = False
+    weight: float = 1.0
+    delta: Optional[dict] = field(default=None)
+
+    def to_dict(self) -> dict:
+        """Compact JSON record (empty/default fields omitted)."""
+        record: dict = {"kind": self.kind, "t": self.time, "rep": self.replication}
+        if self.activity:
+            record["activity"] = self.activity
+        if self.case:
+            record["case"] = self.case
+        if self.sojourn:
+            record["sojourn"] = self.sojourn
+        if self.situation:
+            record["situation"] = self.situation
+        if self.kind == "run":
+            record["stopped"] = self.stopped
+            record["weight"] = self.weight
+        if self.delta is not None:
+            record["delta"] = self.delta
+        return record
+
+
+class TraceRecorder:
+    """Ring-buffer trace collector implementing the observer protocol.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events are dropped silently (the
+        :attr:`dropped` counter keeps the tally honest).
+    deltas:
+        When True (default) the engines build a ``{place: new value}``
+        dict for every firing — richer traces at extra cost.  Set False
+        for cheap event-sequence traces.
+    classifier:
+        Optional ``marking → situation-name`` callable applied when an
+        engine reports an absorption directly to this recorder; left
+        None under :class:`repro.obs.Observation`, which classifies once
+        and calls :meth:`note_absorption`.
+    """
+
+    def __init__(
+        self, capacity: int = 10_000, deltas: bool = True, classifier=None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.wants_deltas = bool(deltas)
+        self.classifier = classifier
+        self._buffer: deque[TraceEvent] = deque(maxlen=self.capacity)
+        self.recorded = 0
+        self._replication = 0
+
+    # ------------------------------------------------------------------
+    # engine-facing observer protocol
+    # ------------------------------------------------------------------
+    def record_firing(
+        self,
+        name: str,
+        when: float,
+        sojourn: float,
+        case: int,
+        delta: Optional[dict] = None,
+    ) -> None:
+        kind = "firing"
+        if case and base_activity_name(name).startswith("maneuver_"):
+            kind = "escalation"
+        self._push(
+            TraceEvent(
+                kind=kind,
+                time=when,
+                replication=self._replication,
+                activity=name,
+                case=case,
+                sojourn=sojourn,
+                delta=delta,
+            )
+        )
+
+    def record_absorption(self, cause: str, when: float, marking=None) -> None:
+        situation = None
+        if marking is not None and self.classifier is not None:
+            situation = self.classifier(marking)
+        self.note_absorption(cause, when, situation)
+
+    def note_absorption(
+        self, cause: str, when: float, situation: Optional[str] = None
+    ) -> None:
+        """Record a pre-classified absorption (Observation's entry point)."""
+        self._push(
+            TraceEvent(
+                kind="absorption",
+                time=when,
+                replication=self._replication,
+                activity=cause,
+                situation=situation or "",
+            )
+        )
+
+    def record_run(
+        self, stopped: bool, stop_time: float, weight: float, end_time: float
+    ) -> None:
+        self._push(
+            TraceEvent(
+                kind="run",
+                time=end_time,
+                replication=self._replication,
+                stopped=stopped,
+                weight=weight,
+            )
+        )
+        self._replication += 1
+
+    def record_des_event(self, when: float) -> None:
+        self._push(
+            TraceEvent(kind="des-event", time=when, replication=self._replication)
+        )
+
+    # ------------------------------------------------------------------
+    def _push(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring buffer."""
+        return self.recorded - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._buffer)
+
+    def iter_dicts(self) -> Iterable[dict]:
+        """Retained events as JSON-ready dicts, oldest first."""
+        for event in self._buffer:
+            yield event.to_dict()
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write the retained events as JSON lines; returns lines written.
+
+        ``target`` is a path or an open text file object.
+        """
+        if hasattr(target, "write"):
+            return self._write(target)
+        with open(target, "w", encoding="utf-8") as handle:
+            return self._write(handle)
+
+    def _write(self, handle: IO[str]) -> int:
+        count = 0
+        for record in self.iter_dicts():
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop all retained events (counters reset too)."""
+        self._buffer.clear()
+        self.recorded = 0
+        self._replication = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecorder(capacity={self.capacity}, retained={len(self)}, "
+            f"dropped={self.dropped})"
+        )

@@ -91,6 +91,10 @@ class ImportanceSamplingEstimator:
     engine:
         Jump-engine selection (see :data:`repro.san.compiled.ENGINES`);
         both engines give bit-identical weighted estimates per seed.
+    observer:
+        Optional observability hook (see :mod:`repro.obs`) attached to
+        the underlying engine.  Instrumentation never touches the RNG
+        stream, so the likelihood-ratio weights are unchanged by it.
     """
 
     def __init__(
@@ -99,9 +103,12 @@ class ImportanceSamplingEstimator:
         stop_predicate: Callable[[Marking], bool],
         biasing: Optional[FailureBiasing] = None,
         engine: str = "compiled",
+        observer=None,
     ) -> None:
         bias = biasing.plan_for(model) if biasing is not None else None
-        self.simulator = make_jump_engine(model, bias=bias, engine=engine)
+        self.simulator = make_jump_engine(
+            model, bias=bias, engine=engine, observer=observer
+        )
         self.stop_predicate = stop_predicate
 
     def runs(

@@ -72,6 +72,7 @@ class FixedEffortSplitting:
         levels: Sequence[float],
         trials_per_stage: int = 500,
         engine: str = "compiled",
+        observer=None,
     ) -> None:
         levels = [float(level) for level in levels]
         if len(levels) < 1:
@@ -80,7 +81,7 @@ class FixedEffortSplitting:
             raise ValueError(f"levels must be strictly increasing, got {levels}")
         if trials_per_stage < 2:
             raise ValueError("trials_per_stage must be >= 2")
-        self.simulator = make_jump_engine(model, engine=engine)
+        self.simulator = make_jump_engine(model, engine=engine, observer=observer)
         self.model = model
         self.level_fn = level_fn
         self.levels = levels

@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.obs.metrics import merge_metric_dicts
 from repro.stats.confidence import ConfidenceInterval
 
 __all__ = [
@@ -39,7 +40,12 @@ class ChunkSummary:
     summed over the chunk's streams), carried for cross-worker audit
     trails.  ``events`` is the number of simulation events (timed activity
     firings) the chunk executed, when the task reports it — the basis of
-    the telemetry footer's events/sec-per-engine figure.
+    the telemetry footer's events/sec-per-engine figure.  ``metrics`` is
+    the chunk's serialised per-activity
+    :class:`~repro.obs.metrics.MetricSummary` when the task was run with
+    observability metrics enabled — merged in the same chunk-index order
+    as the moments, so parallel runs report metric summaries identical to
+    serial ones.
     """
 
     chunk_index: int
@@ -50,6 +56,7 @@ class ChunkSummary:
     elapsed_seconds: float = 0.0
     worker: str = ""
     events: int = 0
+    metrics: Optional[dict] = None
 
     @classmethod
     def from_samples(
@@ -60,6 +67,7 @@ class ChunkSummary:
         elapsed_seconds: float = 0.0,
         worker: str = "",
         events: int = 0,
+        metrics: Optional[dict] = None,
     ) -> "ChunkSummary":
         """Reduce a ``(n, k)`` sample block to its summary."""
         block = np.atleast_2d(np.asarray(samples, dtype=float))
@@ -76,6 +84,7 @@ class ChunkSummary:
             elapsed_seconds=float(elapsed_seconds),
             worker=worker,
             events=int(events),
+            metrics=metrics,
         )
 
     @property
@@ -101,6 +110,7 @@ def merge_two(a: ChunkSummary, b: ChunkSummary) -> ChunkSummary:
         elapsed_seconds=a.elapsed_seconds + b.elapsed_seconds,
         worker="pooled",
         events=a.events + b.events,
+        metrics=merge_metric_dicts(a.metrics, b.metrics),
     )
 
 

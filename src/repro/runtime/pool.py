@@ -42,6 +42,7 @@ from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkabl
 
 import numpy as np
 
+from repro.obs.profile import PhaseProfiler, profile_span
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.merge import ChunkSummary, combine, pooled_intervals
 from repro.runtime.plan import ChunkSpec, ReplicationPlan
@@ -105,6 +106,7 @@ def _execute_chunk(
         )
         draws += stream.draw_count
     events = task.events_of(context) if hasattr(task, "events_of") else 0
+    metrics = task.metrics_of(context) if hasattr(task, "metrics_of") else None
     return ChunkSummary.from_samples(
         spec.index,
         np.vstack(rows),
@@ -112,6 +114,7 @@ def _execute_chunk(
         elapsed_seconds=time.perf_counter() - started,
         worker=_worker_label(),
         events=events,
+        metrics=metrics,
     )
 
 
@@ -159,6 +162,10 @@ class ParallelRunner:
     confidence:
         CI level for fixed-budget runs (rule-driven runs take it from the
         rule).
+    profiler:
+        Optional :class:`~repro.obs.profile.PhaseProfiler`; when given,
+        the driver times its ``cache``, ``simulate`` and ``merge`` phases
+        (driver-side wall time only — never inside the jump loop).
     """
 
     def __init__(
@@ -169,6 +176,7 @@ class ParallelRunner:
         chunk_timeout: Optional[float] = None,
         cache: Optional[ResultCache] = None,
         confidence: float = 0.95,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -180,6 +188,7 @@ class ParallelRunner:
         self.chunk_timeout = chunk_timeout
         self.cache = cache
         self.confidence = confidence
+        self.profiler = profiler
         self.last_telemetry: Optional[TelemetrySnapshot] = None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -349,9 +358,11 @@ class ParallelRunner:
                     },
                 }
             )
-            record = self.cache.get(key)
+            with profile_span(self.profiler, "cache"):
+                record = self.cache.get(key)
             telemetry.record_cache(hit=record is not None)
             if record is not None:
+                telemetry.activity_metrics = record.get("activity_metrics")
                 telemetry.finish()
                 snapshot = telemetry.snapshot()
                 self.last_telemetry = snapshot
@@ -381,29 +392,33 @@ class ParallelRunner:
                     task, plan, done, target - done, completed, telemetry
                 )
                 done = target
-                pooled = combine(completed.values())
+                with profile_span(self.profiler, "merge"):
+                    pooled = combine(completed.values())
                 intervals = pooled_intervals(pooled, rule.confidence)
                 informative = [iv for iv in intervals if iv.mean > 0]
                 if informative and all(rule.satisfied(iv) for iv in informative):
                     converged = True
                     break
 
-        pooled = combine(completed.values())
+        with profile_span(self.profiler, "merge"):
+            pooled = combine(completed.values())
         intervals = pooled_intervals(pooled, confidence)
         values = np.atleast_1d(pooled.mean)
         halves = np.asarray([iv.half_width for iv in intervals])
+        telemetry.activity_metrics = pooled.metrics
         telemetry.finish()
 
         if key is not None:
-            self.cache.put(
-                key,
-                {
-                    "values": [float(v) for v in values],
-                    "half_widths": [float(h) for h in halves],
-                    "n_replications": done,
-                    "converged": converged,
-                },
-            )
+            record = {
+                "values": [float(v) for v in values],
+                "half_widths": [float(h) for h in halves],
+                "n_replications": done,
+                "converged": converged,
+            }
+            if pooled.metrics is not None:
+                record["activity_metrics"] = pooled.metrics
+            with profile_span(self.profiler, "cache"):
+                self.cache.put(key, record)
         snapshot = telemetry.snapshot()
         self.last_telemetry = snapshot
         return ParallelResult(
@@ -428,7 +443,9 @@ class ParallelRunner:
         jobs = {
             spec.index: (_execute_chunk, (task, plan, spec)) for spec in specs
         }
-        for summary in self._dispatch(jobs, telemetry).values():
+        with profile_span(self.profiler, "simulate"):
+            dispatched = self._dispatch(jobs, telemetry)
+        for summary in dispatched.values():
             telemetry.record_chunk(
                 summary.worker,
                 summary.n,

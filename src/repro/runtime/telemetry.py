@@ -3,8 +3,9 @@
 A :class:`TelemetryRecorder` is created per :class:`ParallelRunner` run
 and fed by the driver as chunks complete; :meth:`TelemetryRecorder.snapshot`
 freezes it into a :class:`TelemetrySnapshot` that experiment reports embed
-(replications/sec, per-worker utilization, cache hit rate, retry and
-fallback counts, total RNG draws).
+(units/sec throughput, per-worker utilization, cache hit rate, retry and
+fallback counts, total RNG draws, and — when observability metrics were
+enabled — the merged per-activity :mod:`repro.obs.metrics` summary).
 
 For sweep (`map`) runs each evaluated point counts as one unit, so the
 throughput figure reads "points per second"; the snapshot's ``unit`` field
@@ -48,6 +49,10 @@ class TelemetrySnapshot:
     events: int = 0
     engine: str = ""
     per_worker: dict[str, WorkerStats] = field(default_factory=dict)
+    #: merged per-activity metric summary
+    #: (:meth:`repro.obs.metrics.MetricSummary.to_dict`) when the run was
+    #: executed with observability metrics enabled; None otherwise
+    activity_metrics: Optional[dict] = None
 
     @property
     def units_per_second(self) -> float:
@@ -75,14 +80,26 @@ class TelemetrySnapshot:
         return self.cache_hits / self.cache_lookups
 
     def utilization(self, worker: str) -> float:
-        """Busy fraction of one worker over the run's wall-clock time."""
+        """Busy fraction of one worker over the run's wall-clock time.
+
+        Unknown worker keys report 0.0 (a worker that never completed a
+        chunk did no accounted work).
+        """
         if self.elapsed_seconds <= 0.0:
             return 0.0
-        return self.per_worker[worker].busy_seconds / self.elapsed_seconds
+        stats = self.per_worker.get(worker)
+        if stats is None:
+            return 0.0
+        return stats.busy_seconds / self.elapsed_seconds
 
     def to_dict(self) -> dict:
-        """JSON-serialisable record (embedded in experiment artifacts)."""
-        return {
+        """JSON-serialisable record (embedded in experiment artifacts).
+
+        The ``replications_per_sec`` key is historical — it always holds
+        :attr:`units_per_second`, whatever the unit (consumers pin the
+        key; the human-readable :meth:`format` footer labels it by unit).
+        """
+        record = {
             "workers": self.workers,
             "unit": self.unit,
             "elapsed_seconds": self.elapsed_seconds,
@@ -110,12 +127,15 @@ class TelemetrySnapshot:
                 for worker, stats in sorted(self.per_worker.items())
             },
         }
+        if self.activity_metrics is not None:
+            record["activity_metrics"] = self.activity_metrics
+        return record
 
     def format(self) -> str:
         """Human-readable footer for experiment reports."""
         lines = [
             "runtime: workers={w}  elapsed={e:.2f}s  {unit}={n}  "
-            "replications/sec={rps:.1f}  cache hit rate={ch}/{cl} "
+            "{unit}/sec={rps:.1f}  cache hit rate={ch}/{cl} "
             "({rate:.0%})".format(
                 w=self.workers,
                 e=self.elapsed_seconds,
@@ -187,6 +207,9 @@ class TelemetryRecorder:
         self.cache_hits = 0
         self.cache_misses = 0
         self.per_worker: dict[str, WorkerStats] = {}
+        #: merged activity-metric summary dict, set by the pool driver when
+        #: the task ran with observability metrics enabled
+        self.activity_metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -250,4 +273,5 @@ class TelemetryRecorder:
             events=self.events,
             engine=self.engine,
             per_worker=dict(self.per_worker),
+            activity_metrics=self.activity_metrics,
         )

@@ -512,6 +512,11 @@ class CompiledJumpEngine:
         engine; larger values maintain the totals by delta between
         recomputes — faster on huge models, at the price of last-ulp float
         drift in the sampled holding times (bounded by the interval).
+    observer:
+        Optional observability hook (see :mod:`repro.obs`).  Hooks fire
+        after every random draw of the step they describe and never
+        consult the stream, so draw order and weights stay bit-identical
+        with the observer attached or not.
     """
 
     #: engine label reported in runtime telemetry footers
@@ -522,6 +527,7 @@ class CompiledJumpEngine:
         model: Union[SANModel, CompiledModel],
         bias: Optional[Mapping[str, float]] = None,
         recompute_interval: int = 1,
+        observer=None,
     ) -> None:
         compiled = model if isinstance(model, CompiledModel) else None
         san = compiled.model if compiled is not None else model
@@ -547,6 +553,7 @@ class CompiledJumpEngine:
                 raise ValueError(
                     f"bias factor for {name!r} must be finite and > 0, got {factor}"
                 )
+        self.observer = observer
         #: timed firings executed over this engine's lifetime (telemetry)
         self.fired_events = 0
         self._bind()
@@ -563,6 +570,7 @@ class CompiledJumpEngine:
             self.bias.get(activity.name, 1.0) for activity in compiled.timed
         ]
         self._has_bias = any(factor != 1.0 for factor in self._factors)
+        self._names = [activity.name for activity in compiled.timed]
         # one-cell read-trace accumulator shared by every tracing view;
         # _refresh resets it, evaluates, then harvests the union of reads
         self._trace = [0]
@@ -687,6 +695,23 @@ class CompiledJumpEngine:
             refresh(low_bit.bit_length() - 1)
             affected ^= low_bit
 
+    def _marking_delta(self, changed_mask: int) -> dict:
+        """``{place name: new value}`` for the slots in ``changed_mask``.
+
+        Keys are sorted so traces serialise identically to the interpreted
+        engine's :func:`~repro.san.simulator._marking_delta`.
+        """
+        cm = self._marking
+        places = self.compiled.places
+        entries = []
+        while changed_mask:
+            low_bit = changed_mask & -changed_mask
+            slot = low_bit.bit_length() - 1
+            entries.append((places[slot].name, cm.values[slot]))
+            changed_mask ^= low_bit
+        entries.sort()
+        return dict(entries)
+
     # ------------------------------------------------------------------
     # stabilisation (instantaneous activities)
     # ------------------------------------------------------------------
@@ -731,6 +756,10 @@ class CompiledJumpEngine:
             stop_predicate=stop_predicate,
             rate_rewards=rate_rewards,
         )
+        if self.observer is not None:
+            self.observer.record_run(
+                outcome.stopped, outcome.stop_time, outcome.weight, outcome.time
+            )
         return SimulationRun(
             end_time=outcome.time,
             stopped=outcome.stopped,
@@ -770,11 +799,14 @@ class CompiledJumpEngine:
         weight = float(initial_weight)
         now = float(start_time)
         firings = 0
+        observer = self.observer
         integrator = _RewardIntegrator(rate_rewards)
 
         self._stabilize(stream)
         cm.changed_mask = 0
         if stop_predicate is not None and stop_predicate(cm):
+            if observer is not None:
+                observer.record_absorption("(initial)", now, cm)
             return JumpOutcome(
                 cm.export(), now, weight, True, now, False, firings,
                 integrator.integrals,
@@ -852,13 +884,26 @@ class CompiledJumpEngine:
             now += holding
 
             chooser = self._choosers[index]
-            self._firers[index](0 if chooser is None else chooser(stream))
+            case = 0 if chooser is None else chooser(stream)
+            self._firers[index](case)
             firings += 1
             self.fired_events += 1
             if cm.changed_mask & insta_reads:
                 self._stabilize(stream)
 
+            if observer is not None:
+                delta = (
+                    self._marking_delta(cm.changed_mask)
+                    if observer.wants_deltas
+                    else None
+                )
+                observer.record_firing(
+                    self._names[index], now, holding, case, delta
+                )
+
             if stop_predicate is not None and stop_predicate(cm):
+                if observer is not None:
+                    observer.record_absorption(self._names[index], now, cm)
                 return JumpOutcome(
                     cm.export(), now, weight, True, now, False, firings,
                     integrator.integrals,
@@ -885,6 +930,7 @@ def make_jump_engine(
     model: SANModel,
     bias: Optional[Mapping[str, float]] = None,
     engine: str = "compiled",
+    observer=None,
 ) -> Union[MarkovJumpSimulator, CompiledJumpEngine]:
     """The jump-chain executor for ``engine`` ∈ :data:`ENGINES`.
 
@@ -893,10 +939,11 @@ def make_jump_engine(
     :class:`~repro.san.simulator.MarkovJumpSimulator`.  Both produce
     bit-identical results for the same seed; fall back to ``interpreted``
     when debugging gate code (plain dict-backed markings) — see
-    ``docs/engine_perf.md``.
+    ``docs/engine_perf.md``.  ``observer`` attaches an observability hook
+    (:mod:`repro.obs`) to either engine.
     """
     if engine == "compiled":
-        return CompiledJumpEngine(model, bias=bias)
+        return CompiledJumpEngine(model, bias=bias, observer=observer)
     if engine == "interpreted":
-        return MarkovJumpSimulator(model, bias=bias)
+        return MarkovJumpSimulator(model, bias=bias, observer=observer)
     raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

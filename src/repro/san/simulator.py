@@ -93,6 +93,18 @@ def _stabilize(
     )
 
 
+def _marking_delta(marking: Marking, changed: set[Place]) -> dict:
+    """``{place name: new value}`` for the places touched by a firing.
+
+    Keys are sorted so traces from the interpreted and compiled engines
+    serialise identically.
+    """
+    return {
+        place.name: marking.get(place)
+        for place in sorted(changed, key=lambda p: p.name)
+    }
+
+
 class _RewardIntegrator:
     """Accumulates ∫ r(X_s) ds for a set of rate rewards along a run.
 
@@ -123,11 +135,18 @@ class SANSimulator:
         The (flattened) SAN to execute.
     trace:
         When True, per-activity firing counts are collected (slower).
+    observer:
+        Optional observability hook (see :mod:`repro.obs`): any object
+        with ``wants_deltas``, ``record_firing``, ``record_absorption``
+        and ``record_run``.  Never consulted for randomness.
     """
 
-    def __init__(self, model: SANModel, trace: bool = False) -> None:
+    def __init__(
+        self, model: SANModel, trace: bool = False, observer=None
+    ) -> None:
         self.model = model
         self.trace = trace
+        self.observer = observer
         # place -> timed activities whose enabling/rate could change with it
         self._deps: dict[Place, list[TimedActivity]] = {p: [] for p in model.places}
         for activity in model.timed_activities:
@@ -169,11 +188,15 @@ class SANSimulator:
             initial_marking.copy() if initial_marking else model.initial_marking()
         )
         counts: Optional[dict[str, int]] = {} if self.trace else None
+        observer = self.observer
         integrator = _RewardIntegrator(rate_rewards)
         _stabilize(model, marking, stream, counts)
         marking.clear_changed()
 
         if stop_predicate is not None and stop_predicate(marking):
+            if observer is not None:
+                observer.record_absorption("(initial)", start_time, marking)
+                observer.record_run(True, start_time, 1.0, start_time)
             return SimulationRun(
                 end_time=start_time,
                 stopped=True,
@@ -220,7 +243,8 @@ class SANSimulator:
                 integrator.accumulate(marking, horizon - now)
                 now = horizon
                 break
-            integrator.accumulate(marking, when - now)
+            sojourn = when - now
+            integrator.accumulate(marking, sojourn)
             now = when
             scheduled.pop(activity, None)
             tokens[activity] = token + 1  # consumed
@@ -231,8 +255,20 @@ class SANSimulator:
             if counts is not None:
                 counts[activity.name] = counts.get(activity.name, 0) + 1
             _stabilize(model, marking, stream, counts)
+            changed = marking.clear_changed()
+
+            if observer is not None:
+                delta = (
+                    _marking_delta(marking, changed)
+                    if observer.wants_deltas
+                    else None
+                )
+                observer.record_firing(activity.name, now, sojourn, case, delta)
 
             if stop_predicate is not None and stop_predicate(marking):
+                if observer is not None:
+                    observer.record_absorption(activity.name, now, marking)
+                    observer.record_run(True, now, 1.0, now)
                 return SimulationRun(
                     end_time=now,
                     stopped=True,
@@ -244,7 +280,6 @@ class SANSimulator:
                     reward_integrals=integrator.integrals,
                 )
 
-            changed = marking.clear_changed()
             affected: set[TimedActivity] = {activity}
             for place in changed:
                 affected.update(self._deps.get(place, ()))
@@ -270,6 +305,8 @@ class SANSimulator:
         if now < horizon:
             integrator.accumulate(marking, horizon - now)
             now = horizon
+        if observer is not None:
+            observer.record_run(False, math.inf, 1.0, now)
         return SimulationRun(
             end_time=now,
             stopped=False,
@@ -311,13 +348,21 @@ class MarkovJumpSimulator:
         The flattened SAN; every timed activity must be exponential.
     bias:
         Optional activity-name → rate-multiplier mapping.
+    observer:
+        Optional observability hook (see :mod:`repro.obs`).  Hooks fire
+        *after* every random draw of the step they describe, and never
+        consult the stream — draw order and weights are bit-identical
+        with the observer attached or not.
     """
 
     #: engine label reported in runtime telemetry footers
     engine_name = "interpreted"
 
     def __init__(
-        self, model: SANModel, bias: Optional[Mapping[str, float]] = None
+        self,
+        model: SANModel,
+        bias: Optional[Mapping[str, float]] = None,
+        observer=None,
     ) -> None:
         if not model.is_markovian:
             bad = [a.name for a in model.timed_activities if not a.is_markovian]
@@ -335,6 +380,7 @@ class MarkovJumpSimulator:
                 raise ValueError(
                     f"bias factor for {name!r} must be finite and > 0, got {factor}"
                 )
+        self.observer = observer
         #: timed firings executed over this simulator's lifetime (events/sec
         #: telemetry; reset by the caller if per-window numbers are needed)
         self.fired_events = 0
@@ -356,6 +402,10 @@ class MarkovJumpSimulator:
             stop_predicate=stop_predicate,
             rate_rewards=rate_rewards,
         )
+        if self.observer is not None:
+            self.observer.record_run(
+                outcome.stopped, outcome.stop_time, outcome.weight, outcome.time
+            )
         return SimulationRun(
             end_time=outcome.time,
             stopped=outcome.stopped,
@@ -392,11 +442,14 @@ class MarkovJumpSimulator:
         weight = float(initial_weight)
         now = float(start_time)
         firings = 0
+        observer = self.observer
         integrator = _RewardIntegrator(rate_rewards)
 
         _stabilize(model, marking, stream)
         marking.clear_changed()
         if stop_predicate is not None and stop_predicate(marking):
+            if observer is not None:
+                observer.record_absorption("(initial)", now, marking)
             return JumpOutcome(
                 marking, now, weight, True, now, False, firings,
                 integrator.integrals,
@@ -460,9 +513,19 @@ class MarkovJumpSimulator:
             firings += 1
             self.fired_events += 1
             _stabilize(model, marking, stream)
-            marking.clear_changed()
+            changed = marking.clear_changed()
+
+            if observer is not None:
+                delta = (
+                    _marking_delta(marking, changed)
+                    if observer.wants_deltas
+                    else None
+                )
+                observer.record_firing(activity.name, now, holding, case, delta)
 
             if stop_predicate is not None and stop_predicate(marking):
+                if observer is not None:
+                    observer.record_absorption(activity.name, now, marking)
                 return JumpOutcome(
                     marking, now, weight, True, now, False, firings,
                     integrator.integrals,

@@ -28,7 +28,7 @@ class TestFigureParity:
         assert outcome.telemetry is not None
         assert outcome.telemetry["unit"] == "points"
         assert "replications_per_sec" in outcome.telemetry
-        assert "replications/sec=" in outcome.rendered
+        assert "points/sec=" in outcome.rendered
 
         record = outcome_to_json(outcome)
         assert record["runtime"] == outcome.telemetry
@@ -55,7 +55,7 @@ class TestCliFlags:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "replications/sec=" in out
+        assert "points/sec=" in out
         assert "cache hit rate=" in out
 
         # warm rerun is served entirely from cache

@@ -1,0 +1,160 @@
+"""CLI surface of the observability layer.
+
+``repro-cli unsafety --metrics/--profile/--trace-out`` and the dedicated
+``repro-cli trace`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+FAST = ["--n", "3", "--times", "0.5,1.0", "--replications", "30", "--seed", "7"]
+
+
+class TestUnsafetyMetrics:
+    def test_metrics_prints_breakdown_table(self, capsys):
+        code = main(["unsafety", "--method", "importance", "--metrics", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "activity metrics over 30 replications" in out
+        assert "category" in out
+        # dynamicity churn guarantees movement activity rows
+        assert "movement" in out
+
+    def test_metrics_with_workers_merges_parallel_summaries(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "unsafety",
+                "--method",
+                "simulation",
+                "--metrics",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+                *FAST,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "activity metrics over 30 replications" in out
+
+    def test_profile_prints_phase_footer(self, capsys):
+        code = main(["unsafety", "--method", "simulation", "--profile", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out
+        assert "simulate" in out
+
+    def test_obs_flags_noted_for_non_simulation_methods(self, capsys):
+        code = main(["unsafety", "--method", "analytical", "--metrics", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "apply to the simulation methods" in out
+        assert "activity metrics" not in out
+
+    def test_trace_out_writes_jsonl_and_forces_serial(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "unsafety",
+                "--method",
+                "simulation",
+                "--trace-out",
+                str(path),
+                "--workers",
+                "2",
+                "--no-cache",
+                *FAST,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forces serial execution" in out
+        assert f"-> {path}" in out
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        assert {"kind", "t", "rep"} <= set(records[0])
+        assert any(record["kind"] == "run" for record in records)
+
+
+class TestTraceSubcommand:
+    def test_writes_trace_to_file(self, capsys, tmp_path):
+        path = tmp_path / "story.jsonl"
+        code = main(
+            [
+                "trace",
+                "--n",
+                "3",
+                "--horizon",
+                "1.0",
+                "--replications",
+                "5",
+                "--seed",
+                "3",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        kinds = {record["kind"] for record in records}
+        assert "firing" in kinds
+        assert "run" in kinds
+        # replication boundaries: one run event per replication
+        assert sum(1 for r in records if r["kind"] == "run") == 5
+        # deltas are on by default
+        assert any("delta" in record for record in records)
+
+    def test_no_deltas_strips_marking_deltas(self, capsys, tmp_path):
+        path = tmp_path / "lean.jsonl"
+        code = main(
+            [
+                "trace",
+                "--n",
+                "3",
+                "--horizon",
+                "1.0",
+                "--replications",
+                "5",
+                "--seed",
+                "3",
+                "--no-deltas",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        assert not any("delta" in record for record in records)
+
+    def test_stdout_when_no_out_given(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--n",
+                "3",
+                "--horizon",
+                "0.5",
+                "--replications",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("{")]
+        assert lines
+        json.loads(lines[0])

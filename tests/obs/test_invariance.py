@@ -1,0 +1,172 @@
+"""The hard invariant: instrumentation never touches the RNG stream.
+
+Every estimate, draw count, marking trajectory, and importance-sampling
+likelihood-ratio weight must be bit-identical with observability on or
+off, on both jump engines, across the compiled-equivalence model zoo.
+The traces themselves must also agree across engines: the interpreted and
+compiled executors tell the same story event for event, delta for delta.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.composed import build_composed_model
+from repro.core.parameters import AHSParameters
+from repro.rare import FailureBiasing, ImportanceSamplingEstimator
+from repro.san import (
+    CompiledJumpEngine,
+    MarkovJumpSimulator,
+    SANSimulator,
+    make_jump_engine,
+)
+from repro.obs import MetricsRecorder, Observation, TraceRecorder
+from repro.stochastic import StreamFactory
+
+from tests.conftest import make_two_state_model
+from tests.san.test_compiled_equivalence import (
+    assert_runs_identical,
+    make_branchy_model,
+)
+
+ENGINE_CLASSES = {
+    "interpreted": MarkovJumpSimulator,
+    "compiled": CompiledJumpEngine,
+}
+
+
+def full_observation() -> Observation:
+    return Observation(
+        trace=TraceRecorder(capacity=50_000),
+        metrics=MetricsRecorder(level="full"),
+    )
+
+
+def run_with_and_without(
+    engine: str, model, seed: int, horizon: float, stop_predicate=None, bias=None
+):
+    """(bare run, observed run, bare draws, observed draws, observation)."""
+    cls = ENGINE_CLASSES[engine]
+    observation = full_observation()
+    bare = cls(model, bias=bias)
+    observed = cls(model, bias=bias, observer=observation)
+    stream_a = StreamFactory(seed).stream("inv")
+    stream_b = StreamFactory(seed).stream("inv")
+    run_a = bare.run(stream_a, horizon, stop_predicate)
+    run_b = observed.run(stream_b, horizon, stop_predicate)
+    return run_a, run_b, stream_a.draw_count, stream_b.draw_count, observation
+
+
+ZOO = {
+    "two-state": lambda: (make_two_state_model()[0], None),
+    "branchy": lambda: (make_branchy_model()[0], None),
+}
+
+
+def _composed(n: int):
+    ahs = build_composed_model(AHSParameters(max_platoon_size=n))
+    return ahs.model, ahs.unsafe_predicate()
+
+
+ZOO["composed-2"] = lambda: _composed(2)
+ZOO["composed-3"] = lambda: _composed(3)
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_runs_bit_identical_with_observer(engine, name):
+    model, predicate = ZOO[name]()
+    run_a, run_b, draws_a, draws_b, observation = run_with_and_without(
+        engine, model, seed=7, horizon=10.0, stop_predicate=predicate
+    )
+    assert_runs_identical(run_a, run_b, model.places)
+    assert draws_a == draws_b
+    # the observer actually saw the run it didn't perturb
+    assert observation.metrics.summary().replications == 1
+    assert observation.metrics.summary().total_firings == run_a.firings
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
+def test_biased_weights_bit_identical_with_observer(engine):
+    """IS likelihood-ratio weights are the most fragile field."""
+    ahs = build_composed_model(AHSParameters(max_platoon_size=2))
+    biasing = FailureBiasing(
+        boost=100.0, name_predicate=lambda name: name.startswith("L_FM")
+    )
+    bias = biasing.plan_for(ahs.model)
+    predicate = ahs.unsafe_predicate()
+    for seed in (1, 2, 3):
+        run_a, run_b, draws_a, draws_b, _ = run_with_and_without(
+            engine, ahs.model, seed, horizon=10.0,
+            stop_predicate=predicate, bias=bias,
+        )
+        assert run_a.weight == run_b.weight
+        assert draws_a == draws_b
+
+
+def test_importance_estimates_unchanged_by_observer():
+    ahs = build_composed_model(AHSParameters(max_platoon_size=2))
+    biasing = FailureBiasing(
+        boost=50.0, name_predicate=lambda name: name.startswith("L_FM")
+    )
+    estimates = {}
+    for label, observer in (("off", None), ("on", full_observation())):
+        estimator = ImportanceSamplingEstimator(
+            ahs.model, ahs.unsafe_predicate(), biasing, observer=observer
+        )
+        estimates[label] = estimator.estimate([5.0, 10.0], 30, StreamFactory(99))
+    assert list(estimates["on"].values) == list(estimates["off"].values)
+    assert list(estimates["on"].half_widths) == list(
+        estimates["off"].half_widths
+    )
+
+
+def test_event_driven_simulator_unchanged_by_observer():
+    model, _up, _down = make_two_state_model(fail_rate=2.0, repair_rate=3.0)
+    observation = full_observation()
+    bare = SANSimulator(model)
+    observed = SANSimulator(model, observer=observation)
+    stream_a = StreamFactory(11).stream("des")
+    stream_b = StreamFactory(11).stream("des")
+    run_a = bare.run(stream_a, horizon=20.0)
+    run_b = observed.run(stream_b, horizon=20.0)
+    assert_runs_identical(run_a, run_b, model.places)
+    assert stream_a.draw_count == stream_b.draw_count
+    assert observation.metrics.summary().total_firings == run_a.firings
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_traces_identical_across_engines(name):
+    """Both engines must tell the same structured story: same events,
+    same timestamps, same marking deltas, serialised identically."""
+    model, predicate = ZOO[name]()
+    payloads = {}
+    for engine in ("interpreted", "compiled"):
+        trace = TraceRecorder(capacity=50_000)
+        simulator = make_jump_engine(
+            model, engine=engine, observer=Observation(trace=trace)
+        )
+        simulator.run(StreamFactory(13).stream("tr"), 10.0, predicate)
+        payloads[engine] = "\n".join(
+            json.dumps(record, sort_keys=True) for record in trace.iter_dicts()
+        )
+        assert len(trace) > 0
+    assert payloads["compiled"] == payloads["interpreted"]
+
+
+def test_metrics_identical_across_engines():
+    model, predicate = _composed(2)
+    summaries = {}
+    for engine in ("interpreted", "compiled"):
+        metrics = MetricsRecorder(level="full")
+        simulator = make_jump_engine(
+            model, engine=engine, observer=Observation(metrics=metrics)
+        )
+        for stream in StreamFactory(4).stream_batch("mc", 10):
+            simulator.run(stream, 5.0, predicate)
+        summaries[engine] = json.dumps(
+            metrics.summary().to_dict(), sort_keys=True
+        )
+    assert summaries["compiled"] == summaries["interpreted"]

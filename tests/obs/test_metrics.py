@@ -1,0 +1,189 @@
+"""Unit tests of the mergeable per-activity metric summaries."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRecorder,
+    MetricSummary,
+    RunningStats,
+    base_activity_name,
+    format_metrics_table,
+    merge_metric_dicts,
+)
+
+
+class TestRunningStats:
+    def test_welford_matches_numpy(self):
+        values = [0.5, 2.25, 1.0, 9.75, 3.5, 0.125]
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.n == len(values)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-14)
+        assert stats.variance == pytest.approx(np.var(values, ddof=1), rel=1e-12)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+    def test_chan_merge_matches_pooled_stream(self):
+        left_values = [1.0, 4.0, 2.0]
+        right_values = [8.0, 0.5, 3.0, 7.0]
+        left, right = RunningStats(), RunningStats()
+        for value in left_values:
+            left.add(value)
+        for value in right_values:
+            right.add(value)
+        left.merge(right)
+        pooled = left_values + right_values
+        assert left.n == len(pooled)
+        assert left.mean == pytest.approx(np.mean(pooled), rel=1e-14)
+        assert left.variance == pytest.approx(np.var(pooled, ddof=1), rel=1e-12)
+
+    def test_merge_with_empty_is_identity(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        stats.add(5.0)
+        before = stats.to_dict()
+        stats.merge(RunningStats())
+        assert stats.to_dict() == before
+        fresh = RunningStats().merge(stats)
+        assert fresh.to_dict() == before
+
+    def test_dict_round_trip(self):
+        stats = RunningStats()
+        for value in (0.25, 1.5, -2.0):
+            stats.add(value)
+        clone = RunningStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert clone.to_dict() == stats.to_dict()
+
+    def test_empty_round_trip_keeps_sentinels(self):
+        clone = RunningStats.from_dict(RunningStats().to_dict())
+        assert clone.n == 0
+        assert clone.min == math.inf
+        assert clone.max == -math.inf
+        assert math.isnan(clone.variance)
+
+
+class TestMetricsRecorder:
+    def _feed(self, recorder: MetricsRecorder) -> None:
+        recorder.record_firing("L_FM1[0]", 0.5, 0.5, 0)
+        recorder.record_firing("maneuver_CS[1]", 1.0, 0.5, 0)
+        recorder.record_firing("maneuver_CS[1]", 1.5, 0.5, 2)
+        recorder.note_absorption("maneuver_AS[0]", 2.0, "ST1")
+        recorder.record_run(True, 2.0, 1.0, 2.0)
+        recorder.record_des_event(2.5)
+
+    def test_counts_level_accumulation(self):
+        recorder = MetricsRecorder(level="counts")
+        self._feed(recorder)
+        summary = recorder.summary()
+        assert summary.replications == 1
+        assert summary.firings == {"L_FM1[0]": 1, "maneuver_CS[1]": 2}
+        assert summary.escalations == {"maneuver_CS[1]": 1}
+        assert summary.absorptions == {"maneuver_AS[0]": 1}
+        assert summary.situations == {"ST1": 1}
+        assert summary.des_events == 1
+        # counts level skips the float accumulators entirely
+        assert summary.sojourn == {}
+        assert summary.first_passage.n == 0
+
+    def test_full_level_adds_sojourn_and_first_passage(self):
+        recorder = MetricsRecorder(level="full")
+        self._feed(recorder)
+        summary = recorder.summary()
+        assert summary.sojourn["maneuver_CS[1]"].n == 2
+        assert summary.first_passage.n == 1
+        assert summary.first_passage.mean == 2.0
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError, match="level"):
+            MetricsRecorder(level="verbose")
+
+    def test_absorb_dict_equals_merge(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        self._feed(a)
+        self._feed(b)
+        b.record_firing("L_FM2[0]", 0.1, 0.1, 0)
+        a.absorb(b.summary().to_dict())
+        assert a.summary().replications == 2
+        assert a.summary().firings["L_FM2[0]"] == 1
+        assert a.summary().firings["maneuver_CS[1]"] == 4
+
+
+class TestSummaryMerge:
+    def test_merge_is_deterministic_and_round_trips(self):
+        a, b = MetricsRecorder(), MetricsRecorder()
+        a.record_firing("x", 1.0, 1.0, 0)
+        a.record_run(False, math.inf, 1.0, 5.0)
+        b.record_firing("x", 2.0, 2.0, 1)
+        b.record_firing("y", 3.0, 0.5, 0)
+        b.record_run(True, 3.0, 1.0, 3.0)
+        merged = merge_metric_dicts(
+            a.summary().to_dict(), b.summary().to_dict()
+        )
+        again = merge_metric_dicts(
+            a.summary().to_dict(), b.summary().to_dict()
+        )
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+        restored = MetricSummary.from_dict(merged)
+        assert restored.replications == 2
+        assert restored.firings == {"x": 2, "y": 1}
+        assert restored.escalations == {"x": 1}
+
+    def test_merge_tolerates_none(self):
+        record = MetricsRecorder()
+        record.record_run(True, 1.0, 1.0, 1.0)
+        payload = record.summary().to_dict()
+        assert merge_metric_dicts(None, None) is None
+        assert merge_metric_dicts(payload, None) is payload
+        assert merge_metric_dicts(None, payload) is payload
+
+
+class TestBreakdown:
+    def test_base_name_strips_replica_suffix(self):
+        assert base_activity_name("L_FM1[3]") == "L_FM1"
+        assert base_activity_name("maneuver_TIE[12]") == "maneuver_TIE"
+        assert base_activity_name("join") == "join"
+
+    def test_rows_aggregate_replicas_by_category(self):
+        recorder = MetricsRecorder()
+        recorder.record_firing("L_FM1[0]", 0.1, 0.1, 0)
+        recorder.record_firing("L_FM1[1]", 0.2, 0.1, 0)
+        recorder.record_firing("maneuver_GS[0]", 0.3, 0.1, 1)
+        recorder.record_firing("join_platoon[0]", 0.4, 0.1, 0)
+        recorder.record_firing("watcher", 0.5, 0.1, 0)
+        recorder.note_absorption("maneuver_GS[0]", 0.6, None)
+        rows = recorder.summary().breakdown_rows()
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["L_FM1"]["firings"] == 2
+        assert by_name["L_FM1"]["category"] == "failure-mode"
+        assert by_name["maneuver_GS"]["escalations"] == 1
+        assert by_name["maneuver_GS"]["absorptions"] == 1
+        assert by_name["join_platoon"]["category"] == "movement"
+        assert by_name["watcher"]["category"] == "other"
+        # categories come out in taxonomy order
+        categories = [row["category"] for row in rows]
+        assert categories == sorted(
+            categories,
+            key=["failure-mode", "maneuver", "movement", "other"].index,
+        )
+
+    def test_format_table_mentions_situations(self):
+        recorder = MetricsRecorder()
+        recorder.record_firing("L_FM1[0]", 0.1, 0.1, 0)
+        recorder.note_absorption("L_FM1[0]", 0.2, "ST2")
+        recorder.record_run(True, 0.2, 1.0, 0.2)
+        text = format_metrics_table(recorder.summary())
+        assert "activity metrics over 1 replications" in text
+        assert "failure-mode" in text
+        assert "ST2=1" in text
+        assert "first passage" in text

@@ -1,0 +1,156 @@
+"""Parallel metric merging: deterministic, worker-count independent.
+
+Chunk summaries are merged in chunk-index order (Chan/Welford discipline,
+see :mod:`repro.runtime.merge`), so for a fixed seed the pooled activity
+metrics are byte-identical for any worker count, the integer counters
+match a serial run exactly, and enabling metrics never changes the
+estimate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AHSParameters, unsafety
+from repro.obs import MetricsRecorder, Observation, PhaseProfiler
+from repro.runtime import ParallelRunner
+
+PARAMS = AHSParameters(max_platoon_size=3)
+TIMES = [0.5, 1.0]
+SEED = 2009
+REPLICATIONS = 40
+
+
+def parallel_run(workers: int, observer=None):
+    with ParallelRunner(workers=workers) as runner:
+        return unsafety(
+            PARAMS,
+            TIMES,
+            method="simulation",
+            n_replications=REPLICATIONS,
+            seed=SEED,
+            runner=runner,
+            observer=observer,
+        )
+
+
+@pytest.fixture(scope="module")
+def serial_recorder():
+    recorder = MetricsRecorder(level="full")
+    estimate = unsafety(
+        PARAMS,
+        TIMES,
+        method="simulation",
+        n_replications=REPLICATIONS,
+        seed=SEED,
+        observer=Observation(metrics=recorder),
+    )
+    return recorder, estimate
+
+
+class TestWorkerCountIndependence:
+    def test_merged_metrics_byte_identical_across_worker_counts(self):
+        payloads = {}
+        for workers in (1, 2, 3):
+            recorder = MetricsRecorder(level="full")
+            result = parallel_run(workers, Observation(metrics=recorder))
+            payloads[workers] = json.dumps(
+                recorder.summary().to_dict(), sort_keys=True
+            )
+            assert recorder.summary().replications == REPLICATIONS
+            assert result.n_samples == REPLICATIONS
+        assert payloads[1] == payloads[2] == payloads[3]
+
+    def test_metrics_do_not_change_the_estimate(self):
+        bare = parallel_run(2, observer=None)
+        recorder = MetricsRecorder(level="full")
+        observed = parallel_run(2, Observation(metrics=recorder))
+        assert np.array_equal(bare.values, observed.values)
+        assert np.array_equal(bare.half_widths, observed.half_widths)
+
+
+class TestSerialParity:
+    def test_integer_counters_match_serial_exactly(self, serial_recorder):
+        serial, _ = serial_recorder
+        recorder = MetricsRecorder(level="full")
+        parallel_run(2, Observation(metrics=recorder))
+        pooled = recorder.summary()
+        reference = serial.summary()
+        assert pooled.replications == reference.replications
+        assert pooled.firings == reference.firings
+        assert pooled.escalations == reference.escalations
+        assert pooled.absorptions == reference.absorptions
+        assert pooled.situations == reference.situations
+
+    def test_float_moments_match_serial_statistically(self, serial_recorder):
+        """Sojourn moments pool chunk-wise (Chan) rather than
+        observation-wise (Welford), so serial vs parallel may differ in
+        the last ulps — but nothing more."""
+        serial, _ = serial_recorder
+        recorder = MetricsRecorder(level="full")
+        parallel_run(2, Observation(metrics=recorder))
+        pooled = recorder.summary()
+        reference = serial.summary()
+        assert set(pooled.sojourn) == set(reference.sojourn)
+        for name, stats in pooled.sojourn.items():
+            assert stats.n == reference.sojourn[name].n
+            assert stats.mean == pytest.approx(
+                reference.sojourn[name].mean, rel=1e-12
+            )
+        assert pooled.first_passage.n == reference.first_passage.n
+
+    def test_parallel_estimate_matches_serial(self, serial_recorder):
+        _, serial_estimate = serial_recorder
+        parallel = parallel_run(2)
+        assert np.array_equal(parallel.values, serial_estimate.values)
+
+
+class TestTelemetryEmbedding:
+    def test_activity_metrics_land_in_telemetry_dict(self):
+        task_metrics = MetricsRecorder(level="counts")
+        with ParallelRunner(workers=2) as runner:
+            unsafety(
+                PARAMS,
+                TIMES,
+                method="simulation",
+                n_replications=REPLICATIONS,
+                seed=SEED,
+                runner=runner,
+                observer=Observation(metrics=task_metrics),
+            )
+            telemetry = runner.last_telemetry
+        assert telemetry is not None
+        record = telemetry.to_dict()
+        assert record["activity_metrics"]["replications"] == REPLICATIONS
+        json.dumps(record)  # must stay serialisable
+
+    def test_without_metrics_no_activity_block(self):
+        with ParallelRunner(workers=1) as runner:
+            unsafety(
+                PARAMS,
+                TIMES,
+                method="simulation",
+                n_replications=REPLICATIONS,
+                seed=SEED,
+                runner=runner,
+            )
+            telemetry = runner.last_telemetry
+        assert "activity_metrics" not in telemetry.to_dict()
+
+
+def test_profiler_records_driver_phases():
+    profiler = PhaseProfiler()
+    unsafety(
+        PARAMS,
+        TIMES,
+        method="simulation",
+        n_replications=10,
+        seed=SEED,
+        observer=Observation(profiler=profiler),
+    )
+    assert "compile" in profiler.phases
+    assert "simulate" in profiler.phases
+    assert profiler.phases["simulate"].seconds > 0.0

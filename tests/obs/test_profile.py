@@ -1,0 +1,95 @@
+"""Unit tests of the per-phase wall-time profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler, PhaseStats, profile_span
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_spans_accumulate_per_phase():
+    clock = FakeClock()
+    profiler = PhaseProfiler(clock=clock)
+    with profiler.span("compile"):
+        clock.now += 1.0
+    with profiler.span("simulate"):
+        clock.now += 4.0
+    with profiler.span("simulate"):
+        clock.now += 2.0
+    assert profiler.phases["compile"].calls == 1
+    assert profiler.phases["compile"].seconds == 1.0
+    assert profiler.phases["simulate"].calls == 2
+    assert profiler.phases["simulate"].seconds == 6.0
+
+
+def test_span_records_even_when_body_raises():
+    clock = FakeClock()
+    profiler = PhaseProfiler(clock=clock)
+    with pytest.raises(RuntimeError):
+        with profiler.span("simulate"):
+            clock.now += 3.0
+            raise RuntimeError("boom")
+    assert profiler.phases["simulate"].seconds == 3.0
+
+
+def test_sink_receives_each_closed_span():
+    clock = FakeClock()
+    seen = []
+    profiler = PhaseProfiler(clock=clock, sink=lambda phase, s: seen.append((phase, s)))
+    with profiler.span("merge"):
+        clock.now += 0.5
+    with profiler.span("cache"):
+        clock.now += 0.25
+    assert seen == [("merge", 0.5), ("cache", 0.25)]
+
+
+def test_merge_folds_profiles():
+    a, b = PhaseProfiler(clock=FakeClock()), PhaseProfiler(clock=FakeClock())
+    a.phases["simulate"] = PhaseStats(calls=1, seconds=2.0)
+    b.phases["simulate"] = PhaseStats(calls=2, seconds=3.0)
+    a.merge(b)
+    assert a.phases["simulate"].calls == 3
+    assert a.phases["simulate"].seconds == 5.0
+
+
+def test_to_dict_and_format():
+    clock = FakeClock()
+    profiler = PhaseProfiler(clock=clock)
+    with profiler.span("simulate"):
+        clock.now += 3.0
+    with profiler.span("compile"):
+        clock.now += 1.0
+    record = profiler.to_dict()
+    assert record == {
+        "compile": {"calls": 1, "seconds": 1.0},
+        "simulate": {"calls": 1, "seconds": 3.0},
+    }
+    text = profiler.format()
+    assert text.startswith("profile: 4.000s across 2 phases")
+    # descending by time: simulate first
+    assert text.index("simulate") < text.index("compile")
+
+
+def test_format_without_spans():
+    assert "no spans" in PhaseProfiler().format()
+
+
+def test_profile_span_none_is_noop():
+    with profile_span(None, "simulate"):
+        pass  # must not raise
+
+
+def test_profile_span_delegates():
+    clock = FakeClock()
+    profiler = PhaseProfiler(clock=clock)
+    with profile_span(profiler, "cache"):
+        clock.now += 1.5
+    assert profiler.phases["cache"].seconds == 1.5

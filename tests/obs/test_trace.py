@@ -1,0 +1,102 @@
+"""Unit tests of the bounded ring-buffer trace recorder."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention_and_counts_drops(self):
+        recorder = TraceRecorder(capacity=3, deltas=False)
+        for index in range(5):
+            recorder.record_firing(f"a{index}", float(index), 1.0, 0)
+        assert len(recorder) == 3
+        assert recorder.recorded == 5
+        assert recorder.dropped == 2
+        # oldest events fell off, newest retained in order
+        assert [event.activity for event in recorder.events()] == [
+            "a2",
+            "a3",
+            "a4",
+        ]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRecorder(capacity=0)
+
+    def test_clear_resets_counters(self):
+        recorder = TraceRecorder(capacity=2)
+        recorder.record_firing("a", 0.0, 0.0, 0)
+        recorder.record_run(False, 0.0, 1.0, 1.0)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.recorded == 0
+        recorder.record_firing("b", 0.0, 0.0, 0)
+        assert recorder.events()[0].replication == 0
+
+
+class TestEventKinds:
+    def test_maneuver_failure_case_is_an_escalation(self):
+        recorder = TraceRecorder()
+        recorder.record_firing("maneuver_CS[2]", 1.0, 0.5, 1)
+        recorder.record_firing("maneuver_CS[2]", 2.0, 0.5, 0)
+        recorder.record_firing("L_FM1[0]", 3.0, 0.5, 1)
+        kinds = [event.kind for event in recorder.events()]
+        assert kinds == ["escalation", "firing", "firing"]
+
+    def test_replication_counter_advances_on_run_boundary(self):
+        recorder = TraceRecorder()
+        recorder.record_firing("a", 0.5, 0.5, 0)
+        recorder.record_run(False, 0.0, 1.0, 1.0)
+        recorder.record_firing("a", 0.25, 0.25, 0)
+        reps = [event.replication for event in recorder.events()]
+        assert reps == [0, 0, 1]
+
+    def test_absorption_carries_cause_and_situation(self):
+        recorder = TraceRecorder()
+        recorder.note_absorption("maneuver_AS[1]", 4.0, "ST1")
+        event = recorder.events()[0]
+        assert event.kind == "absorption"
+        assert event.activity == "maneuver_AS[1]"
+        assert event.situation == "ST1"
+
+    def test_classifier_applied_when_attached_directly(self):
+        recorder = TraceRecorder(classifier=lambda marking: "ST3")
+        recorder.record_absorption("cause", 1.0, marking=object())
+        assert recorder.events()[0].situation == "ST3"
+
+
+class TestJsonl:
+    def test_to_dict_omits_defaults(self):
+        event = TraceEvent(kind="firing", time=1.0, activity="a")
+        record = event.to_dict()
+        assert record == {"kind": "firing", "t": 1.0, "rep": 0, "activity": "a"}
+        run = TraceEvent(kind="run", time=2.0, stopped=True, weight=0.5)
+        assert run.to_dict()["stopped"] is True
+        assert run.to_dict()["weight"] == 0.5
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record_firing("a", 1.0, 1.0, 0, delta={"p": 2})
+        recorder.record_run(True, 1.0, 1.0, 1.0)
+        path = tmp_path / "trace.jsonl"
+        written = recorder.write_jsonl(str(path))
+        assert written == 2
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["delta"] == {"p": 2}
+        assert records[1]["kind"] == "run"
+        # deterministic serialisation: keys sorted
+        assert lines[0] == json.dumps(records[0], sort_keys=True)
+
+    def test_write_jsonl_accepts_handle(self):
+        recorder = TraceRecorder()
+        recorder.record_des_event(0.5)
+        buffer = io.StringIO()
+        assert recorder.write_jsonl(buffer) == 1
+        assert json.loads(buffer.getvalue())["kind"] == "des-event"

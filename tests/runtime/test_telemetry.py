@@ -1,0 +1,176 @@
+"""Direct tests of the runtime telemetry recorder and snapshot."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.telemetry import (
+    TelemetryRecorder,
+    TelemetrySnapshot,
+    WorkerStats,
+)
+
+
+class FakeClock:
+    """Deterministic injectable time source."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRecorderAccumulation:
+    def test_chunks_accumulate_totals_and_per_worker(self):
+        recorder = TelemetryRecorder(workers=2)
+        recorder.start()
+        recorder.record_chunk("w1", 10, draws=100, busy_seconds=1.0, events=50)
+        recorder.record_chunk("w2", 20, draws=200, busy_seconds=2.0, events=70)
+        recorder.record_chunk("w1", 5, draws=50, busy_seconds=0.5, events=30)
+        recorder.finish()
+
+        snapshot = recorder.snapshot()
+        assert snapshot.units == 35
+        assert snapshot.chunks == 3
+        assert snapshot.draws == 350
+        assert snapshot.events == 150
+        assert snapshot.per_worker["w1"].chunks == 2
+        assert snapshot.per_worker["w1"].units == 15
+        assert snapshot.per_worker["w2"].draws == 200
+
+    def test_retries_fallbacks_and_cache_counters(self):
+        recorder = TelemetryRecorder(workers=1)
+        recorder.record_retry()
+        recorder.record_retry()
+        recorder.record_fallback()
+        recorder.record_cache(hit=True)
+        recorder.record_cache(hit=False)
+        recorder.record_cache(hit=False)
+
+        snapshot = recorder.snapshot()
+        assert snapshot.retries == 2
+        assert snapshot.fallbacks == 1
+        assert snapshot.cache_hits == 1
+        assert snapshot.cache_misses == 2
+        assert snapshot.cache_lookups == 3
+        assert snapshot.cache_hit_rate == 1 / 3
+
+    def test_injectable_clock_elapsed_time(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(workers=1, clock=clock)
+        assert recorder.elapsed_seconds == 0.0  # not started
+        recorder.start()
+        clock.advance(2.5)
+        # running: elapsed tracks the live clock
+        assert recorder.elapsed_seconds == 2.5
+        clock.advance(1.5)
+        recorder.finish()
+        assert recorder.elapsed_seconds == 4.0
+        clock.advance(10.0)
+        # finished: elapsed is frozen
+        assert recorder.elapsed_seconds == 4.0
+        assert recorder.snapshot().elapsed_seconds == 4.0
+
+    def test_throughput_from_injected_clock(self):
+        clock = FakeClock()
+        recorder = TelemetryRecorder(workers=1, clock=clock)
+        recorder.start()
+        recorder.record_chunk("w1", 100, busy_seconds=2.0)
+        clock.advance(4.0)
+        recorder.finish()
+        snapshot = recorder.snapshot()
+        assert snapshot.units_per_second == 25.0
+        assert snapshot.utilization("w1") == 0.5
+
+
+class TestSnapshotRoundTrip:
+    def _snapshot(self) -> TelemetrySnapshot:
+        clock = FakeClock()
+        recorder = TelemetryRecorder(
+            workers=2, unit="replications", engine="compiled", clock=clock
+        )
+        recorder.start()
+        recorder.record_chunk("w1", 64, draws=640, busy_seconds=1.0, events=99)
+        recorder.record_cache(hit=False)
+        clock.advance(2.0)
+        recorder.finish()
+        return recorder.snapshot()
+
+    def test_to_dict_round_trips_through_json(self):
+        snapshot = self._snapshot()
+        record = json.loads(json.dumps(snapshot.to_dict()))
+        assert record["workers"] == 2
+        assert record["unit"] == "replications"
+        assert record["units"] == 64
+        # historical key: always units/sec whatever the unit
+        assert record["replications_per_sec"] == snapshot.units_per_second
+        assert record["events"] == 99
+        assert record["engine"] == "compiled"
+        assert record["per_worker"]["w1"]["draws"] == 640
+        assert record["per_worker"]["w1"]["utilization"] == 0.5
+
+    def test_to_dict_includes_activity_metrics_only_when_present(self):
+        snapshot = self._snapshot()
+        assert "activity_metrics" not in snapshot.to_dict()
+        snapshot.activity_metrics = {"replications": 64, "firings": {"a": 1}}
+        assert snapshot.to_dict()["activity_metrics"]["firings"] == {"a": 1}
+
+
+class TestFooterFormatting:
+    def _snapshot(self, unit: str) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            workers=2,
+            unit=unit,
+            elapsed_seconds=2.0,
+            units=100,
+            chunks=2,
+            retries=0,
+            fallbacks=0,
+            draws=500,
+            cache_hits=1,
+            cache_misses=1,
+            per_worker={"w1": WorkerStats(chunks=2, units=100, draws=500)},
+        )
+
+    def test_replication_unit_footer(self):
+        text = self._snapshot("replications").format()
+        assert "replications=100" in text
+        assert "replications/sec=50.0" in text
+
+    def test_point_unit_footer_labels_points(self):
+        """The footer labels throughput by the run's unit (regression:
+        sweep runs used to print replications/sec)."""
+        text = self._snapshot("points").format()
+        assert "points=100" in text
+        assert "points/sec=50.0" in text
+        assert "replications/sec=" not in text
+
+
+class TestUtilizationGuard:
+    def test_unknown_worker_reports_zero(self):
+        snapshot = self._busy_snapshot()
+        assert snapshot.utilization("pid-unknown") == 0.0
+
+    def test_known_worker_unchanged(self):
+        snapshot = self._busy_snapshot()
+        assert snapshot.utilization("w1") == 0.75
+
+    @staticmethod
+    def _busy_snapshot() -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            workers=1,
+            unit="replications",
+            elapsed_seconds=4.0,
+            units=1,
+            chunks=1,
+            retries=0,
+            fallbacks=0,
+            draws=0,
+            cache_hits=0,
+            cache_misses=0,
+            per_worker={"w1": WorkerStats(busy_seconds=3.0)},
+        )
