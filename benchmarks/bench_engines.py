@@ -4,14 +4,17 @@ Not a paper artifact — tracks the performance of the SAN executors, the
 state-space generator, the uniformization solver and the kinematic
 substrate, so regressions in the machinery are visible.
 
-Besides the pytest-benchmark cases, the module is directly runnable as an
-interpreted-vs-compiled jump-engine comparison::
+Besides the pytest-benchmark cases, the module is directly runnable as a
+jump-engine comparison (interpreted vs compiled vs batched)::
 
     PYTHONPATH=src python benchmarks/bench_engines.py --sizes 5 10 20
 
 which prints a speedup table, writes ``BENCH_engines.json`` and exits
-non-zero if the compiled engine is ever slower than the interpreted one
-(the CI bench-smoke gate).
+non-zero on a performance regression: the compiled engine must beat the
+interpreted one at every size, and the batched engine (at its widest
+benchmarked batch) must beat compiled at the largest size (the CI
+bench-smoke gate).  All engines replay the same seeds, so the ``events``
+columns double as an equivalence check.
 """
 
 import argparse
@@ -84,46 +87,94 @@ def test_compiled_engine_on_composed_ahs(benchmark):
     benchmark(run_one)
 
 
+def test_batched_engine_on_composed_ahs(benchmark):
+    ahs = build_composed_model(
+        AHSParameters(max_platoon_size=2, base_failure_rate=1e-4)
+    )
+    simulator = make_jump_engine(ahs.model, engine="batched", batch_size=64)
+    factory = StreamFactory(2)
+    batches = iter(
+        [factory.stream_batch(f"bench-{i}", 64) for i in range(200)]
+    )
+
+    def run_batch():
+        runs = simulator.run_batch(next(batches), horizon=2.0)
+        return sum(run.firings for run in runs)
+
+    benchmark(run_batch)
+
+
 # ----------------------------------------------------------------------
 # interpreted-vs-compiled comparison (python benchmarks/bench_engines.py)
 # ----------------------------------------------------------------------
-def _time_engine(model, engine: str, replications: int, horizon: float) -> dict:
+def _time_engine(
+    model,
+    engine: str,
+    replications: int,
+    horizon: float,
+    batch_size: int = 256,
+) -> dict:
     """Throughput of one engine on ``model`` over fixed replications."""
-    simulator = make_jump_engine(model, engine=engine)
+    simulator = make_jump_engine(model, engine=engine, batch_size=batch_size)
     factory = StreamFactory(2024)
     streams = factory.stream_batch("bench", replications)
+    run_batch = getattr(simulator, "run_batch", None)
     started = time.perf_counter()
-    firings = sum(
-        simulator.run(stream, horizon).firings for stream in streams
-    )
+    if callable(run_batch):
+        firings = 0
+        for start in range(0, replications, batch_size):
+            firings += sum(
+                run.firings
+                for run in run_batch(streams[start:start + batch_size], horizon)
+            )
+    else:
+        firings = sum(
+            simulator.run(stream, horizon).firings for stream in streams
+        )
     elapsed = time.perf_counter() - started
-    return {
+    result = {
         "engine": engine,
         "replications": replications,
         "events": int(firings),
         "elapsed_seconds": elapsed,
         "events_per_sec": firings / elapsed if elapsed > 0 else 0.0,
     }
+    if engine == "batched":
+        result["batch_size"] = batch_size
+    return result
 
 
 def compare_engines(
-    sizes=(5, 10, 20), replications: int = 40, horizon: float = 2.0
+    sizes=(5, 10, 20),
+    replications: int = 40,
+    horizon: float = 2.0,
+    batch_sizes=(64, 256),
 ) -> list[dict]:
-    """Run both engines on the composed model at each platoon size.
+    """Run every engine on the composed model at each platoon size.
 
-    Both engines see the same seeds, so the ``events`` columns double as
-    an equivalence check (they must match exactly).
+    All engines see the same seeds, so the ``events`` columns double as
+    an equivalence check (they must match exactly).  The batched engine
+    is timed once per entry of ``batch_sizes``; replications are topped
+    up to the widest batch so every lockstep row is actually used.
     """
+    replications = max(replications, max(batch_sizes))
     rows = []
     for n in sizes:
         model = build_composed_model(AHSParameters(max_platoon_size=n)).model
         interpreted = _time_engine(model, "interpreted", replications, horizon)
         compiled = _time_engine(model, "compiled", replications, horizon)
-        if interpreted["events"] != compiled["events"]:
-            raise AssertionError(
-                f"n={n}: engines disagree on event counts "
-                f"({interpreted['events']} vs {compiled['events']})"
-            )
+        batched = [
+            _time_engine(model, "batched", replications, horizon, width)
+            for width in batch_sizes
+        ]
+        for candidate in [compiled] + batched:
+            if interpreted["events"] != candidate["events"]:
+                raise AssertionError(
+                    f"n={n}: engines disagree on event counts "
+                    f"(interpreted {interpreted['events']} vs "
+                    f"{candidate['engine']} {candidate['events']})"
+                )
+        best_batched = max(batched, key=lambda b: b["events_per_sec"])
         rows.append(
             {
                 "max_platoon_size": n,
@@ -132,8 +183,11 @@ def compare_engines(
                 "horizon": horizon,
                 "interpreted": interpreted,
                 "compiled": compiled,
+                "batched": batched,
                 "speedup": interpreted["elapsed_seconds"]
                 / compiled["elapsed_seconds"],
+                "batched_speedup": compiled["elapsed_seconds"]
+                / best_batched["elapsed_seconds"],
             }
         )
     return rows
@@ -142,17 +196,24 @@ def compare_engines(
 def _render_table(rows: list[dict]) -> str:
     lines = [
         f"{'n':>4}  {'places':>6}  {'interp ev/s':>12}  "
-        f"{'compiled ev/s':>13}  {'speedup':>7}",
+        f"{'compiled ev/s':>13}  {'batched ev/s':>12}  "
+        f"{'vs interp':>9}  {'vs compiled':>11}",
     ]
     for row in rows:
+        best_batched = max(
+            row["batched"], key=lambda b: b["events_per_sec"]
+        )
         lines.append(
             "{n:>4}  {places:>6}  {interp:>12.0f}  {comp:>13.0f}  "
-            "{speed:>6.2f}x".format(
+            "{batch:>12.0f}  {speed:>8.2f}x  {bspeed:>9.2f}x  (B={width})".format(
                 n=row["max_platoon_size"],
                 places=row["places"],
                 interp=row["interpreted"]["events_per_sec"],
                 comp=row["compiled"]["events_per_sec"],
+                batch=best_batched["events_per_sec"],
                 speed=row["speedup"],
+                bspeed=row["batched_speedup"],
+                width=best_batched["batch_size"],
             )
         )
     return "\n".join(lines)
@@ -179,9 +240,18 @@ def main(argv=None) -> int:
         "--horizon", type=float, default=2.0, help="trip horizon in hours"
     )
     parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[64, 256],
+        help="lockstep widths for the batched engine (default: 64 256)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small fast configuration for CI (sizes 3 5, 10 replications)",
+        help="small fast configuration for CI (sizes 3 10, 64 replications; "
+        "n=10 is the smallest size where the batched kernel's row "
+        "amortization is representative, so the gate means something)",
     )
     parser.add_argument(
         "--json",
@@ -189,15 +259,17 @@ def main(argv=None) -> int:
         help="output path for the machine-readable results",
     )
     args = parser.parse_args(argv)
-    sizes = [3, 5] if args.smoke else args.sizes
-    replications = 10 if args.smoke else args.replications
+    sizes = [3, 10] if args.smoke else args.sizes
+    replications = 64 if args.smoke else args.replications
+    batch_sizes = [64, 256] if args.smoke else args.batch_sizes
 
-    rows = compare_engines(sizes, replications, args.horizon)
+    rows = compare_engines(sizes, replications, args.horizon, batch_sizes)
     print(_render_table(rows))
     record = {
         "benchmark": "san-jump-engines",
-        "replications": replications,
+        "replications": max(replications, max(batch_sizes)),
         "horizon": args.horizon,
+        "batch_sizes": list(batch_sizes),
         "rows": rows,
     }
     with open(args.json, "w") as handle:
@@ -205,12 +277,23 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"wrote {args.json}")
 
+    failed = False
     slower = [row for row in rows if row["speedup"] < 1.0]
     if slower:
         ns = [row["max_platoon_size"] for row in slower]
         print(f"FAIL: compiled engine slower than interpreted at n={ns}")
-        return 1
-    return 0
+        failed = True
+    # regression gate for the batched kernel: at the largest (most
+    # vectorization-friendly) size, its best width must beat compiled
+    largest = max(rows, key=lambda row: row["max_platoon_size"])
+    if largest["batched_speedup"] < 1.0:
+        print(
+            "FAIL: batched engine slower than compiled at "
+            f"n={largest['max_platoon_size']} "
+            f"({largest['batched_speedup']:.2f}x)"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

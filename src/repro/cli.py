@@ -27,6 +27,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.san.compiled import ENGINES
+
 __all__ = ["main", "build_parser"]
 
 
@@ -128,9 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     uns.add_argument(
         "--engine",
         default="compiled",
-        choices=["interpreted", "compiled"],
+        choices=list(ENGINES),
         help="jump-chain executor for the simulation methods "
-        "(seed-identical results; compiled is several times faster)",
+        "(seed-identical results; compiled is several times faster; "
+        "batched advances replications in NumPy lockstep)",
+    )
+    uns.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="lockstep width for --engine batched (throughput knob only; "
+        "results are bit-identical at any width)",
     )
     uns.add_argument(
         "--metrics",
@@ -181,7 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--replications", type=int, default=100)
     trc.add_argument("--seed", type=int, default=None)
     trc.add_argument(
-        "--engine", default="compiled", choices=["interpreted", "compiled"]
+        "--engine", default="compiled", choices=list(ENGINES)
+    )
+    trc.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="lockstep width for --engine batched",
     )
     trc.add_argument(
         "--boost",
@@ -380,6 +396,7 @@ def _cmd_unsafety(args) -> int:
         runner=runner,
         engine=args.engine,
         observer=observer,
+        batch_size=args.batch_size,
     )
     if runner is not None:
         snapshot = runner.pop_telemetry()
@@ -437,6 +454,7 @@ def _cmd_trace(args) -> int:
         boost=args.boost,
         engine=args.engine,
         observer=observer,
+        batch_size=args.batch_size,
     )
     if args.out is None:
         recorder.write_jsonl(_sys.stdout)

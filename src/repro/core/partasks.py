@@ -9,6 +9,7 @@ simulator, analytical engine) worker-side, and expose stable
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import NamedTuple
 
@@ -27,6 +28,20 @@ class _SimContext(NamedTuple):
     times: np.ndarray
     horizon: float
     recorder: object = None
+    #: wall time spent building the model + engine (0.0 on cache hits,
+    #: so the driver's compile span counts each worker's compile once)
+    compile_seconds: float = 0.0
+    #: chunk-lifetime scratch for the per-replication indicator mask
+    scratch_mask: object = None
+
+
+#: worker-process memo of built contexts, keyed by the task cache token.
+#: Sequential-stopping runs dispatch many chunks of the *same* task to
+#: each worker; without this memo every chunk re-runs
+#: ``build_composed_model`` + ``make_jump_engine``.  Bounded (FIFO) so a
+#: long-lived worker sweeping many parameter points cannot hoard models.
+_CONTEXT_CACHE: dict[str, _SimContext] = {}
+_CONTEXT_CACHE_MAX = 4
 
 
 @dataclass(frozen=True)
@@ -57,12 +72,15 @@ class UnsafetySimulationTask:
     engine: str = "compiled"
     metrics: bool = False
     metrics_level: str = "full"
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if not self.times:
             raise ValueError("need at least one evaluation time")
         if min(self.times) < 0:
             raise ValueError("times must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         from repro.san.compiled import ENGINES
 
         if self.engine not in ENGINES:
@@ -75,6 +93,7 @@ class UnsafetySimulationTask:
         from repro.core.composed import build_composed_model
         from repro.san.compiled import make_jump_engine
 
+        started = time.perf_counter()
         ahs = build_composed_model(self.params)
         recorder = None
         observer = None
@@ -83,20 +102,92 @@ class UnsafetySimulationTask:
 
             recorder = MetricsRecorder(level=self.metrics_level)
             observer = Observation(metrics=recorder)
+        simulator = make_jump_engine(
+            ahs.model,
+            engine=self.engine,
+            observer=observer,
+            batch_size=self.batch_size,
+        )
         return _SimContext(
-            simulator=make_jump_engine(
-                ahs.model, engine=self.engine, observer=observer
-            ),
+            simulator=simulator,
             predicate=ahs.unsafe_predicate(),
             times=np.asarray(self.times, dtype=float),
             horizon=float(max(self.times)),
             recorder=recorder,
+            compile_seconds=time.perf_counter() - started,
+            scratch_mask=np.empty(len(self.times), dtype=bool),
         )
+
+    def build_cached(self) -> _SimContext:
+        """Worker-side context, memoised per process by cache token.
+
+        Metric-collecting tasks bypass the memo: their recorder
+        accumulates across runs, so each chunk needs a fresh one.  Cache
+        hits report ``compile_seconds == 0.0`` — over a multi-round run
+        the profiler's compile span then totals one compile per worker.
+        """
+        if self.metrics:
+            return self.build()
+        from repro.runtime.cache import cache_key
+
+        key = cache_key({"kind": "worker-context", "task": self.cache_token()})
+        context = _CONTEXT_CACHE.get(key)
+        if context is not None:
+            return context._replace(compile_seconds=0.0)
+        context = self.build()
+        while len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_MAX:
+            _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
+        _CONTEXT_CACHE[key] = context
+        return context
 
     def sample(self, context: _SimContext, stream) -> np.ndarray:
         """One replication: weighted unsafe indicator at each time point."""
+        out = np.empty(len(context.times), dtype=float)
+        return self.sample_into(context, stream, out)
+
+    def sample_into(self, context: _SimContext, stream, out: np.ndarray) -> np.ndarray:
+        """:meth:`sample`, writing into a caller-owned row buffer.
+
+        The chunk loop reuses one samples matrix and the context's scratch
+        mask, eliding the per-replication ``np.where`` allocations that
+        profiles showed on the hot path for dense time grids.
+        """
         run = context.simulator.run(stream, context.horizon, context.predicate)
-        return np.where(run.stop_time <= context.times, run.weight, 0.0)
+        mask = context.scratch_mask
+        if mask is None or len(mask) != len(context.times):
+            mask = np.empty(len(context.times), dtype=bool)
+        np.less_equal(run.stop_time, context.times, out=mask)
+        out[:] = 0.0
+        np.copyto(out, run.weight, where=mask)
+        return out
+
+    def supports_batch(self, context: _SimContext) -> bool:
+        """Whether this context's simulator advances replications in batch."""
+        return callable(getattr(context.simulator, "run_batch", None))
+
+    def sample_batch(self, context: _SimContext, streams) -> np.ndarray:
+        """All replications of a chunk through the batched kernel.
+
+        Slices the chunk's streams into lockstep batches of
+        ``batch_size``; row ``i`` of the result is bit-identical to
+        ``sample(context, streams[i])`` (the batched engine preserves
+        per-stream draw order at any width).
+        """
+        out = np.zeros((len(streams), len(context.times)), dtype=float)
+        mask = context.scratch_mask
+        if mask is None or len(mask) != len(context.times):
+            mask = np.empty(len(context.times), dtype=bool)
+        simulator = context.simulator
+        row = 0
+        for start in range(0, len(streams), self.batch_size):
+            chunk = streams[start:start + self.batch_size]
+            for run in simulator.run_batch(
+                chunk, context.horizon, context.predicate
+            ):
+                np.less_equal(run.stop_time, context.times, out=mask)
+                np.copyto(out[row], run.weight, where=mask)
+                row += 1
+        return out
 
     def events_of(self, context: _SimContext) -> int:
         """Timed firings executed so far by this context's simulator
@@ -110,6 +201,9 @@ class UnsafetySimulationTask:
         return context.recorder.summary().to_dict()
 
     def cache_token(self) -> dict:
+        # batch_size is deliberately absent: the batched engine is
+        # bit-identical at every width, so results (and worker contexts)
+        # are shareable across batch sizes
         token = {
             "measure": "unsafety",
             "engine": "simulation",

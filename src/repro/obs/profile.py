@@ -70,6 +70,21 @@ class PhaseProfiler:
             if self.sink is not None:
                 self.sink(phase, elapsed)
 
+    def add(self, phase: str, seconds: float) -> None:
+        """Record one pre-measured span (same accounting as :meth:`span`).
+
+        For durations measured elsewhere — e.g. worker-side compile time
+        carried home on a chunk summary — that should appear in this
+        profiler's report.
+        """
+        stats = self.phases.get(phase)
+        if stats is None:
+            stats = self.phases[phase] = PhaseStats()
+        stats.calls += 1
+        stats.seconds += float(seconds)
+        if self.sink is not None:
+            self.sink(phase, float(seconds))
+
     # ------------------------------------------------------------------
     def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
         """Fold another profiler's accumulated phases in; returns self."""

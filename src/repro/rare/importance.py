@@ -90,11 +90,14 @@ class ImportanceSamplingEstimator:
         The biasing plan; ``None`` degrades to crude Monte Carlo.
     engine:
         Jump-engine selection (see :data:`repro.san.compiled.ENGINES`);
-        both engines give bit-identical weighted estimates per seed.
+        all engines give bit-identical weighted estimates per seed.
     observer:
         Optional observability hook (see :mod:`repro.obs`) attached to
         the underlying engine.  Instrumentation never touches the RNG
         stream, so the likelihood-ratio weights are unchanged by it.
+    batch_size:
+        Lockstep width for the ``"batched"`` engine (other engines
+        ignore it); the weights are bit-identical at any width.
     """
 
     def __init__(
@@ -104,11 +107,14 @@ class ImportanceSamplingEstimator:
         biasing: Optional[FailureBiasing] = None,
         engine: str = "compiled",
         observer=None,
+        batch_size: int = 256,
     ) -> None:
         bias = biasing.plan_for(model) if biasing is not None else None
         self.simulator = make_jump_engine(
-            model, bias=bias, engine=engine, observer=observer
+            model, bias=bias, engine=engine, observer=observer,
+            batch_size=batch_size,
         )
+        self.batch_size = int(batch_size)
         self.stop_predicate = stop_predicate
 
     def runs(
@@ -118,6 +124,18 @@ class ImportanceSamplingEstimator:
         if n_replications < 1:
             raise ValueError("need at least one replication")
         streams = factory.stream_batch("is-rep", n_replications)
+        run_batch = getattr(self.simulator, "run_batch", None)
+        if callable(run_batch):
+            runs: list[SimulationRun] = []
+            for start in range(0, len(streams), self.batch_size):
+                runs.extend(
+                    run_batch(
+                        streams[start:start + self.batch_size],
+                        horizon,
+                        self.stop_predicate,
+                    )
+                )
+            return runs
         return [
             self.simulator.run(stream, horizon, self.stop_predicate)
             for stream in streams

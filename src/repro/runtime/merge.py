@@ -57,6 +57,9 @@ class ChunkSummary:
     worker: str = ""
     events: int = 0
     metrics: Optional[dict] = None
+    #: worker-side model build/compile wall time for this chunk (0.0 when
+    #: the worker served the chunk from its memoised context)
+    compile_seconds: float = 0.0
 
     @classmethod
     def from_samples(
@@ -68,6 +71,7 @@ class ChunkSummary:
         worker: str = "",
         events: int = 0,
         metrics: Optional[dict] = None,
+        compile_seconds: float = 0.0,
     ) -> "ChunkSummary":
         """Reduce a ``(n, k)`` sample block to its summary."""
         block = np.atleast_2d(np.asarray(samples, dtype=float))
@@ -85,6 +89,7 @@ class ChunkSummary:
             worker=worker,
             events=int(events),
             metrics=metrics,
+            compile_seconds=float(compile_seconds),
         )
 
     @property
@@ -111,6 +116,7 @@ def merge_two(a: ChunkSummary, b: ChunkSummary) -> ChunkSummary:
         worker="pooled",
         events=a.events + b.events,
         metrics=merge_metric_dicts(a.metrics, b.metrics),
+        compile_seconds=a.compile_seconds + b.compile_seconds,
     )
 
 

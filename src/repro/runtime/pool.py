@@ -94,27 +94,57 @@ def _worker_label() -> str:
 def _execute_chunk(
     task: ReplicationTask, plan: ReplicationPlan, spec: ChunkSpec
 ) -> ChunkSummary:
-    """Run one chunk of replications and reduce it to its summary."""
+    """Run one chunk of replications and reduce it to its summary.
+
+    Contexts come from ``task.build_cached()`` when the task offers it
+    (per-worker memoisation across chunks), events are reported as a
+    before/after delta (cached simulators carry lifetime counters), and
+    tasks exposing ``sample_batch``/``sample_into`` get the allocation-
+    free sampling paths.
+    """
     started = time.perf_counter()
-    context = task.build()
-    rows = []
-    draws = 0
-    for replication in spec.replication_indices():
-        stream = plan.stream(replication)
-        rows.append(
-            np.atleast_1d(np.asarray(task.sample(context, stream), dtype=float))
-        )
-        draws += stream.draw_count
-    events = task.events_of(context) if hasattr(task, "events_of") else 0
+    build_cached = getattr(task, "build_cached", None)
+    context = build_cached() if build_cached is not None else task.build()
+    compile_seconds = float(getattr(context, "compile_seconds", 0.0))
+    has_events = hasattr(task, "events_of")
+    events_before = task.events_of(context) if has_events else 0
+    streams = [
+        plan.stream(replication) for replication in spec.replication_indices()
+    ]
+    supports_batch = getattr(task, "supports_batch", None)
+    sample_into = getattr(task, "sample_into", None)
+    if (
+        hasattr(task, "sample_batch")
+        and supports_batch is not None
+        and supports_batch(context)
+    ):
+        samples = np.asarray(task.sample_batch(context, streams), dtype=float)
+        if samples.ndim == 1:
+            samples = samples[:, None]
+    else:
+        samples = None
+        for position, stream in enumerate(streams):
+            if samples is not None and sample_into is not None:
+                sample_into(context, stream, samples[position])
+                continue
+            row = np.atleast_1d(
+                np.asarray(task.sample(context, stream), dtype=float)
+            )
+            if samples is None:
+                samples = np.empty((len(streams), row.shape[0]), dtype=float)
+            samples[position] = row
+    draws = sum(stream.draw_count for stream in streams)
+    events = (task.events_of(context) - events_before) if has_events else 0
     metrics = task.metrics_of(context) if hasattr(task, "metrics_of") else None
     return ChunkSummary.from_samples(
         spec.index,
-        np.vstack(rows),
+        samples,
         draws=draws,
         elapsed_seconds=time.perf_counter() - started,
         worker=_worker_label(),
         events=events,
         metrics=metrics,
+        compile_seconds=compile_seconds,
     )
 
 
@@ -453,6 +483,11 @@ class ParallelRunner:
                 busy_seconds=summary.elapsed_seconds,
                 events=summary.events,
             )
+            if self.profiler is not None and summary.compile_seconds > 0.0:
+                # worker-side model build/compile time, carried home on the
+                # summary; cached contexts report 0.0, so a multi-round run
+                # shows at most one compile span per worker process
+                self.profiler.add("compile", summary.compile_seconds)
             completed[summary.chunk_index] = summary
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.san.compiled import (
     compile_model,
     make_jump_engine,
 )
+from repro.san.batched import DEFAULT_BATCH_SIZE, BatchedJumpEngine
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
@@ -59,6 +60,8 @@ __all__ = [
     "MarkovJumpSimulator",
     "SimulationRun",
     "ENGINES",
+    "BatchedJumpEngine",
+    "DEFAULT_BATCH_SIZE",
     "CompiledJumpEngine",
     "CompiledMarking",
     "CompiledModel",

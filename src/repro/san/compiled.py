@@ -71,7 +71,7 @@ __all__ = [
 ]
 
 #: engine names accepted by :func:`make_jump_engine` and the CLI ``--engine``
-ENGINES = ("interpreted", "compiled")
+ENGINES = ("interpreted", "compiled", "batched")
 
 
 class CompiledMarking:
@@ -931,19 +931,30 @@ def make_jump_engine(
     bias: Optional[Mapping[str, float]] = None,
     engine: str = "compiled",
     observer=None,
-) -> Union[MarkovJumpSimulator, CompiledJumpEngine]:
+    batch_size: int = 256,
+):
     """The jump-chain executor for ``engine`` ∈ :data:`ENGINES`.
 
     ``"compiled"`` (default) builds a :class:`CompiledJumpEngine`;
     ``"interpreted"`` the original
-    :class:`~repro.san.simulator.MarkovJumpSimulator`.  Both produce
-    bit-identical results for the same seed; fall back to ``interpreted``
-    when debugging gate code (plain dict-backed markings) — see
-    ``docs/engine_perf.md``.  ``observer`` attaches an observability hook
-    (:mod:`repro.obs`) to either engine.
+    :class:`~repro.san.simulator.MarkovJumpSimulator`; ``"batched"`` the
+    lockstep NumPy kernel (:class:`~repro.san.batched.BatchedJumpEngine`,
+    fastest for large replication counts — ``batch_size`` sets its
+    default lockstep width).  All three produce bit-identical results
+    for the same seed; fall back to ``interpreted`` when debugging gate
+    code (plain dict-backed markings) — see ``docs/engine_perf.md``.
+    ``observer`` attaches an observability hook (:mod:`repro.obs`) to
+    any engine (the batched engine then delegates traced runs to its
+    per-row compiled path, keeping RNG invariance).
     """
     if engine == "compiled":
         return CompiledJumpEngine(model, bias=bias, observer=observer)
     if engine == "interpreted":
         return MarkovJumpSimulator(model, bias=bias, observer=observer)
+    if engine == "batched":
+        from repro.san.batched import BatchedJumpEngine
+
+        return BatchedJumpEngine(
+            model, bias=bias, observer=observer, batch_size=batch_size
+        )
     raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")
