@@ -1,0 +1,133 @@
+"""Static-analyzer cost benchmark: ``analyze_model`` on built-in models.
+
+Not a paper artifact — keeps ``repro-cli lint`` cheap enough to run as a
+pre-simulation gate and in CI.  Directly runnable::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py --smoke --json BENCH_lint.json
+
+Runs the full analyzer (all four families) over the composed AHS model
+at increasing sizes, prints a per-family timing table, writes the JSON
+artifact, and in ``--smoke`` mode exits non-zero if the full analysis of
+the smoke-sized model exceeds the wall-clock budget or reports any
+error — every built-in model must lint clean.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis import FAMILIES, Severity, analyze_model
+from repro.core import AHSParameters, build_composed_model
+
+#: --smoke budget for one full analysis of the n=2 composed model
+SMOKE_BUDGET_SECONDS = 20.0
+
+
+def _time_family(model, family: str, max_states: int) -> dict:
+    started = time.perf_counter()
+    report = analyze_model(model, families=[family], max_states=max_states)
+    elapsed = time.perf_counter() - started
+    return {
+        "family": family,
+        "elapsed_seconds": elapsed,
+        "diagnostics": len(report.diagnostics),
+    }
+
+
+def measure(size: int, max_states: int) -> dict:
+    """Time each analyzer family plus the combined run on one model."""
+    params = AHSParameters(max_platoon_size=size)
+    model = build_composed_model(params).model
+    per_family = [
+        _time_family(model, family, max_states) for family in FAMILIES
+    ]
+    started = time.perf_counter()
+    report = analyze_model(model, max_states=max_states)
+    combined = time.perf_counter() - started
+    return {
+        "max_platoon_size": size,
+        "places": len(model.places),
+        "timed_activities": len(model.timed_activities),
+        "max_states": max_states,
+        "families": per_family,
+        "combined_seconds": combined,
+        "errors": report.count(Severity.ERROR),
+        "warnings": report.count(Severity.WARNING),
+        "infos": report.count(Severity.INFO),
+    }
+
+
+def _render_table(rows: list[dict]) -> str:
+    lines = [f"{'n':>4}  {'places':>6}  {'combined':>9}  per-family seconds"]
+    for row in rows:
+        families = "  ".join(
+            f"{entry['family'][:4]}={entry['elapsed_seconds']:.2f}s"
+            for entry in row["families"]
+        )
+        lines.append(
+            f"{row['max_platoon_size']:>4}  {row['places']:>6}  "
+            f"{row['combined_seconds']:>8.2f}s  {families}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure repro.analysis analyzer cost on built-in models."
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated max_platoon_size values (default: 2,4 or "
+        "2 with --smoke)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=256,
+        help="bounded-reachability cap per analysis (default: 256)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single small size; enforce the wall-clock budget and the "
+        "zero-errors bar",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write a JSON artifact"
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (
+        [int(s) for s in args.sizes.split(",")]
+        if args.sizes
+        else ([2] if args.smoke else [2, 4])
+    )
+    rows = [measure(size, args.max_states) for size in sizes]
+    print(_render_table(rows))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump({"rows": rows}, handle, indent=2)
+        print(f"[saved {args.json_path}]")
+
+    if args.smoke:
+        smoke = rows[0]
+        if smoke["combined_seconds"] > SMOKE_BUDGET_SECONDS:
+            print(
+                f"FAIL: full analysis took {smoke['combined_seconds']:.2f}s "
+                f"(budget {SMOKE_BUDGET_SECONDS:.0f}s)"
+            )
+            return 1
+        if smoke["errors"]:
+            print(f"FAIL: built-in model reported {smoke['errors']} error(s)")
+            return 1
+        print(
+            f"OK: {smoke['combined_seconds']:.2f}s <= "
+            f"{SMOKE_BUDGET_SECONDS:.0f}s budget, 0 errors"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

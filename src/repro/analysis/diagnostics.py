@@ -1,0 +1,279 @@
+"""Diagnostics: severities, stable rule IDs, reports, JSON output.
+
+Every analyzer in :mod:`repro.analysis` emits :class:`Diagnostic` records
+tagged with a rule from the :data:`RULES` catalog.  A rule ID is stable
+across releases (tests and CI gates key on it); the human-readable
+message is not.  Reports aggregate diagnostics per model, deduplicate
+replica-identical findings (the composed AHS model stamps the same gate
+code across ``2n`` One_vehicle replicas), and serialise to the JSON
+schema documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+#: Rep replica suffix ("configure[7]" -> "configure")
+_REPLICA_SUFFIX = re.compile(r"\[\d+\]$")
+
+
+def _base_name(name: Optional[str]) -> Optional[str]:
+    """Strip the Rep replica suffix so replica findings fold together."""
+    if name is None:
+        return None
+    return _REPLICA_SUFFIX.sub("", name)
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "Diagnostic",
+    "AnalysisReport",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"error"``/``"warning"``/``"info"`` (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogued check: stable ID, family, default severity, title."""
+
+    rule_id: str
+    family: str
+    severity: Severity
+    title: str
+
+
+#: the rule catalog (see docs/static_analysis.md for the prose version)
+RULES: dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in [
+        # -- footprint verification ------------------------------------
+        Rule("FP001", "footprint", Severity.ERROR,
+             "side-effecting enabling predicate, rate, or case probability"),
+        Rule("FP002", "footprint", Severity.ERROR,
+             "gate code uses a local place name missing from its binding"),
+        Rule("FP003", "footprint", Severity.INFO,
+             "gate binding declares a place the gate code never touches"),
+        Rule("FP004", "footprint", Severity.INFO,
+             "gate code could not be statically analyzed"),
+        # -- determinism lints -----------------------------------------
+        Rule("DT001", "determinism", Severity.ERROR,
+             "gate code reaches a nondeterministic module"),
+        Rule("DT002", "determinism", Severity.WARNING,
+             "gate code iterates over a set (hash-order dependent)"),
+        Rule("DT003", "determinism", Severity.WARNING,
+             "gate code captures a mutable global or closure object"),
+        # -- structural analyses ---------------------------------------
+        Rule("ST001", "structural", Severity.WARNING,
+             "place is connected to no activity"),
+        Rule("ST002", "structural", Severity.ERROR,
+             "activity can never become enabled"),
+        Rule("ST003", "structural", Severity.WARNING,
+             "potential instantaneous-activity cycle"),
+        Rule("ST004", "structural", Severity.INFO,
+             "P-invariant (conserved weighted token sum)"),
+        Rule("ST005", "structural", Severity.INFO,
+             "structural-analysis coverage note"),
+        # -- vectorization report --------------------------------------
+        Rule("VEC001", "vectorization", Severity.INFO,
+             "activity falls back to the scalar per-row path"),
+        Rule("VEC002", "vectorization", Severity.WARNING,
+             "most timed activities are not vectorized"),
+        Rule("VEC003", "vectorization", Severity.INFO,
+             "vectorization report not applicable to this model"),
+    ]
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one rule against one model element.
+
+    ``location`` is a ``"path/to/file.py:lineno"`` string pointing at the
+    gate/rate function's definition when one is involved, else ``None``.
+    ``count`` aggregates replica-identical findings (see
+    :meth:`AnalysisReport.add`).
+    """
+
+    rule_id: str
+    message: str
+    severity: Severity = field(default=None)  # type: ignore[assignment]
+    model: str = ""
+    activity: Optional[str] = None
+    gate: Optional[str] = None
+    place: Optional[str] = None
+    location: Optional[str] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULES:
+            raise ValueError(f"unknown rule id {self.rule_id!r}")
+        if self.severity is None:
+            self.severity = RULES[self.rule_id].severity
+
+    def dedup_key(self) -> tuple:
+        """Replica-identical findings share this key.
+
+        Activity and gate names are compared with their ``[i]`` replica
+        suffix stripped, so the same finding against each of the ``2n``
+        One_vehicle replicas collapses into one record.
+        """
+        return (
+            self.rule_id,
+            self.severity,
+            self.message,
+            _base_name(self.activity),
+            _base_name(self.gate),
+            self.place,
+            self.location,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable record (schema in docs/static_analysis.md)."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "family": RULES[self.rule_id].family,
+            "message": self.message,
+            "model": self.model,
+            "activity": self.activity,
+            "gate": self.gate,
+            "place": self.place,
+            "location": self.location,
+            "count": self.count,
+        }
+
+    def format(self) -> str:
+        """One-line rendering for terminal output."""
+        subject = self.activity or self.place or self.gate or "-"
+        times = f" (x{self.count})" if self.count > 1 else ""
+        where = f"  [{self.location}]" if self.location else ""
+        return (
+            f"{str(self.severity):7s} {self.rule_id}  {subject}: "
+            f"{self.message}{times}{where}"
+        )
+
+
+class AnalysisReport:
+    """All diagnostics of one analysis run over one model."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        self.diagnostics: list[Diagnostic] = []
+        #: free-form analyzer statistics (places, contexts explored, ...)
+        self.stats: dict[str, Any] = {}
+        self._dedup: dict[tuple, Diagnostic] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Record a diagnostic, folding replica-identical duplicates.
+
+        Two findings with the same :meth:`~Diagnostic.dedup_key` (same
+        rule, message, gate, place and source location — only the
+        activity name differs, as it does across Rep replicas) are
+        merged into one record with an incremented ``count``.
+        """
+        diagnostic.model = diagnostic.model or self.model_name
+        key = diagnostic.dedup_key()
+        existing = self._dedup.get(key)
+        if existing is not None:
+            existing.count += diagnostic.count
+            # Display the replica-free base name once findings merge.
+            existing.activity = _base_name(existing.activity)
+            existing.gate = _base_name(existing.gate)
+            return
+        self._dedup[key] = diagnostic
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Record several diagnostics (with deduplication)."""
+        for diagnostic in diagnostics:
+            self.add(diagnostic)
+
+    # ------------------------------------------------------------------
+    def count(self, severity: Severity) -> int:
+        """Number of (deduplicated) diagnostics at exactly ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        """Diagnostics at or above ``severity``."""
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        """The worst severity present, or ``None`` for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics most-severe first, then by rule and subject."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -d.severity,
+                d.rule_id,
+                d.activity or "",
+                d.place or "",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable report."""
+        return {
+            "model": self.model_name,
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "infos": self.count(Severity.INFO),
+            },
+            "stats": self.stats,
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_text(self, max_rows: Optional[int] = None) -> str:
+        """Terminal rendering: header, diagnostics, summary footer."""
+        lines = [f"model {self.model_name!r}:"]
+        rows = self.sorted()
+        shown = rows if max_rows is None else rows[:max_rows]
+        for diagnostic in shown:
+            lines.append("  " + diagnostic.format())
+        omitted = len(rows) - len(shown)
+        if omitted > 0:
+            lines.append(f"  ... and {omitted} more diagnostics")
+        lines.append(
+            f"  {self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings, "
+            f"{self.count(Severity.INFO)} infos"
+        )
+        return "\n".join(lines)

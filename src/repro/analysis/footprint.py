@@ -1,0 +1,222 @@
+"""Footprint verification (rules FP001-FP004).
+
+The compiled engine's incremental propensity maintenance re-evaluates an
+activity only when a fired transition wrote one of the places the
+activity *declared* (its gate bindings).  Two silent-breakage modes:
+
+* a predicate / rate / case probability with a **side effect** — the
+  interpreted engine re-evaluates every predicate after every jump, the
+  compiled engine only the affected ones, so the side effects happen a
+  different number of times and the engines diverge (FP001);
+* gate code addressing a local place name **missing from its binding** —
+  a latent ``KeyError`` on whichever path uses the name (FP002).
+
+Verification is two-pronged: the AST facts give path-insensitive
+coverage (names used on *any* path), and a concrete dry-run evaluation
+over sample markings catches writes the static pass could not see.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.probe import CodeFacts, code_facts, source_location
+from repro.san.marking import Marking, MarkingFunction
+from repro.san.model import SANModel
+
+__all__ = ["check_footprints"]
+
+#: cap on place names spelled out in one diagnostic message
+_NAME_CAP = 5
+
+
+def _names(names: set[str]) -> str:
+    shown = sorted(names)[:_NAME_CAP]
+    extra = len(names) - len(shown)
+    text = ", ".join(repr(n) for n in shown)
+    return f"{text} (+{extra} more)" if extra > 0 else text
+
+
+def _gate_functions(
+    activity: Any,
+) -> Iterator[tuple[str, str, dict, Any, bool]]:
+    """Yield ``(role, gate_name, binding, fn, must_be_pure)`` per function."""
+    for gate in activity.input_gates:
+        yield "enabling predicate", gate.name, gate.binding, gate.predicate, True
+        if gate.function is not None:
+            yield "input function", gate.name, gate.binding, gate.function, False
+    rate = getattr(activity, "rate", None)
+    if isinstance(rate, MarkingFunction):
+        yield "rate", activity.name, rate.binding, rate.fn, True
+    for index, case in enumerate(activity.cases):
+        if isinstance(case.probability, MarkingFunction):
+            yield (
+                f"case[{index}] probability",
+                activity.name,
+                case.probability.binding,
+                case.probability.fn,
+                True,
+            )
+        for gate in case.output_gates:
+            yield (
+                f"case[{index}] output function",
+                gate.name,
+                gate.binding,
+                gate.function,
+                False,
+            )
+
+
+def _dry_run_writes(
+    activity: Any, markings: list[Marking]
+) -> list[tuple[str, str]]:
+    """``(role, gate_name)`` pairs whose evaluation wrote the marking."""
+    offenders: list[tuple[str, str]] = []
+    for marking in markings:
+        scratch = marking.copy()
+        scratch.clear_changed()
+        for gate in activity.input_gates:
+            try:
+                gate.holds(scratch)
+            except Exception:  # noqa: BLE001 - probing must not crash
+                continue
+            if scratch.clear_changed():
+                offenders.append(("enabling predicate", gate.name))
+        rate = getattr(activity, "rate", None)
+        if isinstance(rate, MarkingFunction):
+            try:
+                rate(scratch)
+            except Exception:  # noqa: BLE001
+                pass
+            if scratch.clear_changed():
+                offenders.append(("rate", activity.name))
+        for index, case in enumerate(activity.cases):
+            if isinstance(case.probability, MarkingFunction):
+                try:
+                    case.probability(scratch)
+                except Exception:  # noqa: BLE001
+                    pass
+                if scratch.clear_changed():
+                    offenders.append(
+                        (f"case[{index}] probability", activity.name)
+                    )
+    return offenders
+
+
+def check_footprints(
+    model: SANModel, markings: Optional[list[Marking]] = None
+) -> Iterator[Diagnostic]:
+    """Run FP001-FP004 over every gate function of every activity."""
+    if markings is None:
+        markings = [model.initial_marking()]
+    for activity in model.activities:
+        facts_of: dict[int, CodeFacts] = {}
+        for role, gate_name, binding, fn, must_be_pure in _gate_functions(
+            activity
+        ):
+            facts = facts_of.get(id(fn))
+            if facts is None:
+                facts = code_facts(fn)
+                facts_of[id(fn)] = facts
+            location = source_location(fn)
+            if not facts.analyzable:
+                yield Diagnostic(
+                    "FP004",
+                    f"{role} could not be statically analyzed "
+                    f"({facts.unanalyzable}); footprint checks degraded to "
+                    f"the declared binding",
+                    activity=activity.name,
+                    gate=gate_name,
+                    location=location,
+                )
+                continue
+            # FP001: statically visible writes in pure-only roles.  An
+            # escaped view is only "purity unverifiable" (reported via
+            # FP004), not proof of a write — the dry run decides those.
+            if must_be_pure and facts.write_names:
+                yield Diagnostic(
+                    "FP001",
+                    f"{role} writes place(s) {_names(facts.write_names)}; "
+                    f"predicates, rates and probabilities must be pure "
+                    f"functions of the marking or the compiled engine's "
+                    f"incremental propensities silently diverge",
+                    activity=activity.name,
+                    gate=gate_name,
+                    location=location,
+                )
+            if must_be_pure and facts.view_escapes:
+                yield Diagnostic(
+                    "FP004",
+                    f"{role} passes its view to code the analyzer cannot "
+                    f"follow; purity is only checked dynamically",
+                    activity=activity.name,
+                    gate=gate_name,
+                    location=location,
+                )
+            # FP002: statically used names missing from the binding.
+            undeclared = (facts.read_names | facts.write_names) - set(binding)
+            if undeclared:
+                yield Diagnostic(
+                    "FP002",
+                    f"{role} uses local place name(s) {_names(undeclared)} "
+                    f"not declared in the gate binding; this raises "
+                    f"KeyError on the first path that reaches them",
+                    activity=activity.name,
+                    gate=gate_name,
+                    location=location,
+                )
+        # FP003: binding entries no function of the gate ever touches.
+        # Only claimable when every function on the gate is fully static.
+        gates = [
+            (gate, [gate.predicate] + ([gate.function] if gate.function else []))
+            for gate in activity.input_gates
+        ] + [
+            (gate, [gate.function])
+            for case in activity.cases
+            for gate in case.output_gates
+        ]
+        for gate, functions in gates:
+            diagnostic = _unused_binding(activity, gate, functions, facts_of)
+            if diagnostic is not None:
+                yield diagnostic
+        yield from (
+            Diagnostic(
+                "FP001",
+                f"{role} mutated the marking during a dry-run evaluation; "
+                f"predicates, rates and probabilities must be pure",
+                activity=activity.name,
+                gate=gate_name,
+            )
+            for role, gate_name in _dry_run_writes(activity, markings)
+        )
+
+
+def _unused_binding(
+    activity: Any, gate: Any, functions: list, facts_of: dict[int, CodeFacts]
+) -> Optional[Diagnostic]:
+    used: set[str] = set()
+    for fn in functions:
+        facts = facts_of.get(id(fn))
+        if facts is None:
+            facts = code_facts(fn)
+            facts_of[id(fn)] = facts
+        if (
+            not facts.analyzable
+            or facts.dynamic_reads
+            or facts.dynamic_writes
+            or facts.view_escapes
+        ):
+            return None
+        used |= facts.read_names | facts.write_names
+    unused = set(gate.binding) - used
+    if not unused:
+        return None
+    return Diagnostic(
+        "FP003",
+        f"gate binding declares {len(unused)} place(s) the gate code "
+        f"never touches: {_names(unused)}",
+        activity=activity.name,
+        gate=gate.name,
+        location=source_location(functions[0]),
+    )

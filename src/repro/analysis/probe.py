@@ -1,0 +1,700 @@
+"""Shared inference machinery for the static analyzers.
+
+Three layers, all best-effort and conservative:
+
+* **AST facts** — :func:`code_facts` parses a gate predicate / gate
+  function / rate function and extracts the local place names it reads
+  and writes through its view parameter, following calls to helpers it
+  can resolve from the function's closure and globals (the builders in
+  :mod:`repro.core` factor gate bodies into module-level helpers).  When
+  the code does something the walker cannot follow — f-string subscripts,
+  passing the view to an unresolvable callable — the corresponding
+  ``dynamic_reads`` / ``dynamic_writes`` flag is set and downstream
+  checks degrade to the binding-level (declared) footprint instead of
+  reporting wrong precise answers.
+
+* **Partial post-state evaluation** — :class:`PartialView` evaluates a
+  predicate against a marking where only a few local places have known
+  values (the constants a firing definitely assigned); any other access
+  raises :class:`UnknownMarking`.  A ``False`` result that never touches
+  an unknown proves the predicate is disabled after the firing *for every
+  possible pre-state*, and the recorded reads name exactly the places
+  that proof depends on.
+
+* **Concrete probing** — :func:`fire_deltas` dry-fires one (activity,
+  case) on a scratch copy of a marking and returns the per-place token
+  delta, and :func:`explore` runs a bounded breadth-first reachability
+  sweep so structural analyses can sample deltas from more than one
+  marking context.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.san.marking import GateView, Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+__all__ = [
+    "NONDETERMINISTIC_MODULES",
+    "MUTABLE_CAPTURE_TYPES",
+    "CodeFacts",
+    "code_facts",
+    "source_location",
+    "UnknownMarking",
+    "PartialView",
+    "fire_deltas",
+    "explore",
+]
+
+#: top-level module names whose use inside gate code breaks replay
+NONDETERMINISTIC_MODULES = frozenset(
+    {"random", "secrets", "uuid", "time", "datetime", "os"}
+)
+
+#: captured objects of these types are mutable shared state (DT003)
+MUTABLE_CAPTURE_TYPES = (list, dict, set, bytearray)
+
+#: recursion budget when following helper calls
+_MAX_HELPER_DEPTH = 4
+
+#: view methods whose first (constant) argument names a written place
+_WRITE_METHODS = {"inc", "dec", "tuple_set"}
+
+
+# ----------------------------------------------------------------------
+# source locations
+# ----------------------------------------------------------------------
+def _code_of(fn: Any) -> Optional[types.CodeType]:
+    """The code object behind a function or callable instance."""
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        return code
+    call = getattr(type(fn), "__call__", None)
+    return getattr(call, "__code__", None)
+
+
+def source_location(fn: Any) -> Optional[str]:
+    """``"file.py:lineno"`` of a gate/rate function's definition."""
+    code = _code_of(fn)
+    if code is None:
+        return None
+    return f"{code.co_filename}:{code.co_firstlineno}"
+
+
+# ----------------------------------------------------------------------
+# AST facts
+# ----------------------------------------------------------------------
+@dataclass
+class CodeFacts:
+    """What a gate/rate function does to its view parameter."""
+
+    #: local place names read via ``g["name"]`` (or inc/dec/tuple_set)
+    read_names: set[str] = field(default_factory=set)
+    #: local place names written via ``g["name"] = ...`` / inc / dec
+    write_names: set[str] = field(default_factory=set)
+    #: reads through non-constant subscripts or escaped views exist
+    dynamic_reads: bool = False
+    #: writes through non-constant subscripts or escaped views exist
+    dynamic_writes: bool = False
+    #: the view was passed somewhere the walker could not follow
+    view_escapes: bool = False
+    #: nondeterministic top-level modules reachable from the code
+    nondet_modules: set[str] = field(default_factory=set)
+    #: the code iterates over a set (hash-order dependent)
+    set_iteration: bool = False
+    #: names of directly captured mutable globals/closure objects
+    mutable_captures: set[str] = field(default_factory=set)
+    #: local place name -> the constant this code definitely leaves there
+    const_writes: dict[str, Any] = field(default_factory=dict)
+    #: why the code could not be analyzed at all (None = analyzed)
+    unanalyzable: Optional[str] = None
+
+    def merge_helper(self, other: "CodeFacts") -> None:
+        """Fold a helper's facts into the caller's (captures stay local)."""
+        if other.unanalyzable is not None:
+            # An unresolvable helper that holds the view: assume anything.
+            self.dynamic_reads = True
+            self.dynamic_writes = True
+            self.view_escapes = True
+            return
+        self.read_names |= other.read_names
+        self.write_names |= other.write_names
+        self.dynamic_reads |= other.dynamic_reads
+        self.dynamic_writes |= other.dynamic_writes
+        self.view_escapes |= other.view_escapes
+        self.nondet_modules |= other.nondet_modules
+        self.set_iteration |= other.set_iteration
+
+    @property
+    def analyzable(self) -> bool:
+        return self.unanalyzable is None
+
+
+def _function_source_node(fn: Any) -> Optional[ast.AST]:
+    """The ``FunctionDef``/``Lambda`` node for ``fn``, or None."""
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError):
+        return None
+    tree = None
+    try:
+        tree = ast.parse(src)
+    except SyntaxError:
+        # Lambdas defined inside call arguments come back as fragments
+        # like 'predicate=lambda g: g["x"] == 1,'; carve the lambda out.
+        start = src.find("lambda")
+        if start < 0:
+            return None
+        fragment = src[start:]
+        for _ in range(64):
+            try:
+                tree = ast.parse(fragment, mode="eval")
+                break
+            except SyntaxError:
+                if len(fragment) <= len("lambda:0"):
+                    return None
+                fragment = fragment[:-1].rstrip()
+        if tree is None:
+            return None
+    name = getattr(fn, "__name__", "<lambda>")
+    candidates: list[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                candidates.append(node)
+        elif isinstance(node, ast.Lambda) and name == "<lambda>":
+            candidates.append(node)
+    if candidates:
+        return candidates[0]
+    # Fall back to any single function/lambda in the fragment.
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return node
+    return None
+
+
+def _resolve_name(fn: Any, name: str) -> tuple[bool, Any]:
+    """Look ``name`` up in ``fn``'s closure, globals, then builtins."""
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure and name in code.co_freevars:
+        cell = closure[code.co_freevars.index(name)]
+        try:
+            return True, cell.cell_contents
+        except ValueError:  # pragma: no cover - unfilled cell
+            return False, None
+    fn_globals = getattr(fn, "__globals__", None)
+    if fn_globals is not None and name in fn_globals:
+        return True, fn_globals[name]
+    if hasattr(builtins, name):
+        return True, getattr(builtins, name)
+    return False, None
+
+
+def _is_nondeterministic(obj: Any) -> Optional[str]:
+    """The offending top-level module name if ``obj`` is nondeterministic."""
+    if inspect.ismodule(obj):
+        top = obj.__name__.partition(".")[0]
+        return top if top in NONDETERMINISTIC_MODULES else None
+    module = getattr(obj, "__module__", None)
+    if isinstance(module, str):
+        top = module.partition(".")[0]
+        if top in NONDETERMINISTIC_MODULES:
+            return top
+    return None
+
+
+class _ViewWalker(ast.NodeVisitor):
+    """Collects :class:`CodeFacts` for one function body."""
+
+    def __init__(
+        self,
+        fn: Any,
+        node: ast.AST,
+        view_name: Optional[str],
+        facts: CodeFacts,
+        depth: int,
+        seen: set[types.CodeType],
+    ) -> None:
+        self.fn = fn
+        self.view = view_name
+        self.facts = facts
+        self.depth = depth
+        self.seen = seen
+        self.locals: set[str] = set()
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self.locals.add(arg.arg)
+        if args.vararg:
+            self.locals.add(args.vararg.arg)
+        if args.kwarg:
+            self.locals.add(args.kwarg.arg)
+        body = node.body
+        self.top_level = list(body) if isinstance(body, list) else []
+        #: consumed Name/Subscript nodes (handled by a parent pattern)
+        self.handled: set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _is_view(self, node: ast.AST) -> bool:
+        return (
+            self.view is not None
+            and isinstance(node, ast.Name)
+            and node.id == self.view
+        )
+
+    def _record_subscript(self, node: ast.Subscript, *, write: bool) -> None:
+        self.handled.add(id(node.value))
+        key = node.slice
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if write:
+                self.facts.write_names.add(key.value)
+            else:
+                self.facts.read_names.add(key.value)
+        else:
+            if write:
+                self.facts.dynamic_writes = True
+            else:
+                self.facts.dynamic_reads = True
+        # Visit the key expression itself (it may read the view).
+        self.visit(key)
+
+    def _recurse_helper(self, callee: Any, view_position: int) -> None:
+        """Analyze a helper receiving the view at ``view_position``."""
+        if self.depth + 1 >= _MAX_HELPER_DEPTH:
+            self.facts.merge_helper(CodeFacts(unanalyzable="depth cap"))
+            return
+        target = callee
+        offset = 0
+        if not inspect.isfunction(target):
+            call = getattr(type(callee), "__call__", None)
+            if call is not None and inspect.isfunction(call):
+                target = call
+                offset = 1  # implicit self
+            else:
+                self.facts.merge_helper(CodeFacts(unanalyzable="opaque callee"))
+                return
+        code = target.__code__
+        if code in self.seen:
+            return
+        helper_facts = _analyze(
+            target, view_position + offset, self.depth + 1, self.seen | {code}
+        )
+        self.facts.merge_helper(helper_facts)
+
+    # -- visitors ------------------------------------------------------
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_view(node.value):
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self._record_subscript(node, write=write)
+            return
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # g["x"] += 1 both reads and writes the place.
+        target = node.target
+        if isinstance(target, ast.Subscript) and self._is_view(target.value):
+            self._record_subscript(target, write=True)
+            self._record_subscript(target, write=False)
+        else:
+            self.visit(target)
+        self.visit(node.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.locals.add(target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # g.inc("x") / g.dec("x") / g.tuple_set("x", i, v)
+        if (
+            isinstance(func, ast.Attribute)
+            and self._is_view(func.value)
+        ):
+            self.handled.add(id(func.value))
+            if func.attr in _WRITE_METHODS:
+                first = node.args[0] if node.args else None
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    self.facts.read_names.add(first.value)
+                    self.facts.write_names.add(first.value)
+                else:
+                    self.facts.dynamic_reads = True
+                    self.facts.dynamic_writes = True
+                for arg in node.args[1:]:
+                    self.visit(arg)
+                if node.args:
+                    first_arg = node.args[0]
+                    if not isinstance(first_arg, ast.Constant):
+                        self.visit(first_arg)
+            else:
+                # Unknown method on the view: anything may happen.
+                self.facts.dynamic_reads = True
+                self.facts.dynamic_writes = True
+                for arg in node.args:
+                    self.visit(arg)
+            for keyword in node.keywords:
+                self.visit(keyword.value)
+            return
+        # helper(g, ...) — follow the callee when resolvable
+        view_positions = [
+            index for index, arg in enumerate(node.args) if self._is_view(arg)
+        ]
+        view_in_kwargs = any(
+            self._is_view(keyword.value) for keyword in node.keywords
+        )
+        if view_positions or view_in_kwargs:
+            for arg in node.args:
+                if not self._is_view(arg):
+                    self.visit(arg)
+                else:
+                    self.handled.add(id(arg))
+            for keyword in node.keywords:
+                if not self._is_view(keyword.value):
+                    self.visit(keyword.value)
+                else:
+                    self.handled.add(id(keyword.value))
+            resolved_callee = None
+            if isinstance(func, ast.Name):
+                found, value = self._resolve(func.id)
+                if found:
+                    resolved_callee = value
+            if (
+                resolved_callee is not None
+                and len(view_positions) == 1
+                and not view_in_kwargs
+            ):
+                self._recurse_helper(resolved_callee, view_positions[0])
+            else:
+                self.facts.view_escapes = True
+                self.facts.dynamic_reads = True
+                self.facts.dynamic_writes = True
+            self.visit(func)
+            return
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_view(node.value):
+            # Bare attribute access on the view (not a known method call
+            # — those were consumed by visit_Call): reaching into view
+            # internals, assume anything.
+            self.handled.add(id(node.value))
+            self.facts.view_escapes = True
+            self.facts.dynamic_reads = True
+            self.facts.dynamic_writes = True
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if id(node) in self.handled:
+            return
+        if self.view is not None and node.id == self.view:
+            if isinstance(node.ctx, ast.Load):
+                # The view leaks somewhere we did not model.
+                self.facts.view_escapes = True
+                self.facts.dynamic_reads = True
+                self.facts.dynamic_writes = True
+            return
+        if not isinstance(node.ctx, ast.Load):
+            self.locals.add(node.id)
+            return
+        if node.id in self.locals:
+            return
+        found, value = self._resolve(node.id)
+        if not found:
+            return
+        offender = _is_nondeterministic(value)
+        if offender is not None:
+            self.facts.nondet_modules.add(offender)
+        if isinstance(value, MUTABLE_CAPTURE_TYPES):
+            self.facts.mutable_captures.add(node.id)
+
+    def _resolve(self, name: str) -> tuple[bool, Any]:
+        return _resolve_name(self.fn, name)
+
+    # -- set-iteration hazards ----------------------------------------
+    def _iter_is_set(self, iter_node: ast.AST) -> bool:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(iter_node, ast.Call) and isinstance(
+            iter_node.func, ast.Name
+        ):
+            if iter_node.func.id in {"set", "frozenset"}:
+                return True
+        if isinstance(iter_node, ast.Name):
+            found, value = self._resolve(iter_node.id)
+            if found and isinstance(value, (set, frozenset)):
+                return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._iter_is_set(node.iter):
+            self.facts.set_iteration = True
+        if isinstance(node.target, ast.Name):
+            self.locals.add(node.target.id)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: Any) -> None:
+        for generator in node.generators:
+            if self._iter_is_set(generator.iter):
+                self.facts.set_iteration = True
+            if isinstance(generator.target, ast.Name):
+                self.locals.add(generator.target.id)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def _collect_const_writes(
+    node: ast.AST, view_name: Optional[str], facts: CodeFacts
+) -> None:
+    """Names whose post-fire value is a known constant.
+
+    A local place name qualifies only when every write to it is a plain
+    ``g["name"] = <constant>`` at the top level of the function body
+    (unconditionally executed); branch-guarded or arithmetic writes make
+    the post value depend on the pre-state, which we must not claim to
+    know.
+    """
+    if facts.dynamic_writes or view_name is None:
+        return
+    body = getattr(node, "body", None)
+    if not isinstance(body, list):
+        return
+    top_consts: dict[str, Any] = {}
+    disqualified: set[str] = set()
+
+    def assigned_name(stmt: ast.stmt) -> Optional[tuple[str, Any]]:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return None
+        target = stmt.targets[0]
+        if not (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == view_name
+            and isinstance(target.slice, ast.Constant)
+            and isinstance(target.slice.value, str)
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            return None
+        return target.slice.value, stmt.value.value
+
+    allowed_subscripts: set[int] = set()
+    for stmt in body:
+        pair = assigned_name(stmt)
+        if pair is not None:
+            top_consts[pair[0]] = pair[1]  # later writes win
+            allowed_subscripts.add(id(stmt.targets[0]))
+    # Any other write to the same name disqualifies it.
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.ctx, (ast.Store, ast.Del))
+            and id(sub) not in allowed_subscripts
+        ):
+            if (
+                isinstance(sub.value, ast.Name)
+                and sub.value.id == view_name
+                and isinstance(sub.slice, ast.Constant)
+                and isinstance(sub.slice.value, str)
+            ):
+                disqualified.add(sub.slice.value)
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            func = sub.func
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == view_name
+                and func.attr in _WRITE_METHODS
+                and sub.args
+                and isinstance(sub.args[0], ast.Constant)
+            ):
+                disqualified.add(sub.args[0].value)
+    facts.const_writes = {
+        name: value
+        for name, value in top_consts.items()
+        if name not in disqualified
+    }
+
+
+def _analyze(
+    fn: Any, view_position: int, depth: int, seen: set[types.CodeType]
+) -> CodeFacts:
+    facts = CodeFacts()
+    node = _function_source_node(fn)
+    if node is None:
+        facts.unanalyzable = "source unavailable"
+        return facts
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if view_position >= len(positional):
+        facts.unanalyzable = "view parameter not found"
+        return facts
+    view_name = positional[view_position].arg
+    walker = _ViewWalker(fn, node, view_name, facts, depth, seen)
+    body = node.body
+    if isinstance(body, list):
+        for stmt in body:
+            walker.visit(stmt)
+    else:  # lambda
+        walker.visit(body)
+    _collect_const_writes(node, view_name, facts)
+    return facts
+
+
+def code_facts(fn: Any) -> CodeFacts:
+    """Facts about what ``fn(view)`` reads and writes through ``view``.
+
+    Works on plain functions and callable instances (the view parameter
+    is the first non-``self`` positional argument).  Never raises:
+    anything unparseable comes back with :attr:`CodeFacts.unanalyzable`
+    set.
+    """
+    target = fn
+    position = 0
+    if not inspect.isfunction(fn) and not inspect.ismethod(fn):
+        call = getattr(type(fn), "__call__", None)
+        if call is not None and inspect.isfunction(call):
+            target = call
+            position = 1
+    try:
+        code = _code_of(target)
+        if code is None:
+            facts = CodeFacts()
+            facts.unanalyzable = "no code object"
+            return facts
+        return _analyze(target, position, 0, {code})
+    except Exception as exc:  # noqa: BLE001 - analysis must never crash
+        facts = CodeFacts()
+        facts.unanalyzable = f"analysis failed: {exc!r}"
+        return facts
+
+
+# ----------------------------------------------------------------------
+# partial post-state evaluation
+# ----------------------------------------------------------------------
+class UnknownMarking(Exception):
+    """A :class:`PartialView` access touched a place with unknown value."""
+
+
+class PartialView:
+    """GateView stand-in where only some local places have known values.
+
+    Reads of known names return the value and are recorded in
+    :attr:`reads`; reads of any other name raise :class:`UnknownMarking`;
+    all writes raise (the caller evaluates *predicates*, which must not
+    write — a write during partial evaluation means the answer is
+    unusable anyway).
+    """
+
+    def __init__(self, known: dict[str, Any]) -> None:
+        self._known = dict(known)
+        self.reads: set[str] = set()
+
+    def __getitem__(self, local: str) -> Any:
+        self.reads.add(local)
+        if local not in self._known:
+            raise UnknownMarking(local)
+        return self._known[local]
+
+    def __setitem__(self, local: str, value: Any) -> None:
+        raise UnknownMarking(f"write to {local!r} during partial evaluation")
+
+    def inc(self, local: str, amount: int = 1) -> None:
+        raise UnknownMarking(f"write to {local!r} during partial evaluation")
+
+    def dec(self, local: str, amount: int = 1) -> None:
+        raise UnknownMarking(f"write to {local!r} during partial evaluation")
+
+    def tuple_set(self, local: str, index: int, value: Any) -> None:
+        raise UnknownMarking(f"write to {local!r} during partial evaluation")
+
+
+# ----------------------------------------------------------------------
+# concrete probing
+# ----------------------------------------------------------------------
+def fire_deltas(
+    activity: Any, case_index: int, marking: Marking
+) -> Optional[dict[Place, Any]]:
+    """Per-place delta of firing ``(activity, case)`` from ``marking``.
+
+    Fires on a scratch copy; returns ``None`` when the firing raises
+    (e.g. a token count would go negative in a context the predicate
+    does not actually allow).  Integer places report ``new - old``;
+    extended places report the new tuple when it changed.
+    """
+    scratch = marking.copy()
+    try:
+        for gate in activity.input_gates:
+            gate.fire(scratch)
+        for gate in activity.cases[case_index].output_gates:
+            gate.fire(scratch)
+    except Exception:  # noqa: BLE001 - probing must never crash
+        return None
+    deltas: dict[Place, Any] = {}
+    for place in marking.places():
+        before = marking.get(place)
+        after = scratch.get(place)
+        if before == after:
+            continue
+        if place.is_extended:
+            deltas[place] = after
+        else:
+            deltas[place] = after - before
+    return deltas
+
+
+def explore(
+    model: SANModel, max_states: int = 256
+) -> tuple[list[Marking], bool]:
+    """Bounded BFS over markings reachable by firing any enabled case.
+
+    Individual firings (no instantaneous stabilisation) — the point is
+    to sample diverse marking contexts for delta collection, not to
+    build the true reachability graph.  Returns ``(markings, complete)``
+    where ``complete`` is False when the cap stopped the sweep.
+    """
+    order = list(model.places)
+    initial = model.initial_marking()
+    seen: set[tuple] = {initial.freeze(order)}
+    frontier: list[Marking] = [initial]
+    states: list[Marking] = [initial]
+    complete = True
+    while frontier:
+        next_frontier: list[Marking] = []
+        for marking in frontier:
+            for activity in model.activities:
+                try:
+                    if not activity.enabled(marking):
+                        continue
+                except Exception:  # noqa: BLE001
+                    continue
+                for case_index in range(len(activity.cases)):
+                    scratch = marking.copy()
+                    try:
+                        activity.fire(scratch, case_index)
+                    except Exception:  # noqa: BLE001
+                        continue
+                    key = scratch.freeze(order)
+                    if key in seen:
+                        continue
+                    if len(states) >= max_states:
+                        complete = False
+                        continue
+                    seen.add(key)
+                    states.append(scratch)
+                    next_frontier.append(scratch)
+        frontier = next_frontier
+    return states, complete

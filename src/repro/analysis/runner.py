@@ -1,0 +1,58 @@
+"""Entry point tying the analyzer families together."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.determinism import check_determinism
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.footprint import check_footprints
+from repro.analysis.probe import explore
+from repro.analysis.structural import check_structure
+from repro.analysis.vectorize import check_vectorization
+from repro.san.model import SANModel
+
+__all__ = ["FAMILIES", "analyze_model"]
+
+#: analyzer families in run order
+FAMILIES = ("footprint", "determinism", "structural", "vectorization")
+
+#: dry-run purity probing uses at most this many explored markings
+_MAX_PROBE_MARKINGS = 32
+
+
+def analyze_model(
+    model: SANModel,
+    families: Optional[Iterable[str]] = None,
+    max_states: int = 256,
+) -> AnalysisReport:
+    """Run the selected analyzer ``families`` over ``model``.
+
+    ``max_states`` caps the bounded reachability sweep feeding the
+    dry-run purity probes and the incidence sampling; larger values
+    establish more (activity, case) deltas at cubically growing cost.
+    """
+    selected = set(FAMILIES if families is None else families)
+    unknown = selected - set(FAMILIES)
+    if unknown:
+        raise ValueError(
+            f"unknown analyzer families {sorted(unknown)}; "
+            f"choose from {list(FAMILIES)}"
+        )
+    report = AnalysisReport(model.name)
+    markings, complete = explore(model, max_states=max_states)
+    report.stats = {
+        **model.stats(),
+        "explored_markings": len(markings),
+        "exploration_complete": complete,
+        "families": sorted(selected),
+    }
+    if "footprint" in selected:
+        report.extend(check_footprints(model, markings[:_MAX_PROBE_MARKINGS]))
+    if "determinism" in selected:
+        report.extend(check_determinism(model))
+    if "structural" in selected:
+        report.extend(check_structure(model, markings, complete))
+    if "vectorization" in selected:
+        report.extend(check_vectorization(model))
+    return report

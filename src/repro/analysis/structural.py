@@ -1,0 +1,502 @@
+"""Structural analyses (rules ST001-ST005).
+
+* **ST001** — a registered place no activity reads or writes (declared,
+  binding-level footprints: conservative, so a finding is definite).
+* **ST002** — an activity that can never become enabled: some input-gate
+  predicate is false in the initial marking and no *other* activity can
+  write any place that predicate depends on.
+* **ST003** — potential instantaneous-activity cycles over the
+  writes→reads graph.  Cycles are pruned with a one-shot proof: when
+  every case of an activity provably falsifies one of its own predicates
+  (established by partially evaluating the predicate against the
+  constants the firing definitely assigned, see
+  :class:`repro.analysis.probe.PartialView`), and no other instantaneous
+  activity can write the places that proof read, the activity fires at
+  most once per cascade and cannot sustain a loop.
+* **ST004/ST005** — P-invariants from an empirically sampled incidence
+  matrix: each (activity, case) firing is dry-run from every explored
+  marking; columns with consistent integer deltas enter an exact
+  (``fractions.Fraction``) left-nullspace computation.  Places writable
+  by activities whose deltas could not be established are excluded, so
+  every reported invariant is sound for *all* firings, observed or not.
+  ST005 reports the coverage so absence of invariants is not mistaken
+  for token conservation having been checked and refuted.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.probe import (
+    PartialView,
+    UnknownMarking,
+    code_facts,
+    fire_deltas,
+)
+from repro.san.activities import InstantaneousActivity
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+
+__all__ = ["check_structure"]
+
+#: invariant computation is skipped above these sizes (exact-arithmetic
+#: elimination is cubic; the lint CLI analyses small instances anyway)
+_MAX_INVARIANT_PLACES = 200
+_MAX_INVARIANT_COLUMNS = 600
+#: at most this many invariants are reported per model
+_MAX_INVARIANTS = 10
+#: at most this many weighted terms are spelled out per invariant
+_MAX_TERMS = 8
+
+
+# ----------------------------------------------------------------------
+# declared footprints and inferred predicate reads
+# ----------------------------------------------------------------------
+def _predicate_reads(activity: Any) -> set[Place]:
+    """Places whose change may flip some input-gate predicate.
+
+    Uses the statically inferred read set per gate when the predicate is
+    fully analyzable, else the gate's whole binding.
+    """
+    result: set[Place] = set()
+    for gate in activity.input_gates:
+        facts = code_facts(gate.predicate)
+        if (
+            facts.analyzable
+            and not facts.dynamic_reads
+            and not facts.view_escapes
+        ):
+            result |= {
+                gate.binding[name]
+                for name in facts.read_names
+                if name in gate.binding
+            }
+        else:
+            result |= set(gate.binding.values())
+    return result
+
+
+# ----------------------------------------------------------------------
+# ST001 / ST002
+# ----------------------------------------------------------------------
+def _disconnected_places(model: SANModel) -> Iterator[Diagnostic]:
+    touched: set[Place] = set()
+    for activity in model.activities:
+        touched |= activity.reads() | activity.writes()
+    for place in model.places:
+        if place not in touched:
+            yield Diagnostic(
+                "ST001",
+                "place is read and written by no activity; its marking "
+                "can never change and no behaviour depends on it",
+                place=place.name,
+            )
+
+
+def _never_enabled(model: SANModel, initial: Marking) -> Iterator[Diagnostic]:
+    for activity in model.activities:
+        try:
+            if activity.enabled(initial):
+                continue
+        except Exception:  # noqa: BLE001 - validate_model reports this
+            continue
+        other_writes: set[Place] = set()
+        for other in model.activities:
+            if other is not activity:
+                other_writes |= other.writes()
+        for gate in activity.input_gates:
+            try:
+                if gate.holds(initial):
+                    continue
+            except Exception:  # noqa: BLE001
+                continue
+            facts = code_facts(gate.predicate)
+            if (
+                facts.analyzable
+                and not facts.dynamic_reads
+                and not facts.view_escapes
+            ):
+                reads = {
+                    gate.binding[name]
+                    for name in facts.read_names
+                    if name in gate.binding
+                }
+            else:
+                reads = set(gate.binding.values())
+            if reads and not (reads & other_writes):
+                read_names = sorted(p.name for p in reads)[:_MAX_TERMS]
+                yield Diagnostic(
+                    "ST002",
+                    f"input gate {gate.name!r} is false in the initial "
+                    f"marking and depends only on place(s) {read_names} "
+                    f"that no other activity writes; the activity can "
+                    f"never fire",
+                    activity=activity.name,
+                    gate=gate.name,
+                )
+                break
+
+
+# ----------------------------------------------------------------------
+# ST003: instantaneous cycles with one-shot pruning
+# ----------------------------------------------------------------------
+def _definite_post_constants(activity: Any, case_index: int) -> dict[Place, Any]:
+    """Places whose value after firing ``(activity, case)`` is certain.
+
+    Walks the gates in firing order; a gate with writes the analyzer
+    cannot pin down invalidates knowledge about everything it can touch.
+    """
+    known: dict[Place, Any] = {}
+    gates_in_order = [
+        (gate, gate.function)
+        for gate in activity.input_gates
+        if gate.function is not None
+    ] + [
+        (gate, gate.function)
+        for gate in activity.cases[case_index].output_gates
+    ]
+    for gate, fn in gates_in_order:
+        facts = code_facts(fn)
+        if not facts.analyzable or facts.dynamic_writes:
+            for place in gate.binding.values():
+                known.pop(place, None)
+            continue
+        for name in facts.write_names:
+            if name in facts.const_writes or name not in gate.binding:
+                continue
+            known.pop(gate.binding[name], None)
+        for name, value in facts.const_writes.items():
+            if name in gate.binding:
+                known[gate.binding[name]] = value
+    return known
+
+
+def _case_self_disables(
+    activity: Any, case_index: int
+) -> Optional[set[Place]]:
+    """Places proving the activity is disabled after firing this case.
+
+    Returns None when no input-gate predicate could be proven false from
+    the definitely-assigned constants alone.
+    """
+    known = _definite_post_constants(activity, case_index)
+    for gate in activity.input_gates:
+        local_known = {
+            name: known[place]
+            for name, place in gate.binding.items()
+            if place in known
+        }
+        if not local_known:
+            continue
+        view = PartialView(local_known)
+        try:
+            result = gate.predicate(view)
+        except UnknownMarking:
+            continue
+        except Exception:  # noqa: BLE001 - treat as not provable
+            continue
+        if not result:
+            return {
+                gate.binding[name]
+                for name in view.reads
+                if name in gate.binding
+            }
+    return None
+
+
+def _instantaneous_cycles(model: SANModel) -> Iterator[Diagnostic]:
+    activities = list(model.instantaneous_activities)
+    if not activities:
+        return
+    writes = {a.name: a.writes() for a in activities}
+    reads = {a.name: _predicate_reads(a) for a in activities}
+
+    # One-shot pruning: drop activities that provably disable themselves
+    # and whose disabling condition no other instantaneous activity can
+    # revert within the same cascade.
+    participating: list[Any] = []
+    for activity in activities:
+        falsified: set[Place] = set()
+        discharged = True
+        for case_index in range(len(activity.cases)):
+            proof = _case_self_disables(activity, case_index)
+            if proof is None:
+                discharged = False
+                break
+            falsified |= proof
+        if discharged:
+            others_write = any(
+                writes[other.name] & falsified
+                for other in activities
+                if other is not activity
+            )
+            if not others_write:
+                continue
+        participating.append(activity)
+
+    # Tarjan-free SCC detection on the small remaining graph: iterative
+    # DFS twice (Kosaraju) keyed by activity name.
+    names = [a.name for a in participating]
+    index_of = {name: i for i, name in enumerate(names)}
+    edges: dict[int, set[int]] = {i: set() for i in range(len(names))}
+    for a in participating:
+        for b in participating:
+            if writes[a.name] & reads[b.name]:
+                edges[index_of[a.name]].add(index_of[b.name])
+
+    seen_components: set[frozenset[int]] = set()
+    for component in _strongly_connected(edges):
+        is_cycle = len(component) > 1 or (
+            next(iter(component)) in edges[next(iter(component))]
+        )
+        if not is_cycle:
+            continue
+        key = frozenset(component)
+        if key in seen_components:
+            continue
+        seen_components.add(key)
+        members = sorted(names[i] for i in component)
+        shown = members[:_MAX_TERMS]
+        extra = len(members) - len(shown)
+        listing = ", ".join(shown) + (f" (+{extra} more)" if extra else "")
+        yield Diagnostic(
+            "ST003",
+            f"instantaneous activities may re-enable each other in a "
+            f"loop: {listing}; if the cycle is live at runtime the "
+            f"simulator aborts the cascade",
+            activity=members[0],
+        )
+
+
+def _strongly_connected(edges: dict[int, set[int]]) -> list[list[int]]:
+    """Kosaraju's algorithm with iterative DFS."""
+    order: list[int] = []
+    seen: set[int] = set()
+    for start in edges:
+        if start in seen:
+            continue
+        stack: list[tuple[int, Iterator[int]]] = [(start, iter(edges[start]))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(edges[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+    reverse: dict[int, set[int]] = {node: set() for node in edges}
+    for node, targets in edges.items():
+        for target in targets:
+            reverse[target].add(node)
+    components: list[list[int]] = []
+    assigned: set[int] = set()
+    for start in reversed(order):
+        if start in assigned:
+            continue
+        component = [start]
+        assigned.add(start)
+        work = [start]
+        while work:
+            node = work.pop()
+            for nxt in reverse[node]:
+                if nxt not in assigned:
+                    assigned.add(nxt)
+                    component.append(nxt)
+                    work.append(nxt)
+        components.append(component)
+    return components
+
+
+# ----------------------------------------------------------------------
+# ST004 / ST005: incidence sampling and P-invariants
+# ----------------------------------------------------------------------
+def _sample_incidence(
+    model: SANModel, markings: list[Marking]
+) -> tuple[dict[tuple[str, int], dict[Place, int]], list[tuple[str, int]], int]:
+    """Consistent integer deltas per (activity, case) over ``markings``.
+
+    Returns ``(columns, unknown, observations)`` where ``columns`` maps
+    (activity name, case index) to its delta and ``unknown`` lists the
+    columns with no or contradictory observations.
+    """
+    columns: dict[tuple[str, int], dict[Place, int]] = {}
+    unknown: list[tuple[str, int]] = []
+    observations = 0
+    for activity in model.activities:
+        for case_index in range(len(activity.cases)):
+            key = (activity.name, case_index)
+            delta: Optional[dict[Place, int]] = None
+            consistent = True
+            observed = False
+            for marking in markings:
+                try:
+                    if not activity.enabled(marking):
+                        continue
+                except Exception:  # noqa: BLE001
+                    continue
+                sample = fire_deltas(activity, case_index, marking)
+                if sample is None:
+                    continue
+                if any(p.is_extended for p in sample):
+                    consistent = False
+                    break
+                observations += 1
+                observed = True
+                if delta is None:
+                    delta = sample
+                elif delta != sample:
+                    consistent = False
+                    break
+            if observed and consistent:
+                columns[key] = delta if delta is not None else {}
+            else:
+                unknown.append(key)
+    return columns, unknown, observations
+
+
+def _nullspace(matrix: list[list[Fraction]], width: int) -> list[list[Fraction]]:
+    """Basis of ``{y : matrix @ y = 0}`` by exact Gaussian elimination."""
+    rows = [row[:] for row in matrix]
+    pivots: dict[int, int] = {}  # column -> row
+    row_index = 0
+    for col in range(width):
+        pivot_row = None
+        for r in range(row_index, len(rows)):
+            if rows[r][col] != 0:
+                pivot_row = r
+                break
+        if pivot_row is None:
+            continue
+        rows[row_index], rows[pivot_row] = rows[pivot_row], rows[row_index]
+        pivot_value = rows[row_index][col]
+        rows[row_index] = [v / pivot_value for v in rows[row_index]]
+        for r in range(len(rows)):
+            if r != row_index and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    a - factor * b for a, b in zip(rows[r], rows[row_index])
+                ]
+        pivots[col] = row_index
+        row_index += 1
+        if row_index == len(rows):
+            break
+    free_columns = [c for c in range(width) if c not in pivots]
+    basis: list[list[Fraction]] = []
+    for free in free_columns:
+        vector = [Fraction(0)] * width
+        vector[free] = Fraction(1)
+        for col, row in pivots.items():
+            vector[col] = -rows[row][free]
+        basis.append(vector)
+    return basis
+
+
+def _format_invariant(
+    weights: list[Fraction], places: list[Place], initial: Marking
+) -> Optional[str]:
+    """``"2*a + b = 5"`` text for one nullspace vector, integer-scaled."""
+    denominator_lcm = 1
+    for weight in weights:
+        if weight != 0:
+            denominator_lcm = _lcm(denominator_lcm, weight.denominator)
+    scaled = [int(weight * denominator_lcm) for weight in weights]
+    support = [(w, p) for w, p in zip(scaled, places) if w != 0]
+    if not support:
+        return None
+    if support[0][0] < 0:
+        support = [(-w, p) for w, p in support]
+    terms = []
+    for weight, place in support[:_MAX_TERMS]:
+        prefix = "" if weight == 1 else f"{weight}*"
+        terms.append(f"{prefix}{place.name}")
+    extra = len(support) - min(len(support), _MAX_TERMS)
+    body = " + ".join(terms) + (f" + ... ({extra} more terms)" if extra else "")
+    total = sum(weight * initial.get(place) for weight, place in support)
+    return f"{body} = {total}"
+
+
+def _lcm(a: int, b: int) -> int:
+    import math
+
+    return a * b // math.gcd(a, b)
+
+
+def _invariants(
+    model: SANModel, markings: list[Marking], complete: bool
+) -> Iterator[Diagnostic]:
+    columns, unknown, observations = _sample_incidence(model, markings)
+    total_columns = len(columns) + len(unknown)
+    # Places any unknown column could touch must stay out of invariants.
+    excluded: set[Place] = set()
+    unknown_names = {name for name, _ in unknown}
+    for activity in model.activities:
+        if activity.name in unknown_names:
+            excluded |= activity.writes()
+    places = [
+        p for p in model.places if p not in excluded and not p.is_extended
+    ]
+    coverage = (
+        f"incidence sampled over {len(markings)} marking(s)"
+        f"{'' if complete else ' (exploration cap hit)'}: "
+        f"{len(columns)}/{total_columns} (activity, case) columns have "
+        f"established deltas ({observations} observations); invariants "
+        f"computed over {len(places)}/{len(model.places)} places"
+    )
+    if not columns or not places:
+        yield Diagnostic("ST005", coverage + "; no invariants computable")
+        return
+    if (
+        len(places) > _MAX_INVARIANT_PLACES
+        or len(columns) > _MAX_INVARIANT_COLUMNS
+    ):
+        yield Diagnostic(
+            "ST005",
+            coverage + "; model above the exact-arithmetic size cap, "
+            "invariant computation skipped",
+        )
+        return
+    matrix = [
+        [Fraction(delta.get(place, 0)) for place in places]
+        for delta in columns.values()
+    ]
+    basis = _nullspace(matrix, len(places))
+    initial = model.initial_marking()
+    reported = 0
+    for vector in basis:
+        if reported >= _MAX_INVARIANTS:
+            break
+        text = _format_invariant(vector, places, initial)
+        if text is None:
+            continue
+        reported += 1
+        yield Diagnostic(
+            "ST004",
+            f"P-invariant: {text} (weighted token sum conserved by every "
+            f"established firing; places writable by unestablished "
+            f"firings excluded)",
+        )
+    omitted = len(basis) - reported
+    suffix = f"; {reported} invariant(s) reported"
+    if omitted > 0:
+        suffix += f", {omitted} further nullspace vector(s) omitted"
+    yield Diagnostic("ST005", coverage + suffix)
+
+
+# ----------------------------------------------------------------------
+def check_structure(
+    model: SANModel, markings: list[Marking], complete: bool
+) -> Iterator[Diagnostic]:
+    """Run ST001-ST005. ``markings`` come from :func:`probe.explore`."""
+    initial = markings[0] if markings else model.initial_marking()
+    yield from _disconnected_places(model)
+    yield from _never_enabled(model, initial)
+    yield from _instantaneous_cycles(model)
+    yield from _invariants(model, markings, complete)

@@ -19,6 +19,11 @@ Observability (:mod:`repro.obs`): ``repro-cli trace`` exports structured
 JSONL trajectory traces; ``repro-cli unsafety`` accepts ``--metrics``
 (per-activity breakdown table), ``--trace-out FILE`` (JSONL trace, serial
 only) and ``--profile`` (per-phase wall-time spans).
+
+Static analysis (:mod:`repro.analysis`): ``repro-cli lint`` runs the
+footprint / determinism / structural / vectorization analyzers over the
+built-in AHS models and exits nonzero per ``--fail-on`` (rule catalog:
+``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -264,6 +269,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--figure", default=None, help="restrict to one figure, e.g. 14"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of the SAN models (repro.analysis)",
+    )
+    lint.add_argument(
+        "--strategy",
+        default="all",
+        choices=["all", "DD", "DC", "CD", "CC"],
+        help="which built-in AHS model(s) to analyze",
+    )
+    lint.add_argument("--n", type=int, default=2, help="max platoon size")
+    lint.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated analyzer families "
+        "(footprint,determinism,structural,vectorization; default: all)",
+    )
+    lint.add_argument(
+        "--max-states",
+        type=int,
+        default=256,
+        help="bounded-reachability cap feeding dry-run probes and "
+        "incidence sampling",
+    )
+    lint.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        help="truncate the text report to this many diagnostics",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the JSON report instead"
+    )
+    lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning", "info", "never"],
+        help="exit nonzero when a diagnostic at or above this severity "
+        "is reported (default: error)",
     )
 
     design = sub.add_parser(
@@ -575,6 +621,48 @@ def _cmd_verify(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis import Severity, analyze_model
+    from repro.core import AHSParameters, Strategy, build_composed_model
+
+    strategies = (
+        [s for s in Strategy]
+        if args.strategy == "all"
+        else [Strategy(args.strategy)]
+    )
+    families = (
+        None
+        if args.families is None
+        else [f.strip() for f in args.families.split(",") if f.strip()]
+    )
+    threshold = (
+        None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+    reports = []
+    failed = False
+    for strategy in strategies:
+        params = AHSParameters(max_platoon_size=args.n, strategy=strategy)
+        model = build_composed_model(params).model
+        model.name = f"AHS[{strategy.value}, n={args.n}]"
+        report = analyze_model(
+            model, families=families, max_states=args.max_states
+        )
+        reports.append(report)
+        if threshold is not None and report.at_least(threshold):
+            failed = True
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        print(_json.dumps(payload if len(payload) > 1 else payload[0], indent=2))
+    else:
+        for index, report in enumerate(reports):
+            if index:
+                print()
+            print(report.format_text(max_rows=args.max_rows))
+    return 1 if failed else 0
+
+
 def _cmd_design(args) -> int:
     from repro.core import AHSParameters
     from repro.core.design import (
@@ -650,6 +738,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_design(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

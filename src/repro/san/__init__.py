@@ -38,7 +38,7 @@ from repro.san.batched import DEFAULT_BATCH_SIZE, BatchedJumpEngine
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
-from repro.san.describe import describe_model, to_dot
+from repro.san.describe import describe_lowering, describe_model, to_dot
 
 __all__ = [
     "Place",
@@ -74,6 +74,7 @@ __all__ = [
     "TransientEstimate",
     "validate_model",
     "ModelValidationError",
+    "describe_lowering",
     "describe_model",
     "to_dot",
 ]

@@ -655,21 +655,30 @@ class BatchedJumpEngine:
 
         self._lowered: list[_LoweredGroup] = []
         fallback_indices: list[int] = []
+        fallback_reasons: dict[str, str] = {}
         for members in signatures.values():
             try:
                 self._lowered.append(lower_members(members))
-            except _CannotLower:
+            except _CannotLower as group_exc:
                 # a group can fail collectively (e.g. one member binds an
                 # extended place) while others still lower individually
+                group_reason = str(group_exc)
                 for index in members:
                     if len(members) > 1:
                         try:
                             self._lowered.append(lower_members([index]))
                             continue
-                        except _CannotLower:
-                            pass
+                        except _CannotLower as solo_exc:
+                            fallback_reasons[compiled.timed[index].name] = str(
+                                solo_exc
+                            )
+                    else:
+                        fallback_reasons[compiled.timed[index].name] = (
+                            group_reason
+                        )
                     fallback_indices.append(index)
         fallback_indices.sort()
+        self.fallback_reasons = fallback_reasons
 
         # slot → bitmask of *positions in self._lowered* (reverse index)
         self._lowered_dep = [0] * compiled.n_slots

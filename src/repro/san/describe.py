@@ -13,7 +13,7 @@ from repro.san.activities import InstantaneousActivity, TimedActivity
 from repro.san.marking import MarkingFunction
 from repro.san.model import SANModel
 
-__all__ = ["describe_model", "to_dot"]
+__all__ = ["describe_model", "describe_lowering", "to_dot"]
 
 
 def _rate_text(activity: TimedActivity) -> str:
@@ -74,6 +74,34 @@ def describe_model(model: SANModel, max_items: int | None = None) -> str:
     omitted = len(model.activities) - len(activities)
     if omitted > 0:
         lines.append(f"    ... and {omitted} more activities")
+    return "\n".join(lines)
+
+
+def describe_lowering(engine) -> str:
+    """Per-activity lowering table of a :class:`BatchedJumpEngine`.
+
+    One row per timed activity: ``vectorized`` when the batched compile
+    pass lowered its gates/rate to column kernels, or ``fallback`` with
+    the recorded ``_CannotLower`` reason.  The header repeats
+    ``lowering_stats()`` so the table is self-contained in reports.
+    """
+    stats = engine.lowering_stats()
+    reasons: dict[str, str] = getattr(engine, "fallback_reasons", {})
+    lines = [
+        f"batched lowering for model {engine.model.name!r}: "
+        f"{stats['lowered']}/{stats['timed_activities']} timed activities "
+        f"vectorized in {stats['groups']} group(s), "
+        f"{stats['fallback']} on the per-row fallback"
+    ]
+    width = max(
+        (len(a.name) for a in engine.model.timed_activities), default=0
+    )
+    for activity in engine.model.timed_activities:
+        reason = reasons.get(activity.name)
+        status = (
+            "vectorized" if reason is None else f"fallback ({reason})"
+        )
+        lines.append(f"  {activity.name:<{width}}  {status}")
     return "\n".join(lines)
 
 

@@ -1,14 +1,18 @@
 """Structural validation of SAN models.
 
-Run :func:`validate_model` after building a model (the AHS builders do this
-automatically).  Checks are structural and cheap; dynamic properties (e.g.
-instantaneous-activity loops) are guarded at runtime by the simulator and
-the state-space generator.
+Run :func:`validate_model` after building a model (the AHS builders do
+this automatically).  Checks are structural and cheap, plus a static
+instantaneous-loop screen covering the *definite* cases (an activity
+with no input gates, or a time-zero firing that provably makes no
+progress); loops that depend on reachable markings beyond the initial
+one are flagged as warnings by :mod:`repro.analysis` (rule ST003) and,
+as a last resort, still abort the cascade at runtime in the simulator
+and the state-space generator.
 """
 
 from __future__ import annotations
 
-from repro.san.marking import Marking
+from repro.san.marking import Marking, MarkingFunction
 from repro.san.model import SANModel
 
 __all__ = ["validate_model", "ModelValidationError"]
@@ -28,7 +32,13 @@ def validate_model(model: SANModel) -> None:
     * constant case probabilities of each activity sum to 1;
     * initial marking is valid for every place, and enabling predicates /
       constant rates evaluate without raising in the initial marking;
-    * no duplicate place names among distinct places.
+    * marking-dependent case probabilities of activities enabled in the
+      initial marking evaluate without raising and sum to 1 there;
+    * no duplicate place names among distinct places;
+    * no statically certain instantaneous-activity loop: every
+      instantaneous activity has at least one input gate, and the first
+      instantaneous activity that would fire at time zero changes the
+      marking when it does.
     """
     if not model.activities:
         raise ModelValidationError(f"model {model.name!r} has no activities")
@@ -62,7 +72,18 @@ def validate_model(model: SANModel) -> None:
                     f"sum to {total}, expected 1"
                 )
 
-    # Smoke-evaluate predicates and rates in the initial marking.
+    # An instantaneous activity with no input gates is enabled in every
+    # marking, so the time-zero instantaneous scan can never converge.
+    for activity in model.instantaneous_activities:
+        if not activity.input_gates:
+            raise ModelValidationError(
+                f"instantaneous activity {activity.name!r} has no input "
+                f"gates; it is enabled in every marking and would fire "
+                f"forever"
+            )
+
+    # Smoke-evaluate predicates, rates and marking-dependent case
+    # probabilities in the initial marking.
     marking = model.initial_marking()
     for activity in model.activities:
         try:
@@ -84,3 +105,65 @@ def validate_model(model: SANModel) -> None:
                 raise ModelValidationError(
                     f"activity {activity.name!r}: negative initial rate {rate}"
                 )
+        if enabled and any(
+            isinstance(case.probability, MarkingFunction)
+            for case in activity.cases
+        ):
+            try:
+                probs = [
+                    case.probability_in(marking) for case in activity.cases
+                ]
+            except Exception as exc:  # noqa: BLE001
+                raise ModelValidationError(
+                    f"activity {activity.name!r}: case probability raised "
+                    f"{exc!r} in the initial marking"
+                ) from exc
+            total = sum(probs)
+            if abs(total - 1.0) > 1e-6:
+                raise ModelValidationError(
+                    f"activity {activity.name!r}: case probabilities sum to "
+                    f"{total} in the initial marking, expected 1"
+                )
+
+    _check_time_zero_loop(model, marking)
+
+
+def _check_time_zero_loop(model: SANModel, marking: Marking) -> None:
+    """Static screen for a certain instantaneous loop at time zero.
+
+    The simulator fires the highest-priority enabled instantaneous
+    activity first; if one of that activity's selectable cases fires
+    without changing the marking, the activity is immediately enabled
+    again in the identical marking — a guaranteed infinite loop.
+    """
+    first_enabled = None
+    for activity in model.ordered_instantaneous():
+        try:
+            if activity.enabled(marking):
+                first_enabled = activity
+                break
+        except Exception:  # noqa: BLE001 - predicate errors reported above
+            return
+    if first_enabled is None:
+        return
+    try:
+        probs = first_enabled.case_probabilities(marking)
+    except Exception:  # noqa: BLE001 - probability errors reported above
+        probs = None
+    order = list(model.places)
+    before = marking.freeze(order)
+    for case_index in range(len(first_enabled.cases)):
+        if probs is not None and probs[case_index] <= 0.0:
+            continue  # this case cannot be selected at time zero
+        scratch = marking.copy()
+        try:
+            first_enabled.fire(scratch, case_index)
+        except Exception:  # noqa: BLE001 - firing errors surface at runtime
+            continue
+        if scratch.freeze(order) == before:
+            raise ModelValidationError(
+                f"instantaneous activity {first_enabled.name!r} fires at "
+                f"time zero without changing the marking "
+                f"(case {case_index}); the instantaneous scan would loop "
+                f"forever"
+            )

@@ -1,0 +1,77 @@
+"""Seeded-fault tests for the determinism lints (DT001-DT003)."""
+
+import random
+
+from repro.analysis import Severity, check_determinism
+from repro.san import InputGate, Place, SANModel, TimedActivity
+
+
+def _single_gate_model(predicate):
+    model = SANModel("seeded")
+    model.add_activity(
+        TimedActivity(
+            "t",
+            rate=1.0,
+            input_gates=[InputGate("g", {"p": Place("p", 1)}, predicate)],
+        )
+    )
+    return model
+
+
+def rng_predicate(g):
+    return random.random() < 2  # always True, but nondeterministic code
+
+
+def set_iterating_predicate(g):
+    total = 0
+    for element in {1, 2, 3}:
+        total += element
+    return g["p"] >= 0 and total > 0
+
+
+def make_accumulating_predicate():
+    seen = []
+
+    def predicate(g):
+        seen.append(g["p"])
+        return True
+
+    return predicate
+
+
+def clean_predicate(g):
+    return g["p"] > 0
+
+
+class TestDT001NondeterministicModules:
+    def test_random_module_is_error(self):
+        diagnostics = list(check_determinism(_single_gate_model(rng_predicate)))
+        assert [d.rule_id for d in diagnostics] == ["DT001"]
+        assert diagnostics[0].severity is Severity.ERROR
+        assert "random" in diagnostics[0].message
+
+
+class TestDT002SetIteration:
+    def test_set_iteration_is_warning(self):
+        diagnostics = list(
+            check_determinism(_single_gate_model(set_iterating_predicate))
+        )
+        assert [d.rule_id for d in diagnostics] == ["DT002"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+
+class TestDT003MutableCapture:
+    def test_captured_list_is_warning(self):
+        diagnostics = list(
+            check_determinism(
+                _single_gate_model(make_accumulating_predicate())
+            )
+        )
+        assert [d.rule_id for d in diagnostics] == ["DT003"]
+        assert diagnostics[0].severity is Severity.WARNING
+        assert "seen" in diagnostics[0].message
+
+
+class TestCleanModel:
+    def test_pure_marking_function_is_clean(self):
+        assert list(check_determinism(_single_gate_model(clean_predicate))) == []

@@ -1,0 +1,109 @@
+"""Tests for the diagnostic/report data model."""
+
+import json
+
+import pytest
+
+from repro.analysis import RULES, AnalysisReport, Diagnostic, Severity
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse("INFO") is Severity.INFO
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+    def test_str(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestRules:
+    def test_catalog_is_consistent(self):
+        for rule_id, rule in RULES.items():
+            assert rule.rule_id == rule_id
+            assert rule.title
+            assert isinstance(rule.severity, Severity)
+
+    def test_families_present(self):
+        prefixes = {rule_id[:2] for rule_id in RULES}
+        assert prefixes == {"FP", "DT", "ST", "VE"}
+
+
+class TestDiagnostic:
+    def test_severity_defaults_from_rule(self):
+        diag = Diagnostic("FP001", "impure predicate")
+        assert diag.severity is Severity.ERROR
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("XX999", "no such rule")
+
+    def test_to_dict_schema(self):
+        diag = Diagnostic("DT002", "set iteration", activity="join")
+        data = diag.to_dict()
+        assert data["rule"] == "DT002"
+        assert data["severity"] == "warning"
+        assert data["activity"] == "join"
+        assert data["count"] == 1
+
+
+class TestReport:
+    def test_replica_diagnostics_merge(self):
+        report = AnalysisReport("m")
+        for i in range(4):
+            report.add(
+                Diagnostic("VEC001", "scalar fallback", activity=f"leave[{i}]")
+            )
+        assert len(report.diagnostics) == 1
+        merged = report.diagnostics[0]
+        assert merged.count == 4
+        assert merged.activity == "leave"
+
+    def test_distinct_activities_not_merged(self):
+        report = AnalysisReport("m")
+        report.add(Diagnostic("VEC001", "scalar fallback", activity="leave1[0]"))
+        report.add(Diagnostic("VEC001", "scalar fallback", activity="leave2[0]"))
+        assert len(report.diagnostics) == 2
+
+    def test_counts_and_max_severity(self):
+        report = AnalysisReport("m")
+        assert report.max_severity is None
+        report.add(Diagnostic("FP003", "unused"))
+        report.add(Diagnostic("DT002", "set iteration"))
+        report.add(Diagnostic("FP001", "impure"))
+        assert report.count(Severity.INFO) == 1
+        assert report.count(Severity.WARNING) == 1
+        assert report.count(Severity.ERROR) == 1
+        assert report.max_severity is Severity.ERROR
+        assert len(report.at_least(Severity.WARNING)) == 2
+
+    def test_sorted_most_severe_first(self):
+        report = AnalysisReport("m")
+        report.add(Diagnostic("FP003", "unused"))
+        report.add(Diagnostic("FP001", "impure"))
+        ordered = report.sorted()
+        assert ordered[0].rule_id == "FP001"
+
+    def test_json_round_trip(self):
+        report = AnalysisReport("m")
+        report.stats = {"places": 2}
+        report.add(Diagnostic("ST002", "never enabled", activity="t"))
+        data = json.loads(report.to_json())
+        assert data["model"] == "m"
+        assert data["summary"] == {"errors": 1, "warnings": 0, "infos": 0}
+        assert data["stats"]["places"] == 2
+        assert data["diagnostics"][0]["rule"] == "ST002"
+
+    def test_format_text_truncates(self):
+        report = AnalysisReport("m")
+        for i in range(5):
+            report.add(Diagnostic("FP003", f"unused binding {i}"))
+        text = report.format_text(max_rows=2)
+        assert "and 3 more diagnostics" in text

@@ -1,0 +1,106 @@
+"""Tests for analyze_model and the ``repro-cli lint`` entry point."""
+
+import json
+
+import pytest
+
+from repro.analysis import FAMILIES, RULES, Severity, analyze_model
+from repro.cli import main
+from tests.conftest import make_two_state_model
+
+
+class TestAnalyzeModel:
+    def test_unknown_family_rejected(self):
+        model, *_ = make_two_state_model()
+        with pytest.raises(ValueError, match="unknown analyzer families"):
+            analyze_model(model, families=["footprint", "nonsense"])
+
+    def test_family_selection(self):
+        model, *_ = make_two_state_model()
+        report = analyze_model(model, families=["determinism"])
+        assert report.stats["families"] == ["determinism"]
+        assert report.diagnostics == []
+
+    def test_stats_include_exploration(self):
+        model, *_ = make_two_state_model()
+        report = analyze_model(model)
+        assert report.stats["explored_markings"] == 2
+        assert report.stats["exploration_complete"] is True
+        assert report.stats["families"] == sorted(FAMILIES)
+
+    def test_clean_model_has_no_errors(self):
+        model, *_ = make_two_state_model()
+        report = analyze_model(model)
+        assert report.count(Severity.ERROR) == 0
+
+
+class TestBuiltInModelsAreClean:
+    @pytest.mark.parametrize("strategy", ["DD", "DC", "CD", "CC"])
+    def test_composed_ahs_lints_clean(self, strategy):
+        # the acceptance bar for the analyzer: zero errors (and zero
+        # warnings) on every built-in AHS model
+        from repro.core import AHSParameters, Strategy, build_composed_model
+
+        params = AHSParameters(
+            max_platoon_size=2, strategy=Strategy(strategy)
+        )
+        model = build_composed_model(params).model
+        report = analyze_model(model)
+        errors = [d for d in report.diagnostics if d.severity >= Severity.WARNING]
+        assert errors == [], [d.format() for d in errors]
+
+
+class TestLintCommand:
+    def test_text_report_and_exit_code(self, capsys):
+        code = main(["lint", "--strategy", "DD", "--n", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AHS[DD, n=1]" in out
+        assert "0 errors" in out
+
+    def test_json_report(self, capsys):
+        code = main(["lint", "--strategy", "DD", "--n", "1", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model"] == "AHS[DD, n=1]"
+        assert data["summary"]["errors"] == 0
+        assert {d["rule"] for d in data["diagnostics"]} <= set(RULES)
+
+    def test_fail_on_threshold(self, capsys):
+        # infos are always present (FP003 binding notes), so --fail-on
+        # info must flip the exit code while the default does not
+        assert main(["lint", "--strategy", "DD", "--n", "1"]) == 0
+        assert (
+            main(["lint", "--strategy", "DD", "--n", "1", "--fail-on", "info"])
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_fail_on_never(self, capsys):
+        assert (
+            main(["lint", "--strategy", "DD", "--n", "1", "--fail-on", "never"])
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_family_filter(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--strategy",
+                "DD",
+                "--n",
+                "1",
+                "--families",
+                "determinism",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["families"] == ["determinism"]
+
+    def test_max_rows_truncates(self, capsys):
+        code = main(["lint", "--strategy", "DD", "--n", "1", "--max-rows", "1"])
+        assert code == 0
+        assert "more diagnostics" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Seeded-fault tests for the structural analyses (ST001-ST005)."""
+
+from repro.analysis import Severity, analyze_model
+from repro.san import (
+    Case,
+    InputGate,
+    InstantaneousActivity,
+    OutputGate,
+    Place,
+    SANModel,
+    TimedActivity,
+    input_arc,
+    output_arc,
+)
+from tests.conftest import make_two_state_model
+
+
+def _structural(model, max_states=256):
+    report = analyze_model(model, families=["structural"], max_states=max_states)
+    return {d.rule_id: d for d in report.diagnostics}, report
+
+
+def tok_positive(g):
+    return g["tok"] > 0
+
+
+def alt_positive(g):
+    return g["alt"] > 0
+
+
+def bump_alt(g):
+    g.inc("alt")
+
+
+def bump_tok(g):
+    g.inc("tok")
+
+
+class TestST001Disconnected:
+    def test_orphan_place_is_warning(self):
+        place = Place("p", 1)
+        model = SANModel("orphaned")
+        model.add_place(Place("orphan", 0))
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(place)],
+                cases=[Case(1.0, [output_arc(place)])],
+            )
+        )
+        by_rule, _ = _structural(model)
+        assert "ST001" in by_rule
+        diagnostic = by_rule["ST001"]
+        assert diagnostic.severity is Severity.WARNING
+        assert diagnostic.place == "orphan"
+
+
+class TestST002NeverEnabled:
+    def test_unreachable_activity_is_error(self):
+        live, dead = Place("live", 1), Place("dead", 0)
+        model = SANModel("deadlock")
+        model.add_activity(
+            TimedActivity(
+                "spin",
+                rate=1.0,
+                input_gates=[input_arc(live)],
+                cases=[Case(1.0, [output_arc(live)])],
+            )
+        )
+        model.add_activity(
+            TimedActivity("never", rate=1.0, input_gates=[input_arc(dead)])
+        )
+        by_rule, _ = _structural(model)
+        assert "ST002" in by_rule
+        diagnostic = by_rule["ST002"]
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.activity == "never"
+
+    def test_initially_disabled_but_fed_activity_is_clean(self):
+        model, *_ = make_two_state_model()
+        by_rule, _ = _structural(model)
+        # "repair" is disabled initially but "fail" feeds its place
+        assert "ST002" not in by_rule
+
+
+class TestST003InstantaneousCycles:
+    def test_mutually_reenabling_activities_are_warned(self):
+        tok, alt = Place("tok", 1), Place("alt", 0)
+        model = SANModel("toggle")
+        model.add_activity(
+            InstantaneousActivity(
+                "a",
+                input_gates=[InputGate("ga", {"tok": tok}, tok_positive)],
+                cases=[Case(1.0, [OutputGate("oa", {"alt": alt}, bump_alt)])],
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "b",
+                input_gates=[InputGate("gb", {"alt": alt}, alt_positive)],
+                cases=[Case(1.0, [OutputGate("ob", {"tok": tok}, bump_tok)])],
+            )
+        )
+        model.add_activity(
+            TimedActivity("timer", rate=1.0, input_gates=[input_arc(tok)])
+        )
+        by_rule, _ = _structural(model, max_states=32)
+        assert "ST003" in by_rule
+        diagnostic = by_rule["ST003"]
+        assert diagnostic.severity is Severity.WARNING
+        assert "a" in diagnostic.message and "b" in diagnostic.message
+
+    def test_self_disabling_instantaneous_is_clean(self):
+        # the AHS idiom: the activity clears its own enabling condition
+        # with a constant assignment the analyzer can evaluate statically
+        # (an inc/dec would leave the post-state unknown)
+        pending, done = Place("pending", 1), Place("done", 0)
+
+        def pending_positive(g):
+            return g["pending"] > 0
+
+        def consume(g):
+            g["pending"] = 0
+            g.inc("done")
+
+        model = SANModel("one-shot")
+        model.add_activity(
+            InstantaneousActivity(
+                "settle",
+                input_gates=[
+                    InputGate("gs", {"pending": pending}, pending_positive)
+                ],
+                cases=[
+                    Case(
+                        1.0,
+                        [
+                            OutputGate(
+                                "os",
+                                {"pending": pending, "done": done},
+                                consume,
+                            )
+                        ],
+                    )
+                ],
+            )
+        )
+        model.add_activity(
+            TimedActivity("timer", rate=1.0, input_gates=[input_arc(done)])
+        )
+        by_rule, _ = _structural(model)
+        assert "ST003" not in by_rule
+
+
+class TestST004Invariants:
+    def test_two_state_conservation_found(self):
+        model, *_ = make_two_state_model()
+        by_rule, report = _structural(model)
+        assert "ST004" in by_rule
+        message = by_rule["ST004"].message
+        assert "up" in message and "down" in message and "= 1" in message
+        assert report.stats["exploration_complete"] is True
+
+    def test_coverage_note_present(self):
+        model, *_ = make_two_state_model()
+        by_rule, _ = _structural(model)
+        assert "ST005" in by_rule
+        assert by_rule["ST005"].severity is Severity.INFO

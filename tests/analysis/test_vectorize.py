@@ -1,0 +1,83 @@
+"""Seeded-fault tests for the vectorization report (VEC001-VEC003)."""
+
+import pytest
+
+from repro.analysis import Severity, check_vectorization, lowering_summary
+from repro.san import (
+    InstantaneousActivity,
+    MarkingFunction,
+    Place,
+    SANModel,
+    TimedActivity,
+    input_arc,
+)
+from tests.conftest import make_two_state_model
+
+np = pytest.importorskip("numpy")
+
+
+def _float_coercing_model():
+    place = Place("p", 1)
+    model = SANModel("coerce")
+    model.add_activity(
+        TimedActivity(
+            "t",
+            rate=MarkingFunction({"p": place}, lambda g: float(g["p"])),
+            input_gates=[input_arc(place)],
+        )
+    )
+    return model
+
+
+class TestVEC001Fallback:
+    def test_float_coercion_reason_reported(self):
+        diagnostics = list(check_vectorization(_float_coercing_model()))
+        by_rule = {d.rule_id: d for d in diagnostics}
+        assert "VEC001" in by_rule
+        diagnostic = by_rule["VEC001"]
+        assert diagnostic.severity is Severity.INFO
+        assert "float() coercion" in diagnostic.message
+
+
+class TestVEC002MostlyScalar:
+    def test_majority_fallback_is_warning(self):
+        diagnostics = list(check_vectorization(_float_coercing_model()))
+        by_rule = {d.rule_id: d for d in diagnostics}
+        assert "VEC002" in by_rule
+        assert by_rule["VEC002"].severity is Severity.WARNING
+
+
+class TestVEC003NotApplicable:
+    def test_model_without_timed_activities(self):
+        place = Place("tok", 1)
+        model = SANModel("inst-only")
+        model.add_activity(
+            InstantaneousActivity("i", input_gates=[input_arc(place)])
+        )
+        assert lowering_summary(model) is None
+        diagnostics = list(check_vectorization(model))
+        assert [d.rule_id for d in diagnostics] == ["VEC003"]
+
+
+class TestCleanModel:
+    def test_fully_lowered_model_is_silent(self):
+        model, *_ = make_two_state_model()
+        summary = lowering_summary(model)
+        assert summary is not None
+        assert summary["stats"]["fallback"] == 0
+        assert list(check_vectorization(model)) == []
+
+
+class TestReplicaGrouping:
+    def test_composed_model_folds_replicas(self):
+        from repro.core import AHSParameters, build_composed_model
+
+        model = build_composed_model(AHSParameters(max_platoon_size=1)).model
+        diagnostics = [
+            d for d in check_vectorization(model) if d.rule_id == "VEC001"
+        ]
+        # each maneuver kind appears once with its replica count folded in,
+        # never once per [i] replica
+        assert diagnostics
+        assert all("[" not in (d.activity or "") for d in diagnostics)
+        assert all(d.count >= 1 for d in diagnostics)

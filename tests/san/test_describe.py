@@ -1,8 +1,8 @@
-"""Tests for SAN model descriptions and DOT export."""
+"""Tests for SAN model descriptions, lowering tables and DOT export."""
 
 import pytest
 
-from repro.san import describe_model, to_dot
+from repro.san import describe_lowering, describe_model, to_dot
 from tests.conftest import make_two_state_model
 
 
@@ -52,6 +52,44 @@ class TestDescribe:
         ahs = build_composed_model(AHSParameters(max_platoon_size=1))
         text = describe_model(ahs.model)
         assert "instantaneous, priority 1000" in text  # to_KO
+
+
+class TestDescribeLowering:
+    def test_fully_vectorized_model(self):
+        np = pytest.importorskip("numpy")  # noqa: F841 - gate on numpy
+        from repro.san import BatchedJumpEngine
+
+        model, *_ = make_two_state_model()
+        text = describe_lowering(BatchedJumpEngine(model))
+        assert "2/2 timed activities" in text
+        assert "fail" in text and "repair" in text
+        assert "0 on the per-row fallback" in text
+        assert "fallback (" not in text  # no per-row fallback markers
+
+    def test_fallback_rows_carry_reasons(self):
+        np = pytest.importorskip("numpy")  # noqa: F841
+        from repro.san import (
+            BatchedJumpEngine,
+            MarkingFunction,
+            Place,
+            SANModel,
+            TimedActivity,
+            input_arc,
+        )
+
+        place = Place("p", 1)
+        model = SANModel("coerce")
+        model.add_activity(
+            TimedActivity(
+                "drain",
+                rate=MarkingFunction({"p": place}, lambda g: float(g["p"])),
+                input_gates=[input_arc(place)],
+            )
+        )
+        text = describe_lowering(BatchedJumpEngine(model))
+        assert "0/1 timed activities" in text
+        assert "drain" in text
+        assert "fallback (float() coercion)" in text
 
 
 class TestDot:

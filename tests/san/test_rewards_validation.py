@@ -164,3 +164,133 @@ class TestValidation:
         model._activity_names.add("t")
         with pytest.raises(ModelValidationError):
             validate_model(model)
+
+    def test_raising_rate_reported(self):
+        place = Place("p", 1)
+
+        def bad_rate(g):
+            raise RuntimeError("broken rate")
+
+        model = SANModel("rate-raises")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=MarkingFunction({"p": place}, bad_rate),
+                input_gates=[input_arc(place)],
+            )
+        )
+        with pytest.raises(ModelValidationError, match="rate raised"):
+            validate_model(model)
+
+    def test_negative_initial_rate_rejected(self):
+        place = Place("p", 1)
+        model = SANModel("rate-negative")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=MarkingFunction({"p": place}, lambda g: -1.0),
+                input_gates=[input_arc(place)],
+            )
+        )
+        with pytest.raises(ModelValidationError, match="negative"):
+            validate_model(model)
+
+    def test_gateless_instantaneous_rejected(self):
+        from repro.san import InstantaneousActivity
+
+        model = SANModel("gateless")
+        model.add_activity(InstantaneousActivity("i"))
+        with pytest.raises(ModelValidationError, match="no input gates"):
+            validate_model(model)
+
+    def test_time_zero_no_progress_loop_rejected(self):
+        from repro.san import InstantaneousActivity
+
+        place = Place("p", 1)
+        model = SANModel("spinner")
+        # enabled at time zero, fires, and changes nothing: the
+        # instantaneous scan would re-select it forever
+        model.add_activity(
+            InstantaneousActivity(
+                "spin",
+                input_gates=[
+                    InputGate("g", {"p": place}, lambda g: g["p"] > 0)
+                ],
+            )
+        )
+        with pytest.raises(ModelValidationError, match="without changing"):
+            validate_model(model)
+
+    def test_self_consuming_instantaneous_passes(self):
+        from repro.san import InstantaneousActivity
+
+        model = SANModel("one-shot")
+        place = Place("p", 1)
+        model.add_activity(
+            InstantaneousActivity(
+                "settle", input_gates=[input_arc(place)]
+            )
+        )
+        validate_model(model)
+
+    def test_marking_dependent_probability_raise_reported(self):
+        place = Place("p", 1)
+
+        def bad_prob(g):
+            raise RuntimeError("broken probability")
+
+        model = SANModel("prob-raises")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(place)],
+                cases=[
+                    Case(MarkingFunction({"p": place}, bad_prob)),
+                    Case(0.5),
+                ],
+            )
+        )
+        with pytest.raises(
+            ModelValidationError, match="case probability raised"
+        ):
+            validate_model(model)
+
+    def test_marking_dependent_probabilities_must_sum_to_one(self):
+        place = Place("p", 1)
+        model = SANModel("prob-sum")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(place)],
+                cases=[
+                    Case(MarkingFunction({"p": place}, lambda g: 0.3)),
+                    Case(0.5),
+                ],
+            )
+        )
+        with pytest.raises(
+            ModelValidationError, match="probabilities sum to"
+        ):
+            validate_model(model)
+
+    def test_valid_marking_dependent_probabilities_pass(self):
+        place = Place("p", 1)
+        model = SANModel("prob-ok")
+        model.add_activity(
+            TimedActivity(
+                "t",
+                rate=1.0,
+                input_gates=[input_arc(place)],
+                cases=[
+                    Case(
+                        MarkingFunction(
+                            {"p": place}, lambda g: 1.0 if g["p"] else 0.0
+                        )
+                    ),
+                    Case(MarkingFunction({"p": place}, lambda g: 0.0)),
+                ],
+            )
+        )
+        validate_model(model)
