@@ -1,0 +1,188 @@
+"""Flat vs adaptive allocation: the orchestrator's reason to exist.
+
+Runs the same inflated-rate Figure-12-shaped sweep (S(t) at the horizon
+versus platoon size, one series per failure rate — the full figure's
+(lambda, n) grid) to the same uniform relative-CI target twice: once
+under the non-adaptive ``flat`` policy (equal chunks to every
+unconverged point, the classic fixed-allocation baseline) and once under
+the adaptive ``greedy`` policy (widest-predicted-CI first).  The failure
+rates are inflated as in ``bench_parallel.py`` so crude Monte-Carlo sees
+events and the whole comparison runs in seconds.
+
+Directly runnable as the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrate.py --smoke --json BENCH_orchestrate.json
+
+which prints a comparison table, writes ``BENCH_orchestrate.json`` and
+exits non-zero unless **both** policies reach the target and the
+adaptive policy spends **fewer** replications than flat (the acceptance
+bar: adaptive reaches the target CI within — and measurably under — the
+flat budget).  Both runs share one seed and the deterministic round
+schedule, so the spent/rounds numbers are bit-stable across hosts and
+worker counts; the gate is not a flaky timing comparison.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.core import AHSParameters
+from repro.orchestrate import Budget, EstimatorPolicy, SweepPoint, orchestrate
+from repro.runtime import ParallelRunner
+
+SEED = 2009
+#: generous pool; the runs should stop on "converged" long before this
+POOL = 200_000
+#: small chunks -> fine-grained rounds, where adaptivity shows
+CHUNK_SIZE = 32
+TARGET_RELATIVE_CI = 0.3
+
+
+def sweep(smoke: bool) -> list[SweepPoint]:
+    """Figure-12 shape at benchmark rates: a (lambda, n) grid.
+
+    The lambda spread is what makes the sweep heterogeneous — the rare
+    series needs an order of magnitude more replications per point than
+    the common one, which is exactly the situation adaptive allocation
+    exists for.
+    """
+    lambdas = (1e-1, 2e-2) if smoke else (5e-2, 1e-2)
+    return [
+        SweepPoint(
+            point_id=f"bench12/lambda={lam:g}/n={n}",
+            params=AHSParameters(base_failure_rate=lam, max_platoon_size=n),
+            times=(1.0, 2.0),
+            label=f"lambda={lam:g} @ n={n}",
+        )
+        for lam in lambdas
+        for n in (2, 4)
+    ]
+
+
+def run_policy(policy: str, points, target: float, workers: int):
+    budget = Budget(replications=POOL, target_relative_ci=target)
+    runner = ParallelRunner(workers=workers, chunk_size=CHUNK_SIZE)
+    try:
+        report = orchestrate(
+            points,
+            budget,
+            runner,
+            policy=policy,
+            estimator_policy=EstimatorPolicy(forced="simulation"),
+            seed=SEED,
+        )
+    finally:
+        runner.close()
+    return {
+        "policy": policy,
+        "spent": report.ledger["spent"],
+        "rounds": report.ledger["rounds"],
+        "stop_reason": report.ledger["stop_reason"],
+        "converged": report.all_converged,
+        "widest_relative_ci": max(
+            (p.relative_ci for p in report.points if p.relative_ci is not None),
+            default=None,
+        ),
+        "per_point": report.ledger["per_point"],
+    }
+
+
+def compare(target: float, smoke: bool, workers: int) -> dict:
+    points = sweep(smoke)
+    flat = run_policy("flat", points, target, workers)
+    adaptive = run_policy("greedy", points, target, workers)
+    savings = (
+        1.0 - adaptive["spent"] / flat["spent"] if flat["spent"] else 0.0
+    )
+    return {
+        "workload": {
+            "sweep": [p.point_id for p in points],
+            "times": [1.0, 2.0],
+            "target_relative_ci": target,
+            "chunk_size": CHUNK_SIZE,
+            "seed": SEED,
+            "workers": workers,
+        },
+        "flat": flat,
+        "adaptive": adaptive,
+        "replication_savings": savings,
+    }
+
+
+def check(result: dict) -> list[str]:
+    """The gate: both converge, adaptive spends strictly less than flat."""
+    failures = []
+    for name in ("flat", "adaptive"):
+        run = result[name]
+        if not run["converged"] or run["stop_reason"] != "converged":
+            failures.append(
+                f"{name} policy did not converge "
+                f"(stop_reason={run['stop_reason']!r})"
+            )
+    if result["adaptive"]["spent"] >= result["flat"]["spent"]:
+        failures.append(
+            f"adaptive spent {result['adaptive']['spent']} replications "
+            f"against flat's {result['flat']['spent']}; expected a "
+            f"measurable saving"
+        )
+    return failures
+
+
+def format_table(result: dict) -> str:
+    lines = [
+        f"{'policy':<10} {'replications':>13} {'rounds':>7} "
+        f"{'widest rel-CI':>14}  stop",
+    ]
+    for name in ("flat", "adaptive"):
+        run = result[name]
+        widest = run["widest_relative_ci"]
+        widest_text = "-" if widest is None else f"{widest:.2%}"
+        lines.append(
+            f"{run['policy']:<10} {run['spent']:>13} {run['rounds']:>7} "
+            f"{widest_text:>14}  {run['stop_reason']}"
+        )
+    lines.append(
+        f"adaptive saves {result['replication_savings']:.1%} of the flat "
+        f"budget at the same target"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (bench modules are runnable under pytest too)
+# ----------------------------------------------------------------------
+def test_adaptive_reaches_target_under_flat_budget():
+    result = compare(target=TARGET_RELATIVE_CI, smoke=True, workers=1)
+    assert not check(result), check(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=TARGET_RELATIVE_CI,
+        help="relative CI target",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="trimmed lambda grid for CI"
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--json", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+
+    result = compare(target=args.target, smoke=args.smoke, workers=args.workers)
+    print(format_table(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"[saved {args.json}]")
+
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Examples
 ``repro-cli calibrate``                 — kinematic maneuver durations
 ``repro-cli all``                       — every table and figure
 ``repro-cli figure 10 --workers 4``     — sweep on 4 worker processes
+``repro-cli orchestrate 12 --target-ci 0.1 --policy greedy``
+                                        — adaptive budgeted sweep estimation
+``repro-cli cache stats``               — result-cache size and hit rates
 
 The ``unsafety``, ``figure`` and ``all`` commands accept ``--workers N``
 (shard the work over N processes via :mod:`repro.runtime`),
@@ -58,6 +61,30 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _resolve_cache_dir(cache_dir):
+    """The cache directory a CLI flag / env / default resolves to."""
+    import os
+    from pathlib import Path
+
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir is None:
+        cache_dir = Path.home() / ".cache" / "repro-ahs"
+    if Path(cache_dir).exists() and not Path(cache_dir).is_dir():
+        raise SystemExit(
+            f"--cache-dir {cache_dir} exists and is not a directory"
+        )
+    return Path(cache_dir)
+
+
+def _build_cache(args):
+    """A ResultCache from CLI flags, or None with --no-cache."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.runtime import ResultCache
+
+    return ResultCache(_resolve_cache_dir(getattr(args, "cache_dir", None)))
+
+
 def _build_runner(args):
     """A ParallelRunner from CLI flags, or None for the serial path."""
     workers = getattr(args, "workers", None)
@@ -65,22 +92,9 @@ def _build_runner(args):
         return None
     if workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {workers}")
-    import os
-    from pathlib import Path
+    from repro.runtime import ParallelRunner
 
-    from repro.runtime import ParallelRunner, ResultCache
-
-    cache = None
-    if not args.no_cache:
-        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
-        if cache_dir is None:
-            cache_dir = Path.home() / ".cache" / "repro-ahs"
-        if Path(cache_dir).exists() and not Path(cache_dir).is_dir():
-            raise SystemExit(
-                f"--cache-dir {cache_dir} exists and is not a directory"
-            )
-        cache = ResultCache(cache_dir)
-    return ParallelRunner(workers=workers, cache=cache)
+    return ParallelRunner(workers=workers, cache=_build_cache(args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -171,7 +185,85 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-phase wall-time spans (compile/simulate/merge/cache)",
     )
+    uns.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="FILE",
+        help="save the estimate as a machine-readable JSON artifact "
+        "(repro-estimates/1 schema, shared with orchestrate and figure)",
+    )
     _add_runtime_flags(uns)
+
+    orch = sub.add_parser(
+        "orchestrate",
+        help="adaptive budgeted estimation of a figure sweep "
+        "(repro.orchestrate)",
+    )
+    orch.add_argument("figure", help="figure number or id, e.g. 12")
+    orch.add_argument("--fast", action="store_true", help="trimmed sweep")
+    orch.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="global replication pool shared across every sweep point",
+    )
+    orch.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        help="uniform target relative CI half-width (default 0.1, the "
+        "paper's criterion, when no other budget is given)",
+    )
+    orch.add_argument(
+        "--wall-seconds",
+        type=float,
+        default=None,
+        help="best-effort wall-clock allowance, checked between rounds",
+    )
+    orch.add_argument(
+        "--policy",
+        default="greedy",
+        choices=["greedy", "proportional", "cost", "flat"],
+        help="round allocation policy (flat is the non-adaptive baseline)",
+    )
+    orch.add_argument(
+        "--seed", type=int, default=None, help="experiment seed"
+    )
+    orch.add_argument(
+        "--rounds", type=int, default=64, help="maximum allocation rounds"
+    )
+    orch.add_argument(
+        "--engine",
+        default="compiled",
+        choices=list(ENGINES),
+        help="jump-chain executor for the simulation-backed estimators",
+    )
+    orch.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="FILE",
+        help="save the full report (points, rounds, ledger, telemetry) "
+        "as a repro-estimates/1 JSON artifact",
+    )
+    _add_runtime_flags(orch)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_cmd.add_argument(
+        "action",
+        choices=["stats", "clear"],
+        help="stats: entry count, bytes and last run's hit/miss counters; "
+        "clear: remove every entry",
+    )
+    cache_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-ahs)",
+    )
 
     trc = sub.add_parser(
         "trace",
@@ -458,6 +550,37 @@ def _cmd_unsafety(args) -> int:
         print(f"  truncation error bound: {estimate.truncation_error:.2e}")
     if observer is not None:
         _report_observation(observer, getattr(args, "trace_out", None))
+    if args.json_path:
+        import json as _json
+        from pathlib import Path
+
+        from repro.orchestrate import estimate_record
+
+        stochastic = any(h > 0 for h in estimate.half_widths)
+        record = {
+            "schema": "repro-estimates/1",
+            "params": params.summary(),
+            "points": [
+                estimate_record(
+                    point_id=f"unsafety/n={args.n}/lam={args.lam:g}/"
+                    f"{args.strategy}",
+                    estimator=estimate.method,
+                    times=estimate.times,
+                    values=estimate.values,
+                    half_widths=estimate.half_widths if stochastic else None,
+                    confidence=0.95 if stochastic else None,
+                    n_replications=estimate.n_samples,
+                    converged=not estimate.method.endswith("-unconverged"),
+                    source="unsafety",
+                )
+            ],
+        }
+        if estimate.truncation_error:
+            record["truncation_error"] = estimate.truncation_error
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(record, indent=2))
+        print(f"[saved {path}]")
     return 0
 
 
@@ -509,6 +632,108 @@ def _cmd_trace(args) -> int:
     dropped = recorder.dropped
     note = f" ({dropped} older events dropped)" if dropped else ""
     print(f"[trace: {written} events -> {args.out}{note}]")
+    return 0
+
+
+def _cmd_orchestrate(args) -> int:
+    from repro.experiments.figures import run_adaptive, sweep_definition
+    from repro.experiments.report import format_experiment
+    from repro.orchestrate import DEFAULT_SEED, Budget
+    from repro.runtime import ParallelRunner
+
+    figure_id = (
+        args.figure
+        if args.figure.startswith("figure")
+        else f"figure{args.figure}"
+    )
+    try:
+        sweep_definition(figure_id, args.fast)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    target = args.target_ci
+    if args.budget is None and target is None and args.wall_seconds is None:
+        target = 0.1  # the paper's sequential-stopping criterion
+    budget = Budget(
+        replications=args.budget,
+        target_relative_ci=target,
+        wall_seconds=args.wall_seconds,
+        max_rounds=args.rounds,
+    )
+    workers = args.workers if args.workers is not None else 1
+    if workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
+    cache = _build_cache(args)
+    # chunk_cache makes interrupted runs resumable: re-running the same
+    # orchestration replays finished chunks from the cache bit-identically
+    with ParallelRunner(
+        workers=workers, cache=cache, chunk_cache=cache is not None
+    ) as runner:
+        figure, report = run_adaptive(
+            figure_id,
+            budget,
+            runner,
+            fast=args.fast,
+            policy=args.policy,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            engine=args.engine,
+        )
+    print(report.format())
+    print()
+    print(format_experiment(figure_id, figure))
+    if args.json_path:
+        import json as _json
+        from pathlib import Path
+
+        record = report.to_dict()
+        record["figure"] = {
+            "figure_id": figure.figure_id,
+            "x_label": figure.x_label,
+            "x_values": [float(x) for x in figure.x_values],
+            "series": {
+                label: [float(v) for v in values]
+                for label, values in figure.series.items()
+            },
+        }
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(record, indent=2))
+        print(f"[saved {path}]")
+    return 0
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(_resolve_cache_dir(args.cache_dir))
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root : {stats['root']}")
+    print(f"entries    : {stats['entries']}")
+    print(f"total size : {_format_bytes(stats['total_bytes'])}")
+    session = stats["last_session"]
+    if session is None:
+        print("last run   : no session recorded")
+    else:
+        hits = session.get("hits", 0)
+        misses = session.get("misses", 0)
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        print(
+            f"last run   : {hits}/{lookups} hits ({rate:.0%}), "
+            f"{session.get('puts', 0)} writes"
+        )
     return 0
 
 
@@ -724,6 +949,10 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_all(args.fast, runner=_build_runner(args))
     if args.command == "unsafety":
         return _cmd_unsafety(args)
+    if args.command == "orchestrate":
+        return _cmd_orchestrate(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "calibrate":

@@ -12,7 +12,14 @@ from repro.experiments.registry import (
     get_experiment,
     list_experiments,
 )
-from repro.experiments.figures import FigureResult, SeriesSpec
+from repro.experiments.figures import (
+    FigureResult,
+    PointSpec,
+    SeriesSpec,
+    SweepDefinition,
+    run_adaptive,
+    sweep_definition,
+)
 from repro.experiments.runner import (
     outcome_to_json,
     run_experiment,
@@ -37,6 +44,10 @@ __all__ = [
     "list_experiments",
     "FigureResult",
     "SeriesSpec",
+    "PointSpec",
+    "SweepDefinition",
+    "sweep_definition",
+    "run_adaptive",
     "run_experiment",
     "save_outcome",
     "outcome_to_json",

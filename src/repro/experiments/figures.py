@@ -1,15 +1,19 @@
 """Figure experiments (paper Figures 10–15).
 
-Every function returns a :class:`FigureResult`: labelled unsafety series
-over trip durations (or over n, for the t = 6 h cuts of Figures 12/15),
-computed with the analytical engine at the paper's parameters.  ``fast``
-trims the sweep for benchmark runs.
+Every figure is declared once as a :class:`SweepDefinition` — the list of
+parameterised sweep points behind it plus the recipe for assembling their
+unsafety values into a :class:`FigureResult`.  Two evaluation paths share
+that single definition:
 
-Each figure optionally accepts a :class:`repro.runtime.ParallelRunner`:
-the sweep points then evaluate across worker processes (one
-:class:`~repro.core.partasks.AnalyticalCurveTask` per parameterisation)
-and are memoised in the runner's result cache, so re-running a sweep
-skips already-computed points.
+* the **analytical path** (``figure10()`` … ``figure15()``): each point
+  becomes an :class:`~repro.core.partasks.AnalyticalCurveTask`, evaluated
+  inline or across a :class:`repro.runtime.ParallelRunner`'s workers and
+  memoised in its result cache;
+* the **adaptive path** (:func:`run_adaptive`): the same points go to the
+  :mod:`repro.orchestrate` subsystem, which picks an estimator per point
+  and allocates a global replication budget adaptively.
+
+``fast`` trims the sweeps for benchmark runs.
 """
 
 from __future__ import annotations
@@ -19,25 +23,39 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.analytical import AnalyticalEngine
 from repro.core.coordination import Strategy
 from repro.core.parameters import AHSParameters
 from repro.core.partasks import AnalyticalCurveTask
 
 __all__ = [
     "SeriesSpec",
+    "PointSpec",
+    "SweepDefinition",
     "FigureResult",
+    "sweep_definition",
+    "run_adaptive",
     "figure10",
     "figure11",
     "figure12",
     "figure13",
     "figure14",
     "figure15",
+    "FIGURE_IDS",
     "TRIP_DURATIONS",
 ]
 
 #: the paper's trip-duration axis (2 to 10 hours)
 TRIP_DURATIONS: tuple[float, ...] = (2.0, 4.0, 6.0, 8.0, 10.0)
+
+#: every figure this module can define
+FIGURE_IDS = (
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+)
 
 
 @dataclass
@@ -46,6 +64,23 @@ class SeriesSpec:
 
     label: str
     params: AHSParameters
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point of a figure.
+
+    ``x_index`` distinguishes the two figure shapes: ``None`` for
+    trip-duration figures (the point's values *are* the series, one per
+    time), an x-axis position for t = 6 h cut figures (the point's single
+    value lands at ``x_values[x_index]`` of its series).
+    """
+
+    point_id: str
+    series: str
+    params: AHSParameters
+    times: tuple[float, ...]
+    x_index: Optional[int] = None
 
 
 @dataclass
@@ -76,118 +111,142 @@ class FigureResult:
         return out
 
 
-def _unsafety_curve(params: AHSParameters, times: Sequence[float]) -> np.ndarray:
-    return AnalyticalEngine(params).unsafety(times).unsafety
+@dataclass
+class SweepDefinition:
+    """A figure as data: its sweep points plus the assembly recipe."""
 
+    figure_id: str
+    description: str
+    x_label: str
+    x_values: np.ndarray
+    points: list[PointSpec]
 
-def _evaluate_curves(
-    specs: Sequence[tuple[str, AHSParameters]],
-    times: Sequence[float],
-    runner,
-) -> dict[str, np.ndarray]:
-    """One unsafety curve per labelled parameterisation.
+    def assemble(self, values: dict[str, Sequence[float]]) -> FigureResult:
+        """Build the figure from per-point value vectors (by point id)."""
+        result = FigureResult(
+            figure_id=self.figure_id,
+            description=self.description,
+            x_label=self.x_label,
+            x_values=self.x_values,
+        )
+        for spec in self.points:
+            curve = np.asarray(values[spec.point_id], dtype=float)
+            if spec.x_index is None:
+                result.series[spec.series] = curve
+            else:
+                series = result.series.setdefault(
+                    spec.series,
+                    np.full(len(self.x_values), np.nan),
+                )
+                series[spec.x_index] = curve[0]
+        return result
 
-    With a runner, each curve becomes a picklable sweep-point task
-    evaluated (and cached) through :meth:`ParallelRunner.map`; without
-    one, the analytical engine runs inline as before.
-    """
-    tasks = [
-        AnalyticalCurveTask(params=params, times=tuple(float(t) for t in times))
-        for _, params in specs
-    ]
-    values = [task() for task in tasks] if runner is None else runner.map(tasks)
-    return {
-        label: np.asarray(curve, dtype=float)
-        for (label, _), curve in zip(specs, values)
-    }
+    def evaluate(self, runner=None) -> FigureResult:
+        """The analytical path: one lumped-CTMC curve per point.
+
+        With a runner the points evaluate (and cache) through
+        :meth:`ParallelRunner.map`; the task cache tokens depend only on
+        ``(params, times)``, so entries stay valid across both paths.
+        """
+        tasks = [
+            AnalyticalCurveTask(params=spec.params, times=spec.times)
+            for spec in self.points
+        ]
+        curves = [task() for task in tasks] if runner is None else runner.map(tasks)
+        return self.assemble(
+            {
+                spec.point_id: curve
+                for spec, curve in zip(self.points, curves)
+            }
+        )
 
 
 def _durations(fast: bool) -> tuple[float, ...]:
     return (2.0, 6.0, 10.0) if fast else TRIP_DURATIONS
 
 
-# ----------------------------------------------------------------------
-def figure10(fast: bool = False, runner=None) -> FigureResult:
-    """S(t) vs trip duration for n ∈ {8, 10, 12, 14}.
-
-    Paper: λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD.
-    """
-    times = _durations(fast)
-    sizes = (8, 12) if fast else (8, 10, 12, 14)
-    result = FigureResult(
-        figure_id="figure10",
-        description="S(t) versus time for different n",
+def _duration_definition(
+    figure_id: str,
+    description: str,
+    labelled: Sequence[tuple[str, AHSParameters]],
+    times: Sequence[float],
+) -> SweepDefinition:
+    times = tuple(float(t) for t in times)
+    return SweepDefinition(
+        figure_id=figure_id,
+        description=description,
         x_label="trip_hours",
         x_values=np.asarray(times),
+        points=[
+            PointSpec(
+                point_id=f"{figure_id}/{label}",
+                series=label,
+                params=params,
+                times=times,
+            )
+            for label, params in labelled
+        ],
     )
-    result.series.update(
-        _evaluate_curves(
-            [(f"n={n}", AHSParameters(max_platoon_size=n)) for n in sizes],
-            times,
-            runner,
-        )
-    )
-    return result
 
 
-def figure11(fast: bool = False, runner=None) -> FigureResult:
-    """S(t) vs trip duration for λ ∈ {1e-7, 1e-6, 1e-5, 1e-4}, n = 10.
-
-    The paper plots 1e-6..1e-4 and *quotes* ≈1e-13 for 1e-7 ("the
-    corresponding curve is not plotted"); the numerical engine lets us
-    plot it anyway.
-    """
-    times = _durations(fast)
-    lambdas = (1e-6, 1e-4) if fast else (1e-7, 1e-6, 1e-5, 1e-4)
-    result = FigureResult(
-        figure_id="figure11",
-        description="S(t) versus time for different lambda",
-        x_label="trip_hours",
-        x_values=np.asarray(times),
-    )
-    result.series.update(
-        _evaluate_curves(
-            [
-                (f"lambda={lam:g}", AHSParameters(base_failure_rate=lam))
-                for lam in lambdas
-            ],
-            times,
-            runner,
-        )
-    )
-    return result
-
-
-def _cut_at_six_hours(
-    result: FigureResult,
+def _cut_definition(
+    figure_id: str,
+    description: str,
     labelled: Sequence[tuple[str, Sequence[AHSParameters]]],
-    runner,
-) -> None:
-    """Fill a t = 6 h cut figure: one series per label, one point per n."""
-    specs = [
-        (f"{label}#{i}", params)
+    x_values: Sequence[float],
+) -> SweepDefinition:
+    points = [
+        PointSpec(
+            point_id=f"{figure_id}/{label}/x={x_values[i]:g}",
+            series=label,
+            params=params,
+            times=(6.0,),
+            x_index=i,
+        )
         for label, sweep in labelled
         for i, params in enumerate(sweep)
     ]
-    curves = _evaluate_curves(specs, (6.0,), runner)
-    for label, sweep in labelled:
-        result.series[label] = np.asarray(
-            [curves[f"{label}#{i}"][0] for i in range(len(sweep))]
-        )
+    return SweepDefinition(
+        figure_id=figure_id,
+        description=description,
+        x_label="n",
+        x_values=np.asarray(x_values, dtype=float),
+        points=points,
+    )
 
 
-def figure12(fast: bool = False, runner=None) -> FigureResult:
-    """S(6 h) vs n ∈ 10..18 for λ ∈ {1e-6, 1e-5, 1e-4}."""
+# ----------------------------------------------------------------------
+# figure definitions
+# ----------------------------------------------------------------------
+def _figure10_definition(fast: bool) -> SweepDefinition:
+    sizes = (8, 12) if fast else (8, 10, 12, 14)
+    return _duration_definition(
+        "figure10",
+        "S(t) versus time for different n",
+        [(f"n={n}", AHSParameters(max_platoon_size=n)) for n in sizes],
+        _durations(fast),
+    )
+
+
+def _figure11_definition(fast: bool) -> SweepDefinition:
+    lambdas = (1e-6, 1e-4) if fast else (1e-7, 1e-6, 1e-5, 1e-4)
+    return _duration_definition(
+        "figure11",
+        "S(t) versus time for different lambda",
+        [
+            (f"lambda={lam:g}", AHSParameters(base_failure_rate=lam))
+            for lam in lambdas
+        ],
+        _durations(fast),
+    )
+
+
+def _figure12_definition(fast: bool) -> SweepDefinition:
     sizes = (10, 14, 18) if fast else tuple(range(10, 19, 2))
     lambdas = (1e-5,) if fast else (1e-6, 1e-5, 1e-4)
-    result = FigureResult(
-        figure_id="figure12",
-        description="S(t) at t=6 hrs versus n for different lambda",
-        x_label="n",
-        x_values=np.asarray(sizes, dtype=float),
-    )
-    _cut_at_six_hours(
-        result,
+    return _cut_definition(
+        "figure12",
+        "S(t) at t=6 hrs versus n for different lambda",
         [
             (
                 f"lambda={lam:g}",
@@ -198,84 +257,51 @@ def figure12(fast: bool = False, runner=None) -> FigureResult:
             )
             for lam in lambdas
         ],
-        runner,
+        sizes,
     )
-    return result
 
 
-def figure13(fast: bool = False, runner=None) -> FigureResult:
-    """S(t) vs trip duration for load ρ ∈ {1, 2} at several join/leave pairs.
-
-    Paper: λ = 1e-5/hr, n = 8.
-    """
-    times = _durations(fast)
+def _figure13_definition(fast: bool) -> SweepDefinition:
     pairs = (
         ((4.0, 4.0), (8.0, 4.0))
         if fast
         else ((4.0, 4.0), (12.0, 12.0), (8.0, 4.0), (24.0, 12.0))
     )
-    result = FigureResult(
-        figure_id="figure13",
-        description="S(t) versus trip duration for different join and leave rates",
-        x_label="trip_hours",
-        x_values=np.asarray(times),
+    return _duration_definition(
+        "figure13",
+        "S(t) versus trip duration for different join and leave rates",
+        [
+            (
+                f"join={join:g},leave={leave:g} (rho={join / leave:g})",
+                AHSParameters(
+                    max_platoon_size=8, join_rate=join, leave_rate=leave
+                ),
+            )
+            for join, leave in pairs
+        ],
+        _durations(fast),
     )
-    result.series.update(
-        _evaluate_curves(
-            [
-                (
-                    f"join={join:g},leave={leave:g} (rho={join / leave:g})",
-                    AHSParameters(
-                        max_platoon_size=8, join_rate=join, leave_rate=leave
-                    ),
-                )
-                for join, leave in pairs
-            ],
-            times,
-            runner,
-        )
-    )
-    return result
 
 
-def figure14(fast: bool = False, runner=None) -> FigureResult:
-    """S(t) vs trip duration for the four coordination strategies.
-
-    Paper: n = 10, λ = 1e-5/hr, join 12/hr, leave 4/hr.
-    """
-    times = _durations(fast)
+def _figure14_definition(fast: bool) -> SweepDefinition:
     strategies = (Strategy.DD, Strategy.CC) if fast else tuple(Strategy)
-    result = FigureResult(
-        figure_id="figure14",
-        description="S(t) versus trip duration for strategies DD/DC/CD/CC",
-        x_label="trip_hours",
-        x_values=np.asarray(times),
+    return _duration_definition(
+        "figure14",
+        "S(t) versus trip duration for strategies DD/DC/CD/CC",
+        [
+            (strategy.value, AHSParameters(strategy=strategy))
+            for strategy in strategies
+        ],
+        _durations(fast),
     )
-    result.series.update(
-        _evaluate_curves(
-            [
-                (strategy.value, AHSParameters(strategy=strategy))
-                for strategy in strategies
-            ],
-            times,
-            runner,
-        )
-    )
-    return result
 
 
-def figure15(fast: bool = False, runner=None) -> FigureResult:
-    """S(6 h) vs n for the four coordination strategies (λ = 1e-5/hr)."""
+def _figure15_definition(fast: bool) -> SweepDefinition:
     sizes = (10, 14) if fast else tuple(range(8, 17, 2))
     strategies = (Strategy.DD, Strategy.CC) if fast else tuple(Strategy)
-    result = FigureResult(
-        figure_id="figure15",
-        description="S(t) at t=6hrs versus n for strategies DD/DC/CD/CC",
-        x_label="n",
-        x_values=np.asarray(sizes, dtype=float),
-    )
-    _cut_at_six_hours(
-        result,
+    return _cut_definition(
+        "figure15",
+        "S(t) at t=6hrs versus n for strategies DD/DC/CD/CC",
         [
             (
                 strategy.value,
@@ -286,6 +312,113 @@ def figure15(fast: bool = False, runner=None) -> FigureResult:
             )
             for strategy in strategies
         ],
-        runner,
+        sizes,
     )
-    return result
+
+
+_DEFINITIONS = {
+    "figure10": _figure10_definition,
+    "figure11": _figure11_definition,
+    "figure12": _figure12_definition,
+    "figure13": _figure13_definition,
+    "figure14": _figure14_definition,
+    "figure15": _figure15_definition,
+}
+
+
+def sweep_definition(figure_id: str, fast: bool = False) -> SweepDefinition:
+    """The declarative sweep behind one figure."""
+    try:
+        builder = _DEFINITIONS[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; choose one of {FIGURE_IDS}"
+        ) from None
+    return builder(fast)
+
+
+# ----------------------------------------------------------------------
+# the adaptive path
+# ----------------------------------------------------------------------
+def run_adaptive(
+    figure_id: str,
+    budget,
+    runner,
+    fast: bool = False,
+    **kwargs,
+):
+    """Estimate a figure's sweep through the adaptive orchestrator.
+
+    Returns ``(FigureResult, OrchestrationReport)``: the figure assembled
+    from the orchestrator's per-point estimates (surrogate-served points
+    use the analytical value, Monte-Carlo points their pooled mean), plus
+    the full allocation trace.  Extra keyword arguments go to
+    :class:`repro.orchestrate.Orchestrator` (``policy``, ``seed``, …).
+    """
+    from repro.orchestrate import SweepPoint, orchestrate
+
+    definition = sweep_definition(figure_id, fast)
+    points = [
+        SweepPoint(
+            point_id=spec.point_id,
+            params=spec.params,
+            times=spec.times,
+            label=f"{spec.series}"
+            if spec.x_index is None
+            else f"{spec.series} @ {definition.x_label}="
+            f"{definition.x_values[spec.x_index]:g}",
+        )
+        for spec in definition.points
+    ]
+    report = orchestrate(points, budget, runner, **kwargs)
+    figure = definition.assemble(
+        {p.point_id: p.values for p in report.points}
+    )
+    return figure, report
+
+
+# ----------------------------------------------------------------------
+# the analytical path (the original figure API)
+# ----------------------------------------------------------------------
+def figure10(fast: bool = False, runner=None) -> FigureResult:
+    """S(t) vs trip duration for n ∈ {8, 10, 12, 14}.
+
+    Paper: λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD.
+    """
+    return sweep_definition("figure10", fast).evaluate(runner)
+
+
+def figure11(fast: bool = False, runner=None) -> FigureResult:
+    """S(t) vs trip duration for λ ∈ {1e-7, 1e-6, 1e-5, 1e-4}, n = 10.
+
+    The paper plots 1e-6..1e-4 and *quotes* ≈1e-13 for 1e-7 ("the
+    corresponding curve is not plotted"); the numerical engine lets us
+    plot it anyway.
+    """
+    return sweep_definition("figure11", fast).evaluate(runner)
+
+
+def figure12(fast: bool = False, runner=None) -> FigureResult:
+    """S(6 h) vs n ∈ 10..18 for λ ∈ {1e-6, 1e-5, 1e-4}."""
+    return sweep_definition("figure12", fast).evaluate(runner)
+
+
+def figure13(fast: bool = False, runner=None) -> FigureResult:
+    """S(t) vs trip duration for load ρ ∈ {1, 2} at several join/leave pairs.
+
+    Paper: λ = 1e-5/hr, n = 8.
+    """
+    return sweep_definition("figure13", fast).evaluate(runner)
+
+
+def figure14(fast: bool = False, runner=None) -> FigureResult:
+    """S(t) vs trip duration for the four coordination strategies.
+
+    Paper: n = 10, λ = 1e-5/hr, join 12/hr, leave 4/hr.
+    """
+    return sweep_definition("figure14", fast).evaluate(runner)
+
+
+def figure15(fast: bool = False, runner=None) -> FigureResult:
+    """S(6 h) vs n for the four coordination strategies (λ = 1e-5/hr)."""
+    return sweep_definition("figure15", fast).evaluate(runner)

@@ -101,10 +101,51 @@ def outcome_to_json(outcome: RunOutcome) -> dict:
             label: [float(v) for v in values]
             for label, values in outcome.result.series.items()
         }
+        record["schema"] = "repro-estimates/1"
+        record["points"] = _figure_estimates(outcome.result)
     else:
         record["kind"] = "table"
         record["rows"] = outcome.result
     return record
+
+
+def _figure_estimates(figure: FigureResult) -> list[dict]:
+    """The figure's series as shared-schema estimate records.
+
+    Point granularity mirrors :func:`repro.experiments.figures.
+    sweep_definition`: one record per series for trip-duration figures,
+    one per (series, x) for the t = 6 h cut figures — so the ids line up
+    with ``repro-cli orchestrate`` output for the same figure.
+    """
+    from repro.orchestrate import estimate_record
+
+    records: list[dict] = []
+    if figure.x_label == "trip_hours":
+        for label, values in figure.series.items():
+            records.append(
+                estimate_record(
+                    point_id=f"{figure.figure_id}/{label}",
+                    label=label,
+                    estimator="analytical",
+                    times=figure.x_values,
+                    values=values,
+                    source="figure",
+                )
+            )
+    else:
+        for label, values in figure.series.items():
+            for x, value in zip(figure.x_values, values):
+                records.append(
+                    estimate_record(
+                        point_id=f"{figure.figure_id}/{label}/x={x:g}",
+                        label=f"{label} @ {figure.x_label}={x:g}",
+                        estimator="analytical",
+                        times=(6.0,),
+                        values=(value,),
+                        source="figure",
+                    )
+                )
+    return records
 
 
 def save_outcome(outcome: RunOutcome, path: Path | str) -> Path:

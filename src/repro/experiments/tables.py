@@ -23,8 +23,13 @@ from repro.core.severity import (
 __all__ = ["table1", "table2", "table3"]
 
 
-def table1(fast: bool = False) -> list[dict]:
-    """Failure modes and associated maneuvers (Table 1)."""
+def table1(fast: bool = False, adaptive: bool = False) -> list[dict]:
+    """Failure modes and associated maneuvers (Table 1).
+
+    ``adaptive`` is accepted for interface symmetry with the figure
+    experiments and ignored: the tables are *definitional* (printed from
+    the model code, no estimation), so there is no budget to allocate.
+    """
     rows = []
     for fm in FAILURE_MODES:
         maneuver = maneuver_for_failure_mode(fm)
@@ -41,8 +46,10 @@ def table1(fast: bool = False) -> list[dict]:
     return rows
 
 
-def table2(fast: bool = False) -> list[dict]:
+def table2(fast: bool = False, adaptive: bool = False) -> list[dict]:
     """Catastrophic situations (Table 2), with an exhaustive check.
+
+    ``adaptive`` is a documented no-op (see :func:`table1`).
 
     Besides printing the three situations, enumerates every severity
     combination with up to 6 active failures and reports how many map to
@@ -64,8 +71,10 @@ def table2(fast: bool = False) -> list[dict]:
     return rows
 
 
-def table3(fast: bool = False) -> list[dict]:
+def table3(fast: bool = False, adaptive: bool = False) -> list[dict]:
     """Coordination strategies (Table 3) with their maneuver involvement.
+
+    ``adaptive`` is a documented no-op (see :func:`table1`).
 
     The involvement columns show the expected number of assisting
     vehicles per maneuver at the default occupancy (10 vehicles/platoon) —

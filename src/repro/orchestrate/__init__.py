@@ -1,0 +1,63 @@
+"""Adaptive experiment orchestration: budgeted, CI-driven allocation.
+
+The orchestrator takes a set of sweep points and one global budget
+(replications, wall-clock, or a uniform target relative-CI) and spends
+rounds of replication chunks where they buy the most precision:
+
+* :mod:`~repro.orchestrate.budget` — budget/ledger vocabulary and stop
+  conditions;
+* :mod:`~repro.orchestrate.surrogate` — analytical/approximation warm
+  starts and per-point estimator auto-selection;
+* :mod:`~repro.orchestrate.allocator` — deterministic round scheduling
+  policies (greedy, proportional, cost, flat);
+* :mod:`~repro.orchestrate.driver` — the round loop on the parallel
+  runtime, with the worker-count / resume determinism contract;
+* :mod:`~repro.orchestrate.report` — allocation traces and the shared
+  machine-readable estimate schema.
+
+See ``docs/orchestration.md`` for the full design.
+"""
+
+from repro.orchestrate.allocator import POLICIES, Allocator, PointProgress
+from repro.orchestrate.budget import STOP_REASONS, Budget, BudgetLedger
+from repro.orchestrate.driver import (
+    DEFAULT_SEED,
+    Orchestrator,
+    orchestrate,
+    point_seed,
+)
+from repro.orchestrate.report import (
+    OrchestrationReport,
+    PointReport,
+    RoundRecord,
+    estimate_record,
+)
+from repro.orchestrate.surrogate import (
+    ESTIMATORS,
+    EstimatorPolicy,
+    SurrogatePrior,
+    SweepPoint,
+    warm_start,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetLedger",
+    "STOP_REASONS",
+    "SweepPoint",
+    "SurrogatePrior",
+    "EstimatorPolicy",
+    "ESTIMATORS",
+    "warm_start",
+    "Allocator",
+    "PointProgress",
+    "POLICIES",
+    "Orchestrator",
+    "orchestrate",
+    "point_seed",
+    "DEFAULT_SEED",
+    "OrchestrationReport",
+    "PointReport",
+    "RoundRecord",
+    "estimate_record",
+]

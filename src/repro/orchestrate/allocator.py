@@ -1,0 +1,273 @@
+"""Round allocation policies: who gets the next chunks of replications.
+
+The allocator sees only *pooled, worker-invariant* facts about each sweep
+point — replications so far, relative CI half-width, a deterministic cost
+proxy (pooled simulator events per replication), and the surrogate prior.
+Wall-clock never enters an allocation decision, so for a fixed
+``(seed, budget, policy)`` the chunk schedule — and therefore every pooled
+estimate — replays bit-identically at any worker count.
+
+Policies
+--------
+``greedy``
+    Widest-predicted-relative-CI first.  Chunks are handed out one at a
+    time; after a hypothetical award of ``q`` replications a point's
+    predicted width shrinks by the ``sqrt(n/(n+q))`` law, so a single
+    needy point does not monopolise the round.
+``proportional``
+    Each point's *need* is the replication shortfall implied by the
+    ``n·((rel/target)² − 1)`` planning formula; the round's chunks are
+    split proportionally to need (largest-remainder rounding).
+``cost``
+    Greedy on predicted CI shrink per simulated *event* rather than per
+    replication — points whose replications are cheap (short trajectories,
+    low event counts) win ties against expensive ones.
+``flat``
+    Equal chunks to every unconverged point, round after round — the
+    non-adaptive baseline the benchmark compares against.
+
+Points with no measurable width yet (zero successes, or fewer than two
+replications) are served first in input order: they need data before any
+score is meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.orchestrate.budget import BudgetLedger
+
+__all__ = ["POLICIES", "PointProgress", "Allocator"]
+
+#: selectable allocation policies
+POLICIES = ("greedy", "proportional", "cost", "flat")
+
+
+@dataclass(frozen=True)
+class PointProgress:
+    """Worker-invariant snapshot of one point, as the allocator sees it.
+
+    ``relative_ci`` is ``None`` until the point has a finite, positive
+    width (at least two replications and a non-zero mean).
+    ``cost_per_replication`` is the pooled mean number of simulator events
+    one replication costs — a deterministic stand-in for wall time.
+    """
+
+    point_id: str
+    order: int
+    chunk_size: int
+    n: int = 0
+    relative_ci: Optional[float] = None
+    cost_per_replication: float = 1.0
+    prior_replications: Optional[int] = None
+    eligible: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.n < 0:
+            raise ValueError(f"n must be >= 0, got {self.n}")
+
+
+def _predicted_relative(relative: float, n: int, added: int) -> float:
+    """Width after ``added`` more replications, by the 1/sqrt(n) law."""
+    if added <= 0 or n <= 0:
+        return relative
+    return relative * math.sqrt(n / (n + added))
+
+
+class Allocator:
+    """Deterministic round scheduler over :class:`PointProgress` rows."""
+
+    def __init__(self, policy: str = "greedy", round_chunks: int = 8) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose one of {POLICIES}"
+            )
+        if round_chunks < 1:
+            raise ValueError(f"round_chunks must be >= 1, got {round_chunks}")
+        self.policy = policy
+        self.round_chunks = int(round_chunks)
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        progress: Sequence[PointProgress],
+        ledger: BudgetLedger,
+    ) -> dict[str, int]:
+        """Replications to award each point this round.
+
+        Returns ``{point_id: replications}`` with every award respecting
+        the ledger's global pool and per-point caps; an award is a whole
+        number of that point's chunks except when the global pool clamps
+        the final quantum.  Points appear in input order in the result.
+        """
+        active = [p for p in progress if p.eligible]
+        if not active:
+            return {}
+        if self.policy == "flat":
+            return self._flat(active, ledger)
+        if self.policy == "proportional":
+            return self._proportional(active, ledger)
+        return self._score_greedy(active, ledger)
+
+    # ------------------------------------------------------------------
+    def _quantum(
+        self,
+        point: PointProgress,
+        ledger: BudgetLedger,
+        local: dict[str, int],
+        local_total: int,
+    ) -> int:
+        """Largest affordable award for one more chunk of ``point``."""
+        quantum = min(
+            point.chunk_size,
+            ledger.point_remaining(point.point_id) - local.get(point.point_id, 0),
+        )
+        remaining = ledger.remaining_replications()
+        if remaining is not None:
+            quantum = min(quantum, remaining - local_total)
+        return max(quantum, 0)
+
+    def _award(
+        self,
+        awards: dict[str, int],
+        point: PointProgress,
+        quantum: int,
+    ) -> None:
+        awards[point.point_id] = awards.get(point.point_id, 0) + quantum
+
+    # ------------------------------------------------------------------
+    def _flat(
+        self, active: Sequence[PointProgress], ledger: BudgetLedger
+    ) -> dict[str, int]:
+        base, extra = divmod(self.round_chunks, len(active))
+        awards: dict[str, int] = {}
+        local_total = 0
+        for position, point in enumerate(active):
+            chunks = base + (1 if position < extra else 0)
+            for _ in range(chunks):
+                quantum = self._quantum(point, ledger, awards, local_total)
+                if quantum <= 0:
+                    break
+                self._award(awards, point, quantum)
+                local_total += quantum
+        return {k: v for k, v in awards.items() if v > 0}
+
+    # ------------------------------------------------------------------
+    def _need(
+        self, point: PointProgress, target: Optional[float]
+    ) -> float:
+        """Replication shortfall estimate used by ``proportional``."""
+        if point.relative_ci is None:
+            # no width yet: need at least one full chunk of data
+            return float(
+                point.prior_replications
+                if point.prior_replications is not None
+                else point.chunk_size * self.round_chunks
+            )
+        if target is None or target <= 0.0:
+            # no uniform target: rank by width alone
+            return point.relative_ci * max(point.n, 1)
+        if point.relative_ci <= target:
+            return 0.0
+        ratio = point.relative_ci / target
+        return max(point.n, 1) * (ratio * ratio - 1.0)
+
+    def _proportional(
+        self, active: Sequence[PointProgress], ledger: BudgetLedger
+    ) -> dict[str, int]:
+        target = ledger.budget.target_relative_ci
+        needs = [self._need(p, target) for p in active]
+        total_need = sum(needs)
+        if total_need <= 0.0:
+            return {}
+        shares = [self.round_chunks * need / total_need for need in needs]
+        chunks = [int(math.floor(share)) for share in shares]
+        # largest-remainder rounding; ties broken by input order
+        leftover = self.round_chunks - sum(chunks)
+        remainders = sorted(
+            range(len(active)),
+            key=lambda i: (-(shares[i] - chunks[i]), active[i].order),
+        )
+        for i in remainders[: max(leftover, 0)]:
+            if needs[i] > 0.0:
+                chunks[i] += 1
+        awards: dict[str, int] = {}
+        local_total = 0
+        for point, n_chunks in zip(active, chunks):
+            for _ in range(n_chunks):
+                quantum = self._quantum(point, ledger, awards, local_total)
+                if quantum <= 0:
+                    break
+                self._award(awards, point, quantum)
+                local_total += quantum
+        return {k: v for k, v in awards.items() if v > 0}
+
+    # ------------------------------------------------------------------
+    def _score_greedy(
+        self, active: Sequence[PointProgress], ledger: BudgetLedger
+    ) -> dict[str, int]:
+        """One-chunk-at-a-time awards for ``greedy`` and ``cost``."""
+        awards: dict[str, int] = {}
+        local_total = 0
+        # working copies of each point's predicted width
+        width: dict[str, Optional[float]] = {
+            p.point_id: p.relative_ci for p in active
+        }
+        added: dict[str, int] = {p.point_id: 0 for p in active}
+        unknown_cursor = 0
+
+        for _ in range(self.round_chunks):
+            # data-starved points first, round-robin in input order
+            unknown = [p for p in active if width[p.point_id] is None]
+            point = None
+            if unknown:
+                for offset in range(len(unknown)):
+                    candidate = unknown[(unknown_cursor + offset) % len(unknown)]
+                    if self._quantum(candidate, ledger, awards, local_total) > 0:
+                        point = candidate
+                        unknown_cursor = (
+                            unknown.index(candidate) + 1
+                        ) % len(unknown)
+                        break
+            if point is None:
+                best_score = 0.0
+                for candidate in sorted(active, key=lambda p: p.order):
+                    rel = width[candidate.point_id]
+                    if rel is None or rel <= 0.0:
+                        continue
+                    quantum = self._quantum(
+                        candidate, ledger, awards, local_total
+                    )
+                    if quantum <= 0:
+                        continue
+                    n_now = candidate.n + added[candidate.point_id]
+                    shrink = rel - _predicted_relative(rel, n_now, quantum)
+                    if self.policy == "cost":
+                        cost = max(
+                            candidate.cost_per_replication * quantum, 1e-12
+                        )
+                        score = shrink / cost
+                    else:
+                        score = rel
+                    # strict > keeps the earliest point on ties
+                    if score > best_score:
+                        best_score = score
+                        point = candidate
+                if point is None:
+                    break
+            quantum = self._quantum(point, ledger, awards, local_total)
+            if quantum <= 0:
+                break
+            self._award(awards, point, quantum)
+            local_total += quantum
+            added[point.point_id] += quantum
+            rel = width[point.point_id]
+            if rel is not None:
+                width[point.point_id] = _predicted_relative(
+                    rel, point.n + added[point.point_id] - quantum, quantum
+                )
+        return {k: v for k, v in awards.items() if v > 0}

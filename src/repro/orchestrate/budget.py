@@ -1,0 +1,211 @@
+"""Budget and cost vocabulary of the adaptive orchestrator.
+
+A :class:`Budget` says when the orchestrator must stop *globally*: a
+replication pool shared across every sweep point, a wall-clock allowance,
+a uniform target relative-CI, or any combination.  A :class:`BudgetLedger`
+tracks spending round by round and names the :data:`StopReason` that ended
+the run.
+
+Determinism contract: replication budgets, target CIs, round caps and
+per-point caps are all functions of pooled chunk summaries, which are
+bit-identical for any worker count — so the allocation sequence (and
+therefore every pooled estimate) replays exactly for a fixed
+``(seed, budget, policy)``.  The *wall-clock* budget is the one exception:
+it is checked only between rounds and documented as best-effort, because
+elapsed time is not reproducible across hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Budget", "BudgetLedger", "STOP_REASONS"]
+
+
+#: every value :attr:`BudgetLedger.stop_reason` can take
+STOP_REASONS = (
+    "converged",
+    "replications-exhausted",
+    "wall-exhausted",
+    "rounds-exhausted",
+    "points-capped",
+)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Global stopping conditions for one orchestration.
+
+    Attributes
+    ----------
+    replications:
+        Total replication pool across all points (``None`` = uncapped).
+    target_relative_ci:
+        Uniform relative half-width target; points at or below it stop
+        receiving work, and the run converges when every Monte-Carlo
+        point is within target (``None`` = spend the whole pool).
+    wall_seconds:
+        Best-effort wall-clock allowance, checked between rounds only
+        (not part of the determinism contract).
+    confidence:
+        CI level for the target and for the reported intervals.
+    max_rounds:
+        Hard cap on allocation rounds (a safety net against pathological
+        never-converging points).
+    max_replications_per_point:
+        Per-point spending cap; a capped point is frozen at its current
+        estimate and no longer scheduled.
+    min_chunks_per_point:
+        Warm-up floor: every Monte-Carlo point receives at least this
+        many chunks (budget permitting) before adaptive ranking kicks in,
+        so each point has a measured variance and cost.
+    """
+
+    replications: Optional[int] = None
+    target_relative_ci: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    confidence: float = 0.95
+    max_rounds: int = 64
+    max_replications_per_point: int = 200_000
+    min_chunks_per_point: int = 1
+
+    def __post_init__(self) -> None:
+        if (
+            self.replications is None
+            and self.target_relative_ci is None
+            and self.wall_seconds is None
+        ):
+            raise ValueError(
+                "budget needs at least one of replications / "
+                "target_relative_ci / wall_seconds"
+            )
+        if self.replications is not None and self.replications < 1:
+            raise ValueError(
+                f"replications must be >= 1, got {self.replications}"
+            )
+        if self.target_relative_ci is not None and not (
+            0.0 < self.target_relative_ci
+        ):
+            raise ValueError(
+                f"target_relative_ci must be > 0, got {self.target_relative_ci}"
+            )
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise ValueError(
+                f"wall_seconds must be > 0, got {self.wall_seconds}"
+            )
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.max_replications_per_point < 1:
+            raise ValueError("max_replications_per_point must be >= 1")
+        if self.min_chunks_per_point < 0:
+            raise ValueError("min_chunks_per_point must be >= 0")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable rendering for reports and cache tokens."""
+        return {
+            "replications": self.replications,
+            "target_relative_ci": self.target_relative_ci,
+            "wall_seconds": self.wall_seconds,
+            "confidence": self.confidence,
+            "max_rounds": self.max_rounds,
+            "max_replications_per_point": self.max_replications_per_point,
+            "min_chunks_per_point": self.min_chunks_per_point,
+        }
+
+
+@dataclass
+class BudgetLedger:
+    """Round-by-round spending record against one :class:`Budget`."""
+
+    budget: Budget
+    clock: Callable[[], float] = time.monotonic
+    spent: int = 0
+    rounds: int = 0
+    per_point: dict[str, int] = field(default_factory=dict)
+    stop_reason: Optional[str] = None
+    _started: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> None:
+        self._started = self.clock()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        return max(self.clock() - self._started, 0.0)
+
+    # ------------------------------------------------------------------
+    def charge(self, point_id: str, replications: int) -> None:
+        """Record ``replications`` spent on one point."""
+        if replications < 0:
+            raise ValueError(f"cannot charge {replications} replications")
+        self.spent += replications
+        self.per_point[point_id] = (
+            self.per_point.get(point_id, 0) + replications
+        )
+
+    def note_round(self) -> None:
+        self.rounds += 1
+
+    # ------------------------------------------------------------------
+    def remaining_replications(self) -> Optional[int]:
+        """Global replications still spendable (``None`` = uncapped)."""
+        if self.budget.replications is None:
+            return None
+        return max(self.budget.replications - self.spent, 0)
+
+    def point_remaining(self, point_id: str) -> int:
+        """Replications this point may still receive under its cap."""
+        return max(
+            self.budget.max_replications_per_point
+            - self.per_point.get(point_id, 0),
+            0,
+        )
+
+    def affordable(self, point_id: str, replications: int) -> bool:
+        """Whether charging a point ``replications`` respects every cap."""
+        if self.point_remaining(point_id) < replications:
+            return False
+        remaining = self.remaining_replications()
+        return remaining is None or remaining >= replications
+
+    # ------------------------------------------------------------------
+    # stop checks (called between rounds)
+    # ------------------------------------------------------------------
+    def out_of_rounds(self) -> bool:
+        return self.rounds >= self.budget.max_rounds
+
+    def out_of_wall(self) -> bool:
+        return (
+            self.budget.wall_seconds is not None
+            and self.elapsed_seconds >= self.budget.wall_seconds
+        )
+
+    def out_of_replications(self) -> bool:
+        remaining = self.remaining_replications()
+        return remaining is not None and remaining <= 0
+
+    def stop(self, reason: str) -> None:
+        """Freeze the run's stop reason (first reason wins)."""
+        if reason not in STOP_REASONS:
+            raise ValueError(
+                f"unknown stop reason {reason!r}; expected one of {STOP_REASONS}"
+            )
+        if self.stop_reason is None:
+            self.stop_reason = reason
+
+    def to_dict(self) -> dict:
+        return {
+            "budget": self.budget.to_dict(),
+            "spent": self.spent,
+            "rounds": self.rounds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_point": dict(sorted(self.per_point.items())),
+            "stop_reason": self.stop_reason,
+        }

@@ -1,0 +1,523 @@
+"""The adaptive round loop: budgeted replication allocation across sweeps.
+
+:class:`Orchestrator` turns a set of :class:`~repro.orchestrate.surrogate.
+SweepPoint` definitions plus one global :class:`~repro.orchestrate.budget.
+Budget` into a round-based schedule on an existing
+:class:`~repro.runtime.ParallelRunner`:
+
+1. **Warm start** — every point is priced by the cheap engines
+   (:func:`~repro.orchestrate.surrogate.warm_start`); rarity picks each
+   point's estimator, and points below Monte-Carlo resolution are served
+   analytically for zero replications.
+2. **Warm-up round** — each Monte-Carlo point receives
+   ``budget.min_chunks_per_point`` chunks so it has a measured width and
+   cost before any ranking happens.
+3. **Adaptive rounds** — the :class:`~repro.orchestrate.allocator.
+   Allocator` awards chunks (widest-CI-first, proportional-to-need,
+   shrink-per-cost, or flat), the runner executes them through the same
+   fault-tolerant chunk machinery as plain runs, summaries merge in chunk
+   order, and the ledger decides whether to stop.
+
+Determinism contract (the property the tier-1 suite pins): for a fixed
+``(points, seed, budget, policy)`` the pooled per-point estimates are
+bit-identical for **any worker count** and across **interrupted-and-
+resumed** runs (with a chunk-caching runner).  Everything an allocation
+decision reads — pooled widths, replication counts, event-count cost
+proxies — is itself worker-invariant, and every point's replication ``i``
+draws from a seed derived only from ``(seed, point index, i)``.  The one
+escape hatch is ``budget.wall_seconds``, which is checked between rounds
+and documented as best-effort.
+
+Each point's replication indices stay contiguous and chunk-aligned: an
+award is a whole number of chunks except when a cap clamps it, and a
+clamped point never receives another award — so chunk identities (and the
+chunk-level cache keys behind resume) never shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.orchestrate.allocator import Allocator, PointProgress
+from repro.orchestrate.budget import Budget, BudgetLedger
+from repro.orchestrate.report import (
+    OrchestrationReport,
+    PointReport,
+    RoundRecord,
+)
+from repro.orchestrate.surrogate import (
+    EstimatorPolicy,
+    SurrogatePrior,
+    SweepPoint,
+    warm_start,
+)
+from repro.runtime.merge import ChunkSummary, combine, pooled_intervals
+from repro.runtime.plan import ReplicationPlan
+from repro.runtime.pool import ParallelRunner
+from repro.runtime.telemetry import TelemetryRecorder
+
+__all__ = ["Orchestrator", "orchestrate", "point_seed", "DEFAULT_SEED"]
+
+#: default experiment seed (the paper's DSN publication date)
+DEFAULT_SEED = 20090608
+
+
+def point_seed(seed: int, index: int) -> int:
+    """Derived root entropy for one sweep point's replication plan.
+
+    ``SeedSequence.generate_state`` *does* mix the spawn key (unlike the
+    ``entropy`` attribute), so each point gets an independent 128-bit
+    root that depends only on ``(seed, index)`` — never on allocation
+    order or worker count.
+    """
+    root = np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    return int.from_bytes(
+        root.generate_state(4, np.uint32).tobytes(), "little"
+    )
+
+
+@dataclass
+class _PointState:
+    """Driver-internal bookkeeping for one sweep point."""
+
+    point: SweepPoint
+    index: int
+    prior: SurrogatePrior
+    estimator: str
+    task: Optional[object]
+    plan: Optional[ReplicationPlan]
+    completed: dict[int, ChunkSummary] = dataclass_field(default_factory=dict)
+    #: replications scheduled so far (always the contiguous prefix)
+    done: int = 0
+    relative_ci: Optional[float] = None
+    converged: bool = False
+    capped: bool = False
+
+    @property
+    def monte_carlo(self) -> bool:
+        return self.task is not None
+
+    def pooled(self) -> Optional[ChunkSummary]:
+        if not self.completed:
+            return None
+        return combine(self.completed.values())
+
+    def cost_per_replication(self) -> float:
+        """Deterministic cost proxy: pooled simulator events / replication."""
+        pooled = self.pooled()
+        if pooled is not None and pooled.events > 0 and pooled.n > 0:
+            return pooled.events / pooled.n
+        weight = getattr(self.task, "cost_weight", None)
+        return float(weight) if weight else 1.0
+
+
+class Orchestrator:
+    """Budgeted, CI-driven replication allocation across sweep points.
+
+    Parameters
+    ----------
+    points:
+        The sweep to estimate; point order is part of the deterministic
+        schedule (allocation ties break towards earlier points).
+    budget:
+        Global stopping conditions (see :class:`Budget`).
+    runner:
+        Chunk executor.  Give it a cache and ``chunk_cache=True`` to make
+        interrupted runs resumable; the orchestrator works with any
+        configuration.
+    policy:
+        Allocation policy name (see
+        :data:`~repro.orchestrate.allocator.POLICIES`).
+    estimator_policy:
+        Rarity thresholds / overrides for per-point estimator selection.
+    seed:
+        Experiment seed; every point's plan entropy derives from it.
+    round_chunks:
+        Chunks awarded per adaptive round.  The default depends only on
+        the number of points — never on the worker count, which would
+        break schedule determinism.
+    splitting_chunk_size:
+        Chunk size for splitting points (one replication there is a full
+        splitting pass, hundreds of trajectories, so chunks are small).
+    engine:
+        Jump-engine for the simulation-backed estimators.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        budget: Budget,
+        runner: ParallelRunner,
+        *,
+        policy: str = "greedy",
+        estimator_policy: Optional[EstimatorPolicy] = None,
+        seed: int = DEFAULT_SEED,
+        round_chunks: Optional[int] = None,
+        splitting_chunk_size: int = 8,
+        engine: str = "compiled",
+    ) -> None:
+        if not points:
+            raise ValueError("need at least one sweep point")
+        ids = [p.point_id for p in points]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate point ids in sweep: {ids}")
+        if splitting_chunk_size < 1:
+            raise ValueError("splitting_chunk_size must be >= 1")
+        self.points = list(points)
+        self.budget = budget
+        self.runner = runner
+        self.seed = int(seed)
+        self.engine = engine
+        self.estimator_policy = estimator_policy or EstimatorPolicy()
+        self.splitting_chunk_size = int(splitting_chunk_size)
+        if round_chunks is None:
+            round_chunks = max(8, 2 * len(points))
+        self.allocator = Allocator(policy=policy, round_chunks=round_chunks)
+
+    # ------------------------------------------------------------------
+    # point setup
+    # ------------------------------------------------------------------
+    def _make_task(self, point: SweepPoint, estimator: str):
+        from repro.core.partasks import (
+            ImportanceSimulationTask,
+            SplittingReplicationTask,
+            UnsafetySimulationTask,
+        )
+
+        if estimator == "analytical":
+            return None
+        if estimator == "simulation":
+            return UnsafetySimulationTask(
+                params=point.params, times=point.times, engine=self.engine
+            )
+        if estimator == "importance":
+            return ImportanceSimulationTask(
+                params=point.params,
+                times=point.times,
+                engine=self.engine,
+                boost=self.estimator_policy.boost,
+            )
+        if estimator == "splitting":
+            return SplittingReplicationTask(
+                params=point.params,
+                times=point.times,
+                engine=self.engine,
+                trials_per_stage=self.estimator_policy.splitting_trials,
+            )
+        raise ValueError(f"unknown estimator {estimator!r}")
+
+    def _build_states(self) -> list[_PointState]:
+        priors = warm_start(
+            self.points, self.estimator_policy, runner=self.runner
+        )
+        states: list[_PointState] = []
+        for index, point in enumerate(self.points):
+            prior = priors[point.point_id]
+            task = self._make_task(point, prior.estimator)
+            plan = None
+            if task is not None:
+                chunk_size = (
+                    self.splitting_chunk_size
+                    if prior.estimator == "splitting"
+                    else self.runner.chunk_size
+                )
+                plan = ReplicationPlan(
+                    point_seed(self.seed, index), chunk_size=chunk_size
+                )
+            states.append(
+                _PointState(
+                    point=point,
+                    index=index,
+                    prior=prior,
+                    estimator=prior.estimator,
+                    task=task,
+                    plan=plan,
+                    converged=task is None,
+                )
+            )
+        return states
+
+    # ------------------------------------------------------------------
+    # round mechanics
+    # ------------------------------------------------------------------
+    def _execute_awards(
+        self,
+        states: list[_PointState],
+        awards: dict[str, int],
+        ledger: BudgetLedger,
+        telemetry: TelemetryRecorder,
+    ) -> None:
+        """Run one round of awards through the runner's chunk machinery."""
+        by_id = {state.point.point_id: state for state in states}
+        all_jobs: dict = {}
+        for state in states:  # deterministic: point order
+            award = awards.get(state.point.point_id, 0)
+            if award <= 0 or state.plan is None:
+                continue
+            specs = state.plan.chunks(state.done, award)
+            jobs, cached = self.runner.chunk_jobs(
+                state.task,
+                state.plan,
+                specs,
+                telemetry,
+                key_prefix=state.point.point_id,
+            )
+            for summary in cached:
+                state.completed[summary.chunk_index] = summary
+            all_jobs.update(jobs)
+            state.done += award
+            ledger.charge(state.point.point_id, award)
+        dispatched = self.runner.execute_jobs(all_jobs, telemetry)
+        for key in sorted(dispatched, key=lambda k: (k[0], k[1])):
+            point_id, _chunk = key
+            summary = dispatched[key]
+            telemetry.record_chunk(
+                summary.worker,
+                summary.n,
+                draws=summary.draws,
+                busy_seconds=summary.elapsed_seconds,
+                events=summary.events,
+            )
+            by_id[point_id].completed[summary.chunk_index] = summary
+
+    def _refresh(self, states: list[_PointState], ledger: BudgetLedger) -> None:
+        """Recompute widths / convergence from pooled summaries only."""
+        target = self.budget.target_relative_ci
+        for state in states:
+            if not state.monte_carlo:
+                continue
+            pooled = state.pooled()
+            relative: Optional[float] = None
+            if pooled is not None and pooled.n >= 2:
+                intervals = pooled_intervals(pooled, self.budget.confidence)
+                informative = [iv for iv in intervals if iv.mean > 0]
+                if informative:
+                    relative = max(
+                        iv.relative_half_width for iv in informative
+                    )
+            state.relative_ci = relative
+            if target is not None and relative is not None:
+                state.converged = relative <= target
+            state.capped = ledger.point_remaining(state.point.point_id) <= 0
+
+    def _progress(self, states: list[_PointState]) -> list[PointProgress]:
+        target = self.budget.target_relative_ci
+        rows: list[PointProgress] = []
+        for state in states:
+            if not state.monte_carlo:
+                continue
+            prior_n = (
+                None
+                if target is None
+                else state.prior.predicted_replications(
+                    target, self.budget.confidence
+                )
+            )
+            rows.append(
+                PointProgress(
+                    point_id=state.point.point_id,
+                    order=state.index,
+                    chunk_size=state.plan.chunk_size,
+                    n=state.done,
+                    relative_ci=state.relative_ci,
+                    cost_per_replication=state.cost_per_replication(),
+                    prior_replications=prior_n,
+                    eligible=not (state.converged or state.capped),
+                )
+            )
+        return rows
+
+    def _round_record(
+        self,
+        index: int,
+        awards: dict[str, int],
+        states: list[_PointState],
+        ledger: BudgetLedger,
+    ) -> RoundRecord:
+        widths = [
+            state.relative_ci
+            for state in states
+            if state.monte_carlo
+            and not state.converged
+            and state.relative_ci is not None
+        ]
+        return RoundRecord(
+            index=index,
+            awards=dict(awards),
+            widest_relative_ci=max(widths) if widths else None,
+            converged_points=sum(1 for s in states if s.converged),
+            spent=ledger.spent,
+        )
+
+    def _check_stop(
+        self, states: list[_PointState], ledger: BudgetLedger
+    ) -> bool:
+        """Between-round stop checks, in deterministic priority order."""
+        mc = [s for s in states if s.monte_carlo]
+        if self.budget.target_relative_ci is not None and all(
+            s.converged for s in mc
+        ):
+            ledger.stop("converged")
+            return True
+        if not any(not s.converged and not s.capped for s in mc):
+            ledger.stop(
+                "converged"
+                if all(s.converged for s in mc)
+                else "points-capped"
+            )
+            return True
+        if ledger.out_of_replications():
+            ledger.stop("replications-exhausted")
+            return True
+        if ledger.out_of_rounds():
+            ledger.stop("rounds-exhausted")
+            return True
+        # wall-clock last: the only non-deterministic check, best-effort
+        if ledger.out_of_wall():
+            ledger.stop("wall-exhausted")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # the run
+    # ------------------------------------------------------------------
+    def run(self) -> OrchestrationReport:
+        telemetry = TelemetryRecorder(
+            self.runner.workers, unit="replications", engine=self.engine
+        )
+        telemetry.start()
+        ledger = BudgetLedger(self.budget)
+        ledger.start()
+        states = self._build_states()
+        rounds: list[RoundRecord] = []
+
+        # warm-up round: a fixed floor of chunks per Monte-Carlo point
+        warmup: dict[str, int] = {}
+        if self.budget.min_chunks_per_point > 0:
+            planned = 0
+            for state in states:
+                if not state.monte_carlo:
+                    continue
+                want = self.budget.min_chunks_per_point * state.plan.chunk_size
+                want = min(want, ledger.point_remaining(state.point.point_id))
+                remaining = ledger.remaining_replications()
+                if remaining is not None:
+                    want = min(want, remaining - planned)
+                if want > 0:
+                    warmup[state.point.point_id] = want
+                    planned += want
+        if warmup:
+            self._execute_awards(states, warmup, ledger, telemetry)
+            ledger.note_round()
+            self._refresh(states, ledger)
+            rounds.append(self._round_record(0, warmup, states, ledger))
+
+        while not self._check_stop(states, ledger):
+            awards = self.allocator.allocate(self._progress(states), ledger)
+            if not awards:
+                remaining = ledger.remaining_replications()
+                ledger.stop(
+                    "replications-exhausted"
+                    if remaining is not None and remaining <= 0
+                    else "converged"
+                )
+                break
+            self._execute_awards(states, awards, ledger, telemetry)
+            ledger.note_round()
+            self._refresh(states, ledger)
+            rounds.append(
+                self._round_record(len(rounds), awards, states, ledger)
+            )
+
+        telemetry.finish()
+        return self._report(states, rounds, ledger, telemetry)
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        states: list[_PointState],
+        rounds: list[RoundRecord],
+        ledger: BudgetLedger,
+        telemetry: TelemetryRecorder,
+    ) -> OrchestrationReport:
+        reports: list[PointReport] = []
+        for state in states:
+            surrogate = state.prior.values()
+            if not state.monte_carlo:
+                reports.append(
+                    PointReport(
+                        point_id=state.point.point_id,
+                        label=state.point.label,
+                        estimator=state.estimator,
+                        reason=state.prior.reason,
+                        times=state.point.times,
+                        values=tuple(float(v) for v in surrogate),
+                        half_widths=None,
+                        confidence=self.budget.confidence,
+                        n_replications=0,
+                        converged=True,
+                        events=0,
+                        surrogate=tuple(surrogate),
+                    )
+                )
+                continue
+            pooled = state.pooled()
+            if pooled is None:
+                # budget died before this point's first chunk: serve the
+                # surrogate, clearly marked unconverged
+                values = tuple(float(v) for v in surrogate) or tuple(
+                    0.0 for _ in state.point.times
+                )
+                halves = None
+                n = 0
+                events = 0
+            else:
+                intervals = pooled_intervals(pooled, self.budget.confidence)
+                values = tuple(float(m) for m in np.atleast_1d(pooled.mean))
+                halves = tuple(float(iv.half_width) for iv in intervals)
+                n = pooled.n
+                events = pooled.events
+            converged = (
+                state.converged
+                if self.budget.target_relative_ci is not None
+                else True
+            )
+            reports.append(
+                PointReport(
+                    point_id=state.point.point_id,
+                    label=state.point.label,
+                    estimator=state.estimator,
+                    reason=state.prior.reason,
+                    times=state.point.times,
+                    values=values,
+                    half_widths=halves,
+                    confidence=self.budget.confidence,
+                    n_replications=n,
+                    converged=converged and pooled is not None,
+                    events=events,
+                    surrogate=tuple(surrogate),
+                )
+            )
+        snapshot = telemetry.snapshot()
+        self.runner.last_telemetry = snapshot
+        return OrchestrationReport(
+            policy=self.allocator.policy,
+            seed=self.seed,
+            points=reports,
+            rounds=rounds,
+            ledger=ledger.to_dict(),
+            telemetry=snapshot.to_dict(),
+        )
+
+
+def orchestrate(
+    points: Sequence[SweepPoint],
+    budget: Budget,
+    runner: ParallelRunner,
+    **kwargs,
+) -> OrchestrationReport:
+    """One-call convenience wrapper around :class:`Orchestrator`."""
+    return Orchestrator(points, budget, runner, **kwargs).run()

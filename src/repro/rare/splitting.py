@@ -122,6 +122,19 @@ class FixedEffortSplitting:
             pool = successes
         return estimate, fractions
 
+    def repetition(self, horizon: float, stream: RandomStream) -> float:
+        """One complete splitting pass driven by a single stream.
+
+        The unit the adaptive orchestrator treats as a replication: the
+        per-repetition product estimates are i.i.d., so they pool through
+        the standard chunk-summary machinery (mean + CI over repetitions)
+        exactly like crude Monte-Carlo indicators.
+        """
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        value, _ = self._one_repetition(horizon, stream)
+        return value
+
     def estimate(
         self,
         horizon: float,

@@ -146,6 +146,112 @@ class ResultCache:
         self.puts += 1
         return path
 
+    # ------------------------------------------------------------------
+    # hygiene: stats, session counters, clearing
+    # ------------------------------------------------------------------
+    #: session-counter sidecar (not a cache entry: lives outside the
+    #: two-hex-digit shard directories, so stats/clear never mistake it
+    #: for a result)
+    _SESSION_FILE = "_session.json"
+
+    def _iter_entries(self):
+        root = self.root
+        if not root.is_dir():
+            return
+        for shard in sorted(root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.json")):
+                if path.name.startswith(".tmp-"):
+                    continue
+                yield path
+
+    def stats(self) -> dict:
+        """On-disk inventory plus the last finished session's counters.
+
+        ``entries``/``total_bytes`` are computed by walking the store;
+        ``last_session`` is whatever :meth:`flush_session` recorded most
+        recently (``None`` before the first flushed run).
+        """
+        entries = 0
+        total_bytes = 0
+        for path in self._iter_entries():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # entry vanished mid-walk (concurrent clear)
+            entries += 1
+        last_session = None
+        try:
+            last_session = json.loads(
+                (self.root / self._SESSION_FILE).read_text()
+            )
+        except (OSError, ValueError):
+            pass
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "last_session": last_session,
+        }
+
+    def flush_session(self) -> None:
+        """Persist this process's hit/miss/put counters (atomically).
+
+        Called by :meth:`ParallelRunner.close` so ``repro-cli cache
+        stats`` can report how the cache behaved in the last run even
+        though the counters themselves live in memory.  No-op when the
+        session did no cache work at all.
+        """
+        if self.hits == self.misses == self.puts == 0:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "hit_rate": self.hit_rate,
+                "finished": time.time(),
+            }
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.root / self._SESSION_FILE)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cache entry (and the session sidecar).
+
+        Returns the number of entries removed.  Shard directories are
+        pruned when emptied; the root itself is kept.
+        """
+        removed = 0
+        for path in list(self._iter_entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+            try:
+                path.parent.rmdir()
+            except OSError:
+                pass  # shard not empty yet
+        try:
+            (self.root / self._SESSION_FILE).unlink()
+        except OSError:
+            pass
+        return removed
+
     @property
     def lookups(self) -> int:
         """Total get() calls so far."""

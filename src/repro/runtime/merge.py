@@ -99,6 +99,44 @@ class ChunkSummary:
             return np.full_like(self.mean, math.nan)
         return self.m2 / (self.n - 1)
 
+    def to_cache_dict(self) -> dict:
+        """JSON-serialisable record for chunk-level result caching.
+
+        Floats round-trip exactly through JSON (``repr`` shortest form),
+        so a summary restored with :meth:`from_cache_dict` merges
+        bit-identically to the freshly computed one.
+        """
+        record = {
+            "chunk_index": self.chunk_index,
+            "n": self.n,
+            "mean": [float(v) for v in np.atleast_1d(self.mean)],
+            "m2": [float(v) for v in np.atleast_1d(self.m2)],
+            "draws": self.draws,
+            "elapsed_seconds": self.elapsed_seconds,
+            "worker": self.worker,
+            "events": self.events,
+            "compile_seconds": self.compile_seconds,
+        }
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
+
+    @classmethod
+    def from_cache_dict(cls, record: dict) -> "ChunkSummary":
+        """Rebuild a summary stored by :meth:`to_cache_dict`."""
+        return cls(
+            chunk_index=int(record["chunk_index"]),
+            n=int(record["n"]),
+            mean=np.asarray(record["mean"], dtype=float),
+            m2=np.asarray(record["m2"], dtype=float),
+            draws=int(record.get("draws", 0)),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            worker=str(record.get("worker", "")),
+            events=int(record.get("events", 0)),
+            metrics=record.get("metrics"),
+            compile_seconds=float(record.get("compile_seconds", 0.0)),
+        )
+
 
 def merge_two(a: ChunkSummary, b: ChunkSummary) -> ChunkSummary:
     """Pool two summaries (Chan/Welford parallel update)."""

@@ -148,6 +148,46 @@ def _execute_chunk(
     )
 
 
+def _chunk_cache_key(
+    task: ReplicationTask, plan: ReplicationPlan, spec: ChunkSpec
+) -> str:
+    """Content-addressed identity of one chunk's summary.
+
+    Includes everything that determines the summary bit-for-bit: the task
+    token, the plan's resolved entropy and chunk size, and the chunk's
+    position.  Worker count, retry history and completion order are
+    deliberately absent — they never change what a chunk computes.
+    """
+    return cache_key(
+        {
+            "kind": "chunk-summary",
+            "task": task.cache_token(),
+            "entropy": plan.entropy,
+            "chunk_size": plan.chunk_size,
+            "chunk": spec.index,
+            "count": spec.count,
+        }
+    )
+
+
+def _execute_chunk_cached(
+    task: ReplicationTask,
+    plan: ReplicationPlan,
+    spec: ChunkSpec,
+    cache: ResultCache,
+    key: str,
+) -> ChunkSummary:
+    """Run one chunk and persist its summary worker-side.
+
+    The cache write is atomic (temp file + rename), so a worker killed
+    mid-run leaves either a complete entry or none — an interrupted
+    multi-round run can resume from exactly the chunks that finished.
+    """
+    summary = _execute_chunk(task, plan, spec)
+    cache.put(key, summary.to_cache_dict())
+    return summary
+
+
 def _execute_point(task: Callable[[], Any]) -> tuple[Any, str, float]:
     """Evaluate one sweep point; returns (value, worker label, elapsed)."""
     started = time.perf_counter()
@@ -189,6 +229,13 @@ class ParallelRunner:
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; hits skip
         execution entirely.
+    chunk_cache:
+        When True (and a ``cache`` is set), every completed chunk summary
+        is additionally persisted under its own content-addressed key as
+        it finishes.  A run interrupted between rounds — crash, kill,
+        exhausted budget — then resumes from the cached chunks and
+        produces bit-identical pooled estimates to an uninterrupted run.
+        Off by default: it adds one small cache write per chunk.
     confidence:
         CI level for fixed-budget runs (rule-driven runs take it from the
         rule).
@@ -207,6 +254,7 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         confidence: float = 0.95,
         profiler: Optional[PhaseProfiler] = None,
+        chunk_cache: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -219,6 +267,7 @@ class ParallelRunner:
         self.cache = cache
         self.confidence = confidence
         self.profiler = profiler
+        self.chunk_cache = bool(chunk_cache)
         self.last_telemetry: Optional[TelemetrySnapshot] = None
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -236,10 +285,15 @@ class ParallelRunner:
             self._pool = None
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent) and flush cache stats."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self.cache is not None:
+            try:
+                self.cache.flush_session()
+            except OSError:  # pragma: no cover - read-only cache dir
+                pass
 
     def __enter__(self) -> "ParallelRunner":
         return self
@@ -470,9 +524,9 @@ class ParallelRunner:
         telemetry: TelemetryRecorder,
     ) -> None:
         specs = plan.chunks(start, count)
-        jobs = {
-            spec.index: (_execute_chunk, (task, plan, spec)) for spec in specs
-        }
+        jobs, cached = self.chunk_jobs(task, plan, specs, telemetry)
+        for summary in cached:
+            completed[summary.chunk_index] = summary
         with profile_span(self.profiler, "simulate"):
             dispatched = self._dispatch(jobs, telemetry)
         for summary in dispatched.values():
@@ -489,6 +543,62 @@ class ParallelRunner:
                 # shows at most one compile span per worker process
                 self.profiler.add("compile", summary.compile_seconds)
             completed[summary.chunk_index] = summary
+
+    # ------------------------------------------------------------------
+    # chunk-level building blocks (also used by repro.orchestrate)
+    # ------------------------------------------------------------------
+    def chunk_jobs(
+        self,
+        task: ReplicationTask,
+        plan: ReplicationPlan,
+        specs: Sequence[ChunkSpec],
+        telemetry: TelemetryRecorder,
+        key_prefix: Any = None,
+    ) -> tuple[dict[Any, tuple[Callable, tuple]], list[ChunkSummary]]:
+        """Split chunk specs into dispatchable jobs and cached summaries.
+
+        With :attr:`chunk_cache` enabled, already-computed chunks are
+        restored from the cache (counted as telemetry cache hits) and the
+        remaining jobs persist their summary worker-side as they finish.
+        ``key_prefix`` namespaces the job keys so multiple tasks' chunks
+        can ride in one :meth:`execute_jobs` dispatch.
+        """
+        jobs: dict[Any, tuple[Callable, tuple]] = {}
+        cached: list[ChunkSummary] = []
+        use_cache = self.chunk_cache and self.cache is not None
+        for spec in specs:
+            job_key = (
+                spec.index if key_prefix is None else (key_prefix, spec.index)
+            )
+            if use_cache:
+                entry_key = _chunk_cache_key(task, plan, spec)
+                with profile_span(self.profiler, "cache"):
+                    record = self.cache.get(entry_key)
+                telemetry.record_cache(hit=record is not None)
+                if record is not None:
+                    cached.append(ChunkSummary.from_cache_dict(record))
+                    continue
+                jobs[job_key] = (
+                    _execute_chunk_cached,
+                    (task, plan, spec, self.cache, entry_key),
+                )
+            else:
+                jobs[job_key] = (_execute_chunk, (task, plan, spec))
+        return jobs, cached
+
+    def execute_jobs(
+        self,
+        jobs: dict[Any, tuple[Callable, tuple]],
+        telemetry: TelemetryRecorder,
+    ) -> dict[Any, Any]:
+        """Dispatch prepared jobs through the fault-tolerant pool machinery.
+
+        Public entry point for drivers (the adaptive orchestrator) that
+        schedule chunks from *several* tasks in one round: retries,
+        watchdog and in-process fallback behave exactly as in
+        :meth:`run`.
+        """
+        return self._dispatch(jobs, telemetry)
 
     # ------------------------------------------------------------------
     # sweep maps

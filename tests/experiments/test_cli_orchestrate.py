@@ -1,0 +1,191 @@
+"""Tests for the orchestrate / cache CLI commands and the shared
+repro-estimates/1 JSON schema emitted by unsafety, figure and orchestrate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestOrchestrateCommand:
+    def test_budgeted_run_and_json_artifact(self, tmp_path, capsys):
+        target = tmp_path / "orch.json"
+        code = main(
+            [
+                "orchestrate",
+                "12",
+                "--fast",
+                "--budget",
+                "32",
+                "--workers",
+                "1",
+                "--no-cache",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "orchestration: policy=greedy" in out
+        assert "allocation trace:" in out
+        assert "figure12" in out
+
+        record = json.loads(target.read_text())
+        assert record["schema"] == "repro-estimates/1"
+        assert record["policy"] == "greedy"
+        assert record["ledger"]["budget"]["replications"] == 32
+        assert record["ledger"]["spent"] <= 32
+        # the figure rides along, shaped like a plain figure artifact
+        assert record["figure"]["figure_id"] == "figure12"
+        assert set(record["figure"]["series"]) == {"lambda=1e-05"}
+        # point ids line up with the figure artifact convention
+        ids = {p["point_id"] for p in record["points"]}
+        assert "figure12/lambda=1e-05/x=10" in ids
+
+    def test_flat_policy_accepted(self, tmp_path, capsys):
+        code = main(
+            [
+                "orchestrate",
+                "figure12",
+                "--fast",
+                "--budget",
+                "32",
+                "--policy",
+                "flat",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "policy=flat" in capsys.readouterr().out
+
+    def test_unknown_figure_fails(self):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "99", "--budget", "32", "--no-cache"])
+
+
+class TestUnsafetyJson:
+    def test_analytical_record(self, tmp_path, capsys):
+        target = tmp_path / "uns.json"
+        code = main(
+            [
+                "unsafety",
+                "--n",
+                "4",
+                "--lam",
+                "1e-4",
+                "--times",
+                "2,6",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        record = json.loads(target.read_text())
+        assert record["schema"] == "repro-estimates/1"
+        (point,) = record["points"]
+        assert point["point_id"] == "unsafety/n=4/lam=0.0001/DD"
+        assert point["estimator"] == "analytical"
+        assert point["times"] == [2.0, 6.0]
+        assert len(point["values"]) == 2
+        assert point["half_widths"] is None  # deterministic method
+        assert point["relative_ci"] is None
+        assert point["converged"] is True
+        assert point["source"] == "unsafety"
+
+    def test_simulation_record_has_intervals(self, tmp_path):
+        target = tmp_path / "sim.json"
+        code = main(
+            [
+                "unsafety",
+                "--n",
+                "2",
+                "--lam",
+                "5e-2",
+                "--times",
+                "1",
+                "--method",
+                "simulation",
+                "--replications",
+                "400",
+                "--seed",
+                "7",
+                "--no-cache",
+            ]
+            + ["--json", str(target)]
+        )
+        assert code == 0
+        record = json.loads(target.read_text())
+        (point,) = record["points"]
+        assert point["estimator"].startswith("simulation")
+        assert point["n_replications"] == 400
+        assert point["half_widths"] is not None
+        assert point["confidence"] == 0.95
+
+
+class TestFigureJsonSchema:
+    def test_figure_artifact_carries_estimate_records(self, tmp_path):
+        target = tmp_path / "fig10.json"
+        assert main(["figure", "10", "--fast", "--json", str(target)]) == 0
+        record = json.loads(target.read_text())
+        assert record["schema"] == "repro-estimates/1"
+        by_id = {p["point_id"]: p for p in record["points"]}
+        # duration figure: one record per series, times = the x axis
+        assert set(by_id) == {"figure10/n=8", "figure10/n=12"}
+        point = by_id["figure10/n=8"]
+        assert point["times"] == record["x_values"]
+        assert point["values"] == record["series"]["n=8"]
+        assert point["estimator"] == "analytical"
+
+
+class TestCacheCommand:
+    def test_stats_on_fresh_dir(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" in out
+        assert "no session recorded" in out
+
+    def test_populate_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        # a cached analytical run writes entries
+        assert (
+            main(
+                [
+                    "unsafety",
+                    "--n",
+                    "4",
+                    "--times",
+                    "2",
+                    "--method",
+                    "simulation",
+                    "--replications",
+                    "64",
+                    "--lam",
+                    "5e-2",
+                    "--seed",
+                    "3",
+                    "--workers",
+                    "1",
+                    "--cache-dir",
+                    cache_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries    : 0" not in stats_out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_rejects_non_directory_cache_dir(self, tmp_path):
+        bogus = tmp_path / "file"
+        bogus.write_text("x")
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", "--cache-dir", str(bogus)])

@@ -1,0 +1,227 @@
+"""Tests for repro.orchestrate.allocator — policy behaviour and determinism."""
+
+import pytest
+
+from repro.orchestrate import Allocator, Budget, BudgetLedger, PointProgress
+from repro.orchestrate.allocator import _predicted_relative
+
+
+def ledger(replications=None, target=None, per_point_cap=200_000):
+    return BudgetLedger(
+        Budget(
+            replications=replications,
+            target_relative_ci=target,
+            max_replications_per_point=per_point_cap,
+        )
+    )
+
+
+def point(pid, order, width=None, n=0, chunk=100, **kwargs):
+    return PointProgress(
+        point_id=pid,
+        order=order,
+        chunk_size=chunk,
+        n=n,
+        relative_ci=width,
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Allocator(policy="psychic")
+
+    def test_round_chunks_floor(self):
+        with pytest.raises(ValueError):
+            Allocator(round_chunks=0)
+
+    def test_progress_validation(self):
+        with pytest.raises(ValueError):
+            point("a", 0, chunk=0)
+        with pytest.raises(ValueError):
+            PointProgress(point_id="a", order=0, chunk_size=1, n=-1)
+
+
+class TestShrinkLaw:
+    def test_sqrt_n_shrink(self):
+        assert _predicted_relative(0.4, 100, 300) == pytest.approx(0.2)
+
+    def test_no_data_no_shrink(self):
+        assert _predicted_relative(0.4, 0, 100) == 0.4
+        assert _predicted_relative(0.4, 100, 0) == 0.4
+
+
+class TestFlat:
+    def test_equal_split(self):
+        allocator = Allocator(policy="flat", round_chunks=6)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.9), point("b", 1, width=0.1)],
+            ledger(target=0.05),
+        )
+        assert awards == {"a": 300, "b": 300}
+
+    def test_remainder_goes_to_first_points(self):
+        allocator = Allocator(policy="flat", round_chunks=7)
+        awards = allocator.allocate(
+            [point(p, i, width=0.5) for i, p in enumerate("abc")],
+            ledger(target=0.05),
+        )
+        assert awards == {"a": 300, "b": 200, "c": 200}
+
+    def test_ignores_widths_entirely(self):
+        allocator = Allocator(policy="flat", round_chunks=4)
+        wide_first = allocator.allocate(
+            [point("a", 0, width=0.9), point("b", 1, width=0.01)],
+            ledger(target=0.005),
+        )
+        narrow_first = allocator.allocate(
+            [point("a", 0, width=0.01), point("b", 1, width=0.9)],
+            ledger(target=0.005),
+        )
+        assert wide_first == narrow_first == {"a": 200, "b": 200}
+
+
+class TestGreedy:
+    def test_widest_point_wins_the_chunk(self):
+        allocator = Allocator(policy="greedy", round_chunks=1)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.2, n=100), point("b", 1, width=0.5, n=100)],
+            ledger(target=0.05),
+        )
+        assert awards == {"b": 100}
+
+    def test_shrink_law_prevents_monopoly(self):
+        # a starts widest, but after one chunk its predicted width drops
+        # below b's, so the second chunk goes to b
+        allocator = Allocator(policy="greedy", round_chunks=2)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.5, n=100), point("b", 1, width=0.4, n=10_000)],
+            ledger(target=0.05),
+        )
+        assert awards == {"a": 100, "b": 100}
+
+    def test_tie_breaks_to_earlier_point(self):
+        allocator = Allocator(policy="greedy", round_chunks=1)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.5, n=100), point("b", 1, width=0.5, n=100)],
+            ledger(target=0.05),
+        )
+        assert awards == {"a": 100}
+
+    def test_unknown_width_served_first_round_robin(self):
+        allocator = Allocator(policy="greedy", round_chunks=4)
+        awards = allocator.allocate(
+            [
+                point("a", 0, width=None),
+                point("b", 1, width=0.9, n=100),
+                point("c", 2, width=None),
+            ],
+            ledger(target=0.05),
+        )
+        # both data-starved points fed before the widest known point
+        assert awards["a"] == 200 and awards["c"] == 200
+        assert "b" not in awards
+
+    def test_converged_points_excluded(self):
+        allocator = Allocator(policy="greedy", round_chunks=2)
+        awards = allocator.allocate(
+            [
+                point("a", 0, width=0.5, n=100, eligible=False),
+                point("b", 1, width=0.2, n=100),
+            ],
+            ledger(target=0.05),
+        )
+        assert "a" not in awards and awards["b"] == 200
+
+    def test_no_eligible_points_is_empty(self):
+        allocator = Allocator(policy="greedy", round_chunks=2)
+        assert allocator.allocate([], ledger(target=0.1)) == {}
+        assert (
+            allocator.allocate(
+                [point("a", 0, width=0.5, eligible=False)], ledger(target=0.1)
+            )
+            == {}
+        )
+
+
+class TestCost:
+    def test_cheap_point_beats_expensive_on_equal_width(self):
+        allocator = Allocator(policy="cost", round_chunks=1)
+        awards = allocator.allocate(
+            [
+                point("pricey", 0, width=0.5, n=100, cost_per_replication=50.0),
+                point("cheap", 1, width=0.5, n=100, cost_per_replication=2.0),
+            ],
+            ledger(target=0.05),
+        )
+        assert awards == {"cheap": 100}
+
+
+class TestProportional:
+    def test_need_scales_with_excess_width(self):
+        # need = n * ((rel/target)^2 - 1): a needs 300, b needs 100
+        allocator = Allocator(policy="proportional", round_chunks=4)
+        awards = allocator.allocate(
+            [
+                point("a", 0, width=0.2, n=100),
+                point("b", 1, width=0.2, n=100 * 3),
+            ],
+            ledger(target=0.1),
+        )
+        # shares 4*(300/1200)=1 and 4*(900/1200)=3
+        assert awards == {"a": 100, "b": 300}
+
+    def test_converged_points_get_nothing(self):
+        allocator = Allocator(policy="proportional", round_chunks=4)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.05, n=100), point("b", 1, width=0.3, n=100)],
+            ledger(target=0.1),
+        )
+        assert "a" not in awards and awards["b"] == 400
+
+    def test_all_needs_zero_is_empty(self):
+        allocator = Allocator(policy="proportional", round_chunks=4)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.05, n=100)], ledger(target=0.1)
+        )
+        assert awards == {}
+
+
+class TestBudgetClamping:
+    @pytest.mark.parametrize("policy", ["greedy", "proportional", "flat"])
+    def test_global_pool_clamps_final_quantum(self, policy):
+        allocator = Allocator(policy=policy, round_chunks=4)
+        awards = allocator.allocate(
+            [point("a", 0, width=0.5, n=100)], ledger(replications=150, target=0.01)
+        )
+        assert sum(awards.values()) == 150
+
+    def test_per_point_cap_clamps(self):
+        allocator = Allocator(policy="greedy", round_chunks=4)
+        lgr = ledger(target=0.01, per_point_cap=130)
+        awards = allocator.allocate([point("a", 0, width=0.5, n=100)], lgr)
+        assert awards == {"a": 130}
+
+    def test_exhausted_pool_awards_nothing(self):
+        allocator = Allocator(policy="greedy", round_chunks=4)
+        lgr = ledger(replications=100, target=0.01)
+        lgr.charge("elsewhere", 100)
+        awards = allocator.allocate([point("a", 0, width=0.5, n=100)], lgr)
+        assert awards == {}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", ["greedy", "proportional", "cost", "flat"])
+    def test_same_inputs_same_awards(self, policy):
+        allocator = Allocator(policy=policy, round_chunks=8)
+        progress = [
+            point("a", 0, width=0.4, n=200, cost_per_replication=3.0),
+            point("b", 1, width=None),
+            point("c", 2, width=0.9, n=100, cost_per_replication=12.0),
+        ]
+        first = allocator.allocate(progress, ledger(replications=5000, target=0.1))
+        second = allocator.allocate(progress, ledger(replications=5000, target=0.1))
+        assert first == second
+        # chunk-alignment invariant: whole chunks unless a cap clamped
+        assert all(n % 100 == 0 for n in first.values())

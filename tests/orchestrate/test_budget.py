@@ -1,0 +1,133 @@
+"""Tests for repro.orchestrate.budget — validation and ledger accounting."""
+
+import pytest
+
+from repro.orchestrate import STOP_REASONS, Budget, BudgetLedger
+
+
+class TestBudgetValidation:
+    def test_requires_at_least_one_dimension(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Budget()
+
+    def test_single_dimension_is_enough(self):
+        assert Budget(replications=100).replications == 100
+        assert Budget(target_relative_ci=0.1).target_relative_ci == 0.1
+        assert Budget(wall_seconds=5.0).wall_seconds == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replications": 0},
+            {"replications": -5},
+            {"target_relative_ci": 0.0},
+            {"target_relative_ci": -0.1},
+            {"wall_seconds": 0.0},
+            {"replications": 10, "confidence": 0.0},
+            {"replications": 10, "confidence": 1.0},
+            {"replications": 10, "max_rounds": 0},
+            {"replications": 10, "max_replications_per_point": 0},
+            {"replications": 10, "min_chunks_per_point": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+    def test_to_dict_round_trips(self):
+        budget = Budget(replications=500, target_relative_ci=0.2)
+        rebuilt = Budget(**budget.to_dict())
+        assert rebuilt == budget
+
+
+class TestLedgerAccounting:
+    def test_charge_accumulates_globally_and_per_point(self):
+        ledger = BudgetLedger(Budget(replications=1000))
+        ledger.charge("a", 300)
+        ledger.charge("b", 200)
+        ledger.charge("a", 100)
+        assert ledger.spent == 600
+        assert ledger.per_point == {"a": 400, "b": 200}
+        assert ledger.remaining_replications() == 400
+
+    def test_negative_charge_rejected(self):
+        ledger = BudgetLedger(Budget(replications=10))
+        with pytest.raises(ValueError):
+            ledger.charge("a", -1)
+
+    def test_uncapped_pool_has_no_remaining(self):
+        ledger = BudgetLedger(Budget(target_relative_ci=0.1))
+        ledger.charge("a", 10_000)
+        assert ledger.remaining_replications() is None
+        assert not ledger.out_of_replications()
+
+    def test_point_cap(self):
+        ledger = BudgetLedger(
+            Budget(replications=10_000, max_replications_per_point=150)
+        )
+        assert ledger.point_remaining("a") == 150
+        ledger.charge("a", 100)
+        assert ledger.point_remaining("a") == 50
+        assert ledger.affordable("a", 50)
+        assert not ledger.affordable("a", 51)
+        ledger.charge("a", 60)  # over-cap charges still record honestly
+        assert ledger.point_remaining("a") == 0
+
+    def test_affordable_respects_global_pool(self):
+        ledger = BudgetLedger(Budget(replications=100))
+        ledger.charge("a", 90)
+        assert ledger.affordable("b", 10)
+        assert not ledger.affordable("b", 11)
+
+    def test_round_cap(self):
+        ledger = BudgetLedger(Budget(replications=10, max_rounds=2))
+        assert not ledger.out_of_rounds()
+        ledger.note_round()
+        ledger.note_round()
+        assert ledger.out_of_rounds()
+
+    def test_wall_budget_uses_injected_clock(self):
+        now = [0.0]
+        ledger = BudgetLedger(Budget(wall_seconds=5.0), clock=lambda: now[0])
+        ledger.start()
+        now[0] = 4.9
+        assert not ledger.out_of_wall()
+        now[0] = 5.0
+        assert ledger.out_of_wall()
+        assert ledger.elapsed_seconds == 5.0
+
+    def test_elapsed_is_zero_before_start(self):
+        assert BudgetLedger(Budget(replications=1)).elapsed_seconds == 0.0
+
+
+class TestStopReason:
+    def test_first_reason_wins(self):
+        ledger = BudgetLedger(Budget(replications=10))
+        ledger.stop("converged")
+        ledger.stop("wall-exhausted")
+        assert ledger.stop_reason == "converged"
+
+    def test_unknown_reason_rejected(self):
+        ledger = BudgetLedger(Budget(replications=10))
+        with pytest.raises(ValueError, match="unknown stop reason"):
+            ledger.stop("tired")
+
+    @pytest.mark.parametrize("reason", STOP_REASONS)
+    def test_every_documented_reason_accepted(self, reason):
+        ledger = BudgetLedger(Budget(replications=10))
+        ledger.stop(reason)
+        assert ledger.stop_reason == reason
+
+    def test_to_dict_carries_everything(self):
+        ledger = BudgetLedger(Budget(replications=100))
+        ledger.start()
+        ledger.charge("b", 10)
+        ledger.charge("a", 5)
+        ledger.note_round()
+        ledger.stop("replications-exhausted")
+        record = ledger.to_dict()
+        assert record["spent"] == 15
+        assert record["rounds"] == 1
+        assert record["stop_reason"] == "replications-exhausted"
+        assert list(record["per_point"]) == ["a", "b"]  # sorted for JSON
+        assert record["budget"]["replications"] == 100

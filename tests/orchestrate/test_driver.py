@@ -1,0 +1,195 @@
+"""Tests for repro.orchestrate.driver — the determinism contract.
+
+The acceptance property of the orchestrator: for a fixed
+``(points, seed, budget, policy)`` the pooled per-point estimates are
+bit-identical across worker counts and across interrupted-and-resumed
+runs.  The sweeps here run at inflated failure rates (as the benchmarks
+do) so plain Monte-Carlo sees events within a few hundred replications.
+"""
+
+import json
+
+import pytest
+
+from repro.core import AHSParameters
+from repro.orchestrate import (
+    Budget,
+    EstimatorPolicy,
+    Orchestrator,
+    SweepPoint,
+    orchestrate,
+    point_seed,
+)
+from repro.runtime import ParallelRunner, ResultCache
+
+pytestmark = pytest.mark.slow
+
+
+#: inflated-rate sweep: tiny state space, failures visible at 1 h horizon
+POINTS = [
+    SweepPoint(
+        "hot",
+        AHSParameters(base_failure_rate=2e-2, max_platoon_size=2),
+        (0.5, 1.0),
+    ),
+    SweepPoint(
+        "warm",
+        AHSParameters(base_failure_rate=1e-2, max_platoon_size=2),
+        (0.5, 1.0),
+    ),
+]
+FORCE_SIM = EstimatorPolicy(forced="simulation")
+BUDGET = Budget(replications=768, target_relative_ci=0.5)
+SEED = 11
+
+
+def run(workers, budget=BUDGET, cache=None, chunk_cache=False, policy="greedy"):
+    runner = ParallelRunner(
+        workers=workers, chunk_size=64, cache=cache, chunk_cache=chunk_cache
+    )
+    try:
+        return orchestrate(
+            POINTS,
+            budget,
+            runner,
+            policy=policy,
+            estimator_policy=FORCE_SIM,
+            seed=SEED,
+        )
+    finally:
+        runner.close()
+
+
+def estimates(report):
+    """The bit-comparable core of a report: per-point pooled results."""
+    return {
+        p.point_id: (p.values, p.half_widths, p.n_replications)
+        for p in report.points
+    }
+
+
+class TestPointSeed:
+    def test_deterministic(self):
+        assert point_seed(42, 3) == point_seed(42, 3)
+
+    def test_mixes_index_and_seed(self):
+        assert point_seed(42, 0) != point_seed(42, 1)
+        assert point_seed(42, 0) != point_seed(43, 0)
+
+
+class TestConstruction:
+    def test_rejects_empty_sweep(self):
+        runner = ParallelRunner(workers=1)
+        with pytest.raises(ValueError, match="at least one"):
+            Orchestrator([], BUDGET, runner)
+
+    def test_rejects_duplicate_point_ids(self):
+        runner = ParallelRunner(workers=1)
+        twice = [POINTS[0], POINTS[0]]
+        with pytest.raises(ValueError, match="duplicate"):
+            Orchestrator(twice, BUDGET, runner)
+
+    def test_round_chunks_default_ignores_worker_count(self):
+        # the schedule must not depend on parallelism
+        for workers in (1, 4):
+            runner = ParallelRunner(workers=workers)
+            orch = Orchestrator(POINTS, BUDGET, runner)
+            assert orch.allocator.round_chunks == max(8, 2 * len(POINTS))
+
+
+class TestWorkerInvariance:
+    def test_pooled_estimates_bit_identical(self):
+        serial = run(workers=1)
+        parallel = run(workers=2)
+        assert estimates(serial) == estimates(parallel)
+        assert serial.ledger["spent"] == parallel.ledger["spent"]
+        assert serial.ledger["stop_reason"] == parallel.ledger["stop_reason"]
+        # the full allocation trace replays, round for round
+        assert [r.to_dict() for r in serial.rounds] == [
+            r.to_dict() for r in parallel.rounds
+        ]
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        reference = run(workers=1)
+
+        # interrupted: same seed/policy/points, but the round cap kills the
+        # run after the warm-up + one adaptive round
+        cache = ResultCache(tmp_path / "chunks")
+        truncated_budget = Budget(
+            replications=BUDGET.replications,
+            target_relative_ci=BUDGET.target_relative_ci,
+            max_rounds=2,
+        )
+        truncated = run(
+            workers=2, budget=truncated_budget, cache=cache, chunk_cache=True
+        )
+        assert truncated.ledger["stop_reason"] == "rounds-exhausted"
+        assert truncated.ledger["spent"] < reference.ledger["spent"]
+
+        # resumed: full budget, different worker count, warm chunk cache
+        resumed = run(workers=1, cache=cache, chunk_cache=True)
+        assert estimates(resumed) == estimates(reference)
+        assert resumed.ledger["spent"] == reference.ledger["spent"]
+        assert resumed.ledger["stop_reason"] == reference.ledger["stop_reason"]
+        # every chunk the truncated run computed came back from the cache
+        assert resumed.telemetry["cache_hits"] > 0
+
+    def test_rerun_on_warm_cache_hits_every_chunk(self, tmp_path):
+        cache = ResultCache(tmp_path / "chunks")
+        first = run(workers=2, cache=cache, chunk_cache=True)
+        again = run(workers=1, cache=cache, chunk_cache=True)
+        assert estimates(first) == estimates(again)
+        assert again.telemetry["cache_misses"] == 0
+        assert again.telemetry["cache_hits"] > 0
+
+
+class TestEstimatorRouting:
+    def test_rare_point_short_circuits_analytically(self):
+        rare = SweepPoint(
+            "rare",
+            AHSParameters(base_failure_rate=1e-7, max_platoon_size=2),
+            (0.5, 1.0),
+        )
+        runner = ParallelRunner(workers=1, chunk_size=64)
+        try:
+            report = orchestrate([rare], BUDGET, runner, seed=SEED)
+        finally:
+            runner.close()
+        point = report.point("rare")
+        assert point.estimator == "analytical"
+        assert point.n_replications == 0
+        assert point.converged
+        assert point.half_widths is None
+        assert report.total_replications == 0
+        assert report.ledger["stop_reason"] == "converged"
+
+    def test_pure_pool_budget_spends_everything(self):
+        report = run(workers=1, budget=Budget(replications=256))
+        assert report.ledger["spent"] == 256
+        assert report.ledger["stop_reason"] == "replications-exhausted"
+        assert report.total_replications == 256
+
+
+class TestReportShape:
+    def test_to_dict_is_json_serialisable(self):
+        report = run(workers=1, budget=Budget(replications=128))
+        record = json.loads(json.dumps(report.to_dict()))
+        assert record["schema"] == "repro-estimates/1"
+        assert record["policy"] == "greedy"
+        assert {p["point_id"] for p in record["points"]} == {"hot", "warm"}
+        for point in record["points"]:
+            assert point["source"] == "orchestrate"
+            assert len(point["times"]) == len(point["values"])
+        assert record["ledger"]["stop_reason"] in (
+            "replications-exhausted",
+            "converged",
+        )
+
+    def test_format_renders_trace(self):
+        report = run(workers=1, budget=Budget(replications=128))
+        text = report.format()
+        assert "orchestration: policy=greedy" in text
+        assert "allocation trace:" in text
+        assert "hot" in text and "warm" in text

@@ -1,0 +1,144 @@
+"""Tests for repro.orchestrate.surrogate — selection bands and warm start."""
+
+import pytest
+
+from repro.core import AHSParameters
+from repro.orchestrate import (
+    ESTIMATORS,
+    EstimatorPolicy,
+    SurrogatePrior,
+    SweepPoint,
+    warm_start,
+)
+
+
+class TestSweepPoint:
+    def test_label_defaults_to_id(self):
+        p = SweepPoint("p0", AHSParameters(), (1.0, 6.0))
+        assert p.label == "p0"
+        assert p.horizon == 6.0
+
+    def test_requires_times(self):
+        with pytest.raises(ValueError, match="needs evaluation times"):
+            SweepPoint("p0", AHSParameters(), ())
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError, match="negative"):
+            SweepPoint("p0", AHSParameters(), (-1.0, 2.0))
+
+
+class TestSelectionBands:
+    @pytest.mark.parametrize(
+        "rarity,expected",
+        [
+            (1e-9, "analytical"),
+            (1e-7, "splitting"),
+            (1e-4, "importance"),
+            (1e-2, "simulation"),
+            (0.5, "simulation"),
+            (None, "simulation"),
+        ],
+    )
+    def test_default_bands(self, rarity, expected):
+        estimator, reason = EstimatorPolicy().select(rarity)
+        assert estimator == expected
+        assert reason  # every choice is explained
+
+    def test_band_edges_are_half_open(self):
+        policy = EstimatorPolicy()
+        assert policy.select(policy.analytical_cutoff)[0] == "splitting"
+        assert policy.select(policy.splitting_cutoff)[0] == "importance"
+        assert policy.select(policy.importance_cutoff)[0] == "simulation"
+
+    def test_forced_overrides_everything(self):
+        policy = EstimatorPolicy(forced="simulation")
+        assert policy.select(1e-12)[0] == "simulation"
+
+    def test_allowed_restricts_menu(self):
+        policy = EstimatorPolicy(allowed=("simulation",))
+        estimator, reason = policy.select(1e-7)
+        assert estimator == "simulation"
+        assert "not allowed" in reason
+
+    def test_invalid_cutoff_order_rejected(self):
+        with pytest.raises(ValueError, match="cutoffs"):
+            EstimatorPolicy(analytical_cutoff=1e-3, splitting_cutoff=1e-6)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            EstimatorPolicy(forced="quantum")
+        with pytest.raises(ValueError):
+            EstimatorPolicy(allowed=("simulation", "oracle"))
+
+    def test_empty_allowed_rejected(self):
+        with pytest.raises(ValueError, match="cannot be empty"):
+            EstimatorPolicy(allowed=())
+
+
+class TestPredictedReplications:
+    def prior(self, rarity):
+        return SurrogatePrior(
+            point_id="p", analytical=None, truncation_error=0.0, rarity=rarity
+        )
+
+    def test_bernoulli_planning_formula(self):
+        # n = z^2 (1-p) / (p t^2); p=0.5, t=0.1, z=1.9600 -> 384.15 -> 385
+        assert self.prior(0.5).predicted_replications(0.1) == 385
+
+    def test_rarer_points_need_more(self):
+        assert (
+            self.prior(1e-4).predicted_replications(0.1)
+            > self.prior(1e-2).predicted_replications(0.1)
+        )
+
+    def test_unobservable_rarity_is_none(self):
+        assert self.prior(None).predicted_replications(0.1) is None
+        assert self.prior(0.0).predicted_replications(0.1) is None
+
+
+class TestWarmStart:
+    @pytest.fixture(scope="class")
+    def priors(self):
+        points = [
+            SweepPoint(
+                "hot",
+                AHSParameters(base_failure_rate=1e-2, max_platoon_size=2),
+                (0.5, 1.0),
+            ),
+            SweepPoint(
+                "cold",
+                AHSParameters(base_failure_rate=1e-7, max_platoon_size=2),
+                (0.5, 1.0),
+            ),
+        ]
+        return warm_start(points)
+
+    def test_analytical_curve_computed(self, priors):
+        prior = priors["hot"]
+        assert prior.analytical is not None
+        assert len(prior.analytical) == 2
+        assert prior.analytical[0] < prior.analytical[1]  # monotone unsafety
+        assert prior.values() == prior.analytical
+
+    def test_rarity_is_horizon_value(self, priors):
+        prior = priors["hot"]
+        assert prior.rarity == pytest.approx(prior.analytical[-1])
+
+    def test_rare_point_short_circuits(self, priors):
+        prior = priors["cold"]
+        assert prior.rarity < 1e-8
+        assert prior.estimator == "analytical"
+
+    def test_common_point_simulates(self, priors):
+        assert priors["hot"].estimator in ESTIMATORS
+        assert priors["hot"].estimator != "analytical"
+
+    def test_approximation_fallback_present(self, priors):
+        assert len(priors["hot"].approximation) == 2
+
+    def test_to_dict_is_json_shaped(self, priors):
+        record = priors["hot"].to_dict()
+        assert record["point_id"] == "hot"
+        assert isinstance(record["analytical"], list)
+        assert isinstance(record["rarity"], float)
+        assert record["estimator"] == priors["hot"].estimator

@@ -83,3 +83,57 @@ class TestSummaries:
         summary = ChunkSummary.from_samples(0, np.ones((4, 1)))
         with pytest.raises(ValueError):
             pooled_intervals(summary, 1.5)
+
+
+class TestCacheDictRoundTrip:
+    def test_json_round_trip_is_bit_exact(self):
+        rng = np.random.default_rng(7)
+        summary = ChunkSummary.from_samples(
+            3,
+            rng.lognormal(mean=-8.0, sigma=2.0, size=(37, 2)),
+            draws=123,
+            elapsed_seconds=0.125,
+            worker="pid-9",
+            events=456,
+        )
+        import json
+
+        wire = json.loads(json.dumps(summary.to_cache_dict()))
+        restored = ChunkSummary.from_cache_dict(wire)
+        assert restored.chunk_index == 3
+        assert restored.n == summary.n
+        # bit-exact: JSON repr round-trips IEEE doubles losslessly
+        assert (restored.mean == summary.mean).all()
+        assert (restored.m2 == summary.m2).all()
+        assert restored.draws == 123
+        assert restored.events == 456
+        assert restored.worker == "pid-9"
+
+    def test_restored_summary_merges_identically(self):
+        rng = np.random.default_rng(8)
+        chunks = _chunked_summaries(
+            rng.lognormal(mean=-2.0, sigma=1.0, size=(100, 2)), [40, 60]
+        )
+        import json
+
+        restored = [
+            ChunkSummary.from_cache_dict(
+                json.loads(json.dumps(c.to_cache_dict()))
+            )
+            for c in chunks
+        ]
+        direct = combine(chunks)
+        via_cache = combine(restored)
+        assert (direct.mean == via_cache.mean).all()
+        assert (direct.m2 == via_cache.m2).all()
+        assert direct.n == via_cache.n
+
+    def test_missing_optional_fields_default(self):
+        summary = ChunkSummary.from_samples(0, np.ones((4, 1)))
+        record = summary.to_cache_dict()
+        for key in ("draws", "elapsed_seconds", "worker", "events"):
+            record.pop(key)
+        restored = ChunkSummary.from_cache_dict(record)
+        assert restored.draws == 0
+        assert restored.worker == ""
+        assert restored.metrics is None
