@@ -25,18 +25,23 @@ _FALLBACK_WARN_FRACTION = 0.5
 
 
 def lowering_summary(model: SANModel) -> Optional[dict]:
-    """``{stats, reasons}`` from a diagnose-mode batched compile.
+    """``{stats, reasons}`` from a diagnose-mode stepped compile.
 
-    Returns None when the model cannot go through the batched compile
-    pass at all (non-exponential activities, or NumPy missing).
+    The stepped engine subsumes the batched compile pass, so its stats
+    carry the batched lowering coverage plus the stepped-only figures:
+    ``fire_cases``/``fire_lowered`` (delta-program firing coverage),
+    ``insta_lowered`` (instantaneous gate conjunctions) and
+    ``groups_tabulated`` (refresh groups served by direct-address
+    tables).  Returns None when the model cannot go through the batch
+    compile pass at all (non-exponential activities, or NumPy missing).
     """
     try:
-        from repro.san.batched import BatchedJumpEngine
+        from repro.san.stepped import SteppedJumpEngine
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         return None
     if not model.timed_activities or not model.is_markovian:
         return None
-    engine = BatchedJumpEngine(model)
+    engine = SteppedJumpEngine(model)
     return {
         "stats": engine.lowering_stats(),
         "reasons": dict(engine.fallback_reasons),

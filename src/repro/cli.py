@@ -240,6 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="jump-chain executor for the simulation-backed estimators",
     )
     orch.add_argument(
+        "--sweep-batch",
+        action="store_true",
+        help="dispatch each round's chunks to the pool in point-contiguous "
+        "groups (fewer, larger pool tasks; byte-identical estimates)",
+    )
+    orch.add_argument(
         "--json",
         dest="json_path",
         default=None,
@@ -676,6 +682,7 @@ def _cmd_orchestrate(args) -> int:
             policy=args.policy,
             seed=args.seed if args.seed is not None else DEFAULT_SEED,
             engine=args.engine,
+            sweep_batch=args.sweep_batch,
         )
     print(report.format())
     print()

@@ -163,7 +163,7 @@ class AHSParameters:
         exits: ``μ_eff = μ / (1 + duration_scaling · max(occ − 2, 0))``.
         """
         base = self.maneuver_rates[maneuver]
-        crowd = max(float(occupancy_own) - 2.0, 0.0)
+        crowd = max(occupancy_own - 2.0, 0.0)
         return base / (1.0 + self.duration_scaling * crowd)
 
     def success_probability(

@@ -45,8 +45,12 @@ class _SimContext(NamedTuple):
 #: each worker; without this memo every chunk re-runs
 #: ``build_composed_model`` + ``make_jump_engine``.  Bounded (FIFO) so a
 #: long-lived worker sweeping many parameter points cannot hoard models.
+#: Sized for sweep-batched dispatch (``ParallelRunner.
+#: execute_jobs_grouped``), where one worker call runs chunks of several
+#: neighbouring sweep points back to back and evicting between points
+#: would rebuild each model every group.
 _CONTEXT_CACHE: dict[str, _SimContext] = {}
-_CONTEXT_CACHE_MAX = 4
+_CONTEXT_CACHE_MAX = 16
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,12 @@ from typing import Iterable, Optional
 
 from repro.core.maneuvers import Maneuver
 
-__all__ = ["SeverityCounts", "catastrophic_situation", "CATASTROPHIC_SITUATIONS"]
+__all__ = [
+    "SeverityCounts",
+    "catastrophic_situation",
+    "catastrophic_situation_counts",
+    "CATASTROPHIC_SITUATIONS",
+]
 
 #: Situation identifiers with the paper's descriptions, for reports.
 CATASTROPHIC_SITUATIONS: dict[str, str] = {
@@ -77,18 +82,30 @@ class SeverityCounts:
         )
 
 
+def catastrophic_situation_counts(a: int, b: int, c: int) -> Optional[str]:
+    """Which catastrophic situation (if any) raw per-class counts satisfy.
+
+    Returns the first matching identifier in the order ST1, ST2, ST3, or
+    ``None`` when the combination is survivable.  Operates on the bare
+    counts — no :class:`SeverityCounts` construction — so marking
+    predicates built on it stay branch-traceable by the batch-lowering
+    pass (the dataclass validator's raising branch would otherwise abort
+    the trace; markings are non-negative by the place invariant, so the
+    validation is redundant there anyway).
+    """
+    if a >= 2:
+        return "ST1"
+    if a >= 1 and (b >= 2 or (b >= 1 and c >= 1) or c >= 3):
+        return "ST2"
+    if b + c >= 4:
+        return "ST3"
+    return None
+
+
 def catastrophic_situation(counts: SeverityCounts) -> Optional[str]:
     """Which catastrophic situation (if any) the counts satisfy.
 
     Returns the first matching identifier in the order ST1, ST2, ST3, or
     ``None`` when the combination is survivable.
     """
-    if counts.a >= 2:
-        return "ST1"
-    if counts.a >= 1 and (
-        counts.b >= 2 or (counts.b >= 1 and counts.c >= 1) or counts.c >= 3
-    ):
-        return "ST2"
-    if counts.b + counts.c >= 4:
-        return "ST3"
-    return None
+    return catastrophic_situation_counts(counts.a, counts.b, counts.c)

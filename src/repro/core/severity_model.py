@@ -11,7 +11,7 @@ output gate).
 from __future__ import annotations
 
 from repro.core.configuration_model import SharedPlaces
-from repro.core.severity import SeverityCounts, catastrophic_situation
+from repro.core.severity import catastrophic_situation_counts
 from repro.san import Case, InputGate, InstantaneousActivity, OutputGate, SANModel
 
 __all__ = ["build_severity_model"]
@@ -27,8 +27,13 @@ def build_severity_model(shared: SharedPlaces) -> SANModel:
     def ko_allocation(g) -> bool:
         if g["KO_total"] != 0:
             return False
-        counts = SeverityCounts(g["class_A"], g["class_B"], g["class_C"])
-        return catastrophic_situation(counts) is not None
+        # Table-2 matching on the raw class counts: the counts variant
+        # skips the SeverityCounts validator so this predicate stays
+        # traceable by the batch engines' gate-lowering pass.
+        situation = catastrophic_situation_counts(
+            g["class_A"], g["class_B"], g["class_C"]
+        )
+        return situation is not None
 
     def og_ko(g) -> None:
         g["KO_total"] = 1

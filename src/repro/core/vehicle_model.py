@@ -80,9 +80,14 @@ def _deactivate(g, shared: SharedPlaces, maneuver: Maneuver, own: int) -> None:
     g.dec(shared.class_place_name(maneuver))
 
 
-def _occupancies(g) -> tuple[float, float]:
-    """(platoon-1 incl. transit, platoon-2) occupancies from the marking."""
-    return float(g["occ1"] + g["tr"]), float(g["occ2"])
+def _occupancies(g) -> tuple[int, int]:
+    """(platoon-1 incl. transit, platoon-2) occupancies from the marking.
+
+    Returned as the raw marking integers: downstream arithmetic promotes
+    them exactly, and avoiding ``float()`` keeps the expressions traceable
+    by the batch-lowering pass.
+    """
+    return g["occ1"] + g["tr"], g["occ2"]
 
 
 def _busy_fraction(g) -> float:

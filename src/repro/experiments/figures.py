@@ -353,7 +353,8 @@ def run_adaptive(
     from the orchestrator's per-point estimates (surrogate-served points
     use the analytical value, Monte-Carlo points their pooled mean), plus
     the full allocation trace.  Extra keyword arguments go to
-    :class:`repro.orchestrate.Orchestrator` (``policy``, ``seed``, …).
+    :class:`repro.orchestrate.Orchestrator` (``policy``, ``seed``,
+    ``sweep_batch`` for point-contiguous grouped pool dispatch, …).
     """
     from repro.orchestrate import SweepPoint, orchestrate
 

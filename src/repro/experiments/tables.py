@@ -23,13 +23,29 @@ from repro.core.severity import (
 __all__ = ["table1", "table2", "table3"]
 
 
+def _warn_adaptive_noop(table: str) -> None:
+    """The tables are definitional; ``adaptive=True`` changes nothing."""
+    import warnings
+
+    warnings.warn(
+        f"{table}(adaptive=True) has no effect: the paper's tables are "
+        "printed from the model definitions (no estimation), so there is "
+        "no budget to allocate",
+        UserWarning,
+        stacklevel=3,
+    )
+
+
 def table1(fast: bool = False, adaptive: bool = False) -> list[dict]:
     """Failure modes and associated maneuvers (Table 1).
 
     ``adaptive`` is accepted for interface symmetry with the figure
-    experiments and ignored: the tables are *definitional* (printed from
-    the model code, no estimation), so there is no budget to allocate.
+    experiments but has no effect: the tables are *definitional* (printed
+    from the model code, no estimation), so there is no budget to
+    allocate.  Passing ``adaptive=True`` emits a :class:`UserWarning`.
     """
+    if adaptive:
+        _warn_adaptive_noop("table1")
     rows = []
     for fm in FAILURE_MODES:
         maneuver = maneuver_for_failure_mode(fm)
@@ -49,13 +65,15 @@ def table1(fast: bool = False, adaptive: bool = False) -> list[dict]:
 def table2(fast: bool = False, adaptive: bool = False) -> list[dict]:
     """Catastrophic situations (Table 2), with an exhaustive check.
 
-    ``adaptive`` is a documented no-op (see :func:`table1`).
+    ``adaptive`` has no effect and warns (see :func:`table1`).
 
     Besides printing the three situations, enumerates every severity
     combination with up to 6 active failures and reports how many map to
     each situation — the brute-force truth table the property tests also
     verify against.
     """
+    if adaptive:
+        _warn_adaptive_noop("table2")
     rows = [
         {"situation": st, "description": desc, "matching_combinations": 0}
         for st, desc in CATASTROPHIC_SITUATIONS.items()
@@ -74,12 +92,14 @@ def table2(fast: bool = False, adaptive: bool = False) -> list[dict]:
 def table3(fast: bool = False, adaptive: bool = False) -> list[dict]:
     """Coordination strategies (Table 3) with their maneuver involvement.
 
-    ``adaptive`` is a documented no-op (see :func:`table1`).
+    ``adaptive`` has no effect and warns (see :func:`table1`).
 
     The involvement columns show the expected number of assisting
     vehicles per maneuver at the default occupancy (10 vehicles/platoon) —
     the mechanism through which the strategies differ in safety.
     """
+    if adaptive:
+        _warn_adaptive_noop("table3")
     rows = []
     occupancy = 10.0
     for strategy in Strategy:

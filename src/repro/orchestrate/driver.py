@@ -144,6 +144,14 @@ class Orchestrator:
         splitting pass, hundreds of trajectories, so chunks are small).
     engine:
         Jump-engine for the simulation-backed estimators.
+    sweep_batch:
+        When True, each round's chunk jobs are dispatched to the pool in
+        point-contiguous groups (one pool task per group; see
+        :meth:`~repro.runtime.pool.ParallelRunner.execute_jobs_grouped`)
+        instead of one pool task per chunk.  Pure scheduling: every chunk
+        still computes the identical summary, so reports and artifacts
+        are byte-identical to the per-chunk path (wall-clock telemetry
+        aside).  No effect with a single worker.
     """
 
     def __init__(
@@ -158,6 +166,7 @@ class Orchestrator:
         round_chunks: Optional[int] = None,
         splitting_chunk_size: int = 8,
         engine: str = "compiled",
+        sweep_batch: bool = False,
     ) -> None:
         if not points:
             raise ValueError("need at least one sweep point")
@@ -171,6 +180,7 @@ class Orchestrator:
         self.runner = runner
         self.seed = int(seed)
         self.engine = engine
+        self.sweep_batch = bool(sweep_batch)
         self.estimator_policy = estimator_policy or EstimatorPolicy()
         self.splitting_chunk_size = int(splitting_chunk_size)
         if round_chunks is None:
@@ -270,7 +280,14 @@ class Orchestrator:
             all_jobs.update(jobs)
             state.done += award
             ledger.charge(state.point.point_id, award)
-        dispatched = self.runner.execute_jobs(all_jobs, telemetry)
+        # sweep batching changes only how jobs ride to the pool — every
+        # chunk computes the identical summary either way.  ``all_jobs``
+        # is built in point order above, so grouped dispatch slices it
+        # into point-contiguous pool tasks.
+        if self.sweep_batch:
+            dispatched = self.runner.execute_jobs_grouped(all_jobs, telemetry)
+        else:
+            dispatched = self.runner.execute_jobs(all_jobs, telemetry)
         for key in sorted(dispatched, key=lambda k: (k[0], k[1])):
             point_id, _chunk = key
             summary = dispatched[key]
@@ -281,6 +298,7 @@ class Orchestrator:
                 busy_seconds=summary.elapsed_seconds,
                 events=summary.events,
             )
+            telemetry.record_point_seconds(point_id, summary.elapsed_seconds)
             by_id[point_id].completed[summary.chunk_index] = summary
 
     def _refresh(self, states: list[_PointState], ledger: BudgetLedger) -> None:

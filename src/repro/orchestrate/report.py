@@ -239,4 +239,14 @@ class OrchestrationReport:
                     f"widest rel-CI={widest_text:<8} "
                     f"converged={record.converged_points}  [{awards}]"
                 )
+        point_seconds = (self.telemetry or {}).get("point_seconds")
+        if point_seconds:
+            # wall-clock footer only: never part of the deterministic
+            # points/rounds sections above
+            budget = "  ".join(
+                f"{pid}={seconds:.2f}s"
+                for pid, seconds in sorted(point_seconds.items())
+            )
+            lines.append("")
+            lines.append(f"point seconds: {budget}")
         return "\n".join(lines)

@@ -53,6 +53,12 @@ class TelemetrySnapshot:
     #: (:meth:`repro.obs.metrics.MetricSummary.to_dict`) when the run was
     #: executed with observability metrics enabled; None otherwise
     activity_metrics: Optional[dict] = None
+    #: busy wall-seconds spent simulating each sweep point (point id ->
+    #: summed worker-side chunk seconds), filled by drivers that schedule
+    #: several points in one run (the adaptive orchestrator); None for
+    #: single-task runs.  Lives only in telemetry: the deterministic
+    #: points/rounds sections of artifacts never carry wall time.
+    point_seconds: Optional[dict] = None
 
     @property
     def units_per_second(self) -> float:
@@ -129,6 +135,11 @@ class TelemetrySnapshot:
         }
         if self.activity_metrics is not None:
             record["activity_metrics"] = self.activity_metrics
+        if self.point_seconds is not None:
+            record["point_seconds"] = {
+                point: float(seconds)
+                for point, seconds in sorted(self.point_seconds.items())
+            }
         return record
 
     def format(self) -> str:
@@ -165,6 +176,12 @@ class TelemetrySnapshot:
                 f"busy={stats.busy_seconds:.2f}s  "
                 f"util={self.utilization(worker):.0%}"
             )
+        if self.point_seconds:
+            budget = "  ".join(
+                f"{point}={seconds:.2f}s"
+                for point, seconds in sorted(self.point_seconds.items())
+            )
+            lines.append(f"         point seconds: {budget}")
         return "\n".join(lines)
 
 
@@ -207,6 +224,7 @@ class TelemetryRecorder:
         self.cache_hits = 0
         self.cache_misses = 0
         self.per_worker: dict[str, WorkerStats] = {}
+        self.point_seconds: dict[str, float] = {}
         #: merged activity-metric summary dict, set by the pool driver when
         #: the task ran with observability metrics enabled
         self.activity_metrics: Optional[dict] = None
@@ -245,6 +263,12 @@ class TelemetryRecorder:
         self.draws += draws
         self.events += events
 
+    def record_point_seconds(self, point_id: str, seconds: float) -> None:
+        """Accumulate busy worker-seconds attributed to one sweep point."""
+        self.point_seconds[point_id] = (
+            self.point_seconds.get(point_id, 0.0) + seconds
+        )
+
     def record_retry(self) -> None:
         self.retries += 1
 
@@ -274,4 +298,5 @@ class TelemetryRecorder:
             engine=self.engine,
             per_worker=dict(self.per_worker),
             activity_metrics=self.activity_metrics,
+            point_seconds=dict(self.point_seconds) or None,
         )

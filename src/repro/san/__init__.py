@@ -35,6 +35,7 @@ from repro.san.compiled import (
     make_jump_engine,
 )
 from repro.san.batched import DEFAULT_BATCH_SIZE, BatchedJumpEngine
+from repro.san.stepped import SteppedJumpEngine
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
@@ -61,6 +62,7 @@ __all__ = [
     "SimulationRun",
     "ENGINES",
     "BatchedJumpEngine",
+    "SteppedJumpEngine",
     "DEFAULT_BATCH_SIZE",
     "CompiledJumpEngine",
     "CompiledMarking",

@@ -66,12 +66,14 @@ __all__ = [
     "CompiledMarking",
     "CompiledModel",
     "CompiledJumpEngine",
+    "FireProgram",
     "compile_model",
     "make_jump_engine",
+    "trace_fire_programs",
 ]
 
 #: engine names accepted by :func:`make_jump_engine` and the CLI ``--engine``
-ENGINES = ("interpreted", "compiled", "batched")
+ENGINES = ("interpreted", "compiled", "batched", "stepped")
 
 
 class CompiledMarking:
@@ -486,6 +488,275 @@ def _compile_fire(
             function(view)
 
     return fire
+
+
+# ----------------------------------------------------------------------
+# delta-matrix fire programs (consumed by the stepped batch engine)
+# ----------------------------------------------------------------------
+class _FireTraceAbort(BaseException):
+    """The fire function resists delta lowering (branches, extended
+    places, non-integer writes...).  A ``BaseException`` so gate code
+    wrapped in broad ``except Exception`` handlers cannot swallow it."""
+
+
+class _PendingShift:
+    """Symbolic fire-time value: ``initial marking of slot + delta``.
+
+    Supports exactly the integer ``+``/``-`` arithmetic that token moves
+    (``inc``/``dec``/read-modify-write) need; anything else — truthiness,
+    comparisons, coercions — aborts the trace, sending the activity to
+    the per-row closure path.
+    """
+
+    __slots__ = ("slot", "delta")
+
+    def __init__(self, slot: int, delta: int) -> None:
+        self.slot = slot
+        self.delta = delta
+
+    def _shift(self, amount: Any) -> "_PendingShift":
+        if not isinstance(amount, int) or isinstance(amount, bool):
+            raise _FireTraceAbort("non-integer arithmetic in fire function")
+        return _PendingShift(self.slot, self.delta + amount)
+
+    def __add__(self, other: Any) -> "_PendingShift":
+        return self._shift(other)
+
+    def __radd__(self, other: Any) -> "_PendingShift":
+        return self._shift(other)
+
+    def __sub__(self, other: Any) -> "_PendingShift":
+        if not isinstance(other, int) or isinstance(other, bool):
+            raise _FireTraceAbort("non-integer arithmetic in fire function")
+        return _PendingShift(self.slot, self.delta - other)
+
+    def __bool__(self):
+        raise _FireTraceAbort("branch on a marking value in fire function")
+
+    def __eq__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __ne__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __lt__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __le__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __gt__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __ge__(self, other):
+        raise _FireTraceAbort("comparison on a marking value in fire function")
+
+    def __hash__(self):
+        raise _FireTraceAbort("hashing a marking value in fire function")
+
+    def __int__(self):
+        raise _FireTraceAbort("int() coercion in fire function")
+
+    def __index__(self):
+        raise _FireTraceAbort("index coercion in fire function")
+
+    def __float__(self):
+        raise _FireTraceAbort("float() coercion in fire function")
+
+    def __mul__(self, other):
+        raise _FireTraceAbort("non-shift arithmetic in fire function")
+
+    __rmul__ = __truediv__ = __rtruediv__ = __floordiv__ = __rsub__ = __mul__
+    __mod__ = __pow__ = __neg__ = __mul__
+
+
+class _FireTraceView:
+    """Stand-in gate view that records a fire function's writes.
+
+    Reads resolve against a *pending value* table keyed by global slot —
+    a read after a write sees the written symbolic value, so the
+    recorded ops can later be applied against an **initial-column
+    snapshot** in any order without read-after-write hazards.  Values
+    are either exact ``int`` constants or :class:`_PendingShift`\\ s
+    (initial value of some slot plus an integer delta).
+    """
+
+    __slots__ = ("_slots", "_state")
+
+    def __init__(self, slots: dict[str, int], state: "_FireTraceState") -> None:
+        self._slots = slots
+        self._state = state
+
+    def _slot(self, local: str) -> int:
+        try:
+            slot = self._slots[local]
+        except KeyError:
+            raise _FireTraceAbort(f"undeclared local place {local!r}")
+        if not self._state.mirrored[slot]:
+            raise _FireTraceAbort("extended place access in fire function")
+        return slot
+
+    def __getitem__(self, local: str) -> Any:
+        slot = self._slot(local)
+        pending = self._state.pending
+        if slot in pending:
+            return pending[slot]
+        return _PendingShift(slot, 0)
+
+    def __setitem__(self, local: str, value: Any) -> None:
+        slot = self._slot(local)
+        state = self._state
+        if isinstance(value, _PendingShift):
+            state.ops.append((slot, value.slot, value.delta))
+        elif isinstance(value, int) and not isinstance(value, bool):
+            if value < 0:
+                # the compiled path would raise at this write; keep the
+                # activity on the per-row closures so it actually does
+                raise _FireTraceAbort("negative constant write")
+            state.ops.append((slot, None, value))
+        else:
+            raise _FireTraceAbort(
+                f"non-integer write {type(value).__name__} in fire function"
+            )
+        state.pending[slot] = value
+
+    def inc(self, local: str, amount: int = 1) -> None:
+        self[local] = self[local] + amount
+
+    def dec(self, local: str, amount: int = 1) -> None:
+        self.inc(local, -amount)
+
+    def tuple_set(self, local: str, index: int, value: Any) -> None:
+        raise _FireTraceAbort("extended place write in fire function")
+
+
+class _FireTraceState:
+    """Shared op recorder for one (activity, case) trace."""
+
+    __slots__ = ("mirrored", "pending", "ops")
+
+    def __init__(self, mirrored: list[bool]) -> None:
+        self.mirrored = mirrored
+        self.pending: dict[int, Any] = {}
+        self.ops: list[tuple] = []
+
+
+class FireProgram:
+    """One (activity, case) firing lowered to batched column writes.
+
+    Applying the program to rows of the batch marking matrix is
+    equivalent to running the compiled fire closures row by row:
+
+    * every op value is a function of the **pre-fire** marking only
+      (read-after-write was resolved symbolically at trace time), so the
+      per-slot final values can be written in any order from an initial
+      column snapshot;
+    * the only runtime validation the compiled path could fail is a
+      negative marking, which only a negative net shift can produce —
+      :meth:`apply` checks exactly those ops and reports ``False`` so the
+      caller can replay the rows through the compiled closures,
+      reproducing the exact per-row error.
+
+    ``write_mask`` is the union of written slots — a superset of the
+    compiled engine's changed mask (a write of an unchanged value sets no
+    bit there).  All batch-engine consumers of changed masks are pure
+    re-evaluation triggers, so the superset is bitwise harmless.
+    """
+
+    __slots__ = ("checks", "finals", "srcs", "write_mask")
+
+    def __init__(self, ops: list[tuple]) -> None:
+        # validation set: any traced op with a negative net shift can
+        # drive a marking negative (consts were validated at trace time,
+        # and a non-negative shift of a non-negative marking stays >= 0)
+        self.checks = tuple(
+            (src, delta) for _slot, src, delta in ops
+            if src is not None and delta < 0
+        )
+        finals: dict[int, tuple] = {}
+        for op in ops:
+            finals[op[0]] = op
+        self.finals = tuple(finals.values())
+        self.srcs = tuple(
+            {src for _slot, src, _d in self.finals if src is not None}
+            | {src for src, _d in self.checks}
+        )
+        self.write_mask = 0
+        for slot, _src, _delta in self.finals:
+            self.write_mask |= 1 << slot
+
+    def apply(self, matrix, rows) -> bool:
+        """Fire the program for ``rows`` (an index array) of ``matrix``.
+
+        Returns ``False`` without touching the matrix when any row would
+        validate-fail (negative marking); the caller replays those rows
+        through the compiled closures to surface the exact error.
+        """
+        # advanced indexing copies, so these are pre-fire snapshots
+        cols = {src: matrix[rows, src] for src in self.srcs}
+        for src, delta in self.checks:
+            if (cols[src] + delta < 0).any():
+                return False
+        for slot, src, delta in self.finals:
+            if src is None:
+                matrix[rows, slot] = delta
+            else:
+                matrix[rows, slot] = cols[src] + delta
+        return True
+
+    def apply_row(self, matrix, row: int) -> bool:
+        """Scalar :meth:`apply` for a single row.
+
+        Fancy indexing costs more than it saves on the one- and two-row
+        case groups a step typically shatters into, so callers use this
+        plain-integer path below a small group size.  Same contract:
+        ``False`` (and no writes) when the row would validate-fail.
+        """
+        vals = {src: int(matrix[row, src]) for src in self.srcs}
+        for src, delta in self.checks:
+            if vals[src] + delta < 0:
+                return False
+        for slot, src, delta in self.finals:
+            matrix[row, slot] = delta if src is None else vals[src] + delta
+        return True
+
+
+def trace_fire_programs(
+    compiled: CompiledModel, activity
+) -> list[Optional["FireProgram"]]:
+    """Delta-matrix fire programs for each case of ``activity``.
+
+    Entries are ``None`` for cases whose firing resists lowering
+    (data-dependent control flow, extended places, non-integer writes,
+    writes the compiled path would reject outright); those cases keep the
+    per-row compiled closures.
+    """
+    slot_of = compiled.slot_of
+    mirrored = [not place.is_extended for place in compiled.places]
+    input_gates = [
+        (gate.function, gate.slot_binding(slot_of))
+        for gate in activity.input_gates
+        if gate.function is not None
+    ]
+    programs: list[Optional[FireProgram]] = []
+    for case in activity.cases:
+        state = _FireTraceState(mirrored)
+        try:
+            for function, slots in input_gates:
+                function(_FireTraceView(slots, state))
+            for gate in case.output_gates:
+                function = gate.function
+                function(
+                    _FireTraceView(gate.slot_binding(slot_of), state)
+                )
+        except (_FireTraceAbort, Exception):
+            # any exception at trace time (including gate code raising
+            # on symbolic values) means the case cannot be lowered; the
+            # per-row path reproduces the real runtime behaviour
+            programs.append(None)
+        else:
+            programs.append(FireProgram(state.ops))
+    return programs
 
 
 class CompiledJumpEngine:
@@ -938,14 +1209,16 @@ def make_jump_engine(
     ``"compiled"`` (default) builds a :class:`CompiledJumpEngine`;
     ``"interpreted"`` the original
     :class:`~repro.san.simulator.MarkovJumpSimulator`; ``"batched"`` the
-    lockstep NumPy kernel (:class:`~repro.san.batched.BatchedJumpEngine`,
-    fastest for large replication counts — ``batch_size`` sets its
-    default lockstep width).  All three produce bit-identical results
-    for the same seed; fall back to ``interpreted`` when debugging gate
-    code (plain dict-backed markings) — see ``docs/engine_perf.md``.
-    ``observer`` attaches an observability hook (:mod:`repro.obs`) to
-    any engine (the batched engine then delegates traced runs to its
-    per-row compiled path, keeping RNG invariance).
+    lockstep NumPy kernel (:class:`~repro.san.batched.BatchedJumpEngine`);
+    ``"stepped"`` the per-batch-step kernel on top of it
+    (:class:`~repro.san.stepped.SteppedJumpEngine`, fastest for large
+    replication counts — ``batch_size`` sets the default lockstep width
+    of both).  All four produce bit-identical results for the same seed;
+    fall back to ``interpreted`` when debugging gate code (plain
+    dict-backed markings) — see ``docs/engine_perf.md``.  ``observer``
+    attaches an observability hook (:mod:`repro.obs`) to any engine (the
+    batch engines then delegate traced runs to their per-row compiled
+    path, keeping RNG invariance).
     """
     if engine == "compiled":
         return CompiledJumpEngine(model, bias=bias, observer=observer)
@@ -955,6 +1228,12 @@ def make_jump_engine(
         from repro.san.batched import BatchedJumpEngine
 
         return BatchedJumpEngine(
+            model, bias=bias, observer=observer, batch_size=batch_size
+        )
+    if engine == "stepped":
+        from repro.san.stepped import SteppedJumpEngine
+
+        return SteppedJumpEngine(
             model, bias=bias, observer=observer, batch_size=batch_size
         )
     raise ValueError(f"unknown engine {engine!r}; choose one of {ENGINES}")

@@ -1,0 +1,1005 @@
+"""Stepped SAN execution: the select-and-fire loop lowered to array kernels.
+
+The batched engine (:mod:`repro.san.batched`) vectorizes gate and rate
+*evaluation* across a lockstep batch, but still walks the jump loop
+per-event in Python: every firing pays a cursor row-switch, a scalar
+``searchsorted``, per-write closure calls with per-write validation, and
+an instantaneous-activity scan.  This module lowers the loop itself so
+the Python-level iteration is **per batch step** rather than per event:
+
+* holding times and selection uniforms are drawn per replication stream
+  (bit-identity pins each row to its own
+  :class:`~repro.stochastic.rng.RandomStream`), but activity selection is
+  resolved for the whole step at once — a masked comparison against the
+  cumulative-sum rate rows replays ``choice_index``'s left-to-right
+  tie-break exactly (``(cumsum <= u).sum()`` ≡ ``bisect_right``);
+* firing is fused: :func:`~repro.san.compiled.trace_fire_programs`
+  precomputes per-(activity, case) **delta programs** — column writes of
+  the form ``const`` or ``initial[slot] + delta`` — applied to all rows
+  that fired the same case in one NumPy operation, with per-row Python
+  values synchronised lazily (a ``stale`` bitmask per row) only when a
+  scalar closure, stop predicate or export actually needs them;
+* the instantaneous-activity scan and the stop predicate are lowered to
+  column expressions where possible, so the per-event Python work for
+  the common movement firings collapses to the two stream draws;
+* masked time-advance: absorbed, deadlocked and horizon-crossed rows
+  drop out of the step loop exactly as in the batched engine.
+
+Equivalence contract: identical to the batched engine's — per stream,
+runs are **bit-identical** to the compiled engine (draw order, IS
+weights, stop times, final markings) at any batch size.  Every lowering
+above is an exact replay: delta programs reproduce the compiled write
+(and negative-marking error) semantics or fall back per row; the
+instantaneous skip only elides scans that would provably fire nothing
+(which draw nothing and write nothing); lowered stop predicates evaluate
+the same integer comparisons over the matrix.  The one intentional
+divergence is error *ordering* inside a single step when several rows
+raise simultaneously (rows are processed grouped by activity rather than
+by row index), and, as in the batched engine, re-evaluation timing of
+model-bug errors (negative rates) may differ because changed-slot masks
+are supersets of the compiled engine's.
+
+Observers and rate rewards take the batched engine's paths unchanged
+(per-row compiled delegation / the per-event batched loop), preserving
+trace ordering, ``wants_deltas`` delta reporting and reward integrals.
+
+See ``docs/engine_perf.md`` for measurements and guidance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.san.batched import (
+    BatchedJumpEngine,
+    _build_tree,
+    _CannotLower,
+    _enumerate_paths,
+    _lower_group,
+    _Node,
+    _tree_expr,
+)
+from repro.san.compiled import trace_fire_programs
+from repro.san.simulator import SimulationRun, _RewardIntegrator
+
+__all__ = ["SteppedJumpEngine"]
+
+
+class _StopProbe:
+    """Marking stand-in for tracing a stop predicate into a column expr.
+
+    Only the read surface stop predicates actually use (``get``) is
+    provided; anything else raises and aborts lowering, sending the
+    predicate to the per-row path.
+    """
+
+    __slots__ = ("_slot_of", "_extended")
+
+    def __init__(self, slot_of, extended: frozenset) -> None:
+        self._slot_of = slot_of
+        self._extended = extended
+
+    def get(self, place) -> _Node:
+        slot = self._slot_of.get(place)
+        if slot is None:
+            raise _CannotLower("unknown place in stop predicate")
+        if slot in self._extended:
+            raise _CannotLower("extended place in stop predicate")
+        return _Node(lambda M, _s=slot: M[:, _s])
+
+
+def _bool_rows(value, n_rows: int) -> np.ndarray:
+    """Normalise a lowered expression's output to an (R,) bool array."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return np.full(n_rows, bool(arr != 0))
+    return (arr != 0).reshape(n_rows, -1).any(axis=1)
+
+
+#: per-part table size cap — a span beyond this falls back to the
+#: direct tree refresh (8 MiB of float64 per part at the cap)
+_SPAN_CAP = 1 << 20
+
+
+class _PartMemo:
+    """Direct-address value table over one lowered part's read *roles*.
+
+    A lowered group fuses 2n replicas of the same gate/rate code; each
+    member's value is a pure function of the slots its binding maps the
+    code's place names to.  Because the code (and hence the traced name
+    set) is identical across members, the name-aligned slot vectors —
+    the *roles* — give a sound shared key: ``role values → value`` is
+    the same map for every member.  Roles whose slot is the same for
+    all members (the shared occupancy counters) contribute one column
+    read per refresh; per-member roles (per-vehicle flags) contribute a
+    ``(rows, G)`` gather.  The mixed-radix index over per-role value
+    bounds addresses a dense table, so a warm refresh is a handful of
+    gathers with no tree evaluation at all.
+
+    Bounds adapt: a value at or beyond a role's bound grows the bound
+    and rebuilds (clears) the table — rare, since the paper models'
+    occupancies are bounded by the platoon size.  A span above
+    ``_SPAN_CAP`` reports ``None`` and the owner reverts to the direct
+    refresh for good.
+    """
+
+    __slots__ = ("member_slots", "member_keys", "shared_slots", "bounds",
+                 "strides", "table", "is_float", "dead")
+
+    def __init__(self, roles: list, is_float: bool) -> None:
+        # dedupe identical roles (a name bound twice to the same slots)
+        seen: set = set()
+        unique = []
+        for role in roles:
+            key = role.tobytes()
+            if key not in seen:
+                seen.add(key)
+                unique.append(role)
+        self.member_slots = [
+            role for role in unique if (role != role[0]).any()
+        ]
+        # cache key per member role: the same per-vehicle flag role is
+        # read by many groups, so its gather is shared within a refresh
+        self.member_keys = [role.tobytes() for role in self.member_slots]
+        self.shared_slots = [
+            int(role[0]) for role in unique if not (role != role[0]).any()
+        ]
+        self.bounds = [2] * (len(self.member_slots) + len(self.shared_slots))
+        self.is_float = is_float
+        self.strides: list = []
+        self.table = None
+        self.dead = False
+        self._rebuild()
+
+    def _rebuild(self) -> bool:
+        span = 1
+        strides = []
+        for bound in self.bounds:
+            strides.append(span)
+            span *= bound
+        if span > _SPAN_CAP:
+            self.dead = True
+            self.table = None
+            return False
+        self.strides = strides
+        if self.is_float:
+            self.table = np.full(span, np.nan, dtype=np.float64)
+        else:
+            # 0/1 cached predicate values; 2 marks a never-seen key
+            self.table = np.full(span, 2, dtype=np.uint8)
+        return True
+
+    def index(self, matrix, rows, cache: dict):
+        """Mixed-radix table index per (row, member) — ``(a,)`` when all
+        roles are shared, ``(a, G)`` otherwise, ``None`` once dead.
+
+        ``cache`` shares gathered shared-slot columns (and their maxima)
+        across every part refreshed for the same row set within one
+        refresh call — the AHS groups all key on the same few occupancy
+        counters, so most gathers hit it.
+        """
+        if self.dead:
+            return None
+        n_member = len(self.member_slots)
+        signature = None
+        if not self.member_slots:
+            # fully-shared parts with the same slots converge to the same
+            # bounds (they see the same data), so their mixed-radix index
+            # is identical — compute it once per refresh call
+            signature = (tuple(self.shared_slots), tuple(self.bounds))
+            memoised = cache.get(signature)
+            if memoised is not None:
+                return memoised
+        rows2 = cache.get("rows2")
+        if rows2 is None:
+            rows2 = rows[:, None]
+            cache["rows2"] = rows2
+        while True:
+            grow = False
+            vals_member = []
+            for k, slots in enumerate(self.member_slots):
+                entry = cache.get(self.member_keys[k])
+                if entry is None:
+                    v = matrix[rows2, slots]
+                    entry = (v, int(v.max()) if v.size else 0)
+                    cache[self.member_keys[k]] = entry
+                v, top = entry
+                if top >= self.bounds[k]:
+                    self.bounds[k] = top + 2
+                    grow = True
+                vals_member.append(v)
+            vals_shared = []
+            for j, slot in enumerate(self.shared_slots):
+                entry = cache.get(slot)
+                if entry is None:
+                    v = matrix[rows, slot]
+                    entry = (v, int(v.max()) if v.size else 0)
+                    cache[slot] = entry
+                v, top = entry
+                if top >= self.bounds[n_member + j]:
+                    self.bounds[n_member + j] = top + 2
+                    grow = True
+                vals_shared.append(v)
+            if not grow:
+                break
+            if not self._rebuild():
+                return None
+        idx_shared = None
+        for j, v in enumerate(vals_shared):
+            stride = self.strides[n_member + j]
+            term = v if stride == 1 else v * stride
+            idx_shared = term if idx_shared is None else idx_shared + term
+        idx_member = None
+        for k, v in enumerate(vals_member):
+            stride = self.strides[k]
+            term = v if stride == 1 else v * stride
+            idx_member = term if idx_member is None else idx_member + term
+        if idx_member is None:
+            if idx_shared is None:
+                return np.zeros(len(rows), dtype=np.int64)
+            if signature is not None:
+                # bounds may have grown above — key under the final ones
+                cache[tuple(self.shared_slots), tuple(self.bounds)] = (
+                    idx_shared
+                )
+            return idx_shared
+        if idx_shared is not None:
+            idx_member = idx_member + idx_shared[:, None]
+        return idx_member
+
+
+class _TableGroup:
+    """Tabulated refresh for one lowered group (stepped engine only).
+
+    Splits the group into its gate conjunction (a 0/1 table) and its
+    rate expression (a float table), each direct-addressed by
+    :class:`_PartMemo` keys.  Missing entries are filled by evaluating
+    the group's own lowered trees on just the missing rows, so every
+    cached value holds exactly the bits the direct full-batch refresh
+    would produce (elementwise ufuncs are bitwise shape-independent),
+    and the per-step work in the steady state collapses to column
+    gathers, two table lookups and one ``where``.
+
+    Parity notes: the negative-rate guard runs per step on the gathered
+    values (gate-masked, alive rows only) exactly like the direct
+    refresh; a model whose rate evaluates to NaN never caches (NaN is
+    the miss sentinel), degrading that pathological case to per-step
+    re-evaluation with unchanged semantics.
+    """
+
+    __slots__ = ("group", "gate", "rate", "direct")
+
+    def __init__(self, compiled, group, extended: frozenset) -> None:
+        self.group = group
+        self.gate: Optional[_PartMemo] = None
+        self.rate: Optional[_PartMemo] = None
+        self.direct = False
+        members = [compiled.timed[i] for i in group.indices]
+        try:
+            gate_roles, rate_roles = self._derive_roles(
+                compiled.slot_of, members, extended
+            )
+        except (_CannotLower, KeyError, TypeError):
+            self.direct = True
+            return
+        if group.gate_exprs:
+            self.gate = _PartMemo(gate_roles, is_float=False)
+        if group.rate_expr is not None:
+            self.rate = _PartMemo(rate_roles, is_float=True)
+        if (self.gate is not None and self.gate.dead) or (
+            self.rate is not None and self.rate.dead
+        ):
+            self.direct = True
+
+    @staticmethod
+    def _derive_roles(slot_of, members, extended: frozenset) -> tuple:
+        """Name-aligned per-role slot vectors for gates and rate.
+
+        The trace runs once on the template member; the read name set
+        is code-determined (path enumeration never looks at values), so
+        the other members' slots come straight from their bindings.
+        """
+        template = members[0]
+        gate_roles: list = []
+        for position in range(len(template.input_gates)):
+            binding = template.input_gates[position].slot_binding(slot_of)
+            _expr, reads = _lower_group(
+                template.input_gates[position].predicate, [binding], extended
+            )
+            names = sorted(
+                name for name, slot in binding.items() if slot in reads
+            )
+            if reads - {binding[name] for name in names}:
+                raise _CannotLower("gate read outside its binding")
+            bindings = [
+                m.input_gates[position].slot_binding(slot_of)
+                for m in members
+            ]
+            for name in names:
+                gate_roles.append(np.array(
+                    [b[name] for b in bindings], dtype=np.intp
+                ))
+        rate_roles: list = []
+        _constant, rate_fn = template.exponential_parts()
+        if rate_fn is not None:
+            binding = rate_fn.slot_binding(slot_of)
+            _expr, reads = _lower_group(rate_fn.fn, [binding], extended)
+            names = sorted(
+                name for name, slot in binding.items() if slot in reads
+            )
+            if reads - {binding[name] for name in names}:
+                raise _CannotLower("rate read outside its binding")
+            bindings = [
+                m.exponential_parts()[1].slot_binding(slot_of)
+                for m in members
+            ]
+            for name in names:
+                rate_roles.append(np.array(
+                    [b[name] for b in bindings], dtype=np.intp
+                ))
+        return gate_roles, rate_roles
+
+    def refresh(self, matrix, rows, Ro, Rb, alive_mask,
+                has_bias: bool, cache: Optional[dict] = None) -> None:
+        group = self.group
+        if self.direct:
+            group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+            return
+        if cache is None:
+            cache = {}
+        gate_idx = None
+        if self.gate is not None:
+            gate_idx = self.gate.index(matrix, rows, cache)
+            if gate_idx is None:
+                self.direct = True
+                group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+                return
+        rate_idx = None
+        if self.rate is not None:
+            rate_idx = self.rate.index(matrix, rows, cache)
+            if rate_idx is None:
+                self.direct = True
+                group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+                return
+
+        en = self.gate.table[gate_idx] if self.gate is not None else None
+        rt = self.rate.table[rate_idx] if self.rate is not None else None
+        miss = None
+        if en is not None:
+            miss = en == 2
+        if rt is not None:
+            rt_miss = np.isnan(rt)
+            if miss is None:
+                miss = rt_miss
+            elif miss.shape == rt_miss.shape:
+                miss = miss | rt_miss
+            else:  # one side per-row, the other per-(row, member)
+                miss = (
+                    miss.reshape(len(rows), -1).any(axis=1)
+                    | rt_miss.reshape(len(rows), -1).any(axis=1)
+                )
+        if miss is not None and miss.any():
+            if miss.ndim == 2:
+                local = np.unique(np.nonzero(miss)[0])
+            else:
+                local = np.flatnonzero(miss)
+            self._fill(matrix, rows, local, gate_idx, rate_idx)
+            if en is not None:
+                en = self.gate.table[gate_idx]
+            if rt is not None:
+                rt = self.rate.table[rate_idx]
+
+        if rt is None:
+            enabled = en != 0
+            if enabled.ndim == 1:
+                enabled = enabled[:, None]
+            block = np.where(enabled, group.eff_consts, 0.0)
+        else:
+            if rt.ndim == 1:
+                rt = rt[:, None]
+            positive = rt > 0.0
+            negative = rt < 0.0
+            if en is not None:
+                enabled = en != 0
+                if enabled.ndim == 1:
+                    enabled = enabled[:, None]
+                positive = positive & enabled
+                negative = negative & enabled
+            if negative.any():
+                shape = (len(rows), len(group.indices))
+                flat = np.broadcast_to(negative, shape)
+                row, col = divmod(int(np.argmax(flat)), shape[1])
+                rates = np.broadcast_to(rt, shape)
+                raise ValueError(
+                    f"activity {group.names[col]!r}: negative rate "
+                    f"{float(rates[row, col])}"
+                )
+            block = np.where(positive, rt, 0.0)
+        rows2 = cache.get("rows2")
+        if rows2 is None:
+            rows2 = rows[:, None]
+            cache["rows2"] = rows2
+        Ro[rows2, group.indices] = block
+        if has_bias:
+            if group.any_factor:
+                Rb[rows2, group.indices] = block * group.factors
+            else:
+                Rb[rows2, group.indices] = block
+
+    def _fill(self, matrix, rows, local, gate_idx, rate_idx) -> None:
+        """Evaluate the group's trees on the missing rows and cache."""
+        group = self.group
+        sub = matrix[rows[local]]
+        shape = (len(local), len(group.indices))
+        if self.gate is not None:
+            enabled = None
+            for expr in group.gate_exprs:
+                gate = np.asarray(expr(sub)) != 0
+                enabled = gate if enabled is None else (enabled & gate)
+            if enabled.ndim != 2:
+                enabled = np.broadcast_to(enabled, shape)
+            target = gate_idx[local]
+            if target.ndim == 1:
+                # shared-only roles: every member caches the same value
+                self.gate.table[target] = enabled[:, 0]
+            else:
+                self.gate.table[target] = enabled
+        if self.rate is not None:
+            rates = np.asarray(group.rate_expr(sub), dtype=np.float64)
+            if rates.ndim != 2:
+                rates = np.broadcast_to(rates, shape)
+            target = rate_idx[local]
+            if target.ndim == 1:
+                self.rate.table[target] = rates[:, 0]
+            else:
+                self.rate.table[target] = rates
+
+
+class SteppedJumpEngine(BatchedJumpEngine):
+    """Per-batch-step lockstep executor (see module docstring).
+
+    Accepts exactly the :class:`BatchedJumpEngine` constructor surface
+    and produces bit-identical results; the difference is purely
+    throughput on models whose firings lower to delta programs (all of
+    the built-in AHS models' movement activities do).
+    """
+
+    #: engine label reported in runtime telemetry footers
+    engine_name = "stepped"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._bind_stepped()
+
+    # ------------------------------------------------------------------
+    def _bind_stepped(self) -> None:
+        compiled = self.compiled
+        #: per timed activity, per case: FireProgram or None (fallback)
+        self._fire_programs = [
+            trace_fire_programs(compiled, activity)
+            for activity in compiled.timed
+        ]
+        self._insta_lowered = self._lower_insta()
+        extended = frozenset(
+            slot for slot, place in enumerate(compiled.places)
+            if place.is_extended
+        )
+        #: per lowered group, its tabulated refresh (tables persist
+        #: across batches — read-value combinations recur between sweep
+        #: points, so later points start warm)
+        self._tables = [
+            _TableGroup(compiled, group, extended)
+            for group in self._lowered
+        ]
+        #: table-memoised insta-gate scan: ``read values -> any enabled``
+        #: keyed the same way as the refresh tables (the severity gates
+        #: read a handful of shared class counters, so the key space is
+        #: tiny); None when the gates didn't lower or the span is hopeless
+        self._insta_memo: Optional[_PartMemo] = None
+        if self._insta_lowered is not None and self._insta_read_slots:
+            memo = _PartMemo(
+                [
+                    np.array([slot], dtype=np.intp)
+                    for slot in sorted(self._insta_read_slots)
+                ],
+                is_float=False,
+            )
+            if not memo.dead:
+                self._insta_memo = memo
+        #: entry stabilisation is deterministic (and so broadcastable
+        #: from the first row) exactly when no instantaneous activity
+        #: can draw a case — single-case activities never touch the
+        #: stream, and all rows share the same initial marking
+        self._insta_single_case = all(
+            len(activity.cases) == 1 for activity in compiled.instantaneous
+        )
+        # stop-predicate lowering cache: id → (predicate, expr or None);
+        # the strong predicate reference prevents id reuse
+        self._stop_cache: dict[int, tuple] = {}
+
+    def _lower_insta(self) -> Optional[list]:
+        """Per instantaneous activity, its lowered gate conjunction.
+
+        ``None`` when any activity resists lowering (or is gateless,
+        i.e. unconditionally enabled): the conservative changed-mask
+        trigger then scans exactly like the batched engine.
+        """
+        compiled = self.compiled
+        slot_of = compiled.slot_of
+        extended = frozenset(
+            slot for slot, place in enumerate(compiled.places)
+            if place.is_extended
+        )
+        per_activity: list[list[Callable]] = []
+        reads_union: set[int] = set()
+        self._insta_read_slots: frozenset = frozenset()
+        for activity in compiled.instantaneous:
+            if not activity.input_gates:
+                return None
+            gate_exprs = []
+            try:
+                for gate in activity.input_gates:
+                    expr, reads = _lower_group(
+                        gate.predicate,
+                        [gate.slot_binding(slot_of)],
+                        extended,
+                    )
+                    gate_exprs.append(expr)
+                    reads_union |= reads
+            except _CannotLower:
+                return None
+            per_activity.append(gate_exprs)
+        self._insta_read_slots = frozenset(reads_union)
+        return per_activity
+
+    def _any_insta_enabled(self, sub: np.ndarray, n_rows: int) -> np.ndarray:
+        """(R,) bool: rows where some instantaneous activity is enabled."""
+        any_enabled: Optional[np.ndarray] = None
+        for gate_exprs in self._insta_lowered:  # type: ignore[union-attr]
+            act: Optional[np.ndarray] = None
+            for expr in gate_exprs:
+                gate = _bool_rows(expr(sub), n_rows)
+                act = gate if act is None else (act & gate)
+            any_enabled = act if any_enabled is None else (any_enabled | act)
+        if any_enabled is None:  # no instantaneous activities at all
+            return np.zeros(n_rows, dtype=bool)
+        return any_enabled
+
+    def _insta_enabled_rows(self, matrix, rows: np.ndarray) -> np.ndarray:
+        """(len(rows),) bool: some instantaneous activity enabled, per row.
+
+        Served from the insta memo table where possible (misses evaluate
+        the lowered gate trees on just the missing rows, so cached bits
+        match direct evaluation exactly); falls back to full-matrix
+        evaluation once the memo dies at the span cap.
+        """
+        memo = self._insta_memo
+        if memo is not None:
+            idx = memo.index(matrix, rows, {})
+            if idx is None:
+                self._insta_memo = None
+            else:
+                vals = memo.table[idx]
+                miss = vals == 2
+                if miss.any():
+                    local = np.flatnonzero(miss)
+                    sub = matrix[rows[local]]
+                    memo.table[idx[local]] = self._any_insta_enabled(
+                        sub, len(local)
+                    )
+                    vals = memo.table[idx]
+                return vals != 0
+        return self._any_insta_enabled(matrix, matrix.shape[0])[rows]
+
+    def _lowered_stop(self, stop_predicate) -> Optional[Callable]:
+        """Column expression for ``stop_predicate``, or ``None``."""
+        if stop_predicate is None:
+            return None
+        key = id(stop_predicate)
+        entry = self._stop_cache.get(key)
+        if entry is not None and entry[0] is stop_predicate:
+            return entry[1]
+        compiled = self.compiled
+        extended = frozenset(
+            slot for slot, place in enumerate(compiled.places)
+            if place.is_extended
+        )
+        probe = _StopProbe(compiled.slot_of, extended)
+        try:
+            paths = _enumerate_paths(stop_predicate, probe)
+            expr, _const = _tree_expr(_build_tree(paths, 0))
+        except _CannotLower:
+            expr = None
+        self._stop_cache[key] = (stop_predicate, expr)
+        return expr
+
+    # ------------------------------------------------------------------
+    def _refresh_lowered(self, changed_mask: int, matrix, Ro, Rb, alive_mask,
+                         has_bias: bool) -> None:
+        """Memoized variant of the batched refresh (alive rows only).
+
+        Dead rows' rate lanes go stale, which is unobservable: every
+        consumer (cumulative sums, selection clamp-back, weight ratios)
+        indexes alive rows exclusively.
+        """
+        lowered_dep = self._lowered_dep
+        affected = 0
+        while changed_mask:
+            low = changed_mask & -changed_mask
+            affected |= lowered_dep[low.bit_length() - 1]
+            changed_mask ^= low
+        if not affected:
+            return
+        rows = np.flatnonzero(alive_mask)
+        tables = self._tables
+        cache: dict = {}
+        with np.errstate(all="ignore"):
+            while affected:
+                low = affected & -affected
+                tables[low.bit_length() - 1].refresh(
+                    matrix, rows, Ro, Rb, alive_mask, has_bias, cache,
+                )
+                affected ^= low
+
+    # ------------------------------------------------------------------
+    def lowering_stats(self) -> dict[str, int]:
+        """Batched stats plus the stepped fire/stop/insta coverage."""
+        stats = super().lowering_stats()
+        cases = lowered = 0
+        for programs in self._fire_programs:
+            cases += len(programs)
+            lowered += sum(1 for program in programs if program is not None)
+        stats["fire_cases"] = cases
+        stats["fire_lowered"] = lowered
+        stats["insta_lowered"] = int(self._insta_lowered is not None)
+        stats["groups_tabulated"] = sum(
+            1 for table in self._tables if not table.direct
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        streams,
+        horizon: float,
+        stop_predicate=None,
+        rate_rewards=None,
+    ) -> list[SimulationRun]:
+        """Advance one replication per stream, one batch step at a time.
+
+        Observed runs delegate per row to the compiled engine and runs
+        with rate rewards take the batched per-event loop (both via
+        :class:`BatchedJumpEngine`), keeping their contracts intact.
+        """
+        if self.observer is not None or rate_rewards:
+            return super().run_batch(
+                streams, horizon, stop_predicate, rate_rewards
+            )
+        n_rows = len(streams)
+        if n_rows == 0:
+            return []
+        compiled = self.compiled
+        cursor = self._cursor
+        n_acts = self._n
+        has_bias = self._has_bias
+        insta_reads = compiled.insta_reads_mask
+        have_insta = bool(self._insta)
+        insta_lowered = self._insta_lowered
+        stop_expr = self._lowered_stop(stop_predicate)
+        fire_programs = self._fire_programs
+        choosers = self._choosers
+        firers = self._firers
+
+        rows = [list(compiled.initial_values) for _ in range(n_rows)]
+        matrix = np.zeros((n_rows, compiled.n_slots), dtype=np.int64,
+                          order="F")
+        for slot, mirrored in enumerate(cursor._mirror):
+            if mirrored:
+                matrix[:, slot] = compiled.initial_values[slot]
+        cursor.bind_batch(rows, matrix)
+
+        Ro = np.zeros((n_rows, n_acts), dtype=np.float64)
+        Rb = np.zeros((n_rows, n_acts), dtype=np.float64) if has_bias else Ro
+        alive_mask = np.zeros(n_rows, dtype=bool)
+
+        results: list[Optional[SimulationRun]] = [None] * n_rows
+        now = [0.0] * n_rows
+        weights = [1.0] * n_rows
+        firings = [0] * n_rows
+        # stepped runs inline only without rate rewards; the integrals
+        # are the same empty dict the batched engine would produce
+        integrators = [_RewardIntegrator(None) for _ in range(n_rows)]
+        #: per-row bitmask of matrix slots not yet copied back into the
+        #: exact Python row values (delta programs write the matrix only)
+        stale = [0] * n_rows
+        changed_masks = [0] * n_rows
+        fb_count = len(self._fb_indices)
+        fb_reads = [[0] * fb_count for _ in range(n_rows)]
+        fb_union = [0] * n_rows
+        any_fb = fb_count > 0
+
+        def sync(row: int) -> None:
+            mask = stale[row]
+            if mask:
+                values = rows[row]
+                while mask:
+                    low = mask & -mask
+                    slot = low.bit_length() - 1
+                    values[slot] = int(matrix[row, slot])
+                    mask ^= low
+                stale[row] = 0
+
+        def finalize(row: int, end_time: float, stopped: bool,
+                     stop_time: float) -> None:
+            alive_mask[row] = False
+            sync(row)
+            cursor.set_row(row)
+            cursor.changed_mask = 0
+            results[row] = SimulationRun(
+                end_time=end_time,
+                stopped=stopped,
+                stop_time=stop_time,
+                weight=weights[row],
+                firings=firings[row],
+                final_marking=cursor.export(),
+                reward_integrals=integrators[row].integrals,
+            )
+
+        # --- batch entry: stabilise, time-zero absorption, refresh ----
+        # With only single-case instantaneous activities the entry
+        # stabilisation draws nothing and every row starts from the same
+        # initial marking, so row 0's stabilised state is every row's:
+        # broadcast it instead of re-scanning per row (rows' streams are
+        # untouched either way, so the replay is exact).
+        broadcast = self._insta_single_case and n_rows > 1
+        if broadcast:
+            cursor.set_row(0)
+            cursor.changed_mask = 0
+            self._stabilize(streams[0])
+            cursor.changed_mask = 0
+            base_values = rows[0]
+            for row in range(1, n_rows):
+                rows[row][:] = base_values
+            matrix[1:] = matrix[0]
+        alive: list[int] = []
+        for row in range(n_rows):
+            cursor.set_row(row)
+            cursor.changed_mask = 0
+            if not broadcast:
+                self._stabilize(streams[row])
+                cursor.changed_mask = 0
+            if stop_predicate is not None and stop_predicate(cursor):
+                finalize(row, 0.0, True, 0.0)
+            elif horizon <= 0.0:
+                finalize(row, horizon, False, math.inf)
+            else:
+                alive_mask[row] = True
+                alive.append(row)
+        if alive:
+            rows_alive = np.array(alive, dtype=np.intp)
+            entry_cache: dict = {}
+            with np.errstate(all="ignore"):
+                for table in self._tables:
+                    table.refresh(matrix, rows_alive, Ro, Rb, alive_mask,
+                                  has_bias, entry_cache)
+            if any_fb:
+                for row in alive:
+                    cursor.set_row(row)
+                    self._refresh_fallback_row(row, -1, fb_reads[row],
+                                               Ro, Rb)
+                    fb_union[row] = self._fold_union(fb_reads[row])
+                    cursor.changed_mask = 0
+
+        # --- batch-step loop ------------------------------------------
+        while alive:
+            full = len(alive) == n_rows
+            Cb = np.cumsum(Rb if full else Rb[alive], axis=1)
+            if has_bias:
+                Co = np.cumsum(Ro if full else Ro[alive], axis=1)
+
+            # phase 1: per-row draws (a row's exponential and selection
+            # uniform stay consecutive on its own stream), deadlock and
+            # horizon-crossing exits
+            fired_rows: list[int] = []
+            fired_pos: list[int] = []
+            fired_u: list[float] = []
+            fired_tb: list[float] = []
+            fired_tot: list[float] = []
+            fired_hold: list[float] = []
+            for position, row in enumerate(alive):
+                stream = streams[row]
+                total_biased = float(Cb[position, -1])
+                total = (
+                    float(Co[position, -1]) if has_bias else total_biased
+                )
+                if total <= 0.0:
+                    # deadlock: the marking persists until the horizon
+                    finalize(row, now[row], False, math.inf)
+                    continue
+                holding = stream.exponential(total_biased)
+                if now[row] + holding > horizon:
+                    if has_bias:
+                        weights[row] *= math.exp(
+                            -(total - total_biased) * (horizon - now[row])
+                        )
+                    now[row] = horizon
+                    finalize(row, horizon, False, math.inf)
+                    continue
+                u = stream.random() * total_biased
+                now[row] += holding
+                firings[row] += 1
+                changed_masks[row] = 0
+                fired_rows.append(row)
+                fired_pos.append(position)
+                fired_u.append(u)
+                if has_bias:
+                    fired_tb.append(total_biased)
+                    fired_tot.append(total)
+                    fired_hold.append(holding)
+            self._kernel_events += len(fired_rows)
+            if not fired_rows:
+                alive = []
+                continue
+
+            # phase 2: vectorized selection — count of cumulative sums
+            # <= u replays searchsorted(side="right") ≡ bisect_right,
+            # with the same numerical-edge clamp-back as the other
+            # engines (u == total selects the last enabled activity)
+            pos_arr = np.array(fired_pos, dtype=np.intp)
+            u_arr = np.array(fired_u, dtype=np.float64)
+            indices = (Cb[pos_arr] <= u_arr[:, None]).sum(axis=1)
+            for k in np.nonzero(indices >= n_acts)[0]:
+                row = fired_rows[k]
+                index = n_acts - 1
+                while index > 0 and Rb[row, index] <= 0.0:
+                    index -= 1
+                indices[k] = index
+            if has_bias:
+                for k, row in enumerate(fired_rows):
+                    index = int(indices[k])
+                    weights[row] *= (
+                        float(Ro[row, index]) / float(Rb[row, index])
+                    ) * math.exp(
+                        -(fired_tot[k] - fired_tb[k]) * fired_hold[k]
+                    )
+            # (without bias the weight factor is exactly 1.0: Ro is Rb,
+            # x/x == 1.0 and exp(-0.0·h) == 1.0 — skipping it is exact)
+
+            # phase 3: fused firing, grouped by (activity, case)
+            groups: dict[int, list[int]] = {}
+            for k in range(len(fired_rows)):
+                groups.setdefault(int(indices[k]), []).append(k)
+            for index, members in groups.items():
+                chooser = choosers[index]
+                if chooser is None:
+                    by_case = {0: members}
+                else:
+                    by_case = {}
+                    for k in members:
+                        row = fired_rows[k]
+                        sync(row)
+                        cursor.set_row(row)
+                        by_case.setdefault(
+                            chooser(streams[row]), []
+                        ).append(k)
+                programs = fire_programs[index]
+                for case, ks in by_case.items():
+                    program = programs[case]
+                    if program is not None:
+                        if len(ks) <= 2:
+                            # tiny groups: plain-integer writes beat the
+                            # fancy-indexing overhead; per-row failure
+                            # replays just that row (the batch variant
+                            # replays the whole group through the same
+                            # closures with identical values and the
+                            # same first-offender error)
+                            write_mask = program.write_mask
+                            for k in ks:
+                                row = fired_rows[k]
+                                if program.apply_row(matrix, row):
+                                    stale[row] |= write_mask
+                                    changed_masks[row] |= write_mask
+                                else:
+                                    sync(row)
+                                    cursor.set_row(row)
+                                    cursor.changed_mask = 0
+                                    firers[index](case)
+                                    changed_masks[row] |= (
+                                        cursor.clear_changed_mask()
+                                    )
+                            continue
+                        krows = np.fromiter(
+                            (fired_rows[k] for k in ks),
+                            dtype=np.intp,
+                            count=len(ks),
+                        )
+                        if program.apply(matrix, krows):
+                            write_mask = program.write_mask
+                            for k in ks:
+                                row = fired_rows[k]
+                                stale[row] |= write_mask
+                                changed_masks[row] |= write_mask
+                            continue
+                    # unlowered case, or a row would validate-fail:
+                    # compiled closures reproduce the exact semantics
+                    for k in ks:
+                        row = fired_rows[k]
+                        sync(row)
+                        cursor.set_row(row)
+                        cursor.changed_mask = 0
+                        firers[index](case)
+                        changed_masks[row] |= cursor.clear_changed_mask()
+
+            # phase 4: instantaneous stabilisation — scan only the rows
+            # whose changes can have enabled an instantaneous activity
+            # (and, when the gates lower, only rows where one actually is
+            # enabled: a scan that fires nothing draws and writes
+            # nothing, so skipping it is exact)
+            if have_insta:
+                triggered = [
+                    row for row in fired_rows
+                    if changed_masks[row] & insta_reads
+                ]
+                if triggered:
+                    if insta_lowered is not None:
+                        with np.errstate(all="ignore"):
+                            enabled = self._insta_enabled_rows(
+                                matrix,
+                                np.asarray(triggered, dtype=np.intp),
+                            )
+                        scan_rows = [
+                            row for row, ok in zip(triggered, enabled)
+                            if ok
+                        ]
+                    else:
+                        scan_rows = triggered
+                    for row in scan_rows:
+                        sync(row)
+                        cursor.set_row(row)
+                        cursor.changed_mask = 0
+                        self._stabilize(streams[row])
+                        changed_masks[row] |= cursor.clear_changed_mask()
+
+            # phase 5: absorption (lowered where possible), horizon,
+            # fallback-rate refresh for survivors, lowered refresh
+            if stop_predicate is not None:
+                if stop_expr is not None:
+                    with np.errstate(all="ignore"):
+                        hit = _bool_rows(stop_expr(matrix), n_rows)
+                    for row in fired_rows:
+                        if hit[row]:
+                            finalize(row, now[row], True, now[row])
+                else:
+                    for row in fired_rows:
+                        sync(row)
+                        cursor.set_row(row)
+                        if stop_predicate(cursor):
+                            finalize(row, now[row], True, now[row])
+
+            changed_union = 0
+            survivors: list[int] = []
+            for row in fired_rows:
+                if results[row] is not None:
+                    continue
+                if now[row] >= horizon:
+                    finalize(row, now[row], False, math.inf)
+                    continue
+                changed = changed_masks[row]
+                if changed:
+                    changed_union |= changed
+                    if any_fb and changed & fb_union[row]:
+                        sync(row)
+                        cursor.set_row(row)
+                        reads = fb_reads[row]
+                        if self._refresh_fallback_row(row, changed, reads,
+                                                      Ro, Rb):
+                            fb_union[row] = self._fold_union(reads)
+                survivors.append(row)
+            alive = survivors
+            if changed_union and alive and self._lowered:
+                self._refresh_lowered(changed_union, matrix, Ro, Rb,
+                                      alive_mask, has_bias)
+        return results  # type: ignore[return-value]

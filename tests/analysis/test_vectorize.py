@@ -69,15 +69,38 @@ class TestCleanModel:
 
 
 class TestReplicaGrouping:
-    def test_composed_model_folds_replicas(self):
-        from repro.core import AHSParameters, build_composed_model
-
-        model = build_composed_model(AHSParameters(max_platoon_size=1)).model
+    def test_replicated_fallbacks_fold_into_one_diagnostic(self):
+        # Three replicas of one unlowerable activity must fold into a
+        # single VEC001 with count=3, never one diagnostic per replica.
+        model = SANModel("replicas")
+        for i in range(3):
+            place = Place(f"p[{i}]", 1)
+            model.add_activity(
+                TimedActivity(
+                    f"leave[{i}]",
+                    rate=MarkingFunction(
+                        {"p": place}, lambda g: float(g["p"])
+                    ),
+                    input_gates=[input_arc(place)],
+                )
+            )
         diagnostics = [
             d for d in check_vectorization(model) if d.rule_id == "VEC001"
         ]
-        # each maneuver kind appears once with its replica count folded in,
-        # never once per [i] replica
-        assert diagnostics
-        assert all("[" not in (d.activity or "") for d in diagnostics)
-        assert all(d.count >= 1 for d in diagnostics)
+        assert len(diagnostics) == 1
+        assert diagnostics[0].activity == "leave"
+        assert diagnostics[0].count == 3
+
+    def test_composed_model_is_fully_vectorized(self):
+        # The AHS model itself must stay fallback-free: any VEC001 here
+        # is a regression in the gate/rate lowering coverage.
+        from repro.core import AHSParameters, build_composed_model
+
+        model = build_composed_model(AHSParameters(max_platoon_size=1)).model
+        summary = lowering_summary(model)
+        assert summary is not None
+        assert summary["stats"]["fallback"] == 0
+        assert summary["stats"]["groups_tabulated"] == summary["stats"][
+            "groups"
+        ]
+        assert list(check_vectorization(model)) == []

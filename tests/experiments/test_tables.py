@@ -1,5 +1,7 @@
 """Tests for the table experiments (paper Tables 1-3)."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.tables import table1, table2, table3
@@ -67,3 +69,22 @@ class TestTable3:
         for maneuver in ("AS", "CS", "GS", "TIE-E", "TIE", "TIE-N"):
             key = f"assistants_{maneuver}"
             assert rows["CC"][key] >= rows["DD"][key]
+
+
+class TestAdaptiveNoopWarning:
+    """``adaptive=True`` is meaningless for definitional tables: it must
+    warn loudly instead of silently doing nothing — and still return the
+    exact same rows."""
+
+    @pytest.mark.parametrize("table", [table1, table2, table3])
+    def test_adaptive_true_warns_and_returns_same_rows(self, table):
+        with pytest.warns(UserWarning, match="no effect"):
+            rows = table(adaptive=True)
+        assert rows == table()
+
+    @pytest.mark.parametrize("table", [table1, table2, table3])
+    def test_default_is_silent(self, table):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            table()
+            table(adaptive=False)

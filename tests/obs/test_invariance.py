@@ -156,6 +156,56 @@ def test_traces_identical_across_engines(name):
     assert payloads["compiled"] == payloads["interpreted"]
 
 
+def test_stepped_batch_observer_delegation_matches_compiled():
+    """Regression: rows that fall back to scalar replay inside a stepped
+    batch must keep the observer contract intact — ``wants_deltas``
+    delta dicts and the serialised trace identical to the compiled
+    engine, and observed results identical to unobserved ones."""
+    model, predicate = _composed(2)
+    payloads = {}
+    runs_by_engine = {}
+    for engine in ("compiled", "stepped"):
+        trace = TraceRecorder(capacity=50_000, deltas=True)
+        observation = Observation(trace=trace)
+        simulator = make_jump_engine(
+            model, engine=engine, observer=observation, batch_size=4
+        )
+        assert observation.wants_deltas
+        streams = StreamFactory(23).stream_batch("sd", 8)
+        run_batch = getattr(simulator, "run_batch", None)
+        if callable(run_batch):
+            runs = []
+            for start in range(0, len(streams), 4):
+                runs.extend(
+                    run_batch(streams[start:start + 4], 8.0, predicate)
+                )
+        else:
+            runs = [simulator.run(s, 8.0, predicate) for s in streams]
+        payloads[engine] = "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in trace.iter_dicts()
+        )
+        runs_by_engine[engine] = runs
+        assert len(trace) > 0
+        assert any(event.delta for event in trace.events())
+    assert payloads["stepped"] == payloads["compiled"]
+    for run_c, run_s in zip(
+        runs_by_engine["compiled"], runs_by_engine["stepped"]
+    ):
+        assert_runs_identical(run_c, run_s, model.places)
+
+    # observation never perturbs the stepped batch itself
+    plain = make_jump_engine(model, engine="stepped", batch_size=4)
+    streams = StreamFactory(23).stream_batch("sd", 8)
+    runs_plain = []
+    for start in range(0, 8, 4):
+        runs_plain.extend(
+            plain.run_batch(streams[start:start + 4], 8.0, predicate)
+        )
+    for run_p, run_s in zip(runs_plain, runs_by_engine["stepped"]):
+        assert_runs_identical(run_p, run_s, model.places)
+
+
 def test_metrics_identical_across_engines():
     model, predicate = _composed(2)
     summaries = {}

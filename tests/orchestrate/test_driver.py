@@ -43,7 +43,14 @@ BUDGET = Budget(replications=768, target_relative_ci=0.5)
 SEED = 11
 
 
-def run(workers, budget=BUDGET, cache=None, chunk_cache=False, policy="greedy"):
+def run(
+    workers,
+    budget=BUDGET,
+    cache=None,
+    chunk_cache=False,
+    policy="greedy",
+    sweep_batch=False,
+):
     runner = ParallelRunner(
         workers=workers, chunk_size=64, cache=cache, chunk_cache=chunk_cache
     )
@@ -55,6 +62,7 @@ def run(workers, budget=BUDGET, cache=None, chunk_cache=False, policy="greedy"):
             policy=policy,
             estimator_policy=FORCE_SIM,
             seed=SEED,
+            sweep_batch=sweep_batch,
         )
     finally:
         runner.close()
@@ -108,6 +116,53 @@ class TestWorkerInvariance:
         assert [r.to_dict() for r in serial.rounds] == [
             r.to_dict() for r in parallel.rounds
         ]
+
+
+def deterministic_sections(report):
+    """The byte-comparable artifact core: points + rounds + ledger.
+
+    Wall-clock figures are excluded by construction: telemetry entirely
+    (elapsed, busy seconds, per-point seconds) and the ledger's
+    ``elapsed_seconds`` — they legitimately differ between runs.
+    """
+    record = report.to_dict()
+    ledger = {
+        key: value
+        for key, value in record["ledger"].items()
+        if key != "elapsed_seconds"
+    }
+    return json.dumps(
+        {
+            "schema": record["schema"],
+            "points": record["points"],
+            "rounds": record["rounds"],
+            "ledger": ledger,
+        },
+        sort_keys=True,
+    )
+
+
+class TestSweepBatch:
+    def test_artifact_byte_identical_to_per_chunk_dispatch(self):
+        """--sweep-batch is pure scheduling: the repro-estimates/1
+        deterministic sections must match the per-point path byte for
+        byte, for serial and pooled runners alike."""
+        reference = run(workers=1)
+        for workers in (1, 2):
+            batched = run(workers=workers, sweep_batch=True)
+            assert deterministic_sections(batched) == deterministic_sections(
+                reference
+            )
+
+    def test_point_seconds_recorded_in_telemetry_only(self):
+        report = run(workers=1, sweep_batch=True)
+        telemetry = report.to_dict()["telemetry"]
+        seconds = telemetry["point_seconds"]
+        assert set(seconds) == {p.point_id for p in POINTS}
+        assert all(value > 0.0 for value in seconds.values())
+        # the wall-clock figures stay out of the deterministic sections
+        assert "point_seconds" not in deterministic_sections(report)
+        assert "point seconds:" in report.format()
 
 
 class TestResume:

@@ -255,3 +255,82 @@ class TestTelemetry:
             ParallelRunner(workers=0)
         with pytest.raises(ValueError):
             ParallelRunner(max_retries=-1)
+
+
+class TestSweepBatch:
+    """Grouped dispatch is pure scheduling: summaries are bit-identical."""
+
+    @staticmethod
+    def _point_jobs(runner, telemetry, n_points=3, chunks_per_point=4):
+        """Multi-point job dict exactly as the orchestrator builds it."""
+        jobs = {}
+        for point in range(n_points):
+            task = NormalMeanTask(mu=float(point + 1))
+            plan = ReplicationPlan(900 + point, chunk_size=20)
+            specs = plan.chunks(0, chunks_per_point * 20)
+            point_jobs, cached = runner.chunk_jobs(
+                task, plan, specs, telemetry, key_prefix=f"p{point}"
+            )
+            assert not cached
+            jobs.update(point_jobs)
+        return jobs
+
+    @staticmethod
+    def _comparable(results):
+        return {
+            key: (
+                summary.chunk_index,
+                summary.n,
+                summary.draws,
+                tuple(np.asarray(summary.mean).ravel().tolist()),
+                tuple(np.asarray(summary.m2).ravel().tolist()),
+            )
+            for key, summary in results.items()
+        }
+
+    def test_grouped_results_bit_identical_to_per_chunk(self):
+        from repro.runtime.telemetry import TelemetryRecorder
+
+        with ParallelRunner(workers=2, chunk_size=20) as runner:
+            telemetry = TelemetryRecorder(runner.workers)
+            telemetry.start()
+            flat = runner.execute_jobs(
+                self._point_jobs(runner, telemetry), telemetry
+            )
+            for group_size in (1, 3, None):
+                grouped = runner.execute_jobs_grouped(
+                    self._point_jobs(runner, telemetry),
+                    telemetry,
+                    group_size=group_size,
+                )
+                assert self._comparable(grouped) == self._comparable(flat)
+
+    def test_serial_runner_short_circuits_grouping(self):
+        from repro.runtime.telemetry import TelemetryRecorder
+
+        with ParallelRunner(workers=1, chunk_size=20) as runner:
+            telemetry = TelemetryRecorder(runner.workers)
+            telemetry.start()
+            jobs = self._point_jobs(runner, telemetry)
+            grouped = runner.execute_jobs_grouped(jobs, telemetry)
+            flat = runner.execute_jobs(
+                self._point_jobs(runner, telemetry), telemetry
+            )
+            assert self._comparable(grouped) == self._comparable(flat)
+
+    def test_failing_group_falls_back_in_process(self, tmp_path):
+        from repro.runtime.telemetry import TelemetryRecorder
+
+        task = CrashOutsideParentTask(parent_pid=os.getpid())
+        plan = ReplicationPlan(7, chunk_size=20)
+        with ParallelRunner(
+            workers=2, chunk_size=20, max_retries=1
+        ) as runner:
+            telemetry = TelemetryRecorder(runner.workers)
+            telemetry.start()
+            jobs, _ = runner.chunk_jobs(
+                task, plan, plan.chunks(0, 40), telemetry, key_prefix="p0"
+            )
+            results = runner.execute_jobs_grouped(jobs, telemetry)
+            assert sorted(results) == sorted(jobs)
+            assert telemetry.fallbacks > 0

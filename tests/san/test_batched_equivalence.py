@@ -396,15 +396,15 @@ def test_fired_events_counter_batched():
 
 
 def test_lowering_covers_paper_model_gates():
-    """The compile pass must lower the AHS model's structural gates to
-    column ops; the per-vehicle maneuver activities (whose occupancy
-    helper needs scalar floats) fall back per row, by design."""
+    """The compile pass must lower *every* timed activity of the AHS model
+    to column ops — including the per-vehicle maneuver activities, whose
+    occupancy helpers are kept float()-free precisely so they trace."""
     ahs = build_composed_model(AHSParameters(max_platoon_size=3))
     engine = BatchedJumpEngine(ahs.model)
     stats = engine.lowering_stats()
     assert stats["timed_activities"] == stats["lowered"] + stats["fallback"]
-    assert stats["lowered"] >= stats["timed_activities"] // 2
-    assert stats["fallback"] > 0  # the maneuver closures genuinely fall back
+    assert stats["fallback"] == 0
+    assert engine.fallback_reasons == {}
 
     # a purely structural model lowers completely
     model, _up, _down = make_two_state_model()
