@@ -12,19 +12,30 @@ an overhead table, writes ``BENCH_obs.json`` and exits non-zero if the
 counter-level overhead exceeds the budget (10 % by default; the CI
 obs-smoke gate).  Event counts must match exactly across all modes:
 instrumentation never touches the RNG stream.
+
+A second section times the **run ledger** (event bus + JSONL sink) around
+whole serial ``unsafety`` runs on both the compiled and the stepped
+engine.  Ledger emission is per-chunk driver-side bookkeeping — the
+stepped engine's whole-loop batches never see it — so it is held to the
+same ≤10 % budget, and the estimates must stay bit-identical with the
+ledger on or off.
 """
 
 import argparse
 import json
 import sys
+import tempfile
 import time
+from pathlib import Path
 
-from repro.core import AHSParameters, build_composed_model
-from repro.obs import MetricsRecorder, Observation, TraceRecorder
+from repro.core import AHSParameters, build_composed_model, unsafety
+from repro.obs import EventBus, MetricsRecorder, Observation, RunLedger, TraceRecorder
 from repro.san import make_jump_engine
 from repro.stochastic import StreamFactory
 
 OVERHEAD_BUDGET = 0.10  # counter-level metrics may cost at most 10 %
+#: engines the ledger-overhead section times (whole serial unsafety runs)
+LEDGER_ENGINES = ("compiled", "stepped")
 
 
 def _observation(mode: str):
@@ -101,6 +112,108 @@ def measure_overhead(
     }
 
 
+def _time_ledgered_run(
+    engine: str, size: int, replications: int, horizon: float, ledgered: bool
+) -> dict:
+    """One whole serial unsafety run, with or without a live run ledger."""
+    params = AHSParameters(max_platoon_size=size, base_failure_rate=2e-2)
+    kwargs = dict(
+        times=(horizon / 2.0, horizon),
+        method="simulation",
+        n_replications=replications,
+        seed=2024,
+        engine=engine,
+    )
+    bus = None
+    tmp = None
+    if ledgered:
+        tmp = tempfile.TemporaryDirectory()
+        ledger = RunLedger(Path(tmp.name) / "bench.jsonl")
+        bus = EventBus("run-bench-obs", sinks=[ledger])
+    started = time.perf_counter()
+    estimate = unsafety(params, events=bus, **kwargs)
+    elapsed = time.perf_counter() - started
+    events_emitted = 0
+    if bus is not None:
+        bus.close()
+        events_emitted = bus.events_emitted
+        tmp.cleanup()
+    return {
+        "mode": "ledger" if ledgered else "off",
+        "engine": engine,
+        "replications": replications,
+        "elapsed_seconds": elapsed,
+        "ledger_events": events_emitted,
+        "replications_per_sec": (
+            replications / elapsed if elapsed > 0 else 0.0
+        ),
+        "estimate": [repr(value) for value in estimate.values],
+    }
+
+
+def measure_ledger_overhead(
+    size: int = 3,
+    replications: int = 200,
+    horizon: float = 1.0,
+    repeats: int = 3,
+    engines=LEDGER_ENGINES,
+) -> dict:
+    """Ledger-on vs ledger-off timings of whole serial unsafety runs.
+
+    Same fastest-of-``repeats`` protocol as :func:`measure_overhead`.
+    The estimates of both modes must be bit-identical — the ledger is
+    driver-side I/O and never touches the RNG stream.
+    """
+    results = {}
+    for engine in engines:
+        rows = {}
+        for ledgered in (False, True):
+            passes = [
+                _time_ledgered_run(
+                    engine, size, replications, horizon, ledgered
+                )
+                for _ in range(repeats)
+            ]
+            best = min(passes, key=lambda row: row["elapsed_seconds"])
+            rows[best["mode"]] = best
+        if rows["ledger"]["estimate"] != rows["off"]["estimate"]:
+            raise AssertionError(
+                f"engine {engine!r}: ledger changed the estimate "
+                f"({rows['ledger']['estimate']} vs {rows['off']['estimate']})"
+            )
+        overhead = (
+            rows["ledger"]["elapsed_seconds"] / rows["off"]["elapsed_seconds"]
+            - 1.0
+        )
+        results[engine] = {"modes": rows, "overhead": overhead}
+    return {
+        "max_platoon_size": size,
+        "replications": replications,
+        "horizon": horizon,
+        "repeats": repeats,
+        "engines": results,
+    }
+
+
+def _render_ledger_table(section: dict) -> str:
+    lines = [f"{'engine':>12}  {'reps/s off':>10}  {'reps/s on':>10}  "
+             f"{'overhead':>8}  {'events':>6}"]
+    for engine, row in section["engines"].items():
+        off = row["modes"]["off"]
+        on = row["modes"]["ledger"]
+        lines.append(
+            f"{engine:>12}  {off['replications_per_sec']:>10.1f}  "
+            f"{on['replications_per_sec']:>10.1f}  "
+            f"{row['overhead']:>+8.1%}  {on['ledger_events']:>6}"
+        )
+    lines.append(
+        f"(run ledger around whole serial runs: n="
+        f"{section['max_platoon_size']}, {section['replications']} "
+        f"replications, horizon={section['horizon']}h)"
+    )
+    return "\n".join(lines)
+
+
 def _render_table(row: dict) -> str:
     lines = [
         f"{'mode':>12}  {'events/s':>10}  {'overhead':>8}",
@@ -170,24 +283,41 @@ def main(argv=None) -> int:
 
     row = measure_overhead(size, replications, args.horizon, args.repeats)
     print(_render_table(row))
+    ledger_row = measure_ledger_overhead(
+        size=3 if args.smoke else 4,
+        replications=120 if args.smoke else 200,
+        horizon=args.horizon / 2.0,
+        repeats=args.repeats,
+    )
+    print()
+    print(_render_ledger_table(ledger_row))
     record = {
         "benchmark": "obs-overhead",
         "budget": args.budget,
         "result": row,
+        "ledger": ledger_row,
     }
     with open(args.json, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.json}")
 
+    failed = False
     overhead = row["overhead"]["counts"]
     if overhead > args.budget:
         print(
             f"FAIL: counter-level metrics overhead {overhead:.1%} exceeds "
             f"the {args.budget:.0%} budget"
         )
-        return 1
-    return 0
+        failed = True
+    for engine, engine_row in ledger_row["engines"].items():
+        if engine_row["overhead"] > args.budget:
+            print(
+                f"FAIL: run-ledger overhead {engine_row['overhead']:.1%} on "
+                f"the {engine} engine exceeds the {args.budget:.0%} budget"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -21,7 +21,14 @@ The ``unsafety``, ``figure`` and ``all`` commands accept ``--workers N``
 Observability (:mod:`repro.obs`): ``repro-cli trace`` exports structured
 JSONL trajectory traces; ``repro-cli unsafety`` accepts ``--metrics``
 (per-activity breakdown table), ``--trace-out FILE`` (JSONL trace, serial
-only) and ``--profile`` (per-phase wall-time spans).
+only) and ``--profile`` (per-phase wall-time spans).  The run ledger
+(``repro-events/1``): ``unsafety``/``orchestrate`` accept ``--ledger
+FILE`` (append-only JSONL event stream + ``status.json`` sidecar);
+``repro-cli watch`` tails a running ledger with live progress/ETA;
+``repro-cli metrics`` renders a ledger or estimate artifact as
+OpenMetrics exposition text; ``repro-cli replay-chunk`` re-executes a
+failed chunk serially from its forensic bundle; ``repro-cli ledger
+validate|summary`` checks a ledger against the event schema.
 
 Static analysis (:mod:`repro.analysis`): ``repro-cli lint`` runs the
 footprint / determinism / structural / vectorization analyzers over the
@@ -193,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the estimate as a machine-readable JSON artifact "
         "(repro-estimates/1 schema, shared with orchestrate and figure)",
     )
+    uns.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append a structured run ledger (repro-events/1 JSONL + "
+        "status.json sidecar) for the simulation methods; never changes "
+        "estimates",
+    )
     _add_runtime_flags(uns)
 
     orch = sub.add_parser(
@@ -253,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the full report (points, rounds, ledger, telemetry) "
         "as a repro-estimates/1 JSON artifact",
     )
+    orch.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append a structured run ledger (repro-events/1 JSONL + "
+        "status.json sidecar): round allocations, chunk completions, "
+        "budget stops; never changes estimates or artifacts",
+    )
     _add_runtime_flags(orch)
 
     cache_cmd = sub.add_parser(
@@ -270,6 +293,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro-ahs)",
     )
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a run ledger and render live point/round/ETA progress",
+    )
+    watch.add_argument("ledger", help="ledger JSONL file (may not exist yet)")
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current state once and exit instead of following",
+    )
+    watch.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="seconds between file polls while following",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stop following after this many seconds without a new event "
+        "(default: wait until the run finishes)",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status.json digest per refresh instead of one-liners",
+    )
+
+    met = sub.add_parser(
+        "metrics",
+        help="render run accounting as OpenMetrics/Prometheus exposition "
+        "text",
+    )
+    met.add_argument(
+        "source",
+        help="a run-ledger JSONL file or a repro-estimates/1 JSON artifact",
+    )
+    met.add_argument(
+        "--format",
+        dest="fmt",
+        default="openmetrics",
+        choices=["openmetrics", "json"],
+        help="openmetrics: Prometheus text exposition (default); "
+        "json: the folded status/telemetry digest",
+    )
+
+    replay = sub.add_parser(
+        "replay-chunk",
+        help="re-execute a failed chunk serially from its ledger forensic "
+        "bundle",
+    )
+    replay.add_argument("ledger", help="ledger JSONL file")
+    replay.add_argument(
+        "chunk_id",
+        help="failed chunk id, e.g. chunk-3 or figure12/s=DD/chunk-0 "
+        "(see `repro-cli ledger summary`)",
+    )
+
+    ledger_cmd = sub.add_parser(
+        "ledger", help="validate or summarise a run-ledger file"
+    )
+    ledger_cmd.add_argument(
+        "action",
+        choices=["validate", "summary"],
+        help="validate: check every line against the repro-events/1 "
+        "schema (exit 1 on violations); summary: print the folded "
+        "status digest",
+    )
+    ledger_cmd.add_argument("ledger", help="ledger JSONL file")
 
     trc = sub.add_parser(
         "trace",
@@ -496,7 +590,28 @@ def _build_observation(args):
     )
 
 
+def _open_ledger_bus(args, token):
+    """An EventBus writing a RunLedger from ``--ledger``, or None."""
+    path = getattr(args, "ledger", None)
+    if path is None:
+        return None
+    from pathlib import Path
+
+    from repro.obs import EventBus, RunLedger, deterministic_run_id
+
+    ledger = RunLedger(Path(path))
+    return EventBus(deterministic_run_id(token), sinks=[ledger])
+
+
+def _close_ledger_bus(bus, path) -> None:
+    if bus is not None:
+        bus.close()
+        print(f"[ledger: {bus.events_emitted} events -> {path}]")
+
+
 def _cmd_unsafety(args) -> int:
+    import warnings
+
     from repro.core import AHSParameters, Strategy, unsafety
 
     params = AHSParameters(
@@ -522,6 +637,14 @@ def _cmd_unsafety(args) -> int:
         )
         observer = None
     if observer is not None and observer.trace is not None and runner is not None:
+        if runner.workers > 1:
+            warnings.warn(
+                f"--trace-out forces serial execution: --workers "
+                f"{runner.workers} is ignored because traces cannot cross "
+                f"process boundaries",
+                UserWarning,
+                stacklevel=2,
+            )
         print(
             "[note: --trace-out forces serial execution — traces cannot "
             "cross process boundaries]"
@@ -530,18 +653,41 @@ def _cmd_unsafety(args) -> int:
     if runner is not None and observer is not None:
         # the driver-side spans (simulate/merge/cache) live in the runner
         runner.profiler = observer.profiler
-    estimate = unsafety(
-        params,
-        times,
-        method=args.method,
-        n_replications=args.replications,
-        seed=args.seed,
-        boost=getattr(args, "boost", 30.0),
-        runner=runner,
-        engine=args.engine,
-        observer=observer,
-        batch_size=args.batch_size,
-    )
+    bus = None
+    if args.method in _SIMULATION_METHODS:
+        bus = _open_ledger_bus(
+            args,
+            {
+                "kind": "unsafety",
+                "params": params.summary(),
+                "times": times,
+                "method": args.method,
+                "n_replications": args.replications,
+                "seed": args.seed,
+                "engine": args.engine,
+            },
+        )
+    elif getattr(args, "ledger", None) is not None:
+        print(
+            f"[note: --ledger applies to the simulation methods; "
+            f"{args.method} runs without one]"
+        )
+    try:
+        estimate = unsafety(
+            params,
+            times,
+            method=args.method,
+            n_replications=args.replications,
+            seed=args.seed,
+            boost=getattr(args, "boost", 30.0),
+            runner=runner,
+            engine=args.engine,
+            observer=observer,
+            batch_size=args.batch_size,
+            events=bus,
+        )
+    finally:
+        _close_ledger_bus(bus, getattr(args, "ledger", None))
     if runner is not None:
         snapshot = runner.pop_telemetry()
         if snapshot is not None:
@@ -669,21 +815,38 @@ def _cmd_orchestrate(args) -> int:
     if workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {workers}")
     cache = _build_cache(args)
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    bus = _open_ledger_bus(
+        args,
+        {
+            "kind": "orchestrate",
+            "figure": figure_id,
+            "fast": args.fast,
+            "budget": budget.to_dict(),
+            "policy": args.policy,
+            "seed": seed,
+            "engine": args.engine,
+        },
+    )
     # chunk_cache makes interrupted runs resumable: re-running the same
     # orchestration replays finished chunks from the cache bit-identically
-    with ParallelRunner(
-        workers=workers, cache=cache, chunk_cache=cache is not None
-    ) as runner:
-        figure, report = run_adaptive(
-            figure_id,
-            budget,
-            runner,
-            fast=args.fast,
-            policy=args.policy,
-            seed=args.seed if args.seed is not None else DEFAULT_SEED,
-            engine=args.engine,
-            sweep_batch=args.sweep_batch,
-        )
+    try:
+        with ParallelRunner(
+            workers=workers, cache=cache, chunk_cache=cache is not None
+        ) as runner:
+            figure, report = run_adaptive(
+                figure_id,
+                budget,
+                runner,
+                fast=args.fast,
+                policy=args.policy,
+                seed=seed,
+                engine=args.engine,
+                sweep_batch=args.sweep_batch,
+                events=bus,
+            )
+    finally:
+        _close_ledger_bus(bus, args.ledger)
     print(report.format())
     print()
     print(format_experiment(figure_id, figure))
@@ -741,6 +904,164 @@ def _cmd_cache(args) -> int:
             f"last run   : {hits}/{lookups} hits ({rate:.0%}), "
             f"{session.get('puts', 0)} writes"
         )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs import LedgerStatus
+    from repro.obs.ledger import follow_events, read_events
+
+    path = Path(args.ledger)
+    status = LedgerStatus()
+
+    def render() -> None:
+        if args.json:
+            print(_json.dumps(status.to_dict(), sort_keys=True))
+        else:
+            print(status.format())
+
+    if args.once:
+        if not path.exists():
+            raise SystemExit(f"ledger {path} does not exist")
+        for envelope in read_events(path):
+            status.update(envelope)
+        render()
+        return 0
+
+    last_line = None
+    for envelope in follow_events(
+        path, poll_seconds=args.poll, timeout_seconds=args.timeout
+    ):
+        status.update(envelope)
+        line = (
+            _json.dumps(status.to_dict(), sort_keys=True)
+            if args.json
+            else status.format()
+        )
+        # re-render only on change so a quiet ledger doesn't spam
+        if line != last_line:
+            print(line, flush=True)
+            last_line = line
+    return 0
+
+
+def _load_metrics_source(path):
+    """(kind, payload) of a metrics source: ledger events or artifact."""
+    import json as _json
+    from pathlib import Path
+
+    source = Path(path)
+    if not source.exists():
+        raise SystemExit(f"{source} does not exist")
+    with open(source, "r", encoding="utf-8") as fh:
+        head = ""
+        for line in fh:
+            if line.strip():
+                head = line.strip()
+                break
+    try:
+        first = _json.loads(head) if head else None
+    except _json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("schema") == "repro-events/1":
+        from repro.obs.ledger import read_events
+
+        return "ledger", read_events(source)
+    try:
+        payload = _json.loads(source.read_text(encoding="utf-8"))
+    except _json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{source} is neither a repro-events/1 ledger nor a JSON "
+            f"artifact: {exc}"
+        )
+    if not isinstance(payload, dict):
+        raise SystemExit(f"{source} does not hold a JSON object artifact")
+    return "artifact", payload
+
+
+def _cmd_metrics(args) -> int:
+    import json as _json
+
+    from repro.obs import LedgerStatus, render_openmetrics
+
+    kind, payload = _load_metrics_source(args.source)
+    if args.fmt == "openmetrics":
+        sys.stdout.write(render_openmetrics(payload))
+        return 0
+    if kind == "ledger":
+        status = LedgerStatus()
+        for envelope in payload:
+            status.update(envelope)
+        print(_json.dumps(status.to_dict(), sort_keys=True, indent=2))
+    else:
+        telemetry = payload.get("telemetry", payload)
+        print(_json.dumps(telemetry, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_replay_chunk(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.ledger import bundle_of, read_events, replay_chunk
+
+    path = Path(args.ledger)
+    if not path.exists():
+        raise SystemExit(f"ledger {path} does not exist")
+    events = read_events(path)
+    try:
+        bundle = bundle_of(events, args.chunk_id)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    task = bundle.get("task", {})
+    print(
+        f"replaying {args.chunk_id}: task={task.get('type', '?')} "
+        f"start={bundle.get('start')} count={bundle.get('count')} "
+        f"entropy={bundle.get('seed_entropy')}"
+    )
+    try:
+        summary = replay_chunk(bundle)
+    except Exception as exc:
+        import traceback as _tb
+
+        print(f"[reproduced] {type(exc).__name__}: {exc}")
+        _tb.print_exc()
+        return 1
+    print(
+        f"[not reproduced — chunk completed] n={summary.n} "
+        f"mean={summary.mean} draws={summary.draws} "
+        f"elapsed={summary.elapsed_seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs import LedgerStatus, validate_events
+    from repro.obs.ledger import read_events
+
+    path = Path(args.ledger)
+    if not path.exists():
+        raise SystemExit(f"ledger {path} does not exist")
+    events = read_events(path)
+    if args.action == "validate":
+        errors = validate_events(events)
+        for error in errors:
+            print(f"INVALID  {error}")
+        runs = len({e.get("run_id") for e in events})
+        if errors:
+            print(f"{len(errors)} schema violations in {len(events)} events")
+            return 1
+        print(f"ok: {len(events)} events, {runs} run(s), repro-events/1")
+        return 0
+    status = LedgerStatus()
+    for envelope in events:
+        status.update(envelope)
+    print(_json.dumps(status.to_dict(), sort_keys=True, indent=2))
     return 0
 
 
@@ -976,6 +1297,14 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "replay-chunk":
+        return _cmd_replay_chunk(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -17,6 +17,7 @@ approx     closed-form first-order ST1 estimate
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -61,6 +62,7 @@ def unsafety(
     engine: str = "compiled",
     observer=None,
     batch_size: int = 256,
+    events=None,
 ) -> TransientEstimate:
     """Evaluate S(t) at the requested times.
 
@@ -115,6 +117,14 @@ def unsafety(
         into ``observer.metrics`` — trace recorders cannot cross process
         boundaries and are ignored on the parallel path.  Instrumentation
         never changes estimates, draw counts, or IS weights.
+    events:
+        Optional :class:`repro.obs.EventBus`; the simulation-based
+        methods announce run lifecycle and (for crude Monte-Carlo)
+        per-batch progress as ``repro-events/1`` envelopes.  With a
+        ``runner`` the bus is lent to it for the run so chunk-level
+        events flow into the same ledger.  Emission is driver-side
+        bookkeeping only — estimates are byte-identical with the bus
+        attached or not.
 
     Returns
     -------
@@ -168,12 +178,23 @@ def unsafety(
             ),
             batch_size=batch_size,
         )
-        result = runner.run(
-            task,
-            seed=seed,
-            n_replications=None if stopping_rule is not None else n_replications,
-            rule=stopping_rule,
-        )
+        # lend the bus to the runner for this run so its chunk events
+        # land in the caller's ledger
+        lent_bus = events is not None and runner.events is None
+        if lent_bus:
+            runner.events = events
+        try:
+            result = runner.run(
+                task,
+                seed=seed,
+                n_replications=(
+                    None if stopping_rule is not None else n_replications
+                ),
+                rule=stopping_rule,
+            )
+        finally:
+            if lent_bus:
+                runner.events = None
         if (
             metrics_recorder is not None
             and result.telemetry.activity_metrics is not None
@@ -191,6 +212,13 @@ def unsafety(
         )
 
     from repro.obs.profile import profile_span
+
+    def emit(event) -> None:
+        if events is not None:
+            events.emit(event)
+
+    if events is not None:
+        from repro.obs.events import ChunkCompleted, RunFinished, RunStarted
 
     factory = StreamFactory(seed)
     with profile_span(profiler, "compile"):
@@ -218,8 +246,25 @@ def unsafety(
             estimator = ReplicationEstimator(
                 sample, rule=stopping_rule, round_size=stopping_rule.min_replications
             )
+            emit_started = events is not None
+            if emit_started:
+                emit(
+                    RunStarted(
+                        kind="serial",
+                        workers=1,
+                        unit="replications",
+                        engine=engine,
+                        max_total=stopping_rule.max_replications,
+                    )
+                )
             with profile_span(profiler, "simulate"):
                 means, halves, n_done, converged = estimator.estimate()
+            if emit_started:
+                emit(
+                    RunFinished(
+                        outcome="ok", units=n_done, converged=converged
+                    )
+                )
             return TransientEstimate(
                 times=times_arr,
                 values=means,
@@ -228,22 +273,48 @@ def unsafety(
                 method="simulation-sequential"
                 + ("" if converged else "-unconverged"),
             )
+        if events is not None:
+            emit(
+                RunStarted(
+                    kind="serial",
+                    workers=1,
+                    unit="replications",
+                    engine=engine,
+                    total=n_replications,
+                )
+            )
         with profile_span(profiler, "simulate"):
             streams = factory.stream_batch("mc", n_replications)
             run_batch = getattr(simulator, "run_batch", None)
-            if callable(run_batch):
-                runs = []
-                for start in range(0, len(streams), batch_size):
+            # sliced either way so per-batch progress can be announced;
+            # slicing changes neither stream assignment nor run order, so
+            # estimates are identical to the unsliced loop
+            runs = []
+            for chunk_index, start in enumerate(
+                range(0, len(streams), batch_size)
+            ):
+                window = streams[start:start + batch_size]
+                batch_started = time.perf_counter()
+                if callable(run_batch):
+                    runs.extend(run_batch(window, horizon, predicate))
+                else:
                     runs.extend(
-                        run_batch(
-                            streams[start:start + batch_size], horizon, predicate
+                        simulator.run(stream, horizon, predicate)
+                        for stream in window
+                    )
+                if events is not None:
+                    emit(
+                        ChunkCompleted(
+                            chunk_id=f"chunk-{chunk_index}",
+                            n=len(window),
+                            worker="serial",
+                            elapsed_seconds=(
+                                time.perf_counter() - batch_started
+                            ),
                         )
                     )
-            else:
-                runs = [
-                    simulator.run(stream, horizon, predicate)
-                    for stream in streams
-                ]
+        if events is not None:
+            emit(RunFinished(outcome="ok", units=n_replications))
         return TransientEstimate.from_indicator_runs(
             times_list, runs, method="simulation"
         )
@@ -261,8 +332,22 @@ def unsafety(
                 observer=observer,
                 batch_size=batch_size,
             )
+        if events is not None:
+            emit(
+                RunStarted(
+                    kind="serial",
+                    workers=1,
+                    unit="replications",
+                    engine=engine,
+                    total=n_replications,
+                    detail={"method": "importance", "boost": boost},
+                )
+            )
         with profile_span(profiler, "simulate"):
-            return estimator.estimate(times_list, n_replications, factory)
+            estimate = estimator.estimate(times_list, n_replications, factory)
+        if events is not None:
+            emit(RunFinished(outcome="ok", units=n_replications))
+        return estimate
 
     if method == "splitting":
         levels = (
@@ -279,6 +364,17 @@ def unsafety(
                 engine=engine,
                 observer=observer,
             )
+        if events is not None:
+            emit(
+                RunStarted(
+                    kind="serial",
+                    workers=1,
+                    unit="replications",
+                    engine=engine,
+                    total=repetitions * trials_per_stage,
+                    detail={"method": "splitting"},
+                )
+            )
         # splitting estimates P(hit by horizon); evaluate per time point
         values = []
         halves = []
@@ -287,6 +383,8 @@ def unsafety(
                 outcome = splitter.estimate(t, factory, repetitions=repetitions)
                 values.append(outcome.probability)
                 halves.append(outcome.interval.half_width)
+        if events is not None:
+            emit(RunFinished(outcome="ok", units=repetitions * trials_per_stage))
         return TransientEstimate(
             times=np.asarray(times_list),
             values=np.asarray(values),

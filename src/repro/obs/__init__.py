@@ -15,7 +15,16 @@ The instrumentation layer spanning both SAN jump engines
   deterministically in chunk order by the parallel runtime and embedded
   in :meth:`~repro.runtime.telemetry.TelemetrySnapshot.to_dict`;
 * **profiling** (:mod:`~repro.obs.profile`) — per-phase wall-time spans
-  (compile / simulate / merge / cache) with a pluggable sink.
+  (compile / simulate / merge / cache) with a pluggable sink;
+* **events + ledger** (:mod:`~repro.obs.events`,
+  :mod:`~repro.obs.ledger`) — the typed structured-event bus
+  (``repro-events/1``) the execution drivers announce run lifecycle,
+  chunk completions, orchestrator rounds, cache traffic, and failures
+  on, persisted as an append-only JSONL run ledger with an atomically
+  rewritten ``status.json`` sidecar, chunk-failure forensic bundles
+  (``repro-cli replay-chunk``), live tailing (``repro-cli watch``), and
+  OpenMetrics export (:mod:`~repro.obs.openmetrics`,
+  ``repro-cli metrics``).
 
 The engine-facing *observer protocol* is duck-typed: any object with
 ``wants_deltas`` plus ``record_firing`` / ``record_absorption`` /
@@ -37,6 +46,31 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    BudgetStopped,
+    CacheHit,
+    CacheMiss,
+    ChunkCompleted,
+    ChunkFailed,
+    ChunkRetried,
+    ChunkScheduled,
+    EventBus,
+    RoundAllocated,
+    RunFinished,
+    RunStarted,
+    deterministic_run_id,
+    validate_event,
+    validate_events,
+)
+from repro.obs.ledger import (
+    LedgerStatus,
+    RunLedger,
+    follow_events,
+    forensic_bundle,
+    read_events,
+    replay_chunk,
+)
 from repro.obs.metrics import (
     MetricsRecorder,
     MetricSummary,
@@ -46,11 +80,34 @@ from repro.obs.metrics import (
     merge_metric_dicts,
     severity_classifier,
 )
+from repro.obs.openmetrics import render_openmetrics
 from repro.obs.profile import PhaseProfiler, PhaseStats, profile_span
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "Observation",
+    "EventBus",
+    "EVENT_SCHEMA",
+    "RunStarted",
+    "ChunkScheduled",
+    "ChunkCompleted",
+    "ChunkRetried",
+    "ChunkFailed",
+    "RoundAllocated",
+    "BudgetStopped",
+    "CacheHit",
+    "CacheMiss",
+    "RunFinished",
+    "RunLedger",
+    "LedgerStatus",
+    "deterministic_run_id",
+    "validate_event",
+    "validate_events",
+    "read_events",
+    "follow_events",
+    "forensic_bundle",
+    "replay_chunk",
+    "render_openmetrics",
     "TraceEvent",
     "TraceRecorder",
     "MetricSummary",

@@ -41,6 +41,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs.events import (
+    BudgetStopped,
+    ChunkCompleted,
+    EventBus,
+    RoundAllocated,
+    RunFinished,
+    RunStarted,
+)
 from repro.orchestrate.allocator import Allocator, PointProgress
 from repro.orchestrate.budget import Budget, BudgetLedger
 from repro.orchestrate.report import (
@@ -152,6 +160,14 @@ class Orchestrator:
         still computes the identical summary, so reports and artifacts
         are byte-identical to the per-chunk path (wall-clock telemetry
         aside).  No effect with a single worker.
+    events:
+        Optional :class:`~repro.obs.events.EventBus`; when given, the
+        round loop announces run lifecycle, round allocations, budget
+        stops and chunk completions as ``repro-events/1`` envelopes, and
+        the bus is lent to the runner for the duration of the run so
+        chunk scheduling / retry / cache events flow into the same
+        ledger.  Emission is pure bookkeeping: schedules, estimates and
+        artifacts are byte-identical with the bus on or off.
     """
 
     def __init__(
@@ -167,6 +183,7 @@ class Orchestrator:
         splitting_chunk_size: int = 8,
         engine: str = "compiled",
         sweep_batch: bool = False,
+        events: Optional[EventBus] = None,
     ) -> None:
         if not points:
             raise ValueError("need at least one sweep point")
@@ -183,9 +200,14 @@ class Orchestrator:
         self.sweep_batch = bool(sweep_batch)
         self.estimator_policy = estimator_policy or EstimatorPolicy()
         self.splitting_chunk_size = int(splitting_chunk_size)
+        self.events = events
         if round_chunks is None:
             round_chunks = max(8, 2 * len(points))
         self.allocator = Allocator(policy=policy, round_chunks=round_chunks)
+
+    def _emit(self, event) -> None:
+        if self.events is not None:
+            self.events.emit(event)
 
     # ------------------------------------------------------------------
     # point setup
@@ -289,7 +311,7 @@ class Orchestrator:
         else:
             dispatched = self.runner.execute_jobs(all_jobs, telemetry)
         for key in sorted(dispatched, key=lambda k: (k[0], k[1])):
-            point_id, _chunk = key
+            point_id, chunk_index = key
             summary = dispatched[key]
             telemetry.record_chunk(
                 summary.worker,
@@ -299,6 +321,17 @@ class Orchestrator:
                 events=summary.events,
             )
             telemetry.record_point_seconds(point_id, summary.elapsed_seconds)
+            self._emit(
+                ChunkCompleted(
+                    chunk_id=f"{point_id}/chunk-{chunk_index}",
+                    n=summary.n,
+                    worker=summary.worker,
+                    elapsed_seconds=summary.elapsed_seconds,
+                    events=summary.events,
+                    draws=summary.draws,
+                    point_id=point_id,
+                )
+            )
             by_id[point_id].completed[summary.chunk_index] = summary
 
     def _refresh(self, states: list[_PointState], ledger: BudgetLedger) -> None:
@@ -411,47 +444,119 @@ class Orchestrator:
         ledger.start()
         states = self._build_states()
         rounds: list[RoundRecord] = []
-
-        # warm-up round: a fixed floor of chunks per Monte-Carlo point
-        warmup: dict[str, int] = {}
-        if self.budget.min_chunks_per_point > 0:
-            planned = 0
-            for state in states:
-                if not state.monte_carlo:
-                    continue
-                want = self.budget.min_chunks_per_point * state.plan.chunk_size
-                want = min(want, ledger.point_remaining(state.point.point_id))
-                remaining = ledger.remaining_replications()
-                if remaining is not None:
-                    want = min(want, remaining - planned)
-                if want > 0:
-                    warmup[state.point.point_id] = want
-                    planned += want
-        if warmup:
-            self._execute_awards(states, warmup, ledger, telemetry)
-            ledger.note_round()
-            self._refresh(states, ledger)
-            rounds.append(self._round_record(0, warmup, states, ledger))
-
-        while not self._check_stop(states, ledger):
-            awards = self.allocator.allocate(self._progress(states), ledger)
-            if not awards:
-                remaining = ledger.remaining_replications()
-                ledger.stop(
-                    "replications-exhausted"
-                    if remaining is not None and remaining <= 0
-                    else "converged"
-                )
-                break
-            self._execute_awards(states, awards, ledger, telemetry)
-            ledger.note_round()
-            self._refresh(states, ledger)
-            rounds.append(
-                self._round_record(len(rounds), awards, states, ledger)
+        self._emit(
+            RunStarted(
+                kind="orchestrate",
+                workers=self.runner.workers,
+                unit="replications",
+                engine=self.engine,
+                max_total=self.budget.replications,
+                detail={
+                    "seed": self.seed,
+                    "policy": self.allocator.policy,
+                    "budget": self.budget.to_dict(),
+                    "estimators": {
+                        s.point.point_id: s.estimator for s in states
+                    },
+                },
             )
+        )
+        # lend the bus to the runner for the duration of the run so chunk
+        # scheduling / retry / failure / cache events land in this ledger
+        lent_bus = self.events is not None and self.runner.events is None
+        if lent_bus:
+            self.runner.events = self.events
 
+        try:
+            # warm-up round: a fixed floor of chunks per Monte-Carlo point
+            warmup: dict[str, int] = {}
+            if self.budget.min_chunks_per_point > 0:
+                planned = 0
+                for state in states:
+                    if not state.monte_carlo:
+                        continue
+                    want = (
+                        self.budget.min_chunks_per_point
+                        * state.plan.chunk_size
+                    )
+                    want = min(
+                        want, ledger.point_remaining(state.point.point_id)
+                    )
+                    remaining = ledger.remaining_replications()
+                    if remaining is not None:
+                        want = min(want, remaining - planned)
+                    if want > 0:
+                        warmup[state.point.point_id] = want
+                        planned += want
+            if warmup:
+                self._execute_awards(states, warmup, ledger, telemetry)
+                ledger.note_round()
+                self._refresh(states, ledger)
+                rounds.append(self._round_record(0, warmup, states, ledger))
+                self._emit_round(rounds[-1])
+
+            while not self._check_stop(states, ledger):
+                awards = self.allocator.allocate(
+                    self._progress(states), ledger
+                )
+                if not awards:
+                    remaining = ledger.remaining_replications()
+                    ledger.stop(
+                        "replications-exhausted"
+                        if remaining is not None and remaining <= 0
+                        else "converged"
+                    )
+                    break
+                self._execute_awards(states, awards, ledger, telemetry)
+                ledger.note_round()
+                self._refresh(states, ledger)
+                rounds.append(
+                    self._round_record(len(rounds), awards, states, ledger)
+                )
+                self._emit_round(rounds[-1])
+        except Exception as exc:
+            self._emit(
+                RunFinished(
+                    outcome="failed",
+                    units=ledger.spent,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            raise
+        finally:
+            if lent_bus:
+                self.runner.events = None
+
+        if ledger.stop_reason is not None:
+            self._emit(
+                BudgetStopped(
+                    reason=ledger.stop_reason,
+                    spent=ledger.spent,
+                    rounds=len(rounds),
+                )
+            )
         telemetry.finish()
-        return self._report(states, rounds, ledger, telemetry)
+        report = self._report(states, rounds, ledger, telemetry)
+        self._emit(
+            RunFinished(
+                outcome="ok",
+                units=ledger.spent,
+                converged=report.all_converged,
+                telemetry=report.telemetry,
+            )
+        )
+        return report
+
+    def _emit_round(self, record: RoundRecord) -> None:
+        self._emit(
+            RoundAllocated(
+                round=record.index,
+                awards=dict(record.awards),
+                spent=record.spent,
+                widest_relative_ci=record.widest_relative_ci,
+                converged_points=record.converged_points,
+            )
+        )
 
     # ------------------------------------------------------------------
     def _report(

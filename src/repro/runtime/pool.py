@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback as _traceback
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -42,6 +43,18 @@ from typing import Any, Callable, Optional, Protocol, Sequence, runtime_checkabl
 
 import numpy as np
 
+from repro.obs.events import (
+    CacheHit,
+    CacheMiss,
+    ChunkCompleted,
+    ChunkFailed,
+    ChunkRetried,
+    ChunkScheduled,
+    EventBus,
+    RunFinished,
+    RunStarted,
+)
+from repro.obs.ledger import forensic_bundle
 from repro.obs.profile import PhaseProfiler, profile_span
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.merge import ChunkSummary, combine, pooled_intervals
@@ -87,8 +100,40 @@ class ParallelResult:
 # ----------------------------------------------------------------------
 # worker-side entry points (module level so they pickle by reference)
 # ----------------------------------------------------------------------
+_WORKER_UID: Optional[tuple[int, str]] = None
+
+
 def _worker_label() -> str:
-    return f"pid-{os.getpid()}"
+    """Stable unique label of this worker process.
+
+    ``pid-<pid>.<token>``: the random token is drawn once per process
+    because the OS recycles pids — after a crash-restart a fresh worker
+    can be handed a dead worker's pid, and keying per-worker telemetry
+    by pid alone would silently merge the two workers' accounting.  The
+    cached token is regenerated after a fork (the inherited cache
+    carries the parent's pid, which no longer matches).
+    """
+    global _WORKER_UID
+    pid = os.getpid()
+    if _WORKER_UID is None or _WORKER_UID[0] != pid:
+        _WORKER_UID = (pid, os.urandom(3).hex())
+    return f"pid-{pid}.{_WORKER_UID[1]}"
+
+
+def _chunk_id(key: Any) -> str:
+    """Ledger chunk id of a job key (``(point, index)`` or bare index)."""
+    if isinstance(key, tuple):
+        return f"{key[0]}/chunk-{key[1]}"
+    return f"chunk-{key}"
+
+
+def _job_chunk_id(key: Any, fn: Callable) -> str:
+    """Ledger id of any dispatchable job, grouped and point jobs included."""
+    if fn is _execute_chunk_group:
+        return f"group-{key}"
+    if fn is _execute_point:
+        return f"point-{key}"
+    return _chunk_id(key)
 
 
 def _execute_chunk(
@@ -259,6 +304,13 @@ class ParallelRunner:
         Optional :class:`~repro.obs.profile.PhaseProfiler`; when given,
         the driver times its ``cache``, ``simulate`` and ``merge`` phases
         (driver-side wall time only — never inside the jump loop).
+    events:
+        Optional :class:`~repro.obs.events.EventBus`; when given, the
+        driver announces run lifecycle, chunk scheduling/completions,
+        retries, failures (with forensic repro bundles) and cache
+        traffic as ``repro-events/1`` envelopes.  Emission is strictly
+        driver-side bookkeeping — it never touches plans, streams or
+        summaries, so results are bit-identical with the bus on or off.
     """
 
     def __init__(
@@ -271,6 +323,7 @@ class ParallelRunner:
         confidence: float = 0.95,
         profiler: Optional[PhaseProfiler] = None,
         chunk_cache: bool = False,
+        events: Optional[EventBus] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -284,8 +337,48 @@ class ParallelRunner:
         self.confidence = confidence
         self.profiler = profiler
         self.chunk_cache = bool(chunk_cache)
+        self.events = events
         self.last_telemetry: Optional[TelemetrySnapshot] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # ledger emission (no-ops without an attached EventBus)
+    # ------------------------------------------------------------------
+    def _emit(self, event) -> None:
+        if self.events is not None:
+            self.events.emit(event)
+
+    def _emit_chunk_failed(
+        self,
+        key: Any,
+        fn: Callable,
+        args: tuple,
+        exc: BaseException,
+        attempt: Optional[int] = None,
+    ) -> None:
+        """Announce a job that exhausted its retries, with forensics.
+
+        Plain chunk jobs get a full repro bundle (pickled task/plan/spec
+        triple for ``repro-cli replay-chunk``); grouped and point jobs
+        carry traceback-only forensics.
+        """
+        if self.events is None:
+            return
+        bundle = None
+        if fn in (_execute_chunk, _execute_chunk_cached):
+            bundle = forensic_bundle(args[0], args[1], args[2])
+        tb = "".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        self.events.emit(
+            ChunkFailed(
+                chunk_id=_job_chunk_id(key, fn),
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=tb,
+                attempt=attempt,
+                bundle=bundle,
+            )
+        )
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -343,23 +436,44 @@ class ParallelRunner:
         so every job produces a result or raises from the driver itself.
         """
         if self.workers <= 1:
-            return {key: fn(*args) for key, (fn, args) in jobs.items()}
+            results = {}
+            for key, (fn, args) in jobs.items():
+                try:
+                    results[key] = fn(*args)
+                except Exception as exc:
+                    self._emit_chunk_failed(key, fn, args, exc)
+                    raise
+            return results
 
         results: dict[Any, Any] = {}
         pending = dict(jobs)
         attempts = {key: 0 for key in jobs}
 
-        def note_failure(key: Any) -> None:
+        def note_failure(key: Any, error: Optional[str] = None) -> None:
             if key not in pending:
                 return  # satisfied elsewhere (fallback or late completion)
             attempts[key] += 1
             telemetry.record_retry()
-            if attempts[key] > self.max_retries:
+            if attempts[key] <= self.max_retries:
+                self._emit(
+                    ChunkRetried(
+                        chunk_id=_job_chunk_id(key, pending[key][0]),
+                        attempt=attempts[key],
+                        error=error,
+                    )
+                )
+            else:
                 # last resort: the driver computes the chunk itself so the
                 # round always completes with every chunk accounted for
                 telemetry.record_fallback()
                 fn, args = pending.pop(key)
-                results[key] = fn(*args)
+                try:
+                    results[key] = fn(*args)
+                except Exception as exc:
+                    self._emit_chunk_failed(
+                        key, fn, args, exc, attempt=attempts[key]
+                    )
+                    raise
 
         while pending:
             pool = self._ensure_pool()
@@ -372,7 +486,7 @@ class ParallelRunner:
                 # pool broken before submission — rebuild and try again
                 self._reset_pool()
                 for key in list(pending):
-                    note_failure(key)
+                    note_failure(key, error="worker pool broken at submit")
                 continue
 
             broken = False
@@ -388,7 +502,13 @@ class ParallelRunner:
                     # treat the stragglers as lost and retry them
                     for future in outstanding:
                         future.cancel()
-                        note_failure(futures[future])
+                        note_failure(
+                            futures[future],
+                            error=(
+                                "timeout: no chunk progress within "
+                                f"{self.chunk_timeout}s"
+                            ),
+                        )
                     break
                 for future in done:
                     key = futures[future]
@@ -399,7 +519,7 @@ class ParallelRunner:
                     except Exception as exc:
                         if isinstance(exc, BrokenProcessPool):
                             broken = True
-                        note_failure(key)
+                        note_failure(key, error=f"{type(exc).__name__}: {exc}")
                     else:
                         results[key] = result
                         pending.pop(key, None)
@@ -431,12 +551,26 @@ class ParallelRunner:
 
         plan = ReplicationPlan(seed, chunk_size=self.chunk_size)
         confidence = rule.confidence if rule is not None else self.confidence
+        engine = str(getattr(task, "engine", "") or "")
         telemetry = TelemetryRecorder(
-            self.workers,
-            unit="replications",
-            engine=str(getattr(task, "engine", "") or ""),
+            self.workers, unit="replications", engine=engine
         )
         telemetry.start()
+        self._emit(
+            RunStarted(
+                kind="run",
+                workers=self.workers,
+                unit="replications",
+                engine=engine,
+                total=n_replications,
+                max_total=None if rule is None else rule.max_replications,
+                detail={
+                    "seed_entropy": plan.entropy,
+                    "chunk_size": plan.chunk_size,
+                    "task": type(task).__name__,
+                },
+            )
+        )
 
         key: Optional[str] = None
         if self.cache is not None:
@@ -461,11 +595,27 @@ class ParallelRunner:
             with profile_span(self.profiler, "cache"):
                 record = self.cache.get(key)
             telemetry.record_cache(hit=record is not None)
+            if self.events is not None:
+                self._emit(
+                    CacheHit(scope="run", key=key)
+                    if record is not None
+                    else CacheMiss(scope="run", key=key)
+                )
             if record is not None:
                 telemetry.activity_metrics = record.get("activity_metrics")
                 telemetry.finish()
                 snapshot = telemetry.snapshot()
                 self.last_telemetry = snapshot
+                self._emit(
+                    RunFinished(
+                        outcome="cached",
+                        units=int(record["n_replications"]),
+                        converged=bool(record["converged"]),
+                        telemetry=snapshot.to_dict()
+                        if self.events is not None
+                        else None,
+                    )
+                )
                 return ParallelResult(
                     values=np.asarray(record["values"], dtype=float),
                     half_widths=np.asarray(record["half_widths"], dtype=float),
@@ -478,27 +628,41 @@ class ParallelRunner:
         completed: dict[int, ChunkSummary] = {}
         done = 0
         converged = False
-        if rule is None:
-            self._run_window(task, plan, 0, n_replications, completed, telemetry)
-            done = n_replications
-            converged = True
-        else:
-            round_size = plan.align_up(
-                min(rule.min_replications, rule.max_replications)
-            )
-            while done < rule.max_replications:
-                target = min(done + round_size, rule.max_replications)
+        try:
+            if rule is None:
                 self._run_window(
-                    task, plan, done, target - done, completed, telemetry
+                    task, plan, 0, n_replications, completed, telemetry
                 )
-                done = target
-                with profile_span(self.profiler, "merge"):
-                    pooled = combine(completed.values())
-                intervals = pooled_intervals(pooled, rule.confidence)
-                informative = [iv for iv in intervals if iv.mean > 0]
-                if informative and all(rule.satisfied(iv) for iv in informative):
-                    converged = True
-                    break
+                done = n_replications
+                converged = True
+            else:
+                round_size = plan.align_up(
+                    min(rule.min_replications, rule.max_replications)
+                )
+                while done < rule.max_replications:
+                    target = min(done + round_size, rule.max_replications)
+                    self._run_window(
+                        task, plan, done, target - done, completed, telemetry
+                    )
+                    done = target
+                    with profile_span(self.profiler, "merge"):
+                        pooled = combine(completed.values())
+                    intervals = pooled_intervals(pooled, rule.confidence)
+                    informative = [iv for iv in intervals if iv.mean > 0]
+                    if informative and all(
+                        rule.satisfied(iv) for iv in informative
+                    ):
+                        converged = True
+                        break
+        except Exception as exc:
+            self._emit(
+                RunFinished(
+                    outcome="failed",
+                    units=done,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            raise
 
         with profile_span(self.profiler, "merge"):
             pooled = combine(completed.values())
@@ -521,6 +685,15 @@ class ParallelRunner:
                 self.cache.put(key, record)
         snapshot = telemetry.snapshot()
         self.last_telemetry = snapshot
+        if self.events is not None:
+            self._emit(
+                RunFinished(
+                    outcome="ok",
+                    units=done,
+                    converged=converged,
+                    telemetry=snapshot.to_dict(),
+                )
+            )
         return ParallelResult(
             values=values,
             half_widths=halves,
@@ -545,13 +718,23 @@ class ParallelRunner:
             completed[summary.chunk_index] = summary
         with profile_span(self.profiler, "simulate"):
             dispatched = self._dispatch(jobs, telemetry)
-        for summary in dispatched.values():
+        for job_key, summary in dispatched.items():
             telemetry.record_chunk(
                 summary.worker,
                 summary.n,
                 draws=summary.draws,
                 busy_seconds=summary.elapsed_seconds,
                 events=summary.events,
+            )
+            self._emit(
+                ChunkCompleted(
+                    chunk_id=_chunk_id(job_key),
+                    n=summary.n,
+                    worker=summary.worker,
+                    elapsed_seconds=summary.elapsed_seconds,
+                    events=summary.events,
+                    draws=summary.draws,
+                )
             )
             if self.profiler is not None and summary.compile_seconds > 0.0:
                 # worker-side model build/compile time, carried home on the
@@ -582,6 +765,7 @@ class ParallelRunner:
         jobs: dict[Any, tuple[Callable, tuple]] = {}
         cached: list[ChunkSummary] = []
         use_cache = self.chunk_cache and self.cache is not None
+        point_id = None if key_prefix is None else str(key_prefix)
         for spec in specs:
             job_key = (
                 spec.index if key_prefix is None else (key_prefix, spec.index)
@@ -591,6 +775,20 @@ class ParallelRunner:
                 with profile_span(self.profiler, "cache"):
                     record = self.cache.get(entry_key)
                 telemetry.record_cache(hit=record is not None)
+                if self.events is not None:
+                    self._emit(
+                        CacheHit(
+                            scope="chunk",
+                            chunk_id=_chunk_id(job_key),
+                            key=entry_key,
+                        )
+                        if record is not None
+                        else CacheMiss(
+                            scope="chunk",
+                            chunk_id=_chunk_id(job_key),
+                            key=entry_key,
+                        )
+                    )
                 if record is not None:
                     cached.append(ChunkSummary.from_cache_dict(record))
                     continue
@@ -600,6 +798,14 @@ class ParallelRunner:
                 )
             else:
                 jobs[job_key] = (_execute_chunk, (task, plan, spec))
+            self._emit(
+                ChunkScheduled(
+                    chunk_id=_chunk_id(job_key),
+                    start=spec.start,
+                    count=spec.count,
+                    point_id=point_id,
+                )
+            )
         return jobs, cached
 
     def execute_jobs(
@@ -667,6 +873,14 @@ class ParallelRunner:
         """
         telemetry = TelemetryRecorder(self.workers, unit="points")
         telemetry.start()
+        self._emit(
+            RunStarted(
+                kind="map",
+                workers=self.workers,
+                unit="points",
+                total=len(tasks),
+            )
+        )
         results: list[Any] = [None] * len(tasks)
         keys: dict[int, str] = {}
         jobs: dict[int, tuple[Callable, tuple]] = {}
@@ -675,20 +889,60 @@ class ParallelRunner:
                 key = cache_key({"kind": "sweep-point", "task": task.cache_token()})
                 record = self.cache.get(key)
                 telemetry.record_cache(hit=record is not None)
+                if self.events is not None:
+                    self._emit(
+                        CacheHit(
+                            scope="point",
+                            chunk_id=f"point-{index}",
+                            key=key,
+                        )
+                        if record is not None
+                        else CacheMiss(
+                            scope="point",
+                            chunk_id=f"point-{index}",
+                            key=key,
+                        )
+                    )
                 if record is not None:
                     results[index] = record["value"]
                     continue
                 keys[index] = key
             jobs[index] = (_execute_point, (task,))
-        for index, (value, worker, elapsed) in self._dispatch(
-            jobs, telemetry
-        ).items():
+        try:
+            dispatched = self._dispatch(jobs, telemetry)
+        except Exception as exc:
+            self._emit(
+                RunFinished(
+                    outcome="failed",
+                    units=0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            raise
+        for index, (value, worker, elapsed) in dispatched.items():
             telemetry.record_chunk(worker, 1, busy_seconds=elapsed)
+            self._emit(
+                ChunkCompleted(
+                    chunk_id=f"point-{index}",
+                    n=1,
+                    worker=worker,
+                    elapsed_seconds=elapsed,
+                )
+            )
             results[index] = value
             if index in keys:
                 self.cache.put(keys[index], {"value": _jsonable(value)})
         telemetry.finish()
-        self.last_telemetry = telemetry.snapshot()
+        snapshot = telemetry.snapshot()
+        self.last_telemetry = snapshot
+        if self.events is not None:
+            self._emit(
+                RunFinished(
+                    outcome="ok",
+                    units=len(tasks),
+                    telemetry=snapshot.to_dict(),
+                )
+            )
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

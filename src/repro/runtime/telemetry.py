@@ -23,7 +23,14 @@ __all__ = ["WorkerStats", "TelemetrySnapshot", "TelemetryRecorder"]
 
 @dataclass
 class WorkerStats:
-    """Per-worker accounting (workers are keyed by process id)."""
+    """Per-worker accounting.
+
+    Workers are keyed by the pool's unique worker label
+    (``pid-<pid>.<token>``, see ``repro.runtime.pool._worker_label``):
+    the per-process random token disambiguates pid reuse, so a fresh
+    worker handed a crashed worker's recycled pid never merges its
+    accounting into the dead one's row.
+    """
 
     chunks: int = 0
     units: int = 0

@@ -1,0 +1,207 @@
+"""CLI surface of the run ledger: --ledger, watch, metrics, replay, validate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_events
+from repro.obs.ledger import read_events
+
+FAST = ["--n", "2", "--times", "0.5,1.0", "--replications", "20", "--seed", "7"]
+
+
+def run_ledgered_unsafety(tmp_path, extra=()):
+    ledger = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "unsafety", "--method", "simulation", "--no-cache",
+            "--ledger", str(ledger), *extra, *FAST,
+        ]
+    )
+    assert code == 0
+    return ledger
+
+
+class TestLedgerFlag:
+    def test_unsafety_writes_valid_ledger(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        out = capsys.readouterr().out
+        assert "[ledger:" in out
+        events = read_events(ledger)
+        assert validate_events(events) == []
+        names = [e["event"] for e in events]
+        assert names[0] == "RunStarted"
+        assert names[-1] == "RunFinished"
+        assert "ChunkCompleted" in names
+        # sidecar digest reaches a terminal state
+        status = json.loads(
+            (tmp_path / "run.jsonl.status.json").read_text()
+        )
+        assert status["state"] == "finished"
+        assert status["units_done"] == 20
+
+    def test_run_id_is_deterministic_across_invocations(self, capsys, tmp_path):
+        first = read_events(run_ledgered_unsafety(tmp_path))
+        second = read_events(run_ledgered_unsafety(tmp_path / "again"))
+        assert first[0]["run_id"] == second[0]["run_id"]
+
+    def test_ledger_noted_for_non_simulation_methods(self, capsys, tmp_path):
+        ledger = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "unsafety", "--method", "analytical",
+                "--ledger", str(ledger), *FAST,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applies to the simulation methods" in out
+        assert not ledger.exists()
+
+    def test_orchestrate_ledger_carries_rounds_and_stop(self, capsys, tmp_path):
+        ledger = tmp_path / "orch.jsonl"
+        code = main(
+            [
+                "orchestrate", "12", "--fast", "--budget", "64",
+                "--workers", "1", "--seed", "3", "--no-cache",
+                "--ledger", str(ledger),
+            ]
+        )
+        assert code == 0
+        events = read_events(ledger)
+        assert validate_events(events) == []
+        names = {e["event"] for e in events}
+        assert "RoundAllocated" in names
+        assert "BudgetStopped" in names
+        assert "RunFinished" in names
+
+
+class TestWatch:
+    def test_once_prints_status_line(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(ledger), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "replications" in out
+
+    def test_once_json_emits_status_schema(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(ledger), "--once", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == "repro-status/1"
+        assert record["units_done"] == 20
+
+    def test_follow_stops_on_run_finished(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        # the ledger already holds RunFinished, so follow mode terminates
+        assert main(["watch", str(ledger), "--poll", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out.splitlines()[-1]
+
+    def test_once_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["watch", str(tmp_path / "nope.jsonl"), "--once"])
+
+
+class TestMetrics:
+    def test_ledger_source_renders_openmetrics(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "repro_replications_total 20" in out
+        assert "# TYPE repro_chunk_seconds histogram" in out
+
+    def test_artifact_source_renders_openmetrics(self, capsys, tmp_path):
+        art = tmp_path / "orch.json"
+        code = main(
+            [
+                "orchestrate", "12", "--fast", "--budget", "64",
+                "--workers", "1", "--seed", "3", "--no-cache",
+                "--json", str(art),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["metrics", str(art)]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "repro_replications_total 64" in out
+
+    def test_json_format_prints_digest(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(ledger), "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == "repro-status/1"
+
+    def test_garbage_source_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not json at all\n")
+        with pytest.raises(SystemExit):
+            main(["metrics", str(bad)])
+
+
+class TestValidateSummary:
+    def test_validate_passes_on_real_ledger(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "validate", str(ledger)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_fails_on_broken_ledger(self, capsys, tmp_path):
+        ledger = tmp_path / "broken.jsonl"
+        ledger.write_text(
+            json.dumps(
+                {"schema": "repro-events/1", "run_id": "r", "seq": 0,
+                 "ts": 0.0, "event": "ChunkCompleted",
+                 "data": {"chunk_id": "c"}}
+            )
+            + "\n"
+        )
+        assert main(["ledger", "validate", str(ledger)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+
+    def test_summary_prints_status_json(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "summary", str(ledger)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "finished"
+
+
+class TestReplayChunk:
+    def test_unknown_chunk_is_an_error(self, capsys, tmp_path):
+        ledger = run_ledgered_unsafety(tmp_path)
+        with pytest.raises(SystemExit, match="no ChunkFailed"):
+            main(["replay-chunk", str(ledger), "chunk-99"])
+
+    def test_reproduces_seeded_fault(self, capsys, tmp_path):
+        from repro.obs import EventBus, RunLedger
+        from repro.obs.ledger import chunk_failures
+        from repro.runtime.pool import ParallelRunner
+        from tests.obs.test_ledger import FaultyTask
+
+        path = tmp_path / "fail.jsonl"
+        ledger = RunLedger(path)
+        bus = EventBus("run-fault", sinks=[ledger])
+        runner = ParallelRunner(workers=1, chunk_size=4, events=bus)
+        with pytest.raises(RuntimeError):
+            runner.run(FaultyTask(), n_replications=8, seed=7)
+        bus.close()
+
+        chunk_id = next(iter(chunk_failures(read_events(path))))
+        capsys.readouterr()
+        code = main(["replay-chunk", str(path), chunk_id])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[reproduced]" in out
+        assert "seeded fault at rep-5" in out

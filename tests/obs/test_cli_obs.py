@@ -57,6 +57,32 @@ class TestUnsafetyMetrics:
         assert "apply to the simulation methods" in out
         assert "activity metrics" not in out
 
+    def test_trace_out_with_workers_warns_user(self, tmp_path):
+        import warnings
+
+        import pytest
+
+        path = tmp_path / "trace.jsonl"
+        with pytest.warns(UserWarning, match="forces serial execution"):
+            code = main(
+                [
+                    "unsafety", "--method", "simulation",
+                    "--trace-out", str(path),
+                    "--workers", "4", "--no-cache", *FAST,
+                ]
+            )
+        assert code == 0
+        # no warning when the worker count was left at 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            code = main(
+                [
+                    "unsafety", "--method", "simulation",
+                    "--trace-out", str(path), "--no-cache", *FAST,
+                ]
+            )
+        assert code == 0
+
     def test_trace_out_writes_jsonl_and_forces_serial(self, capsys, tmp_path):
         path = tmp_path / "trace.jsonl"
         code = main(

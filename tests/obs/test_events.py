@@ -1,0 +1,204 @@
+"""The ``repro-events/1`` vocabulary: envelopes, validation, run ids."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    SCHEMA_ID,
+    BudgetStopped,
+    CacheHit,
+    ChunkCompleted,
+    ChunkFailed,
+    ChunkRetried,
+    ChunkScheduled,
+    EventBus,
+    RoundAllocated,
+    RunFinished,
+    RunStarted,
+    deterministic_run_id,
+    validate_event,
+    validate_events,
+)
+
+
+class TestEnvelope:
+    def test_emit_stamps_schema_run_id_seq_and_ts(self):
+        records = []
+        ticks = iter([100.0, 101.5])
+        bus = EventBus("run-x", sinks=[records.append], clock=lambda: next(ticks))
+        bus.emit(RunStarted(kind="run", workers=2))
+        bus.emit(RunFinished(outcome="ok", units=10))
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["ts"] for r in records] == [100.0, 101.5]
+        assert all(r["schema"] == SCHEMA_ID for r in records)
+        assert all(r["run_id"] == "run-x" for r in records)
+        assert records[0]["event"] == "RunStarted"
+        assert records[1]["data"] == {"outcome": "ok", "units": 10}
+        assert bus.events_emitted == 2
+
+    def test_payload_drops_none_fields(self):
+        data = ChunkCompleted(chunk_id="chunk-0", n=4).payload()
+        assert "point_id" not in data
+        data = ChunkCompleted(chunk_id="chunk-0", n=4, point_id="p").payload()
+        assert data["point_id"] == "p"
+
+    def test_envelopes_are_json_serialisable(self):
+        bus = EventBus("run-j")
+        samples = [
+            RunStarted(kind="orchestrate", detail={"seed": 7}),
+            ChunkScheduled(chunk_id="c", start=0, count=8),
+            ChunkCompleted(chunk_id="c", n=8, worker="w", elapsed_seconds=0.1),
+            ChunkRetried(chunk_id="c", attempt=1, error="boom"),
+            ChunkFailed(chunk_id="c", error="boom", bundle={"schema": "x"}),
+            RoundAllocated(round=1, awards={"p": 4}, spent=4),
+            BudgetStopped(reason="wall-clock", spent=4, rounds=1),
+            CacheHit(scope="run"),
+            RunFinished(outcome="ok", units=8, telemetry={"units": 8}),
+        ]
+        for event in samples:
+            json.dumps(bus.emit(event), sort_keys=True)
+
+    def test_emit_rejects_non_events(self):
+        bus = EventBus("run-x")
+        with pytest.raises(TypeError):
+            bus.emit(object())
+
+    def test_empty_run_id_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus("")
+
+    def test_subscribe_attaches_additional_sink(self):
+        first, second = [], []
+        bus = EventBus("run-s", sinks=[first.append])
+        bus.emit(RunStarted(kind="run"))
+        bus.subscribe(second.append)
+        bus.emit(RunFinished(outcome="ok"))
+        assert len(first) == 2
+        assert len(second) == 1
+
+    def test_context_manager_closes_sinks(self):
+        class Sink:
+            closed = False
+
+            def __call__(self, envelope):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        sink = Sink()
+        with EventBus("run-c", sinks=[sink]) as bus:
+            bus.emit(RunStarted(kind="run"))
+        assert sink.closed
+
+
+class TestValidation:
+    def good(self, **overrides):
+        record = {
+            "schema": SCHEMA_ID,
+            "run_id": "run-1",
+            "seq": 0,
+            "ts": 1.0,
+            "event": "RunStarted",
+            "data": {"kind": "run", "workers": 1, "unit": "replications"},
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_line_has_no_errors(self):
+        assert validate_event(self.good()) == []
+
+    def test_every_emitted_event_validates(self):
+        bus = EventBus("run-v")
+        for name, cls in EVENT_TYPES.items():
+            defaults = {
+                "RunStarted": dict(kind="run"),
+                "ChunkScheduled": dict(chunk_id="c", start=0, count=1),
+                "ChunkCompleted": dict(chunk_id="c", n=1),
+                "ChunkRetried": dict(chunk_id="c", attempt=1),
+                "ChunkFailed": dict(chunk_id="c", error="e"),
+                "RoundAllocated": dict(round=1),
+                "BudgetStopped": dict(reason="r"),
+                "CacheHit": dict(scope="run"),
+                "CacheMiss": dict(scope="run"),
+                "RunFinished": dict(outcome="ok"),
+            }[name]
+            assert validate_event(bus.emit(cls(**defaults))) == []
+
+    @pytest.mark.parametrize(
+        "mutation, needle",
+        [
+            (dict(schema="bogus/9"), "schema"),
+            (dict(run_id=""), "run_id"),
+            (dict(seq=-1), "seq"),
+            (dict(seq=True), "seq"),
+            (dict(ts="noon"), "ts"),
+            (dict(event="Unheard"), "unknown event"),
+            (dict(data="oops"), "data"),
+            (dict(data={}), "missing required field"),
+            (dict(data={"kind": 3, "workers": 1, "unit": "u"}), "kind"),
+        ],
+    )
+    def test_broken_lines_are_reported(self, mutation, needle):
+        errors = validate_event(self.good(**mutation))
+        assert errors
+        assert any(needle in error for error in errors)
+
+    def test_non_dict_line(self):
+        assert validate_event("not-json-object")
+
+    def test_sequence_must_increase_within_run(self):
+        lines = [self.good(), self.good(seq=0, event="RunFinished",
+                                        data={"outcome": "ok", "units": 0})]
+        errors = validate_events(lines)
+        assert any("not increasing" in error for error in errors)
+
+    def test_run_must_open_with_run_started(self):
+        line = self.good(
+            event="ChunkCompleted", data={"chunk_id": "c", "n": 1,
+                                          "worker": "", "elapsed_seconds": 0.0}
+        )
+        errors = validate_events([line])
+        assert any("expected RunStarted" in error for error in errors)
+
+    def test_at_most_one_run_finished(self):
+        finish = {"outcome": "ok", "units": 0}
+        lines = [
+            self.good(),
+            self.good(seq=1, event="RunFinished", data=dict(finish)),
+            self.good(seq=2, event="RunFinished", data=dict(finish)),
+        ]
+        errors = validate_events(lines)
+        assert any("finished twice" in error for error in errors)
+
+    def test_interleaved_runs_validate_independently(self):
+        a0 = self.good(run_id="run-a")
+        b0 = self.good(run_id="run-b")
+        a1 = self.good(run_id="run-a", seq=1, event="RunFinished",
+                       data={"outcome": "ok", "units": 0})
+        b1 = self.good(run_id="run-b", seq=1, event="RunFinished",
+                       data={"outcome": "ok", "units": 0})
+        assert validate_events([a0, b0, a1, b1]) == []
+
+    def test_schema_document_covers_every_event(self):
+        names = {
+            clause["if"]["properties"]["event"]["const"]
+            for clause in EVENT_SCHEMA["allOf"]
+        }
+        assert names == set(EVENT_TYPES)
+        assert EVENT_SCHEMA["properties"]["schema"]["const"] == SCHEMA_ID
+
+
+class TestRunId:
+    def test_deterministic_and_input_sensitive(self):
+        a = deterministic_run_id({"kind": "unsafety", "seed": 7})
+        b = deterministic_run_id({"kind": "unsafety", "seed": 7})
+        c = deterministic_run_id({"kind": "unsafety", "seed": 8})
+        assert a == b
+        assert a != c
+        assert a.startswith("run-")

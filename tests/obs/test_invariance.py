@@ -206,6 +206,129 @@ def test_stepped_batch_observer_delegation_matches_compiled():
         assert_runs_identical(run_p, run_s, model.places)
 
 
+class TestLedgerNeverTouchesTheStream:
+    """The run ledger is driver-side I/O only: estimates and
+    ``repro-estimates/1``/report artifacts are byte-identical with the
+    event bus attached or not, on every execution layer."""
+
+    def _bus(self, tmp_path, name):
+        from repro.obs import EventBus, RunLedger
+
+        ledger = RunLedger(tmp_path / f"{name}.jsonl")
+        return EventBus(f"run-{name}", sinks=[ledger])
+
+    @staticmethod
+    def _estimate_bytes(estimate):
+        return json.dumps(
+            {
+                "values": [repr(v) for v in estimate.values],
+                "half_widths": [repr(h) for h in estimate.half_widths],
+                "n": estimate.n_samples,
+            },
+            sort_keys=True,
+        )
+
+    @pytest.mark.parametrize("method", ["simulation", "importance", "splitting"])
+    def test_serial_unsafety_byte_identical(self, tmp_path, method):
+        from repro.core.measures import unsafety
+        from repro.obs import validate_events
+        from repro.obs.ledger import read_events
+
+        params = AHSParameters(max_platoon_size=2, base_failure_rate=2e-2)
+        kwargs = dict(
+            times=(0.5, 1.0), method=method, n_replications=60, seed=13,
+            trials_per_stage=30, repetitions=3,
+        )
+        bare = unsafety(params, **kwargs)
+        bus = self._bus(tmp_path, method)
+        ledgered = unsafety(params, events=bus, **kwargs)
+        bus.close()
+        assert self._estimate_bytes(ledgered) == self._estimate_bytes(bare)
+        events = read_events(tmp_path / f"{method}.jsonl")
+        assert validate_events(events) == []
+        assert events[0]["data"]["kind"] == "serial"
+        assert events[-1]["event"] == "RunFinished"
+
+    def test_runner_unsafety_byte_identical(self, tmp_path):
+        from repro.core.measures import unsafety
+        from repro.obs import validate_events
+        from repro.obs.ledger import read_events
+        from repro.runtime import ParallelRunner
+
+        params = AHSParameters(max_platoon_size=2, base_failure_rate=2e-2)
+        kwargs = dict(
+            times=(0.5, 1.0), method="simulation", n_replications=64, seed=13
+        )
+        with ParallelRunner(workers=1, chunk_size=16) as runner:
+            bare = unsafety(params, runner=runner, **kwargs)
+        bus = self._bus(tmp_path, "runner")
+        with ParallelRunner(workers=1, chunk_size=16) as runner:
+            ledgered = unsafety(params, runner=runner, events=bus, **kwargs)
+            # the lent bus was handed back after the run
+            assert runner.events is None
+        bus.close()
+        assert self._estimate_bytes(ledgered) == self._estimate_bytes(bare)
+        events = read_events(tmp_path / "runner.jsonl")
+        assert validate_events(events) == []
+        names = [e["event"] for e in events]
+        assert names.count("RunStarted") == 1
+        assert names.count("RunFinished") == 1
+        assert "ChunkCompleted" in names
+
+    def test_orchestrator_report_byte_identical(self, tmp_path):
+        from repro.obs import validate_events
+        from repro.obs.ledger import read_events
+        from repro.orchestrate import (
+            Budget,
+            EstimatorPolicy,
+            SweepPoint,
+            orchestrate,
+        )
+        from repro.runtime import ParallelRunner
+
+        points = [
+            SweepPoint(
+                "hot",
+                AHSParameters(base_failure_rate=2e-2, max_platoon_size=2),
+                (0.5, 1.0),
+            )
+        ]
+        budget = Budget(replications=128, target_relative_ci=0.5)
+        policy = EstimatorPolicy(forced="simulation")
+
+        def report_bytes(report):
+            record = report.to_dict()
+            record.pop("telemetry", None)
+            # wall-clock fields are the only non-deterministic content
+            record.get("ledger", {}).pop("elapsed_seconds", None)
+            return json.dumps(record, sort_keys=True, default=repr)
+
+        def run(events=None, workers=1):
+            with ParallelRunner(workers=workers, chunk_size=64) as runner:
+                return orchestrate(
+                    points, budget, runner, estimator_policy=policy,
+                    seed=11, events=events,
+                )
+
+        bare = run()
+        bus = self._bus(tmp_path, "orch")
+        ledgered = run(events=bus)
+        bus.close()
+        assert report_bytes(ledgered) == report_bytes(bare)
+        # worker invariance holds with the ledger attached too
+        bus2 = self._bus(tmp_path, "orch-w2")
+        ledgered_w2 = run(events=bus2, workers=2)
+        bus2.close()
+        assert report_bytes(ledgered_w2) == report_bytes(bare)
+        events = read_events(tmp_path / "orch.jsonl")
+        assert validate_events(events) == []
+        names = [e["event"] for e in events]
+        assert names[0] == "RunStarted"
+        assert "RoundAllocated" in names
+        assert "BudgetStopped" in names
+        assert names[-1] == "RunFinished"
+
+
 def test_metrics_identical_across_engines():
     model, predicate = _composed(2)
     summaries = {}

@@ -256,6 +256,25 @@ class TestTelemetry:
         with pytest.raises(ValueError):
             ParallelRunner(max_retries=-1)
 
+    def test_worker_label_disambiguates_pid_reuse(self, monkeypatch):
+        """Telemetry keys are pid+token: a recycled pid gets a fresh
+        token, so a crash-replacement worker never merges its accounting
+        into the dead worker's row."""
+        from repro.runtime import pool
+
+        label = pool._worker_label()
+        assert label.startswith(f"pid-{os.getpid()}.")
+        # same process, same cached label
+        assert pool._worker_label() == label
+        # simulate the cache carrying another process's pid (fork
+        # inheritance or pid reuse): the token must be regenerated
+        monkeypatch.setattr(
+            pool, "_WORKER_UID", (os.getpid() + 1, "deadbe")
+        )
+        renewed = pool._worker_label()
+        assert renewed.startswith(f"pid-{os.getpid()}.")
+        assert renewed.split(".", 1)[1] != "deadbe"
+
 
 class TestSweepBatch:
     """Grouped dispatch is pure scheduling: summaries are bit-identical."""

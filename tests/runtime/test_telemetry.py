@@ -119,6 +119,55 @@ class TestSnapshotRoundTrip:
         snapshot.activity_metrics = {"replications": 64, "firings": {"a": 1}}
         assert snapshot.to_dict()["activity_metrics"]["firings"] == {"a": 1}
 
+    def test_to_dict_includes_point_seconds_only_when_present(self):
+        snapshot = self._snapshot()
+        assert "point_seconds" not in snapshot.to_dict()
+
+        clock = FakeClock()
+        recorder = TelemetryRecorder(workers=1, clock=clock)
+        recorder.start()
+        recorder.record_point_seconds("fig12/n=4", 0.25)
+        recorder.record_point_seconds("fig12/n=2", 0.5)
+        recorder.record_point_seconds("fig12/n=4", 0.75)
+        recorder.finish()
+        record = json.loads(json.dumps(recorder.snapshot().to_dict()))
+        # accumulated per point, sorted, and plain JSON floats
+        assert record["point_seconds"] == {
+            "fig12/n=2": 0.5,
+            "fig12/n=4": 1.0,
+        }
+
+    def test_format_round_trip_agrees_with_to_dict(self):
+        """Every figure in the footer matches the JSON record."""
+        snapshot = self._snapshot()
+        snapshot.point_seconds = {"fig12/n=4": 1.0}
+        record = snapshot.to_dict()
+        text = snapshot.format()
+        assert f"workers={record['workers']}" in text
+        assert f"replications={record['units']}" in text
+        assert (
+            f"replications/sec={record['replications_per_sec']:.1f}" in text
+        )
+        assert (
+            f"cache hit rate={record['cache_hits']}"
+            f"/{record['cache_hits'] + record['cache_misses']}" in text
+        )
+        assert f"events={record['events']}" in text
+        assert "point seconds: fig12/n=4=1.00s" in text
+        for worker, stats in record["per_worker"].items():
+            assert f"{worker}: chunks={stats['chunks']}" in text
+
+    def test_zero_elapsed_snapshot_formats_without_dividing(self):
+        snapshot = TelemetrySnapshot(
+            workers=1, unit="replications", elapsed_seconds=0.0, units=0,
+            chunks=0, retries=0, fallbacks=0, draws=0, cache_hits=0,
+            cache_misses=0,
+        )
+        assert snapshot.units_per_second == 0.0
+        assert snapshot.events_per_second == 0.0
+        assert snapshot.cache_hit_rate == 0.0
+        assert "replications/sec=0.0" in snapshot.format()
+
 
 class TestFooterFormatting:
     def _snapshot(self, unit: str) -> TelemetrySnapshot:
