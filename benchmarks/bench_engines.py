@@ -12,10 +12,12 @@ jump-engine comparison (interpreted vs compiled vs batched)::
 which prints a speedup table, writes ``BENCH_engines.json`` and exits
 non-zero on a performance regression: the compiled engine must beat the
 interpreted one at every size, the batched engine (at its widest
-benchmarked batch) must beat compiled at the largest size, and the
-stepped engine's tabulated refresh must hold >= 1.5x over batched at
-n=10 / batch 256 (the CI bench-smoke gates).  All engines replay the
-same seeds, so the ``events`` columns double as an equivalence check.
+benchmarked batch) must beat compiled at the largest size, the stepped
+engine's tabulated refresh must hold >= 1.5x over batched at n=10 /
+batch 256, and one cross-point tensorized run must hold >= 1.5x over
+per-point stepped loops on the figure-shaped sweeps (the CI bench-smoke
+gates).  All engines replay the same seeds, so the ``events`` columns
+double as an equivalence check.
 """
 
 import argparse
@@ -282,6 +284,130 @@ def _render_table(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def compare_sweep(
+    chunks: int = 4,
+    chunk_size: int = 32,
+    repeats: int = 3,
+) -> list[dict]:
+    """Cross-point tensorized dispatch vs per-point stepped loops.
+
+    Replays the orchestrator's round shape on two figure-shaped sweeps:
+    every point is awarded ``chunks`` chunks of ``chunk_size``
+    replications, and the per-point path runs one
+    :meth:`SteppedJumpEngine.run_batch` per chunk (exactly what
+    ``--sweep-batch`` executes inside a group) while the tensorized path
+    stacks all chunks of all points into one
+    :class:`~repro.san.multipoint.MultiPointContext` run.  Both paths
+    replay identical streams, so the event totals double as an
+    equivalence check.
+    """
+    from repro.san import MultiPointContext, MultiPointJob
+
+    sweeps = [
+        # fig-10 shape: platoon-size sweep, common horizon (ragged
+        # layouts padded to the widest point)
+        ("fig10-n-sweep", [(4, 4.0), (8, 4.0), (12, 4.0)]),
+        # fig-12 shape: mission-time sweep over one model
+        ("fig12-mission-sweep", [(10, 2.0), (10, 4.0), (10, 6.0)]),
+    ]
+    rows = []
+    for name, specs in sweeps:
+        engines = []
+        for n, horizon in specs:
+            model = build_composed_model(
+                AHSParameters(max_platoon_size=n)
+            ).model
+            engines.append(
+                (make_jump_engine(model, engine="stepped",
+                                  batch_size=chunk_size), horizon)
+            )
+        for index, (engine, horizon) in enumerate(engines):
+            engine.run_batch(
+                StreamFactory(2024).stream_batch(f"warm{index}", chunk_size),
+                horizon,
+            )
+
+        def stream_grid():
+            return [
+                [
+                    StreamFactory(2024).stream_batch(
+                        f"p{index}c{chunk}", chunk_size
+                    )
+                    for chunk in range(chunks)
+                ]
+                for index in range(len(engines))
+            ]
+
+        per_point = tensorized = float("inf")
+        events_pp = events_tz = 0
+        for _ in range(max(1, repeats)):
+            grid = stream_grid()
+            started = time.perf_counter()
+            fired = 0
+            for (engine, horizon), chunk_list in zip(engines, grid):
+                for streams in chunk_list:
+                    fired += sum(
+                        run.firings
+                        for run in engine.run_batch(streams, horizon)
+                    )
+            per_point = min(per_point, time.perf_counter() - started)
+            events_pp = fired
+
+            grid = stream_grid()
+            jobs = [
+                MultiPointJob(engine, streams, horizon, None)
+                for (engine, horizon), chunk_list in zip(engines, grid)
+                for streams in chunk_list
+            ]
+            started = time.perf_counter()
+            results = MultiPointContext(jobs).run()
+            tensorized = min(tensorized, time.perf_counter() - started)
+            events_tz = sum(
+                run.firings for runs in results for run in runs
+            )
+        if events_pp != events_tz:
+            raise AssertionError(
+                f"{name}: tensorized and per-point paths disagree on "
+                f"event counts ({events_tz} vs {events_pp})"
+            )
+        rows.append(
+            {
+                "sweep": name,
+                "points": len(specs),
+                "chunks_per_point": chunks,
+                "chunk_size": chunk_size,
+                "events": int(events_pp),
+                "per_point_seconds": per_point,
+                "tensorized_seconds": tensorized,
+                "tensorized_speedup": per_point / tensorized,
+            }
+        )
+    return rows
+
+
+def _render_sweep_table(rows: list[dict]) -> str:
+    lines = [
+        f"{'sweep':>20}  {'points':>6}  {'rows':>6}  "
+        f"{'per-point s':>11}  {'tensorized s':>12}  {'speedup':>8}",
+    ]
+    for row in rows:
+        total_rows = (
+            row["points"] * row["chunks_per_point"] * row["chunk_size"]
+        )
+        lines.append(
+            "{sweep:>20}  {points:>6}  {rows:>6}  {pp:>11.3f}  "
+            "{tz:>12.3f}  {speed:>7.2f}x".format(
+                sweep=row["sweep"],
+                points=row["points"],
+                rows=total_rows,
+                pp=row["per_point_seconds"],
+                tz=row["tensorized_seconds"],
+                speed=row["tensorized_speedup"],
+            )
+        )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare the interpreted and compiled SAN jump engines."
@@ -328,12 +454,16 @@ def main(argv=None) -> int:
 
     rows = compare_engines(sizes, replications, args.horizon, batch_sizes)
     print(_render_table(rows))
+    sweep_rows = compare_sweep(repeats=2 if args.smoke else 3)
+    print()
+    print(_render_sweep_table(sweep_rows))
     record = {
         "benchmark": "san-jump-engines",
         "replications": max(replications, max(batch_sizes)),
         "horizon": args.horizon,
         "batch_sizes": list(batch_sizes),
         "rows": rows,
+        "sweeps": sweep_rows,
     }
     with open(args.json, "w") as handle:
         json.dump(record, handle, indent=2)
@@ -378,6 +508,18 @@ def main(argv=None) -> int:
             print(
                 "FAIL: stepped engine below the 1.5x gate over batched "
                 f"at n=10, batch 256 ({ratio:.2f}x)"
+            )
+            failed = True
+    # regression gate for cross-point tensorization: one stacked tensor
+    # run must hold >= 1.5x over per-point stepped loops on both
+    # figure-shaped sweeps (measured >= 2x on idle machines; 1.5 leaves
+    # headroom for CI scheduler noise)
+    for row in sweep_rows:
+        if row["tensorized_speedup"] < 1.5:
+            print(
+                f"FAIL: tensorized sweep below the 1.5x gate over "
+                f"per-point dispatch on {row['sweep']} "
+                f"({row['tensorized_speedup']:.2f}x)"
             )
             failed = True
     return 1 if failed else 0

@@ -66,6 +66,14 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the on-disk result cache",
     )
+    parser.add_argument(
+        "--context-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-process compiled-context FIFO size (default 16); "
+        "evictions emit CacheMiss ledger events in the driver process",
+    )
 
 
 def _resolve_cache_dir(cache_dir):
@@ -101,7 +109,11 @@ def _build_runner(args):
         raise SystemExit(f"--workers must be >= 1, got {workers}")
     from repro.runtime import ParallelRunner
 
-    return ParallelRunner(workers=workers, cache=_build_cache(args))
+    return ParallelRunner(
+        workers=workers,
+        cache=_build_cache(args),
+        context_cache_size=getattr(args, "context_cache", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,6 +271,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dispatch each round's chunks to the pool in point-contiguous "
         "groups (fewer, larger pool tasks; byte-identical estimates)",
+    )
+    orch.add_argument(
+        "--tensorize",
+        action="store_true",
+        help="stack every stepped-engine point of a round into one "
+        "cross-point SoA tensor per pool task (requires --engine stepped; "
+        "byte-identical estimates, one vectorised step loop per round)",
+    )
+    orch.add_argument(
+        "--cost-model",
+        default="events",
+        choices=["events", "wall"],
+        help="allocator cost proxy: 'events' (pooled simulator events per "
+        "replication; deterministic schedule) or 'wall' (measured busy "
+        "worker-seconds per replication; schedule may vary run to run, "
+        "estimates per chunk stay bit-identical)",
     )
     orch.add_argument(
         "--json",
@@ -826,13 +854,24 @@ def _cmd_orchestrate(args) -> int:
             "policy": args.policy,
             "seed": seed,
             "engine": args.engine,
+            "tensorize": args.tensorize,
+            "cost_model": args.cost_model,
         },
     )
+    if args.tensorize and args.engine != "stepped":
+        print(
+            f"[note: --tensorize requires --engine stepped; engine "
+            f"{args.engine!r} cannot lower the cross-point tensor loop — "
+            f"running per-point]"
+        )
     # chunk_cache makes interrupted runs resumable: re-running the same
     # orchestration replays finished chunks from the cache bit-identically
     try:
         with ParallelRunner(
-            workers=workers, cache=cache, chunk_cache=cache is not None
+            workers=workers,
+            cache=cache,
+            chunk_cache=cache is not None,
+            context_cache_size=args.context_cache,
         ) as runner:
             figure, report = run_adaptive(
                 figure_id,
@@ -843,6 +882,8 @@ def _cmd_orchestrate(args) -> int:
                 seed=seed,
                 engine=args.engine,
                 sweep_batch=args.sweep_batch,
+                tensorize=args.tensorize,
+                cost_model=args.cost_model,
                 events=bus,
             )
     finally:

@@ -16,6 +16,7 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.core.parameters import AHSParameters
+from repro.runtime import workerctx
 
 __all__ = [
     "UnsafetySimulationTask",
@@ -45,12 +46,12 @@ class _SimContext(NamedTuple):
 #: each worker; without this memo every chunk re-runs
 #: ``build_composed_model`` + ``make_jump_engine``.  Bounded (FIFO) so a
 #: long-lived worker sweeping many parameter points cannot hoard models.
-#: Sized for sweep-batched dispatch (``ParallelRunner.
-#: execute_jobs_grouped``), where one worker call runs chunks of several
-#: neighbouring sweep points back to back and evicting between points
-#: would rebuild each model every group.
-_CONTEXT_CACHE: dict[str, _SimContext] = {}
-_CONTEXT_CACHE_MAX = 16
+#: Storage and size policy live in :mod:`repro.runtime.workerctx` so the
+#: driver can size the FIFO (``ParallelRunner(context_cache_size=...)``)
+#: and observe evictions as ``CacheMiss`` ledger events; this alias (and
+#: the default-capacity constant) remain for direct inspection.
+_CONTEXT_CACHE: dict[str, _SimContext] = workerctx.cache()
+_CONTEXT_CACHE_MAX = workerctx.DEFAULT_MAX_ENTRIES
 
 
 @dataclass(frozen=True)
@@ -140,13 +141,11 @@ class UnsafetySimulationTask:
         from repro.runtime.cache import cache_key
 
         key = cache_key({"kind": "worker-context", "task": self.cache_token()})
-        context = _CONTEXT_CACHE.get(key)
+        context = workerctx.get(key)
         if context is not None:
             return context._replace(compile_seconds=0.0)
         context = self.build()
-        while len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_MAX:
-            _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
-        _CONTEXT_CACHE[key] = context
+        workerctx.put(key, context)
         return context
 
     def sample(self, context: _SimContext, stream) -> np.ndarray:
@@ -196,6 +195,55 @@ class UnsafetySimulationTask:
                 np.less_equal(run.stop_time, context.times, out=mask)
                 np.copyto(out[row], run.weight, where=mask)
                 row += 1
+        return out
+
+    def tensorizable(self) -> bool:
+        """Cheap pre-build eligibility for cross-point tensor runs.
+
+        Checked *before* ``build_cached`` so ineligible chunks never pay
+        a context build in the probe (which would also hide the build's
+        ``compile_seconds`` from the first real chunk's summary).
+        :meth:`tensor_spec` re-validates on the built context.
+        """
+        return self.engine == "stepped" and not self.metrics
+
+    def tensor_spec(self, context: _SimContext):
+        """This context's cross-point tensor job triple, or ``None``.
+
+        A chunk of this task can ride in a shared
+        :class:`~repro.san.multipoint.MultiPointContext` tensor run
+        exactly when its simulator is the stepped engine with no
+        observer attached (metrics recorders force per-row delegation,
+        which a tensor cannot replay).  Returns
+        ``(engine, horizon, stop_predicate)`` when eligible.
+        """
+        simulator = context.simulator
+        if getattr(simulator, "engine_name", "") != "stepped":
+            return None
+        if getattr(simulator, "observer", None) is not None:
+            return None
+        if context.recorder is not None:
+            return None
+        return simulator, context.horizon, context.predicate
+
+    def samples_from_runs(self, context: _SimContext, runs) -> np.ndarray:
+        """Per-replication sample rows from already-executed runs.
+
+        The demux half of :meth:`sample_batch`: a tensorized group run
+        hands back this chunk's :class:`~repro.san.simulator.
+        SimulationRun` slice and this method reduces it with the exact
+        arithmetic ``sample_batch`` applies, so the resulting rows are
+        bit-identical to per-point execution (the stepped engine is
+        width-invariant, which is also why ``batch_size`` is absent from
+        the cache token).
+        """
+        out = np.zeros((len(runs), len(context.times)), dtype=float)
+        mask = context.scratch_mask
+        if mask is None or len(mask) != len(context.times):
+            mask = np.empty(len(context.times), dtype=bool)
+        for row, run in enumerate(runs):
+            np.less_equal(run.stop_time, context.times, out=mask)
+            np.copyto(out[row], run.weight, where=mask)
         return out
 
     def events_of(self, context: _SimContext) -> int:
@@ -349,13 +397,11 @@ class SplittingReplicationTask:
         from repro.runtime.cache import cache_key
 
         key = cache_key({"kind": "worker-context", "task": self.cache_token()})
-        context = _CONTEXT_CACHE.get(key)
+        context = workerctx.get(key)
         if context is not None:
             return context._replace(compile_seconds=0.0)
         context = self.build()
-        while len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_MAX:
-            _CONTEXT_CACHE.pop(next(iter(_CONTEXT_CACHE)))
-        _CONTEXT_CACHE[key] = context
+        workerctx.put(key, context)
         return context
 
     def sample(self, context: _SplitContext, stream) -> np.ndarray:

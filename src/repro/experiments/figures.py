@@ -354,7 +354,11 @@ def run_adaptive(
     use the analytical value, Monte-Carlo points their pooled mean), plus
     the full allocation trace.  Extra keyword arguments go to
     :class:`repro.orchestrate.Orchestrator` (``policy``, ``seed``,
-    ``sweep_batch`` for point-contiguous grouped pool dispatch, …).
+    ``sweep_batch`` for point-contiguous grouped pool dispatch,
+    ``tensorize=True`` to stack every stepped-engine point of the sweep
+    into one cross-point SoA tensor per dispatch round — bit-identical
+    estimates, one vectorised step loop instead of one per point —
+    ``cost_model="wall"`` for measured-seconds allocation, …).
     """
     from repro.orchestrate import SweepPoint, orchestrate
 

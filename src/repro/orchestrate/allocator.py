@@ -1,11 +1,17 @@
 """Round allocation policies: who gets the next chunks of replications.
 
-The allocator sees only *pooled, worker-invariant* facts about each sweep
-point — replications so far, relative CI half-width, a deterministic cost
-proxy (pooled simulator events per replication), and the surrogate prior.
-Wall-clock never enters an allocation decision, so for a fixed
-``(seed, budget, policy)`` the chunk schedule — and therefore every pooled
-estimate — replays bit-identically at any worker count.
+The allocator sees only *pooled* facts about each sweep point —
+replications so far, relative CI half-width, a per-replication cost
+figure, and the surrogate prior.  Two cost proxies exist upstream
+(``Orchestrator(cost_model=...)``): the default ``"events"`` proxy is the
+pooled mean simulator-event count per replication — worker-invariant, so
+for a fixed ``(seed, budget, policy)`` the chunk schedule and every pooled
+estimate replay bit-identically at any worker count; the ``"wall"`` proxy
+is measured busy worker-seconds per replication from telemetry, which
+tracks real machine cost more faithfully but makes the *schedule* depend
+on timing (pooled chunk summaries stay bit-identical either way — only
+which point gets the next chunk can shift).  The allocator itself is
+agnostic: it just ranks by whatever ``cost_per_replication`` it is handed.
 
 Policies
 --------
@@ -51,8 +57,11 @@ class PointProgress:
 
     ``relative_ci`` is ``None`` until the point has a finite, positive
     width (at least two replications and a non-zero mean).
-    ``cost_per_replication`` is the pooled mean number of simulator events
-    one replication costs — a deterministic stand-in for wall time.
+    ``cost_per_replication`` is what one more replication of this point
+    costs, in whichever unit the orchestrator's ``cost_model`` selected:
+    pooled mean simulator events (``"events"``, deterministic) or measured
+    busy worker-seconds (``"wall"``).  Units only need to be comparable
+    across points, not absolute.
     """
 
     point_id: str

@@ -36,6 +36,7 @@ chunk-level cache keys behind resume) never shift.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional, Sequence
 
@@ -121,6 +122,21 @@ class _PointState:
         weight = getattr(self.task, "cost_weight", None)
         return float(weight) if weight else 1.0
 
+    def wall_cost_per_replication(
+        self, point_seconds: dict
+    ) -> Optional[float]:
+        """Measured cost proxy: busy worker-seconds / replication.
+
+        Uses the telemetry the runner accumulates per point (summed
+        worker-side chunk seconds).  Returns ``None`` until the point
+        has both timed chunks and scheduled replications — the caller
+        falls back to the events proxy so warm-up rounds rank sanely.
+        """
+        seconds = point_seconds.get(self.point.point_id, 0.0)
+        if seconds > 0.0 and self.done > 0:
+            return seconds / self.done
+        return None
+
 
 class Orchestrator:
     """Budgeted, CI-driven replication allocation across sweep points.
@@ -160,6 +176,28 @@ class Orchestrator:
         still computes the identical summary, so reports and artifacts
         are byte-identical to the per-chunk path (wall-clock telemetry
         aside).  No effect with a single worker.
+    tensorize:
+        When True, each round's grouped chunk jobs additionally execute
+        as **cross-point SoA tensors** — all eligible chunks of a group
+        stack into one :class:`~repro.san.multipoint.MultiPointContext`
+        step loop instead of one engine run per point.  Requires the
+        stepped engine; with any other engine a ``UserWarning`` is
+        issued and execution falls back to the ``sweep_batch``
+        scheduling (never silently).  Implies grouped dispatch.  Like
+        sweep batching, this is result-invariant: estimates, IS weights
+        and draw order are bit-identical to per-point execution, so
+        ``repro-estimates/1`` artifacts are byte-identical.
+    cost_model:
+        Cost proxy feeding the ``cost`` allocation policy:
+        ``"events"`` (default) ranks points by pooled simulator events
+        per replication — fully deterministic and worker-invariant;
+        ``"wall"`` ranks by measured busy worker-seconds per replication
+        from the runner's per-point telemetry (falling back to the
+        events proxy until a point has timed chunks).  Wall cost tracks
+        real per-replication expense better (slot layouts and engines
+        differ in events/sec) but is **not** worker-invariant: the
+        allocation *schedule* may vary run to run, although every
+        scheduled chunk still computes the identical summary.
     events:
         Optional :class:`~repro.obs.events.EventBus`; when given, the
         round loop announces run lifecycle, round allocations, budget
@@ -183,6 +221,8 @@ class Orchestrator:
         splitting_chunk_size: int = 8,
         engine: str = "compiled",
         sweep_batch: bool = False,
+        tensorize: bool = False,
+        cost_model: str = "events",
         events: Optional[EventBus] = None,
     ) -> None:
         if not points:
@@ -192,12 +232,27 @@ class Orchestrator:
             raise ValueError(f"duplicate point ids in sweep: {ids}")
         if splitting_chunk_size < 1:
             raise ValueError("splitting_chunk_size must be >= 1")
+        if cost_model not in ("events", "wall"):
+            raise ValueError(
+                f"unknown cost_model {cost_model!r}; choose 'events' or 'wall'"
+            )
         self.points = list(points)
         self.budget = budget
         self.runner = runner
         self.seed = int(seed)
         self.engine = engine
         self.sweep_batch = bool(sweep_batch)
+        self.cost_model = cost_model
+        if tensorize and engine != "stepped":
+            warnings.warn(
+                f"--tensorize requires the stepped engine; engine "
+                f"{engine!r} cannot lower the cross-point tensor loop — "
+                f"falling back to per-point execution",
+                UserWarning,
+                stacklevel=2,
+            )
+            tensorize = False
+        self.tensorize = bool(tensorize)
         self.estimator_policy = estimator_policy or EstimatorPolicy()
         self.splitting_chunk_size = int(splitting_chunk_size)
         self.events = events
@@ -305,8 +360,13 @@ class Orchestrator:
         # sweep batching changes only how jobs ride to the pool — every
         # chunk computes the identical summary either way.  ``all_jobs``
         # is built in point order above, so grouped dispatch slices it
-        # into point-contiguous pool tasks.
-        if self.sweep_batch:
+        # into point-contiguous pool tasks; tensorized dispatch further
+        # stacks each group's eligible chunks into one shared tensor.
+        if self.tensorize:
+            dispatched = self.runner.execute_jobs_grouped(
+                all_jobs, telemetry, tensorize=True
+            )
+        elif self.sweep_batch:
             dispatched = self.runner.execute_jobs_grouped(all_jobs, telemetry)
         else:
             dispatched = self.runner.execute_jobs(all_jobs, telemetry)
@@ -354,8 +414,17 @@ class Orchestrator:
                 state.converged = relative <= target
             state.capped = ledger.point_remaining(state.point.point_id) <= 0
 
-    def _progress(self, states: list[_PointState]) -> list[PointProgress]:
+    def _progress(
+        self,
+        states: list[_PointState],
+        telemetry: Optional[TelemetryRecorder] = None,
+    ) -> list[PointProgress]:
         target = self.budget.target_relative_ci
+        point_seconds = (
+            telemetry.point_seconds
+            if self.cost_model == "wall" and telemetry is not None
+            else None
+        )
         rows: list[PointProgress] = []
         for state in states:
             if not state.monte_carlo:
@@ -367,6 +436,11 @@ class Orchestrator:
                     target, self.budget.confidence
                 )
             )
+            cost = None
+            if point_seconds is not None:
+                cost = state.wall_cost_per_replication(point_seconds)
+            if cost is None:
+                cost = state.cost_per_replication()
             rows.append(
                 PointProgress(
                     point_id=state.point.point_id,
@@ -374,7 +448,7 @@ class Orchestrator:
                     chunk_size=state.plan.chunk_size,
                     n=state.done,
                     relative_ci=state.relative_ci,
-                    cost_per_replication=state.cost_per_replication(),
+                    cost_per_replication=cost,
                     prior_replications=prior_n,
                     eligible=not (state.converged or state.capped),
                 )
@@ -497,7 +571,7 @@ class Orchestrator:
 
             while not self._check_stop(states, ledger):
                 awards = self.allocator.allocate(
-                    self._progress(states), ledger
+                    self._progress(states, telemetry), ledger
                 )
                 if not awards:
                     remaining = ledger.remaining_replications()

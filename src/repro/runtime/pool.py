@@ -56,6 +56,7 @@ from repro.obs.events import (
 )
 from repro.obs.ledger import forensic_bundle
 from repro.obs.profile import PhaseProfiler, profile_span
+from repro.runtime import workerctx
 from repro.runtime.cache import ResultCache, cache_key
 from repro.runtime.merge import ChunkSummary, combine, pooled_intervals
 from repro.runtime.plan import ChunkSpec, ReplicationPlan
@@ -129,7 +130,7 @@ def _chunk_id(key: Any) -> str:
 
 def _job_chunk_id(key: Any, fn: Callable) -> str:
     """Ledger id of any dispatchable job, grouped and point jobs included."""
-    if fn is _execute_chunk_group:
+    if fn in (_execute_chunk_group, _execute_chunk_group_tensorized):
         return f"group-{key}"
     if fn is _execute_point:
         return f"point-{key}"
@@ -249,6 +250,104 @@ def _execute_chunk_group(
     return [(key, fn(*args)) for key, fn, args in subjobs]
 
 
+def _execute_chunk_group_tensorized(
+    subjobs: Sequence[tuple[Any, Callable, tuple]]
+) -> list[tuple[Any, Any]]:
+    """Run a chunk group as one cross-point tensor where possible.
+
+    The tensorized twin of :func:`_execute_chunk_group`: eligible chunk
+    jobs (tasks exposing the ``tensorizable``/``tensor_spec``/
+    ``samples_from_runs`` protocol with a stepped, observer-free
+    context) are stacked into one
+    :class:`~repro.san.multipoint.MultiPointContext` run — partitioned
+    by the engines' bias flag, since biased and unbiased rows cannot
+    share a cumulative-sum pass — and demultiplexed back into per-chunk
+    :class:`ChunkSummary` objects in sub-job order.  Everything else
+    (splitting tasks, metric-collecting chunks, non-stepped engines)
+    runs its identical solo ``(fn, args)``.
+
+    Bit-identity: each chunk's streams are addressed exactly as solo
+    execution addresses them and the tensor keeps every row on its own
+    stream, so samples, draws and events match per-chunk dispatch
+    bit-for-bit.  Only ``elapsed_seconds`` differs in kind — the shared
+    tensor's wall time is prorated over member chunks by row count
+    (telemetry, never part of deterministic artifacts).
+    """
+    from repro.san.multipoint import MultiPointContext, MultiPointJob
+
+    results: list[Optional[tuple[Any, Any]]] = [None] * len(subjobs)
+    tensor_entries: list[tuple] = []
+    for pos, (key, fn, args) in enumerate(subjobs):
+        if fn in (_execute_chunk, _execute_chunk_cached):
+            task = args[0]
+            tensorizable = getattr(task, "tensorizable", None)
+            if (
+                tensorizable is not None
+                and tensorizable()
+                and hasattr(task, "build_cached")
+                and hasattr(task, "tensor_spec")
+                and hasattr(task, "samples_from_runs")
+            ):
+                context = task.build_cached()
+                triple = task.tensor_spec(context)
+                if triple is not None:
+                    tensor_entries.append((pos, key, fn, args, context) + triple)
+                    continue
+        results[pos] = (key, fn(*args))
+
+    # one tensor run per bias flag (unbiased first, for determinism)
+    partitions: dict[bool, list[tuple]] = {}
+    for entry in tensor_entries:
+        engine = entry[5]
+        partitions.setdefault(bool(engine.has_bias), []).append(entry)
+    label = _worker_label()
+    for _flag, entries in sorted(partitions.items()):
+        jobs = []
+        streams_of_entry = []
+        for (_pos, _key, _fn, args, _context, engine, horizon,
+             predicate) in entries:
+            plan, spec = args[1], args[2]
+            streams = [
+                plan.stream(replication)
+                for replication in spec.replication_indices()
+            ]
+            streams_of_entry.append(streams)
+            jobs.append(MultiPointJob(engine, streams, horizon, predicate))
+        started = time.perf_counter()
+        runs_of_job = MultiPointContext(jobs).run()
+        tensor_elapsed = time.perf_counter() - started
+        total_rows = sum(len(streams) for streams in streams_of_entry) or 1
+        for entry, streams, runs in zip(entries, streams_of_entry,
+                                        runs_of_job):
+            pos, key, fn, args, context = entry[:5]
+            task, _plan, spec = args[0], args[1], args[2]
+            samples = np.asarray(
+                task.samples_from_runs(context, runs), dtype=float
+            )
+            if samples.ndim == 1:
+                samples = samples[:, None]
+            summary = ChunkSummary.from_samples(
+                spec.index,
+                samples,
+                draws=sum(stream.draw_count for stream in streams),
+                elapsed_seconds=tensor_elapsed * (len(streams) / total_rows),
+                worker=label,
+                events=sum(run.firings for run in runs),
+                metrics=(
+                    task.metrics_of(context)
+                    if hasattr(task, "metrics_of") else None
+                ),
+                compile_seconds=float(
+                    getattr(context, "compile_seconds", 0.0)
+                ),
+            )
+            if fn is _execute_chunk_cached:
+                cache, entry_key = args[3], args[4]
+                cache.put(entry_key, summary.to_cache_dict())
+            results[pos] = (key, summary)
+    return results  # type: ignore[return-value]
+
+
 def _execute_point(task: Callable[[], Any]) -> tuple[Any, str, float]:
     """Evaluate one sweep point; returns (value, worker label, elapsed)."""
     started = time.perf_counter()
@@ -311,6 +410,16 @@ class ParallelRunner:
         traffic as ``repro-events/1`` envelopes.  Emission is strictly
         driver-side bookkeeping — it never touches plans, streams or
         summaries, so results are bit-identical with the bus on or off.
+    context_cache_size:
+        Capacity of the per-worker-process compile-context FIFO
+        (:mod:`repro.runtime.workerctx`; default
+        ``workerctx.DEFAULT_MAX_ENTRIES``).  Applied to the driver
+        process immediately and to worker processes via the pool
+        initializer.  Evictions observable to the driver (serial runs
+        and in-process fallbacks) emit a ``CacheMiss`` ledger event with
+        scope ``worker-context``; worker-process evictions cannot be
+        individually reported (workers carry no event bus).  Sizing
+        never changes results — only how often contexts are rebuilt.
     """
 
     def __init__(
@@ -324,11 +433,16 @@ class ParallelRunner:
         profiler: Optional[PhaseProfiler] = None,
         chunk_cache: bool = False,
         events: Optional[EventBus] = None,
+        context_cache_size: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if context_cache_size is not None and context_cache_size < 1:
+            raise ValueError(
+                f"context_cache_size must be >= 1, got {context_cache_size}"
+            )
         self.workers = int(workers)
         self.chunk_size = int(chunk_size)
         self.max_retries = int(max_retries)
@@ -338,8 +452,18 @@ class ParallelRunner:
         self.profiler = profiler
         self.chunk_cache = bool(chunk_cache)
         self.events = events
+        self.context_cache_size = (
+            None if context_cache_size is None else int(context_cache_size)
+        )
         self.last_telemetry: Optional[TelemetrySnapshot] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        workerctx.configure(self.context_cache_size)
+        workerctx.set_eviction_hook(self._context_evicted)
+
+    def _context_evicted(self, key: str) -> None:
+        """Driver-process context-FIFO eviction → ``CacheMiss`` event."""
+        if self.events is not None:
+            self.events.emit(CacheMiss(scope="worker-context", key=key))
 
     # ------------------------------------------------------------------
     # ledger emission (no-ops without an attached EventBus)
@@ -385,7 +509,11 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=workerctx.initialize_worker,
+                initargs=(self.context_cache_size,),
+            )
         return self._pool
 
     def _reset_pool(self) -> None:
@@ -395,6 +523,7 @@ class ParallelRunner:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent) and flush cache stats."""
+        workerctx.clear_eviction_hook(self._context_evicted)
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -827,6 +956,7 @@ class ParallelRunner:
         jobs: dict[Any, tuple[Callable, tuple]],
         telemetry: TelemetryRecorder,
         group_size: Optional[int] = None,
+        tensorize: bool = False,
     ) -> dict[Any, Any]:
         """Dispatch prepared jobs in contiguous groups (sweep batching).
 
@@ -843,12 +973,28 @@ class ParallelRunner:
         :meth:`execute_jobs` for any group size.  Retries, watchdog and
         in-process fallback act on whole groups through the same
         :meth:`_dispatch` machinery.
+
+        ``tensorize`` routes each group through
+        :func:`_execute_chunk_group_tensorized`, which stacks the
+        group's eligible chunks into one cross-point SoA tensor run
+        (see :mod:`repro.san.multipoint`); ineligible sub-jobs run solo
+        inside the group unchanged.  Results stay bit-identical; groups
+        default to one per worker — wider tensors amortise more
+        per-step overhead — and the serial runner tensorizes too (the
+        win is kernel-level, not scheduling-level).
         """
-        if self.workers <= 1 or len(jobs) <= 1:
+        group_fn: Callable = (
+            _execute_chunk_group_tensorized if tensorize
+            else _execute_chunk_group
+        )
+        if not tensorize and (self.workers <= 1 or len(jobs) <= 1):
             return self._dispatch(jobs, telemetry)
         items = list(jobs.items())
         if group_size is None:
-            group_size = -(-len(items) // (self.workers * 2))
+            if tensorize:
+                group_size = -(-len(items) // max(1, self.workers))
+            else:
+                group_size = -(-len(items) // (self.workers * 2))
         group_size = max(1, int(group_size))
         grouped: dict[int, tuple[Callable, tuple]] = {}
         for start in range(0, len(items), group_size):
@@ -856,7 +1002,7 @@ class ParallelRunner:
                 (key, fn, args)
                 for key, (fn, args) in items[start:start + group_size]
             )
-            grouped[start] = (_execute_chunk_group, (subjobs,))
+            grouped[start] = (group_fn, (subjobs,))
         results: dict[Any, Any] = {}
         for pairs in self._dispatch(grouped, telemetry).values():
             results.update(pairs)

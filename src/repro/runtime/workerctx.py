@@ -1,0 +1,109 @@
+"""Per-worker-process context memo: storage, size policy, eviction hook.
+
+Replication tasks (:mod:`repro.core.partasks`) memoise their heavy
+worker-side contexts — composed model + compiled jump engine — per
+process, keyed by the task's cache token.  The memo itself is a plain
+FIFO dict; this module owns it so the *driver* can configure its size
+(``ParallelRunner(context_cache_size=...)`` / ``--context-cache``) and
+observe evictions without the task layer importing any runner machinery.
+
+The cap is per process.  In the driver process (serial runners and the
+in-process retry fallback) :func:`configure` applies directly; worker
+processes receive the configured size through
+:func:`initialize_worker`, which :class:`~repro.runtime.pool.
+ParallelRunner` installs as the pool initializer.  The eviction hook is
+likewise per process — the driver wires it to a ``CacheMiss`` ledger
+event (scope ``worker-context``), so evictions in worker processes are
+not individually reported (workers have no event bus); the hook exists
+to surface cache thrash where it is observable at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "cache",
+    "clear_eviction_hook",
+    "configure",
+    "get",
+    "initialize_worker",
+    "max_entries",
+    "put",
+    "set_eviction_hook",
+]
+
+#: default FIFO capacity — sized for sweep-batched dispatch, where one
+#: worker call runs chunks of several neighbouring sweep points back to
+#: back and evicting between points would rebuild each model every group
+DEFAULT_MAX_ENTRIES = 16
+
+_CACHE: dict[str, Any] = {}
+_MAX_ENTRIES: int = DEFAULT_MAX_ENTRIES
+_EVICTION_HOOK: Optional[Callable[[str], None]] = None
+
+
+def cache() -> dict:
+    """The process-local memo dict itself (shared, mutated in place)."""
+    return _CACHE
+
+
+def max_entries() -> int:
+    """The process-local FIFO capacity currently in force."""
+    return _MAX_ENTRIES
+
+
+def configure(max_entries: Optional[int] = None) -> None:
+    """Set the FIFO capacity for this process (None leaves it alone)."""
+    global _MAX_ENTRIES
+    if max_entries is None:
+        return
+    if max_entries < 1:
+        raise ValueError(f"context cache size must be >= 1, got {max_entries}")
+    _MAX_ENTRIES = int(max_entries)
+
+
+def set_eviction_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install the process-local eviction callback (one at a time)."""
+    global _EVICTION_HOOK
+    _EVICTION_HOOK = hook
+
+
+def clear_eviction_hook(hook: Optional[Callable[[str], None]] = None) -> None:
+    """Remove the eviction callback (only if it equals ``hook``, when given).
+
+    Equality, not identity: bound methods are re-created on every
+    attribute access, so ``owner.method is owner.method`` is False even
+    though both refer to the same hook.
+    """
+    global _EVICTION_HOOK
+    if hook is None or _EVICTION_HOOK == hook:
+        _EVICTION_HOOK = None
+
+
+def get(key: str) -> Any:
+    """The memoised context under ``key``, or None."""
+    return _CACHE.get(key)
+
+
+def put(key: str, value: Any) -> None:
+    """Insert, evicting oldest-first down to the capacity.
+
+    Each eviction invokes the hook with the evicted key; hook failures
+    are swallowed — observability must never fail a worker's chunk.
+    """
+    while len(_CACHE) >= _MAX_ENTRIES:
+        evicted = next(iter(_CACHE))
+        _CACHE.pop(evicted)
+        if _EVICTION_HOOK is not None:
+            try:
+                _EVICTION_HOOK(evicted)
+            except Exception:
+                pass
+    _CACHE[key] = value
+
+
+def initialize_worker(max_entries: Optional[int]) -> None:
+    """``ProcessPoolExecutor`` initializer: apply the driver's cache size."""
+    configure(max_entries=max_entries)

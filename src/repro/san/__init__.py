@@ -36,6 +36,11 @@ from repro.san.compiled import (
 )
 from repro.san.batched import DEFAULT_BATCH_SIZE, BatchedJumpEngine
 from repro.san.stepped import SteppedJumpEngine
+from repro.san.multipoint import (
+    MultiPointContext,
+    MultiPointJob,
+    tensor_compatible,
+)
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
@@ -63,6 +68,9 @@ __all__ = [
     "ENGINES",
     "BatchedJumpEngine",
     "SteppedJumpEngine",
+    "MultiPointContext",
+    "MultiPointJob",
+    "tensor_compatible",
     "DEFAULT_BATCH_SIZE",
     "CompiledJumpEngine",
     "CompiledMarking",

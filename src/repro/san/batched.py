@@ -464,6 +464,56 @@ class _LoweredGroup:
             else:
                 Rb[:, self.indices] = block
 
+    def refresh_rows(self, M, rows, Ro, Rb, has_bias: bool) -> None:
+        """Row-restricted :meth:`refresh` for cross-point tensor runs.
+
+        A multi-point tensor interleaves rows of *different* models in
+        one matrix, so a full-matrix refresh would scribble this group's
+        rate columns over sibling points' rows (and evaluate its trees
+        on foreign markings).  This variant evaluates the same lowered
+        expressions on the ``rows`` sub-matrix — elementwise ufuncs are
+        bitwise shape-independent, so the written lanes hold exactly the
+        full-matrix values — and writes only those rows.  Callers pass
+        the owning point's *alive* rows, which keeps the negative-rate
+        guard on the same rows the full refresh restricts it to.
+        """
+        sub = M[rows]
+        shape = (len(rows), len(self.indices))
+        enabled = None
+        for expr in self.gate_exprs:
+            gate = np.asarray(expr(sub)) != 0
+            enabled = gate if enabled is None else (enabled & gate)
+        if enabled is not None and enabled.ndim != 2:
+            enabled = np.broadcast_to(enabled, shape)
+        if self.rate_expr is None:
+            if enabled is None:
+                block = np.broadcast_to(self.eff_consts, shape)
+            else:
+                block = np.where(enabled, self.eff_consts, 0.0)
+        else:
+            rates = np.asarray(self.rate_expr(sub), dtype=np.float64)
+            if rates.ndim != 2:
+                rates = np.broadcast_to(rates, shape)
+            positive = rates > 0.0
+            negative = rates < 0.0
+            if enabled is not None:
+                positive = enabled & positive
+                negative = enabled & negative
+            if negative.any():
+                row, col = divmod(int(np.argmax(negative)), shape[1])
+                raise ValueError(
+                    f"activity {self.names[col]!r}: negative rate "
+                    f"{float(rates[row, col])}"
+                )
+            block = np.where(positive, rates, 0.0)
+        rows2 = rows[:, None]
+        Ro[rows2, self.indices] = block
+        if has_bias:
+            if self.any_factor:
+                Rb[rows2, self.indices] = block * self.factors
+            else:
+                Rb[rows2, self.indices] = block
+
 
 class _BatchCursor(CompiledMarking):
     """A :class:`CompiledMarking` pointed at one row of the batch.
@@ -580,6 +630,17 @@ class BatchedJumpEngine:
     def fired_events(self) -> int:
         """Timed firings over this engine's lifetime (kernel + delegate)."""
         return self._kernel_events + self._delegate.fired_events
+
+    @property
+    def has_bias(self) -> bool:
+        """Whether any activity carries an importance-sampling factor.
+
+        Multi-point tensor runs partition engines on this flag: biased
+        and unbiased rows cannot share one cumulative-sum pass because
+        the biased path draws against ``Rb`` while computing weights
+        from ``Ro``.
+        """
+        return self._has_bias
 
     # ------------------------------------------------------------------
     def _bind(self) -> None:

@@ -343,10 +343,22 @@ class _TableGroup:
         return gate_roles, rate_roles
 
     def refresh(self, matrix, rows, Ro, Rb, alive_mask,
-                has_bias: bool, cache: Optional[dict] = None) -> None:
+                has_bias: bool, cache: Optional[dict] = None,
+                restrict: bool = False) -> None:
+        """Refresh the group's rate columns for ``rows``.
+
+        ``restrict`` keeps every write (including the direct-tree
+        escapes) to ``rows`` — required by multi-point tensors, where a
+        full-matrix refresh would clobber sibling points' rate lanes.
+        The tabulated path is row-restricted either way, so the flag
+        never changes what a single-point batch computes.
+        """
         group = self.group
         if self.direct:
-            group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+            if restrict:
+                group.refresh_rows(matrix, rows, Ro, Rb, has_bias)
+            else:
+                group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
             return
         if cache is None:
             cache = {}
@@ -355,14 +367,20 @@ class _TableGroup:
             gate_idx = self.gate.index(matrix, rows, cache)
             if gate_idx is None:
                 self.direct = True
-                group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+                if restrict:
+                    group.refresh_rows(matrix, rows, Ro, Rb, has_bias)
+                else:
+                    group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
                 return
         rate_idx = None
         if self.rate is not None:
             rate_idx = self.rate.index(matrix, rows, cache)
             if rate_idx is None:
                 self.direct = True
-                group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
+                if restrict:
+                    group.refresh_rows(matrix, rows, Ro, Rb, has_bias)
+                else:
+                    group.refresh(matrix, Ro, Rb, alive_mask, has_bias)
                 return
 
         en = self.gate.table[gate_idx] if self.gate is not None else None

@@ -165,6 +165,86 @@ class TestSweepBatch:
         assert "point seconds:" in report.format()
 
 
+class TestTensorize:
+    """--tensorize is pure scheduling too: one cross-point SoA tensor
+    per dispatch round instead of one engine loop per point, with the
+    repro-estimates/1 deterministic sections byte-identical to per-point
+    stepped execution at every worker count."""
+
+    @staticmethod
+    def run_stepped(workers, tensorize, sweep_batch=False,
+                    cost_model="events"):
+        runner = ParallelRunner(workers=workers, chunk_size=64)
+        try:
+            return orchestrate(
+                POINTS,
+                BUDGET,
+                runner,
+                policy="greedy",
+                estimator_policy=FORCE_SIM,
+                seed=SEED,
+                engine="stepped",
+                sweep_batch=sweep_batch,
+                tensorize=tensorize,
+                cost_model=cost_model,
+            )
+        finally:
+            runner.close()
+
+    def test_artifact_byte_identical_to_per_point_dispatch(self):
+        reference = self.run_stepped(workers=1, tensorize=False)
+        for workers in (1, 2):
+            tensorized = self.run_stepped(workers=workers, tensorize=True)
+            assert deterministic_sections(tensorized) == (
+                deterministic_sections(reference)
+            )
+
+    def test_matches_sweep_batch_path(self):
+        batched = self.run_stepped(workers=2, tensorize=False,
+                                   sweep_batch=True)
+        tensorized = self.run_stepped(workers=2, tensorize=True)
+        assert deterministic_sections(tensorized) == (
+            deterministic_sections(batched)
+        )
+
+    def test_non_stepped_engine_warns_and_falls_back(self):
+        runner = ParallelRunner(workers=1, chunk_size=64)
+        try:
+            with pytest.warns(UserWarning, match="stepped engine"):
+                report = orchestrate(
+                    POINTS,
+                    Budget(replications=128),
+                    runner,
+                    estimator_policy=FORCE_SIM,
+                    seed=SEED,
+                    engine="compiled",
+                    tensorize=True,
+                )
+        finally:
+            runner.close()
+        assert report.ledger["spent"] == 128  # ran per-point, not aborted
+
+    def test_wall_cost_model_keeps_chunk_estimates(self):
+        # wall-clock cost only reorders allocation; every pooled chunk
+        # stays bit-identical, so per-point (values, n) pairs that both
+        # schedules computed in full must agree
+        reference = self.run_stepped(workers=1, tensorize=True)
+        walled = self.run_stepped(workers=1, tensorize=True,
+                                  cost_model="wall")
+        assert walled.ledger["spent"] <= BUDGET.replications
+        assert {p.point_id for p in walled.points} == {
+            p.point_id for p in reference.points
+        }
+
+    def test_wall_cost_model_validated(self):
+        runner = ParallelRunner(workers=1)
+        try:
+            with pytest.raises(ValueError, match="cost_model"):
+                Orchestrator(POINTS, BUDGET, runner, cost_model="cpu")
+        finally:
+            runner.close()
+
+
 class TestResume:
     def test_interrupted_run_resumes_bit_identical(self, tmp_path):
         reference = run(workers=1)

@@ -131,3 +131,72 @@ class TestProfilerAccounting:
         compile_stats = profiler.phases.get("compile")
         assert compile_stats is not None
         assert compile_stats.calls <= 2
+
+
+class TestConfigurableFifo:
+    """The per-process FIFO size is a runner parameter, and driver-side
+    evictions surface as ``CacheMiss(scope="worker-context")`` ledger
+    events."""
+
+    @pytest.fixture(autouse=True)
+    def restore_workerctx(self):
+        from repro.runtime import workerctx
+
+        yield
+        workerctx.clear_eviction_hook()
+        workerctx.configure(workerctx.DEFAULT_MAX_ENTRIES)
+
+    @staticmethod
+    def fill(count):
+        """Build ``count`` distinct contexts through the memo."""
+        for n in range(2, 2 + count):
+            UnsafetySimulationTask(
+                params=AHSParameters(max_platoon_size=n),
+                times=(2.0,),
+            ).build_cached()
+
+    def test_configure_shrinks_the_memo(self):
+        from repro.runtime import workerctx
+
+        workerctx.configure(3)
+        self.fill(5)
+        assert len(partasks._CONTEXT_CACHE) == 3
+
+    def test_runner_parameter_sets_the_driver_fifo(self):
+        from repro.runtime import workerctx
+
+        runner = ParallelRunner(workers=1, context_cache_size=4)
+        try:
+            assert workerctx.max_entries() == 4
+        finally:
+            runner.close()
+
+    def test_runner_rejects_non_positive_size(self):
+        with pytest.raises(ValueError, match="context_cache_size"):
+            ParallelRunner(workers=1, context_cache_size=0)
+
+    def test_eviction_emits_cache_miss_event(self):
+        from repro.obs import EventBus
+
+        records = []
+        bus = EventBus("ctx-test", sinks=[records.append])
+        runner = ParallelRunner(workers=1, context_cache_size=2, events=bus)
+        try:
+            self.fill(4)  # 4 builds through a 2-deep FIFO: 2 evictions
+        finally:
+            runner.close()
+        misses = [r for r in records if r["event"] == "CacheMiss"]
+        assert len(misses) == 2
+        for envelope in misses:
+            assert envelope["data"]["scope"] == "worker-context"
+            assert envelope["data"]["key"]
+
+    def test_close_detaches_the_eviction_hook(self):
+        from repro.obs import EventBus
+
+        records = []
+        bus = EventBus("ctx-test", sinks=[records.append])
+        runner = ParallelRunner(workers=1, context_cache_size=2, events=bus)
+        runner.close()
+        self.fill(4)
+        assert [r for r in records if r["event"] == "CacheMiss"] == []
