@@ -12,7 +12,13 @@
 * :mod:`~repro.analysis.structural` — P-invariants, disconnected
   places, never-enabled activities, instantaneous-activity cycles;
 * :mod:`~repro.analysis.vectorize` — which activities the batched
-  engine lowers to column kernels and why the rest fall back.
+  engine lowers to column kernels and why the rest fall back;
+* :mod:`~repro.analysis.lowering` — the static lowering verifier:
+  extracts the typed kernel IR of the batched/stepped compile and
+  verifies it by abstract interpretation over the reachable envelope
+  (value ranges, NaN-sentinel collisions, table-span bounds, case
+  normalization, AST/lowered footprint parity), plus the
+  tensor-eligibility predictor for cross-point sweeps.
 
 Run everything with :func:`analyze_model`, or from the command line with
 ``repro-cli lint``.  Rule catalog and JSON schema:
@@ -28,6 +34,13 @@ from repro.analysis.diagnostics import (
     Severity,
 )
 from repro.analysis.footprint import check_footprints
+from repro.analysis.lowering import (
+    TENSOR_FALLBACK_RULE,
+    KernelIR,
+    check_lowering,
+    check_tensor,
+    extract_kernel_ir,
+)
 from repro.analysis.probe import CodeFacts, code_facts, explore, fire_deltas
 from repro.analysis.runner import FAMILIES, analyze_model
 from repro.analysis.structural import check_structure
@@ -38,16 +51,21 @@ __all__ = [
     "CodeFacts",
     "Diagnostic",
     "FAMILIES",
+    "KernelIR",
     "RULES",
     "Rule",
     "Severity",
+    "TENSOR_FALLBACK_RULE",
     "analyze_model",
     "check_determinism",
     "check_footprints",
+    "check_lowering",
     "check_structure",
+    "check_tensor",
     "check_vectorization",
     "code_facts",
     "explore",
+    "extract_kernel_ir",
     "fire_deltas",
     "lowering_summary",
 ]

@@ -106,6 +106,31 @@ RULES: dict[str, Rule] = {
              "most timed activities are not vectorized"),
         Rule("VEC003", "vectorization", Severity.INFO,
              "vectorization report not applicable to this model"),
+        # -- lowering verifier (abstract interpretation of kernel IR) --
+        Rule("LW001", "lowering", Severity.WARNING,
+             "rate can evaluate to NaN, colliding with the rate-table "
+             "miss sentinel"),
+        Rule("LW002", "lowering", Severity.ERROR,
+             "lowered rate tree evaluates negative at a reachable marking"),
+        Rule("LW003", "lowering", Severity.WARNING,
+             "direct-address table span exceeds the 2^20 cap"),
+        Rule("LW004", "lowering", Severity.ERROR,
+             "case probabilities do not normalise at a reachable marking"),
+        Rule("LW005", "lowering", Severity.ERROR,
+             "lowered kernel footprint diverges from the AST-derived "
+             "footprint"),
+        Rule("LW006", "lowering", Severity.INFO,
+             "dtype propagation finding in a lowered tree"),
+        Rule("LW007", "lowering", Severity.INFO,
+             "lowering-verifier coverage note"),
+        # -- tensor-eligibility predictor ------------------------------
+        Rule("TZ001", "tensor", Severity.WARNING,
+             "cross-point tensorization unavailable; sweeps fall back "
+             "to per-point execution"),
+        Rule("TZ002", "tensor", Severity.INFO,
+             "per-row fallback work limits tensor-step throughput"),
+        Rule("TZ003", "tensor", Severity.INFO,
+             "tensor-eligibility report not applicable to this model"),
     ]
 }
 

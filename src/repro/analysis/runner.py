@@ -7,6 +7,7 @@ from typing import Iterable, Optional
 from repro.analysis.determinism import check_determinism
 from repro.analysis.diagnostics import AnalysisReport
 from repro.analysis.footprint import check_footprints
+from repro.analysis.lowering import check_lowering, check_tensor
 from repro.analysis.probe import explore
 from repro.analysis.structural import check_structure
 from repro.analysis.vectorize import check_vectorization
@@ -15,7 +16,14 @@ from repro.san.model import SANModel
 __all__ = ["FAMILIES", "analyze_model"]
 
 #: analyzer families in run order
-FAMILIES = ("footprint", "determinism", "structural", "vectorization")
+FAMILIES = (
+    "footprint",
+    "determinism",
+    "structural",
+    "vectorization",
+    "lowering",
+    "tensor",
+)
 
 #: dry-run purity probing uses at most this many explored markings
 _MAX_PROBE_MARKINGS = 32
@@ -55,4 +63,8 @@ def analyze_model(
         report.extend(check_structure(model, markings, complete))
     if "vectorization" in selected:
         report.extend(check_vectorization(model))
+    if "lowering" in selected:
+        report.extend(check_lowering(model, markings, complete))
+    if "tensor" in selected:
+        report.extend(check_tensor(model))
     return report

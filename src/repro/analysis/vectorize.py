@@ -41,7 +41,7 @@ def lowering_summary(model: SANModel) -> Optional[dict]:
         return None
     if not model.timed_activities or not model.is_markovian:
         return None
-    engine = SteppedJumpEngine(model)
+    engine = SteppedJumpEngine(model, diagnose=True)
     return {
         "stats": engine.lowering_stats(),
         "reasons": dict(engine.fallback_reasons),

@@ -31,9 +31,14 @@ failed chunk serially from its forensic bundle; ``repro-cli ledger
 validate|summary`` checks a ledger against the event schema.
 
 Static analysis (:mod:`repro.analysis`): ``repro-cli lint`` runs the
-footprint / determinism / structural / vectorization analyzers over the
-built-in AHS models and exits nonzero per ``--fail-on`` (rule catalog:
-``docs/static_analysis.md``).
+footprint / determinism / structural / vectorization / lowering /
+tensor analyzers over the built-in AHS models and exits nonzero per
+``--fail-on`` (rule catalog: ``docs/static_analysis.md``).  The
+lint-gated model registry (:mod:`repro.san.registry`): ``repro-cli
+models list`` enumerates registered models, ``repro-cli models lint``
+runs the admission gate (full analyzer + lowering-IR digest, cached
+content-addressed on a clean pass) and ``repro-cli models describe``
+prints one entry's stats and kernel-IR digest.
 """
 
 from __future__ import annotations
@@ -506,7 +511,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--families",
         default=None,
         help="comma-separated analyzer families "
-        "(footprint,determinism,structural,vectorization; default: all)",
+        "(footprint,determinism,structural,vectorization,lowering,tensor; "
+        "default: all)",
     )
     lint.add_argument(
         "--max-states",
@@ -530,6 +536,50 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["error", "warning", "info", "never"],
         help="exit nonzero when a diagnostic at or above this severity "
         "is reported (default: error)",
+    )
+
+    models = sub.add_parser(
+        "models",
+        help="lint-gated model registry (repro.san.registry)",
+    )
+    models.add_argument(
+        "action",
+        choices=["list", "lint", "describe"],
+        help="list: registered models; lint: run the admission gate "
+        "(full analyzer + lowering-IR digest, cached when clean); "
+        "describe: one model's registry entry, stats and IR digest",
+    )
+    models.add_argument(
+        "--name",
+        default=None,
+        help="restrict to one registered model (required for describe)",
+    )
+    models.add_argument(
+        "--max-states",
+        type=int,
+        default=256,
+        help="bounded-reachability cap for the admission analyzers",
+    )
+    models.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning", "info", "never"],
+        help="exit nonzero when an admission report carries a "
+        "diagnostic at or above this severity (default: error)",
+    )
+    models.add_argument(
+        "--json", action="store_true", help="emit JSON records instead"
+    )
+    models.add_argument(
+        "--cache-dir",
+        default=None,
+        help="admission cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-ahs)",
+    )
+    models.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-run admission without reading or writing the cache",
     )
 
     design = sub.add_parser(
@@ -1218,7 +1268,7 @@ def _cmd_verify(args) -> int:
 def _cmd_lint(args) -> int:
     import json as _json
 
-    from repro.analysis import Severity, analyze_model
+    from repro.analysis import FAMILIES, Severity, analyze_model
     from repro.core import AHSParameters, Strategy, build_composed_model
 
     strategies = (
@@ -1231,6 +1281,15 @@ def _cmd_lint(args) -> int:
         if args.families is None
         else [f.strip() for f in args.families.split(",") if f.strip()]
     )
+    if families is not None:
+        unknown = sorted(set(families) - set(FAMILIES))
+        if unknown:
+            print(
+                f"error: unknown analyzer families {unknown}; "
+                f"choose from {list(FAMILIES)}",
+                file=sys.stderr,
+            )
+            return 2
     threshold = (
         None if args.fail_on == "never" else Severity.parse(args.fail_on)
     )
@@ -1254,6 +1313,117 @@ def _cmd_lint(args) -> int:
             if index:
                 print()
             print(report.format_text(max_rows=args.max_rows))
+    return 1 if failed else 0
+
+
+def _cmd_models(args) -> int:
+    import json as _json
+
+    from repro.analysis import Severity
+    from repro.san.registry import admit, get_model, list_models
+
+    if args.action == "list":
+        specs = list_models()
+        if args.json:
+            payload = [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "tags": list(spec.tags),
+                }
+                for spec in specs
+            ]
+            print(_json.dumps(payload, indent=2))
+            return 0
+        width = max((len(spec.name) for spec in specs), default=4)
+        for spec in specs:
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{spec.name:<{width}}  {spec.description}{tags}")
+        return 0
+
+    if args.action == "describe":
+        if args.name is None:
+            print("error: models describe requires --name", file=sys.stderr)
+            return 2
+        try:
+            spec = get_model(args.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = admit(
+            spec, _build_cache(args), max_states=args.max_states
+        )
+        if args.json:
+            print(_json.dumps(result.report, indent=2))
+            return 0
+        from repro.san.describe import describe_lowering
+        from repro.san.stepped import SteppedJumpEngine
+
+        model = spec.build()
+        print(f"model       : {spec.name}")
+        print(f"description : {spec.description or '(none)'}")
+        print(f"tags        : {', '.join(spec.tags) or '(none)'}")
+        print(f"admitted    : {'yes' if result.admitted else 'NO'}"
+              f" ({result.errors} errors, {result.warnings} warnings)")
+        print(f"admission   : {'cache hit' if result.cached else 'computed'}"
+              f" (key {result.key[:16]}…)")
+        print(f"ir digest   : {result.ir_digest}")
+        print()
+        if model.timed_activities:
+            print(describe_lowering(SteppedJumpEngine(model, diagnose=True)))
+        else:
+            print("(no timed activities — nothing to lower)")
+        return 0
+
+    # action == "lint": run the admission gate
+    try:
+        specs = [get_model(args.name)] if args.name else list_models()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = _build_cache(args)
+    threshold = (
+        None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+    results = []
+    failed = False
+    for spec in specs:
+        result = admit(spec, cache, max_states=args.max_states)
+        results.append(result)
+        summary = result.report.get("summary", {})
+        counts = {
+            Severity.ERROR: summary.get("errors", 0),
+            Severity.WARNING: summary.get("warnings", 0),
+            Severity.INFO: summary.get("infos", 0),
+        }
+        if threshold is not None and any(
+            count for sev, count in counts.items() if sev >= threshold
+        ):
+            failed = True
+    if args.json:
+        payload = [
+            {
+                "name": result.name,
+                "admitted": result.admitted,
+                "cached": result.cached,
+                "key": result.key,
+                "ir_digest": result.ir_digest,
+                "report": result.report,
+            }
+            for result in results
+        ]
+        print(_json.dumps(payload if len(payload) > 1 else payload[0],
+                          indent=2))
+    else:
+        width = max((len(result.name) for result in results), default=4)
+        for result in results:
+            verdict = "admitted" if result.admitted else "REJECTED"
+            source = "cache" if result.cached else "fresh"
+            print(
+                f"{result.name:<{width}}  {verdict:<8}  "
+                f"{result.errors} errors, {result.warnings} warnings  "
+                f"({source}, ir {result.ir_digest[:12]}…)"
+            )
     return 1 if failed else 0
 
 
@@ -1338,6 +1508,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "models":
+        return _cmd_models(args)
     if args.command == "watch":
         return _cmd_watch(args)
     if args.command == "metrics":

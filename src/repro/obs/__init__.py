@@ -59,6 +59,7 @@ from repro.obs.events import (
     RoundAllocated,
     RunFinished,
     RunStarted,
+    TensorFallback,
     deterministic_run_id,
     validate_event,
     validate_events,
@@ -97,6 +98,7 @@ __all__ = [
     "BudgetStopped",
     "CacheHit",
     "CacheMiss",
+    "TensorFallback",
     "RunFinished",
     "RunLedger",
     "LedgerStatus",

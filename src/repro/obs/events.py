@@ -46,6 +46,7 @@ __all__ = [
     "BudgetStopped",
     "CacheHit",
     "CacheMiss",
+    "TensorFallback",
     "RunFinished",
     "deterministic_run_id",
     "validate_event",
@@ -187,6 +188,21 @@ class CacheMiss(_Event):
 
 
 @dataclass(frozen=True)
+class TensorFallback(_Event):
+    """A tensorized dispatch degraded to per-point execution.
+
+    ``rule`` is the static-analyzer rule ID the condition lints under
+    (``TZ001`` — the same finding ``repro-cli lint`` predicts before
+    dispatch); ``reason`` is the dispatch-time explanation, matching the
+    UserWarning text.  ``engine`` names the engine that was requested.
+    """
+
+    rule: str
+    reason: str
+    engine: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class RunFinished(_Event):
     """The run ended; carries the final telemetry snapshot.
 
@@ -215,6 +231,7 @@ EVENT_TYPES: dict[str, type] = {
         BudgetStopped,
         CacheHit,
         CacheMiss,
+        TensorFallback,
         RunFinished,
     )
 }
@@ -237,6 +254,7 @@ _REQUIRED_DATA: dict[str, dict[str, tuple]] = {
     "BudgetStopped": {"reason": (str,), "spent": (int,), "rounds": (int,)},
     "CacheHit": {"scope": (str,)},
     "CacheMiss": {"scope": (str,)},
+    "TensorFallback": {"rule": (str,), "reason": (str,)},
     "RunFinished": {"outcome": (str,), "units": (int,)},
 }
 

@@ -49,6 +49,7 @@ from repro.obs.events import (
     RoundAllocated,
     RunFinished,
     RunStarted,
+    TensorFallback,
 )
 from repro.orchestrate.allocator import Allocator, PointProgress
 from repro.orchestrate.budget import Budget, BudgetLedger
@@ -243,11 +244,17 @@ class Orchestrator:
         self.engine = engine
         self.sweep_batch = bool(sweep_batch)
         self.cost_model = cost_model
+        self.tensor_fallback: Optional[str] = None
         if tensorize and engine != "stepped":
-            warnings.warn(
+            from repro.analysis.lowering import TENSOR_FALLBACK_RULE
+
+            self.tensor_fallback = (
                 f"--tensorize requires the stepped engine; engine "
                 f"{engine!r} cannot lower the cross-point tensor loop — "
-                f"falling back to per-point execution",
+                f"falling back to per-point execution"
+            )
+            warnings.warn(
+                f"[{TENSOR_FALLBACK_RULE}] {self.tensor_fallback}",
                 UserWarning,
                 stacklevel=2,
             )
@@ -535,6 +542,19 @@ class Orchestrator:
                 },
             )
         )
+        if self.tensor_fallback is not None:
+            # the ledger twin of the construction-time UserWarning
+            # (emitted here, not in __init__: a run's first event must
+            # be RunStarted per the repro-events/1 sequence contract)
+            from repro.analysis.lowering import TENSOR_FALLBACK_RULE
+
+            self._emit(
+                TensorFallback(
+                    rule=TENSOR_FALLBACK_RULE,
+                    reason=self.tensor_fallback,
+                    engine=self.engine,
+                )
+            )
         # lend the bus to the runner for the duration of the run so chunk
         # scheduling / retry / failure / cache events land in this ledger
         lent_bus = self.events is not None and self.runner.events is None

@@ -109,6 +109,10 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def has(self, key: str) -> bool:
+        """Whether an entry exists for ``key`` (no counter side effects)."""
+        return self._path(key).is_file()
+
     def get(self, key: str) -> Optional[dict]:
         """The stored record for ``key``, or ``None`` (counted as a miss)."""
         path = self._path(key)

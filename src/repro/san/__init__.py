@@ -41,6 +41,16 @@ from repro.san.multipoint import (
     MultiPointJob,
     tensor_compatible,
 )
+from repro.san.registry import (
+    AdmissionResult,
+    ModelSpec,
+    admission_key,
+    admit,
+    get_model,
+    list_models,
+    register_model,
+    unregister_model,
+)
 from repro.san.statespace import StateSpace, generate_state_space
 from repro.san.rewards import RateReward, ImpulseReward, TransientEstimate
 from repro.san.validation import validate_model, ModelValidationError
@@ -77,6 +87,14 @@ __all__ = [
     "CompiledModel",
     "compile_model",
     "make_jump_engine",
+    "AdmissionResult",
+    "ModelSpec",
+    "admission_key",
+    "admit",
+    "get_model",
+    "list_models",
+    "register_model",
+    "unregister_model",
     "StateSpace",
     "generate_state_space",
     "RateReward",

@@ -582,6 +582,13 @@ class BatchedJumpEngine:
     batch_size:
         Default lockstep width, used by callers that slice replication
         stream batches (``run_batch`` itself accepts any length).
+    diagnose:
+        Compile-for-inspection mode: run the full lowering pass (so
+        ``lowering_stats``/``fallback_reasons`` and the lowered trees are
+        populated) but skip the per-row delegate and every runtime
+        closure.  A diagnose engine cannot run — ``run``/``simulate``/
+        ``run_batch`` raise — which is what the static analyzer wants:
+        lowering facts without paying for executable kernels.
     """
 
     #: engine label reported in runtime telemetry footers
@@ -593,6 +600,7 @@ class BatchedJumpEngine:
         bias: Optional[Mapping[str, float]] = None,
         observer=None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        diagnose: bool = False,
     ) -> None:
         compiled = model if isinstance(model, CompiledModel) else None
         san = compiled.model if compiled is not None else model
@@ -617,19 +625,30 @@ class BatchedJumpEngine:
                     f"bias factor for {name!r} must be finite and > 0, got {factor}"
                 )
         self.observer = observer
+        self.diagnose = bool(diagnose)
         self._kernel_events = 0
         # per-row delegate: observed runs, simulate() segments, and the
         # unlowerable remainder share this engine's compile pass
-        self._delegate = CompiledJumpEngine(
-            self.compiled, bias=bias, observer=observer
+        self._delegate = (
+            None
+            if self.diagnose
+            else CompiledJumpEngine(self.compiled, bias=bias, observer=observer)
         )
         self._bind()
 
     # ------------------------------------------------------------------
+    def _require_runtime(self) -> None:
+        if self.diagnose:
+            raise RuntimeError(
+                f"{type(self).__name__} was built with diagnose=True and "
+                f"has no runtime kernels; construct without diagnose to run"
+            )
+
     @property
     def fired_events(self) -> int:
         """Timed firings over this engine's lifetime (kernel + delegate)."""
-        return self._kernel_events + self._delegate.fired_events
+        delegated = 0 if self._delegate is None else self._delegate.fired_events
+        return self._kernel_events + delegated
 
     @property
     def has_bias(self) -> bool:
@@ -758,6 +777,13 @@ class BatchedJumpEngine:
         self._fb_rate_consts = []
         self._fb_rate_fns = []
         self._fb_static_reads = []
+        if self.diagnose:
+            # diagnose mode keeps the lowering facts (groups, fallback
+            # reasons, dependency masks) but compiles no runtime closures
+            self._choosers = []
+            self._firers = []
+            self._insta = []
+            return
         for index in fallback_indices:
             activity = compiled.timed[index]
             self._fb_enabled.append(
@@ -828,6 +854,7 @@ class BatchedJumpEngine:
         rate_rewards=None,
     ) -> SimulationRun:
         """One replication (a batch of one; observers delegate per-row)."""
+        self._require_runtime()
         if self.observer is not None:
             return self._delegate.run(stream, horizon, stop_predicate,
                                       rate_rewards)
@@ -836,6 +863,7 @@ class BatchedJumpEngine:
 
     def simulate(self, *args, **kwargs):
         """Path-segment simulation (splitting); always per-row compiled."""
+        self._require_runtime()
         return self._delegate.simulate(*args, **kwargs)
 
     # ------------------------------------------------------------------
@@ -852,6 +880,7 @@ class BatchedJumpEngine:
         compiled engine would, so results are bit-identical per stream
         regardless of the batch width or the fate of sibling rows.
         """
+        self._require_runtime()
         if self.observer is not None:
             # traced runs take the per-row path: batching would
             # interleave rows within one trace stream

@@ -61,7 +61,11 @@ class SANModel:
             self._ordered_instantaneous = None
         else:
             raise TypeError(f"not an activity: {activity!r}")
-        for place in activity.reads() | activity.writes():
+        # sort: set iteration order is id()-dependent, and slot numbering
+        # (hence the lowered kernel-IR digest) must not vary per process
+        for place in sorted(
+            activity.reads() | activity.writes(), key=lambda p: p.name
+        ):
             self.add_place(place)
         return activity
 

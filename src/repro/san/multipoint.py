@@ -66,6 +66,8 @@ def tensor_compatible(engine) -> Optional[str]:
     if not isinstance(engine, SteppedJumpEngine):
         name = getattr(engine, "engine_name", type(engine).__name__)
         return f"engine {name!r} is not the stepped engine"
+    if engine.diagnose:
+        return "diagnose-mode engines have no runtime kernels"
     if engine.observer is not None:
         return "observers force per-row compiled delegation"
     return None

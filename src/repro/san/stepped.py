@@ -127,9 +127,10 @@ class _PartMemo:
     """
 
     __slots__ = ("member_slots", "member_keys", "shared_slots", "bounds",
-                 "strides", "table", "is_float", "dead")
+                 "strides", "table", "is_float", "dead", "span", "defer")
 
-    def __init__(self, roles: list, is_float: bool) -> None:
+    def __init__(self, roles: list, is_float: bool,
+                 defer: bool = False) -> None:
         # dedupe identical roles (a name bound twice to the same slots)
         seen: set = set()
         unique = []
@@ -149,8 +150,12 @@ class _PartMemo:
         ]
         self.bounds = [2] * (len(self.member_slots) + len(self.shared_slots))
         self.is_float = is_float
+        #: diagnose-mode flag: derive spans/strides but never allocate
+        #: the backing array (the static analyzer only reads the specs)
+        self.defer = defer
         self.strides: list = []
         self.table = None
+        self.span = 1
         self.dead = False
         self._rebuild()
 
@@ -160,12 +165,15 @@ class _PartMemo:
         for bound in self.bounds:
             strides.append(span)
             span *= bound
+        self.span = span
         if span > _SPAN_CAP:
             self.dead = True
             self.table = None
             return False
         self.strides = strides
-        if self.is_float:
+        if self.defer:
+            self.table = None
+        elif self.is_float:
             self.table = np.full(span, np.nan, dtype=np.float64)
         else:
             # 0/1 cached predicate values; 2 marks a never-seen key
@@ -272,7 +280,8 @@ class _TableGroup:
 
     __slots__ = ("group", "gate", "rate", "direct")
 
-    def __init__(self, compiled, group, extended: frozenset) -> None:
+    def __init__(self, compiled, group, extended: frozenset,
+                 defer: bool = False) -> None:
         self.group = group
         self.gate: Optional[_PartMemo] = None
         self.rate: Optional[_PartMemo] = None
@@ -286,9 +295,9 @@ class _TableGroup:
             self.direct = True
             return
         if group.gate_exprs:
-            self.gate = _PartMemo(gate_roles, is_float=False)
+            self.gate = _PartMemo(gate_roles, is_float=False, defer=defer)
         if group.rate_expr is not None:
-            self.rate = _PartMemo(rate_roles, is_float=True)
+            self.rate = _PartMemo(rate_roles, is_float=True, defer=defer)
         if (self.gate is not None and self.gate.dead) or (
             self.rate is not None and self.rate.dead
         ):
@@ -509,7 +518,7 @@ class SteppedJumpEngine(BatchedJumpEngine):
         #: across batches — read-value combinations recur between sweep
         #: points, so later points start warm)
         self._tables = [
-            _TableGroup(compiled, group, extended)
+            _TableGroup(compiled, group, extended, defer=self.diagnose)
             for group in self._lowered
         ]
         #: table-memoised insta-gate scan: ``read values -> any enabled``
@@ -524,6 +533,7 @@ class SteppedJumpEngine(BatchedJumpEngine):
                     for slot in sorted(self._insta_read_slots)
                 ],
                 is_float=False,
+                defer=self.diagnose,
             )
             if not memo.dead:
                 self._insta_memo = memo
@@ -692,6 +702,7 @@ class SteppedJumpEngine(BatchedJumpEngine):
         with rate rewards take the batched per-event loop (both via
         :class:`BatchedJumpEngine`), keeping their contracts intact.
         """
+        self._require_runtime()
         if self.observer is not None or rate_rewards:
             return super().run_batch(
                 streams, horizon, stop_predicate, rate_rewards

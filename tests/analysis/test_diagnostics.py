@@ -33,7 +33,7 @@ class TestRules:
 
     def test_families_present(self):
         prefixes = {rule_id[:2] for rule_id in RULES}
-        assert prefixes == {"FP", "DT", "ST", "VE"}
+        assert prefixes == {"FP", "DT", "ST", "VE", "LW", "TZ"}
 
 
 class TestDiagnostic:

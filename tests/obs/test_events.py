@@ -126,6 +126,7 @@ class TestValidation:
                 "BudgetStopped": dict(reason="r"),
                 "CacheHit": dict(scope="run"),
                 "CacheMiss": dict(scope="run"),
+                "TensorFallback": dict(rule="TZ001", reason="r"),
                 "RunFinished": dict(outcome="ok"),
             }[name]
             assert validate_event(bus.emit(cls(**defaults))) == []
@@ -151,6 +152,18 @@ class TestValidation:
 
     def test_non_dict_line(self):
         assert validate_event("not-json-object")
+
+    def test_tensor_fallback_requires_rule_and_reason(self):
+        record = self.good(
+            event="TensorFallback", data={"rule": "TZ001"}
+        )
+        errors = validate_event(record)
+        assert any("reason" in error for error in errors)
+        record = self.good(
+            event="TensorFallback",
+            data={"rule": "TZ001", "reason": "engine", "engine": "compiled"},
+        )
+        assert validate_event(record) == []
 
     def test_sequence_must_increase_within_run(self):
         lines = [self.good(), self.good(seq=0, event="RunFinished",

@@ -210,7 +210,7 @@ class TestTensorize:
     def test_non_stepped_engine_warns_and_falls_back(self):
         runner = ParallelRunner(workers=1, chunk_size=64)
         try:
-            with pytest.warns(UserWarning, match="stepped engine"):
+            with pytest.warns(UserWarning, match=r"\[TZ001\].*stepped engine"):
                 report = orchestrate(
                     POINTS,
                     Budget(replications=128),
@@ -223,6 +223,59 @@ class TestTensorize:
         finally:
             runner.close()
         assert report.ledger["spent"] == 128  # ran per-point, not aborted
+
+    def test_fallback_emits_typed_ledger_event(self):
+        from repro.obs import EventBus, validate_events
+
+        records: list = []
+        bus = EventBus("run-tf")
+        bus.subscribe(records.append)
+        runner = ParallelRunner(workers=1, chunk_size=64)
+        try:
+            with pytest.warns(UserWarning, match=r"\[TZ001\]"):
+                orchestrator = Orchestrator(
+                    POINTS,
+                    Budget(replications=128),
+                    runner,
+                    estimator_policy=FORCE_SIM,
+                    seed=SEED,
+                    engine="compiled",
+                    tensorize=True,
+                    events=bus,
+                )
+            orchestrator.run()
+        finally:
+            runner.close()
+        validate_events(records)
+        kinds = [record["event"] for record in records]
+        assert kinds[0] == "RunStarted"
+        assert kinds[1] == "TensorFallback"
+        fallback = records[1]["data"]
+        assert fallback["rule"] == "TZ001"
+        assert fallback["engine"] == "compiled"
+        assert "stepped engine" in fallback["reason"]
+
+    def test_no_fallback_event_on_the_stepped_engine(self):
+        from repro.obs import EventBus
+
+        records: list = []
+        bus = EventBus("run-ok")
+        bus.subscribe(records.append)
+        runner = ParallelRunner(workers=1, chunk_size=64)
+        try:
+            Orchestrator(
+                POINTS,
+                Budget(replications=128),
+                runner,
+                estimator_policy=FORCE_SIM,
+                seed=SEED,
+                engine="stepped",
+                tensorize=True,
+                events=bus,
+            ).run()
+        finally:
+            runner.close()
+        assert "TensorFallback" not in {r["event"] for r in records}
 
     def test_wall_cost_model_keeps_chunk_estimates(self):
         # wall-clock cost only reorders allocation; every pooled chunk

@@ -91,6 +91,17 @@ class TestDescribeLowering:
         assert "drain" in text
         assert "fallback (float() coercion)" in text
 
+    def test_diagnose_engine_renders_identically(self):
+        np = pytest.importorskip("numpy")  # noqa: F841
+        from repro.san import BatchedJumpEngine, SteppedJumpEngine
+
+        model, *_ = make_two_state_model()
+        runtime_text = describe_lowering(BatchedJumpEngine(model))
+        for cls in (BatchedJumpEngine, SteppedJumpEngine):
+            assert describe_lowering(cls(model, diagnose=True)) == (
+                runtime_text
+            )
+
 
 class TestDot:
     def test_valid_dot_structure(self):

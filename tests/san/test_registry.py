@@ -1,0 +1,142 @@
+"""Lint-gated model registry: registration, admission, cache reuse."""
+
+import pytest
+
+from repro.runtime import ResultCache
+from repro.san import (
+    Case,
+    MarkingFunction,
+    Place,
+    SANModel,
+    TimedActivity,
+    admission_key,
+    admit,
+    get_model,
+    list_models,
+    output_arc,
+    register_model,
+    unregister_model,
+)
+from tests.conftest import make_two_state_model
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+def build_clean():
+    model, *_ = make_two_state_model()
+    return model
+
+
+def build_rejected():
+    # LW002: the rate goes negative at a reachable marking
+    p = Place("p", 0)
+    model = SANModel("rejected")
+    model.add_activity(
+        TimedActivity("grow", rate=1.0, cases=[Case(1.0, [output_arc(p)])])
+    )
+    model.add_activity(
+        TimedActivity(
+            "bad",
+            rate=MarkingFunction({"p": p}, lambda g: 2.0 - g["p"]),
+            cases=[Case(1.0)],
+        )
+    )
+    return model
+
+
+@pytest.fixture
+def clean_spec():
+    spec = register_model(
+        "test-clean", build_clean, description="failure/repair pair"
+    )
+    yield spec
+    unregister_model("test-clean")
+
+
+@pytest.fixture
+def rejected_spec():
+    spec = register_model("test-rejected", build_rejected)
+    yield spec
+    unregister_model("test-rejected")
+
+
+class TestRegistration:
+    def test_builtins_are_listed(self):
+        names = [spec.name for spec in list_models()]
+        assert {"ahs-dd", "ahs-dc", "ahs-cd", "ahs-cc"} <= set(names)
+        assert names == sorted(names)
+
+    def test_get_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            get_model("no-such-model")
+
+    def test_register_get_unregister(self, clean_spec):
+        assert get_model("test-clean") is clean_spec
+        assert clean_spec.token == {"registry-model": "test-clean"}
+        assert unregister_model("test-clean") is True
+        assert unregister_model("test-clean") is False
+        register_model("test-clean", build_clean)  # fixture unregisters
+
+    def test_duplicate_name_rejected(self, clean_spec):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("test-clean", build_clean)
+        replaced = register_model(
+            "test-clean", build_clean, replace=True
+        )
+        assert get_model("test-clean") is replaced
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            register_model("", build_clean)
+        with pytest.raises(TypeError):
+            register_model("not-callable", 42)
+
+
+class TestAdmission:
+    def test_clean_model_is_admitted(self, clean_spec):
+        result = admit(clean_spec)
+        assert result.admitted is True
+        assert result.cached is False
+        assert result.errors == 0
+        assert result.ir_digest is not None
+        assert result.key == admission_key(clean_spec)
+        assert result.report["summary"]["errors"] == 0
+
+    def test_admit_by_name(self, clean_spec):
+        assert admit("test-clean").admitted is True
+
+    def test_second_admission_hits_the_cache(self, clean_spec, cache):
+        first = admit(clean_spec, cache)
+        second = admit(clean_spec, cache)
+        assert first.cached is False and second.cached is True
+        assert second.admitted is True
+        assert second.ir_digest == first.ir_digest
+        assert second.key == first.key
+        assert second.report == first.report
+
+    def test_rejected_model_is_not_cached(self, rejected_spec, cache):
+        first = admit(rejected_spec, cache)
+        assert first.admitted is False
+        assert first.errors >= 1
+        assert not cache.has(first.key)
+        second = admit(rejected_spec, cache)
+        assert second.cached is False  # re-analyzed, not a stale verdict
+
+    def test_family_subset_is_not_cached(self, clean_spec, cache):
+        result = admit(clean_spec, cache, families=["structural"])
+        assert result.admitted is True
+        assert not cache.has(result.key)
+
+    def test_admission_keys_differ_per_model(self):
+        keys = {admission_key(spec) for spec in list_models()}
+        assert len(keys) == len(list_models())
+
+    def test_builtin_digests_are_distinct(self, cache):
+        digests = {
+            name: admit(name, cache).ir_digest
+            for name in ("ahs-dd", "ahs-dc", "ahs-cd", "ahs-cc")
+        }
+        assert len(set(digests.values())) == 4
